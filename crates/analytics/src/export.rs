@@ -1,0 +1,115 @@
+//! CSV and JSON export of figure series.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::series::TimeSeries;
+
+/// Writes series as CSV: `unix_time,<label1>,<label2>,...` with one row per
+/// timestamp in the union of all series (empty cells where a series has no
+/// point at that time).
+pub fn to_csv(series: &[&TimeSeries]) -> String {
+    let mut out = String::from("unix_time");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+
+    let mut times: Vec<u64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(t, _)| *t))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+
+    let mut cursors = vec![0usize; series.len()];
+    for t in times {
+        out.push_str(&t.to_string());
+        for (si, s) in series.iter().enumerate() {
+            out.push(',');
+            while cursors[si] < s.points.len() && s.points[cursors[si]].0 < t {
+                cursors[si] += 1;
+            }
+            if cursors[si] < s.points.len() && s.points[cursors[si]].0 == t {
+                out.push_str(&format!("{}", s.points[cursors[si]].1));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes CSV to a file.
+pub fn write_csv(path: impl AsRef<Path>, series: &[&TimeSeries]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv(series).as_bytes())
+}
+
+/// Serializes series as JSON (used to snapshot figure data into
+/// EXPERIMENTS.md regeneration runs).
+pub fn to_json(series: &[&TimeSeries]) -> String {
+    serde_json::to_string_pretty(&series).expect("series serialize cleanly")
+}
+
+/// Writes JSON to a file.
+pub fn write_json(path: impl AsRef<Path>, series: &[&TimeSeries]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(series).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fork_primitives::SimTime;
+
+    fn s(label: &str, pts: &[(u64, f64)]) -> TimeSeries {
+        let mut ts = TimeSeries::new(label);
+        for (t, v) in pts {
+            ts.push(SimTime::from_unix(*t), *v);
+        }
+        ts
+    }
+
+    #[test]
+    fn csv_aligns_on_time_union() {
+        let a = s("ETH", &[(10, 1.0), (20, 2.0)]);
+        let b = s("ETC", &[(20, 5.0), (30, 6.0)]);
+        let csv = to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "unix_time,ETH,ETC");
+        assert_eq!(lines[1], "10,1,");
+        assert_eq!(lines[2], "20,2,5");
+        assert_eq!(lines[3], "30,,6");
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_labels() {
+        let a = s("a,b", &[(1, 1.0)]);
+        let csv = to_csv(&[&a]);
+        assert!(csv.starts_with("unix_time,a;b\n"));
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let a = s("ETH", &[(10, 1.5)]);
+        let j = to_json(&[&a]);
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v[0]["label"], "ETH");
+        assert_eq!(v[0]["points"][0][0], 10);
+    }
+
+    #[test]
+    fn file_writers_produce_files() {
+        let dir = std::env::temp_dir().join("fork-analytics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = s("x", &[(1, 2.0)]);
+        let csv_path = dir.join("t.csv");
+        let json_path = dir.join("t.json");
+        write_csv(&csv_path, &[&a]).unwrap();
+        write_json(&json_path, &[&a]).unwrap();
+        assert!(std::fs::read_to_string(&csv_path).unwrap().contains("x"));
+        assert!(std::fs::read_to_string(&json_path).unwrap().contains("x"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

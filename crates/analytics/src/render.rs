@@ -1,0 +1,156 @@
+//! Terminal rendering: ASCII line charts and markdown tables for the
+//! `make-figures` binary and EXPERIMENTS.md regeneration.
+
+use crate::series::TimeSeries;
+
+/// Glyphs assigned to successive series in a chart.
+const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+/// Renders one or more series as an ASCII chart of `width`×`height` cells
+/// with a value axis, time extent line and legend.
+pub fn ascii_chart(title: &str, series: &[&TimeSeries], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+
+    // Global ranges.
+    let mut t_min = u64::MAX;
+    let mut t_max = 0u64;
+    let mut v_min = f64::INFINITY;
+    let mut v_max = f64::NEG_INFINITY;
+    for s in series {
+        for (t, v) in &s.points {
+            if v.is_finite() {
+                t_min = t_min.min(*t);
+                t_max = t_max.max(*t);
+                v_min = v_min.min(*v);
+                v_max = v_max.max(*v);
+            }
+        }
+    }
+    if t_min > t_max || !v_min.is_finite() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    if v_max == v_min {
+        v_max = v_min + 1.0;
+    }
+    let t_span = (t_max - t_min).max(1) as f64;
+    let v_span = v_max - v_min;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (t, v) in &s.points {
+            if !v.is_finite() {
+                continue;
+            }
+            let x = (((t - t_min) as f64 / t_span) * (width - 1) as f64).round() as usize;
+            let y = (((v - v_min) / v_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x.min(width - 1)] = glyph;
+        }
+    }
+
+    for (i, row) in grid.iter().enumerate() {
+        let axis_value = v_max - v_span * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{:>12.4e} |", axis_value));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>12} +{}\n", "", "-".repeat(width)));
+    let from = fork_primitives::SimTime::from_unix(t_min);
+    let to = fork_primitives::SimTime::from_unix(t_max);
+    out.push_str(&format!("{:>13} {}  ..  {}\n", "", from, to));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>13} {} = {}\n",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fork_primitives::SimTime;
+
+    fn series(label: &str, vals: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(label);
+        for (i, v) in vals.iter().enumerate() {
+            s.push(SimTime::from_unix(i as u64 * 3600), *v);
+        }
+        s
+    }
+
+    #[test]
+    fn chart_contains_title_legend_and_glyphs() {
+        let a = series("ETH", &[1.0, 2.0, 3.0, 4.0]);
+        let b = series("ETC", &[4.0, 3.0, 2.0, 1.0]);
+        let chart = ascii_chart("Blocks per hour", &[&a, &b], 40, 10);
+        assert!(chart.contains("Blocks per hour"));
+        assert!(chart.contains("* = ETH"));
+        assert!(chart.contains("+ = ETC"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+    }
+
+    #[test]
+    fn chart_handles_empty_input() {
+        let e = TimeSeries::new("empty");
+        let chart = ascii_chart("Nothing", &[&e], 40, 10);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn chart_handles_constant_series() {
+        let c = series("flat", &[5.0, 5.0, 5.0]);
+        let chart = ascii_chart("Flat", &[&c], 30, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn chart_line_count_matches_height() {
+        let a = series("x", &[1.0, 9.0]);
+        let chart = ascii_chart("T", &[&a], 30, 8);
+        // title + 8 rows + axis + extent + 1 legend line
+        assert_eq!(chart.lines().count(), 1 + 8 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["metric", "paper", "measured"],
+            &[
+                vec!["a".into(), "1".into(), "2".into()],
+                vec!["b".into(), "3".into(), "4".into()],
+            ],
+        );
+        assert!(t.starts_with("| metric | paper | measured |\n|---|---|---|\n"));
+        assert!(t.contains("| a | 1 | 2 |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,245 @@
+//! Ablation benches for the design choices called out in DESIGN.md §4.
+//!
+//! Each bench isolates one mechanism and checks the directional effect while
+//! measuring its cost:
+//!
+//! * the −99 difficulty-adjustment cap (recovery speed after the crash),
+//! * the difficulty bomb (long-horizon block-time drift),
+//! * EIP-155 adoption (echo volume),
+//! * gossip latency (transient-fork rate),
+//! * pool payout schemes (miner income variance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fork_chain::{BombConfig, DifficultyConfig};
+use fork_core::ForkStudy;
+use fork_net::LatencyModel;
+use fork_pools::{distribute, income_coefficient_of_variation, PayoutScheme, ShareLedger};
+use fork_primitives::{units::ether, Address, U256};
+use fork_replay::{AdoptionCurve, Side};
+use fork_sim::micro::{MicroConfig, MicroNet};
+use rand::Rng;
+use fork_sim::SimRng;
+
+/// Deterministic recovery after ETC's actual ~99.5% hashpower collapse (the
+/// −99 cap binds only when blocks are slower than ~1,000 s, so the ablation
+/// must use the real collapse depth, not a mild one). Returns
+/// `(blocks, seconds)` until the expected block time re-enters the target
+/// band.
+fn recovery(capped: bool) -> (u64, f64) {
+    let cfg = DifficultyConfig {
+        bomb: BombConfig::Disabled,
+        ..DifficultyConfig::default()
+    };
+    let mut d = 6.2e13f64;
+    let h = 6.2e13 / 14.0 * 0.005; // 0.5% of pre-fork hashpower remains
+    let mut blocks = 0u64;
+    let mut elapsed = 0.0f64;
+    while d / h >= 20.0 {
+        let bt = d / h;
+        elapsed += bt;
+        if capped {
+            let next = cfg.next_difficulty(
+                U256::from_u128(d as u128),
+                0,
+                bt as u64,
+                1_920_000 + blocks,
+            );
+            d = next.to_f64_lossy();
+        } else {
+            // Uncapped: sigma = 1 - bt/10 with no floor.
+            let sigma = 1.0 - (bt / 10.0).floor();
+            d += d / 2048.0 * sigma;
+            d = d.max(131_072.0);
+        }
+        blocks += 1;
+        assert!(blocks < 100_000);
+    }
+    (blocks, elapsed)
+}
+
+fn ablate_difficulty_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_difficulty_cap");
+    group.bench_function("bounded_vs_instant_retarget", |b| {
+        b.iter(|| {
+            let (capped_blocks, capped_secs) = recovery(true);
+            let (_, uncapped_secs) = recovery(false);
+            // Finding (recorded in EXPERIMENTS.md): the −99 cap itself is a
+            // *minor* effect — it only binds while blocks are slower than
+            // ~1,000 s, and removing it saves ~12% of the recovery time.
+            // The hours-long recovery is intrinsic to the *bounded
+            // proportional* rule: an instant-retarget rule (difficulty :=
+            // hashrate × target) would recover in one block (~46 min at
+            // the 0.5% collapse), versus ~40 hours for Homestead.
+            assert!(
+                capped_secs > uncapped_secs,
+                "cap must cost wall-clock: {capped_secs:.0}s vs {uncapped_secs:.0}s"
+            );
+            let instant_retarget_secs = 6.2e13 / (6.2e13 / 14.0 * 0.005); // one slow block
+            assert!(
+                capped_secs > 10.0 * instant_retarget_secs,
+                "bounded adjustment must dominate instant retarget: \
+                 {capped_secs:.0}s vs {instant_retarget_secs:.0}s"
+            );
+            (capped_blocks, capped_secs)
+        })
+    });
+    group.finish();
+}
+
+fn ablate_bomb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_bomb");
+    group.bench_function("block_time_drift", |b| {
+        b.iter(|| {
+            // At a fixed hashrate, walk difficulty to equilibrium with and
+            // without the bomb at a high block number (year-2017 heights).
+            let h = 6.2e13 / 14.0;
+            let walk = |bomb: BombConfig, number: u64| -> f64 {
+                let cfg = DifficultyConfig {
+                    bomb,
+                    ..DifficultyConfig::default()
+                };
+                let mut d = 6.2e13f64;
+                for i in 0..2_000u64 {
+                    let bt = (d / h).max(1.0);
+                    d = cfg
+                        .next_difficulty(U256::from_u128(d as u128), 0, bt as u64, number + i)
+                        .to_f64_lossy();
+                }
+                d / h // equilibrium block time
+            };
+            let with_bomb = walk(BombConfig::Active, 3_700_000);
+            let without = walk(BombConfig::Disabled, 3_700_000);
+            assert!(
+                with_bomb > without,
+                "bomb must slow blocks: {with_bomb} vs {without}"
+            );
+            (with_bomb, without)
+        })
+    });
+    group.finish();
+}
+
+fn ablate_eip155(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_eip155");
+    group.sample_size(10);
+    group.bench_function("adoption_vs_echo_volume", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let run_with_ceiling = |ceiling: f64, seed: u64| {
+                let mut study = ForkStudy::quick(seed);
+                let cfg = study.config_mut();
+                // Replay protection active from the start, adoption at the
+                // given ceiling with a fast ramp.
+                for net in [&mut cfg.eth, &mut cfg.etc] {
+                    net.spec.eip155 = net.spec.eip155.map(|(_, id)| (1, id));
+                    net.workload.adoption = AdoptionCurve {
+                        activation_day: 0,
+                        halflife_days: 0.01,
+                        ceiling,
+                    };
+                }
+                let result = study.run();
+                result.pipeline.total_echoes(Side::Etc)
+            };
+            let unprotected = run_with_ceiling(0.0, seed);
+            let protected = run_with_ceiling(0.95, seed);
+            assert!(
+                protected * 3 < unprotected.max(1) * 2,
+                "adoption must cut echoes: {unprotected} -> {protected}"
+            );
+            (unprotected, protected)
+        })
+    });
+    group.finish();
+}
+
+fn ablate_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_gossip");
+    group.sample_size(10);
+    group.bench_function("latency_vs_transient_forks", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let run_at = |base_ms: u64, seed: u64| {
+                let mut net = MicroNet::new(MicroConfig {
+                    seed,
+                    n_nodes: 16,
+                    n_miners: 8,
+                    duration_secs: 1_800,
+                    latency: LatencyModel {
+                        base_ms,
+                        jitter_ms: base_ms / 2,
+                    },
+                    ..MicroConfig::default()
+                });
+                let r = net.run();
+                r.side_blocks + r.reorgs
+            };
+            let fast: u64 = (0..2).map(|k| run_at(50, seed * 10 + k)).sum();
+            let slow: u64 = (0..2).map(|k| run_at(4_000, seed * 10 + k)).sum();
+            assert!(
+                slow >= fast,
+                "latency must not reduce transient forks: {fast} vs {slow}"
+            );
+            (fast, slow)
+        })
+    });
+    group.finish();
+}
+
+fn ablate_payout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_payout");
+    group.bench_function("income_variance_by_scheme", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(7);
+            let miners: Vec<Address> = (0..40).map(|i| Address([i as u8 + 1; 20])).collect();
+            let rounds = 2_000;
+
+            let mut solo = vec![0.0f64; miners.len()];
+            let mut proportional = vec![0.0f64; miners.len()];
+            let mut pplns = vec![0.0f64; miners.len()];
+            let mut ledger = ShareLedger::new();
+            for _ in 0..rounds {
+                // Everyone submits one share per round; one lottery winner.
+                for m in &miners {
+                    ledger.submit(*m, 1);
+                }
+                let w = rng.gen_range(0..miners.len());
+                solo[w] += 5.0;
+                for (m, v) in distribute(PayoutScheme::Proportional, ether(5), &ledger) {
+                    let i = miners.iter().position(|x| *x == m).unwrap();
+                    proportional[i] += v.to_f64_lossy();
+                }
+                for (m, v) in distribute(
+                    PayoutScheme::Pplns { window: 40 },
+                    ether(5),
+                    &ledger,
+                ) {
+                    let i = miners.iter().position(|x| *x == m).unwrap();
+                    pplns[i] += v.to_f64_lossy();
+                }
+                ledger.clear();
+            }
+            let cv_solo = income_coefficient_of_variation(&solo);
+            let cv_prop = income_coefficient_of_variation(&proportional);
+            let cv_pplns = income_coefficient_of_variation(&pplns);
+            assert!(
+                cv_solo > 5.0 * cv_prop.max(1e-12),
+                "pooling must slash variance: solo {cv_solo}, prop {cv_prop}"
+            );
+            (cv_solo, cv_prop, cv_pplns)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_difficulty_cap,
+    ablate_bomb,
+    ablate_eip155,
+    ablate_gossip,
+    ablate_payout
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 1 bench: regenerates the fork-window series (blocks/hour,
+//! difficulty, inter-block delta) and checks the headline shapes while
+//! measuring the simulation's cost per simulated day.
+//!
+//! Default window: 3 days (covers the collapse, the recovery and the delta
+//! spike). Set `FORK_BENCH_DAYS=31` for the paper's full month.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fork_bench::{assert_series_nonempty, bench_days, run_days};
+use fork_replay::Side;
+
+fn fig1(c: &mut Criterion) {
+    let days = bench_days();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function(format!("fork_window_{days}d"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let result = run_days(seed, days);
+            let fig = result.figure1();
+            assert_series_nonempty(&fig);
+
+            // Shape checks on every regeneration — the bench doubles as a
+            // statistical test over seeds.
+            let etc_bph = result.pipeline.blocks_per_hour(Side::Etc);
+            let first12 = etc_bph.window(result.start, result.start.plus_secs(12 * 3_600));
+            let early_rate = if first12.is_empty() { 0.0 } else { first12.mean() };
+            assert!(
+                early_rate < 40.0,
+                "ETC early block rate should collapse, got {early_rate}/hr"
+            );
+            let delta = result.pipeline.block_delta(Side::Etc);
+            let max_delta = delta.value_range().map(|(_, hi)| hi).unwrap_or(0.0);
+            assert!(
+                max_delta > 1_200.0,
+                "delta spike must exceed 1,200s (paper), got {max_delta}"
+            );
+            fig
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

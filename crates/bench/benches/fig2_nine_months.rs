@@ -1,0 +1,44 @@
+//! Figure 2 bench: daily difficulty, transactions/day, contract-call
+//! fraction. Default window 3 days (shape checks on volumes and ratios);
+//! `FORK_BENCH_DAYS=280` regenerates the full nine months.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fork_analytics::ratio;
+use fork_bench::{assert_series_nonempty, bench_days, run_days};
+use fork_replay::Side;
+
+fn fig2(c: &mut Criterion) {
+    let days = bench_days();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function(format!("nine_month_series_{days}d"), |b| {
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            let result = run_days(seed, days);
+            let fig = result.figure2();
+            assert_series_nonempty(&fig);
+
+            // Transaction volumes track the schedule: the ETH:ETC ratio sits
+            // near 2.5:1 outside the chaotic first two days.
+            let eth = result.pipeline.txs_per_day(Side::Eth);
+            let etc = result.pipeline.txs_per_day(Side::Etc);
+            if days >= 3 {
+                let r = ratio(&eth, &etc, "ratio")
+                    .window(result.start.plus_days(2), result.end)
+                    .mean();
+                assert!((1.6..4.5).contains(&r), "tx ratio {r}");
+            }
+            // Contract share in a plausible band on both chains.
+            for side in [Side::Eth, Side::Etc] {
+                let pct = result.pipeline.contract_tx_percent(side).mean();
+                assert!((3.0..45.0).contains(&pct), "{side:?} contract % {pct}");
+            }
+            fig
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Figure 3 bench: expected hashes-per-USD for both chains.
+//!
+//! The short default window cannot show the long-horizon equilibrium (ETC
+//! spends the fork fortnight far from its difficulty equilibrium), so the
+//! bench validates the *mechanism* directly — the equilibrium model over the
+//! full 270 days — and regenerates the simulated-series variant for its
+//! window. `FORK_BENCH_DAYS=280` exercises the full simulated version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fork_analytics::{correlation, TimeSeries};
+use fork_bench::{assert_series_nonempty, bench_days, run_days};
+use fork_market::{HashpowerAllocator, HashpowerSplit, TotalHashpowerPath};
+use fork_primitives::time::DAO_FORK_TIMESTAMP;
+use fork_primitives::{units, SimTime, U256};
+use fork_sim::SimRng;
+
+/// The equilibrium-model series-pair for 270 days (the market mechanism
+/// behind Figure 3, independent of the block-level simulator).
+fn equilibrium_series(seed: u64) -> (TimeSeries, TimeSeries) {
+    let mut rng = SimRng::new(seed).fork("prices");
+    let (eth_usd, etc_usd) = fork_market::calibrated_pair(&mut rng);
+    let start = SimTime::from_unix(DAO_FORK_TIMESTAMP);
+    let total = TotalHashpowerPath::default();
+    let allocator = HashpowerAllocator::default();
+    let mut split = HashpowerSplit { eth_fraction: 0.9 };
+    let mut eth = TimeSeries::new("ETH");
+    let mut etc = TimeSeries::new("ETC");
+    for day in 0..270u64 {
+        let t = start.plus_days(day);
+        let (p_eth, p_etc) = (eth_usd.usd_at(t), etc_usd.usd_at(t));
+        split = allocator.step(split, p_eth, p_etc);
+        let h = total.at_day(day);
+        let d_eth = h * split.eth_fraction * 14.4;
+        let d_etc = h * split.etc_fraction() * 14.4;
+        if let Some(v) = units::hashes_per_usd(U256::from_u128(d_eth as u128), p_eth) {
+            eth.push(t, v);
+        }
+        if let Some(v) = units::hashes_per_usd(U256::from_u128(d_etc as u128), p_etc) {
+            etc.push(t, v);
+        }
+    }
+    (eth, etc)
+}
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+
+    group.bench_function("equilibrium_270d", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (eth, etc) = equilibrium_series(seed);
+            // Across arbitrary seeds, the partial-adjustment lag under
+            // independent price noise can pull the wiggle-correlation down
+            // to ~0.85 (the calibrated seed gives 0.99); the *level*
+            // identity — mean ratio ≈ 1 — is the sharper invariant.
+            let corr = correlation(&eth, &etc).unwrap_or(0.0);
+            assert!(
+                corr > 0.80,
+                "hashes/USD must be near-identical (corr {corr})"
+            );
+            let mean_ratio = fork_analytics::ratio(&eth, &etc, "r").mean();
+            assert!(
+                (0.75..1.35).contains(&mean_ratio),
+                "mean hashes/USD ratio {mean_ratio}"
+            );
+            (eth, etc)
+        })
+    });
+
+    let days = bench_days();
+    group.bench_function(format!("simulated_{days}d"), |b| {
+        let mut seed = 300u64;
+        b.iter(|| {
+            seed += 1;
+            let result = run_days(seed, days);
+            let fig = result.figure3();
+            assert_series_nonempty(&fig);
+            fig
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 4 bench: echo counts and percentages, with the direction and
+//! initial-spike shape checked on every regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fork_bench::{assert_series_nonempty, bench_days, run_days};
+use fork_replay::Side;
+
+fn fig4(c: &mut Criterion) {
+    let days = bench_days();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function(format!("echo_series_{days}d"), |b| {
+        let mut seed = 400u64;
+        b.iter(|| {
+            seed += 1;
+            let result = run_days(seed, days);
+            let fig = result.figure4();
+            assert_series_nonempty(&fig);
+
+            // Direction: the paper observes most echoes flow ETH -> ETC.
+            let into_etc = result.pipeline.total_echoes(Side::Etc);
+            let into_eth = result.pipeline.total_echoes(Side::Eth);
+            assert!(
+                into_etc > into_eth,
+                "echo direction inverted: {into_etc} vs {into_eth}"
+            );
+            // Initial spike: ETC's echo share is large right after the fork.
+            let pct = result.pipeline.echo_percent(Side::Etc);
+            let peak = pct
+                .window(result.start, result.start.plus_days(3))
+                .value_range()
+                .map(|(_, hi)| hi)
+                .unwrap_or(0.0);
+            assert!(peak > 20.0, "no initial echo spike: {peak}%");
+            fig
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Figure 5 bench: top-1/3/5 pool concentration per day on both networks.
+//!
+//! The convergence itself takes months, so alongside the simulated window
+//! this bench regenerates the pool-dynamics process over 240 days directly
+//! (block winners sampled per day) and asserts the paper's start/end shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fork_bench::{assert_series_nonempty, bench_days, run_days};
+use fork_pools::{DailyWinners, PoolSet};
+use fork_replay::Side;
+use fork_sim::SimRng;
+
+fn convergence_process(seed: u64) -> (f64, f64, f64) {
+    let mut rng = SimRng::new(seed).fork("fig5");
+    let mut eth = PoolSet::converged("eth");
+    let mut etc = PoolSet::fragmented("etc", 20);
+    let blocks_per_day = 6_171;
+    let mut etc_start = 0.0;
+    let mut etc_end = 0.0;
+    let mut eth_mean = 0.0;
+    let days = 240u64;
+    for day in 0..days {
+        let mut eth_day = DailyWinners::new();
+        let mut etc_day = DailyWinners::new();
+        for _ in 0..blocks_per_day {
+            eth_day.record(eth.sample_winner(&mut rng));
+            etc_day.record(etc.sample_winner(&mut rng));
+        }
+        let etc5 = etc_day.top_n_fraction(5).unwrap();
+        if day == 0 {
+            etc_start = etc5;
+        }
+        if day == days - 1 {
+            etc_end = etc5;
+        }
+        eth_mean += eth_day.top_n_fraction(5).unwrap() / days as f64;
+        eth.step_preferential(0.004, &mut rng);
+        etc.step_preferential(0.020, &mut rng);
+    }
+    (etc_start, etc_end, eth_mean)
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+
+    group.bench_function("convergence_240d", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (etc_start, etc_end, eth_mean) = convergence_process(seed);
+            // Paper: ETC starts considerably lower, converges toward ETH's
+            // plateau; ETH stays put.
+            assert!(etc_start < 0.45, "ETC should start fragmented: {etc_start}");
+            assert!(
+                etc_end > etc_start + 0.15,
+                "no convergence: {etc_start} -> {etc_end}"
+            );
+            assert!((0.6..0.92).contains(&eth_mean), "ETH top5 {eth_mean}");
+            (etc_start, etc_end)
+        })
+    });
+
+    let days = bench_days();
+    group.bench_function(format!("simulated_{days}d"), |b| {
+        let mut seed = 500u64;
+        b.iter(|| {
+            seed += 1;
+            let result = run_days(seed, days);
+            let fig = result.figure5();
+            assert_series_nonempty(&fig);
+            // Day-one gap between the ecosystems.
+            let eth5 = result.pipeline.pool_top_n(Side::Eth, 5).mean();
+            let etc5 = result.pipeline.pool_top_n(Side::Etc, 5).mean();
+            assert!(eth5 > etc5, "ETH {eth5} vs ETC {etc5}");
+            fig
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

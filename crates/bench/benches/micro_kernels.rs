@@ -1,0 +1,181 @@
+//! Microbenchmarks of the hot kernels under every experiment: Keccak, RLP,
+//! U256, the difficulty rule, signature recovery, EVM execution, seal
+//! grinding and block import.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use fork_chain::{ChainSpec, ChainStore, GenesisBuilder, Transaction};
+use fork_crypto::{keccak256, Keypair};
+use fork_evm::{contracts, transact, BlockContext, GasSchedule, WorldState};
+use fork_primitives::{units::ether, Address, U256};
+
+fn bench_keccak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keccak256");
+    for size in [32usize, 136, 512, 4096] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| keccak256(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rlp(c: &mut Criterion) {
+    let kp = Keypair::from_seed("bench", 0);
+    let tx = Transaction::transfer(&kp, 7, Address([9; 20]), ether(1), U256::from_u64(20), None);
+    let encoded = tx.rlp();
+    c.bench_function("rlp/encode_tx", |b| b.iter(|| black_box(&tx).rlp()));
+    c.bench_function("rlp/decode_tx", |b| {
+        b.iter(|| Transaction::decode_bytes(black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_u256(c: &mut Criterion) {
+    let a = U256::from_dec_str("98765432109876543210987654321098765432109").unwrap();
+    let b_ = U256::from_dec_str("12345678901234567890123456789").unwrap();
+    c.bench_function("u256/mul", |b| {
+        b.iter(|| black_box(a).overflowing_mul(black_box(b_)))
+    });
+    c.bench_function("u256/div_rem", |b| {
+        b.iter(|| black_box(a).div_rem(black_box(b_)))
+    });
+}
+
+fn bench_difficulty(c: &mut Criterion) {
+    let cfg = fork_chain::DifficultyConfig::default();
+    let parent = U256::from_u128(62_000_000_000_000);
+    c.bench_function("difficulty/next", |b| {
+        b.iter(|| cfg.next_difficulty(black_box(parent), 1_000, 1_140, 1_920_001))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let kp = Keypair::from_seed("bench", 1);
+    let tx = Transaction::transfer(&kp, 0, Address([9; 20]), ether(1), U256::from_u64(20), None);
+    c.bench_function("signature/sign_transfer", |b| {
+        b.iter(|| {
+            Transaction::transfer(
+                black_box(&kp),
+                0,
+                Address([9; 20]),
+                ether(1),
+                U256::from_u64(20),
+                None,
+            )
+        })
+    });
+    c.bench_function("signature/recover_sender", |b| {
+        b.iter(|| black_box(&tx).sender().unwrap())
+    });
+}
+
+fn bench_evm(c: &mut Criterion) {
+    // Plain transfer.
+    c.bench_function("evm/transact_transfer", |b| {
+        let mut world = WorldState::new();
+        world.set_balance(Address([1; 20]), ether(1_000_000));
+        world.commit();
+        b.iter(|| {
+            transact(
+                &mut world,
+                GasSchedule::frontier(),
+                BlockContext::default(),
+                Address([1; 20]),
+                Some(Address([2; 20])),
+                U256::from_u64(1),
+                &[],
+                21_000,
+                U256::ONE,
+            )
+            .unwrap()
+        })
+    });
+    // Contract call (storage churner).
+    c.bench_function("evm/transact_contract_call", |b| {
+        let mut world = WorldState::new();
+        world.set_balance(Address([1; 20]), ether(1_000_000));
+        world.set_code(Address([0xCC; 20]), contracts::storage_churner());
+        world.commit();
+        let data = U256::from_u64(7).to_be_bytes().to_vec();
+        b.iter(|| {
+            transact(
+                &mut world,
+                GasSchedule::frontier(),
+                BlockContext::default(),
+                Address([1; 20]),
+                Some(Address([0xCC; 20])),
+                U256::ZERO,
+                &data,
+                120_000,
+                U256::ONE,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_block_pipeline(c: &mut Criterion) {
+    let users: Vec<Keypair> = (0..8).map(|i| Keypair::from_seed("bench", i)).collect();
+    let mk_store = || {
+        let mut g = GenesisBuilder::new()
+            .difficulty(U256::from_u64(1 << 16))
+            .timestamp(1_469_020_839);
+        for u in &users {
+            g = g.alloc(u.address(), ether(100_000));
+        }
+        let (genesis, state) = g.build();
+        ChainStore::new(ChainSpec::test(), genesis, state)
+    };
+
+    c.bench_function("chain/propose_import_8tx_block", |b| {
+        let mut store = mk_store();
+        let mut t = 1_469_020_839u64;
+        let mut round = 0u64;
+        b.iter(|| {
+            t += 14;
+            let txs: Vec<Transaction> = users
+                .iter()
+                .map(|u| {
+                    Transaction::transfer(
+                        u,
+                        round,
+                        Address([9; 20]),
+                        U256::ONE,
+                        U256::ONE,
+                        None,
+                    )
+                })
+                .collect();
+            round += 1;
+            let block = store.propose(Address([0xC0; 20]), t, vec![], &txs);
+            store.import(black_box(block)).unwrap()
+        })
+    });
+
+    c.bench_function("pow/seal_grind_wf4", |b| {
+        let header = fork_chain::Header {
+            number: 1,
+            difficulty: U256::from_u128(62_000_000_000_000),
+            timestamp: 1_469_020_839,
+            ..fork_chain::Header::default()
+        };
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce = nonce.wrapping_add(0x9E37_79B9);
+            fork_chain::pow::mine_seal(black_box(&header), 4, nonce)
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_keccak,
+    bench_rlp,
+    bench_u256,
+    bench_difficulty,
+    bench_signatures,
+    bench_evm,
+    bench_block_pipeline
+);
+criterion_main!(kernels);

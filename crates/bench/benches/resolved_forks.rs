@@ -1,0 +1,43 @@
+//! In-text T3 bench: the resolved forks' minority-branch lengths (paper: 86
+//! blocks for ETH's Nov 2016 fork, 3,583 for ETC's Jan 2017 fork).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fork_sim::resolved::{run, ResolvedForkConfig};
+
+fn resolved(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolved_forks");
+    group.sample_size(10);
+
+    group.bench_function("eth_dos_2016", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = run(&ResolvedForkConfig::eth_dos_2016(seed));
+            assert!(
+                (20..400).contains(&out.minority_branch_len),
+                "ETH branch {} (paper: 86)",
+                out.minority_branch_len
+            );
+            out
+        })
+    });
+
+    group.bench_function("etc_replay_2017", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = run(&ResolvedForkConfig::etc_replay_2017(seed));
+            assert!(
+                (1_200..9_000).contains(&out.minority_branch_len),
+                "ETC branch {} (paper: 3,583)",
+                out.minority_branch_len
+            );
+            out
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, resolved);
+criterion_main!(benches);

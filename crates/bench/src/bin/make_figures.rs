@@ -1,0 +1,167 @@
+//! Regenerates every figure and every in-text observation of the paper.
+//!
+//! ```sh
+//! cargo run --release -p fork-bench --bin make-figures -- all
+//! cargo run --release -p fork-bench --bin make-figures -- fig1 --days 31
+//! cargo run --release -p fork-bench --bin make-figures -- fig2 fig3 --days 280
+//! cargo run --release -p fork-bench --bin make-figures -- resolved obs
+//! ```
+//!
+//! Writes `figN.csv` / `figN.json` plus `observations.md` into `--out`
+//! (default `figures/`), and prints ASCII renderings.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use fork_core::{observations, ForkStudy, StudyResult};
+use fork_sim::resolved::{run as run_resolved, ResolvedForkConfig};
+
+struct Args {
+    targets: HashSet<String>,
+    days_short: u64,
+    days_long: u64,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut targets = HashSet::new();
+    let mut days_short = 31u64;
+    let mut days_long = 280u64;
+    let mut seed = 2016u64;
+    let mut out = PathBuf::from("figures");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--days" => {
+                let v: u64 = argv[i + 1].parse().expect("--days takes a number");
+                days_short = v.min(31);
+                days_long = v;
+                i += 1;
+            }
+            "--seed" => {
+                seed = argv[i + 1].parse().expect("--seed takes a number");
+                i += 1;
+            }
+            "--out" => {
+                out = PathBuf::from(&argv[i + 1]);
+                i += 1;
+            }
+            t => {
+                targets.insert(t.to_string());
+            }
+        }
+        i += 1;
+    }
+    if targets.is_empty() || targets.contains("all") {
+        for t in ["fig1", "fig2", "fig3", "fig4", "fig5", "obs", "resolved"] {
+            targets.insert(t.to_string());
+        }
+    }
+    Args {
+        targets,
+        days_short,
+        days_long,
+        seed,
+        out,
+    }
+}
+
+fn write_figure(out: &PathBuf, fig: &fork_core::FigureData) {
+    let series = fig.all_series();
+    let csv = out.join(format!("{}.csv", fig.id));
+    let json = out.join(format!("{}.json", fig.id));
+    fork_analytics::write_csv(&csv, &series).expect("write csv");
+    fork_analytics::write_json(&json, &series).expect("write json");
+    println!("{}", fig.render_ascii(76, 14));
+    println!("  -> {} and {}\n", csv.display(), json.display());
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    let wants = |t: &str| args.targets.contains(t);
+    let wants_short = wants("fig1");
+    let wants_long =
+        wants("fig2") || wants("fig3") || wants("fig4") || wants("fig5") || wants("obs");
+
+    let mut short_result: Option<StudyResult> = None;
+    let mut long_result: Option<StudyResult> = None;
+
+    if wants_short {
+        eprintln!(
+            "Running the fork-month window ({} days, seed {})...",
+            args.days_short, args.seed
+        );
+        let start = std::time::Instant::now();
+        short_result = Some(ForkStudy::days(args.seed, args.days_short).run());
+        eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+    if wants_long {
+        eprintln!(
+            "Running the nine-month window ({} days, seed {})...",
+            args.days_long, args.seed
+        );
+        let start = std::time::Instant::now();
+        long_result = Some(ForkStudy::days(args.seed, args.days_long).run());
+        eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+
+    if let Some(result) = &short_result {
+        if wants("fig1") {
+            write_figure(&args.out, &result.figure1());
+        }
+    }
+    if let Some(result) = &long_result {
+        if wants("fig2") {
+            write_figure(&args.out, &result.figure2());
+        }
+        if wants("fig3") {
+            write_figure(&args.out, &result.figure3());
+        }
+        if wants("fig4") {
+            write_figure(&args.out, &result.figure4());
+        }
+        if wants("fig5") {
+            write_figure(&args.out, &result.figure5());
+        }
+        if wants("obs") {
+            let mut report = observations::long_term(result);
+            if let Some(short) = &short_result {
+                // The fork-month run measures the short-term observations
+                // more sharply; replace the long run's copies of those rows.
+                let short_report = observations::short_term(short);
+                let n = short_report.observations.len();
+                report.observations.splice(0..n, short_report.observations);
+            }
+            let md = report.to_markdown();
+            println!("Observations (paper vs measured)\n{md}");
+            std::fs::write(args.out.join("observations.md"), &md).expect("write observations");
+            println!("  -> {}\n", args.out.join("observations.md").display());
+        }
+    }
+
+    if wants("resolved") {
+        println!("Resolved forks (in-text T3): minority-branch lengths\n");
+        let eth = run_resolved(&ResolvedForkConfig::eth_dos_2016(args.seed));
+        let etc = run_resolved(&ResolvedForkConfig::etc_replay_2017(args.seed));
+        let rows = vec![
+            vec![
+                "ETH 2016-11-22".to_string(),
+                "86 blocks".to_string(),
+                format!("{} blocks over {:.1} h", eth.minority_branch_len, eth.duration_secs / 3_600.0),
+            ],
+            vec![
+                "ETC 2017-01-13".to_string(),
+                "3,583 blocks".to_string(),
+                format!("{} blocks over {:.1} h", etc.minority_branch_len, etc.duration_secs / 3_600.0),
+            ],
+        ];
+        let md = fork_analytics::markdown_table(&["fork", "paper", "measured"], &rows);
+        println!("{md}");
+        std::fs::write(args.out.join("resolved_forks.md"), &md).expect("write resolved");
+        println!("  -> {}\n", args.out.join("resolved_forks.md").display());
+    }
+}

@@ -1,0 +1,42 @@
+//! # fork-bench
+//!
+//! Shared helpers for the figure-regeneration benches and the
+//! `make-figures` binary.
+//!
+//! Every figure of the paper has a criterion bench (`benches/figN_*.rs`)
+//! that regenerates its data series at a bench-friendly scale, and the
+//! `make-figures` binary that runs the paper-scale windows once and writes
+//! CSV/JSON plus ASCII renderings. Set `FORK_BENCH_DAYS` to stretch the
+//! bench windows toward paper scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fork_core::{ForkStudy, StudyResult};
+
+/// Days simulated by figure benches unless `FORK_BENCH_DAYS` overrides.
+pub const DEFAULT_BENCH_DAYS: u64 = 3;
+
+/// Reads the bench window length.
+pub fn bench_days() -> u64 {
+    std::env::var("FORK_BENCH_DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_BENCH_DAYS)
+}
+
+/// Runs the calibrated scenario for `days` and returns the result.
+pub fn run_days(seed: u64, days: u64) -> StudyResult {
+    ForkStudy::days(seed, days).run()
+}
+
+/// Quick sanity assertion helpers shared by benches: a named series must be
+/// non-empty.
+pub fn assert_series_nonempty(fig: &fork_core::FigureData) {
+    let any = fig
+        .panels
+        .iter()
+        .flat_map(|p| &p.series)
+        .any(|s| !s.is_empty());
+    assert!(any, "{} produced no data", fig.id);
+}

@@ -1,0 +1,117 @@
+//! Chain validation and import errors.
+
+use core::fmt;
+
+use fork_primitives::H256;
+
+/// Why a block or transaction was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing diagnostics
+pub enum ChainError {
+    /// The block's parent is not in the store (orphan — caller may buffer).
+    UnknownParent { parent: H256 },
+    /// Child number must be parent number + 1.
+    BadNumber { expected: u64, got: u64 },
+    /// `parent_hash` does not match the claimed parent.
+    BadParentHash,
+    /// Timestamp must strictly increase.
+    NonIncreasingTimestamp { parent: u64, got: u64 },
+    /// Difficulty field does not match the adjustment rule.
+    WrongDifficulty { expected: String, got: String },
+    /// Gas limit outside the permitted 1/1024 band or below the floor.
+    BadGasLimit { parent: u64, got: u64 },
+    /// `gas_used` exceeds `gas_limit`.
+    GasUsedExceedsLimit { used: u64, limit: u64 },
+    /// The proof-of-work seal does not verify.
+    InvalidSeal,
+    /// DAO fork extra-data rule violated — the mechanical cause of the
+    /// ETH/ETC partition.
+    DaoExtraDataViolation { number: u64 },
+    /// Header body commitments do not match the body.
+    BodyMismatch,
+    /// A transaction's signature does not recover a sender.
+    UnrecoverableSender { index: usize },
+    /// A transaction's nonce does not match the sender's account.
+    BadNonce {
+        index: usize,
+        expected: u64,
+        got: u64,
+    },
+    /// A transaction carries a chain id this chain does not accept (EIP-155
+    /// replay rejection).
+    WrongChainId { index: usize },
+    /// A transaction failed pre-execution validity (funds/intrinsic gas).
+    InvalidTransaction { index: usize, reason: String },
+    /// The block's cumulative gas exceeds its gas limit.
+    BlockGasExceeded,
+    /// Post-execution state root does not match the header.
+    StateRootMismatch { expected: H256, got: H256 },
+    /// Receipts root does not match the header.
+    ReceiptsRootMismatch,
+    /// Declared `gas_used` does not match execution.
+    GasUsedMismatch { declared: u64, actual: u64 },
+    /// A reorg reached past the retention window (simulation guard).
+    ReorgTooDeep { depth: usize, retention: usize },
+    /// An ommer header failed its checks.
+    BadOmmer { reason: &'static str },
+    /// Extra data over the 32-byte cap (DAO marker fits comfortably).
+    ExtraDataTooLong { len: usize },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownParent { parent } => write!(f, "unknown parent {parent}"),
+            Self::BadNumber { expected, got } => {
+                write!(f, "bad block number: expected {expected}, got {got}")
+            }
+            Self::BadParentHash => write!(f, "parent hash mismatch"),
+            Self::NonIncreasingTimestamp { parent, got } => {
+                write!(f, "timestamp {got} not after parent {parent}")
+            }
+            Self::WrongDifficulty { expected, got } => {
+                write!(f, "difficulty {got} != expected {expected}")
+            }
+            Self::BadGasLimit { parent, got } => {
+                write!(f, "gas limit {got} outside band around parent {parent}")
+            }
+            Self::GasUsedExceedsLimit { used, limit } => {
+                write!(f, "gas used {used} exceeds limit {limit}")
+            }
+            Self::InvalidSeal => write!(f, "invalid proof-of-work seal"),
+            Self::DaoExtraDataViolation { number } => {
+                write!(f, "DAO fork extra-data rule violated at block {number}")
+            }
+            Self::BodyMismatch => write!(f, "body does not match header commitments"),
+            Self::UnrecoverableSender { index } => {
+                write!(f, "transaction {index}: signature does not recover")
+            }
+            Self::BadNonce {
+                index,
+                expected,
+                got,
+            } => write!(f, "transaction {index}: nonce {got}, account at {expected}"),
+            Self::WrongChainId { index } => {
+                write!(f, "transaction {index}: chain id not accepted here")
+            }
+            Self::InvalidTransaction { index, reason } => {
+                write!(f, "transaction {index} invalid: {reason}")
+            }
+            Self::BlockGasExceeded => write!(f, "block gas limit exceeded"),
+            Self::StateRootMismatch { expected, got } => {
+                write!(f, "state root mismatch: header {expected}, computed {got}")
+            }
+            Self::ReceiptsRootMismatch => write!(f, "receipts root mismatch"),
+            Self::GasUsedMismatch { declared, actual } => {
+                write!(f, "gas used mismatch: declared {declared}, actual {actual}")
+            }
+            Self::ReorgTooDeep { depth, retention } => {
+                write!(f, "reorg depth {depth} exceeds retention {retention}")
+            }
+            Self::BadOmmer { reason } => write!(f, "bad ommer: {reason}"),
+            Self::ExtraDataTooLong { len } => write!(f, "extra data {len} bytes > 32"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}

@@ -1,0 +1,193 @@
+//! Block headers.
+
+use fork_crypto::keccak256;
+use fork_primitives::{Address, H256, U256};
+use fork_rlp::{expect_fields, Item, RlpError, RlpStream};
+
+/// A block header, structured after Ethereum's (minus the trie-specific
+/// fields this study never reads: logs bloom, uncle hash is kept).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Hash of the parent block.
+    pub parent_hash: H256,
+    /// Commitment to the ommer (uncle) headers in the body.
+    pub ommers_hash: H256,
+    /// The miner / pool payout address. The paper's Figure 5 is computed by
+    /// counting blocks per `beneficiary` per day.
+    pub beneficiary: Address,
+    /// Commitment to the post-state.
+    pub state_root: H256,
+    /// Commitment to the transaction list.
+    pub transactions_root: H256,
+    /// Commitment to the receipt list.
+    pub receipts_root: H256,
+    /// Block difficulty (expected hashes to seal).
+    pub difficulty: U256,
+    /// Height.
+    pub number: u64,
+    /// Gas ceiling for the block.
+    pub gas_limit: u64,
+    /// Gas consumed by the block's transactions.
+    pub gas_used: u64,
+    /// Unix timestamp chosen by the miner.
+    pub timestamp: u64,
+    /// Arbitrary miner bytes — carries the `dao-hard-fork` marker during the
+    /// fork window.
+    pub extra_data: Vec<u8>,
+    /// Proof-of-work seal nonce (see [`crate::pow`]).
+    pub nonce: u64,
+}
+
+impl Default for Header {
+    fn default() -> Self {
+        Header {
+            parent_hash: H256::ZERO,
+            ommers_hash: H256::ZERO,
+            beneficiary: Address::ZERO,
+            state_root: H256::ZERO,
+            transactions_root: H256::ZERO,
+            receipts_root: H256::ZERO,
+            difficulty: U256::ZERO,
+            number: 0,
+            gas_limit: 4_700_000,
+            gas_used: 0,
+            timestamp: 0,
+            extra_data: Vec::new(),
+            nonce: 0,
+        }
+    }
+}
+
+impl Header {
+    /// RLP of the header **without** the seal nonce — the preimage the
+    /// proof-of-work grinds over.
+    pub fn seal_preimage(&self) -> Vec<u8> {
+        fork_rlp::encode_list(|s| {
+            self.append_unsealed_fields(s);
+        })
+    }
+
+    /// Full RLP including the seal.
+    pub fn rlp(&self) -> Vec<u8> {
+        fork_rlp::encode_list(|s| {
+            self.append_unsealed_fields(s);
+            s.append_u64(self.nonce);
+        })
+    }
+
+    fn append_unsealed_fields(&self, s: &mut RlpStream) {
+        s.append_bytes(self.parent_hash.as_bytes());
+        s.append_bytes(self.ommers_hash.as_bytes());
+        s.append_bytes(self.beneficiary.as_bytes());
+        s.append_bytes(self.state_root.as_bytes());
+        s.append_bytes(self.transactions_root.as_bytes());
+        s.append_bytes(self.receipts_root.as_bytes());
+        s.append_u256(self.difficulty);
+        s.append_u64(self.number);
+        s.append_u64(self.gas_limit);
+        s.append_u64(self.gas_used);
+        s.append_u64(self.timestamp);
+        s.append_bytes(&self.extra_data);
+    }
+
+    /// The block hash: `keccak256(rlp(header))`.
+    pub fn hash(&self) -> H256 {
+        keccak256(&self.rlp())
+    }
+
+    /// Decodes a header from an RLP item.
+    pub fn decode(item: &Item<'_>) -> Result<Header, RlpError> {
+        let f = expect_fields(item, 13)?;
+        Ok(Header {
+            parent_hash: H256(f[0].as_array()?),
+            ommers_hash: H256(f[1].as_array()?),
+            beneficiary: Address(f[2].as_array()?),
+            state_root: H256(f[3].as_array()?),
+            transactions_root: H256(f[4].as_array()?),
+            receipts_root: H256(f[5].as_array()?),
+            difficulty: f[6].as_u256()?,
+            number: f[7].as_u64()?,
+            gas_limit: f[8].as_u64()?,
+            gas_used: f[9].as_u64()?,
+            timestamp: f[10].as_u64()?,
+            extra_data: f[11].bytes()?.to_vec(),
+            nonce: f[12].as_u64()?,
+        })
+    }
+
+    /// Decodes from raw bytes.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Header, RlpError> {
+        Self::decode(&fork_rlp::decode(bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header {
+            parent_hash: H256([1u8; 32]),
+            ommers_hash: H256([2u8; 32]),
+            beneficiary: Address([3u8; 20]),
+            state_root: H256([4u8; 32]),
+            transactions_root: H256([5u8; 32]),
+            receipts_root: H256([6u8; 32]),
+            difficulty: U256::from_u128(62_000_000_000_000),
+            number: 1_920_000,
+            gas_limit: 4_712_388,
+            gas_used: 1_000_000,
+            timestamp: fork_primitives::time::DAO_FORK_TIMESTAMP,
+            extra_data: b"dao-hard-fork".to_vec(),
+            nonce: 0xDEADBEEF,
+        }
+    }
+
+    #[test]
+    fn rlp_roundtrip() {
+        let h = sample();
+        let decoded = Header::decode_bytes(&h.rlp()).unwrap();
+        assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn hash_changes_with_any_field() {
+        let base = sample();
+        let mut variant = sample();
+        variant.timestamp += 1;
+        assert_ne!(base.hash(), variant.hash());
+        let mut variant = sample();
+        variant.extra_data = Vec::new();
+        assert_ne!(base.hash(), variant.hash());
+        let mut variant = sample();
+        variant.nonce += 1;
+        assert_ne!(base.hash(), variant.hash());
+    }
+
+    #[test]
+    fn seal_preimage_excludes_nonce() {
+        let mut a = sample();
+        let mut b = sample();
+        a.nonce = 1;
+        b.nonce = 2;
+        assert_eq!(a.seal_preimage(), b.seal_preimage());
+        assert_ne!(a.rlp(), b.rlp());
+    }
+
+    #[test]
+    fn truncated_rlp_rejected() {
+        let enc = sample().rlp();
+        assert!(Header::decode_bytes(&enc[..enc.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let enc = fork_rlp::encode_list(|s| {
+            s.append_u64(1);
+        });
+        assert!(matches!(
+            Header::decode_bytes(&enc),
+            Err(RlpError::WrongFieldCount { .. })
+        ));
+    }
+}

@@ -1,0 +1,270 @@
+//! Chain specifications — the protocol-rule sets whose disagreement *is* the
+//! network partition.
+//!
+//! A [`ChainSpec`] bundles everything a node needs to validate blocks and
+//! transactions: the difficulty rule, the DAO-fork stance, the EIP-150 gas
+//! repricing height, and the EIP-155 replay-protection height. Two specs that
+//! differ in [`DaoForkConfig::support`] will, from the fork block on, reject
+//! each other's blocks — producing exactly the ETH/ETC split the paper
+//! studies.
+
+use fork_primitives::{Address, ChainId};
+
+use crate::difficulty::{BombConfig, DifficultyConfig, DifficultyRule};
+
+/// The DAO fork block number on mainnet.
+pub const DAO_FORK_BLOCK: u64 = 1_920_000;
+/// ETH's EIP-150 ("DoS") fork height (2016-10-18; the paper's Nov 22 fork is
+/// the follow-up that also carried replay protection — see
+/// [`ChainSpec::eth`]).
+pub const ETH_EIP150_BLOCK: u64 = 2_463_000;
+/// ETH's Nov 22, 2016 fork height (state-clearing + EIP-155 replay ids).
+pub const ETH_REPLAY_FORK_BLOCK: u64 = 2_675_000;
+/// ETC's Jan 13, 2017 fork height (gas repricing + replay protection).
+pub const ETC_REPLAY_FORK_BLOCK: u64 = 3_000_000;
+
+/// The extra-data marker pro-fork blocks must carry in the 10 blocks starting
+/// at the fork (mirroring mainnet's `dao-hard-fork` marker).
+pub const DAO_EXTRA_DATA: &[u8] = b"dao-hard-fork";
+/// Number of blocks that must carry [`DAO_EXTRA_DATA`] from the fork block.
+pub const DAO_EXTRA_DATA_RANGE: u64 = 10;
+
+/// A chain's stance on the DAO hard fork.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaoForkConfig {
+    /// Activation block (1,920,000 on mainnet).
+    pub block: u64,
+    /// `true` = apply the irregular state change and require the extra-data
+    /// marker (ETH); `false` = reject marked blocks (ETC).
+    pub support: bool,
+    /// Accounts drained by the irregular state change (the DAO and its
+    /// children). Filled in by the scenario builder.
+    pub dao_accounts: Vec<Address>,
+    /// Where the drained balances go (the withdraw contract).
+    pub refund_address: Address,
+}
+
+/// Protocol rules for one network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// Human-readable name ("ETH", "ETC", …) used in reports.
+    pub name: &'static str,
+    /// The network id exchanged in the p2p Status handshake.
+    pub network_id: u64,
+    /// Difficulty adjustment configuration.
+    pub difficulty: DifficultyConfig,
+    /// DAO fork stance, if the chain has one scheduled.
+    pub dao_fork: Option<DaoForkConfig>,
+    /// Height at which the EIP-150 gas repricing activates (`None` = never).
+    pub eip150_block: Option<u64>,
+    /// Height at which EIP-155 replay protection activates, and the chain id
+    /// transactions may then carry.
+    pub eip155: Option<(u64, ChainId)>,
+    /// Block gas limit floor.
+    pub min_gas_limit: u64,
+    /// Verification hardness cap: expected number of hash evaluations a seal
+    /// grind costs, independent of the difficulty *field*. See
+    /// [`crate::pow`] for the substitution note.
+    pub pow_work_factor: u64,
+}
+
+impl ChainSpec {
+    /// Ethereum (pro-fork) mainnet rules, parameterized by the DAO accounts
+    /// the scenario allocated.
+    pub fn eth(dao_accounts: Vec<Address>, refund_address: Address) -> Self {
+        ChainSpec {
+            name: "ETH",
+            network_id: 1,
+            difficulty: DifficultyConfig::default(),
+            dao_fork: Some(DaoForkConfig {
+                block: DAO_FORK_BLOCK,
+                support: true,
+                dao_accounts,
+                refund_address,
+            }),
+            eip150_block: Some(ETH_EIP150_BLOCK),
+            eip155: Some((ETH_REPLAY_FORK_BLOCK, ChainId::ETH)),
+            min_gas_limit: 5_000,
+            pow_work_factor: 4,
+        }
+    }
+
+    /// Ethereum Classic (anti-fork) rules.
+    pub fn etc(dao_accounts: Vec<Address>, refund_address: Address) -> Self {
+        ChainSpec {
+            name: "ETC",
+            network_id: 1, // same network id pre-split — that is the problem
+            difficulty: DifficultyConfig {
+                rule: DifficultyRule::Homestead,
+                // ECIP-1010 froze the bomb; within the study window the term
+                // is negligible either way.
+                bomb: BombConfig::PausedAt {
+                    pause_block: ETC_REPLAY_FORK_BLOCK,
+                },
+                minimum: crate::difficulty::MIN_DIFFICULTY,
+            },
+            dao_fork: Some(DaoForkConfig {
+                block: DAO_FORK_BLOCK,
+                support: false,
+                dao_accounts,
+                refund_address,
+            }),
+            eip150_block: Some(ETC_REPLAY_FORK_BLOCK),
+            eip155: Some((ETC_REPLAY_FORK_BLOCK, ChainId::ETC)),
+            min_gas_limit: 5_000,
+            pow_work_factor: 4,
+        }
+    }
+
+    /// The shared pre-fork chain (used to build common history).
+    pub fn pre_fork() -> Self {
+        ChainSpec {
+            name: "pre-fork",
+            network_id: 1,
+            difficulty: DifficultyConfig::default(),
+            dao_fork: None,
+            eip150_block: None,
+            eip155: None,
+            min_gas_limit: 5_000,
+            pow_work_factor: 4,
+        }
+    }
+
+    /// A small-scale spec for unit tests: low difficulty floor, no forks.
+    pub fn test() -> Self {
+        ChainSpec {
+            name: "test",
+            network_id: 99,
+            difficulty: DifficultyConfig {
+                rule: DifficultyRule::Homestead,
+                bomb: BombConfig::Disabled,
+                minimum: 16,
+            },
+            dao_fork: None,
+            eip150_block: None,
+            eip155: None,
+            min_gas_limit: 5_000,
+            pow_work_factor: 2,
+        }
+    }
+
+    /// The gas schedule in force at `number`.
+    pub fn gas_schedule(&self, number: u64) -> fork_evm::GasSchedule {
+        match self.eip150_block {
+            Some(b) if number >= b => fork_evm::GasSchedule::eip150(),
+            _ => fork_evm::GasSchedule::frontier(),
+        }
+    }
+
+    /// Whether a transaction carrying `chain_id` is acceptable at `number`.
+    ///
+    /// Legacy (no chain id) transactions are always acceptable — this is the
+    /// backwards compatibility that keeps the replay channel open (Fig 4)
+    /// even after EIP-155 ships.
+    pub fn accepts_chain_id(&self, tx_chain_id: Option<ChainId>, number: u64) -> bool {
+        match tx_chain_id {
+            None => true,
+            Some(id) => match self.eip155 {
+                Some((activation, ours)) => number >= activation && id == ours,
+                None => false,
+            },
+        }
+    }
+
+    /// Whether blocks at `number` must / must not carry the DAO marker, and
+    /// the marker check itself.
+    pub fn dao_extra_data_ok(&self, number: u64, extra_data: &[u8]) -> bool {
+        let Some(dao) = &self.dao_fork else {
+            return true;
+        };
+        let in_range = number >= dao.block && number < dao.block + DAO_EXTRA_DATA_RANGE;
+        if !in_range {
+            return true;
+        }
+        if dao.support {
+            extra_data == DAO_EXTRA_DATA
+        } else {
+            extra_data != DAO_EXTRA_DATA
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> (ChainSpec, ChainSpec) {
+        let dao = vec![Address([0xDA; 20])];
+        let refund = Address([0xFD; 20]);
+        (ChainSpec::eth(dao.clone(), refund), ChainSpec::etc(dao, refund))
+    }
+
+    #[test]
+    fn dao_marker_disagreement_is_the_partition() {
+        let (eth, etc) = specs();
+        let n = DAO_FORK_BLOCK;
+        // A pro-fork block (marker present): ETH accepts, ETC rejects.
+        assert!(eth.dao_extra_data_ok(n, DAO_EXTRA_DATA));
+        assert!(!etc.dao_extra_data_ok(n, DAO_EXTRA_DATA));
+        // An anti-fork block: ETC accepts, ETH rejects.
+        assert!(!eth.dao_extra_data_ok(n, b""));
+        assert!(etc.dao_extra_data_ok(n, b""));
+    }
+
+    #[test]
+    fn marker_required_for_exactly_ten_blocks() {
+        let (eth, _) = specs();
+        assert!(eth.dao_extra_data_ok(DAO_FORK_BLOCK - 1, b""));
+        assert!(!eth.dao_extra_data_ok(DAO_FORK_BLOCK + 9, b""));
+        assert!(eth.dao_extra_data_ok(DAO_FORK_BLOCK + 10, b""));
+    }
+
+    #[test]
+    fn pre_fork_spec_has_no_marker_rule() {
+        let pre = ChainSpec::pre_fork();
+        assert!(pre.dao_extra_data_ok(DAO_FORK_BLOCK, b"anything"));
+    }
+
+    #[test]
+    fn legacy_transactions_always_accepted() {
+        let (eth, etc) = specs();
+        for n in [0, DAO_FORK_BLOCK, ETH_REPLAY_FORK_BLOCK, 10_000_000] {
+            assert!(eth.accepts_chain_id(None, n));
+            assert!(etc.accepts_chain_id(None, n));
+        }
+    }
+
+    #[test]
+    fn eip155_ids_are_chain_exclusive_after_activation() {
+        let (eth, etc) = specs();
+        // Before activation nobody accepts ids.
+        assert!(!eth.accepts_chain_id(Some(ChainId::ETH), ETH_REPLAY_FORK_BLOCK - 1));
+        // After activation: own id only.
+        assert!(eth.accepts_chain_id(Some(ChainId::ETH), ETH_REPLAY_FORK_BLOCK));
+        assert!(!eth.accepts_chain_id(Some(ChainId::ETC), 10_000_000));
+        assert!(etc.accepts_chain_id(Some(ChainId::ETC), ETC_REPLAY_FORK_BLOCK));
+        assert!(!etc.accepts_chain_id(Some(ChainId::ETH), 10_000_000));
+    }
+
+    #[test]
+    fn gas_schedule_switches_at_repricing_fork() {
+        let (eth, etc) = specs();
+        assert_eq!(
+            eth.gas_schedule(ETH_EIP150_BLOCK - 1),
+            fork_evm::GasSchedule::frontier()
+        );
+        assert_eq!(
+            eth.gas_schedule(ETH_EIP150_BLOCK),
+            fork_evm::GasSchedule::eip150()
+        );
+        // ETC repriced only in January 2017.
+        assert_eq!(
+            etc.gas_schedule(ETH_EIP150_BLOCK),
+            fork_evm::GasSchedule::frontier()
+        );
+        assert_eq!(
+            etc.gas_schedule(ETC_REPLAY_FORK_BLOCK),
+            fork_evm::GasSchedule::eip150()
+        );
+    }
+}

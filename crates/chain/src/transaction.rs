@@ -1,0 +1,415 @@
+//! Transactions, including EIP-155 replay protection.
+//!
+//! The replay ("echo") attack of the paper's Figure 4 lives exactly here: a
+//! *legacy* transaction's signing hash contains no chain identifier, so the
+//! identical signed bytes are valid on every chain that shares the sender's
+//! account state — which ETH and ETC did from birth. An *EIP-155* transaction
+//! folds the chain id into the signed hash; replaying it on the other chain
+//! changes the signing hash and the signature no longer recovers.
+
+use fork_crypto::{keccak256, Keypair, Signature};
+use fork_primitives::{Address, ChainId, H256, U256};
+use fork_rlp::{expect_fields, Item, RlpError, RlpStream};
+
+/// A signed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Sender's account nonce.
+    pub nonce: u64,
+    /// Wei per unit of gas.
+    pub gas_price: U256,
+    /// Gas allowance.
+    pub gas_limit: u64,
+    /// Recipient; `None` creates a contract.
+    pub to: Option<Address>,
+    /// Wei transferred.
+    pub value: U256,
+    /// Call data or init code.
+    pub data: Vec<u8>,
+    /// EIP-155 chain id; `None` for legacy (replayable) transactions.
+    pub chain_id: Option<ChainId>,
+    /// Recoverable signature over [`Transaction::signing_hash`].
+    pub signature: Signature,
+}
+
+/// A mempool entry: a transaction with its identity precomputed once.
+///
+/// Block producers touch every mempool entry on every block; recomputing the
+/// hash (one Keccak) and recovering the sender (two more) per touch
+/// dominated simulation profiles, so pools carry them cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PooledTx {
+    /// The transaction.
+    pub tx: Transaction,
+    /// Cached `tx.hash()`.
+    pub hash: H256,
+    /// Cached `tx.sender()` (`None` for unrecoverable signatures).
+    pub sender: Option<Address>,
+}
+
+impl From<Transaction> for PooledTx {
+    fn from(tx: Transaction) -> Self {
+        PooledTx {
+            hash: tx.hash(),
+            sender: tx.sender(),
+            tx,
+        }
+    }
+}
+
+impl Transaction {
+    /// The hash that gets signed. Legacy: six fields. EIP-155: six fields
+    /// plus `(chain_id, 0, 0)`, exactly mirroring the real scheme's domain
+    /// separation.
+    pub fn signing_hash(
+        nonce: u64,
+        gas_price: U256,
+        gas_limit: u64,
+        to: Option<Address>,
+        value: U256,
+        data: &[u8],
+        chain_id: Option<ChainId>,
+    ) -> H256 {
+        let rlp = fork_rlp::encode_list(|s| {
+            append_core_fields(s, nonce, gas_price, gas_limit, to, value, data);
+            if let Some(id) = chain_id {
+                s.append_u64(id.0);
+                s.append_u64(0);
+                s.append_u64(0);
+            }
+        });
+        keccak256(&rlp)
+    }
+
+    /// Signs and assembles a transaction.
+    #[allow(clippy::too_many_arguments)] // transaction fields are what they are
+    pub fn sign(
+        keypair: &Keypair,
+        nonce: u64,
+        gas_price: U256,
+        gas_limit: u64,
+        to: Option<Address>,
+        value: U256,
+        data: Vec<u8>,
+        chain_id: Option<ChainId>,
+    ) -> Transaction {
+        let hash = Self::signing_hash(nonce, gas_price, gas_limit, to, value, &data, chain_id);
+        Transaction {
+            nonce,
+            gas_price,
+            gas_limit,
+            to,
+            value,
+            data,
+            chain_id,
+            signature: keypair.sign(hash),
+        }
+    }
+
+    /// Convenience: a signed plain value transfer.
+    pub fn transfer(
+        keypair: &Keypair,
+        nonce: u64,
+        to: Address,
+        value: U256,
+        gas_price: U256,
+        chain_id: Option<ChainId>,
+    ) -> Transaction {
+        Self::sign(
+            keypair,
+            nonce,
+            gas_price,
+            21_000,
+            Some(to),
+            value,
+            Vec::new(),
+            chain_id,
+        )
+    }
+
+    /// This transaction's signing hash (for verification).
+    pub fn my_signing_hash(&self) -> H256 {
+        Self::signing_hash(
+            self.nonce,
+            self.gas_price,
+            self.gas_limit,
+            self.to,
+            self.value,
+            &self.data,
+            self.chain_id,
+        )
+    }
+
+    /// Recovers the sender, or `None` if the signature does not match —
+    /// which is how a cross-chain replay of an EIP-155 transaction fails.
+    pub fn sender(&self) -> Option<Address> {
+        self.signature.recover(self.my_signing_hash())
+    }
+
+    /// True when the transaction calls a contract or deploys one (the paper's
+    /// "contract transaction" category in Figure 2, bottom), given whether
+    /// the recipient has code.
+    pub fn is_contract_interaction(&self, recipient_has_code: bool) -> bool {
+        self.to.is_none() || recipient_has_code || !self.data.is_empty()
+    }
+
+    /// Canonical RLP of the signed transaction.
+    pub fn rlp(&self) -> Vec<u8> {
+        fork_rlp::encode_list(|s| {
+            append_core_fields(
+                s,
+                self.nonce,
+                self.gas_price,
+                self.gas_limit,
+                self.to,
+                self.value,
+                &self.data,
+            );
+            match self.chain_id {
+                Some(id) => s.append_u64(id.0),
+                None => s.append_bytes(&[]),
+            };
+            s.append_bytes(&self.signature.to_bytes());
+        })
+    }
+
+    /// The transaction hash: `keccak256(rlp(tx))`. A replayed transaction is
+    /// byte-identical on both chains, so its hash matches across ledgers —
+    /// the identity the paper's echo detection relies on.
+    pub fn hash(&self) -> H256 {
+        keccak256(&self.rlp())
+    }
+
+    /// Decodes from an RLP item.
+    pub fn decode(item: &Item<'_>) -> Result<Transaction, RlpError> {
+        let f = expect_fields(item, 8)?;
+        let to_bytes = f[3].bytes()?;
+        let to = match to_bytes.len() {
+            0 => None,
+            20 => {
+                let mut a = [0u8; 20];
+                a.copy_from_slice(to_bytes);
+                Some(Address(a))
+            }
+            n => {
+                return Err(RlpError::WrongLength {
+                    expected: 20,
+                    got: n,
+                })
+            }
+        };
+        let chain_id_bytes = f[6].bytes()?;
+        let chain_id = if chain_id_bytes.is_empty() {
+            None
+        } else {
+            Some(ChainId(f[6].as_u64()?))
+        };
+        let sig_bytes: [u8; 96] = f[7].as_array()?;
+        let signature = Signature::from_bytes(&sig_bytes).ok_or(RlpError::WrongLength {
+            expected: 96,
+            got: sig_bytes.len(),
+        })?;
+        Ok(Transaction {
+            nonce: f[0].as_u64()?,
+            gas_price: f[1].as_u256()?,
+            gas_limit: f[2].as_u64()?,
+            to,
+            value: f[4].as_u256()?,
+            data: f[5].bytes()?.to_vec(),
+            chain_id,
+            signature,
+        })
+    }
+
+    /// Decodes from raw bytes.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Transaction, RlpError> {
+        Self::decode(&fork_rlp::decode(bytes)?)
+    }
+}
+
+fn append_core_fields(
+    s: &mut RlpStream,
+    nonce: u64,
+    gas_price: U256,
+    gas_limit: u64,
+    to: Option<Address>,
+    value: U256,
+    data: &[u8],
+) {
+    s.append_u64(nonce);
+    s.append_u256(gas_price);
+    s.append_u64(gas_limit);
+    match to {
+        Some(a) => s.append_bytes(a.as_bytes()),
+        None => s.append_bytes(&[]),
+    };
+    s.append_u256(value);
+    s.append_bytes(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> Keypair {
+        Keypair::from_seed("alice", 0)
+    }
+
+    fn sample(chain_id: Option<ChainId>) -> Transaction {
+        Transaction::transfer(
+            &alice(),
+            7,
+            Address([9u8; 20]),
+            U256::from_u64(1_000),
+            U256::from_u64(20),
+            chain_id,
+        )
+    }
+
+    #[test]
+    fn sender_recovers() {
+        let tx = sample(None);
+        assert_eq!(tx.sender(), Some(alice().address()));
+    }
+
+    #[test]
+    fn rlp_roundtrip_legacy_and_eip155() {
+        for chain_id in [None, Some(ChainId::ETH), Some(ChainId::ETC)] {
+            let tx = sample(chain_id);
+            let back = Transaction::decode_bytes(&tx.rlp()).unwrap();
+            assert_eq!(back, tx);
+            assert_eq!(back.hash(), tx.hash());
+            assert_eq!(back.sender(), Some(alice().address()));
+        }
+    }
+
+    #[test]
+    fn legacy_tx_is_chain_agnostic() {
+        // The signing hash of a legacy tx contains no chain information:
+        // identical bytes validate anywhere. This is Figure 4's mechanism.
+        let tx = sample(None);
+        let replayed = Transaction::decode_bytes(&tx.rlp()).unwrap();
+        assert_eq!(replayed.sender(), Some(alice().address()));
+        assert_eq!(replayed.hash(), tx.hash());
+    }
+
+    #[test]
+    fn eip155_signing_hashes_differ_per_chain() {
+        let h_eth = Transaction::signing_hash(
+            0,
+            U256::ONE,
+            21_000,
+            Some(Address([1; 20])),
+            U256::ONE,
+            &[],
+            Some(ChainId::ETH),
+        );
+        let h_etc = Transaction::signing_hash(
+            0,
+            U256::ONE,
+            21_000,
+            Some(Address([1; 20])),
+            U256::ONE,
+            &[],
+            Some(ChainId::ETC),
+        );
+        let h_legacy = Transaction::signing_hash(
+            0,
+            U256::ONE,
+            21_000,
+            Some(Address([1; 20])),
+            U256::ONE,
+            &[],
+            None,
+        );
+        assert_ne!(h_eth, h_etc);
+        assert_ne!(h_eth, h_legacy);
+        assert_ne!(h_etc, h_legacy);
+    }
+
+    #[test]
+    fn tampered_chain_id_breaks_recovery() {
+        // Take an EIP-155 ETH transaction and relabel it for ETC: the
+        // signature no longer recovers — replay protection in action.
+        let mut tx = sample(Some(ChainId::ETH));
+        assert!(tx.sender().is_some());
+        tx.chain_id = Some(ChainId::ETC);
+        assert_eq!(tx.sender(), None);
+    }
+
+    #[test]
+    fn tampered_value_breaks_recovery() {
+        let mut tx = sample(None);
+        tx.value = U256::from_u64(999_999);
+        assert_eq!(tx.sender(), None);
+    }
+
+    #[test]
+    fn create_transaction_roundtrip() {
+        let tx = Transaction::sign(
+            &alice(),
+            0,
+            U256::ONE,
+            100_000,
+            None,
+            U256::ZERO,
+            vec![0x60, 0x00],
+            None,
+        );
+        let back = Transaction::decode_bytes(&tx.rlp()).unwrap();
+        assert_eq!(back.to, None);
+        assert_eq!(back.data, vec![0x60, 0x00]);
+        assert_eq!(back.sender(), Some(alice().address()));
+    }
+
+    #[test]
+    fn contract_interaction_classification() {
+        let plain = sample(None);
+        assert!(!plain.is_contract_interaction(false));
+        assert!(plain.is_contract_interaction(true));
+        let create = Transaction::sign(
+            &alice(),
+            0,
+            U256::ONE,
+            100_000,
+            None,
+            U256::ZERO,
+            vec![],
+            None,
+        );
+        assert!(create.is_contract_interaction(false));
+        let with_data = Transaction::sign(
+            &alice(),
+            0,
+            U256::ONE,
+            100_000,
+            Some(Address([2; 20])),
+            U256::ZERO,
+            vec![1],
+            None,
+        );
+        assert!(with_data.is_contract_interaction(false));
+    }
+
+    #[test]
+    fn bad_to_length_rejected() {
+        let tx = sample(None);
+        let mut raw = tx.rlp();
+        // Corrupt: find the 20-byte to-address marker (0x94) and shrink it.
+        // Simpler: decode-modify-encode is not possible; just check a
+        // hand-built item with a 19-byte "to".
+        let bad = fork_rlp::encode_list(|s| {
+            s.append_u64(0);
+            s.append_u256(U256::ONE);
+            s.append_u64(21_000);
+            s.append_bytes(&[1u8; 19]); // wrong length
+            s.append_u256(U256::ONE);
+            s.append_bytes(&[]);
+            s.append_bytes(&[]);
+            s.append_bytes(&tx.signature.to_bytes());
+        });
+        assert!(Transaction::decode_bytes(&bad).is_err());
+        raw.pop();
+        assert!(Transaction::decode_bytes(&raw).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Header validation against a parent and a [`ChainSpec`].
+//!
+//! The DAO extra-data check in [`validate_header`] is the precise mechanism
+//! of the paper's partition: after block 1,920,000 a pro-fork node rejects
+//! every anti-fork block (missing marker) and vice versa, so the two miner
+//! populations can no longer extend each other's chains.
+
+use crate::error::ChainError;
+use crate::header::Header;
+use crate::pow::check_seal;
+use crate::spec::ChainSpec;
+
+/// Maximum extra-data length (yellow paper: 32 bytes).
+pub const MAX_EXTRA_DATA: usize = 32;
+
+/// Gas-limit elasticity divisor: each block may move its limit by at most
+/// `parent.gas_limit / 1024`.
+pub const GAS_LIMIT_BOUND_DIVISOR: u64 = 1024;
+
+/// Validates `header` as a child of `parent` under `spec`.
+pub fn validate_header(
+    spec: &ChainSpec,
+    header: &Header,
+    parent: &Header,
+) -> Result<(), ChainError> {
+    if header.number != parent.number + 1 {
+        return Err(ChainError::BadNumber {
+            expected: parent.number + 1,
+            got: header.number,
+        });
+    }
+    if header.parent_hash != parent.hash() {
+        return Err(ChainError::BadParentHash);
+    }
+    if header.timestamp <= parent.timestamp {
+        return Err(ChainError::NonIncreasingTimestamp {
+            parent: parent.timestamp,
+            got: header.timestamp,
+        });
+    }
+    if header.extra_data.len() > MAX_EXTRA_DATA {
+        return Err(ChainError::ExtraDataTooLong {
+            len: header.extra_data.len(),
+        });
+    }
+
+    let expected_difficulty = spec.difficulty.next_difficulty(
+        parent.difficulty,
+        parent.timestamp,
+        header.timestamp,
+        header.number,
+    );
+    if header.difficulty != expected_difficulty {
+        return Err(ChainError::WrongDifficulty {
+            expected: expected_difficulty.to_dec_string(),
+            got: header.difficulty.to_dec_string(),
+        });
+    }
+
+    let bound = parent.gas_limit / GAS_LIMIT_BOUND_DIVISOR;
+    let low = parent.gas_limit.saturating_sub(bound).max(spec.min_gas_limit);
+    let high = parent.gas_limit.saturating_add(bound);
+    if header.gas_limit < low || header.gas_limit > high {
+        return Err(ChainError::BadGasLimit {
+            parent: parent.gas_limit,
+            got: header.gas_limit,
+        });
+    }
+    if header.gas_used > header.gas_limit {
+        return Err(ChainError::GasUsedExceedsLimit {
+            used: header.gas_used,
+            limit: header.gas_limit,
+        });
+    }
+
+    if !spec.dao_extra_data_ok(header.number, &header.extra_data) {
+        return Err(ChainError::DaoExtraDataViolation {
+            number: header.number,
+        });
+    }
+
+    if !check_seal(header, spec.pow_work_factor) {
+        return Err(ChainError::InvalidSeal);
+    }
+
+    Ok(())
+}
+
+/// Validates the ommers of a block: at most two, valid seals, numbers within
+/// the 7-generation window, and not the block's own parent.
+pub fn validate_ommers(
+    spec: &ChainSpec,
+    header: &Header,
+    ommers: &[Header],
+) -> Result<(), ChainError> {
+    if ommers.len() > 2 {
+        return Err(ChainError::BadOmmer {
+            reason: "more than two ommers",
+        });
+    }
+    for ommer in ommers {
+        if ommer.number >= header.number {
+            return Err(ChainError::BadOmmer {
+                reason: "ommer not older than block",
+            });
+        }
+        if header.number - ommer.number > 7 {
+            return Err(ChainError::BadOmmer {
+                reason: "ommer older than seven generations",
+            });
+        }
+        if ommer.hash() == header.parent_hash {
+            return Err(ChainError::BadOmmer {
+                reason: "ommer is the direct parent",
+            });
+        }
+        if !check_seal(ommer, spec.pow_work_factor) {
+            return Err(ChainError::BadOmmer {
+                reason: "ommer seal invalid",
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pow::seal;
+    use crate::spec::{DAO_EXTRA_DATA, DAO_FORK_BLOCK};
+    use fork_primitives::{Address, U256};
+
+    fn spec() -> ChainSpec {
+        ChainSpec::test()
+    }
+
+    fn parent() -> Header {
+        let mut h = Header {
+            number: 99,
+            timestamp: 1_000_000,
+            difficulty: U256::from_u64(1_000_000),
+            gas_limit: 4_700_000,
+            ..Header::default()
+        };
+        seal(&mut h, spec().pow_work_factor, 0);
+        h
+    }
+
+    fn valid_child(parent: &Header) -> Header {
+        let timestamp = parent.timestamp + 14;
+        let mut h = Header {
+            parent_hash: parent.hash(),
+            number: parent.number + 1,
+            timestamp,
+            difficulty: spec().difficulty.next_difficulty(
+                parent.difficulty,
+                parent.timestamp,
+                timestamp,
+                parent.number + 1,
+            ),
+            gas_limit: parent.gas_limit,
+            ..Header::default()
+        };
+        seal(&mut h, spec().pow_work_factor, 7);
+        h
+    }
+
+    #[test]
+    fn valid_child_passes() {
+        let p = parent();
+        let c = valid_child(&p);
+        validate_header(&spec(), &c, &p).unwrap();
+    }
+
+    #[test]
+    fn each_field_violation_caught() {
+        let p = parent();
+
+        let mut c = valid_child(&p);
+        c.number += 1;
+        assert!(matches!(
+            validate_header(&spec(), &c, &p),
+            Err(ChainError::BadNumber { .. })
+        ));
+
+        let mut c = valid_child(&p);
+        c.parent_hash = fork_primitives::H256([9; 32]);
+        assert!(matches!(
+            validate_header(&spec(), &c, &p),
+            Err(ChainError::BadParentHash)
+        ));
+
+        let mut c = valid_child(&p);
+        c.timestamp = p.timestamp;
+        assert!(matches!(
+            validate_header(&spec(), &c, &p),
+            Err(ChainError::NonIncreasingTimestamp { .. })
+        ));
+
+        let mut c = valid_child(&p);
+        c.difficulty = c.difficulty + U256::ONE;
+        assert!(matches!(
+            validate_header(&spec(), &c, &p),
+            Err(ChainError::WrongDifficulty { .. })
+        ));
+
+        let mut c = valid_child(&p);
+        c.gas_limit = p.gas_limit * 2;
+        assert!(matches!(
+            validate_header(&spec(), &c, &p),
+            Err(ChainError::BadGasLimit { .. })
+        ));
+
+        let mut c = valid_child(&p);
+        c.gas_used = c.gas_limit + 1;
+        assert!(matches!(
+            validate_header(&spec(), &c, &p),
+            Err(ChainError::GasUsedExceedsLimit { .. })
+        ));
+
+        let mut c = valid_child(&p);
+        c.extra_data = vec![0u8; 33];
+        assert!(matches!(
+            validate_header(&spec(), &c, &p),
+            Err(ChainError::ExtraDataTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn unsealed_header_rejected() {
+        let p = parent();
+        let mut c = valid_child(&p);
+        // Raise the work factor so an arbitrary nonce almost surely fails.
+        let mut strict = spec();
+        strict.pow_work_factor = 1 << 20;
+        c.nonce = 0xBAD;
+        assert!(matches!(
+            validate_header(&strict, &c, &p),
+            Err(ChainError::InvalidSeal)
+        ));
+    }
+
+    #[test]
+    fn dao_partition_cross_rejection() {
+        // Build ETH and ETC specs over a test-scale difficulty config so the
+        // same parent works for both.
+        let dao = vec![Address([0xDA; 20])];
+        let refund = Address([0xFD; 20]);
+        let mut eth = ChainSpec::eth(dao.clone(), refund);
+        let mut etc = ChainSpec::etc(dao, refund);
+        eth.difficulty = spec().difficulty;
+        etc.difficulty = spec().difficulty;
+        eth.pow_work_factor = 2;
+        etc.pow_work_factor = 2;
+
+        let mut p = parent();
+        p.number = DAO_FORK_BLOCK - 1;
+        seal(&mut p, 2, 0);
+
+        // Pro-fork block: carries the marker.
+        let mut pro = valid_child(&p);
+        pro.number = DAO_FORK_BLOCK;
+        pro.extra_data = DAO_EXTRA_DATA.to_vec();
+        seal(&mut pro, 2, 0);
+        // Anti-fork block: no marker.
+        let mut anti = valid_child(&p);
+        anti.number = DAO_FORK_BLOCK;
+        seal(&mut anti, 2, 0);
+
+        assert!(validate_header(&eth, &pro, &p).is_ok());
+        assert!(matches!(
+            validate_header(&etc, &pro, &p),
+            Err(ChainError::DaoExtraDataViolation { .. })
+        ));
+        assert!(validate_header(&etc, &anti, &p).is_ok());
+        assert!(matches!(
+            validate_header(&eth, &anti, &p),
+            Err(ChainError::DaoExtraDataViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn ommer_rules() {
+        let s = spec();
+        let mut block = parent();
+        block.number = 100;
+
+        let mut good = Header {
+            number: 95,
+            ..Header::default()
+        };
+        seal(&mut good, s.pow_work_factor, 3);
+        validate_ommers(&s, &block, &[good.clone()]).unwrap();
+
+        let too_old = Header {
+            number: 92,
+            ..Header::default()
+        };
+        assert!(validate_ommers(&s, &block, &[too_old]).is_err());
+
+        let too_new = Header {
+            number: 100,
+            ..Header::default()
+        };
+        assert!(validate_ommers(&s, &block, &[too_new]).is_err());
+
+        let three = vec![good.clone(), good.clone(), good];
+        assert!(validate_ommers(&s, &block, &three).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Human-readable study reports.
+
+use crate::observations::ObservationReport;
+use crate::study::StudyResult;
+use fork_replay::Side;
+
+/// Renders the run-level summary: counts, heads, echo totals.
+pub fn summary_text(result: &StudyResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Study window: {} .. {}\n",
+        result.start, result.end
+    ));
+    for (i, side) in [Side::Eth, Side::Etc].into_iter().enumerate() {
+        let (blocks, txs, ommers) = result.pipeline.totals(side);
+        out.push_str(&format!(
+            "{}: {} blocks, {} transactions, {} ommers, final difficulty {:.3e}, \
+             {} echoes received\n",
+            side.label(),
+            blocks,
+            txs,
+            ommers,
+            result.summary.final_difficulty[i].to_f64_lossy(),
+            result.pipeline.total_echoes(side),
+        ));
+    }
+    out.push_str(&format!(
+        "replay pushes attempted: {}\n",
+        result.summary.replay_pushes
+    ));
+    out
+}
+
+/// Renders the full report: summary, observations, and every figure as an
+/// ASCII chart.
+pub fn full_report(result: &StudyResult, observations: &ObservationReport) -> String {
+    let mut out = String::new();
+    out.push_str("STICK A FORK IN IT — reproduction run report\n");
+    out.push_str("============================================\n\n");
+    out.push_str(&summary_text(result));
+    out.push('\n');
+    out.push_str("Observations (paper vs measured)\n");
+    out.push_str(&observations.to_markdown());
+    out.push('\n');
+    for fig in result.all_figures() {
+        out.push_str(&fig.render_ascii(72, 12));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::ForkStudy;
+
+    #[test]
+    fn report_renders_end_to_end() {
+        let result = ForkStudy::quick(3).run();
+        let obs = crate::observations::short_term(&result);
+        let text = full_report(&result, &obs);
+        assert!(text.contains("ETH:"));
+        assert!(text.contains("ETC:"));
+        assert!(text.contains("fig1"));
+        assert!(text.contains("fig5"));
+        assert!(text.contains("| id | paper | measured | match |"));
+    }
+}

@@ -1,0 +1,310 @@
+//! The headline API: configure, run, extract figures.
+
+use fork_analytics::Pipeline;
+use fork_market::PriceSeries;
+use fork_primitives::SimTime;
+use fork_replay::Side;
+use fork_sim::scenario;
+use fork_sim::{MesoConfig, RunSummary, SimRng, TwoChainEngine};
+
+use crate::figures::{FigureData, FigurePanel};
+
+/// A configured fork study, ready to run.
+///
+/// ```
+/// use fork_core::ForkStudy;
+/// // A fast, test-scale run (seconds); use `fork_month`/`nine_months`
+/// // for the paper-scale experiments.
+/// let result = ForkStudy::quick(42).run();
+/// let fig1 = result.figure1();
+/// assert_eq!(fig1.panels.len(), 3);
+/// ```
+pub struct ForkStudy {
+    config: MesoConfig,
+    seed: u64,
+}
+
+impl ForkStudy {
+    /// The Figure 1 window: one month after the fork, full difficulty scale.
+    pub fn fork_month(seed: u64) -> Self {
+        ForkStudy {
+            config: scenario::fork_month(seed),
+            seed,
+        }
+    }
+
+    /// The full nine-month study window (Figures 2–5).
+    pub fn nine_months(seed: u64) -> Self {
+        ForkStudy {
+            config: scenario::nine_months(seed),
+            seed,
+        }
+    }
+
+    /// A custom window of `days` on the calibrated scenario.
+    pub fn days(seed: u64, days: u64) -> Self {
+        ForkStudy {
+            config: scenario::dao_scenario(seed, days),
+            seed,
+        }
+    }
+
+    /// A down-scaled configuration for tests and doc examples: the full
+    /// mechanism at toy difficulty over a few simulated hours.
+    pub fn quick(seed: u64) -> Self {
+        let mut config = scenario::dao_scenario(seed, 17);
+        config.end = config.start.plus_secs(6 * 3_600);
+        // Shrink difficulty and hashrate together (operating point ~14 s),
+        // staying above the protocol's 131,072 difficulty floor.
+        config.genesis_difficulty = fork_primitives::U256::from_u64(1_400_000);
+        let scale_series = |s: &fork_sim::StepSeries| {
+            fork_sim::StepSeries::from_knots(
+                s.knots()
+                    .iter()
+                    .map(|(t, v)| (*t, v / 4.4e7))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        config.eth.hashrate = scale_series(&config.eth.hashrate);
+        // Soften ETC's collapse to 8% (instead of 0.5%) so the toy window
+        // still produces ETC blocks — the echo and pool mechanisms need an
+        // ETC ledger to land in. The paper-scale presets keep the real
+        // near-total collapse.
+        let etc_level = config.eth.hashrate.at(config.start) * 0.08;
+        config.etc.hashrate = fork_sim::StepSeries::constant(etc_level);
+        config.users = 60;
+        config.retention = 32;
+        ForkStudy { config, seed }
+    }
+
+    /// Direct access to the underlying configuration (ablation benches
+    /// mutate schedules before running).
+    pub fn config_mut(&mut self) -> &mut MesoConfig {
+        &mut self.config
+    }
+
+    /// Runs the simulation and collects the measurement pipeline.
+    pub fn run(self) -> StudyResult {
+        let mut engine = TwoChainEngine::new(self.config.clone());
+        let mut pipeline = Pipeline::new();
+        let summary = engine.run(&mut pipeline);
+        // Regenerate the exact price series the scenario's hashpower
+        // allocation used (same seed, same fork label).
+        let mut price_rng = SimRng::new(self.seed).fork("prices");
+        let (eth_usd, etc_usd) = fork_market::calibrated_pair(&mut price_rng);
+        StudyResult {
+            pipeline,
+            summary,
+            eth_usd,
+            etc_usd,
+            start: self.config.start,
+            end: self.config.end,
+        }
+    }
+}
+
+/// A completed run: the aggregated pipeline plus market context.
+pub struct StudyResult {
+    /// The aggregation pipeline (all per-hour/per-day metrics).
+    pub pipeline: Pipeline,
+    /// Run counters.
+    pub summary: RunSummary,
+    /// The ETH/USD series in force during the run.
+    pub eth_usd: PriceSeries,
+    /// The ETC/USD series in force during the run.
+    pub etc_usd: PriceSeries,
+    /// Window start.
+    pub start: SimTime,
+    /// Window end.
+    pub end: SimTime,
+}
+
+impl StudyResult {
+    /// Figure 1: blocks/hour, block difficulty, inter-block delta — the
+    /// month following the fork.
+    pub fn figure1(&self) -> FigureData {
+        FigureData {
+            id: "fig1",
+            caption: "Blocks per hour, block difficulty, and time delta between blocks \
+                      the month following the hard fork",
+            panels: vec![
+                FigurePanel {
+                    title: "Blocks per Hour".into(),
+                    series: vec![
+                        self.pipeline.blocks_per_hour(Side::Eth),
+                        self.pipeline.blocks_per_hour(Side::Etc),
+                    ],
+                    log_scale: false,
+                },
+                FigurePanel {
+                    title: "Block Difficulty".into(),
+                    series: vec![
+                        self.pipeline.hourly_difficulty(Side::Eth),
+                        self.pipeline.hourly_difficulty(Side::Etc),
+                    ],
+                    log_scale: false,
+                },
+                FigurePanel {
+                    title: "Block Delta (sec)".into(),
+                    series: vec![
+                        self.pipeline.block_delta(Side::Eth),
+                        self.pipeline.block_delta(Side::Etc),
+                    ],
+                    log_scale: false,
+                },
+            ],
+        }
+    }
+
+    /// Figure 2: daily difficulty, transactions per day, percent contract
+    /// transactions — the nine months since the fork.
+    pub fn figure2(&self) -> FigureData {
+        FigureData {
+            id: "fig2",
+            caption: "Overall difficulty, transactions per day, and fraction of \
+                      transactions involving contracts since the fork",
+            panels: vec![
+                FigurePanel {
+                    title: "Block Difficulty".into(),
+                    series: vec![
+                        self.pipeline.daily_difficulty(Side::Eth),
+                        self.pipeline.daily_difficulty(Side::Etc),
+                    ],
+                    log_scale: false,
+                },
+                FigurePanel {
+                    title: "Transactions per Day".into(),
+                    series: vec![
+                        self.pipeline.txs_per_day(Side::Eth),
+                        self.pipeline.txs_per_day(Side::Etc),
+                    ],
+                    log_scale: false,
+                },
+                FigurePanel {
+                    title: "Percent Contract Transactions".into(),
+                    series: vec![
+                        self.pipeline.contract_tx_percent(Side::Eth),
+                        self.pipeline.contract_tx_percent(Side::Etc),
+                    ],
+                    log_scale: false,
+                },
+            ],
+        }
+    }
+
+    /// Figure 3: expected hashes per USD for both networks.
+    pub fn figure3(&self) -> FigureData {
+        FigureData {
+            id: "fig3",
+            caption: "Expected payoff for mining: hashes needed to earn 1 USD",
+            panels: vec![FigurePanel {
+                title: "Expected Hashes/USD".into(),
+                series: vec![
+                    self.pipeline
+                        .hashes_per_usd(Side::Eth, |t| self.eth_usd.usd_at(t)),
+                    self.pipeline
+                        .hashes_per_usd(Side::Etc, |t| self.etc_usd.usd_at(t)),
+                ],
+                log_scale: false,
+            }],
+        }
+    }
+
+    /// Figure 4: percentage of transactions that are rebroadcasts and the
+    /// number of rebroadcast transactions per day (log scale).
+    pub fn figure4(&self) -> FigureData {
+        FigureData {
+            id: "fig4",
+            caption: "Rebroadcast (echo) transactions: share of all transactions and \
+                      daily counts",
+            panels: vec![
+                FigurePanel {
+                    title: "% Transactions that Are Rebroadcasts".into(),
+                    series: vec![
+                        self.pipeline.echo_percent(Side::Eth),
+                        self.pipeline.echo_percent(Side::Etc),
+                    ],
+                    log_scale: false,
+                },
+                FigurePanel {
+                    title: "# Rebroadcast Transactions/Day".into(),
+                    series: vec![
+                        self.pipeline.echoes_per_day(Side::Eth),
+                        self.pipeline.echoes_per_day(Side::Etc),
+                    ],
+                    log_scale: true,
+                },
+            ],
+        }
+    }
+
+    /// Figure 5: percent of daily blocks mined by the top 1/3/5 pools.
+    pub fn figure5(&self) -> FigureData {
+        let mut series = Vec::new();
+        for side in [Side::Eth, Side::Etc] {
+            for n in [5usize, 3, 1] {
+                series.push(self.pipeline.pool_top_n(side, n));
+            }
+        }
+        FigureData {
+            id: "fig5",
+            caption: "Percent of all mined blocks won by the top 1, 3, and 5 mining \
+                      pools in ETH and ETC",
+            panels: vec![FigurePanel {
+                title: "% All Blocks Mined by Top N".into(),
+                series,
+                log_scale: false,
+            }],
+        }
+    }
+
+    /// All five figures.
+    pub fn all_figures(&self) -> Vec<FigureData> {
+        vec![
+            self.figure1(),
+            self.figure2(),
+            self.figure3(),
+            self.figure4(),
+            self.figure5(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_produces_all_figures() {
+        let result = ForkStudy::quick(1).run();
+        assert!(result.summary.blocks[0] > 100);
+        for fig in result.all_figures() {
+            assert!(!fig.panels.is_empty(), "{}", fig.id);
+            // Every figure has at least one non-empty ETH series.
+            let has_data = fig
+                .panels
+                .iter()
+                .flat_map(|p| &p.series)
+                .any(|s| !s.is_empty());
+            assert!(has_data, "{} has no data", fig.id);
+        }
+    }
+
+    #[test]
+    fn quick_study_deterministic() {
+        let a = ForkStudy::quick(5).run();
+        let b = ForkStudy::quick(5).run();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(
+            a.figure1().panels[0].series[0].points,
+            b.figure1().panels[0].series[0].points
+        );
+    }
+
+    #[test]
+    fn figure_ids_are_stable() {
+        let result = ForkStudy::quick(2).run();
+        let ids: Vec<&str> = result.all_figures().iter().map(|f| f.id).collect();
+        assert_eq!(ids, vec!["fig1", "fig2", "fig3", "fig4", "fig5"]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Keccak-256 implemented from scratch.
+//!
+//! Ethereum uses the *original* Keccak submission (domain-separation byte
+//! `0x01`), not the later FIPS-202 SHA3-256 (`0x06`). Block hashes, transaction
+//! hashes, address derivation and the proof-of-work commitment in this
+//! workspace all go through this function.
+//!
+//! The implementation is the reference Keccak-f\[1600\] permutation (24 rounds of
+//! θ, ρ, π, χ, ι) over a 5×5 lane state, with a rate of 1088 bits (136 bytes)
+//! and 256-bit output. Verified against published test vectors below.
+
+use fork_primitives::H256;
+
+/// Round constants for the ι step.
+const ROUND_CONSTANTS: [u64; 24] = [
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_8082,
+    0x8000_0000_0000_808a,
+    0x8000_0000_8000_8000,
+    0x0000_0000_0000_808b,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8009,
+    0x0000_0000_0000_008a,
+    0x0000_0000_0000_0088,
+    0x0000_0000_8000_8009,
+    0x0000_0000_8000_000a,
+    0x0000_0000_8000_808b,
+    0x8000_0000_0000_008b,
+    0x8000_0000_0000_8089,
+    0x8000_0000_0000_8003,
+    0x8000_0000_0000_8002,
+    0x8000_0000_0000_0080,
+    0x0000_0000_0000_800a,
+    0x8000_0000_8000_000a,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8080,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8008,
+];
+
+/// Sponge rate in bytes for 256-bit output: (1600 - 2*256) / 8.
+const RATE: usize = 136;
+
+/// The Keccak-f[1600] permutation over a flat 25-lane state (lane `(x, y)`
+/// lives at index `x + 5y`). The ρ/π steps are fused with a precomputed
+/// walk of the lane cycle; χ works row-by-row — the standard fast scalar
+/// formulation, ~3–4× quicker than the naive 5×5 loops and byte-identical
+/// in output (the test vectors below pin it).
+fn keccak_f(a: &mut [u64; 25]) {
+    // π walks this 24-lane cycle starting at lane 1; entry k holds the lane
+    // index written at step k, paired with its ρ rotation.
+    const PI_RHO: [(usize, u32); 24] = [
+        (10, 1),
+        (7, 3),
+        (11, 6),
+        (17, 10),
+        (18, 15),
+        (3, 21),
+        (5, 28),
+        (16, 36),
+        (8, 45),
+        (21, 55),
+        (24, 2),
+        (4, 14),
+        (15, 27),
+        (23, 41),
+        (19, 56),
+        (13, 8),
+        (12, 25),
+        (2, 43),
+        (20, 62),
+        (14, 18),
+        (22, 39),
+        (9, 61),
+        (6, 20),
+        (1, 44),
+    ];
+    for rc in ROUND_CONSTANTS {
+        // θ
+        let c0 = a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20];
+        let c1 = a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21];
+        let c2 = a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22];
+        let c3 = a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23];
+        let c4 = a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24];
+        let d0 = c4 ^ c1.rotate_left(1);
+        let d1 = c0 ^ c2.rotate_left(1);
+        let d2 = c1 ^ c3.rotate_left(1);
+        let d3 = c2 ^ c4.rotate_left(1);
+        let d4 = c3 ^ c0.rotate_left(1);
+        let mut i = 0;
+        while i < 25 {
+            a[i] ^= d0;
+            a[i + 1] ^= d1;
+            a[i + 2] ^= d2;
+            a[i + 3] ^= d3;
+            a[i + 4] ^= d4;
+            i += 5;
+        }
+        // ρ + π (fused cycle walk).
+        let mut last = a[1];
+        for (lane, rot) in PI_RHO {
+            let tmp = a[lane];
+            a[lane] = last.rotate_left(rot);
+            last = tmp;
+        }
+        // χ, row by row.
+        let mut y = 0;
+        while y < 25 {
+            let (b0, b1, b2, b3, b4) = (a[y], a[y + 1], a[y + 2], a[y + 3], a[y + 4]);
+            a[y] = b0 ^ (!b1 & b2);
+            a[y + 1] = b1 ^ (!b2 & b3);
+            a[y + 2] = b2 ^ (!b3 & b4);
+            a[y + 3] = b3 ^ (!b4 & b0);
+            a[y + 4] = b4 ^ (!b0 & b1);
+            y += 5;
+        }
+        // ι
+        a[0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher.
+///
+/// Use [`keccak256`] for one-shot hashing; the incremental form avoids
+/// concatenation allocations on hot paths (RLP streams, PoW seal checks).
+#[derive(Clone)]
+pub struct Keccak256 {
+    /// Flat lane state; lane `(x, y)` at index `x + 5y`. Byte `8k..8k+8` of
+    /// the sponge block maps straight onto lane `k`.
+    state: [u64; 25],
+    buffer: [u8; RATE],
+    buffered: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Keccak256 {
+    /// Fresh hasher state.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [0u64; 25],
+            buffer: [0u8; RATE],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let take = (RATE - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..(RATE / 8) {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buffer[i * 8..(i + 1) * 8]);
+            self.state[i] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f(&mut self.state);
+        self.buffered = 0;
+    }
+
+    /// Finalizes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> H256 {
+        // Keccak (pre-FIPS) multi-rate padding: 0x01 ... 0x80.
+        self.buffer[self.buffered] = 0x01;
+        for b in &mut self.buffer[self.buffered + 1..] {
+            *b = 0;
+        }
+        self.buffer[RATE - 1] |= 0x80;
+        self.buffered = RATE;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&self.state[i].to_le_bytes());
+        }
+        H256(out)
+    }
+}
+
+/// One-shot Keccak-256.
+pub fn keccak256(data: &[u8]) -> H256 {
+    let mut h = Keccak256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Keccak-256 over the concatenation of two byte strings, without allocating.
+pub fn keccak256_concat(a: &[u8], b: &[u8]) -> H256 {
+    let mut h = Keccak256::new();
+    h.update(a);
+    h.update(b);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(h: H256) -> String {
+        fork_primitives::hex::encode(&h.0)
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        // Canonical Keccak-256("") — widely cited Ethereum constant.
+        assert_eq!(
+            hex(keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn fox_vector() {
+        assert_eq!(
+            hex(keccak256(b"The quick brown fox jumps over the lazy dog")),
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"
+        );
+    }
+
+    #[test]
+    fn hello_vector() {
+        assert_eq!(
+            hex(keccak256(b"hello")),
+            "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"
+        );
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        // Exercise inputs exactly at and around the 136-byte sponge rate.
+        for len in [0usize, 1, 135, 136, 137, 271, 272, 273, 1000] {
+            let data = vec![0xA5u8; len];
+            let one_shot = keccak256(&data);
+            // Same data absorbed in awkward chunk sizes must agree.
+            let mut inc = Keccak256::new();
+            for chunk in data.chunks(7) {
+                inc.update(chunk);
+            }
+            assert_eq!(inc.finalize(), one_shot, "len {len}");
+        }
+    }
+
+    #[test]
+    fn concat_matches_single_buffer() {
+        let a = b"stick a fork";
+        let b = b" in it";
+        let joined = [&a[..], &b[..]].concat();
+        assert_eq!(keccak256_concat(a, b), keccak256(&joined));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(keccak256(b"ETH"), keccak256(b"ETC"));
+    }
+
+    #[test]
+    fn long_input_vector() {
+        // 1 million 'a' bytes — classic stress vector; value cross-checked
+        // against pycryptodome's keccak implementation.
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(keccak256(&data)),
+            "fadae6b49f129bbb812be8407b7b2894f34aecf6dbd1f9b0f0c7e9853098fc96"
+        );
+    }
+}

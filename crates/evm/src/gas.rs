@@ -1,0 +1,217 @@
+//! Gas schedules.
+//!
+//! Two schedules matter to the study period:
+//!
+//! * **Frontier/Homestead** — in force at the DAO fork (July 2016). Its cheap
+//!   `CALL`/`SLOAD`/`BALANCE` prices are what enabled the autumn-2016
+//!   denial-of-service attacks the paper mentions.
+//! * **EIP-150** ("Tangerine Whistle") — the repricing rolled out by the ETH
+//!   hard fork of Nov 22, 2016 and by ETC's fork of Jan 13, 2017. The paper
+//!   uses these two *resolved* forks as its minority-branch-length case study
+//!   (86 vs 3,583 blocks), so both schedules are implemented and switchable
+//!   per block height.
+
+/// Per-opcode and intrinsic gas costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GasSchedule {
+    /// Cost of the cheapest arithmetic/stack ops (ADD, POP, PUSH, DUP, SWAP…).
+    pub very_low: u64,
+    /// Cost of MUL/DIV/MOD and friends.
+    pub low: u64,
+    /// Cost of ADDMOD-class and JUMPI.
+    pub mid: u64,
+    /// Cost of JUMP.
+    pub high: u64,
+    /// Base cost of trivial ops (ADDRESS, CALLER, PC, GAS…).
+    pub base: u64,
+    /// SLOAD cost (50 pre-EIP-150, 200 after).
+    pub sload: u64,
+    /// BALANCE cost (20 pre-EIP-150, 400 after).
+    pub balance: u64,
+    /// EXTCODESIZE/EXTCODECOPY base cost (20 pre-EIP-150, 700 after).
+    pub extcode: u64,
+    /// Base CALL cost (40 pre-EIP-150, 700 after).
+    pub call: u64,
+    /// Extra cost when a CALL transfers value.
+    pub call_value: u64,
+    /// Stipend forwarded to the callee on value-bearing calls.
+    pub call_stipend: u64,
+    /// SSTORE cost when setting a zero slot to non-zero.
+    pub sstore_set: u64,
+    /// SSTORE cost when modifying a non-zero slot.
+    pub sstore_reset: u64,
+    /// Refund when clearing a slot to zero.
+    pub sstore_clear_refund: u64,
+    /// Cost per 32-byte word of SHA3 input.
+    pub sha3_word: u64,
+    /// Base SHA3 cost.
+    pub sha3: u64,
+    /// Cost per byte of LOG data.
+    pub log_data: u64,
+    /// Base LOG cost plus per-topic cost.
+    pub log: u64,
+    /// Per-topic LOG cost.
+    pub log_topic: u64,
+    /// Cost per 32-byte word of memory expansion (linear term).
+    pub memory: u64,
+    /// Cost per byte of calldata copied (COPY ops, per word).
+    pub copy_word: u64,
+    /// EXP base cost.
+    pub exp: u64,
+    /// EXP cost per byte of exponent.
+    pub exp_byte: u64,
+    /// Intrinsic cost of any transaction.
+    pub tx: u64,
+    /// Intrinsic cost per zero byte of transaction data.
+    pub tx_data_zero: u64,
+    /// Intrinsic cost per non-zero byte of transaction data.
+    pub tx_data_nonzero: u64,
+    /// CREATE base cost.
+    pub create: u64,
+    /// Whether the 63/64 gas-forwarding rule of EIP-150 is active.
+    pub eip150_gas_cap: bool,
+}
+
+impl GasSchedule {
+    /// The Frontier/Homestead schedule (in force at the DAO fork).
+    pub const fn frontier() -> Self {
+        GasSchedule {
+            very_low: 3,
+            low: 5,
+            mid: 8,
+            high: 10,
+            base: 2,
+            sload: 50,
+            balance: 20,
+            extcode: 20,
+            call: 40,
+            call_value: 9_000,
+            call_stipend: 2_300,
+            sstore_set: 20_000,
+            sstore_reset: 5_000,
+            sstore_clear_refund: 15_000,
+            sha3_word: 6,
+            sha3: 30,
+            log_data: 8,
+            log: 375,
+            log_topic: 375,
+            memory: 3,
+            copy_word: 3,
+            exp: 10,
+            exp_byte: 10,
+            tx: 21_000,
+            tx_data_zero: 4,
+            tx_data_nonzero: 68,
+            create: 32_000,
+            eip150_gas_cap: false,
+        }
+    }
+
+    /// The EIP-150 repriced schedule (ETH from 2016-11-22, ETC from
+    /// 2017-01-13). Raises the IO-heavy opcodes the DoS attacks abused.
+    pub const fn eip150() -> Self {
+        GasSchedule {
+            sload: 200,
+            balance: 400,
+            extcode: 700,
+            call: 700,
+            eip150_gas_cap: true,
+            ..Self::frontier()
+        }
+    }
+
+    /// Intrinsic gas of a transaction with `data` (charged before execution).
+    pub fn intrinsic_gas(&self, data: &[u8], is_create: bool) -> u64 {
+        let mut g = self.tx;
+        if is_create {
+            g += self.create;
+        }
+        for &b in data {
+            g += if b == 0 {
+                self.tx_data_zero
+            } else {
+                self.tx_data_nonzero
+            };
+        }
+        g
+    }
+
+    /// Gas for expanding memory to `new_words` 32-byte words, given current
+    /// size `old_words`: linear + quadratic term, as in the yellow paper.
+    pub fn memory_expansion_gas(&self, old_words: u64, new_words: u64) -> u64 {
+        if new_words <= old_words {
+            return 0;
+        }
+        let cost = |w: u64| self.memory * w + w * w / 512;
+        cost(new_words) - cost(old_words)
+    }
+
+    /// The amount of gas a CALL may forward under this schedule: all of it
+    /// pre-EIP-150, or at most 63/64 of the remainder after.
+    pub fn callable_gas(&self, remaining: u64, requested: u64) -> u64 {
+        if self.eip150_gas_cap {
+            let cap = remaining - remaining / 64;
+            requested.min(cap)
+        } else {
+            requested
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eip150_repricing_only_touches_io_ops() {
+        let f = GasSchedule::frontier();
+        let t = GasSchedule::eip150();
+        assert_eq!(f.sload, 50);
+        assert_eq!(t.sload, 200);
+        assert_eq!(f.call, 40);
+        assert_eq!(t.call, 700);
+        assert_eq!(f.balance, 20);
+        assert_eq!(t.balance, 400);
+        assert_eq!(f.extcode, 20);
+        assert_eq!(t.extcode, 700);
+        // Unrelated prices unchanged.
+        assert_eq!(f.very_low, t.very_low);
+        assert_eq!(f.sstore_set, t.sstore_set);
+        assert_eq!(f.tx, t.tx);
+    }
+
+    #[test]
+    fn intrinsic_gas_counts_bytes() {
+        let g = GasSchedule::frontier();
+        assert_eq!(g.intrinsic_gas(&[], false), 21_000);
+        assert_eq!(g.intrinsic_gas(&[0, 0, 1], false), 21_000 + 4 + 4 + 68);
+        assert_eq!(g.intrinsic_gas(&[], true), 21_000 + 32_000);
+    }
+
+    #[test]
+    fn memory_gas_quadratic() {
+        let g = GasSchedule::frontier();
+        assert_eq!(g.memory_expansion_gas(0, 0), 0);
+        assert_eq!(g.memory_expansion_gas(0, 1), 3);
+        assert_eq!(g.memory_expansion_gas(1, 1), 0);
+        // Large expansion includes the quadratic term.
+        let big = g.memory_expansion_gas(0, 1024);
+        assert_eq!(big, 3 * 1024 + 1024 * 1024 / 512);
+        // Expansion gas is the difference, not the total.
+        assert_eq!(
+            g.memory_expansion_gas(512, 1024),
+            big - g.memory_expansion_gas(0, 512)
+        );
+    }
+
+    #[test]
+    fn gas_forwarding_rule() {
+        let f = GasSchedule::frontier();
+        let t = GasSchedule::eip150();
+        // Pre-fork: a call may forward everything (the DAO drain pattern).
+        assert_eq!(f.callable_gas(64_000, 64_000), 64_000);
+        // Post-fork: capped at 63/64.
+        assert_eq!(t.callable_gas(64_000, 64_000), 64_000 - 1_000);
+        assert_eq!(t.callable_gas(64_000, 1_000), 1_000);
+    }
+}

@@ -1,0 +1,1549 @@
+//! The bytecode interpreter and transaction-level execution entry point.
+//!
+//! Semantics target the Homestead EVM (the study period), switchable to the
+//! EIP-150 gas schedule: exceptional halts consume the frame's remaining gas
+//! and roll its state changes back; value-bearing `CALL`s may recurse
+//! arbitrarily up to depth 1024 — which is precisely the behavior the DAO
+//! drain exploited and the `dao_drain` integration test reproduces.
+
+use fork_crypto::keccak256;
+use fork_primitives::{Address, H256, U256};
+
+use crate::error::VmError;
+use crate::gas::GasSchedule;
+use crate::memory::Memory;
+use crate::opcode::Opcode;
+use crate::stack::Stack;
+use crate::world::WorldState;
+
+/// Maximum call depth (yellow paper).
+pub const CALL_DEPTH_LIMIT: usize = 1024;
+
+/// Block-level execution environment.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockContext {
+    /// Address receiving block rewards and fees.
+    pub coinbase: Address,
+    /// Block number.
+    pub number: u64,
+    /// Block timestamp (Unix seconds).
+    pub timestamp: u64,
+    /// Block difficulty.
+    pub difficulty: U256,
+    /// Block gas limit.
+    pub gas_limit: u64,
+}
+
+impl Default for BlockContext {
+    fn default() -> Self {
+        BlockContext {
+            coinbase: Address::ZERO,
+            number: 0,
+            timestamp: 0,
+            difficulty: U256::ZERO,
+            gas_limit: 4_700_000,
+        }
+    }
+}
+
+/// Transaction-level environment.
+#[derive(Debug, Clone, Copy)]
+pub struct TxContext {
+    /// The externally-owned account that signed the transaction.
+    pub origin: Address,
+    /// Gas price in wei.
+    pub gas_price: U256,
+}
+
+/// A log record emitted by `LOG0..LOG2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log {
+    /// Emitting contract.
+    pub address: Address,
+    /// Indexed topics.
+    pub topics: Vec<H256>,
+    /// Raw payload.
+    pub data: Vec<u8>,
+}
+
+/// Parameters of one message call.
+#[derive(Debug, Clone)]
+pub struct CallParams {
+    /// Immediate caller (may be a contract).
+    pub caller: Address,
+    /// Callee: code owner and storage/balance context.
+    pub address: Address,
+    /// Wei transferred with the call.
+    pub value: U256,
+    /// Call data.
+    pub input: Vec<u8>,
+    /// Gas made available to the frame.
+    pub gas: u64,
+}
+
+/// Result of one call frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Whether the frame completed without an exceptional halt.
+    pub success: bool,
+    /// Gas remaining (zero on failure — pre-Byzantium all-gas-consumed rule).
+    pub gas_left: u64,
+    /// RETURN data.
+    pub output: Vec<u8>,
+    /// The halt reason on failure.
+    pub error: Option<VmError>,
+}
+
+impl FrameResult {
+    fn failed(error: VmError) -> Self {
+        FrameResult {
+            success: false,
+            gas_left: 0,
+            output: Vec::new(),
+            error: Some(error),
+        }
+    }
+}
+
+/// The virtual machine: a world-state reference plus execution context.
+pub struct Evm<'w> {
+    /// Journaled account state.
+    pub world: &'w mut WorldState,
+    /// Gas prices in force for this block.
+    pub schedule: GasSchedule,
+    /// Block environment.
+    pub block: BlockContext,
+    /// Transaction environment.
+    pub tx: TxContext,
+    /// Logs accumulated by the current transaction.
+    pub logs: Vec<Log>,
+    /// SSTORE-clear refund counter.
+    pub refund: u64,
+    depth: usize,
+}
+
+impl<'w> Evm<'w> {
+    /// Creates a VM over `world` for one transaction.
+    pub fn new(
+        world: &'w mut WorldState,
+        schedule: GasSchedule,
+        block: BlockContext,
+        tx: TxContext,
+    ) -> Self {
+        Evm {
+            world,
+            schedule,
+            block,
+            tx,
+            logs: Vec::new(),
+            refund: 0,
+            depth: 0,
+        }
+    }
+
+    /// Executes a message call: transfers value, runs the callee's code (if
+    /// any), and rolls back on failure.
+    pub fn call(&mut self, params: CallParams) -> FrameResult {
+        if self.depth >= CALL_DEPTH_LIMIT {
+            return FrameResult::failed(VmError::CallDepthExceeded);
+        }
+        let checkpoint = self.world.checkpoint();
+        let logs_mark = self.logs.len();
+
+        if !params.value.is_zero() && !self.world.transfer(params.caller, params.address, params.value)
+        {
+            return FrameResult::failed(VmError::InsufficientBalance);
+        }
+
+        let code = self.world.code(params.address).to_vec();
+        if code.is_empty() {
+            return FrameResult {
+                success: true,
+                gas_left: params.gas,
+                output: Vec::new(),
+                error: None,
+            };
+        }
+
+        self.depth += 1;
+        let result = self.run_frame(&params, &code);
+        self.depth -= 1;
+
+        if !result.success {
+            self.world.rollback_to(checkpoint);
+            self.logs.truncate(logs_mark);
+        }
+        result
+    }
+
+    /// Executes `code_owner`'s code in `params`' storage/balance context with
+    /// no value transfer — the shared machinery of `CALLCODE` (Frontier) and
+    /// `DELEGATECALL` (Homestead, EIP-7). The caller controls which caller /
+    /// apparent-value the frame observes via `params`.
+    pub fn call_with_code(&mut self, params: CallParams, code_owner: Address) -> FrameResult {
+        if self.depth >= CALL_DEPTH_LIMIT {
+            return FrameResult::failed(VmError::CallDepthExceeded);
+        }
+        let checkpoint = self.world.checkpoint();
+        let logs_mark = self.logs.len();
+        let code = self.world.code(code_owner).to_vec();
+        if code.is_empty() {
+            return FrameResult {
+                success: true,
+                gas_left: params.gas,
+                output: Vec::new(),
+                error: None,
+            };
+        }
+        self.depth += 1;
+        let result = self.run_frame(&params, &code);
+        self.depth -= 1;
+        if !result.success {
+            self.world.rollback_to(checkpoint);
+            self.logs.truncate(logs_mark);
+        }
+        result
+    }
+
+    /// Executes contract-creation init code and installs the returned
+    /// bytecode at a fresh address derived from `(creator, creator_nonce)`.
+    pub fn create(
+        &mut self,
+        creator: Address,
+        value: U256,
+        init_code: Vec<u8>,
+        gas: u64,
+    ) -> (FrameResult, Option<Address>) {
+        if self.depth >= CALL_DEPTH_LIMIT {
+            return (FrameResult::failed(VmError::CallDepthExceeded), None);
+        }
+        let nonce = self.world.nonce(creator);
+        let address = contract_address(creator, nonce);
+        let checkpoint = self.world.checkpoint();
+        let logs_mark = self.logs.len();
+
+        if !value.is_zero() && !self.world.transfer(creator, address, value) {
+            return (FrameResult::failed(VmError::InsufficientBalance), None);
+        }
+        self.world.bump_nonce(address);
+
+        let params = CallParams {
+            caller: creator,
+            address,
+            value,
+            input: Vec::new(),
+            gas,
+        };
+        self.depth += 1;
+        let mut result = self.run_frame(&params, &init_code);
+        self.depth -= 1;
+
+        if result.success {
+            // Charge code-deposit gas: 200 per byte (all schedules).
+            let deposit = 200u64.saturating_mul(result.output.len() as u64);
+            if deposit > result.gas_left {
+                self.world.rollback_to(checkpoint);
+                self.logs.truncate(logs_mark);
+                return (FrameResult::failed(VmError::OutOfGas), None);
+            }
+            result.gas_left -= deposit;
+            self.world.set_code(address, result.output.clone());
+            (result, Some(address))
+        } else {
+            self.world.rollback_to(checkpoint);
+            self.logs.truncate(logs_mark);
+            (result, None)
+        }
+    }
+
+    /// The main dispatch loop for one frame.
+    #[allow(clippy::too_many_lines)] // a flat dispatch table reads best
+    fn run_frame(&mut self, params: &CallParams, code: &[u8]) -> FrameResult {
+        let valid_jumps = jump_destinations(code);
+        let mut stack = Stack::new();
+        let mut memory = Memory::new();
+        let mut gas = params.gas;
+        let mut pc = 0usize;
+
+        macro_rules! fail {
+            ($e:expr) => {
+                return FrameResult::failed($e)
+            };
+        }
+        macro_rules! charge {
+            ($amount:expr) => {{
+                let amount: u64 = $amount;
+                if amount > gas {
+                    fail!(VmError::OutOfGas);
+                }
+                gas -= amount;
+            }};
+        }
+        macro_rules! pop {
+            () => {
+                match stack.pop() {
+                    Ok(v) => v,
+                    Err(e) => fail!(e),
+                }
+            };
+        }
+        macro_rules! pop_usize {
+            () => {
+                match stack.pop_usize() {
+                    Ok(v) => v,
+                    Err(e) => fail!(e),
+                }
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {
+                if let Err(e) = stack.push($v) {
+                    fail!(e);
+                }
+            };
+        }
+        macro_rules! expand_memory {
+            ($off:expr, $len:expr) => {{
+                let words = match Memory::words_for($off, $len) {
+                    Ok(w) => w,
+                    Err(e) => fail!(e),
+                };
+                charge!(self.schedule.memory_expansion_gas(memory.words(), words));
+                if let Err(e) = memory.expand($off, $len) {
+                    fail!(e);
+                }
+            }};
+        }
+
+        let s = self.schedule;
+        loop {
+            let byte = match code.get(pc) {
+                Some(b) => *b,
+                None => {
+                    // Running off the end of code is an implicit STOP.
+                    return FrameResult {
+                        success: true,
+                        gas_left: gas,
+                        output: Vec::new(),
+                        error: None,
+                    };
+                }
+            };
+            pc += 1;
+
+            // PUSH / DUP / SWAP ranges first.
+            if (0x60..=0x7F).contains(&byte) {
+                charge!(s.very_low);
+                let n = (byte - 0x5F) as usize;
+                let end = (pc + n).min(code.len());
+                let mut buf = [0u8; 32];
+                let got = end - pc;
+                buf[32 - n..32 - n + got].copy_from_slice(&code[pc..end]);
+                // Missing trailing bytes read as zero (yellow paper).
+                push!(U256::from_be_slice(&buf).expect("32 bytes"));
+                pc = pc + n;
+                continue;
+            }
+            if (0x80..=0x8F).contains(&byte) {
+                charge!(s.very_low);
+                if let Err(e) = stack.dup((byte - 0x7F) as usize) {
+                    fail!(e);
+                }
+                continue;
+            }
+            if (0x90..=0x9F).contains(&byte) {
+                charge!(s.very_low);
+                if let Err(e) = stack.swap((byte - 0x8F) as usize) {
+                    fail!(e);
+                }
+                continue;
+            }
+
+            let op = match Opcode::from_byte(byte) {
+                Some(op) => op,
+                None => fail!(VmError::InvalidOpcode { opcode: byte }),
+            };
+
+            match op {
+                Opcode::Stop => {
+                    return FrameResult {
+                        success: true,
+                        gas_left: gas,
+                        output: Vec::new(),
+                        error: None,
+                    }
+                }
+                Opcode::Add => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.overflowing_add(b).0);
+                }
+                Opcode::Mul => {
+                    charge!(s.low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.overflowing_mul(b).0);
+                }
+                Opcode::Sub => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.overflowing_sub(b).0);
+                }
+                Opcode::Div => {
+                    charge!(s.low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(if b.is_zero() { U256::ZERO } else { a / b });
+                }
+                Opcode::SDiv => {
+                    charge!(s.low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.sdiv(b));
+                }
+                Opcode::Mod => {
+                    charge!(s.low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(if b.is_zero() { U256::ZERO } else { a % b });
+                }
+                Opcode::SMod => {
+                    charge!(s.low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.smod(b));
+                }
+                Opcode::AddMod => {
+                    charge!(s.mid);
+                    let (a, b, m) = (pop!(), pop!(), pop!());
+                    push!(a.addmod(b, m));
+                }
+                Opcode::MulMod => {
+                    charge!(s.mid);
+                    let (a, b, m) = (pop!(), pop!(), pop!());
+                    push!(a.mulmod(b, m));
+                }
+                Opcode::SignExtend => {
+                    charge!(s.low);
+                    let (k, x) = (pop!(), pop!());
+                    push!(x.sign_extend(k));
+                }
+                Opcode::Exp => {
+                    let (a, b) = (pop!(), pop!());
+                    let exp_bytes = (b.bits() as u64).div_ceil(8);
+                    charge!(s.exp + s.exp_byte * exp_bytes);
+                    let e = b.to_u64().unwrap_or(u64::MAX);
+                    push!(a.wrapping_pow(e));
+                }
+                Opcode::Lt => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(U256::from_u64((a < b) as u64));
+                }
+                Opcode::Gt => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(U256::from_u64((a > b) as u64));
+                }
+                Opcode::Slt => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(U256::from_u64(a.slt(&b) as u64));
+                }
+                Opcode::Sgt => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(U256::from_u64(b.slt(&a) as u64));
+                }
+                Opcode::Eq => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(U256::from_u64((a == b) as u64));
+                }
+                Opcode::IsZero => {
+                    charge!(s.very_low);
+                    let a = pop!();
+                    push!(U256::from_u64(a.is_zero() as u64));
+                }
+                Opcode::And => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(a & b);
+                }
+                Opcode::Or => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(a | b);
+                }
+                Opcode::Xor => {
+                    charge!(s.very_low);
+                    let (a, b) = (pop!(), pop!());
+                    push!(a ^ b);
+                }
+                Opcode::Not => {
+                    charge!(s.very_low);
+                    let a = pop!();
+                    push!(!a);
+                }
+                Opcode::Byte => {
+                    charge!(s.very_low);
+                    let (i, x) = (pop!(), pop!());
+                    let v = match i.to_u64() {
+                        Some(idx) if idx < 32 => x.to_be_bytes()[idx as usize] as u64,
+                        _ => 0,
+                    };
+                    push!(U256::from_u64(v));
+                }
+                Opcode::Sha3 => {
+                    let off = pop_usize!();
+                    let len = pop_usize!();
+                    let words = (len as u64).div_ceil(32);
+                    charge!(s.sha3.saturating_add(s.sha3_word.saturating_mul(words)));
+                    expand_memory!(off, len);
+                    let digest = keccak256(memory.slice(off, len));
+                    push!(digest.into_u256());
+                }
+                Opcode::Address => {
+                    charge!(s.base);
+                    push!(address_to_u256(params.address));
+                }
+                Opcode::Balance => {
+                    charge!(s.balance);
+                    let a = u256_to_address(pop!());
+                    push!(self.world.balance(a));
+                }
+                Opcode::Origin => {
+                    charge!(s.base);
+                    push!(address_to_u256(self.tx.origin));
+                }
+                Opcode::Caller => {
+                    charge!(s.base);
+                    push!(address_to_u256(params.caller));
+                }
+                Opcode::CallValue => {
+                    charge!(s.base);
+                    push!(params.value);
+                }
+                Opcode::CallDataLoad => {
+                    charge!(s.very_low);
+                    let off = pop_usize!();
+                    let mut buf = [0u8; 32];
+                    for (i, b) in buf.iter_mut().enumerate() {
+                        *b = params.input.get(off.saturating_add(i)).copied().unwrap_or(0);
+                    }
+                    push!(U256::from_be_slice(&buf).expect("32 bytes"));
+                }
+                Opcode::CallDataSize => {
+                    charge!(s.base);
+                    push!(U256::from_u64(params.input.len() as u64));
+                }
+                Opcode::CallDataCopy => {
+                    let dst = pop_usize!();
+                    let src = pop_usize!();
+                    let len = pop_usize!();
+                    let words = (len as u64).div_ceil(32);
+                    charge!(s.very_low.saturating_add(s.copy_word.saturating_mul(words)));
+                    expand_memory!(dst, len);
+                    let data: Vec<u8> = (0..len)
+                        .map(|i| params.input.get(src.saturating_add(i)).copied().unwrap_or(0))
+                        .collect();
+                    memory.copy_padded(dst, &data, len);
+                }
+                Opcode::CodeSize => {
+                    charge!(s.base);
+                    push!(U256::from_u64(code.len() as u64));
+                }
+                Opcode::GasPrice => {
+                    charge!(s.base);
+                    push!(self.tx.gas_price);
+                }
+                Opcode::ExtCodeSize => {
+                    charge!(s.extcode);
+                    let a = u256_to_address(pop!());
+                    push!(U256::from_u64(self.world.code(a).len() as u64));
+                }
+                Opcode::ExtCodeCopy => {
+                    let a = u256_to_address(pop!());
+                    let dst = pop_usize!();
+                    let src = pop_usize!();
+                    let len = pop_usize!();
+                    let words = (len as u64).div_ceil(32);
+                    charge!(s.extcode.saturating_add(s.copy_word.saturating_mul(words)));
+                    expand_memory!(dst, len);
+                    let ext = self.world.code(a);
+                    let data: Vec<u8> = (0..len)
+                        .map(|i| ext.get(src.saturating_add(i)).copied().unwrap_or(0))
+                        .collect();
+                    memory.copy_padded(dst, &data, len);
+                }
+                Opcode::Coinbase => {
+                    charge!(s.base);
+                    push!(address_to_u256(self.block.coinbase));
+                }
+                Opcode::Timestamp => {
+                    charge!(s.base);
+                    push!(U256::from_u64(self.block.timestamp));
+                }
+                Opcode::Number => {
+                    charge!(s.base);
+                    push!(U256::from_u64(self.block.number));
+                }
+                Opcode::Difficulty => {
+                    charge!(s.base);
+                    push!(self.block.difficulty);
+                }
+                Opcode::GasLimit => {
+                    charge!(s.base);
+                    push!(U256::from_u64(self.block.gas_limit));
+                }
+                Opcode::Pop => {
+                    charge!(s.base);
+                    pop!();
+                }
+                Opcode::MLoad => {
+                    charge!(s.very_low);
+                    let off = pop_usize!();
+                    expand_memory!(off, 32);
+                    push!(memory.load_word(off));
+                }
+                Opcode::MStore => {
+                    charge!(s.very_low);
+                    let off = pop_usize!();
+                    let v = pop!();
+                    expand_memory!(off, 32);
+                    memory.store_word(off, v);
+                }
+                Opcode::MStore8 => {
+                    charge!(s.very_low);
+                    let off = pop_usize!();
+                    let v = pop!();
+                    expand_memory!(off, 1);
+                    memory.store_byte(off, v.low_u64() as u8);
+                }
+                Opcode::SLoad => {
+                    charge!(s.sload);
+                    let key = pop!();
+                    push!(self.world.storage(params.address, key));
+                }
+                Opcode::SStore => {
+                    let key = pop!();
+                    let value = pop!();
+                    let old = self.world.storage(params.address, key);
+                    let cost = if old.is_zero() && !value.is_zero() {
+                        s.sstore_set
+                    } else {
+                        s.sstore_reset
+                    };
+                    charge!(cost);
+                    if !old.is_zero() && value.is_zero() {
+                        self.refund += s.sstore_clear_refund;
+                    }
+                    self.world.set_storage(params.address, key, value);
+                }
+                Opcode::Jump => {
+                    charge!(s.high);
+                    let dest = pop_usize!();
+                    if !valid_jumps.get(dest).copied().unwrap_or(false) {
+                        fail!(VmError::BadJumpDestination { dest });
+                    }
+                    pc = dest;
+                }
+                Opcode::JumpI => {
+                    charge!(s.mid);
+                    let dest = pop_usize!();
+                    let cond = pop!();
+                    if !cond.is_zero() {
+                        if !valid_jumps.get(dest).copied().unwrap_or(false) {
+                            fail!(VmError::BadJumpDestination { dest });
+                        }
+                        pc = dest;
+                    }
+                }
+                Opcode::Pc => {
+                    charge!(s.base);
+                    push!(U256::from_u64((pc - 1) as u64));
+                }
+                Opcode::MSize => {
+                    charge!(s.base);
+                    push!(U256::from_u64(memory.len() as u64));
+                }
+                Opcode::Gas => {
+                    charge!(s.base);
+                    push!(U256::from_u64(gas));
+                }
+                Opcode::JumpDest => {
+                    charge!(1);
+                }
+                Opcode::Log0 | Opcode::Log1 | Opcode::Log2 | Opcode::Log3 | Opcode::Log4 => {
+                    let topic_count = (byte - 0xA0) as usize;
+                    let off = pop_usize!();
+                    let len = pop_usize!();
+                    let mut topics = Vec::with_capacity(topic_count);
+                    for _ in 0..topic_count {
+                        topics.push(H256::from_u256(pop!()));
+                    }
+                    charge!(s
+                        .log
+                        .saturating_add(s.log_topic.saturating_mul(topic_count as u64))
+                        .saturating_add(s.log_data.saturating_mul(len as u64)));
+                    expand_memory!(off, len);
+                    self.logs.push(Log {
+                        address: params.address,
+                        topics,
+                        data: memory.slice(off, len).to_vec(),
+                    });
+                }
+                Opcode::Create => {
+                    charge!(s.create);
+                    let value = pop!();
+                    let off = pop_usize!();
+                    let len = pop_usize!();
+                    expand_memory!(off, len);
+                    let init = memory.slice(off, len).to_vec();
+                    let forwarded = s.callable_gas(gas, gas);
+                    let (result, addr) = self.create(params.address, value, init, forwarded);
+                    gas -= forwarded - result.gas_left;
+                    match addr {
+                        Some(a) => push!(address_to_u256(a)),
+                        None => push!(U256::ZERO),
+                    }
+                }
+                Opcode::Call => {
+                    let requested = pop!();
+                    let to = u256_to_address(pop!());
+                    let value = pop!();
+                    let in_off = pop_usize!();
+                    let in_len = pop_usize!();
+                    let out_off = pop_usize!();
+                    let out_len = pop_usize!();
+
+                    let mut upfront = s.call;
+                    if !value.is_zero() {
+                        upfront += s.call_value;
+                    }
+                    charge!(upfront);
+                    expand_memory!(in_off, in_len);
+                    expand_memory!(out_off, out_len);
+
+                    let requested = requested.to_u64().unwrap_or(u64::MAX);
+                    let mut forwarded = s.callable_gas(gas, requested.min(gas));
+                    charge!(forwarded);
+                    if !value.is_zero() {
+                        // The stipend is free extra gas for the callee.
+                        forwarded += s.call_stipend;
+                    }
+
+                    let input = memory.slice(in_off, in_len).to_vec();
+                    let result = self.call(CallParams {
+                        caller: params.address,
+                        address: to,
+                        value,
+                        input,
+                        gas: forwarded,
+                    });
+                    // The callee's leftover gas (including any unused stipend)
+                    // returns to this frame — matching geth's accounting.
+                    gas += result.gas_left;
+                    let n = result.output.len().min(out_len);
+                    if n > 0 {
+                        memory.copy_padded(out_off, &result.output[..n], n);
+                    }
+                    push!(U256::from_u64(result.success as u64));
+                }
+                Opcode::CallCode => {
+                    // Like CALL, but the callee's code runs with THIS
+                    // contract's storage and balance.
+                    let requested = pop!();
+                    let to = u256_to_address(pop!());
+                    let value = pop!();
+                    let in_off = pop_usize!();
+                    let in_len = pop_usize!();
+                    let out_off = pop_usize!();
+                    let out_len = pop_usize!();
+                    let mut upfront = s.call;
+                    if !value.is_zero() {
+                        upfront += s.call_value;
+                    }
+                    charge!(upfront);
+                    expand_memory!(in_off, in_len);
+                    expand_memory!(out_off, out_len);
+                    let requested = requested.to_u64().unwrap_or(u64::MAX);
+                    let mut forwarded = s.callable_gas(gas, requested.min(gas));
+                    charge!(forwarded);
+                    if !value.is_zero() {
+                        forwarded += s.call_stipend;
+                    }
+                    let input = memory.slice(in_off, in_len).to_vec();
+                    let result = self.call_with_code(
+                        CallParams {
+                            caller: params.address,
+                            address: params.address,
+                            value,
+                            input,
+                            gas: forwarded,
+                        },
+                        to,
+                    );
+                    gas += result.gas_left;
+                    let n = result.output.len().min(out_len);
+                    if n > 0 {
+                        memory.copy_padded(out_off, &result.output[..n], n);
+                    }
+                    push!(U256::from_u64(result.success as u64));
+                }
+                Opcode::DelegateCall => {
+                    // Homestead's EIP-7: callee code, this context, AND the
+                    // parent frame's caller/value pass through unchanged.
+                    let requested = pop!();
+                    let to = u256_to_address(pop!());
+                    let in_off = pop_usize!();
+                    let in_len = pop_usize!();
+                    let out_off = pop_usize!();
+                    let out_len = pop_usize!();
+                    charge!(s.call);
+                    expand_memory!(in_off, in_len);
+                    expand_memory!(out_off, out_len);
+                    let requested = requested.to_u64().unwrap_or(u64::MAX);
+                    let forwarded = s.callable_gas(gas, requested.min(gas));
+                    charge!(forwarded);
+                    let input = memory.slice(in_off, in_len).to_vec();
+                    let result = self.call_with_code(
+                        CallParams {
+                            caller: params.caller,
+                            address: params.address,
+                            value: params.value,
+                            input,
+                            gas: forwarded,
+                        },
+                        to,
+                    );
+                    gas += result.gas_left;
+                    let n = result.output.len().min(out_len);
+                    if n > 0 {
+                        memory.copy_padded(out_off, &result.output[..n], n);
+                    }
+                    push!(U256::from_u64(result.success as u64));
+                }
+                Opcode::Return => {
+                    charge!(s.base);
+                    let off = pop_usize!();
+                    let len = pop_usize!();
+                    expand_memory!(off, len);
+                    return FrameResult {
+                        success: true,
+                        gas_left: gas,
+                        output: memory.slice(off, len).to_vec(),
+                        error: None,
+                    };
+                }
+                Opcode::SelfDestruct => {
+                    charge!(s.base);
+                    let heir = u256_to_address(pop!());
+                    let balance = self.world.balance(params.address);
+                    self.world.destroy(params.address);
+                    self.world.credit(heir, balance);
+                    return FrameResult {
+                        success: true,
+                        gas_left: gas,
+                        output: Vec::new(),
+                        error: None,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Computes the set of valid JUMPDEST positions, skipping PUSH payloads.
+fn jump_destinations(code: &[u8]) -> Vec<bool> {
+    let mut valid = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let b = code[i];
+        if b == Opcode::JumpDest as u8 {
+            valid[i] = true;
+        }
+        if (0x60..=0x7F).contains(&b) {
+            i += (b - 0x5F) as usize;
+        }
+        i += 1;
+    }
+    valid
+}
+
+/// Widens an address into the low 20 bytes of a word.
+pub fn address_to_u256(a: Address) -> U256 {
+    U256::from_be_slice(a.as_bytes()).expect("20 bytes fit")
+}
+
+/// Truncates a word to its low 20 bytes as an address.
+pub fn u256_to_address(v: U256) -> Address {
+    let bytes = v.to_be_bytes();
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&bytes[12..]);
+    Address(out)
+}
+
+/// The CREATE address scheme: `keccak(rlp([sender, nonce]))[12..]`.
+pub fn contract_address(creator: Address, nonce: u64) -> Address {
+    let rlp = fork_rlp::encode_list(|s| {
+        s.append_bytes(creator.as_bytes());
+        s.append_u64(nonce);
+    });
+    Address::from_hash(keccak256(&rlp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Assembler;
+
+    fn addr(n: u8) -> Address {
+        Address([n; 20])
+    }
+
+    fn run(code: Vec<u8>, gas: u64) -> (FrameResult, WorldState) {
+        run_with(code, gas, |_| {})
+    }
+
+    fn run_with(
+        code: Vec<u8>,
+        gas: u64,
+        setup: impl FnOnce(&mut WorldState),
+    ) -> (FrameResult, WorldState) {
+        let mut world = WorldState::new();
+        world.set_code(addr(0xCC), code);
+        setup(&mut world);
+        let mut evm = Evm::new(
+            &mut world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: addr(0xEE),
+                gas_price: U256::ONE,
+            },
+        );
+        let r = evm.call(CallParams {
+            caller: addr(0xEE),
+            address: addr(0xCC),
+            value: U256::ZERO,
+            input: Vec::new(),
+            gas,
+        });
+        (r, world)
+    }
+
+    /// RETURN the top-of-stack word: MSTORE at 0, RETURN 32 bytes.
+    fn return_top(asm: Assembler) -> Vec<u8> {
+        asm.push(0)
+            .op(Opcode::MStore)
+            .push(32)
+            .push(0)
+            .op(Opcode::Return)
+            .build()
+    }
+
+    fn returned_word(r: &FrameResult) -> U256 {
+        assert!(r.success, "frame failed: {:?}", r.error);
+        U256::from_be_slice(&r.output).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_add() {
+        let code = return_top(Assembler::new().push(2).push(40).op(Opcode::Add));
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::from_u64(42));
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let code = return_top(Assembler::new().push(0).push(7).op(Opcode::Div));
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::ZERO);
+    }
+
+    #[test]
+    fn exp_and_comparison() {
+        // 2^10 = 1024; 1024 > 1000 -> 1
+        let code = return_top(
+            Assembler::new()
+                .push(10)
+                .push(2)
+                .op(Opcode::Exp)
+                .push(1000)
+                .swap(1)
+                .op(Opcode::Gt),
+        );
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::ONE);
+    }
+
+    #[test]
+    fn storage_roundtrip() {
+        let code = Assembler::new()
+            .push(0xAB) // value
+            .push(0x01) // key
+            .op(Opcode::SStore)
+            .build();
+        let (r, w) = run(code, 100_000);
+        assert!(r.success);
+        assert_eq!(
+            w.storage(addr(0xCC), U256::ONE),
+            U256::from_u64(0xAB)
+        );
+    }
+
+    #[test]
+    fn sload_reads_back() {
+        let store_then_load = return_top(
+            Assembler::new()
+                .push(0xAB)
+                .push(0x01)
+                .op(Opcode::SStore)
+                .push(0x01)
+                .op(Opcode::SLoad),
+        );
+        let (r, _) = run(store_then_load, 100_000);
+        assert_eq!(returned_word(&r), U256::from_u64(0xAB));
+    }
+
+    #[test]
+    fn out_of_gas_consumes_everything_and_reverts() {
+        let code = Assembler::new()
+            .push(0xAB)
+            .push(0x01)
+            .op(Opcode::SStore) // needs 20k; we give less
+            .build();
+        let (r, w) = run(code, 1_000);
+        assert!(!r.success);
+        assert_eq!(r.error, Some(VmError::OutOfGas));
+        assert_eq!(r.gas_left, 0);
+        assert_eq!(w.storage(addr(0xCC), U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn bad_jump_fails() {
+        let code = Assembler::new().push(3).op(Opcode::Jump).build();
+        let (r, _) = run(code, 100_000);
+        assert_eq!(r.error, Some(VmError::BadJumpDestination { dest: 3 }));
+    }
+
+    #[test]
+    fn jump_into_push_data_rejected() {
+        // PUSH2 0x5B5B; JUMPDEST bytes inside push data are not valid targets.
+        let code = Assembler::new()
+            .raw(0x61) // PUSH2
+            .raw(0x5B)
+            .raw(0x5B)
+            .push(1) // destination: offset 1 is inside the push payload
+            .op(Opcode::Jump)
+            .build();
+        let (r, _) = run(code, 100_000);
+        assert!(matches!(r.error, Some(VmError::BadJumpDestination { .. })));
+    }
+
+    #[test]
+    fn valid_jump_loops() {
+        // Count down from 3: [JUMPDEST] push 1 sub dup iszero-not -> jumpi
+        // Simpler: jump forward over an invalid opcode.
+        let mut asm = Assembler::new().push(4).op(Opcode::Jump); // jump to offset 4
+        assert_eq!(asm.len(), 3);
+        asm = asm.raw(0xFE); // invalid, skipped
+        asm = asm.op(Opcode::JumpDest); // offset 4
+        let code = return_top(asm.push(7));
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::from_u64(7));
+    }
+
+    #[test]
+    fn environment_opcodes() {
+        let code = return_top(Assembler::new().op(Opcode::Number));
+        let mut world = WorldState::new();
+        world.set_code(addr(0xCC), code);
+        let mut evm = Evm::new(
+            &mut world,
+            GasSchedule::frontier(),
+            BlockContext {
+                number: 1_920_000,
+                ..BlockContext::default()
+            },
+            TxContext {
+                origin: addr(0xEE),
+                gas_price: U256::ONE,
+            },
+        );
+        let r = evm.call(CallParams {
+            caller: addr(0xEE),
+            address: addr(0xCC),
+            value: U256::ZERO,
+            input: Vec::new(),
+            gas: 100_000,
+        });
+        assert_eq!(returned_word(&r), U256::from_u64(1_920_000));
+    }
+
+    #[test]
+    fn calldata_load() {
+        let code = return_top(Assembler::new().push(0).op(Opcode::CallDataLoad));
+        let mut world = WorldState::new();
+        world.set_code(addr(0xCC), code);
+        let mut evm = Evm::new(
+            &mut world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: addr(0xEE),
+                gas_price: U256::ONE,
+            },
+        );
+        let mut input = vec![0u8; 32];
+        input[31] = 99;
+        let r = evm.call(CallParams {
+            caller: addr(0xEE),
+            address: addr(0xCC),
+            value: U256::ZERO,
+            input,
+            gas: 100_000,
+        });
+        assert_eq!(returned_word(&r), U256::from_u64(99));
+    }
+
+    #[test]
+    fn value_transfer_to_eoa() {
+        let mut world = WorldState::new();
+        world.set_balance(addr(1), U256::from_u64(100));
+        let mut evm = Evm::new(
+            &mut world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: addr(1),
+                gas_price: U256::ONE,
+            },
+        );
+        let r = evm.call(CallParams {
+            caller: addr(1),
+            address: addr(2),
+            value: U256::from_u64(40),
+            input: Vec::new(),
+            gas: 0,
+        });
+        assert!(r.success);
+        assert_eq!(world.balance(addr(2)), U256::from_u64(40));
+    }
+
+    #[test]
+    fn nested_call_and_revert_on_failure() {
+        // Callee: SSTORE then run an invalid opcode -> fails, state reverts.
+        let callee = Assembler::new()
+            .push(1)
+            .push(1)
+            .op(Opcode::SStore)
+            .raw(0xFE) // invalid opcode
+            .build();
+        // Caller: CALL(gas=50000, to=0xDD, value=0, ...) then store the
+        // success flag at slot 0.
+        let caller = Assembler::new()
+            .push(0) // out len
+            .push(0) // out off
+            .push(0) // in len
+            .push(0) // in off
+            .push(0) // value
+            .push_address(addr(0xDD))
+            .push(50_000) // gas
+            .op(Opcode::Call)
+            .push(0)
+            .op(Opcode::SStore)
+            .build();
+        let (r, w) = run_with(caller, 200_000, |w| {
+            w.set_code(addr(0xDD), callee);
+        });
+        assert!(r.success);
+        // Callee failed -> its storage write rolled back, flag is 0.
+        assert_eq!(w.storage(addr(0xDD), U256::ONE), U256::ZERO);
+        assert_eq!(w.storage(addr(0xCC), U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn nested_call_success_persists() {
+        let callee = Assembler::new().push(7).push(1).op(Opcode::SStore).build();
+        let caller = Assembler::new()
+            .push(0)
+            .push(0)
+            .push(0)
+            .push(0)
+            .push(0)
+            .push_address(addr(0xDD))
+            .push(50_000)
+            .op(Opcode::Call)
+            .push(0)
+            .op(Opcode::SStore)
+            .build();
+        let (r, w) = run_with(caller, 200_000, |w| {
+            w.set_code(addr(0xDD), callee);
+        });
+        assert!(r.success);
+        assert_eq!(w.storage(addr(0xDD), U256::ONE), U256::from_u64(7));
+        assert_eq!(w.storage(addr(0xCC), U256::ZERO), U256::ONE);
+    }
+
+    #[test]
+    fn logs_emitted_and_rolled_back_with_frame() {
+        let logger = Assembler::new()
+            .push(0)
+            .push(0)
+            .op(Opcode::Log0)
+            .build();
+        let (r, _) = run(logger, 100_000);
+        assert!(r.success);
+
+        // Failing frame: log then invalid opcode -> log must vanish.
+        let failing = Assembler::new()
+            .push(0)
+            .push(0)
+            .op(Opcode::Log0)
+            .raw(0xFE)
+            .build();
+        let mut world = WorldState::new();
+        world.set_code(addr(0xCC), failing);
+        let mut evm = Evm::new(
+            &mut world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: addr(0xEE),
+                gas_price: U256::ONE,
+            },
+        );
+        let r = evm.call(CallParams {
+            caller: addr(0xEE),
+            address: addr(0xCC),
+            value: U256::ZERO,
+            input: Vec::new(),
+            gas: 100_000,
+        });
+        assert!(!r.success);
+        assert!(evm.logs.is_empty());
+    }
+
+    #[test]
+    fn sha3_opcode_matches_keccak() {
+        // keccak of 32 zero bytes.
+        let code = return_top(Assembler::new().push(32).push(0).op(Opcode::Sha3));
+        let (r, _) = run(code, 100_000);
+        let expect = keccak256(&[0u8; 32]).into_u256();
+        assert_eq!(returned_word(&r), expect);
+    }
+
+    #[test]
+    fn create_deploys_code() {
+        // Init code returns 2 bytes of runtime code [0x60, 0x00] (PUSH1 0).
+        let init = Assembler::new()
+            .push(0x6000) // the two bytes
+            .push(0)
+            .op(Opcode::MStore) // at mem[0..32], bytes are at offset 30..32
+            .push(2)
+            .push(30)
+            .op(Opcode::Return)
+            .build();
+        let mut world = WorldState::new();
+        world.set_balance(addr(1), U256::from_u64(0));
+        let mut evm = Evm::new(
+            &mut world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: addr(1),
+                gas_price: U256::ONE,
+            },
+        );
+        let (r, created) = evm.create(addr(1), U256::ZERO, init, 200_000);
+        assert!(r.success, "{:?}", r.error);
+        let created = created.unwrap();
+        assert_eq!(world.code(created), &[0x60, 0x00]);
+        assert_eq!(created, contract_address(addr(1), 0));
+    }
+
+    #[test]
+    fn selfdestruct_moves_balance() {
+        let code = Assembler::new()
+            .push_address(addr(0x99))
+            .op(Opcode::SelfDestruct)
+            .build();
+        let (r, w) = run_with(code, 100_000, |w| {
+            w.set_balance(addr(0xCC), U256::from_u64(500));
+        });
+        assert!(r.success);
+        assert!(!w.exists(addr(0xCC)));
+        assert_eq!(w.balance(addr(0x99)), U256::from_u64(500));
+    }
+
+    #[test]
+    fn call_depth_limit_enforced() {
+        let mut world = WorldState::new();
+        let mut evm = Evm::new(
+            &mut world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: addr(1),
+                gas_price: U256::ONE,
+            },
+        );
+        evm.depth = CALL_DEPTH_LIMIT;
+        let r = evm.call(CallParams {
+            caller: addr(1),
+            address: addr(2),
+            value: U256::ZERO,
+            input: Vec::new(),
+            gas: 1000,
+        });
+        assert_eq!(r.error, Some(VmError::CallDepthExceeded));
+    }
+
+    #[test]
+    fn push_truncated_at_code_end_reads_zero() {
+        // PUSH32 with only 1 byte of payload available.
+        let code = vec![0x7F, 0xAA];
+        let (r, _) = run(code, 100_000);
+        // Implicit stop after push; success with empty output.
+        assert!(r.success);
+    }
+
+    #[test]
+    fn signed_arithmetic_opcodes() {
+        // -8 / 2 = -4 via SDIV: push -8 as NOT(7).
+        let code = return_top(
+            Assembler::new()
+                .push(2)
+                .push(7)
+                .op(Opcode::Not) // -8
+                .op(Opcode::SDiv),
+        );
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::from_u64(4).wrapping_neg());
+
+        // SLT: -1 < 1 -> 1.
+        let code = return_top(
+            Assembler::new()
+                .push(1)
+                .push(0)
+                .op(Opcode::Not) // -1
+                .op(Opcode::Slt),
+        );
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::ONE);
+
+        // ADDMOD(10, 10, 8) = 4. Stack: pops a, b, m.
+        let code = return_top(
+            Assembler::new()
+                .push(8)
+                .push(10)
+                .push(10)
+                .op(Opcode::AddMod),
+        );
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::from_u64(4));
+
+        // MULMOD(7, 5, 4) = 3.
+        let code = return_top(
+            Assembler::new().push(4).push(5).push(7).op(Opcode::MulMod),
+        );
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::from_u64(3));
+
+        // SIGNEXTEND(0, 0xFF) = -1.
+        let code = return_top(
+            Assembler::new().push(0xFF).push(0).op(Opcode::SignExtend),
+        );
+        let (r, _) = run(code, 100_000);
+        assert_eq!(returned_word(&r), U256::MAX);
+    }
+
+    #[test]
+    fn extcode_opcodes() {
+        // EXTCODESIZE of a contract with 3 bytes of code.
+        let code = return_top(
+            Assembler::new()
+                .push_address(addr(0xDD))
+                .op(Opcode::ExtCodeSize),
+        );
+        let (r, _) = run_with(code, 100_000, |w| {
+            w.set_code(addr(0xDD), vec![1, 2, 3]);
+        });
+        assert_eq!(returned_word(&r), U256::from_u64(3));
+
+        // EXTCODECOPY: copy the 3 bytes to memory and return the word.
+        let code = Assembler::new()
+            .push(32) // len (zero-padded past the code end)
+            .push(0) // src
+            .push(0) // dst
+            .push_address(addr(0xDD))
+            .op(Opcode::ExtCodeCopy)
+            .push(32)
+            .push(0)
+            .op(Opcode::Return)
+            .build();
+        let (r, _) = run_with(code, 100_000, |w| {
+            w.set_code(addr(0xDD), vec![0xAA, 0xBB, 0xCC]);
+        });
+        assert!(r.success);
+        assert_eq!(r.output[..3], [0xAA, 0xBB, 0xCC]);
+        assert!(r.output[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn delegatecall_runs_callee_code_in_caller_context() {
+        // Library at 0xDD writes 7 into slot 1 (of whoever runs it).
+        let library = Assembler::new().push(7).push(1).op(Opcode::SStore).build();
+        // Caller delegate-calls the library.
+        let caller = Assembler::new()
+            .push(0) // out len
+            .push(0) // out off
+            .push(0) // in len
+            .push(0) // in off
+            .push_address(addr(0xDD))
+            .push(60_000) // gas
+            .op(Opcode::DelegateCall)
+            .push(0)
+            .op(Opcode::SStore) // store success flag at slot 0
+            .build();
+        let (r, w) = run_with(caller, 200_000, |w| {
+            w.set_code(addr(0xDD), library);
+        });
+        assert!(r.success);
+        // The write landed in the CALLER's storage, not the library's.
+        assert_eq!(w.storage(addr(0xCC), U256::ONE), U256::from_u64(7));
+        assert_eq!(w.storage(addr(0xDD), U256::ONE), U256::ZERO);
+        assert_eq!(w.storage(addr(0xCC), U256::ZERO), U256::ONE);
+    }
+
+    #[test]
+    fn delegatecall_preserves_caller_identity() {
+        // Library stores CALLER into slot 2; under DELEGATECALL the observed
+        // caller is the ORIGINAL caller (0xEE), not the delegating contract.
+        let library = Assembler::new()
+            .op(Opcode::Caller)
+            .push(2)
+            .op(Opcode::SStore)
+            .build();
+        let caller = Assembler::new()
+            .push(0)
+            .push(0)
+            .push(0)
+            .push(0)
+            .push_address(addr(0xDD))
+            .push(60_000)
+            .op(Opcode::DelegateCall)
+            .op(Opcode::Pop)
+            .build();
+        let (r, w) = run_with(caller, 200_000, |w| {
+            w.set_code(addr(0xDD), library);
+        });
+        assert!(r.success);
+        let stored = w.storage(addr(0xCC), U256::from_u64(2));
+        assert_eq!(u256_to_address(stored), addr(0xEE));
+    }
+
+    #[test]
+    fn callcode_uses_own_storage_but_self_as_caller() {
+        // Library stores CALLER into slot 3. Under CALLCODE the caller is
+        // the invoking contract itself.
+        let library = Assembler::new()
+            .op(Opcode::Caller)
+            .push(3)
+            .op(Opcode::SStore)
+            .build();
+        let caller = Assembler::new()
+            .push(0)
+            .push(0)
+            .push(0)
+            .push(0)
+            .push(0) // value
+            .push_address(addr(0xDD))
+            .push(60_000)
+            .op(Opcode::CallCode)
+            .op(Opcode::Pop)
+            .build();
+        let (r, w) = run_with(caller, 200_000, |w| {
+            w.set_code(addr(0xDD), library);
+        });
+        assert!(r.success);
+        let stored = w.storage(addr(0xCC), U256::from_u64(3));
+        assert_eq!(u256_to_address(stored), addr(0xCC));
+        assert_eq!(w.storage(addr(0xDD), U256::from_u64(3)), U256::ZERO);
+    }
+
+    #[test]
+    fn log3_log4_topics() {
+        let code = Assembler::new()
+            .push(4)
+            .push(3)
+            .push(2)
+            .push(1)
+            .push(0) // len
+            .push(0) // off
+            .op(Opcode::Log4)
+            .build();
+        let mut world = WorldState::new();
+        world.set_code(addr(0xCC), code);
+        let mut evm = Evm::new(
+            &mut world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: addr(0xEE),
+                gas_price: U256::ONE,
+            },
+        );
+        let r = evm.call(CallParams {
+            caller: addr(0xEE),
+            address: addr(0xCC),
+            value: U256::ZERO,
+            input: Vec::new(),
+            gas: 100_000,
+        });
+        assert!(r.success, "{:?}", r.error);
+        assert_eq!(evm.logs.len(), 1);
+        let topics: Vec<u64> = evm.logs[0]
+            .topics
+            .iter()
+            .map(|t| t.into_u256().low_u64())
+            .collect();
+        assert_eq!(topics, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn address_word_roundtrip() {
+        let a = addr(0x42);
+        assert_eq!(u256_to_address(address_to_u256(a)), a);
+    }
+
+    #[test]
+    fn eip150_makes_sload_dearer() {
+        let code = Assembler::new()
+            .push(1)
+            .op(Opcode::SLoad)
+            .op(Opcode::Pop)
+            .build();
+        let run_with_schedule = |schedule: GasSchedule| {
+            let mut world = WorldState::new();
+            world.set_code(addr(0xCC), code.clone());
+            let mut evm = Evm::new(
+                &mut world,
+                schedule,
+                BlockContext::default(),
+                TxContext {
+                    origin: addr(0xEE),
+                    gas_price: U256::ONE,
+                },
+            );
+            let r = evm.call(CallParams {
+                caller: addr(0xEE),
+                address: addr(0xCC),
+                value: U256::ZERO,
+                input: Vec::new(),
+                gas: 10_000,
+            });
+            10_000 - r.gas_left
+        };
+        let frontier = run_with_schedule(GasSchedule::frontier());
+        let tangerine = run_with_schedule(GasSchedule::eip150());
+        assert_eq!(tangerine - frontier, 150); // SLOAD 50 -> 200
+    }
+}

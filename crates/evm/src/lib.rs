@@ -1,0 +1,134 @@
+//! # fork-evm
+//!
+//! A gas-metered stack virtual machine implementing the Homestead-era EVM —
+//! arithmetic (incl. signed and modular), Keccak, environment access,
+//! storage, control flow, logs, CREATE and the full call family (CALL,
+//! CALLCODE, DELEGATECALL) — plus the journaled world state the whole
+//! workspace shares.
+//!
+//! Includes both gas schedules relevant to the paper's timeline (Frontier and
+//! the EIP-150 repricing rolled out by the resolved forks of Nov 2016 / Jan
+//! 2017) and a contract library with a faithful DAO-style reentrancy pair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contracts;
+pub mod error;
+pub mod execute;
+pub mod gas;
+pub mod interpreter;
+pub mod memory;
+pub mod opcode;
+pub mod stack;
+pub mod world;
+
+pub use error::VmError;
+pub use execute::{transact, TransactOutcome, TxError};
+pub use gas::GasSchedule;
+pub use interpreter::{
+    address_to_u256, contract_address, u256_to_address, BlockContext, CallParams, Evm,
+    FrameResult, Log, TxContext,
+};
+pub use world::{Account, Checkpoint, WorldState};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fork_primitives::{Address, U256};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random bytecode must never panic the interpreter, and gas used
+        /// must never exceed the supplied limit.
+        #[test]
+        fn interpreter_total_on_random_code(
+            code in proptest::collection::vec(any::<u8>(), 0..256),
+            gas in 0u64..200_000,
+        ) {
+            let mut world = WorldState::new();
+            let target = Address([7u8; 20]);
+            world.set_code(target, code);
+            let mut evm = Evm::new(
+                &mut world,
+                GasSchedule::frontier(),
+                BlockContext::default(),
+                TxContext { origin: Address([1u8; 20]), gas_price: U256::ONE },
+            );
+            let r = evm.call(CallParams {
+                caller: Address([1u8; 20]),
+                address: target,
+                value: U256::ZERO,
+                input: Vec::new(),
+                gas,
+            });
+            prop_assert!(r.gas_left <= gas);
+        }
+
+        /// Failed frames must leave no trace in the world state.
+        #[test]
+        fn failed_frames_revert_cleanly(
+            code in proptest::collection::vec(any::<u8>(), 1..128),
+            gas in 0u64..50_000,
+        ) {
+            let mut world = WorldState::new();
+            let target = Address([7u8; 20]);
+            world.set_code(target, code);
+            world.commit();
+            let root_before = world.state_root();
+            let mut evm = Evm::new(
+                &mut world,
+                GasSchedule::frontier(),
+                BlockContext::default(),
+                TxContext { origin: Address([1u8; 20]), gas_price: U256::ONE },
+            );
+            let r = evm.call(CallParams {
+                caller: Address([1u8; 20]),
+                address: target,
+                value: U256::ZERO,
+                input: Vec::new(),
+                gas,
+            });
+            if !r.success {
+                prop_assert_eq!(world.state_root(), root_before);
+            }
+        }
+
+        /// Total ether is conserved by arbitrary vault/attacker interactions.
+        #[test]
+        fn ether_conserved_across_contract_calls(
+            deposit in 1u64..10_000,
+            budget in 0u64..6,
+        ) {
+            let mut world = WorldState::new();
+            let vault = Address([0xDA; 20]);
+            let attacker = Address([0xBA; 20]);
+            let eoa = Address([0x66; 20]);
+            world.set_code(vault, contracts::vulnerable_vault());
+            world.set_code(attacker, contracts::reentrancy_attacker());
+            world.set_balance(eoa, U256::from_u64(1_000_000));
+            let total_before: U256 = [vault, attacker, eoa]
+                .iter()
+                .map(|a| world.balance(*a))
+                .sum();
+            let mut evm = Evm::new(
+                &mut world,
+                GasSchedule::frontier(),
+                BlockContext::default(),
+                TxContext { origin: eoa, gas_price: U256::ONE },
+            );
+            let _ = evm.call(CallParams {
+                caller: eoa,
+                address: attacker,
+                value: U256::from_u64(deposit),
+                input: contracts::attacker_setup_calldata(budget, vault),
+                gas: 8_000_000,
+            });
+            let total_after: U256 = [vault, attacker, eoa]
+                .iter()
+                .map(|a| world.balance(*a))
+                .sum();
+            prop_assert_eq!(total_before, total_after);
+        }
+    }
+}

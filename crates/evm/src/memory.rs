@@ -1,0 +1,162 @@
+//! Byte-addressed frame memory with word-granular expansion.
+
+use fork_primitives::U256;
+
+use crate::error::VmError;
+
+/// Hard cap on frame memory — a simulation guard far above anything the
+/// workloads touch, but low enough that a buggy contract cannot OOM the host.
+pub const MEMORY_LIMIT: usize = 16 * 1024 * 1024;
+
+/// One frame's linear memory. Grows in 32-byte words; reads inside the
+/// current size are zero-filled by construction.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current size in bytes (always a multiple of 32).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Current size in 32-byte words.
+    pub fn words(&self) -> u64 {
+        (self.bytes.len() / 32) as u64
+    }
+
+    /// Number of words needed to cover `offset + len` (0 when `len == 0`,
+    /// because the EVM does not expand memory for empty ranges).
+    pub fn words_for(offset: usize, len: usize) -> Result<u64, VmError> {
+        if len == 0 {
+            return Ok(0);
+        }
+        let end = offset
+            .checked_add(len)
+            .ok_or(VmError::MemoryLimitExceeded { requested: usize::MAX })?;
+        if end > MEMORY_LIMIT {
+            return Err(VmError::MemoryLimitExceeded { requested: end });
+        }
+        Ok(end.div_ceil(32) as u64)
+    }
+
+    /// Expands to cover `offset + len` bytes; no-op for empty ranges.
+    pub fn expand(&mut self, offset: usize, len: usize) -> Result<(), VmError> {
+        let words = Self::words_for(offset, len)?;
+        let target = (words as usize) * 32;
+        if target > self.bytes.len() {
+            self.bytes.resize(target, 0);
+        }
+        Ok(())
+    }
+
+    /// Reads a 32-byte word at `offset` (memory must already cover it).
+    pub fn load_word(&self, offset: usize) -> U256 {
+        let mut buf = [0u8; 32];
+        buf.copy_from_slice(&self.bytes[offset..offset + 32]);
+        U256::from_be_slice(&buf).expect("32 bytes fit")
+    }
+
+    /// Writes a 32-byte word at `offset`.
+    pub fn store_word(&mut self, offset: usize, value: U256) {
+        self.bytes[offset..offset + 32].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Writes a single byte.
+    pub fn store_byte(&mut self, offset: usize, value: u8) {
+        self.bytes[offset] = value;
+    }
+
+    /// Copies `data` into memory at `offset`, zero-padding when `data` is
+    /// shorter than `len` (CALLDATACOPY semantics).
+    pub fn copy_padded(&mut self, offset: usize, data: &[u8], len: usize) {
+        let n = data.len().min(len);
+        self.bytes[offset..offset + n].copy_from_slice(&data[..n]);
+        for b in &mut self.bytes[offset + n..offset + len] {
+            *b = 0;
+        }
+    }
+
+    /// Borrows `len` bytes at `offset`.
+    pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        if len == 0 {
+            return &[];
+        }
+        &self.bytes[offset..offset + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_word_granular() {
+        let mut m = Memory::new();
+        m.expand(0, 1).unwrap();
+        assert_eq!(m.len(), 32);
+        m.expand(31, 2).unwrap();
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn empty_range_does_not_expand() {
+        let mut m = Memory::new();
+        m.expand(1_000_000, 0).unwrap();
+        assert_eq!(m.len(), 0);
+        assert_eq!(Memory::words_for(usize::MAX, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = Memory::new();
+        m.expand(64, 32).unwrap();
+        let v = U256::from_u128(0xDEAD_BEEF_0000_1111);
+        m.store_word(64, v);
+        assert_eq!(m.load_word(64), v);
+        // Untouched memory reads zero.
+        assert_eq!(m.load_word(0), U256::ZERO);
+    }
+
+    #[test]
+    fn copy_padded_zero_fills() {
+        let mut m = Memory::new();
+        m.expand(0, 32).unwrap();
+        m.store_word(0, U256::MAX);
+        m.copy_padded(0, &[1, 2, 3], 32);
+        assert_eq!(m.slice(0, 3), &[1, 2, 3]);
+        assert!(m.slice(3, 29).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let mut m = Memory::new();
+        assert!(matches!(
+            m.expand(MEMORY_LIMIT, 1),
+            Err(VmError::MemoryLimitExceeded { .. })
+        ));
+        assert!(matches!(
+            Memory::words_for(usize::MAX, 2),
+            Err(VmError::MemoryLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn store_byte() {
+        let mut m = Memory::new();
+        m.expand(0, 32).unwrap();
+        m.store_byte(5, 0xAB);
+        assert_eq!(m.slice(5, 1), &[0xAB]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Opcode definitions for the simulated EVM.
+//!
+//! The subset covers everything the study's workloads execute: arithmetic,
+//! comparison, Keccak, environment access, storage, memory, control flow,
+//! logging, calls (including value-bearing reentrant calls — the DAO drain),
+//! and contract self-balance movement.
+
+/// EVM opcodes (byte values match the real instruction set so disassembly of
+/// real fragments lines up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs)] // names match the yellow paper mnemonics
+pub enum Opcode {
+    Stop = 0x00,
+    Add = 0x01,
+    Mul = 0x02,
+    Sub = 0x03,
+    Div = 0x04,
+    SDiv = 0x05,
+    Mod = 0x06,
+    SMod = 0x07,
+    AddMod = 0x08,
+    MulMod = 0x09,
+    Exp = 0x0A,
+    SignExtend = 0x0B,
+    Lt = 0x10,
+    Gt = 0x11,
+    Slt = 0x12,
+    Sgt = 0x13,
+    Eq = 0x14,
+    IsZero = 0x15,
+    And = 0x16,
+    Or = 0x17,
+    Xor = 0x18,
+    Not = 0x19,
+    Byte = 0x1A,
+    Sha3 = 0x20,
+    Address = 0x30,
+    Balance = 0x31,
+    Origin = 0x32,
+    Caller = 0x33,
+    CallValue = 0x34,
+    CallDataLoad = 0x35,
+    CallDataSize = 0x36,
+    CallDataCopy = 0x37,
+    CodeSize = 0x38,
+    GasPrice = 0x3A,
+    ExtCodeSize = 0x3B,
+    ExtCodeCopy = 0x3C,
+    Coinbase = 0x41,
+    Timestamp = 0x42,
+    Number = 0x43,
+    Difficulty = 0x44,
+    GasLimit = 0x45,
+    Pop = 0x50,
+    MLoad = 0x51,
+    MStore = 0x52,
+    MStore8 = 0x53,
+    SLoad = 0x54,
+    SStore = 0x55,
+    Jump = 0x56,
+    JumpI = 0x57,
+    Pc = 0x58,
+    MSize = 0x59,
+    Gas = 0x5A,
+    JumpDest = 0x5B,
+    // PUSH1..PUSH32 are 0x60..=0x7F, DUP1..DUP16 are 0x80..=0x8F,
+    // SWAP1..SWAP16 are 0x90..=0x9F; handled numerically by the interpreter.
+    Log0 = 0xA0,
+    Log1 = 0xA1,
+    Log2 = 0xA2,
+    Log3 = 0xA3,
+    Log4 = 0xA4,
+    Create = 0xF0,
+    Call = 0xF1,
+    CallCode = 0xF2,
+    Return = 0xF3,
+    DelegateCall = 0xF4,
+    SelfDestruct = 0xFF,
+}
+
+impl Opcode {
+    /// Decodes a byte into a structured opcode, if it is one of the
+    /// non-parameterized instructions (PUSH/DUP/SWAP are ranges and decoded
+    /// inline by the interpreter).
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match b {
+            0x00 => Stop,
+            0x01 => Add,
+            0x02 => Mul,
+            0x03 => Sub,
+            0x04 => Div,
+            0x05 => SDiv,
+            0x06 => Mod,
+            0x07 => SMod,
+            0x08 => AddMod,
+            0x09 => MulMod,
+            0x0A => Exp,
+            0x0B => SignExtend,
+            0x10 => Lt,
+            0x11 => Gt,
+            0x12 => Slt,
+            0x13 => Sgt,
+            0x14 => Eq,
+            0x15 => IsZero,
+            0x16 => And,
+            0x17 => Or,
+            0x18 => Xor,
+            0x19 => Not,
+            0x1A => Byte,
+            0x20 => Sha3,
+            0x30 => Address,
+            0x31 => Balance,
+            0x32 => Origin,
+            0x33 => Caller,
+            0x34 => CallValue,
+            0x35 => CallDataLoad,
+            0x36 => CallDataSize,
+            0x37 => CallDataCopy,
+            0x38 => CodeSize,
+            0x3A => GasPrice,
+            0x3B => ExtCodeSize,
+            0x3C => ExtCodeCopy,
+            0x41 => Coinbase,
+            0x42 => Timestamp,
+            0x43 => Number,
+            0x44 => Difficulty,
+            0x45 => GasLimit,
+            0x50 => Pop,
+            0x51 => MLoad,
+            0x52 => MStore,
+            0x53 => MStore8,
+            0x54 => SLoad,
+            0x55 => SStore,
+            0x56 => Jump,
+            0x57 => JumpI,
+            0x58 => Pc,
+            0x59 => MSize,
+            0x5A => Gas,
+            0x5B => JumpDest,
+            0xA0 => Log0,
+            0xA1 => Log1,
+            0xA2 => Log2,
+            0xA3 => Log3,
+            0xA4 => Log4,
+            0xF0 => Create,
+            0xF1 => Call,
+            0xF2 => CallCode,
+            0xF3 => Return,
+            0xF4 => DelegateCall,
+            0xFF => SelfDestruct,
+            _ => return None,
+        })
+    }
+}
+
+/// A tiny bytecode assembler used by tests, examples and the scenario
+/// generators to author contracts (the DAO-style splitter, ping-pong callers,
+/// storage churners) without hand-writing hex.
+#[derive(Default, Debug, Clone)]
+pub struct Assembler {
+    code: Vec<u8>,
+}
+
+impl Assembler {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a non-parameterized opcode.
+    pub fn op(mut self, op: Opcode) -> Self {
+        self.code.push(op as u8);
+        self
+    }
+
+    /// Appends a raw byte (escape hatch).
+    pub fn raw(mut self, b: u8) -> Self {
+        self.code.push(b);
+        self
+    }
+
+    /// Appends the smallest PUSH that fits `value`.
+    pub fn push(mut self, value: u64) -> Self {
+        let be = value.to_be_bytes();
+        let start = be.iter().position(|&b| b != 0).unwrap_or(7);
+        let bytes = &be[start..];
+        self.code.push(0x60 + (bytes.len() as u8 - 1));
+        self.code.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends PUSH20 of an address.
+    pub fn push_address(mut self, addr: fork_primitives::Address) -> Self {
+        self.code.push(0x60 + 19); // PUSH20
+        self.code.extend_from_slice(addr.as_bytes());
+        self
+    }
+
+    /// Appends PUSH32 of a 256-bit constant.
+    pub fn push_u256(mut self, v: fork_primitives::U256) -> Self {
+        self.code.push(0x7F); // PUSH32
+        self.code.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends DUPn (1-indexed, n ≤ 16).
+    pub fn dup(mut self, n: u8) -> Self {
+        assert!((1..=16).contains(&n));
+        self.code.push(0x80 + n - 1);
+        self
+    }
+
+    /// Appends SWAPn (1-indexed, n ≤ 16).
+    pub fn swap(mut self, n: u8) -> Self {
+        assert!((1..=16).contains(&n));
+        self.code.push(0x90 + n - 1);
+        self
+    }
+
+    /// Current length (for computing jump destinations).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when no bytes have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Finishes and returns the bytecode.
+    pub fn build(self) -> Vec<u8> {
+        self.code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip_for_defined_opcodes() {
+        for b in 0u8..=255 {
+            if let Some(op) = Opcode::from_byte(b) {
+                assert_eq!(op as u8, b);
+            }
+        }
+    }
+
+    #[test]
+    fn push_dup_swap_ranges_not_structured() {
+        assert!(Opcode::from_byte(0x60).is_none()); // PUSH1
+        assert!(Opcode::from_byte(0x7F).is_none()); // PUSH32
+        assert!(Opcode::from_byte(0x80).is_none()); // DUP1
+        assert!(Opcode::from_byte(0x9F).is_none()); // SWAP16
+    }
+
+    #[test]
+    fn assembler_minimal_push() {
+        let code = Assembler::new().push(0x01).push(0x1234).build();
+        assert_eq!(code, vec![0x60, 0x01, 0x61, 0x12, 0x34]);
+    }
+
+    #[test]
+    fn assembler_push_zero() {
+        // Zero still needs one byte (PUSH1 0x00).
+        assert_eq!(Assembler::new().push(0).build(), vec![0x60, 0x00]);
+    }
+
+    #[test]
+    fn assembler_dup_swap_encoding() {
+        let code = Assembler::new().dup(1).dup(16).swap(1).swap(16).build();
+        assert_eq!(code, vec![0x80, 0x8F, 0x90, 0x9F]);
+    }
+
+    #[test]
+    fn assembler_address_push() {
+        let addr = fork_primitives::Address([9u8; 20]);
+        let code = Assembler::new().push_address(addr).build();
+        assert_eq!(code[0], 0x73); // PUSH20
+        assert_eq!(&code[1..], addr.as_bytes());
+    }
+}

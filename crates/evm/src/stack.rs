@@ -1,0 +1,137 @@
+//! The 1024-slot EVM operand stack.
+
+use fork_primitives::U256;
+
+use crate::error::VmError;
+
+/// Maximum stack depth mandated by the yellow paper.
+pub const STACK_LIMIT: usize = 1024;
+
+/// The operand stack of one call frame.
+#[derive(Debug, Default, Clone)]
+pub struct Stack {
+    items: Vec<U256>,
+}
+
+impl Stack {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Stack {
+            items: Vec::with_capacity(32),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pushes a value, enforcing the 1024-slot limit.
+    pub fn push(&mut self, v: U256) -> Result<(), VmError> {
+        if self.items.len() >= STACK_LIMIT {
+            return Err(VmError::StackOverflow);
+        }
+        self.items.push(v);
+        Ok(())
+    }
+
+    /// Pops the top value.
+    pub fn pop(&mut self) -> Result<U256, VmError> {
+        self.items.pop().ok_or(VmError::StackUnderflow)
+    }
+
+    /// Pops the top value and narrows it to `usize`, saturating (memory
+    /// offsets beyond the cap will fail the memory bound check instead).
+    pub fn pop_usize(&mut self) -> Result<usize, VmError> {
+        let v = self.pop()?;
+        Ok(v.to_u64().map(|x| x as usize).unwrap_or(usize::MAX))
+    }
+
+    /// Peeks `depth` items below the top (0 = top).
+    pub fn peek(&self, depth: usize) -> Result<U256, VmError> {
+        let len = self.items.len();
+        if depth >= len {
+            return Err(VmError::StackUnderflow);
+        }
+        Ok(self.items[len - 1 - depth])
+    }
+
+    /// DUPn: duplicates the n-th item from the top (1-indexed).
+    pub fn dup(&mut self, n: usize) -> Result<(), VmError> {
+        let v = self.peek(n - 1)?;
+        self.push(v)
+    }
+
+    /// SWAPn: swaps the top with the (n+1)-th item (1-indexed n).
+    pub fn swap(&mut self, n: usize) -> Result<(), VmError> {
+        let len = self.items.len();
+        if n >= len {
+            return Err(VmError::StackUnderflow);
+        }
+        self.items.swap(len - 1, len - 1 - n);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut s = Stack::new();
+        s.push(u(1)).unwrap();
+        s.push(u(2)).unwrap();
+        assert_eq!(s.pop().unwrap(), u(2));
+        assert_eq!(s.pop().unwrap(), u(1));
+        assert_eq!(s.pop(), Err(VmError::StackUnderflow));
+    }
+
+    #[test]
+    fn overflow_at_limit() {
+        let mut s = Stack::new();
+        for i in 0..STACK_LIMIT {
+            s.push(u(i as u64)).unwrap();
+        }
+        assert_eq!(s.push(u(0)), Err(VmError::StackOverflow));
+    }
+
+    #[test]
+    fn dup_and_swap() {
+        let mut s = Stack::new();
+        s.push(u(10)).unwrap();
+        s.push(u(20)).unwrap();
+        s.dup(2).unwrap(); // stack: 10 20 10
+        assert_eq!(s.peek(0).unwrap(), u(10));
+        s.swap(2).unwrap(); // stack: 10 10 20 -> swap top with 3rd: 10 20 ... wait
+        assert_eq!(s.peek(0).unwrap(), u(10));
+        assert_eq!(s.peek(2).unwrap(), u(10));
+        assert_eq!(s.peek(1).unwrap(), u(20));
+    }
+
+    #[test]
+    fn dup_underflow() {
+        let mut s = Stack::new();
+        s.push(u(1)).unwrap();
+        assert_eq!(s.dup(2), Err(VmError::StackUnderflow));
+        assert_eq!(s.swap(1), Err(VmError::StackUnderflow));
+    }
+
+    #[test]
+    fn pop_usize_saturates() {
+        let mut s = Stack::new();
+        s.push(U256::MAX).unwrap();
+        assert_eq!(s.pop_usize().unwrap(), usize::MAX);
+        s.push(u(42)).unwrap();
+        assert_eq!(s.pop_usize().unwrap(), 42);
+    }
+}

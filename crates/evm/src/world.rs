@@ -1,0 +1,628 @@
+//! Journaled world state: accounts, balances, code and storage.
+//!
+//! This is the single canonical account store of the workspace — the chain
+//! crate wraps it for block execution, and the interpreter mutates it through
+//! a journal so failed call frames can roll back precisely (the semantics the
+//! DAO reentrancy depends on).
+
+use std::collections::{HashMap, VecDeque};
+
+use fork_primitives::{Address, H256, U256};
+
+/// One account's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Account {
+    /// Transaction count for externally-owned accounts; creation count for
+    /// contracts.
+    pub nonce: u64,
+    /// Balance in wei.
+    pub balance: U256,
+    /// Contract bytecode (empty for externally-owned accounts).
+    pub code: Vec<u8>,
+    /// Contract storage.
+    pub storage: HashMap<U256, U256>,
+}
+
+/// Undo-log entries. Every mutation pushes its inverse.
+#[derive(Debug, Clone)]
+enum Undo {
+    Balance(Address, U256),
+    Nonce(Address, u64),
+    Storage(Address, U256, U256),
+    Code(Address, Vec<u8>),
+    Created(Address),
+    Destroyed(Address, Box<Account>),
+}
+
+/// A checkpoint into the journal; roll back to it to undo everything since.
+///
+/// Checkpoints are absolute positions: they stay valid when older history is
+/// finalized away with [`WorldState::discard_until`], enabling the chain
+/// store to keep a sliding window of per-block checkpoints for reorgs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Checkpoint(usize);
+
+/// The full account state with a journal for frame-precise rollback.
+///
+/// # State-root commitment (substitution note, DESIGN.md)
+///
+/// Real Ethereum commits to state with a Merkle-Patricia trie. This study
+/// only needs "equal states ⇔ equal roots" — and needs it *fast*, because
+/// the simulator validates roots twice per block over month-long ledgers. We
+/// therefore maintain an **incremental XOR set-hash**: each account has a
+/// Keccak digest over `(address, nonce, balance, code hash, storage
+/// set-hash)`, and the root accumulator is the XOR of all account digests.
+/// Every mutation updates the accumulator in O(1); `state_root()` is O(1).
+/// XOR set-hashes are not collision-resistant against adversarial *state
+/// construction*, which is outside this simulation's threat model.
+#[derive(Debug, Default, Clone)]
+pub struct WorldState {
+    accounts: HashMap<Address, Account>,
+    journal: VecDeque<Undo>,
+    /// Absolute position of `journal[0]` — grows as history is discarded.
+    journal_base: usize,
+    /// Per-account XOR accumulator over occupied storage-slot digests
+    /// (updated incrementally at mutation time).
+    storage_acc: HashMap<Address, [u8; 32]>,
+    /// Lazily maintained root cache: account digests are only recomputed
+    /// for `dirty` accounts when `state_root()` is called, so a transaction
+    /// touching an account several times costs one digest, not several.
+    cache: std::cell::RefCell<RootCache>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct RootCache {
+    /// Current digest of each existing account (up to date unless dirty).
+    digests: HashMap<Address, [u8; 32]>,
+    /// XOR of all digests in `digests`.
+    root_acc: [u8; 32],
+    /// Accounts mutated since the last flush.
+    dirty: std::collections::HashSet<Address>,
+}
+
+/// Keccak of the empty byte string, cached — the code hash of every
+/// externally-owned account.
+fn empty_code_hash() -> &'static [u8; 32] {
+    static EMPTY: std::sync::OnceLock<[u8; 32]> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| fork_crypto::keccak256(&[]).0)
+}
+
+fn xor_into(acc: &mut [u8; 32], d: &[u8; 32]) {
+    for (a, b) in acc.iter_mut().zip(d) {
+        *a ^= b;
+    }
+}
+
+/// Digest of one occupied storage slot.
+fn slot_digest(key: U256, value: U256) -> [u8; 32] {
+    let mut h = fork_crypto::Keccak256::new();
+    h.update(b"slot/v1");
+    h.update(&key.to_be_bytes());
+    h.update(&value.to_be_bytes());
+    h.finalize().0
+}
+
+impl WorldState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether an account exists (has ever been touched with state).
+    pub fn exists(&self, addr: Address) -> bool {
+        self.accounts.contains_key(&addr)
+    }
+
+    /// Read-only view of an account, if present.
+    pub fn account(&self, addr: Address) -> Option<&Account> {
+        self.accounts.get(&addr)
+    }
+
+    /// Iterates accounts in unspecified order (analytics/state-root use).
+    pub fn iter_accounts(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter()
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True when no accounts exist.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Balance of `addr` (zero for absent accounts).
+    pub fn balance(&self, addr: Address) -> U256 {
+        self.accounts
+            .get(&addr)
+            .map(|a| a.balance)
+            .unwrap_or(U256::ZERO)
+    }
+
+    /// Nonce of `addr` (zero for absent accounts).
+    pub fn nonce(&self, addr: Address) -> u64 {
+        self.accounts.get(&addr).map(|a| a.nonce).unwrap_or(0)
+    }
+
+    /// Code of `addr` (empty for absent accounts / EOAs).
+    pub fn code(&self, addr: Address) -> &[u8] {
+        self.accounts
+            .get(&addr)
+            .map(|a| a.code.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Storage slot `key` of `addr` (zero when unset).
+    pub fn storage(&self, addr: Address, key: U256) -> U256 {
+        self.accounts
+            .get(&addr)
+            .and_then(|a| a.storage.get(&key).copied())
+            .unwrap_or(U256::ZERO)
+    }
+
+    fn touch(&mut self, addr: Address) -> &mut Account {
+        if !self.accounts.contains_key(&addr) {
+            self.accounts.insert(addr, Account::default());
+            self.journal.push_back(Undo::Created(addr));
+        }
+        self.accounts.get_mut(&addr).expect("just inserted")
+    }
+
+    /// Sets the balance of `addr`, journaling the old value.
+    pub fn set_balance(&mut self, addr: Address, value: U256) {
+        let old = self.balance(addr);
+        if old == value && self.exists(addr) {
+            return;
+        }
+        self.journal.push_back(Undo::Balance(addr, old));
+        self.touch(addr).balance = value;
+        // `touch` may have pushed Created after Balance; ordering still works
+        // because rollback replays in reverse: Balance restores the value,
+        // then Created removes the account entirely.
+        self.refresh_digest(addr);
+    }
+
+    /// Credits `addr` by `value`, saturating at the 256-bit maximum.
+    pub fn credit(&mut self, addr: Address, value: U256) {
+        let new = self.balance(addr).saturating_add(value);
+        self.set_balance(addr, new);
+    }
+
+    /// Debits `addr` by `value`; `false` (and no change) when underfunded.
+    pub fn debit(&mut self, addr: Address, value: U256) -> bool {
+        match self.balance(addr).checked_sub(value) {
+            Some(new) => {
+                self.set_balance(addr, new);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves `value` from `from` to `to`; `false` (no change) if underfunded.
+    pub fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        if !self.debit(from, value) {
+            return false;
+        }
+        self.credit(to, value);
+        true
+    }
+
+    /// Sets the nonce of `addr`.
+    pub fn set_nonce(&mut self, addr: Address, value: u64) {
+        let old = self.nonce(addr);
+        self.journal.push_back(Undo::Nonce(addr, old));
+        self.touch(addr).nonce = value;
+        self.refresh_digest(addr);
+    }
+
+    /// Increments the nonce of `addr`.
+    pub fn bump_nonce(&mut self, addr: Address) {
+        let n = self.nonce(addr);
+        self.set_nonce(addr, n + 1);
+    }
+
+    /// Installs contract code at `addr`.
+    pub fn set_code(&mut self, addr: Address, code: Vec<u8>) {
+        let old = self.code(addr).to_vec();
+        self.journal.push_back(Undo::Code(addr, old));
+        self.touch(addr).code = code;
+        self.refresh_digest(addr);
+    }
+
+    /// Writes a storage slot.
+    pub fn set_storage(&mut self, addr: Address, key: U256, value: U256) {
+        let old = self.storage(addr, key);
+        if old == value {
+            return;
+        }
+        self.journal.push_back(Undo::Storage(addr, key, old));
+        let account = self.touch(addr);
+        if value.is_zero() {
+            account.storage.remove(&key);
+        } else {
+            account.storage.insert(key, value);
+        }
+        self.apply_slot_delta(addr, key, old, value);
+        self.refresh_digest(addr);
+    }
+
+    /// Removes an account entirely (SELFDESTRUCT), journaling its old state.
+    pub fn destroy(&mut self, addr: Address) {
+        if let Some(old) = self.accounts.remove(&addr) {
+            self.journal.push_back(Undo::Destroyed(addr, Box::new(old)));
+            self.refresh_digest(addr);
+        }
+    }
+
+    /// Updates the per-account storage set-hash for a slot change.
+    fn apply_slot_delta(&mut self, addr: Address, key: U256, old: U256, new: U256) {
+        let acc = self.storage_acc.entry(addr).or_default();
+        if !old.is_zero() {
+            xor_into(acc, &slot_digest(key, old));
+        }
+        if !new.is_zero() {
+            xor_into(acc, &slot_digest(key, new));
+        }
+    }
+
+    /// Rebuilds one account's storage set-hash from scratch (only needed
+    /// when resurrecting a destroyed account during rollback).
+    fn rebuild_storage_acc(&mut self, addr: Address) {
+        let mut acc = [0u8; 32];
+        if let Some(a) = self.accounts.get(&addr) {
+            for (k, v) in &a.storage {
+                xor_into(&mut acc, &slot_digest(*k, *v));
+            }
+        }
+        self.storage_acc.insert(addr, acc);
+    }
+
+    /// Marks `addr`'s cached digest stale. Called after every mutation; the
+    /// recompute happens in bulk at the next [`WorldState::state_root`].
+    fn refresh_digest(&mut self, addr: Address) {
+        if !self.accounts.contains_key(&addr) {
+            self.storage_acc.remove(&addr);
+        }
+        self.cache.get_mut().dirty.insert(addr);
+    }
+
+    /// Recomputes digests for all dirty accounts.
+    fn flush_dirty(&self) {
+        let mut cache = self.cache.borrow_mut();
+        let cache = &mut *cache;
+        if cache.dirty.is_empty() {
+            return;
+        }
+        for addr in cache.dirty.drain() {
+            if let Some(old) = cache.digests.remove(&addr) {
+                xor_into(&mut cache.root_acc, &old);
+            }
+            if let Some(a) = self.accounts.get(&addr) {
+                let mut h = fork_crypto::Keccak256::new();
+                h.update(b"acct/v1");
+                h.update(addr.as_bytes());
+                h.update(&a.nonce.to_be_bytes());
+                h.update(&a.balance.to_be_bytes());
+                if a.code.is_empty() {
+                    h.update(empty_code_hash());
+                } else {
+                    h.update(&fork_crypto::keccak256(&a.code).0);
+                }
+                if let Some(sacc) = self.storage_acc.get(&addr) {
+                    h.update(sacc);
+                } else {
+                    h.update(&[0u8; 32]);
+                }
+                let d = h.finalize().0;
+                xor_into(&mut cache.root_acc, &d);
+                cache.digests.insert(addr, d);
+            }
+        }
+    }
+
+    /// Marks the current journal position.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.journal_base + self.journal.len())
+    }
+
+    /// Rolls every change since `cp` back, in reverse order.
+    ///
+    /// # Panics
+    /// Panics if `cp` points into history already discarded with
+    /// [`WorldState::discard_until`].
+    pub fn rollback_to(&mut self, cp: Checkpoint) {
+        assert!(
+            cp.0 >= self.journal_base,
+            "checkpoint {} already finalized (base {})",
+            cp.0,
+            self.journal_base
+        );
+        while self.journal_base + self.journal.len() > cp.0 {
+            match self.journal.pop_back().expect("length checked") {
+                Undo::Balance(addr, old) => {
+                    if let Some(a) = self.accounts.get_mut(&addr) {
+                        a.balance = old;
+                        self.refresh_digest(addr);
+                    }
+                }
+                Undo::Nonce(addr, old) => {
+                    if let Some(a) = self.accounts.get_mut(&addr) {
+                        a.nonce = old;
+                        self.refresh_digest(addr);
+                    }
+                }
+                Undo::Storage(addr, key, old) => {
+                    let cur = self.storage(addr, key);
+                    if let Some(a) = self.accounts.get_mut(&addr) {
+                        if old.is_zero() {
+                            a.storage.remove(&key);
+                        } else {
+                            a.storage.insert(key, old);
+                        }
+                        self.apply_slot_delta(addr, key, cur, old);
+                        self.refresh_digest(addr);
+                    }
+                }
+                Undo::Code(addr, old) => {
+                    if let Some(a) = self.accounts.get_mut(&addr) {
+                        a.code = old;
+                        self.refresh_digest(addr);
+                    }
+                }
+                Undo::Created(addr) => {
+                    self.accounts.remove(&addr);
+                    self.refresh_digest(addr);
+                }
+                Undo::Destroyed(addr, old) => {
+                    self.accounts.insert(addr, *old);
+                    self.rebuild_storage_acc(addr);
+                    self.refresh_digest(addr);
+                }
+            }
+        }
+    }
+
+    /// Discards undo history up to the present (changes become permanent).
+    pub fn commit(&mut self) {
+        self.journal_base += self.journal.len();
+        self.journal.clear();
+    }
+
+    /// Discards undo history *older* than `cp` (those changes become
+    /// permanent) while keeping the ability to roll back to `cp` or later.
+    /// Used by the chain store when a block falls out of the reorg window.
+    pub fn discard_until(&mut self, cp: Checkpoint) {
+        while self.journal_base < cp.0 && !self.journal.is_empty() {
+            self.journal.pop_front();
+            self.journal_base += 1;
+        }
+    }
+
+    /// Number of undo entries currently retained (diagnostics).
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// A deterministic O(1) commitment to the full state (see the type-level
+    /// substitution note on [`WorldState`]).
+    pub fn state_root(&self) -> H256 {
+        self.flush_dirty();
+        let mut h = fork_crypto::Keccak256::new();
+        h.update(b"state-root/v2");
+        h.update(&self.cache.borrow().root_acc);
+        h.update(&(self.accounts.len() as u64).to_be_bytes());
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address([n; 20])
+    }
+
+    #[test]
+    fn balances_default_zero() {
+        let w = WorldState::new();
+        assert_eq!(w.balance(addr(1)), U256::ZERO);
+        assert!(!w.exists(addr(1)));
+    }
+
+    #[test]
+    fn transfer_moves_funds() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(100));
+        assert!(w.transfer(addr(1), addr(2), U256::from_u64(30)));
+        assert_eq!(w.balance(addr(1)), U256::from_u64(70));
+        assert_eq!(w.balance(addr(2)), U256::from_u64(30));
+    }
+
+    #[test]
+    fn underfunded_transfer_rejected_without_change() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(10));
+        assert!(!w.transfer(addr(1), addr(2), U256::from_u64(11)));
+        assert_eq!(w.balance(addr(1)), U256::from_u64(10));
+        assert_eq!(w.balance(addr(2)), U256::ZERO);
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(100));
+        w.commit();
+        let cp = w.checkpoint();
+
+        w.set_balance(addr(1), U256::from_u64(5));
+        w.set_nonce(addr(1), 9);
+        w.set_storage(addr(1), U256::from_u64(1), U256::from_u64(42));
+        w.set_code(addr(2), vec![1, 2, 3]);
+        w.set_balance(addr(3), U256::from_u64(7));
+
+        w.rollback_to(cp);
+        assert_eq!(w.balance(addr(1)), U256::from_u64(100));
+        assert_eq!(w.nonce(addr(1)), 0);
+        assert_eq!(w.storage(addr(1), U256::from_u64(1)), U256::ZERO);
+        assert!(!w.exists(addr(2)), "created account removed on rollback");
+        assert!(!w.exists(addr(3)));
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_independently() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(1));
+        let outer = w.checkpoint();
+        w.set_balance(addr(1), U256::from_u64(2));
+        let inner = w.checkpoint();
+        w.set_balance(addr(1), U256::from_u64(3));
+        w.rollback_to(inner);
+        assert_eq!(w.balance(addr(1)), U256::from_u64(2));
+        w.rollback_to(outer);
+        assert_eq!(w.balance(addr(1)), U256::from_u64(1));
+    }
+
+    #[test]
+    fn destroy_and_rollback() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(55));
+        w.set_storage(addr(1), U256::ONE, U256::from_u64(9));
+        let cp = w.checkpoint();
+        w.destroy(addr(1));
+        assert!(!w.exists(addr(1)));
+        w.rollback_to(cp);
+        assert_eq!(w.balance(addr(1)), U256::from_u64(55));
+        assert_eq!(w.storage(addr(1), U256::ONE), U256::from_u64(9));
+    }
+
+    #[test]
+    fn zero_storage_writes_prune_slots() {
+        let mut w = WorldState::new();
+        w.set_storage(addr(1), U256::ONE, U256::from_u64(5));
+        w.set_storage(addr(1), U256::ONE, U256::ZERO);
+        assert_eq!(w.account(addr(1)).unwrap().storage.len(), 0);
+    }
+
+    #[test]
+    fn state_root_deterministic_and_order_independent() {
+        let mut w1 = WorldState::new();
+        w1.set_balance(addr(1), U256::from_u64(10));
+        w1.set_balance(addr(2), U256::from_u64(20));
+
+        let mut w2 = WorldState::new();
+        w2.set_balance(addr(2), U256::from_u64(20));
+        w2.set_balance(addr(1), U256::from_u64(10));
+
+        assert_eq!(w1.state_root(), w2.state_root());
+
+        w2.set_balance(addr(3), U256::ONE);
+        assert_ne!(w1.state_root(), w2.state_root());
+    }
+
+    #[test]
+    fn discard_until_keeps_later_rollbacks_valid() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(1)); // block 1
+        let cp1 = w.checkpoint();
+        w.set_balance(addr(1), U256::from_u64(2)); // block 2
+        let cp2 = w.checkpoint();
+        w.set_balance(addr(1), U256::from_u64(3)); // block 3
+
+        // Finalize block 1's history.
+        w.discard_until(cp1);
+        // Rolling back to cp2 (undo block 3) still works.
+        w.rollback_to(cp2);
+        assert_eq!(w.balance(addr(1)), U256::from_u64(2));
+        // And rolling back to cp1 (undo block 2) also still works.
+        w.rollback_to(cp1);
+        assert_eq!(w.balance(addr(1)), U256::from_u64(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already finalized")]
+    fn rollback_into_discarded_history_panics() {
+        let mut w = WorldState::new();
+        let cp0 = w.checkpoint();
+        w.set_balance(addr(1), U256::ONE);
+        let cp1 = w.checkpoint();
+        w.set_balance(addr(1), U256::from_u64(2));
+        w.discard_until(cp1);
+        w.rollback_to(cp0);
+    }
+
+    #[test]
+    fn commit_then_checkpoint_still_monotonic() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::ONE);
+        let before = w.checkpoint();
+        w.commit();
+        let after = w.checkpoint();
+        assert_eq!(before, after, "commit preserves absolute positions");
+        assert_eq!(w.journal_len(), 0);
+    }
+
+    /// From-scratch recomputation of the incremental root, used to verify
+    /// the accumulator never drifts from the true state.
+    fn recomputed_root(w: &WorldState) -> H256 {
+        let mut fresh = WorldState::new();
+        let mut addrs: Vec<Address> = w.iter_accounts().map(|(a, _)| *a).collect();
+        addrs.sort();
+        for addr in addrs {
+            let a = w.account(addr).unwrap().clone();
+            fresh.set_nonce(addr, a.nonce);
+            fresh.set_balance(addr, a.balance);
+            fresh.set_code(addr, a.code);
+            let mut keys: Vec<U256> = a.storage.keys().copied().collect();
+            keys.sort();
+            for k in keys {
+                fresh.set_storage(addr, k, a.storage[&k]);
+            }
+        }
+        fresh.state_root()
+    }
+
+    #[test]
+    fn incremental_root_matches_recomputation_after_mutations() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(10));
+        w.set_nonce(addr(1), 3);
+        w.set_code(addr(2), vec![1, 2, 3]);
+        w.set_storage(addr(2), U256::ONE, U256::from_u64(7));
+        w.set_storage(addr(2), U256::from_u64(9), U256::from_u64(5));
+        w.set_storage(addr(2), U256::ONE, U256::ZERO); // clear a slot
+        w.set_balance(addr(3), U256::from_u64(99));
+        w.destroy(addr(3));
+        assert_eq!(w.state_root(), recomputed_root(&w));
+    }
+
+    #[test]
+    fn incremental_root_matches_after_rollback() {
+        let mut w = WorldState::new();
+        w.set_balance(addr(1), U256::from_u64(10));
+        w.set_storage(addr(1), U256::ONE, U256::from_u64(1));
+        w.commit();
+        let before = w.state_root();
+        let cp = w.checkpoint();
+        w.set_balance(addr(1), U256::from_u64(20));
+        w.set_storage(addr(1), U256::ONE, U256::from_u64(2));
+        w.set_storage(addr(1), U256::from_u64(5), U256::from_u64(5));
+        w.set_code(addr(4), vec![9]);
+        w.destroy(addr(1));
+        w.rollback_to(cp);
+        assert_eq!(w.state_root(), before);
+        assert_eq!(w.state_root(), recomputed_root(&w));
+    }
+
+    #[test]
+    fn state_root_sensitive_to_storage() {
+        let mut w1 = WorldState::new();
+        w1.set_storage(addr(1), U256::ONE, U256::from_u64(1));
+        let mut w2 = WorldState::new();
+        w2.set_storage(addr(1), U256::ONE, U256::from_u64(2));
+        assert_ne!(w1.state_root(), w2.state_root());
+    }
+}

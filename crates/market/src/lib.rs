@@ -1,0 +1,94 @@
+//! # fork-market
+//!
+//! The market substrate replacing the paper's coinmarketcap.com data source:
+//! jump-diffusion USD price processes calibrated to the 2016–17 narrative,
+//! and the rational hashpower-allocation dynamic whose fixed point produces
+//! Figure 3's near-identical hashes-per-USD curves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod process;
+pub mod rational;
+
+pub use calibration::{calibrated_pair, etc_usd, eth_usd, PriceSeries, CALIBRATED_DAYS, PAIR_CORRELATION};
+pub use process::{correlated_pair, sample_series, standard_normal, Jump, JumpDiffusion};
+pub use rational::{HashpowerAllocator, HashpowerSplit, TotalHashpowerPath};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fork_primitives::SimTime;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Prices stay strictly positive under any parameters in range.
+        #[test]
+        fn prices_positive(
+            mu in -0.05f64..0.05,
+            sigma in 0.0f64..0.3,
+            s0 in 0.01f64..1_000.0,
+            seed in any::<u64>(),
+        ) {
+            let p = JumpDiffusion::new(mu, sigma);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for (_, v) in p.series(s0, SimTime::from_unix(0), 100, &mut rng) {
+                prop_assert!(v > 0.0);
+                prop_assert!(v.is_finite());
+            }
+        }
+
+        /// Allocation fractions always stay in [floor_eth, 1 - floor_etc].
+        #[test]
+        fn split_bounded(
+            eth_usd in 0.0f64..10_000.0,
+            etc_usd in 0.0f64..10_000.0,
+            start in 0.0f64..1.0,
+            rate in 0.0f64..1.0,
+        ) {
+            let a = HashpowerAllocator { adjustment_rate: rate, ..HashpowerAllocator::default() };
+            let mut s = HashpowerSplit { eth_fraction: start };
+            // The real invariant: every step stays within the hull of the
+            // starting point and the (floor-clamped) target band.
+            let lo = start.min(a.eth_loyalty_floor);
+            let hi = start.max(1.0 - a.etc_loyalty_floor);
+            for _ in 0..50 {
+                s = a.step(s, eth_usd, etc_usd);
+                prop_assert!(s.eth_fraction.is_finite());
+                prop_assert!(s.eth_fraction >= lo - 1e-9);
+                prop_assert!(s.eth_fraction <= hi + 1e-9);
+            }
+        }
+
+        /// Interpolation output lies within the series' value envelope.
+        #[test]
+        fn interpolation_bounded(vals in proptest::collection::vec(0.1f64..100.0, 2..20), at in 0u64..100) {
+            let series: Vec<(SimTime, f64)> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (SimTime::from_unix(i as u64 * 86_400), *v))
+                .collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(0.0, f64::max);
+            let v = sample_series(&series, SimTime::from_unix(at * 40_000)).unwrap();
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+
+        /// Standard-normal sampler produces finite values with plausible
+        /// moments.
+        #[test]
+        fn normal_sampler_sane(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 2_000;
+            let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            prop_assert!(samples.iter().all(|x| x.is_finite()));
+            prop_assert!(mean.abs() < 0.12, "mean {mean}");
+            prop_assert!((var - 1.0).abs() < 0.25, "var {var}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Price processes: geometric Brownian motion with scheduled jump shocks.
+
+use fork_primitives::SimTime;
+use rand::Rng;
+
+/// A standard-normal sample via Box–Muller (keeps the dependency set to the
+/// sanctioned list; `rand` 0.8 ships no Normal distribution itself).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// A scheduled multiplicative shock (news event, listing, exploit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jump {
+    /// When the shock lands.
+    pub at: SimTime,
+    /// Multiplicative factor applied to the price level (0.7 = −30%).
+    pub factor: f64,
+}
+
+/// Daily-step GBM with jumps: `S_{t+1} = S_t · exp(μ − σ²/2 + σ·Z) · J_t`.
+#[derive(Debug, Clone)]
+pub struct JumpDiffusion {
+    /// Daily drift μ.
+    pub mu: f64,
+    /// Daily volatility σ.
+    pub sigma: f64,
+    /// Scheduled shocks (applied on the day containing `at`).
+    pub jumps: Vec<Jump>,
+}
+
+impl JumpDiffusion {
+    /// A driftless process with the given daily volatility.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        JumpDiffusion {
+            mu,
+            sigma,
+            jumps: Vec::new(),
+        }
+    }
+
+    /// Adds a scheduled shock.
+    pub fn with_jump(mut self, at: SimTime, factor: f64) -> Self {
+        self.jumps.push(Jump { at, factor });
+        self
+    }
+
+    /// Generates a daily price series of `days` points starting at `start`
+    /// with initial price `s0`.
+    pub fn series<R: Rng>(
+        &self,
+        s0: f64,
+        start: SimTime,
+        days: usize,
+        rng: &mut R,
+    ) -> Vec<(SimTime, f64)> {
+        let mut out = Vec::with_capacity(days);
+        let mut price = s0;
+        for d in 0..days {
+            let t = start.plus_days(d as u64);
+            // Apply any jump scheduled within this day.
+            for j in &self.jumps {
+                if j.at.day_bucket() == t.day_bucket() {
+                    price *= j.factor;
+                }
+            }
+            out.push((t, price));
+            let z: f64 = standard_normal(rng);
+            price *= (self.mu - 0.5 * self.sigma * self.sigma + self.sigma * z).exp();
+            price = price.max(1e-9);
+        }
+        out
+    }
+}
+
+/// Generates two daily price series driven by a **common market factor**:
+/// each day's log-return shock is `√ρ·z_market + √(1−ρ)·z_own`, giving the
+/// pair correlation `ρ`. Crypto assets co-move strongly — this is part of
+/// why the paper's Figure 3 curves track each other so tightly.
+pub fn correlated_pair<R: Rng>(
+    a: &JumpDiffusion,
+    b: &JumpDiffusion,
+    s0: (f64, f64),
+    start: SimTime,
+    days: usize,
+    rho: f64,
+    rng: &mut R,
+) -> (Vec<(SimTime, f64)>, Vec<(SimTime, f64)>) {
+    let rho = rho.clamp(0.0, 1.0);
+    let (w_m, w_i) = (rho.sqrt(), (1.0 - rho).sqrt());
+    let mut out_a = Vec::with_capacity(days);
+    let mut out_b = Vec::with_capacity(days);
+    let (mut pa, mut pb) = s0;
+    for d in 0..days {
+        let t = start.plus_days(d as u64);
+        for j in &a.jumps {
+            if j.at.day_bucket() == t.day_bucket() {
+                pa *= j.factor;
+            }
+        }
+        for j in &b.jumps {
+            if j.at.day_bucket() == t.day_bucket() {
+                pb *= j.factor;
+            }
+        }
+        out_a.push((t, pa));
+        out_b.push((t, pb));
+        let z_market = standard_normal(rng);
+        let za = w_m * z_market + w_i * standard_normal(rng);
+        let zb = w_m * z_market + w_i * standard_normal(rng);
+        pa *= (a.mu - 0.5 * a.sigma * a.sigma + a.sigma * za).exp();
+        pb *= (b.mu - 0.5 * b.sigma * b.sigma + b.sigma * zb).exp();
+        pa = pa.max(1e-9);
+        pb = pb.max(1e-9);
+    }
+    (out_a, out_b)
+}
+
+/// Linearly interpolates a daily series at `t` (clamping at the ends).
+/// Returns `None` for an empty series.
+pub fn sample_series(series: &[(SimTime, f64)], t: SimTime) -> Option<f64> {
+    if series.is_empty() {
+        return None;
+    }
+    if t <= series[0].0 {
+        return Some(series[0].1);
+    }
+    if t >= series[series.len() - 1].0 {
+        return Some(series[series.len() - 1].1);
+    }
+    let idx = series.partition_point(|(ts, _)| *ts <= t);
+    let (t0, v0) = series[idx - 1];
+    let (t1, v1) = series[idx];
+    let span = t1.secs_since(t0) as f64;
+    if span == 0.0 {
+        return Some(v0);
+    }
+    let frac = t.secs_since(t0) as f64 / span;
+    Some(v0 + (v1 - v0) * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn series_has_requested_shape() {
+        let p = JumpDiffusion::new(0.0, 0.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = p.series(10.0, SimTime::from_unix(0), 100, &mut rng);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[0].1, 10.0);
+        for w in s.windows(2) {
+            assert_eq!(w[1].0.day_bucket(), w[0].0.day_bucket() + 1);
+            assert!(w[1].1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_vol_zero_drift_is_constant() {
+        let p = JumpDiffusion::new(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = p.series(5.0, SimTime::from_unix(0), 10, &mut rng);
+        for (_, v) in s {
+            assert!((v - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jumps_apply_on_their_day() {
+        let shock_day = SimTime::from_unix(0).plus_days(5);
+        let p = JumpDiffusion::new(0.0, 0.0).with_jump(shock_day, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = p.series(10.0, SimTime::from_unix(0), 10, &mut rng);
+        assert!((s[4].1 - 10.0).abs() < 1e-12);
+        assert!((s[5].1 - 5.0).abs() < 1e-12);
+        assert!((s[9].1 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = JumpDiffusion::new(0.001, 0.08);
+        let a = p.series(10.0, SimTime::from_unix(0), 50, &mut StdRng::seed_from_u64(7));
+        let b = p.series(10.0, SimTime::from_unix(0), 50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interpolation_midpoint() {
+        let series = vec![
+            (SimTime::from_unix(0), 10.0),
+            (SimTime::from_unix(86_400), 20.0),
+        ];
+        let mid = sample_series(&series, SimTime::from_unix(43_200)).unwrap();
+        assert!((mid - 15.0).abs() < 1e-9);
+        // Clamping.
+        assert_eq!(sample_series(&series, SimTime::from_unix(0)), Some(10.0));
+        assert_eq!(
+            sample_series(&series, SimTime::from_unix(1_000_000)),
+            Some(20.0)
+        );
+        assert_eq!(sample_series(&[], SimTime::from_unix(0)), None);
+    }
+
+    #[test]
+    fn positive_drift_grows_on_average() {
+        let p = JumpDiffusion::new(0.01, 0.02);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut final_sum = 0.0;
+        for _ in 0..50 {
+            let s = p.series(10.0, SimTime::from_unix(0), 200, &mut rng);
+            final_sum += s.last().unwrap().1;
+        }
+        let mean_final = final_sum / 50.0;
+        assert!(mean_final > 10.0 * 1.5, "mean final {mean_final}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Rational hashpower allocation — the mechanism behind Figure 3.
+//!
+//! The paper finds the expected hashes-per-USD of ETH and ETC mining to be
+//! "almost identical", concluding the market is efficient. That equilibrium
+//! has a simple mechanism: GPU hashpower (no ASICs for Ethash, paper §3.3)
+//! can switch chains freely, so miners flow toward the more profitable chain
+//! until profitability equalizes. At the difficulty equilibrium
+//! (`D ≈ H · target_time`), hashes/USD on chain *i* is
+//! `D_i / (5 · P_i) ∝ H_i / P_i`, so the fixed point is **hashpower shares
+//! proportional to price**.
+//!
+//! [`HashpowerAllocator`] implements a *partial-adjustment* dynamic toward
+//! that fixed point with an ETC loyalty floor (the ideological "code is law"
+//! miners who never left), plus an exogenous total-hashpower path that dips
+//! at the Zcash launch — together these produce exactly the dips and rallies
+//! the paper's Figure 3 narrates.
+
+/// Allocation of total hashpower between the two chains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashpowerSplit {
+    /// Fraction on ETH, in `[0, 1]`.
+    pub eth_fraction: f64,
+}
+
+impl HashpowerSplit {
+    /// Fraction on ETC.
+    pub fn etc_fraction(&self) -> f64 {
+        1.0 - self.eth_fraction
+    }
+}
+
+/// Partial-adjustment allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct HashpowerAllocator {
+    /// Per-step adjustment rate toward the rational target, in `(0, 1]`.
+    /// Low values model switching frictions (reconfiguration, pool moves).
+    pub adjustment_rate: f64,
+    /// Minimum fraction that stays on ETC regardless of profitability
+    /// (ideological miners; keeps ETC alive as observed).
+    pub etc_loyalty_floor: f64,
+    /// Minimum fraction that stays on ETH.
+    pub eth_loyalty_floor: f64,
+}
+
+impl Default for HashpowerAllocator {
+    fn default() -> Self {
+        HashpowerAllocator {
+            adjustment_rate: 0.25,
+            etc_loyalty_floor: 0.02,
+            eth_loyalty_floor: 0.50,
+        }
+    }
+}
+
+impl HashpowerAllocator {
+    /// The profit-equalizing target split for the given USD prices.
+    pub fn rational_target(&self, eth_usd: f64, etc_usd: f64) -> HashpowerSplit {
+        let total = eth_usd.max(0.0) + etc_usd.max(0.0);
+        let raw = if total <= 0.0 {
+            0.5
+        } else {
+            eth_usd.max(0.0) / total
+        };
+        HashpowerSplit {
+            eth_fraction: raw
+                .max(self.eth_loyalty_floor)
+                .min(1.0 - self.etc_loyalty_floor),
+        }
+    }
+
+    /// One adjustment step from `current` toward the rational target.
+    pub fn step(&self, current: HashpowerSplit, eth_usd: f64, etc_usd: f64) -> HashpowerSplit {
+        let target = self.rational_target(eth_usd, etc_usd);
+        let rate = self.adjustment_rate.clamp(0.0, 1.0);
+        HashpowerSplit {
+            eth_fraction: current.eth_fraction + rate * (target.eth_fraction - current.eth_fraction),
+        }
+    }
+}
+
+/// Exogenous total-hashpower path (hashes/second across both chains plus
+/// external exits): a baseline with growth, a Zcash-launch exodus dip and a
+/// winter return.
+#[derive(Debug, Clone, Copy)]
+pub struct TotalHashpowerPath {
+    /// Hashrate on fork day, hashes/second.
+    pub initial: f64,
+    /// Daily growth rate (GPU supply growth through the study).
+    pub daily_growth: f64,
+    /// Day index (after fork) of the Zcash launch.
+    pub zcash_day: u64,
+    /// Fraction of hashpower that leaves at the Zcash launch.
+    pub zcash_exodus: f64,
+    /// Days until the exodus hashpower fully returns.
+    pub zcash_return_days: u64,
+}
+
+impl Default for TotalHashpowerPath {
+    fn default() -> Self {
+        TotalHashpowerPath {
+            // ~6.2e13 difficulty / 14 s target ≈ 4.4e12 H/s at the fork.
+            initial: 4.4e12,
+            daily_growth: 0.004,
+            zcash_day: 100, // 2016-10-28 is 100 days after 07-20
+            zcash_exodus: 0.30,
+            zcash_return_days: 45,
+        }
+    }
+}
+
+impl TotalHashpowerPath {
+    /// Total hashpower on `day` (days after the fork).
+    pub fn at_day(&self, day: u64) -> f64 {
+        let base = self.initial * (1.0 + self.daily_growth).powi(day as i32);
+        if day < self.zcash_day {
+            return base;
+        }
+        let since = day - self.zcash_day;
+        if since >= self.zcash_return_days {
+            return base;
+        }
+        let returned = since as f64 / self.zcash_return_days as f64;
+        base * (1.0 - self.zcash_exodus * (1.0 - returned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_tracks_price_ratio() {
+        let a = HashpowerAllocator {
+            eth_loyalty_floor: 0.0,
+            etc_loyalty_floor: 0.0,
+            ..HashpowerAllocator::default()
+        };
+        let t = a.rational_target(12.0, 1.2);
+        assert!((t.eth_fraction - 12.0 / 13.2).abs() < 1e-12);
+        assert!((t.etc_fraction() - 1.2 / 13.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loyalty_floors_bind() {
+        let a = HashpowerAllocator::default();
+        // Even with ETC worthless, 2% stays.
+        let t = a.rational_target(10.0, 0.0);
+        assert!((t.etc_fraction() - 0.02).abs() < 1e-12);
+        // Even with ETH crashing, half stays.
+        let t = a.rational_target(0.1, 100.0);
+        assert!((t.eth_fraction - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convergence_to_fixed_point() {
+        let a = HashpowerAllocator::default();
+        let mut split = HashpowerSplit { eth_fraction: 0.5 };
+        for _ in 0..100 {
+            split = a.step(split, 12.0, 1.2);
+        }
+        let target = a.rational_target(12.0, 1.2);
+        assert!((split.eth_fraction - target.eth_fraction).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilibrium_equalizes_hashes_per_usd() {
+        // At the fixed point with no binding floors, D_i/(5 P_i) match
+        // across chains (at difficulty equilibrium D = H * 14).
+        let a = HashpowerAllocator {
+            eth_loyalty_floor: 0.0,
+            etc_loyalty_floor: 0.0,
+            ..HashpowerAllocator::default()
+        };
+        let (p_eth, p_etc) = (12.0, 1.3);
+        let split = a.rational_target(p_eth, p_etc);
+        let total_h = 4.4e12;
+        let d_eth = split.eth_fraction * total_h * 14.0;
+        let d_etc = split.etc_fraction() * total_h * 14.0;
+        let hpu_eth = d_eth / 5.0 / p_eth;
+        let hpu_etc = d_etc / 5.0 / p_etc;
+        assert!(
+            (hpu_eth - hpu_etc).abs() / hpu_eth < 1e-9,
+            "{hpu_eth} vs {hpu_etc}"
+        );
+    }
+
+    #[test]
+    fn partial_adjustment_is_gradual() {
+        let a = HashpowerAllocator {
+            adjustment_rate: 0.1,
+            ..HashpowerAllocator::default()
+        };
+        let split = HashpowerSplit { eth_fraction: 0.5 };
+        let next = a.step(split, 12.0, 1.2);
+        let target = a.rational_target(12.0, 1.2);
+        // Moved toward target but not all the way.
+        assert!(next.eth_fraction > 0.5);
+        assert!(next.eth_fraction < target.eth_fraction);
+    }
+
+    #[test]
+    fn hashpower_path_zcash_dip_and_recovery() {
+        let p = TotalHashpowerPath::default();
+        let before = p.at_day(99);
+        let at = p.at_day(100);
+        let mid = p.at_day(120);
+        let after = p.at_day(146);
+        assert!(at < 0.82 * before, "exodus missing: {before} -> {at}");
+        assert!(mid > at, "no gradual return");
+        // Fully returned (and grown) after the window.
+        assert!(after > before);
+    }
+
+    #[test]
+    fn hashpower_growth_compounds() {
+        let p = TotalHashpowerPath::default();
+        assert!(p.at_day(250) > p.at_day(0) * 2.0, "ETH's mining power 'increased tremendously'");
+    }
+}

@@ -1,0 +1,205 @@
+//! Gossip relay policy and duplicate suppression.
+//!
+//! Mirrors the eth-protocol's propagation shape: a node that learns a new
+//! block sends the **full block** to `⌈√n⌉` of its peers and the **hash
+//! announcement** to the rest; transactions flood to all peers not known to
+//! have them. Duplicate suppression uses a two-generation rotating set so
+//! memory stays bounded over month-long simulations.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::node_id::NodeId;
+use fork_primitives::H256;
+
+/// A bounded "have I seen this" filter: two generations of hash sets; when
+/// the current generation fills, it becomes the previous one. Lookups check
+/// both, so an item is remembered for at least `capacity` and at most
+/// `2 × capacity` subsequent insertions.
+#[derive(Debug, Clone)]
+pub struct SeenFilter<T: Eq + Hash> {
+    current: HashSet<T>,
+    previous: HashSet<T>,
+    capacity: usize,
+}
+
+impl<T: Eq + Hash> SeenFilter<T> {
+    /// A filter that remembers at least `capacity` recent items.
+    pub fn new(capacity: usize) -> Self {
+        SeenFilter {
+            current: HashSet::new(),
+            previous: HashSet::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Inserts; returns `true` if the item was NOT seen before (i.e. fresh).
+    pub fn insert(&mut self, item: T) -> bool {
+        if self.contains(&item) {
+            return false;
+        }
+        if self.current.len() >= self.capacity {
+            self.previous = std::mem::take(&mut self.current);
+        }
+        self.current.insert(item);
+        true
+    }
+
+    /// Membership test over both generations.
+    pub fn contains(&self, item: &T) -> bool {
+        self.current.contains(item) || self.previous.contains(item)
+    }
+
+    /// Number of items currently remembered.
+    pub fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+
+    /// True when nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-node gossip bookkeeping.
+#[derive(Debug, Clone)]
+pub struct GossipState {
+    /// Blocks this node has seen (by hash).
+    pub blocks: SeenFilter<H256>,
+    /// Transactions this node has seen (by hash).
+    pub transactions: SeenFilter<H256>,
+}
+
+impl Default for GossipState {
+    fn default() -> Self {
+        GossipState {
+            blocks: SeenFilter::new(4_096),
+            transactions: SeenFilter::new(65_536),
+        }
+    }
+}
+
+impl GossipState {
+    /// Fresh state with default capacities.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The relay plan for a newly learned block: full block to `⌈√n⌉` randomly
+/// chosen peers, hash announcement to the remainder. `exclude` (typically
+/// the peer we got it from) receives nothing.
+pub fn plan_block_relay<R: Rng>(
+    peers: &[NodeId],
+    exclude: Option<NodeId>,
+    rng: &mut R,
+) -> BlockRelayPlan {
+    let mut eligible: Vec<NodeId> = peers
+        .iter()
+        .filter(|p| Some(**p) != exclude)
+        .copied()
+        .collect();
+    eligible.shuffle(rng);
+    let n_full = (eligible.len() as f64).sqrt().ceil() as usize;
+    let announce = eligible.split_off(n_full.min(eligible.len()));
+    BlockRelayPlan {
+        full_block: eligible,
+        announce,
+    }
+}
+
+/// Output of [`plan_block_relay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRelayPlan {
+    /// Peers receiving the full block immediately.
+    pub full_block: Vec<NodeId>,
+    /// Peers receiving only the hash announcement.
+    pub announce: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seen_filter_basics() {
+        let mut f = SeenFilter::new(10);
+        assert!(f.insert(1));
+        assert!(!f.insert(1), "duplicate rejected");
+        assert!(f.contains(&1));
+        assert!(!f.contains(&2));
+    }
+
+    #[test]
+    fn seen_filter_bounded_memory() {
+        let mut f = SeenFilter::new(100);
+        for i in 0..10_000 {
+            f.insert(i);
+        }
+        assert!(f.len() <= 200, "len {}", f.len());
+        // Recent items are still remembered.
+        assert!(f.contains(&9_999));
+        assert!(f.contains(&9_950));
+        // Ancient items have been forgotten.
+        assert!(!f.contains(&0));
+    }
+
+    #[test]
+    fn seen_filter_remembers_at_least_capacity() {
+        let mut f = SeenFilter::new(50);
+        for i in 0..50 {
+            f.insert(i);
+        }
+        // Insert one more, rotating generations.
+        f.insert(50);
+        for i in 0..=50 {
+            assert!(f.contains(&i), "item {i} forgotten too early");
+        }
+    }
+
+    #[test]
+    fn relay_plan_sqrt_split() {
+        let peers: Vec<NodeId> = (0..25).map(|i| NodeId::from_seed("g", i)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = plan_block_relay(&peers, None, &mut rng);
+        assert_eq!(plan.full_block.len(), 5); // ceil(sqrt(25))
+        assert_eq!(plan.announce.len(), 20);
+        // No overlap.
+        for p in &plan.full_block {
+            assert!(!plan.announce.contains(p));
+        }
+    }
+
+    #[test]
+    fn relay_excludes_source_peer() {
+        let peers: Vec<NodeId> = (0..9).map(|i| NodeId::from_seed("g", i)).collect();
+        let source = peers[3];
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = plan_block_relay(&peers, Some(source), &mut rng);
+        assert_eq!(plan.full_block.len() + plan.announce.len(), 8);
+        assert!(!plan.full_block.contains(&source));
+        assert!(!plan.announce.contains(&source));
+    }
+
+    #[test]
+    fn relay_with_few_peers_sends_full_to_all() {
+        let peers: Vec<NodeId> = (0..2).map(|i| NodeId::from_seed("g", i)).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = plan_block_relay(&peers, None, &mut rng);
+        assert_eq!(plan.full_block.len(), 2); // ceil(sqrt(2)) = 2
+        assert!(plan.announce.is_empty());
+    }
+
+    #[test]
+    fn relay_deterministic_under_seed() {
+        let peers: Vec<NodeId> = (0..16).map(|i| NodeId::from_seed("g", i)).collect();
+        let a = plan_block_relay(&peers, None, &mut StdRng::seed_from_u64(9));
+        let b = plan_block_relay(&peers, None, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,261 @@
+//! Kademlia routing table (k-buckets with the XOR metric).
+//!
+//! Ethereum's discovery protocol (discv4) organizes known peers into 256
+//! buckets by distance prefix; lookups walk toward the target by querying the
+//! closest known nodes. We implement the routing-table core: insertion with
+//! least-recently-seen eviction, nearest-neighbor queries, and the iterative
+//! lookup used by the topology builder to wire realistic peer graphs.
+
+use std::collections::HashSet;
+
+use crate::node_id::NodeId;
+
+/// Bucket capacity (`k` in the Kademlia paper; Ethereum uses 16).
+pub const BUCKET_SIZE: usize = 16;
+
+/// A routing table owned by one node.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    own_id: NodeId,
+    /// `buckets[i]` holds peers whose distance has its highest bit at `i`.
+    /// Most-recently-seen peers live at the back.
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl RoutingTable {
+    /// An empty table for `own_id`.
+    pub fn new(own_id: NodeId) -> Self {
+        RoutingTable {
+            own_id,
+            buckets: vec![Vec::new(); 256],
+        }
+    }
+
+    /// This table's owner.
+    pub fn own_id(&self) -> NodeId {
+        self.own_id
+    }
+
+    /// Records contact with `peer`. Returns `true` if the peer is now in the
+    /// table (inserted or refreshed); `false` if its bucket is full of other
+    /// entries (the newcomer is dropped — classic Kademlia favors old,
+    /// stable peers).
+    pub fn insert(&mut self, peer: NodeId) -> bool {
+        let Some(idx) = self.own_id.bucket_index(&peer) else {
+            return false; // never insert ourselves
+        };
+        let bucket = &mut self.buckets[idx];
+        if let Some(pos) = bucket.iter().position(|p| *p == peer) {
+            // Refresh: move to most-recently-seen position.
+            let p = bucket.remove(pos);
+            bucket.push(p);
+            return true;
+        }
+        if bucket.len() < BUCKET_SIZE {
+            bucket.push(peer);
+            return true;
+        }
+        false
+    }
+
+    /// Removes a peer (connection lost).
+    pub fn remove(&mut self, peer: &NodeId) {
+        if let Some(idx) = self.own_id.bucket_index(peer) {
+            self.buckets[idx].retain(|p| p != peer);
+        }
+    }
+
+    /// Whether the table knows `peer`.
+    pub fn contains(&self, peer: &NodeId) -> bool {
+        self.own_id
+            .bucket_index(peer)
+            .map(|i| self.buckets[i].contains(peer))
+            .unwrap_or(false)
+    }
+
+    /// Total peers known.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True when no peers are known.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `n` known peers closest to `target`, ascending by XOR distance.
+    pub fn nearest(&self, target: &NodeId, n: usize) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self.buckets.iter().flatten().copied().collect();
+        all.sort_by_key(|p| p.distance(target));
+        all.truncate(n);
+        all
+    }
+
+    /// Iterates all known peers.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeId> {
+        self.buckets.iter().flatten()
+    }
+}
+
+/// An iterative FIND_NODE lookup over a static view of tables, as used by
+/// the topology builder: starting from `seeds`, repeatedly query the `alpha`
+/// closest unqueried nodes for their neighbors until no progress.
+///
+/// `neighbors` resolves a queried node's `nearest(target)` answer — in the
+/// simulator this reads the queried node's routing table directly (zero
+/// message cost; discovery traffic is not part of the paper's measurements).
+pub fn iterative_lookup(
+    target: &NodeId,
+    seeds: &[NodeId],
+    mut neighbors: impl FnMut(&NodeId) -> Vec<NodeId>,
+    k: usize,
+) -> Vec<NodeId> {
+    const ALPHA: usize = 3;
+    let mut shortlist: Vec<NodeId> = seeds.to_vec();
+    let mut queried: HashSet<NodeId> = HashSet::new();
+    shortlist.sort_by_key(|p| p.distance(target));
+    shortlist.dedup();
+
+    loop {
+        let to_query: Vec<NodeId> = shortlist
+            .iter()
+            .filter(|p| !queried.contains(p))
+            .take(ALPHA)
+            .copied()
+            .collect();
+        if to_query.is_empty() {
+            break;
+        }
+        let mut progressed = false;
+        for q in to_query {
+            queried.insert(q);
+            for n in neighbors(&q) {
+                if n != *target && !shortlist.contains(&n) {
+                    shortlist.push(n);
+                    progressed = true;
+                }
+            }
+        }
+        shortlist.sort_by_key(|p| p.distance(target));
+        shortlist.truncate(k * 2);
+        if !progressed {
+            break;
+        }
+    }
+    shortlist.truncate(k);
+    shortlist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u64) -> NodeId {
+        NodeId::from_seed("kad", i)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut t = RoutingTable::new(id(0));
+        assert!(t.insert(id(1)));
+        assert!(t.contains(&id(1)));
+        assert!(!t.contains(&id(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn self_insertion_rejected() {
+        let mut t = RoutingTable::new(id(0));
+        assert!(!t.insert(id(0)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_not_grows() {
+        let mut t = RoutingTable::new(id(0));
+        t.insert(id(1));
+        t.insert(id(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn bucket_eviction_policy_drops_newcomers() {
+        let own = id(0);
+        let mut t = RoutingTable::new(own);
+        // Find many ids in the same bucket.
+        let mut same_bucket = Vec::new();
+        let target_bucket = own.bucket_index(&id(1)).unwrap();
+        let mut i = 1u64;
+        while same_bucket.len() < BUCKET_SIZE + 3 {
+            let candidate = id(i);
+            if own.bucket_index(&candidate) == Some(target_bucket) {
+                same_bucket.push(candidate);
+            }
+            i += 1;
+            assert!(i < 1_000_000, "couldn't fill bucket");
+        }
+        for (n, peer) in same_bucket.iter().enumerate() {
+            let accepted = t.insert(*peer);
+            assert_eq!(accepted, n < BUCKET_SIZE, "peer {n}");
+        }
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let own = id(0);
+        let mut t = RoutingTable::new(own);
+        for i in 1..40 {
+            t.insert(id(i));
+        }
+        let target = id(1000);
+        let near = t.nearest(&target, 5);
+        assert_eq!(near.len(), 5);
+        for w in near.windows(2) {
+            assert!(w[0].distance(&target) <= w[1].distance(&target));
+        }
+        // The closest returned is at least as close as every table entry.
+        let best = near[0].distance(&target);
+        for p in t.iter() {
+            assert!(best <= p.distance(&target));
+        }
+    }
+
+    #[test]
+    fn remove_forgets_peer() {
+        let mut t = RoutingTable::new(id(0));
+        t.insert(id(1));
+        t.remove(&id(1));
+        assert!(!t.contains(&id(1)));
+    }
+
+    #[test]
+    fn iterative_lookup_converges_toward_target() {
+        // Build a small world of 64 nodes that each know their 8 nearest.
+        let ids: Vec<NodeId> = (0..64).map(id).collect();
+        let tables: std::collections::HashMap<NodeId, RoutingTable> = ids
+            .iter()
+            .map(|me| {
+                let mut t = RoutingTable::new(*me);
+                let mut others: Vec<NodeId> =
+                    ids.iter().filter(|o| *o != me).copied().collect();
+                others.sort_by_key(|o| o.distance(me));
+                for o in others.into_iter().take(8) {
+                    t.insert(o);
+                }
+                (*me, t)
+            })
+            .collect();
+
+        let target = ids[60];
+        let found = iterative_lookup(
+            &target,
+            &[ids[0]],
+            |q| tables[q].nearest(&target, 8),
+            8,
+        );
+        assert!(!found.is_empty());
+        // The lookup's best result must be closer to the target than the
+        // starting seed was (strict progress through the overlay).
+        assert!(found[0].distance(&target) < ids[0].distance(&target));
+    }
+}

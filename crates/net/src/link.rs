@@ -1,0 +1,222 @@
+//! Point-to-point links with latency and smoltcp-style fault injection.
+//!
+//! A [`Link`] does no I/O: given a frame and an RNG it produces a
+//! [`DeliveryPlan`] — zero or more (delay, bytes) deliveries — which the
+//! discrete-event engine schedules. Faults (drop / duplicate / corrupt /
+//! reorder-via-jitter) are applied here so every layer above stays
+//! deterministic and testable.
+
+use rand::Rng;
+
+/// Latency model for one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed propagation delay in milliseconds.
+    pub base_ms: u64,
+    /// Uniform extra jitter in milliseconds (0..=jitter_ms sampled per
+    /// frame; jitter larger than the inter-frame gap yields reordering).
+    pub jitter_ms: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // Rough public-internet numbers for 2016 Ethereum peers.
+        LatencyModel {
+            base_ms: 80,
+            jitter_ms: 120,
+        }
+    }
+}
+
+/// Fault-injection knobs, mirroring the smoltcp examples' `--drop-chance`
+/// style options.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability a frame is silently dropped.
+    pub drop_chance: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate_chance: f64,
+    /// Probability one random byte of the frame is flipped.
+    pub corrupt_chance: f64,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub const NONE: FaultPlan = FaultPlan {
+        drop_chance: 0.0,
+        duplicate_chance: 0.0,
+        corrupt_chance: 0.0,
+    };
+
+    /// The smoltcp documentation's suggested stress setting (15% drop, 15%
+    /// corrupt).
+    pub fn stress() -> FaultPlan {
+        FaultPlan {
+            drop_chance: 0.15,
+            duplicate_chance: 0.05,
+            corrupt_chance: 0.15,
+        }
+    }
+}
+
+/// A unidirectional link.
+#[derive(Debug, Clone, Default)]
+pub struct Link {
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Fault plan.
+    pub faults: FaultPlan,
+}
+
+/// One scheduled delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Delay from send time, in milliseconds.
+    pub delay_ms: u64,
+    /// Frame bytes as they will arrive (possibly corrupted).
+    pub bytes: Vec<u8>,
+}
+
+/// The deliveries produced for one sent frame (empty = dropped).
+pub type DeliveryPlan = Vec<Delivery>;
+
+impl Link {
+    /// A link with the given latency and no faults.
+    pub fn with_latency(base_ms: u64, jitter_ms: u64) -> Self {
+        Link {
+            latency: LatencyModel { base_ms, jitter_ms },
+            faults: FaultPlan::NONE,
+        }
+    }
+
+    /// Computes the deliveries for `frame`.
+    pub fn transmit<R: Rng>(&self, frame: &[u8], rng: &mut R) -> DeliveryPlan {
+        if self.faults.drop_chance > 0.0 && rng.gen_bool(self.faults.drop_chance.min(1.0)) {
+            return Vec::new();
+        }
+        let copies = if self.faults.duplicate_chance > 0.0
+            && rng.gen_bool(self.faults.duplicate_chance.min(1.0))
+        {
+            2
+        } else {
+            1
+        };
+        let mut plan = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let mut bytes = frame.to_vec();
+            if !bytes.is_empty()
+                && self.faults.corrupt_chance > 0.0
+                && rng.gen_bool(self.faults.corrupt_chance.min(1.0))
+            {
+                let idx = rng.gen_range(0..bytes.len());
+                let mask = rng.gen_range(1..=255u8);
+                bytes[idx] ^= mask;
+            }
+            let jitter = if self.latency.jitter_ms > 0 {
+                rng.gen_range(0..=self.latency.jitter_ms)
+            } else {
+                0
+            };
+            plan.push(Delivery {
+                delay_ms: self.latency.base_ms + jitter,
+                bytes,
+            });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn clean_link_delivers_verbatim_with_base_latency() {
+        let link = Link::with_latency(50, 0);
+        let mut r = rng();
+        let plan = link.transmit(b"hello", &mut r);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].bytes, b"hello");
+        assert_eq!(plan[0].delay_ms, 50);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let link = Link::with_latency(100, 30);
+        let mut r = rng();
+        for _ in 0..200 {
+            let plan = link.transmit(b"x", &mut r);
+            let d = plan[0].delay_ms;
+            assert!((100..=130).contains(&d));
+        }
+    }
+
+    #[test]
+    fn drop_rate_statistics() {
+        let mut link = Link::with_latency(10, 0);
+        link.faults.drop_chance = 0.30;
+        let mut r = rng();
+        let delivered = (0..5_000)
+            .filter(|_| !link.transmit(b"f", &mut r).is_empty())
+            .count();
+        let rate = delivered as f64 / 5_000.0;
+        assert!((rate - 0.70).abs() < 0.03, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn duplicates_produce_two_copies() {
+        let mut link = Link::with_latency(10, 0);
+        link.faults.duplicate_chance = 1.0;
+        let mut r = rng();
+        let plan = link.transmit(b"dup", &mut r);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].bytes, b"dup");
+        assert_eq!(plan[1].bytes, b"dup");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let mut link = Link::with_latency(10, 0);
+        link.faults.corrupt_chance = 1.0;
+        let mut r = rng();
+        let frame = vec![0u8; 64];
+        for _ in 0..100 {
+            let plan = link.transmit(&frame, &mut r);
+            let diff: usize = plan[0]
+                .bytes
+                .iter()
+                .zip(&frame)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn empty_frame_never_corrupted() {
+        let mut link = Link::with_latency(10, 0);
+        link.faults.corrupt_chance = 1.0;
+        let mut r = rng();
+        let plan = link.transmit(&[], &mut r);
+        assert_eq!(plan[0].bytes, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut link = Link::with_latency(10, 50);
+        link.faults = FaultPlan::stress();
+        let run = || {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..100)
+                .map(|i| link.transmit(&[i as u8; 16], &mut r))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,443 @@
+//! Wire messages (devp2p/eth-protocol shaped) with an RLP codec.
+//!
+//! Every message serializes as `[type_byte, ...payload]`; blocks and
+//! transactions embed their canonical chain-crate RLP, so a corrupted frame
+//! fails to decode rather than silently mutating consensus data — the
+//! property the fault-injection tests lean on.
+
+use fork_chain::{Block, Header, Transaction};
+use fork_primitives::{H256, U256};
+use fork_rlp::{expect_fields, RlpError, RlpStream};
+
+/// The eth sub-protocol version spoken during the study period (eth/63-ish;
+/// the exact number only matters for handshake equality).
+pub const PROTOCOL_VERSION: u32 = 63;
+
+/// A peer-to-peer message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// The handshake: protocol compatibility data exchanged on connect.
+    Status(Status),
+    /// A freshly mined/relayed full block plus its branch total difficulty.
+    NewBlock {
+        /// The block.
+        block: Block,
+        /// Sender's total difficulty including this block.
+        total_difficulty: U256,
+    },
+    /// Announcement of block hashes (cheap gossip to non-sqrt peers).
+    NewBlockHashes(Vec<H256>),
+    /// Transaction gossip.
+    Transactions(Vec<Transaction>),
+    /// Header request (sync).
+    GetBlockHeaders {
+        /// First block number wanted.
+        start: u64,
+        /// Maximum number of headers.
+        count: u64,
+    },
+    /// Header response.
+    BlockHeaders(Vec<Header>),
+    /// Body request by hash.
+    GetBlockBodies(Vec<H256>),
+    /// Body response (full blocks for simplicity; the study never measures
+    /// body/header bandwidth separately).
+    BlockBodies(Vec<Block>),
+    /// Liveness probe.
+    Ping(u64),
+    /// Liveness reply.
+    Pong(u64),
+}
+
+/// Handshake payload. Two peers stay connected only if
+/// [`Status::compatible_with`] holds both ways — after the DAO fork the
+/// `fork_id` field splits the once-unified peer set into the two networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Status {
+    /// Protocol version (must match).
+    pub protocol_version: u32,
+    /// Network id (must match).
+    pub network_id: u64,
+    /// Sender's chain weight (used for sync decisions, not compatibility).
+    pub total_difficulty: U256,
+    /// Sender's head block hash.
+    pub head_hash: H256,
+    /// Genesis hash (must match — ETH and ETC share it!).
+    pub genesis_hash: H256,
+    /// Hash of the sender's canonical block at the DAO fork height, once it
+    /// has one (`None` before the fork). Must agree when both sides have it.
+    /// This mirrors the fork-id check real clients added *because of* this
+    /// event.
+    pub fork_block_hash: Option<H256>,
+}
+
+impl Status {
+    /// Whether a connection between two peers advertising these statuses
+    /// survives the handshake.
+    pub fn compatible_with(&self, other: &Status) -> bool {
+        if self.protocol_version != other.protocol_version
+            || self.network_id != other.network_id
+            || self.genesis_hash != other.genesis_hash
+        {
+            return false;
+        }
+        match (self.fork_block_hash, other.fork_block_hash) {
+            (Some(a), Some(b)) => a == b,
+            // One side has not reached the fork height yet: compatible (it
+            // cannot tell the chains apart, just as real pre-fork nodes
+            // could not).
+            _ => true,
+        }
+    }
+}
+
+impl Message {
+    /// Encodes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        fork_rlp::encode_list(|s| match self {
+            Message::Status(st) => {
+                s.append_u64(0);
+                s.append_u64(st.protocol_version as u64);
+                s.append_u64(st.network_id);
+                s.append_u256(st.total_difficulty);
+                s.append_bytes(st.head_hash.as_bytes());
+                s.append_bytes(st.genesis_hash.as_bytes());
+                match st.fork_block_hash {
+                    Some(h) => s.append_bytes(h.as_bytes()),
+                    None => s.append_bytes(&[]),
+                };
+            }
+            Message::NewBlock {
+                block,
+                total_difficulty,
+            } => {
+                s.append_u64(1);
+                s.append_raw(&block.rlp());
+                s.append_u256(*total_difficulty);
+            }
+            Message::NewBlockHashes(hashes) => {
+                s.append_u64(2);
+                append_hashes(s, hashes);
+            }
+            Message::Transactions(txs) => {
+                s.append_u64(3);
+                let l = s.begin_list();
+                for tx in txs {
+                    s.append_raw(&tx.rlp());
+                }
+                s.finish_list(l);
+            }
+            Message::GetBlockHeaders { start, count } => {
+                s.append_u64(4);
+                s.append_u64(*start);
+                s.append_u64(*count);
+            }
+            Message::BlockHeaders(headers) => {
+                s.append_u64(5);
+                let l = s.begin_list();
+                for h in headers {
+                    s.append_raw(&h.rlp());
+                }
+                s.finish_list(l);
+            }
+            Message::GetBlockBodies(hashes) => {
+                s.append_u64(6);
+                append_hashes(s, hashes);
+            }
+            Message::BlockBodies(blocks) => {
+                s.append_u64(7);
+                let l = s.begin_list();
+                for b in blocks {
+                    s.append_raw(&b.rlp());
+                }
+                s.finish_list(l);
+            }
+            Message::Ping(n) => {
+                s.append_u64(8);
+                s.append_u64(*n);
+            }
+            Message::Pong(n) => {
+                s.append_u64(9);
+                s.append_u64(*n);
+            }
+        })
+    }
+
+    /// Decodes a message; strict about structure (corrupted frames error).
+    pub fn decode(bytes: &[u8]) -> Result<Message, RlpError> {
+        let item = fork_rlp::decode(bytes)?;
+        let fields = item.list_items()?;
+        if fields.is_empty() {
+            return Err(RlpError::WrongFieldCount {
+                expected: 1,
+                got: 0,
+            });
+        }
+        let tag = fields[0].as_u64()?;
+        let body = &fields[1..];
+        let need = |n: usize| -> Result<(), RlpError> {
+            if body.len() != n {
+                Err(RlpError::WrongFieldCount {
+                    expected: n + 1,
+                    got: fields.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        Ok(match tag {
+            0 => {
+                need(6)?;
+                let fork_bytes = body[5].bytes()?;
+                let fork_block_hash = match fork_bytes.len() {
+                    0 => None,
+                    32 => Some(H256(body[5].as_array()?)),
+                    n => {
+                        return Err(RlpError::WrongLength {
+                            expected: 32,
+                            got: n,
+                        })
+                    }
+                };
+                Message::Status(Status {
+                    protocol_version: body[0].as_u64()? as u32,
+                    network_id: body[1].as_u64()?,
+                    total_difficulty: body[2].as_u256()?,
+                    head_hash: H256(body[3].as_array()?),
+                    genesis_hash: H256(body[4].as_array()?),
+                    fork_block_hash,
+                })
+            }
+            1 => {
+                need(2)?;
+                // Re-encode the nested block item to reuse Block::decode_bytes.
+                let block = decode_block(&body[0])?;
+                Message::NewBlock {
+                    block,
+                    total_difficulty: body[1].as_u256()?,
+                }
+            }
+            2 => {
+                need(1)?;
+                Message::NewBlockHashes(decode_hashes(&body[0])?)
+            }
+            3 => {
+                need(1)?;
+                let mut txs = Vec::new();
+                for t in body[0].list()? {
+                    txs.push(Transaction::decode(&t?)?);
+                }
+                Message::Transactions(txs)
+            }
+            4 => {
+                need(2)?;
+                Message::GetBlockHeaders {
+                    start: body[0].as_u64()?,
+                    count: body[1].as_u64()?,
+                }
+            }
+            5 => {
+                need(1)?;
+                let mut headers = Vec::new();
+                for h in body[0].list()? {
+                    headers.push(Header::decode(&h?)?);
+                }
+                Message::BlockHeaders(headers)
+            }
+            6 => {
+                need(1)?;
+                Message::GetBlockBodies(decode_hashes(&body[0])?)
+            }
+            7 => {
+                need(1)?;
+                let mut blocks = Vec::new();
+                for b in body[0].list()? {
+                    blocks.push(decode_block(&b?)?);
+                }
+                Message::BlockBodies(blocks)
+            }
+            8 => {
+                need(1)?;
+                Message::Ping(body[0].as_u64()?)
+            }
+            9 => {
+                need(1)?;
+                Message::Pong(body[0].as_u64()?)
+            }
+            _ => {
+                return Err(RlpError::UnexpectedType {
+                    expected: "known message tag",
+                })
+            }
+        })
+    }
+}
+
+fn append_hashes(s: &mut RlpStream, hashes: &[H256]) {
+    let l = s.begin_list();
+    for h in hashes {
+        s.append_bytes(h.as_bytes());
+    }
+    s.finish_list(l);
+}
+
+fn decode_hashes(item: &fork_rlp::Item<'_>) -> Result<Vec<H256>, RlpError> {
+    let mut out = Vec::new();
+    for h in item.list()? {
+        out.push(H256(h?.as_array()?));
+    }
+    Ok(out)
+}
+
+fn decode_block(item: &fork_rlp::Item<'_>) -> Result<Block, RlpError> {
+    let f = expect_fields(item, 3)?;
+    let header = Header::decode(&f[0])?;
+    let mut transactions = Vec::new();
+    for tx in f[1].list()? {
+        transactions.push(Transaction::decode(&tx?)?);
+    }
+    let mut ommers = Vec::new();
+    for o in f[2].list()? {
+        ommers.push(Header::decode(&o?)?);
+    }
+    Ok(Block {
+        header,
+        transactions,
+        ommers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fork_crypto::Keypair;
+    use fork_primitives::Address;
+
+    fn status(fork: Option<u8>) -> Status {
+        Status {
+            protocol_version: PROTOCOL_VERSION,
+            network_id: 1,
+            total_difficulty: U256::from_u128(1 << 40),
+            head_hash: H256([1; 32]),
+            genesis_hash: H256([2; 32]),
+            fork_block_hash: fork.map(|b| H256([b; 32])),
+        }
+    }
+
+    fn sample_block() -> Block {
+        let kp = Keypair::from_seed("msg", 0);
+        let txs = vec![Transaction::transfer(
+            &kp,
+            0,
+            Address([7; 20]),
+            U256::from_u64(5),
+            U256::ONE,
+            None,
+        )];
+        let mut header = Header {
+            number: 3,
+            timestamp: 99,
+            ..Header::default()
+        };
+        header.transactions_root = Block::transactions_root(&txs);
+        header.ommers_hash = Block::ommers_hash(&[]);
+        Block {
+            header,
+            transactions: txs,
+            ommers: vec![],
+        }
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let block = sample_block();
+        let msgs = vec![
+            Message::Status(status(Some(9))),
+            Message::Status(status(None)),
+            Message::NewBlock {
+                block: block.clone(),
+                total_difficulty: U256::from_u64(777),
+            },
+            Message::NewBlockHashes(vec![H256([1; 32]), H256([2; 32])]),
+            Message::Transactions(block.transactions.clone()),
+            Message::GetBlockHeaders { start: 5, count: 10 },
+            Message::BlockHeaders(vec![block.header.clone()]),
+            Message::GetBlockBodies(vec![block.hash()]),
+            Message::BlockBodies(vec![block]),
+            Message::Ping(42),
+            Message::Pong(42),
+        ];
+        for m in msgs {
+            let enc = m.encode();
+            let back = Message::decode(&enc).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_rejected_not_mutated() {
+        let m = Message::NewBlock {
+            block: sample_block(),
+            total_difficulty: U256::from_u64(7),
+        };
+        let enc = m.encode();
+        let mut hard_failures = 0;
+        for i in 0..enc.len() {
+            let mut corrupted = enc.clone();
+            corrupted[i] ^= 0xFF;
+            match Message::decode(&corrupted) {
+                Err(_) => hard_failures += 1,
+                Ok(other) => {
+                    // Flips inside free-form payload bytes (hashes,
+                    // signatures) stay structurally decodable — content
+                    // integrity is enforced by the chain layer's hashes and
+                    // signatures. The codec must still never return the
+                    // original message for corrupted bytes.
+                    assert_ne!(other, m, "byte {i}");
+                }
+            }
+        }
+        // Structural bytes (headers, tags, lengths) must hard-fail.
+        assert!(hard_failures > 0, "no corruption detected at all");
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let enc = fork_rlp::encode_list(|s| {
+            s.append_u64(99);
+        });
+        assert!(Message::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn handshake_compatibility_rules() {
+        // Same everything: compatible.
+        assert!(status(Some(1)).compatible_with(&status(Some(1))));
+        // Different fork block hash: the partition.
+        assert!(!status(Some(1)).compatible_with(&status(Some(2))));
+        // One side pre-fork: still compatible.
+        assert!(status(None).compatible_with(&status(Some(1))));
+        assert!(status(Some(1)).compatible_with(&status(None)));
+        // Different genesis: incompatible.
+        let mut other_genesis = status(Some(1));
+        other_genesis.genesis_hash = H256([9; 32]);
+        assert!(!status(Some(1)).compatible_with(&other_genesis));
+        // Different network id: incompatible.
+        let mut other_net = status(Some(1));
+        other_net.network_id = 2;
+        assert!(!status(Some(1)).compatible_with(&other_net));
+        // Different protocol version: incompatible.
+        let mut other_proto = status(Some(1));
+        other_proto.protocol_version = 62;
+        assert!(!status(Some(1)).compatible_with(&other_proto));
+    }
+
+    #[test]
+    fn status_difficulty_does_not_affect_compatibility() {
+        let a = status(Some(1));
+        let mut b = status(Some(1));
+        b.total_difficulty = U256::from_u64(1);
+        b.head_hash = H256([0xEE; 32]);
+        assert!(a.compatible_with(&b));
+    }
+}

@@ -1,0 +1,120 @@
+//! Top-N concentration metrics over block winners — Figure 5's measurement.
+//!
+//! The paper computes, **per day**, the fraction of that day's blocks won by
+//! the day's top 1/3/5 beneficiary addresses ("because pools are highly
+//! dynamic ... we calculate the top pools each day, rather than overall").
+
+use std::collections::HashMap;
+
+use fork_primitives::Address;
+
+/// Counts block winners within one day.
+#[derive(Debug, Clone, Default)]
+pub struct DailyWinners {
+    counts: HashMap<Address, u64>,
+    total: u64,
+}
+
+impl DailyWinners {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one block won by `beneficiary`.
+    pub fn record(&mut self, beneficiary: Address) {
+        *self.counts.entry(beneficiary).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Total blocks recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Distinct winning addresses.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Fraction of the day's blocks won by the top `n` addresses, in
+    /// `[0, 1]`; `None` when no blocks were recorded.
+    pub fn top_n_fraction(&self, n: usize) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = counts.iter().take(n).sum();
+        Some(top as f64 / self.total as f64)
+    }
+
+    /// The paper's three series for this day: top-1, top-3, top-5 fractions.
+    pub fn paper_metrics(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.top_n_fraction(1)?,
+            self.top_n_fraction(3)?,
+            self.top_n_fraction(5)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u8) -> Address {
+        Address([n; 20])
+    }
+
+    #[test]
+    fn top_n_fractions() {
+        let mut d = DailyWinners::new();
+        for _ in 0..50 {
+            d.record(a(1));
+        }
+        for _ in 0..30 {
+            d.record(a(2));
+        }
+        for _ in 0..20 {
+            d.record(a(3));
+        }
+        assert_eq!(d.top_n_fraction(1), Some(0.5));
+        assert_eq!(d.top_n_fraction(2), Some(0.8));
+        assert_eq!(d.top_n_fraction(3), Some(1.0));
+        assert_eq!(d.top_n_fraction(10), Some(1.0), "n beyond distinct");
+    }
+
+    #[test]
+    fn empty_day_yields_none() {
+        assert_eq!(DailyWinners::new().top_n_fraction(1), None);
+        assert_eq!(DailyWinners::new().paper_metrics(), None);
+    }
+
+    #[test]
+    fn ordering_independent_of_insertion() {
+        let mut d1 = DailyWinners::new();
+        let mut d2 = DailyWinners::new();
+        for (who, n) in [(a(1), 3u8), (a(2), 7), (a(3), 1)] {
+            for _ in 0..n {
+                d1.record(who);
+            }
+        }
+        for (who, n) in [(a(3), 1u8), (a(1), 3), (a(2), 7)] {
+            for _ in 0..n {
+                d2.record(who);
+            }
+        }
+        assert_eq!(d1.paper_metrics(), d2.paper_metrics());
+    }
+
+    #[test]
+    fn distinct_counting() {
+        let mut d = DailyWinners::new();
+        d.record(a(1));
+        d.record(a(1));
+        d.record(a(2));
+        assert_eq!(d.distinct(), 2);
+        assert_eq!(d.total(), 3);
+    }
+}

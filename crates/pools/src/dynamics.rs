@@ -1,0 +1,267 @@
+//! Pool ecosystem dynamics — the process behind Figure 5.
+//!
+//! Each network hosts a set of pools with hashpower weights. Block winners
+//! are sampled proportionally to weight; the weights themselves evolve by
+//! **preferential attachment with churn**: individual miners periodically
+//! re-home, choosing a destination pool with probability proportional to its
+//! current size (bigger pools advertise better variance and uptime). The
+//! paper's observation 6 — ETC's pool concentration starting low and slowly
+//! converging to ETH's ratios — is an emergent property of this process, and
+//! the Figure 5 bench measures exactly that convergence.
+
+use fork_crypto::keccak256;
+use fork_primitives::Address;
+use rand::Rng;
+
+/// One mining pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pool {
+    /// The pool's payout address (appears as block beneficiary; Figure 5
+    /// counts these).
+    pub address: Address,
+    /// Hashpower weight (relative; the set normalizes on demand).
+    pub weight: f64,
+}
+
+/// A network's pool ecosystem.
+#[derive(Debug, Clone, Default)]
+pub struct PoolSet {
+    pools: Vec<Pool>,
+}
+
+impl PoolSet {
+    /// Creates a pool set from `(label, weight)` pairs; addresses are
+    /// deterministic hashes of the labels.
+    pub fn from_weights(label: &str, weights: &[f64]) -> Self {
+        let pools = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Pool {
+                address: pool_address(label, i as u64),
+                weight: w.max(0.0),
+            })
+            .collect();
+        PoolSet { pools }
+    }
+
+    /// A fragmented ecosystem of `n` near-equal pools (ETC just after the
+    /// fork: the big pre-fork pools all left for ETH, leaving small
+    /// independents).
+    pub fn fragmented(label: &str, n: usize) -> Self {
+        Self::from_weights(label, &vec![1.0; n.max(1)])
+    }
+
+    /// A converged ecosystem shaped like ETH's (and the pre-fork chain's)
+    /// measured concentration: top-1 ≈ 25%, top-3 ≈ 55%, top-5 ≈ 75% of
+    /// blocks, with a long tail.
+    pub fn converged(label: &str) -> Self {
+        // Weights chosen so cumulative shares land on the paper's plateaus.
+        let weights = [
+            25.0, 17.0, 13.0, 11.0, 9.0, 6.0, 4.5, 3.5, 2.5, 2.0, 1.5, 1.5, 1.0, 1.0, 0.75, 0.75,
+        ];
+        Self::from_weights(label, &weights)
+    }
+
+    /// Number of pools.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// True when no pools exist.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// The pools, unordered.
+    pub fn pools(&self) -> &[Pool] {
+        &self.pools
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.pools.iter().map(|p| p.weight).sum()
+    }
+
+    /// Samples the winner of one block, proportionally to weight.
+    pub fn sample_winner<R: Rng>(&self, rng: &mut R) -> Address {
+        let total = self.total_weight();
+        assert!(total > 0.0, "pool set has no hashpower");
+        let mut x = rng.gen_range(0.0..total);
+        for p in &self.pools {
+            if x < p.weight {
+                return p.address;
+            }
+            x -= p.weight;
+        }
+        self.pools.last().expect("non-empty").address
+    }
+
+    /// One step of preferential-attachment churn: `churn_fraction` of the
+    /// total hashpower leaves its pool and re-homes proportionally to pool
+    /// size (plus a small uniform exploration floor, so tiny pools are not
+    /// absorbing-zero states).
+    pub fn step_preferential<R: Rng>(&mut self, churn_fraction: f64, rng: &mut R) {
+        if self.pools.len() < 2 {
+            return;
+        }
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return;
+        }
+        let moving = total * churn_fraction.clamp(0.0, 1.0);
+        // Remove proportionally from everyone...
+        for p in &mut self.pools {
+            p.weight -= p.weight / total * moving;
+        }
+        // ...and re-home with rich-get-richer probabilities.
+        let floor = 0.05 / self.pools.len() as f64;
+        let attach_total: f64 = self.pools.iter().map(|p| p.weight + floor * total).sum();
+        let mut remaining = moving;
+        let n = self.pools.len();
+        for _ in 0..8 {
+            // Re-home in 8 lumps for a bit of stochasticity.
+            let lump = moving / 8.0;
+            if remaining < lump {
+                break;
+            }
+            remaining -= lump;
+            let mut x = rng.gen_range(0.0..attach_total);
+            let mut idx = n - 1;
+            for (i, p) in self.pools.iter().enumerate() {
+                let a = p.weight + floor * total;
+                if x < a {
+                    idx = i;
+                    break;
+                }
+                x -= a;
+            }
+            self.pools[idx].weight += lump;
+        }
+        // Any numerical remainder goes to the largest pool.
+        if remaining > 0.0 {
+            if let Some(p) = self
+                .pools
+                .iter_mut()
+                .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("weights finite"))
+            {
+                p.weight += remaining;
+            }
+        }
+    }
+
+    /// The combined weight share of the `n` largest pools, in `[0, 1]`.
+    pub fn top_n_share(&self, n: usize) -> f64 {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut w: Vec<f64> = self.pools.iter().map(|p| p.weight).collect();
+        w.sort_by(|a, b| b.partial_cmp(a).expect("weights finite"));
+        w.iter().take(n).sum::<f64>() / total
+    }
+}
+
+/// Deterministic pool payout address.
+pub fn pool_address(label: &str, index: u64) -> Address {
+    let mut data = Vec::with_capacity(label.len() + 13);
+    data.extend_from_slice(b"pool/");
+    data.extend_from_slice(label.as_bytes());
+    data.extend_from_slice(&index.to_be_bytes());
+    Address::from_hash(keccak256(&data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converged_profile_matches_paper_plateaus() {
+        let s = PoolSet::converged("eth");
+        let t1 = s.top_n_share(1);
+        let t3 = s.top_n_share(3);
+        let t5 = s.top_n_share(5);
+        assert!((0.20..0.30).contains(&t1), "top1 {t1}");
+        assert!((0.50..0.62).contains(&t3), "top3 {t3}");
+        assert!((0.70..0.82).contains(&t5), "top5 {t5}");
+    }
+
+    #[test]
+    fn fragmented_profile_is_flat() {
+        let s = PoolSet::fragmented("etc", 20);
+        assert!((s.top_n_share(1) - 0.05).abs() < 1e-9);
+        assert!((s.top_n_share(5) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn winner_sampling_tracks_weights() {
+        let s = PoolSet::from_weights("w", &[3.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let a0 = s.pools()[0].address;
+        let wins0 = (0..10_000)
+            .filter(|_| s.sample_winner(&mut rng) == a0)
+            .count();
+        let share = wins0 as f64 / 10_000.0;
+        assert!((share - 0.75).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn preferential_attachment_concentrates_over_time() {
+        let mut s = PoolSet::fragmented("etc", 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let start_top5 = s.top_n_share(5);
+        for _ in 0..2_000 {
+            s.step_preferential(0.01, &mut rng);
+        }
+        let end_top5 = s.top_n_share(5);
+        assert!(
+            end_top5 > start_top5 + 0.15,
+            "no concentration: {start_top5} -> {end_top5}"
+        );
+        // Total hashpower conserved.
+        assert!((s.total_weight() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converged_profile_is_near_stationary() {
+        // The ETH ecosystem stays roughly where it is (paper: "relative
+        // fraction ... remains consistent over time").
+        let mut s = PoolSet::converged("eth");
+        let before = s.top_n_share(3);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..500 {
+            s.step_preferential(0.005, &mut rng);
+        }
+        let after = s.top_n_share(3);
+        assert!((after - before).abs() < 0.25, "{before} -> {after}");
+    }
+
+    #[test]
+    fn weight_conservation_under_churn() {
+        let mut s = PoolSet::from_weights("c", &[5.0, 3.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..100 {
+            s.step_preferential(0.1, &mut rng);
+            assert!((s.total_weight() - 10.0).abs() < 1e-6);
+            for p in s.pools() {
+                assert!(p.weight >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_addresses_deterministic_and_distinct() {
+        assert_eq!(pool_address("eth", 0), pool_address("eth", 0));
+        assert_ne!(pool_address("eth", 0), pool_address("eth", 1));
+        assert_ne!(pool_address("eth", 0), pool_address("etc", 0));
+    }
+
+    #[test]
+    fn single_pool_step_is_noop() {
+        let mut s = PoolSet::from_weights("solo", &[1.0]);
+        let mut rng = StdRng::seed_from_u64(51);
+        s.step_preferential(0.5, &mut rng);
+        assert_eq!(s.top_n_share(1), 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! # fork-pools
+//!
+//! Mining-pool substrate: share accounting and payout schemes (proportional,
+//! PPS, PPLNS), preferential-attachment ecosystem dynamics, and the per-day
+//! top-N concentration metric of the paper's Figure 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concentration;
+pub mod dynamics;
+pub mod payout;
+
+pub use concentration::DailyWinners;
+pub use dynamics::{pool_address, Pool, PoolSet};
+pub use payout::{distribute, income_coefficient_of_variation, PayoutScheme, ShareLedger};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fork_primitives::{Address, U256};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Distribution never pays out more than the reward, under any scheme
+        /// that splits the reward (PPS is pool-underwritten and excluded).
+        #[test]
+        fn split_schemes_conserve_reward(
+            shares in proptest::collection::vec((0u8..16, 1u64..1_000), 1..60),
+            reward in 1u64..u64::MAX,
+            window in 1usize..80,
+        ) {
+            let mut ledger = ShareLedger::new();
+            for (who, w) in &shares {
+                ledger.submit(Address([*who; 20]), *w);
+            }
+            for scheme in [PayoutScheme::Proportional, PayoutScheme::Pplns { window }] {
+                let out = distribute(scheme, U256::from_u64(reward), &ledger);
+                let total: U256 = out.values().copied().sum();
+                prop_assert!(total <= U256::from_u64(reward));
+            }
+        }
+
+        /// Preferential attachment conserves hashpower and keeps weights
+        /// non-negative for arbitrary churn settings.
+        #[test]
+        fn churn_conserves_hashpower(
+            weights in proptest::collection::vec(0.1f64..100.0, 2..30),
+            churn in 0.0f64..1.0,
+            seed in any::<u64>(),
+            steps in 1usize..50,
+        ) {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut set = PoolSet::from_weights("prop", &weights);
+            let expect: f64 = weights.iter().sum();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..steps {
+                set.step_preferential(churn, &mut rng);
+            }
+            prop_assert!((set.total_weight() - expect).abs() < 1e-6 * expect);
+            for p in set.pools() {
+                prop_assert!(p.weight >= 0.0);
+            }
+        }
+
+        /// Top-N share is monotone in N and bounded by 1.
+        #[test]
+        fn top_n_monotone(weights in proptest::collection::vec(0.0f64..50.0, 1..20)) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let set = PoolSet::from_weights("m", &weights);
+            let mut last = 0.0;
+            for n in 1..=weights.len() {
+                let s = set.top_n_share(n);
+                prop_assert!(s + 1e-12 >= last);
+                prop_assert!(s <= 1.0 + 1e-12);
+                last = s;
+            }
+            prop_assert!((set.top_n_share(weights.len()) - 1.0).abs() < 1e-9);
+        }
+    }
+}

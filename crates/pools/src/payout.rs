@@ -1,0 +1,242 @@
+//! Pool payout schemes.
+//!
+//! The paper (§3.3 "Pool mining") describes why pools exist: solo mining
+//! income is a high-variance lottery; pools convert it into a steady stream
+//! proportional to submitted shares. We implement the three classic schemes
+//! so the ablation bench can quantify exactly that variance reduction.
+
+use std::collections::HashMap;
+
+use fork_primitives::{Address, U256};
+
+/// A miner's share submission record for one accounting window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShareLedger {
+    /// Difficulty-weighted shares per miner, in submission order.
+    entries: Vec<(Address, u64)>,
+    total: u64,
+}
+
+impl ShareLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `weight` shares from `miner`.
+    pub fn submit(&mut self, miner: Address, weight: u64) {
+        self.entries.push((miner, weight));
+        self.total += weight;
+    }
+
+    /// Total share weight recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of submissions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no shares are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears for the next round (proportional scheme does this per block).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total = 0;
+    }
+
+    /// Sum of weights per miner over the last `window` submissions
+    /// (`None` = all).
+    fn weights(&self, window: Option<usize>) -> HashMap<Address, u64> {
+        let slice = match window {
+            Some(w) if w < self.entries.len() => &self.entries[self.entries.len() - w..],
+            _ => &self.entries[..],
+        };
+        let mut out: HashMap<Address, u64> = HashMap::new();
+        for (miner, weight) in slice {
+            *out.entry(*miner).or_default() += weight;
+        }
+        out
+    }
+}
+
+/// How a pool splits block rewards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayoutScheme {
+    /// Split each block reward proportionally over the current round's
+    /// shares, then reset the round.
+    Proportional,
+    /// Pay-per-share: a fixed wei amount per share, paid immediately whether
+    /// or not the pool finds blocks (the pool absorbs the variance).
+    PayPerShare {
+        /// Wei paid per unit share weight.
+        wei_per_share: u64,
+    },
+    /// Pay-per-last-N-shares: block rewards split over the trailing window.
+    Pplns {
+        /// Window length in submissions.
+        window: usize,
+    },
+}
+
+/// Splits `reward` per `scheme`; returns wei per miner. Any division dust
+/// stays with the pool operator (realistic and keeps sums conservative).
+pub fn distribute(
+    scheme: PayoutScheme,
+    reward: U256,
+    ledger: &ShareLedger,
+) -> HashMap<Address, U256> {
+    let mut out = HashMap::new();
+    match scheme {
+        PayoutScheme::Proportional | PayoutScheme::Pplns { .. } => {
+            let window = match scheme {
+                PayoutScheme::Pplns { window } => Some(window),
+                _ => None,
+            };
+            let weights = ledger.weights(window);
+            let total: u64 = weights.values().sum();
+            if total == 0 {
+                return out;
+            }
+            for (miner, w) in weights {
+                let amount = reward * U256::from_u64(w) / U256::from_u64(total);
+                if !amount.is_zero() {
+                    out.insert(miner, amount);
+                }
+            }
+        }
+        PayoutScheme::PayPerShare { wei_per_share } => {
+            for (miner, w) in ledger.weights(None) {
+                let amount = U256::from_u64(w).saturating_mul(U256::from_u64(wei_per_share));
+                if !amount.is_zero() {
+                    out.insert(miner, amount);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Relative payout variance across miners of equal hashpower — the metric
+/// the ablation bench reports. Input: per-miner income over many rounds.
+pub fn income_coefficient_of_variation(incomes: &[f64]) -> f64 {
+    if incomes.is_empty() {
+        return 0.0;
+    }
+    let mean = incomes.iter().sum::<f64>() / incomes.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = incomes.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / incomes.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fork_primitives::units::ether;
+
+    fn a(n: u8) -> Address {
+        Address([n; 20])
+    }
+
+    #[test]
+    fn proportional_split_exact_thirds() {
+        let mut ledger = ShareLedger::new();
+        ledger.submit(a(1), 10);
+        ledger.submit(a(2), 20);
+        ledger.submit(a(3), 30);
+        let out = distribute(PayoutScheme::Proportional, U256::from_u64(6_000), &ledger);
+        assert_eq!(out[&a(1)], U256::from_u64(1_000));
+        assert_eq!(out[&a(2)], U256::from_u64(2_000));
+        assert_eq!(out[&a(3)], U256::from_u64(3_000));
+    }
+
+    #[test]
+    fn payouts_never_exceed_reward() {
+        let mut ledger = ShareLedger::new();
+        for i in 0..7u8 {
+            ledger.submit(a(i), (i as u64) * 3 + 1);
+        }
+        let reward = ether(5);
+        let out = distribute(PayoutScheme::Proportional, reward, &ledger);
+        let total: U256 = out.values().copied().sum();
+        assert!(total <= reward);
+        // Dust is small: less than one wei per miner.
+        assert!(reward - total < U256::from_u64(out.len() as u64));
+    }
+
+    #[test]
+    fn empty_ledger_pays_nobody() {
+        let ledger = ShareLedger::new();
+        assert!(distribute(PayoutScheme::Proportional, ether(5), &ledger).is_empty());
+    }
+
+    #[test]
+    fn pps_pays_flat_rate() {
+        let mut ledger = ShareLedger::new();
+        ledger.submit(a(1), 100);
+        ledger.submit(a(2), 50);
+        let out = distribute(
+            PayoutScheme::PayPerShare { wei_per_share: 7 },
+            U256::ZERO, // reward irrelevant for PPS
+            &ledger,
+        );
+        assert_eq!(out[&a(1)], U256::from_u64(700));
+        assert_eq!(out[&a(2)], U256::from_u64(350));
+    }
+
+    #[test]
+    fn pplns_window_excludes_old_shares() {
+        let mut ledger = ShareLedger::new();
+        ledger.submit(a(1), 100); // old
+        ledger.submit(a(2), 10);
+        ledger.submit(a(3), 10);
+        let out = distribute(PayoutScheme::Pplns { window: 2 }, U256::from_u64(100), &ledger);
+        assert!(!out.contains_key(&a(1)), "old share outside window");
+        assert_eq!(out[&a(2)], U256::from_u64(50));
+        assert_eq!(out[&a(3)], U256::from_u64(50));
+    }
+
+    #[test]
+    fn repeat_submissions_accumulate() {
+        let mut ledger = ShareLedger::new();
+        ledger.submit(a(1), 5);
+        ledger.submit(a(1), 5);
+        ledger.submit(a(2), 10);
+        let out = distribute(PayoutScheme::Proportional, U256::from_u64(200), &ledger);
+        assert_eq!(out[&a(1)], out[&a(2)]);
+    }
+
+    #[test]
+    fn clear_resets_round() {
+        let mut ledger = ShareLedger::new();
+        ledger.submit(a(1), 5);
+        ledger.clear();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.total(), 0);
+    }
+
+    #[test]
+    fn cv_zero_for_constant_income() {
+        assert_eq!(income_coefficient_of_variation(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(income_coefficient_of_variation(&[]), 0.0);
+    }
+
+    #[test]
+    fn cv_orders_schemes_by_variance() {
+        // Lottery income (solo): one winner takes all.
+        let solo = [100.0, 0.0, 0.0, 0.0];
+        // Pooled income: near-even.
+        let pooled = [26.0, 24.0, 25.0, 25.0];
+        assert!(
+            income_coefficient_of_variation(&solo)
+                > 10.0 * income_coefficient_of_variation(&pooled)
+        );
+    }
+}

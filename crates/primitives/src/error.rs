@@ -1,0 +1,93 @@
+//! Error types for primitive parsing and arithmetic.
+
+use core::fmt;
+
+/// Errors from parsing or converting primitive values.
+///
+/// Hand-rolled (no `thiserror`) to keep the dependency set to the sanctioned
+/// list; each variant carries the offending datum for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing diagnostics
+pub enum PrimitiveError {
+    /// Hex string had an odd number of digits.
+    OddHexLength { len: usize },
+    /// A byte outside `[0-9a-fA-F]` appeared in a hex string.
+    InvalidHexChar { byte: u8 },
+    /// A byte outside `[0-9]` appeared in a decimal string.
+    InvalidDigit { byte: u8 },
+    /// Decimal literal does not fit in 256 bits.
+    IntegerOverflow,
+    /// Big-endian integer encoding longer than 32 bytes.
+    IntegerTooLarge { len: usize },
+    /// Empty string where an integer was expected.
+    EmptyInteger,
+    /// Hash literal was not exactly 32 bytes.
+    BadHashLength { len: usize },
+    /// Address literal was not exactly 20 bytes.
+    BadAddressLength { len: usize },
+}
+
+impl fmt::Display for PrimitiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OddHexLength { len } => write!(f, "hex string has odd length {len}"),
+            Self::InvalidHexChar { byte } => write!(f, "invalid hex character {byte:#04x}"),
+            Self::InvalidDigit { byte } => write!(f, "invalid decimal digit {byte:#04x}"),
+            Self::IntegerOverflow => write!(f, "integer does not fit in 256 bits"),
+            Self::IntegerTooLarge { len } => {
+                write!(f, "big-endian integer of {len} bytes exceeds 32")
+            }
+            Self::EmptyInteger => write!(f, "empty string is not an integer"),
+            Self::BadHashLength { len } => write!(f, "hash must be 32 bytes, got {len}"),
+            Self::BadAddressLength { len } => write!(f, "address must be 20 bytes, got {len}"),
+        }
+    }
+}
+
+impl std::error::Error for PrimitiveError {}
+
+/// A chain identifier, as introduced by EIP-155 for replay protection.
+///
+/// During the study period ETH adopted chain id 1 and ETC chain id 61;
+/// pre-EIP-155 ("legacy") transactions carry no chain id and are replayable
+/// across any chains sharing a transaction format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChainId(pub u64);
+
+impl ChainId {
+    /// Ethereum mainnet (post-DAO-fork chain).
+    pub const ETH: ChainId = ChainId(1);
+    /// Ethereum Classic.
+    pub const ETC: ChainId = ChainId(61);
+}
+
+impl fmt::Display for ChainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ChainId::ETH => write!(f, "ETH(1)"),
+            ChainId::ETC => write!(f, "ETC(61)"),
+            ChainId(other) => write!(f, "chain({other})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_datum() {
+        let msg = PrimitiveError::OddHexLength { len: 5 }.to_string();
+        assert!(msg.contains('5'));
+        let msg = PrimitiveError::BadHashLength { len: 31 }.to_string();
+        assert!(msg.contains("31"));
+    }
+
+    #[test]
+    fn chain_id_constants() {
+        assert_eq!(ChainId::ETH.0, 1);
+        assert_eq!(ChainId::ETC.0, 61);
+        assert_eq!(ChainId::ETH.to_string(), "ETH(1)");
+        assert_eq!(ChainId(99).to_string(), "chain(99)");
+    }
+}

@@ -1,0 +1,204 @@
+//! Fixed-size hash and address types.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::error::PrimitiveError;
+use crate::u256::U256;
+
+/// A 32-byte hash (block hashes, transaction hashes, state roots).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct H256(pub [u8; 32]);
+
+impl H256 {
+    /// The all-zero hash.
+    pub const ZERO: H256 = H256([0u8; 32]);
+
+    /// Constructs from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        H256(bytes)
+    }
+
+    /// Borrow the underlying bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// True if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// Interprets the hash as a big-endian 256-bit integer.
+    ///
+    /// Used by proof-of-work: a block is valid when `hash_as_u256 <= target`.
+    pub fn into_u256(self) -> U256 {
+        U256::from_be_slice(&self.0).expect("32 bytes always fit")
+    }
+
+    /// Builds a hash from a big-endian integer.
+    pub fn from_u256(v: U256) -> Self {
+        H256(v.to_be_bytes())
+    }
+
+    /// Lexicographic XOR distance to another hash (Kademlia metric).
+    pub fn xor_distance(&self, other: &H256) -> U256 {
+        self.into_u256() ^ other.into_u256()
+    }
+
+    /// First 4 bytes, handy for compact debugging labels.
+    pub fn short(&self) -> String {
+        crate::hex::encode(&self.0[..4])
+    }
+}
+
+impl fmt::Debug for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", crate::hex::encode(&self.0))
+    }
+}
+
+impl fmt::Display for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromStr for H256 {
+    type Err = PrimitiveError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = crate::hex::decode(s)?;
+        if bytes.len() != 32 {
+            return Err(PrimitiveError::BadHashLength { len: bytes.len() });
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Ok(H256(out))
+    }
+}
+
+impl AsRef<[u8]> for H256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A 20-byte account address, derived (as in Ethereum) from the trailing 20
+/// bytes of the Keccak-256 hash of the public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address (used for contract-creation transactions' `to` field
+    /// being absent, and as a burn sink).
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Constructs from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 20]) -> Self {
+        Address(bytes)
+    }
+
+    /// Borrow the underlying bytes.
+    pub const fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Derives an address from the trailing 20 bytes of a 32-byte hash,
+    /// mirroring Ethereum's `address = keccak(pubkey)[12..]`.
+    pub fn from_hash(h: H256) -> Self {
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&h.0[12..]);
+        Address(out)
+    }
+
+    /// True if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// First 4 bytes as hex, for logs and rendered tables.
+    pub fn short(&self) -> String {
+        crate::hex::encode(&self.0[..4])
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", crate::hex::encode(&self.0))
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromStr for Address {
+    type Err = PrimitiveError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = crate::hex::decode(s)?;
+        if bytes.len() != 20 {
+            return Err(PrimitiveError::BadAddressLength { len: bytes.len() });
+        }
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&bytes);
+        Ok(Address(out))
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h256_parse_roundtrip() {
+        let s = "0x00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff";
+        let h: H256 = s.parse().unwrap();
+        assert_eq!(format!("{h}"), s);
+    }
+
+    #[test]
+    fn h256_wrong_length_rejected() {
+        assert!("0x1234".parse::<H256>().is_err());
+    }
+
+    #[test]
+    fn h256_u256_roundtrip() {
+        let v = U256::from_u128(0xDEAD_BEEF_CAFE);
+        assert_eq!(H256::from_u256(v).into_u256(), v);
+    }
+
+    #[test]
+    fn xor_distance_symmetry_and_identity() {
+        let a = H256([1u8; 32]);
+        let b = H256([9u8; 32]);
+        assert_eq!(a.xor_distance(&b), b.xor_distance(&a));
+        assert!(a.xor_distance(&a).is_zero());
+    }
+
+    #[test]
+    fn address_from_hash_uses_trailing_bytes() {
+        let mut raw = [0u8; 32];
+        for (i, b) in raw.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let addr = Address::from_hash(H256(raw));
+        assert_eq!(addr.0[0], 12);
+        assert_eq!(addr.0[19], 31);
+    }
+
+    #[test]
+    fn address_parse_roundtrip() {
+        let s = "0x0011223344556677889900112233445566778899";
+        let a: Address = s.parse().unwrap();
+        assert_eq!(format!("{a}"), s);
+        assert!("0x00".parse::<Address>().is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Minimal hex encoding/decoding.
+//!
+//! Implemented locally rather than pulling a crate: the rest of the workspace
+//! needs exactly two functions and strict error reporting.
+
+use crate::error::PrimitiveError;
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as lowercase hex without a prefix.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0F) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (case-insensitive, optional `0x` prefix).
+///
+/// Odd-length input is rejected; callers that accept minimal integer hex
+/// should left-pad before calling.
+pub fn decode(s: &str) -> Result<Vec<u8>, PrimitiveError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if s.len() % 2 != 0 {
+        return Err(PrimitiveError::OddHexLength { len: s.len() });
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+fn nibble(c: u8) -> Result<u8, PrimitiveError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(PrimitiveError::InvalidHexChar { byte: c }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00u8, 0x01, 0x7f, 0x80, 0xff];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn prefix_and_case() {
+        assert_eq!(decode("0xDEADbeef").unwrap(), [0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert!(matches!(
+            decode("abc"),
+            Err(PrimitiveError::OddHexLength { len: 3 })
+        ));
+    }
+
+    #[test]
+    fn invalid_char_rejected() {
+        assert!(matches!(
+            decode("zz"),
+            Err(PrimitiveError::InvalidHexChar { byte: b'z' })
+        ));
+    }
+}

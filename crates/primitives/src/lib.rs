@@ -1,0 +1,110 @@
+//! # fork-primitives
+//!
+//! Foundation types for the *Stick a fork in it* reproduction: 256-bit
+//! arithmetic, hashes, addresses, ether denominations, chain identifiers and
+//! simulation time.
+//!
+//! Everything here is implemented from scratch (no external numeric or hex
+//! crates) so the chain rules built on top are fully auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hash;
+pub mod hex;
+pub mod time;
+pub mod u256;
+pub mod units;
+
+pub use error::{ChainId, PrimitiveError};
+pub use hash::{Address, H256};
+pub use time::{CivilDate, SimTime};
+pub use u256::U256;
+
+#[cfg(test)]
+mod proptests {
+    use crate::u256::U256;
+    use proptest::prelude::*;
+
+    fn arb_u256() -> impl Strategy<Value = U256> {
+        any::<[u64; 4]>().prop_map(U256)
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_u256(), b in arb_u256()) {
+            prop_assert_eq!(a.overflowing_add(b), b.overflowing_add(a));
+        }
+
+        #[test]
+        fn add_sub_roundtrip(a in arb_u256(), b in arb_u256()) {
+            let (sum, _) = a.overflowing_add(b);
+            let (back, _) = sum.overflowing_sub(b);
+            prop_assert_eq!(back, a);
+        }
+
+        #[test]
+        fn mul_commutes(a in arb_u256(), b in arb_u256()) {
+            prop_assert_eq!(a.overflowing_mul(b), b.overflowing_mul(a));
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(b);
+            prop_assert!(r < b);
+            let (qb, o1) = q.overflowing_mul(b);
+            prop_assert!(!o1);
+            let (back, o2) = qb.overflowing_add(r);
+            prop_assert!(!o2);
+            prop_assert_eq!(back, a);
+        }
+
+        #[test]
+        fn be_bytes_roundtrip(a in arb_u256()) {
+            prop_assert_eq!(U256::from_be_slice(&a.to_be_bytes()).unwrap(), a);
+            prop_assert_eq!(U256::from_be_slice(&a.to_be_bytes_trimmed()).unwrap(), a);
+        }
+
+        #[test]
+        fn dec_string_roundtrip(a in arb_u256()) {
+            prop_assert_eq!(U256::from_dec_str(&a.to_dec_string()).unwrap(), a);
+        }
+
+        #[test]
+        fn shift_left_then_right(a in arb_u256(), s in 0u32..256) {
+            // After masking off the bits that fall off the top, shl/shr invert.
+            let kept = (a << s) >> s;
+            let mask = if s == 0 { U256::MAX } else { U256::MAX >> s };
+            prop_assert_eq!(kept, a & mask);
+        }
+
+        #[test]
+        fn xor_involution(a in arb_u256(), b in arb_u256()) {
+            prop_assert_eq!((a ^ b) ^ b, a);
+        }
+
+        #[test]
+        fn ordering_total(a in arb_u256(), b in arb_u256()) {
+            use core::cmp::Ordering::*;
+            match a.cmp(&b) {
+                Less => prop_assert_eq!(b.cmp(&a), Greater),
+                Greater => prop_assert_eq!(b.cmp(&a), Less),
+                Equal => prop_assert_eq!(a, b),
+            }
+        }
+
+        #[test]
+        fn hex_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let enc = crate::hex::encode(&bytes);
+            prop_assert_eq!(crate::hex::decode(&enc).unwrap(), bytes);
+        }
+
+        #[test]
+        fn civil_date_roundtrip(days in -100_000i64..100_000) {
+            let d = crate::time::CivilDate::from_days(days);
+            prop_assert_eq!(d.to_days(), days);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Simulation time and civil-calendar mapping.
+//!
+//! The simulator runs on plain Unix timestamps (seconds). The paper's figures
+//! are plotted against calendar dates (07/21, 08/04, …), so this module also
+//! provides a dependency-free civil-calendar conversion (Hinnant's
+//! `days_from_civil` algorithm) used by the analytics renderers.
+
+use core::fmt;
+
+/// Unix timestamp of ETH mainnet block 1,920,000 — the DAO hard-fork block,
+/// mined 2016-07-20 13:20:39 UTC. All scenario presets anchor here.
+pub const DAO_FORK_TIMESTAMP: u64 = 1_469_020_839;
+
+/// Unix timestamp of the ETH "DoS" hard fork (EIP-150 gas repricing),
+/// block 2,463,000, 2016-11-22.
+pub const ETH_DOS_FORK_TIMESTAMP: u64 = 1_479_831_344;
+
+/// Unix timestamp of the ETC replay-protection fork (ECIP-1015 / EIP-155
+/// style chain id), block 3,000,000, 2017-01-13.
+pub const ETC_REPLAY_FORK_TIMESTAMP: u64 = 1_484_350_000;
+
+/// Approximate Unix timestamp of the Zcash launch (2016-10-28), used by the
+/// market model's exodus shock.
+pub const ZCASH_LAUNCH_TIMESTAMP: u64 = 1_477_648_800;
+
+/// Ethereum's target inter-block time during the study period, in seconds.
+pub const TARGET_BLOCK_TIME_SECS: u64 = 14;
+
+/// Seconds in a day, for binning.
+pub const SECS_PER_DAY: u64 = 86_400;
+/// Seconds in an hour, for binning.
+pub const SECS_PER_HOUR: u64 = 3_600;
+
+/// A point in simulated time: seconds since the Unix epoch.
+///
+/// Stored as `u64`; the simulation never runs before 1970 or past year ~580
+/// billion, so no signedness is needed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero (Unix epoch). Scenario presets normally start at
+    /// [`DAO_FORK_TIMESTAMP`] minus a warm-up window.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Constructs from a raw Unix timestamp.
+    pub const fn from_unix(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// The raw Unix timestamp.
+    pub const fn as_unix(&self) -> u64 {
+        self.0
+    }
+
+    /// Adds a number of seconds.
+    pub const fn plus_secs(&self, secs: u64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+
+    /// Adds whole days.
+    pub const fn plus_days(&self, days: u64) -> SimTime {
+        SimTime(self.0 + days * SECS_PER_DAY)
+    }
+
+    /// Saturating difference in seconds (`self - earlier`).
+    pub fn secs_since(&self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Index of the UTC hour bucket containing this time.
+    pub const fn hour_bucket(&self) -> u64 {
+        self.0 / SECS_PER_HOUR
+    }
+
+    /// Index of the UTC day bucket containing this time.
+    pub const fn day_bucket(&self) -> u64 {
+        self.0 / SECS_PER_DAY
+    }
+
+    /// The civil calendar date (UTC) of this instant.
+    pub fn date(&self) -> CivilDate {
+        CivilDate::from_days((self.0 / SECS_PER_DAY) as i64)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.0, self.date())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.date())
+    }
+}
+
+/// A UTC calendar date.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CivilDate {
+    /// Gregorian year (astronomical numbering).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Builds a date; panics on out-of-range month/day (construction sites are
+    /// all compile-time constants in this workspace).
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!((1..=31).contains(&day), "day out of range");
+        CivilDate { year, month, day }
+    }
+
+    /// Days since the Unix epoch for this date (Hinnant's civil_from_days
+    /// inverse).
+    pub fn to_days(&self) -> i64 {
+        let y = self.year as i64 - if self.month <= 2 { 1 } else { 0 };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (self.month as i64 + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Converts days since the Unix epoch to a civil date (Hinnant's
+    /// `civil_from_days`).
+    pub fn from_days(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        CivilDate {
+            year: (y + if m <= 2 { 1 } else { 0 }) as i32,
+            month: m,
+            day: d,
+        }
+    }
+
+    /// Midnight UTC at the start of this date.
+    pub fn to_sim_time(&self) -> SimTime {
+        SimTime((self.to_days() as u64) * SECS_PER_DAY)
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(CivilDate::from_days(0), CivilDate::new(1970, 1, 1));
+        assert_eq!(CivilDate::new(1970, 1, 1).to_days(), 0);
+    }
+
+    #[test]
+    fn dao_fork_date() {
+        let t = SimTime::from_unix(DAO_FORK_TIMESTAMP);
+        assert_eq!(t.date(), CivilDate::new(2016, 7, 20));
+    }
+
+    #[test]
+    fn eth_dos_fork_date() {
+        let t = SimTime::from_unix(ETH_DOS_FORK_TIMESTAMP);
+        assert_eq!(t.date(), CivilDate::new(2016, 11, 22));
+    }
+
+    #[test]
+    fn etc_replay_fork_date() {
+        let t = SimTime::from_unix(ETC_REPLAY_FORK_TIMESTAMP);
+        assert_eq!(t.date(), CivilDate::new(2017, 1, 13));
+    }
+
+    #[test]
+    fn zcash_launch_date() {
+        let t = SimTime::from_unix(ZCASH_LAUNCH_TIMESTAMP);
+        assert_eq!(t.date(), CivilDate::new(2016, 10, 28));
+    }
+
+    #[test]
+    fn civil_roundtrip_over_leap_years() {
+        // Sweep a window containing the 2016 leap day and a century boundary.
+        for days in [16_000i64, 16_861, 17_000, 47_000, -1, -365] {
+            let d = CivilDate::from_days(days);
+            assert_eq!(d.to_days(), days, "date {d}");
+        }
+        assert_eq!(CivilDate::from_days(16_860), CivilDate::new(2016, 2, 29));
+    }
+
+    #[test]
+    fn buckets_and_arithmetic() {
+        let t = SimTime::from_unix(100 * SECS_PER_DAY + 5 * SECS_PER_HOUR + 7);
+        assert_eq!(t.day_bucket(), 100);
+        assert_eq!(t.hour_bucket(), 100 * 24 + 5);
+        assert_eq!(t.plus_days(2).day_bucket(), 102);
+        assert_eq!(t.plus_secs(10).secs_since(t), 10);
+        assert_eq!(t.secs_since(t.plus_secs(10)), 0, "saturates");
+    }
+
+    #[test]
+    fn date_to_sim_time_is_midnight() {
+        let d = CivilDate::new(2016, 7, 21);
+        let t = d.to_sim_time();
+        assert_eq!(t.date(), d);
+        assert_eq!(t.as_unix() % SECS_PER_DAY, 0);
+    }
+}

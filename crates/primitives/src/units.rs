@@ -1,0 +1,96 @@
+//! Ether denominations and conversions.
+//!
+//! All balances and rewards in the workspace are carried in **wei**
+//! (`1 ether = 10^18 wei`), matching the on-chain representation. Helpers here
+//! convert between denominations and compute the paper's USD-facing metrics.
+
+use crate::u256::U256;
+
+/// Number of wei in one ether: `10^18`.
+pub const WEI_PER_ETHER: u128 = 1_000_000_000_000_000_000;
+
+/// Number of wei in one gwei: `10^9` (gas prices are quoted in gwei).
+pub const WEI_PER_GWEI: u128 = 1_000_000_000;
+
+/// The static block reward in the study period (pre-Byzantium): 5 ether.
+pub const BLOCK_REWARD_ETHER: u64 = 5;
+
+/// Converts whole ether to wei.
+pub fn ether(n: u64) -> U256 {
+    U256::from_u128(n as u128 * WEI_PER_ETHER)
+}
+
+/// Converts gwei to wei.
+pub fn gwei(n: u64) -> U256 {
+    U256::from_u128(n as u128 * WEI_PER_GWEI)
+}
+
+/// Converts a wei amount to fractional ether (lossy; analytics only).
+pub fn wei_to_ether_f64(wei: U256) -> f64 {
+    wei.to_f64_lossy() / WEI_PER_ETHER as f64
+}
+
+/// The 5-ether static block reward, in wei.
+pub fn block_reward() -> U256 {
+    ether(BLOCK_REWARD_ETHER)
+}
+
+/// Expected hashes a miner must compute to earn one USD.
+///
+/// This is the paper's Figure 3 metric: difficulty is the expected number of
+/// hashes per block; each block pays [`BLOCK_REWARD_ETHER`] ether; dividing by
+/// the USD exchange rate yields hashes per USD:
+/// `hashes_per_usd = (difficulty / 5) / usd_per_ether`.
+///
+/// Returns `None` when the exchange rate is non-positive (market not yet
+/// listed), which callers should render as a gap in the series.
+pub fn hashes_per_usd(difficulty: U256, usd_per_ether: f64) -> Option<f64> {
+    if usd_per_ether <= 0.0 || !usd_per_ether.is_finite() {
+        return None;
+    }
+    Some(difficulty.to_f64_lossy() / BLOCK_REWARD_ETHER as f64 / usd_per_ether)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ether_to_wei() {
+        assert_eq!(ether(1), U256::from_u128(WEI_PER_ETHER));
+        assert_eq!(ether(5), U256::from_u128(5 * WEI_PER_ETHER));
+    }
+
+    #[test]
+    fn gwei_to_wei() {
+        assert_eq!(gwei(20), U256::from_u128(20 * WEI_PER_GWEI));
+    }
+
+    #[test]
+    fn wei_to_ether_roundtrip() {
+        let w = ether(123);
+        assert!((wei_to_ether_f64(w) - 123.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_reward_is_five_ether() {
+        assert_eq!(block_reward(), ether(5));
+    }
+
+    #[test]
+    fn hashes_per_usd_formula() {
+        // difficulty 6e13, price 12 USD/ETH -> 6e13/5/12 = 1e12 hashes per USD,
+        // which is the order of magnitude shown on Figure 3's y-axis.
+        let d = U256::from_u128(60_000_000_000_000);
+        let h = hashes_per_usd(d, 12.0).unwrap();
+        assert!((h - 1.0e12).abs() / 1.0e12 < 1e-9);
+    }
+
+    #[test]
+    fn hashes_per_usd_unlisted_market() {
+        let d = U256::from_u64(1000);
+        assert!(hashes_per_usd(d, 0.0).is_none());
+        assert!(hashes_per_usd(d, -1.0).is_none());
+        assert!(hashes_per_usd(d, f64::NAN).is_none());
+    }
+}

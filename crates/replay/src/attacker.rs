@@ -1,0 +1,115 @@
+//! Rebroadcast policies.
+//!
+//! The paper notes that "not all such rebroadcasts are necessarily attacks,
+//! as the user may have intended for the transaction to execute in both
+//! networks" — so we model two populations: greedy recipients who lift every
+//! replayable incoming payment, and dual-intent users who deliberately
+//! broadcast to both chains.
+
+use fork_chain::Transaction;
+use rand::Rng;
+
+/// Who rebroadcasts, and how eagerly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RebroadcastPolicy {
+    /// A recipient that replays incoming value transfers on the other chain
+    /// with probability `eagerness` (the attack).
+    GreedyRecipient {
+        /// Probability of attempting the replay per received transaction.
+        eagerness: f64,
+    },
+    /// A user who intentionally mirrors their own transactions to both
+    /// chains with probability `fraction` (benign dual-intent).
+    DualIntent {
+        /// Probability of intentionally mirroring a transaction.
+        fraction: f64,
+    },
+}
+
+impl RebroadcastPolicy {
+    /// Decides whether `tx` gets rebroadcast on the other chain.
+    ///
+    /// Only legacy (chain-id-free) transactions are candidates: policies do
+    /// not waste bandwidth on EIP-155 transactions that cannot validate
+    /// cross-chain.
+    pub fn wants_rebroadcast<R: Rng>(&self, tx: &Transaction, rng: &mut R) -> bool {
+        if tx.chain_id.is_some() {
+            return false;
+        }
+        let p = match self {
+            RebroadcastPolicy::GreedyRecipient { eagerness } => {
+                // Greedy recipients only profit from value-bearing
+                // transfers.
+                if tx.value.is_zero() {
+                    return false;
+                }
+                *eagerness
+            }
+            RebroadcastPolicy::DualIntent { fraction } => *fraction,
+        };
+        p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fork_crypto::Keypair;
+    use fork_primitives::{Address, ChainId, U256};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tx(value: u64, chain_id: Option<ChainId>) -> Transaction {
+        Transaction::transfer(
+            &Keypair::from_seed("attacker", 0),
+            0,
+            Address([9; 20]),
+            U256::from_u64(value),
+            U256::ONE,
+            chain_id,
+        )
+    }
+
+    #[test]
+    fn eip155_transactions_never_rebroadcast() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RebroadcastPolicy::GreedyRecipient { eagerness: 1.0 };
+        assert!(!p.wants_rebroadcast(&tx(100, Some(ChainId::ETH)), &mut rng));
+        let p = RebroadcastPolicy::DualIntent { fraction: 1.0 };
+        assert!(!p.wants_rebroadcast(&tx(100, Some(ChainId::ETC)), &mut rng));
+    }
+
+    #[test]
+    fn greedy_ignores_zero_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = RebroadcastPolicy::GreedyRecipient { eagerness: 1.0 };
+        assert!(!p.wants_rebroadcast(&tx(0, None), &mut rng));
+        assert!(p.wants_rebroadcast(&tx(1, None), &mut rng));
+    }
+
+    #[test]
+    fn dual_intent_mirrors_any_legacy_tx() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = RebroadcastPolicy::DualIntent { fraction: 1.0 };
+        assert!(p.wants_rebroadcast(&tx(0, None), &mut rng));
+    }
+
+    #[test]
+    fn probability_respected_statistically() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = RebroadcastPolicy::GreedyRecipient { eagerness: 0.25 };
+        let t = tx(5, None);
+        let hits = (0..10_000)
+            .filter(|_| p.wants_rebroadcast(&t, &mut rng))
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = RebroadcastPolicy::DualIntent { fraction: 0.0 };
+        assert!(!p.wants_rebroadcast(&tx(5, None), &mut rng));
+    }
+}

@@ -1,0 +1,205 @@
+//! Echo detection — the paper's Figure 4 measurement.
+//!
+//! Definition (paper §3.3): *"We say that there was an 'echo' in ETH if we
+//! first saw that same transaction appear in ETC (and vice versa)."* A
+//! replayed transaction is byte-identical on both chains, so its hash is the
+//! cross-ledger identity.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fork_primitives::H256;
+
+/// Which of the two post-fork networks an observation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// The pro-fork chain.
+    Eth,
+    /// The anti-fork chain.
+    Etc,
+}
+
+impl Side {
+    /// The other network.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Eth => Side::Etc,
+            Side::Etc => Side::Eth,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Side::Eth => "ETH",
+            Side::Etc => "ETC",
+        }
+    }
+}
+
+/// Per-day echo statistics for one network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DayStats {
+    /// Total transactions included on this side this day.
+    pub transactions: u64,
+    /// Of those, transactions first seen on the *other* side (echoes).
+    pub echoes: u64,
+}
+
+impl DayStats {
+    /// Echoes as a percentage of all transactions (the Figure 4 top panel).
+    pub fn echo_percent(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            100.0 * self.echoes as f64 / self.transactions as f64
+        }
+    }
+}
+
+/// Streaming echo detector over both ledgers.
+///
+/// Feed every included transaction in **ledger order** via
+/// [`EchoDetector::observe`]; daily per-side series come out of
+/// [`EchoDetector::daily`].
+#[derive(Debug, Clone, Default)]
+pub struct EchoDetector {
+    first_seen: HashMap<H256, Side>,
+    daily: BTreeMap<(u64, Side), DayStats>,
+}
+
+impl EchoDetector {
+    /// Fresh detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transaction included on `side` during `day` (day bucket).
+    /// Returns `true` if this inclusion is an echo.
+    pub fn observe(&mut self, side: Side, tx_hash: H256, day: u64) -> bool {
+        let stats = self.daily.entry((day, side)).or_default();
+        stats.transactions += 1;
+        match self.first_seen.get(&tx_hash) {
+            None => {
+                self.first_seen.insert(tx_hash, side);
+                false
+            }
+            Some(first) if *first == side => false, // same-chain duplicate
+            Some(_) => {
+                stats.echoes += 1;
+                true
+            }
+        }
+    }
+
+    /// Day-indexed stats for `side`, ascending by day.
+    pub fn daily(&self, side: Side) -> Vec<(u64, DayStats)> {
+        self.daily
+            .iter()
+            .filter(|((_, s), _)| *s == side)
+            .map(|((d, _), stats)| (*d, *stats))
+            .collect()
+    }
+
+    /// Total echoes observed into `side` over the whole run.
+    pub fn total_echoes(&self, side: Side) -> u64 {
+        self.daily
+            .iter()
+            .filter(|((_, s), _)| *s == side)
+            .map(|(_, stats)| stats.echoes)
+            .sum()
+    }
+
+    /// Number of distinct transactions tracked.
+    pub fn tracked(&self) -> usize {
+        self.first_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u8) -> H256 {
+        H256([n; 32])
+    }
+
+    #[test]
+    fn first_sighting_is_not_echo() {
+        let mut d = EchoDetector::new();
+        assert!(!d.observe(Side::Eth, h(1), 0));
+        assert_eq!(d.total_echoes(Side::Eth), 0);
+    }
+
+    #[test]
+    fn cross_chain_second_sighting_is_echo() {
+        let mut d = EchoDetector::new();
+        d.observe(Side::Eth, h(1), 0);
+        assert!(d.observe(Side::Etc, h(1), 1));
+        assert_eq!(d.total_echoes(Side::Etc), 1);
+        assert_eq!(d.total_echoes(Side::Eth), 0, "direction matters");
+    }
+
+    #[test]
+    fn same_chain_duplicate_is_not_echo() {
+        let mut d = EchoDetector::new();
+        d.observe(Side::Eth, h(1), 0);
+        assert!(!d.observe(Side::Eth, h(1), 3));
+    }
+
+    #[test]
+    fn direction_asymmetry_measured() {
+        // Paper: "Most of the rebroadcasts were originally broadcast in ETH
+        // and then rebroadcast into ETC."
+        let mut d = EchoDetector::new();
+        for i in 0..10u8 {
+            d.observe(Side::Eth, h(i), 0);
+        }
+        for i in 0..8u8 {
+            d.observe(Side::Etc, h(i), 0); // 8 echoes into ETC
+        }
+        d.observe(Side::Etc, h(100), 0);
+        d.observe(Side::Eth, h(100), 0); // 1 echo into ETH
+        assert_eq!(d.total_echoes(Side::Etc), 8);
+        assert_eq!(d.total_echoes(Side::Eth), 1);
+    }
+
+    #[test]
+    fn daily_percentages() {
+        let mut d = EchoDetector::new();
+        // Day 0: 4 ETC txs, 2 of them echoes of ETH txs.
+        d.observe(Side::Eth, h(1), 0);
+        d.observe(Side::Eth, h(2), 0);
+        d.observe(Side::Etc, h(1), 0);
+        d.observe(Side::Etc, h(2), 0);
+        d.observe(Side::Etc, h(3), 0);
+        d.observe(Side::Etc, h(4), 0);
+        let etc = d.daily(Side::Etc);
+        assert_eq!(etc.len(), 1);
+        assert_eq!(etc[0].1.transactions, 4);
+        assert_eq!(etc[0].1.echoes, 2);
+        assert!((etc[0].1.echo_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_day_percent_is_zero() {
+        assert_eq!(DayStats::default().echo_percent(), 0.0);
+    }
+
+    #[test]
+    fn days_ordered_ascending() {
+        let mut d = EchoDetector::new();
+        d.observe(Side::Eth, h(1), 5);
+        d.observe(Side::Eth, h(2), 2);
+        d.observe(Side::Eth, h(3), 9);
+        let days: Vec<u64> = d.daily(Side::Eth).iter().map(|(d, _)| *d).collect();
+        assert_eq!(days, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn side_other_and_labels() {
+        assert_eq!(Side::Eth.other(), Side::Etc);
+        assert_eq!(Side::Etc.other(), Side::Eth);
+        assert_eq!(Side::Eth.label(), "ETH");
+        assert_eq!(Side::Etc.label(), "ETC");
+    }
+}

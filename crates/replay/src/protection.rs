@@ -1,0 +1,110 @@
+//! EIP-155 adoption modeling.
+//!
+//! Replay protection only works if wallets *use* it: chain ids were shipped
+//! backwards-compatibly ("users could **choose** to include \[them\]", paper
+//! §3.3), so adoption ramps gradually and a long tail of legacy traffic
+//! persists — which is why Figure 4 still shows hundreds of echoes per day
+//! at the end of the study.
+
+/// An S-curve adoption model: zero before activation, then
+/// `ceiling × (1 − 2^(−Δdays / halflife))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdoptionCurve {
+    /// Day bucket at which the feature ships.
+    pub activation_day: u64,
+    /// Days for half the eventual adopters to switch.
+    pub halflife_days: f64,
+    /// Fraction of traffic that ever adopts (the rest stays legacy forever).
+    pub ceiling: f64,
+}
+
+impl AdoptionCurve {
+    /// The fraction of transactions carrying a chain id on `day`.
+    pub fn fraction_protected(&self, day: u64) -> f64 {
+        if day < self.activation_day {
+            return 0.0;
+        }
+        let dt = (day - self.activation_day) as f64;
+        self.ceiling.clamp(0.0, 1.0) * (1.0 - (0.5f64).powf(dt / self.halflife_days.max(1e-9)))
+    }
+}
+
+/// Default ETH-side adoption after the Nov 22 2016 fork: brisk wallet
+/// upgrades but a persistent legacy tail.
+pub fn eth_adoption(activation_day: u64) -> AdoptionCurve {
+    AdoptionCurve {
+        activation_day,
+        halflife_days: 21.0,
+        ceiling: 0.85,
+    }
+}
+
+/// Default ETC-side adoption after the Jan 13 2017 fork.
+pub fn etc_adoption(activation_day: u64) -> AdoptionCurve {
+    AdoptionCurve {
+        activation_day,
+        halflife_days: 28.0,
+        ceiling: 0.80,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_activation() {
+        let c = eth_adoption(100);
+        assert_eq!(c.fraction_protected(0), 0.0);
+        assert_eq!(c.fraction_protected(99), 0.0);
+        assert_eq!(c.fraction_protected(100), 0.0, "day zero of the ramp");
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let c = eth_adoption(50);
+        let mut last = 0.0;
+        for d in 50..400 {
+            let f = c.fraction_protected(d);
+            assert!(f >= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn halflife_semantics() {
+        let c = AdoptionCurve {
+            activation_day: 0,
+            halflife_days: 10.0,
+            ceiling: 1.0,
+        };
+        assert!((c.fraction_protected(10) - 0.5).abs() < 1e-9);
+        assert!((c.fraction_protected(20) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceiling_leaves_legacy_tail() {
+        let c = eth_adoption(0);
+        let asymptote = c.fraction_protected(10_000);
+        assert!(asymptote < 0.86);
+        assert!(
+            asymptote > 0.84,
+            "approaches but never exceeds the ceiling: {asymptote}"
+        );
+        // The tail is what keeps Figure 4's echo counts non-zero.
+        assert!(1.0 - asymptote > 0.1);
+    }
+
+    #[test]
+    fn fraction_always_in_unit_interval() {
+        let c = AdoptionCurve {
+            activation_day: 5,
+            halflife_days: 0.0, // degenerate
+            ceiling: 2.0,       // over-spec'd
+        };
+        for d in 0..100 {
+            let f = c.fraction_protected(d);
+            assert!((0.0..=1.0).contains(&f), "day {d}: {f}");
+        }
+    }
+}

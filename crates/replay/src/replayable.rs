@@ -1,0 +1,158 @@
+//! The replayability predicate: can a transaction lifted from one chain be
+//! included on the other?
+
+use fork_chain::{ChainSpec, Transaction};
+use fork_evm::WorldState;
+use fork_primitives::U256;
+
+/// Why a lifted transaction would (not) execute on the target chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replayability {
+    /// Would be accepted and executed — the attack succeeds.
+    Replayable,
+    /// The EIP-155 chain id does not match the target chain (replay
+    /// protection working as designed).
+    WrongChainId,
+    /// Signature does not recover (corrupted or relabeled transaction).
+    SenderUnrecoverable,
+    /// The sender's account on the target chain has already moved past this
+    /// nonce (e.g. the owner split their funds with chain-specific
+    /// transactions first — the defensive advice the Ethereum community
+    /// published, paper §3.3).
+    NonceMismatch {
+        /// Account nonce on the target chain.
+        expected: u64,
+        /// The transaction's nonce.
+        got: u64,
+    },
+    /// The sender cannot cover gas + value on the target chain.
+    InsufficientFunds,
+}
+
+impl Replayability {
+    /// Whether the transaction would land.
+    pub fn is_replayable(&self) -> bool {
+        matches!(self, Replayability::Replayable)
+    }
+}
+
+/// Evaluates whether `tx` (observed on the source chain) can be replayed on
+/// the target chain with rules `spec`, at block height `number`, against the
+/// target chain's `state`.
+pub fn check_replay(
+    tx: &Transaction,
+    spec: &ChainSpec,
+    number: u64,
+    state: &WorldState,
+) -> Replayability {
+    let Some(sender) = tx.sender() else {
+        return Replayability::SenderUnrecoverable;
+    };
+    if !spec.accepts_chain_id(tx.chain_id, number) {
+        return Replayability::WrongChainId;
+    }
+    let expected = state.nonce(sender);
+    if tx.nonce != expected {
+        return Replayability::NonceMismatch {
+            expected,
+            got: tx.nonce,
+        };
+    }
+    let upfront = U256::from_u64(tx.gas_limit)
+        .saturating_mul(tx.gas_price)
+        .saturating_add(tx.value);
+    if state.balance(sender) < upfront {
+        return Replayability::InsufficientFunds;
+    }
+    Replayability::Replayable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fork_crypto::Keypair;
+    use fork_primitives::{units::ether, Address, ChainId};
+
+    fn kp() -> Keypair {
+        Keypair::from_seed("replay", 0)
+    }
+
+    fn etc_spec() -> ChainSpec {
+        ChainSpec::etc(vec![], Address::ZERO)
+    }
+
+    fn state_with(balance: U256, nonce: u64) -> WorldState {
+        let mut s = WorldState::new();
+        s.set_balance(kp().address(), balance);
+        s.set_nonce(kp().address(), nonce);
+        s
+    }
+
+    fn legacy_tx(nonce: u64) -> Transaction {
+        Transaction::transfer(
+            &kp(),
+            nonce,
+            Address([9; 20]),
+            U256::from_u64(1_000),
+            U256::ONE,
+            None,
+        )
+    }
+
+    #[test]
+    fn legacy_tx_replayable_when_account_mirrors() {
+        // Pre-fork balances exist identically on both chains — the paper's
+        // "user who owned 10 ether before the fork" scenario.
+        let state = state_with(ether(10), 0);
+        let r = check_replay(&legacy_tx(0), &etc_spec(), 2_000_000, &state);
+        assert_eq!(r, Replayability::Replayable);
+        assert!(r.is_replayable());
+    }
+
+    #[test]
+    fn eip155_tx_not_replayable_cross_chain() {
+        let state = state_with(ether(10), 0);
+        let tx = Transaction::transfer(
+            &kp(),
+            0,
+            Address([9; 20]),
+            U256::from_u64(1_000),
+            U256::ONE,
+            Some(ChainId::ETH), // signed for ETH
+        );
+        // On ETC (post its replay fork) the ETH chain id is rejected.
+        let r = check_replay(&tx, &etc_spec(), 3_100_000, &state);
+        assert_eq!(r, Replayability::WrongChainId);
+    }
+
+    #[test]
+    fn split_funds_defeat_replay_via_nonce() {
+        // The owner already sent a chain-specific tx on ETC, advancing the
+        // nonce: the lifted ETH tx (same nonce) no longer applies.
+        let state = state_with(ether(10), 1);
+        let r = check_replay(&legacy_tx(0), &etc_spec(), 2_000_000, &state);
+        assert_eq!(
+            r,
+            Replayability::NonceMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
+    }
+
+    #[test]
+    fn drained_account_defeats_replay() {
+        let state = state_with(U256::from_u64(10), 0);
+        let r = check_replay(&legacy_tx(0), &etc_spec(), 2_000_000, &state);
+        assert_eq!(r, Replayability::InsufficientFunds);
+    }
+
+    #[test]
+    fn corrupted_signature_unrecoverable() {
+        let state = state_with(ether(10), 0);
+        let mut tx = legacy_tx(0);
+        tx.value = U256::from_u64(999); // invalidates the signature binding
+        let r = check_replay(&tx, &etc_spec(), 2_000_000, &state);
+        assert_eq!(r, Replayability::SenderUnrecoverable);
+    }
+}

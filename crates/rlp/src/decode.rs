@@ -1,0 +1,353 @@
+//! Strict RLP decoding.
+
+use crate::error::RlpError;
+
+/// A decoded view into an RLP item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item<'a> {
+    /// A byte string.
+    Bytes(&'a [u8]),
+    /// A list; elements are decoded lazily via [`ListIter`].
+    List(&'a [u8]),
+}
+
+/// Decodes the single top-level item of `input`, rejecting trailing bytes.
+pub fn decode(input: &[u8]) -> Result<Item<'_>, RlpError> {
+    let (item, rest) = decode_prefix(input)?;
+    if !rest.is_empty() {
+        return Err(RlpError::TrailingBytes { extra: rest.len() });
+    }
+    Ok(item)
+}
+
+/// Decodes one item from the front of `input`, returning it and the remainder.
+pub fn decode_prefix(input: &[u8]) -> Result<(Item<'_>, &[u8]), RlpError> {
+    let first = *input.first().ok_or(RlpError::UnexpectedEof)?;
+    match first {
+        0x00..=0x7F => Ok((Item::Bytes(&input[..1]), &input[1..])),
+        0x80..=0xB7 => {
+            let len = (first - 0x80) as usize;
+            let payload = slice(input, 1, len)?;
+            if len == 1 && payload[0] < 0x80 {
+                return Err(RlpError::NonCanonicalSingleByte);
+            }
+            Ok((Item::Bytes(payload), &input[1 + len..]))
+        }
+        0xB8..=0xBF => {
+            let (len, header) = long_length(input, first - 0xB7)?;
+            let payload = slice(input, header, len)?;
+            Ok((Item::Bytes(payload), &input[header + len..]))
+        }
+        0xC0..=0xF7 => {
+            let len = (first - 0xC0) as usize;
+            let payload = slice(input, 1, len)?;
+            Ok((Item::List(payload), &input[1 + len..]))
+        }
+        0xF8..=0xFF => {
+            let (len, header) = long_length(input, first - 0xF7)?;
+            let payload = slice(input, header, len)?;
+            Ok((Item::List(payload), &input[header + len..]))
+        }
+    }
+}
+
+/// Reads a long-form length of `len_of_len` bytes; returns (length,
+/// header_size). Enforces canonical form: no leading zeros, value > 55.
+fn long_length(input: &[u8], len_of_len: u8) -> Result<(usize, usize), RlpError> {
+    let n = len_of_len as usize;
+    let bytes = slice(input, 1, n)?;
+    if bytes[0] == 0 {
+        return Err(RlpError::NonCanonicalLength);
+    }
+    if n > core::mem::size_of::<usize>() {
+        return Err(RlpError::LengthOverflow);
+    }
+    let mut len = 0usize;
+    for &b in bytes {
+        len = len
+            .checked_mul(256)
+            .and_then(|l| l.checked_add(b as usize))
+            .ok_or(RlpError::LengthOverflow)?;
+    }
+    if len <= 55 {
+        return Err(RlpError::NonCanonicalLength);
+    }
+    Ok((len, 1 + n))
+}
+
+fn slice(input: &[u8], start: usize, len: usize) -> Result<&[u8], RlpError> {
+    input
+        .get(start..start.checked_add(len).ok_or(RlpError::LengthOverflow)?)
+        .ok_or(RlpError::UnexpectedEof)
+}
+
+impl<'a> Item<'a> {
+    /// The byte-string payload, or an error for lists.
+    pub fn bytes(&self) -> Result<&'a [u8], RlpError> {
+        match self {
+            Item::Bytes(b) => Ok(b),
+            Item::List(_) => Err(RlpError::UnexpectedType { expected: "string" }),
+        }
+    }
+
+    /// An iterator over list elements, or an error for strings.
+    pub fn list(&self) -> Result<ListIter<'a>, RlpError> {
+        match self {
+            Item::List(payload) => Ok(ListIter { rest: payload }),
+            Item::Bytes(_) => Err(RlpError::UnexpectedType { expected: "list" }),
+        }
+    }
+
+    /// Decodes all list elements eagerly.
+    pub fn list_items(&self) -> Result<Vec<Item<'a>>, RlpError> {
+        self.list()?.collect()
+    }
+
+    /// Decodes a canonical unsigned integer (no leading zeros, ≤ 8 bytes).
+    pub fn as_u64(&self) -> Result<u64, RlpError> {
+        let b = self.bytes()?;
+        if b.len() > 8 {
+            return Err(RlpError::IntegerOverflow);
+        }
+        if b.first() == Some(&0) {
+            return Err(RlpError::LeadingZeroInteger);
+        }
+        let mut v = 0u64;
+        for &byte in b {
+            v = v << 8 | byte as u64;
+        }
+        Ok(v)
+    }
+
+    /// Decodes a canonical 256-bit unsigned integer.
+    pub fn as_u256(&self) -> Result<fork_primitives::U256, RlpError> {
+        let b = self.bytes()?;
+        if b.len() > 32 {
+            return Err(RlpError::IntegerOverflow);
+        }
+        if b.first() == Some(&0) {
+            return Err(RlpError::LeadingZeroInteger);
+        }
+        fork_primitives::U256::from_be_slice(b).map_err(|_| RlpError::IntegerOverflow)
+    }
+
+    /// Decodes a boolean (canonical integers 0/1).
+    pub fn as_bool(&self) -> Result<bool, RlpError> {
+        match self.as_u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(RlpError::InvalidBool),
+        }
+    }
+
+    /// Decodes a fixed-width byte array (hashes, addresses, signatures).
+    pub fn as_array<const N: usize>(&self) -> Result<[u8; N], RlpError> {
+        let b = self.bytes()?;
+        if b.len() != N {
+            return Err(RlpError::WrongLength {
+                expected: N,
+                got: b.len(),
+            });
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(b);
+        Ok(out)
+    }
+}
+
+/// Lazy iterator over the elements of a decoded list.
+pub struct ListIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for ListIter<'a> {
+    type Item = Result<Item<'a>, RlpError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        match decode_prefix(self.rest) {
+            Ok((item, rest)) => {
+                self.rest = rest;
+                Some(Ok(item))
+            }
+            Err(e) => {
+                self.rest = &[];
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Decodes a list item and checks it has exactly `n` elements.
+pub fn expect_fields<'a>(item: &Item<'a>, n: usize) -> Result<Vec<Item<'a>>, RlpError> {
+    let fields = item.list_items()?;
+    if fields.len() != n {
+        return Err(RlpError::WrongFieldCount {
+            expected: n,
+            got: fields.len(),
+        });
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_bytes, encode_list, RlpStream};
+
+    #[test]
+    fn decode_dog() {
+        let enc = encode_bytes(b"dog");
+        assert_eq!(decode(&enc).unwrap(), Item::Bytes(b"dog"));
+    }
+
+    #[test]
+    fn decode_cat_dog_list() {
+        let enc = encode_list(|s| {
+            s.append_bytes(b"cat");
+            s.append_bytes(b"dog");
+        });
+        let item = decode(&enc).unwrap();
+        let items = item.list_items().unwrap();
+        assert_eq!(items, vec![Item::Bytes(b"cat"), Item::Bytes(b"dog")]);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = encode_bytes(b"dog");
+        enc.push(0x00);
+        assert_eq!(decode(&enc), Err(RlpError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let enc = encode_bytes(b"longer string here");
+        assert_eq!(
+            decode(&enc[..enc.len() - 1]),
+            Err(RlpError::UnexpectedEof)
+        );
+        assert_eq!(decode(&[]), Err(RlpError::UnexpectedEof));
+    }
+
+    #[test]
+    fn non_canonical_single_byte_rejected() {
+        // 0x81 0x05 wraps a byte that must encode as itself.
+        assert_eq!(decode(&[0x81, 0x05]), Err(RlpError::NonCanonicalSingleByte));
+    }
+
+    #[test]
+    fn non_canonical_long_length_rejected() {
+        // Long form used for a 3-byte payload.
+        assert_eq!(
+            decode(&[0xB8, 0x03, 1, 2, 3]),
+            Err(RlpError::NonCanonicalLength)
+        );
+        // Leading zero in length-of-length.
+        assert_eq!(
+            decode(&[0xB9, 0x00, 0x38]),
+            Err(RlpError::NonCanonicalLength)
+        );
+    }
+
+    #[test]
+    fn integer_decoding() {
+        let mut s = RlpStream::new();
+        s.append_u64(1024);
+        let enc = s.into_bytes();
+        assert_eq!(decode(&enc).unwrap().as_u64().unwrap(), 1024);
+    }
+
+    #[test]
+    fn integer_leading_zero_rejected() {
+        assert_eq!(
+            decode(&[0x82, 0x00, 0x01]).unwrap().as_u64(),
+            Err(RlpError::LeadingZeroInteger)
+        );
+    }
+
+    #[test]
+    fn integer_too_wide_rejected() {
+        let mut s = RlpStream::new();
+        s.append_bytes(&[0xFF; 9]);
+        let enc = s.into_bytes();
+        assert_eq!(decode(&enc).unwrap().as_u64(), Err(RlpError::IntegerOverflow));
+    }
+
+    #[test]
+    fn bool_decoding() {
+        let mut s = RlpStream::new();
+        s.append_bool(true).append_bool(false).append_u64(2);
+        let enc = s.into_bytes();
+        // Decode the three items in sequence.
+        let (a, rest) = decode_prefix(&enc).unwrap();
+        let (b, rest) = decode_prefix(rest).unwrap();
+        let (c, _) = decode_prefix(rest).unwrap();
+        assert_eq!(a.as_bool(), Ok(true));
+        assert_eq!(b.as_bool(), Ok(false));
+        assert_eq!(c.as_bool(), Err(RlpError::InvalidBool));
+    }
+
+    #[test]
+    fn fixed_array_decoding() {
+        let enc = encode_bytes(&[7u8; 20]);
+        let arr: [u8; 20] = decode(&enc).unwrap().as_array().unwrap();
+        assert_eq!(arr, [7u8; 20]);
+        assert_eq!(
+            decode(&enc).unwrap().as_array::<32>(),
+            Err(RlpError::WrongLength {
+                expected: 32,
+                got: 20
+            })
+        );
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let list = encode_list(|_| {});
+        assert!(decode(&list).unwrap().bytes().is_err());
+        let string = encode_bytes(b"x");
+        assert!(decode(&string).unwrap().list().is_err());
+    }
+
+    #[test]
+    fn expect_fields_checks_count() {
+        let enc = encode_list(|s| {
+            s.append_u64(1);
+            s.append_u64(2);
+        });
+        let item = decode(&enc).unwrap();
+        assert!(expect_fields(&item, 2).is_ok());
+        assert_eq!(
+            expect_fields(&item, 3),
+            Err(RlpError::WrongFieldCount {
+                expected: 3,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn nested_list_roundtrip() {
+        let enc = encode_list(|s| {
+            s.append_bytes(b"outer");
+            let inner = s.begin_list();
+            s.append_u64(42);
+            s.finish_list(inner);
+        });
+        let item = decode(&enc).unwrap();
+        let fields = item.list_items().unwrap();
+        assert_eq!(fields[0], Item::Bytes(b"outer"));
+        let inner = fields[1].list_items().unwrap();
+        assert_eq!(inner[0].as_u64().unwrap(), 42);
+    }
+
+    #[test]
+    fn u256_roundtrip() {
+        let v = fork_primitives::U256::from_dec_str("98765432109876543210987654321").unwrap();
+        let mut s = RlpStream::new();
+        s.append_u256(v);
+        let enc = s.into_bytes();
+        assert_eq!(decode(&enc).unwrap().as_u256().unwrap(), v);
+    }
+}

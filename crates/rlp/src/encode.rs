@@ -1,0 +1,222 @@
+//! RLP encoding.
+
+/// An append-only RLP output stream.
+///
+/// Strings are emitted directly; lists are built by snapshotting the buffer
+/// position, writing the payload, then splicing the header in front — this
+/// avoids a recursive intermediate tree on the hot path (every block and
+/// transaction hash in the simulator passes through here).
+#[derive(Default, Debug, Clone)]
+pub struct RlpStream {
+    out: Vec<u8>,
+}
+
+impl RlpStream {
+    /// A fresh, empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the stream and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Appends a byte-string item.
+    pub fn append_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        match bytes {
+            [b] if *b < 0x80 => self.out.push(*b),
+            _ => {
+                self.push_length_header(bytes.len(), 0x80);
+                self.out.extend_from_slice(bytes);
+            }
+        }
+        self
+    }
+
+    /// Appends an unsigned integer in canonical (minimal big-endian) form.
+    pub fn append_u64(&mut self, v: u64) -> &mut Self {
+        let be = v.to_be_bytes();
+        let start = be.iter().position(|&b| b != 0).unwrap_or(8);
+        self.append_bytes(&be[start..])
+    }
+
+    /// Appends a 256-bit unsigned integer in canonical form.
+    pub fn append_u256(&mut self, v: fork_primitives::U256) -> &mut Self {
+        self.append_bytes(&v.to_be_bytes_trimmed())
+    }
+
+    /// Appends a boolean as the canonical integers 1 / 0 (empty string).
+    pub fn append_bool(&mut self, v: bool) -> &mut Self {
+        self.append_u64(v as u64)
+    }
+
+    /// Appends an already-encoded RLP item verbatim (for nesting).
+    pub fn append_raw(&mut self, rlp: &[u8]) -> &mut Self {
+        self.out.extend_from_slice(rlp);
+        self
+    }
+
+    /// Begins a list; returns a guard position to pass to [`Self::finish_list`].
+    pub fn begin_list(&mut self) -> usize {
+        self.out.len()
+    }
+
+    /// Closes a list opened at `start`, splicing the list header before the
+    /// payload written since.
+    pub fn finish_list(&mut self, start: usize) -> &mut Self {
+        let payload_len = self.out.len() - start;
+        let mut header = Vec::with_capacity(9);
+        write_length_header(&mut header, payload_len, 0xC0);
+        self.out.splice(start..start, header);
+        self
+    }
+
+    fn push_length_header(&mut self, len: usize, offset: u8) {
+        write_length_header(&mut self.out, len, offset);
+    }
+}
+
+/// Writes a string (`offset = 0x80`) or list (`offset = 0xC0`) header.
+fn write_length_header(out: &mut Vec<u8>, len: usize, offset: u8) {
+    if len <= 55 {
+        out.push(offset + len as u8);
+    } else {
+        let be = (len as u64).to_be_bytes();
+        let start = be.iter().position(|&b| b != 0).unwrap_or(8);
+        let len_of_len = 8 - start;
+        out.push(offset + 55 + len_of_len as u8);
+        out.extend_from_slice(&be[start..]);
+    }
+}
+
+/// Convenience: encodes a single byte-string.
+pub fn encode_bytes(bytes: &[u8]) -> Vec<u8> {
+    let mut s = RlpStream::new();
+    s.append_bytes(bytes);
+    s.into_bytes()
+}
+
+/// Convenience: encodes a list from a closure that fills the payload.
+pub fn encode_list(fill: impl FnOnce(&mut RlpStream)) -> Vec<u8> {
+    let mut s = RlpStream::new();
+    let l = s.begin_list();
+    fill(&mut s);
+    s.finish_list(l);
+    s.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Vectors from the Ethereum wiki's RLP page.
+    #[test]
+    fn dog_vector() {
+        assert_eq!(encode_bytes(b"dog"), vec![0x83, b'd', b'o', b'g']);
+    }
+
+    #[test]
+    fn cat_dog_list_vector() {
+        let enc = encode_list(|s| {
+            s.append_bytes(b"cat");
+            s.append_bytes(b"dog");
+        });
+        assert_eq!(
+            enc,
+            vec![0xC8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']
+        );
+    }
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(encode_bytes(b""), vec![0x80]);
+    }
+
+    #[test]
+    fn empty_list_vector() {
+        assert_eq!(encode_list(|_| {}), vec![0xC0]);
+    }
+
+    #[test]
+    fn integer_zero_is_empty_string() {
+        let mut s = RlpStream::new();
+        s.append_u64(0);
+        assert_eq!(s.into_bytes(), vec![0x80]);
+    }
+
+    #[test]
+    fn small_byte_encodes_as_itself() {
+        assert_eq!(encode_bytes(&[0x0F]), vec![0x0F]);
+        assert_eq!(encode_bytes(&[0x7F]), vec![0x7F]);
+        assert_eq!(encode_bytes(&[0x80]), vec![0x81, 0x80]);
+    }
+
+    #[test]
+    fn fifteen_vector() {
+        let mut s = RlpStream::new();
+        s.append_u64(15);
+        assert_eq!(s.into_bytes(), vec![0x0F]);
+    }
+
+    #[test]
+    fn one_thousand_twenty_four_vector() {
+        let mut s = RlpStream::new();
+        s.append_u64(1024);
+        assert_eq!(s.into_bytes(), vec![0x82, 0x04, 0x00]);
+    }
+
+    #[test]
+    fn lorem_long_string_vector() {
+        let lorem = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+        let enc = encode_bytes(lorem);
+        assert_eq!(enc[0], 0xB8);
+        assert_eq!(enc[1], lorem.len() as u8);
+        assert_eq!(&enc[2..], lorem);
+    }
+
+    #[test]
+    fn set_theoretic_nesting_vector() {
+        // [ [], [[]], [ [], [[]] ] ]
+        let enc = encode_list(|s| {
+            let a = s.begin_list();
+            s.finish_list(a);
+            let b = s.begin_list();
+            let b1 = s.begin_list();
+            s.finish_list(b1);
+            s.finish_list(b);
+            let c = s.begin_list();
+            let c1 = s.begin_list();
+            s.finish_list(c1);
+            let c2 = s.begin_list();
+            let c21 = s.begin_list();
+            s.finish_list(c21);
+            s.finish_list(c2);
+            s.finish_list(c);
+        });
+        assert_eq!(
+            enc,
+            vec![0xC7, 0xC0, 0xC1, 0xC0, 0xC3, 0xC0, 0xC1, 0xC0]
+        );
+    }
+
+    #[test]
+    fn long_list_header() {
+        let enc = encode_list(|s| {
+            for _ in 0..30 {
+                s.append_bytes(b"ab");
+            }
+        });
+        // 30 items * 3 bytes = 90 byte payload -> long form: 0xF8, 90.
+        assert_eq!(enc[0], 0xF8);
+        assert_eq!(enc[1], 90);
+        assert_eq!(enc.len(), 92);
+    }
+
+    #[test]
+    fn u256_minimal_encoding() {
+        let mut s = RlpStream::new();
+        s.append_u256(fork_primitives::U256::from_u64(0x0400));
+        assert_eq!(s.into_bytes(), vec![0x82, 0x04, 0x00]);
+    }
+}

@@ -1,0 +1,62 @@
+//! RLP decoding errors.
+
+use core::fmt;
+
+/// Errors raised while decoding an RLP stream.
+///
+/// Decoding is strict: any non-canonical encoding (non-minimal length,
+/// single byte wrapped in a string header, leading zeros in an integer) is
+/// rejected, matching the consensus-critical behavior of Ethereum clients —
+/// two nodes must never disagree on whether bytes parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing diagnostics
+pub enum RlpError {
+    /// Input ended before the announced payload did.
+    UnexpectedEof,
+    /// Bytes remained after the top-level item was fully decoded.
+    TrailingBytes { extra: usize },
+    /// A long-form length had leading zero bytes or encoded a value ≤ 55.
+    NonCanonicalLength,
+    /// A single byte `< 0x80` was wrapped in a string header.
+    NonCanonicalSingleByte,
+    /// An integer field had leading zero bytes.
+    LeadingZeroInteger,
+    /// An integer field was wider than the target type.
+    IntegerOverflow,
+    /// Expected a string item but found a list (or vice versa).
+    UnexpectedType { expected: &'static str },
+    /// A decoded list had the wrong number of fields for the target struct.
+    WrongFieldCount { expected: usize, got: usize },
+    /// A fixed-width field (hash, address, signature) had the wrong length.
+    WrongLength { expected: usize, got: usize },
+    /// A boolean field held a byte other than 0 or 1.
+    InvalidBool,
+    /// Payload length does not fit in usize (malicious length prefix).
+    LengthOverflow,
+}
+
+impl fmt::Display for RlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "unexpected end of RLP input"),
+            Self::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after RLP item"),
+            Self::NonCanonicalLength => write!(f, "non-canonical RLP length encoding"),
+            Self::NonCanonicalSingleByte => {
+                write!(f, "single byte < 0x80 must encode as itself")
+            }
+            Self::LeadingZeroInteger => write!(f, "integer has leading zero bytes"),
+            Self::IntegerOverflow => write!(f, "integer wider than target type"),
+            Self::UnexpectedType { expected } => write!(f, "expected RLP {expected}"),
+            Self::WrongFieldCount { expected, got } => {
+                write!(f, "expected {expected} RLP fields, got {got}")
+            }
+            Self::WrongLength { expected, got } => {
+                write!(f, "expected {expected}-byte field, got {got}")
+            }
+            Self::InvalidBool => write!(f, "boolean must be 0 or 1"),
+            Self::LengthOverflow => write!(f, "RLP length prefix overflows usize"),
+        }
+    }
+}
+
+impl std::error::Error for RlpError {}

@@ -1,0 +1,118 @@
+//! # fork-rlp
+//!
+//! Recursive Length Prefix (RLP) — Ethereum's canonical serialization — built
+//! from scratch. Headers, transactions and network messages in this workspace
+//! are all RLP-encoded so that hashing (`keccak256(rlp(header))`) matches the
+//! real protocol's structure.
+//!
+//! Decoding is strict/canonical: any encoding a consensus client would reject
+//! (non-minimal lengths, wrapped single bytes, leading-zero integers) errors
+//! here too.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod encode;
+pub mod error;
+
+pub use decode::{decode, decode_prefix, expect_fields, Item, ListIter};
+pub use encode::{encode_bytes, encode_list, RlpStream};
+pub use error::RlpError;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A tree of strings/lists for roundtrip testing.
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(Vec<u8>),
+        Node(Vec<Tree>),
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = proptest::collection::vec(any::<u8>(), 0..80).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 24, 6, |inner| {
+            proptest::collection::vec(inner, 0..6).prop_map(Tree::Node)
+        })
+    }
+
+    fn encode_tree(t: &Tree, s: &mut RlpStream) {
+        match t {
+            Tree::Leaf(bytes) => {
+                s.append_bytes(bytes);
+            }
+            Tree::Node(children) => {
+                let l = s.begin_list();
+                for c in children {
+                    encode_tree(c, s);
+                }
+                s.finish_list(l);
+            }
+        }
+    }
+
+    fn check_tree(t: &Tree, item: &Item<'_>) -> bool {
+        match (t, item) {
+            (Tree::Leaf(bytes), Item::Bytes(b)) => bytes.as_slice() == *b,
+            (Tree::Node(children), item @ Item::List(_)) => {
+                let items = match item.list_items() {
+                    Ok(i) => i,
+                    Err(_) => return false,
+                };
+                items.len() == children.len()
+                    && children.iter().zip(&items).all(|(c, i)| check_tree(c, i))
+            }
+            _ => false,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tree_roundtrip(t in arb_tree()) {
+            let mut s = RlpStream::new();
+            encode_tree(&t, &mut s);
+            let enc = s.into_bytes();
+            let item = decode(&enc).unwrap();
+            prop_assert!(check_tree(&t, &item));
+        }
+
+        #[test]
+        fn u64_roundtrip(v in any::<u64>()) {
+            let mut s = RlpStream::new();
+            s.append_u64(v);
+            let enc = s.into_bytes();
+            prop_assert_eq!(decode(&enc).unwrap().as_u64().unwrap(), v);
+        }
+
+        #[test]
+        fn bytes_roundtrip(b in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let enc = encode_bytes(&b);
+            prop_assert_eq!(decode(&enc).unwrap().bytes().unwrap(), b.as_slice());
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(b in proptest::collection::vec(any::<u8>(), 0..200)) {
+            // Must return Ok or Err, never panic or loop.
+            let _ = decode(&b);
+        }
+
+        #[test]
+        fn encodings_are_prefix_free(
+            a in proptest::collection::vec(any::<u8>(), 0..64),
+            b in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // decode_prefix over concatenated encodings recovers the split.
+            let ea = encode_bytes(&a);
+            let eb = encode_bytes(&b);
+            let joined = [ea.clone(), eb].concat();
+            let (first, rest) = decode_prefix(&joined).unwrap();
+            prop_assert_eq!(first.bytes().unwrap(), a.as_slice());
+            let (second, tail) = decode_prefix(rest).unwrap();
+            prop_assert_eq!(second.bytes().unwrap(), b.as_slice());
+            prop_assert!(tail.is_empty());
+        }
+    }
+}

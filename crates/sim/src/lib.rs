@@ -1,0 +1,35 @@
+//! # fork-sim
+//!
+//! The simulation engines driving every experiment:
+//!
+//! * [`meso`] — the two-chain block-by-block engine (one [`fork_chain::ChainStore`]
+//!   per network, exact non-homogeneous Poisson block discovery, real
+//!   transaction execution, the echo channel, pool dynamics). Generates
+//!   Figures 1–5 and the in-text observations.
+//! * [`micro`] — the fully networked engine (per-node stores, Kademlia
+//!   topology, gossip with latency and fault injection) demonstrating *how*
+//!   the partition happens at the message level, and measuring uncle rates
+//!   for the gossip ablation.
+//! * [`resolved`] — the resolved-fork experiment reproducing the paper's
+//!   86-block (ETH) vs 3,583-block (ETC) minority-branch comparison.
+//! * [`scenario`] — calibrated presets binding the historical timeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meso;
+pub mod micro;
+pub mod observer;
+pub mod resolved;
+pub mod rng;
+pub mod scenario;
+pub mod schedule;
+pub mod workload;
+
+pub use meso::{MesoConfig, NetworkParams, RunSummary, TwoChainEngine};
+pub use micro::{MicroConfig, MicroNet, MicroReport};
+pub use observer::{CountingSink, LedgerSink, NullSink, TeeSink};
+pub use resolved::{ResolvedForkConfig, ResolvedForkOutcome};
+pub use rng::SimRng;
+pub use schedule::StepSeries;
+pub use workload::{UserPopulation, WorkloadParams};

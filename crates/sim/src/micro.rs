@@ -1,0 +1,933 @@
+//! The fully networked ("micro-scale") engine.
+//!
+//! Every node runs its own [`ChainStore`] and gossip state; blocks propagate
+//! as encoded [`Message`]s over latency/fault-injected links across a
+//! Kademlia-built topology. This is where the partition is demonstrated at
+//! the *message* level: after the fork block, pro- and anti-fork nodes
+//! reject each other's blocks during import **and** drop each other during
+//! the Status re-handshake (the fork-block-hash check), splitting the once
+//! connected gossip graph into the two networks the paper measures.
+//!
+//! The micro engine also measures transient-fork behavior — side blocks,
+//! ommer inclusion, propagation delay — feeding the gossip-latency ablation
+//! bench.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use fork_chain::{Block, ChainError, ChainSpec, ChainStore, GenesisBuilder, ImportOutcome};
+use fork_net::{
+    plan_block_relay, FaultPlan, GossipState, LatencyModel, Link, Message, NodeId, Status,
+    Topology, TopologyConfig, PROTOCOL_VERSION,
+};
+use fork_primitives::{Address, H256, SimTime, U256};
+
+use crate::rng::SimRng;
+
+/// How protocol rules are assigned across nodes.
+#[derive(Debug, Clone)]
+pub enum SpecAssignment {
+    /// Every node runs the same rules (healthy network).
+    Uniform(ChainSpec),
+    /// The DAO-fork split: the first `eth_fraction` of nodes run `eth`
+    /// rules, the rest `etc` rules.
+    ForkSplit {
+        /// Pro-fork rules.
+        eth: ChainSpec,
+        /// Anti-fork rules.
+        etc: ChainSpec,
+        /// Fraction of nodes (and hashpower) on the pro-fork side.
+        eth_fraction: f64,
+    },
+}
+
+/// Micro-engine configuration.
+#[derive(Debug, Clone)]
+pub struct MicroConfig {
+    /// Root seed.
+    pub seed: u64,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// The first `n_miners` nodes mine, with equal hashrate shares.
+    pub n_miners: usize,
+    /// Total hashpower, hashes/second.
+    pub total_hashrate: f64,
+    /// Genesis difficulty.
+    pub genesis_difficulty: U256,
+    /// Genesis timestamp.
+    pub start: SimTime,
+    /// Wall-clock length of the run, seconds.
+    pub duration_secs: u64,
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// Link fault injection.
+    pub faults: FaultPlan,
+    /// Topology construction parameters.
+    pub topology: TopologyConfig,
+    /// Protocol-rule assignment.
+    pub specs: SpecAssignment,
+    /// Store retention window.
+    pub retention: usize,
+    /// Nodes that start offline and join later: `(node index, join time in
+    /// seconds)`. On join a node snap-syncs (clones the store of a
+    /// spec-compatible online peer — the fast-sync model) and begins mining
+    /// and gossiping. This is the node-level form of the paper's
+    /// "influx of nodes re-joined ETC over the subsequent two weeks".
+    pub late_joiners: Vec<(usize, u64)>,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig {
+            seed: 0,
+            n_nodes: 24,
+            n_miners: 8,
+            total_hashrate: 1_000.0,
+            genesis_difficulty: U256::from_u64(14_000),
+            start: SimTime::from_unix(1_469_020_839),
+            duration_secs: 3_600,
+            latency: LatencyModel::default(),
+            faults: FaultPlan::NONE,
+            topology: TopologyConfig::default(),
+            specs: SpecAssignment::Uniform(ChainSpec::test()),
+            retention: 64,
+            late_joiners: Vec::new(),
+        }
+    }
+}
+
+/// Run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MicroReport {
+    /// Blocks mined per node.
+    pub mined: Vec<u64>,
+    /// Total canonical head height per node at the end.
+    pub head_numbers: Vec<u64>,
+    /// Side-chain imports observed (transient forks).
+    pub side_blocks: u64,
+    /// Reorgs observed.
+    pub reorgs: u64,
+    /// Ommers included in canonical blocks (measured on node 0's ledger).
+    pub ommers_included: u64,
+    /// Frames that failed to decode (corruption casualties).
+    pub corrupted_frames: u64,
+    /// Mean block propagation delay in milliseconds (mined → imported,
+    /// averaged over all (block, node) pairs that imported it).
+    pub mean_propagation_ms: f64,
+    /// Sizes of the head-agreement groups at the end (nodes clustered by
+    /// their canonical hash at the fork height; one group = no partition).
+    pub partition_groups: Vec<usize>,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Peer links dropped by the status re-handshake after the fork.
+    pub handshake_drops: u64,
+    /// Late joiners that came online during the run.
+    pub joined: u64,
+}
+
+struct Node {
+    id: NodeId,
+    store: ChainStore,
+    gossip: GossipState,
+    /// Bumped on every head change; stale mining events are discarded.
+    epoch: u64,
+    hashrate: f64,
+    /// Orphan pool: parent hash → blocks waiting for it.
+    orphans: HashMap<H256, Vec<Block>>,
+    /// Offline nodes neither mine nor receive gossip (late joiners).
+    online: bool,
+    /// The chain's genesis hash (immutable; the store prunes genesis out of
+    /// its window, but the Status handshake still advertises it).
+    genesis_hash: H256,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    BlockFound { node: usize, epoch: u64 },
+    Deliver { from: usize, to: usize, bytes: Vec<u8> },
+    NodeJoins { node: usize },
+}
+
+struct Event {
+    at_ms: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ms == other.at_ms && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ms, self.seq).cmp(&(other.at_ms, other.seq))
+    }
+}
+
+/// The networked simulation.
+pub struct MicroNet {
+    nodes: Vec<Node>,
+    topology: Topology,
+    id_index: HashMap<NodeId, usize>,
+    link: Link,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now_ms: u64,
+    end_ms: u64,
+    start: SimTime,
+    rng: SimRng,
+    report: MicroReport,
+    fork_height: Option<u64>,
+    /// (block hash → mined-at ms) for propagation measurements.
+    mined_at: HashMap<H256, u64>,
+    propagation_sum_ms: f64,
+    propagation_samples: u64,
+    /// Messages sent per type tag (diagnostics).
+    sent_by_type: [u64; 10],
+}
+
+impl MicroNet {
+    /// Builds nodes, topology and the initial mining schedule.
+    pub fn new(config: MicroConfig) -> Self {
+        let rng = SimRng::new(config.seed);
+        let ids: Vec<NodeId> = (0..config.n_nodes as u64)
+            .map(|i| NodeId::from_seed("micro", i))
+            .collect();
+        let topology = fork_net::build_topology(&ids, config.topology, &mut rng.fork("topo"));
+
+        let (genesis, state) = GenesisBuilder::new()
+            .difficulty(config.genesis_difficulty)
+            .timestamp(config.start.as_unix())
+            .build();
+
+        let spec_for = |i: usize| -> ChainSpec {
+            match &config.specs {
+                SpecAssignment::Uniform(s) => s.clone(),
+                SpecAssignment::ForkSplit {
+                    eth,
+                    etc,
+                    eth_fraction,
+                } => {
+                    if (i as f64) < config.n_nodes as f64 * eth_fraction {
+                        eth.clone()
+                    } else {
+                        etc.clone()
+                    }
+                }
+            }
+        };
+        let fork_height = match &config.specs {
+            SpecAssignment::ForkSplit { eth, .. } => eth.dao_fork.as_ref().map(|d| d.block),
+            SpecAssignment::Uniform(_) => None,
+        };
+
+        let per_miner = config.total_hashrate / config.n_miners.max(1) as f64;
+        let offline: std::collections::HashSet<usize> =
+            config.late_joiners.iter().map(|(i, _)| *i).collect();
+        let nodes: Vec<Node> = (0..config.n_nodes)
+            .map(|i| Node {
+                id: ids[i],
+                store: ChainStore::new(spec_for(i), genesis.clone(), state.clone())
+                    .with_retention(config.retention),
+                gossip: GossipState::new(),
+                epoch: 0,
+                hashrate: if i < config.n_miners { per_miner } else { 0.0 },
+                orphans: HashMap::new(),
+                online: !offline.contains(&i),
+                genesis_hash: genesis.hash(),
+            })
+            .collect();
+        let id_index = ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+
+        let mut net = MicroNet {
+            report: MicroReport {
+                mined: vec![0; config.n_nodes],
+                head_numbers: vec![0; config.n_nodes],
+                ..MicroReport::default()
+            },
+            nodes,
+            topology,
+            id_index,
+            link: Link {
+                latency: config.latency,
+                faults: config.faults,
+            },
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now_ms: 0,
+            end_ms: config.duration_secs * 1_000,
+            start: config.start,
+            rng,
+            fork_height,
+            mined_at: HashMap::new(),
+            propagation_sum_ms: 0.0,
+            propagation_samples: 0,
+            sent_by_type: [0; 10],
+        };
+        for i in 0..net.nodes.len() {
+            if net.nodes[i].hashrate > 0.0 && net.nodes[i].online {
+                net.schedule_mining(i);
+            }
+        }
+        for (node, at_secs) in &config.late_joiners {
+            net.push_event(at_secs * 1_000, EventKind::NodeJoins { node: *node });
+        }
+        net
+    }
+
+    /// Brings a late joiner online: snap-sync (clone a spec-compatible
+    /// online peer's store, keeping our own rules), then start mining.
+    fn join_node(&mut self, i: usize) {
+        if self.nodes[i].online {
+            return;
+        }
+        self.nodes[i].online = true;
+        self.report.joined += 1;
+        // Find a compatible online peer to bootstrap from: same genesis and
+        // (when both sides have one) the same fork-height block.
+        let my_status = self.status_of(i);
+        let my_id = self.nodes[i].id;
+        let peers: Vec<NodeId> = self.topology.peers(&my_id).to_vec();
+        let bootstrap = peers
+            .iter()
+            .map(|p| self.id_index[p])
+            .find(|&j| self.nodes[j].online && {
+                let their = self.status_of(j);
+                // Also require the peer's chain to be valid under OUR rules:
+                // its fork-height block (if it has one) must satisfy our
+                // DAO stance. Compatibility via Status covers that because
+                // our own fork hash only exists after we synced — so check
+                // the peer's head under our spec's extra-data rule instead.
+                let fh = self.fork_height;
+                let marker_ok = match fh.and_then(|h| self.nodes[j].store.canonical_hash(h)) {
+                    Some(hash) => self.nodes[j]
+                        .store
+                        .block(hash)
+                        .map(|b| {
+                            self.nodes[i]
+                                .store
+                                .spec()
+                                .dao_extra_data_ok(b.header.number, &b.header.extra_data)
+                        })
+                        .unwrap_or(true),
+                    None => true,
+                };
+                my_status.compatible_with(&their) && marker_ok
+            });
+        if let Some(j) = bootstrap {
+            let own_spec = self.nodes[i].store.spec().clone();
+            let mut synced = self.nodes[j].store.clone();
+            synced.set_spec(own_spec);
+            self.nodes[i].store = synced;
+            self.nodes[i].epoch += 1;
+        }
+        if self.nodes[i].hashrate > 0.0 {
+            self.schedule_mining(i);
+        }
+    }
+
+    fn push_event(&mut self, at_ms: u64, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at_ms,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Samples this node's next block-discovery time and queues it.
+    fn schedule_mining(&mut self, i: usize) {
+        let node = &self.nodes[i];
+        if node.hashrate <= 0.0 {
+            return;
+        }
+        let parent = node.store.head_header();
+        let child_ts = (self.start.as_unix() + self.now_ms / 1_000).max(parent.timestamp + 1);
+        let d = node.store.spec().difficulty.next_difficulty(
+            parent.difficulty,
+            parent.timestamp,
+            child_ts,
+            parent.number + 1,
+        );
+        let mean_secs = d.to_f64_lossy() / node.hashrate;
+        let dt_ms = (self.rng.exp(mean_secs) * 1_000.0) as u64;
+        let epoch = self.nodes[i].epoch;
+        self.push_event(self.now_ms + dt_ms.max(1), EventKind::BlockFound { node: i, epoch });
+    }
+
+    /// The node's current handshake status.
+    fn status_of(&self, i: usize) -> Status {
+        let node = &self.nodes[i];
+        Status {
+            protocol_version: PROTOCOL_VERSION,
+            network_id: node.store.spec().network_id,
+            total_difficulty: node.store.head_total_difficulty(),
+            head_hash: node.store.head_hash(),
+            genesis_hash: node.genesis_hash,
+            fork_block_hash: self
+                .fork_height
+                .and_then(|h| node.store.canonical_hash(h)),
+        }
+    }
+
+    /// Drops peerships whose statuses became incompatible (run after a
+    /// node's head crosses the fork height).
+    fn prune_incompatible_peers(&mut self, i: usize) {
+        let my_status = self.status_of(i);
+        let my_id = self.nodes[i].id;
+        let peers: Vec<NodeId> = self.topology.peers(&my_id).to_vec();
+        for p in peers {
+            let j = self.id_index[&p];
+            if !my_status.compatible_with(&self.status_of(j)) {
+                // Sever both directions.
+                let mut t = std::mem::take(&mut self.topology);
+                if let Some(adj) = t.adjacency.get_mut(&my_id) {
+                    adj.retain(|x| *x != p);
+                }
+                if let Some(adj) = t.adjacency.get_mut(&p) {
+                    adj.retain(|x| *x != my_id);
+                }
+                self.topology = t;
+                self.report.handshake_drops += 1;
+            }
+        }
+    }
+
+    /// Sends `msg` from node `i` to peer node `j` through the faulty link.
+    fn send(&mut self, i: usize, j: usize, msg: &Message) {
+        let tag = match msg {
+            Message::Status(_) => 0,
+            Message::NewBlock { .. } => 1,
+            Message::NewBlockHashes(_) => 2,
+            Message::Transactions(_) => 3,
+            Message::GetBlockHeaders { .. } => 4,
+            Message::BlockHeaders(_) => 5,
+            Message::GetBlockBodies(_) => 6,
+            Message::BlockBodies(_) => 7,
+            Message::Ping(_) => 8,
+            Message::Pong(_) => 9,
+        };
+        self.sent_by_type[tag] += 1;
+        // Frames carry a checksum (the RLPx MAC's role): corruption kills a
+        // frame instead of mutating consensus data.
+        let frame = fork_net::seal_frame(&msg.encode());
+        for delivery in self.link.transmit(&frame, &mut self.rng) {
+            self.push_event(
+                self.now_ms + delivery.delay_ms.max(1),
+                EventKind::Deliver {
+                    from: i,
+                    to: j,
+                    bytes: delivery.bytes,
+                },
+            );
+        }
+    }
+
+    /// Gossips a block from node `i` (excluding the peer it came from).
+    fn relay_block(&mut self, i: usize, block: &Block, exclude: Option<usize>) {
+        let my_id = self.nodes[i].id;
+        let peers = self.topology.peers(&my_id).to_vec();
+        let exclude_id = exclude.map(|e| self.nodes[e].id);
+        let plan = plan_block_relay(&peers, exclude_id, &mut self.rng);
+        let td = self.nodes[i].store.head_total_difficulty();
+        for p in plan.full_block {
+            let j = self.id_index[&p];
+            self.send(
+                i,
+                j,
+                &Message::NewBlock {
+                    block: block.clone(),
+                    total_difficulty: td,
+                },
+            );
+        }
+        if !plan.announce.is_empty() {
+            let hashes = vec![block.hash()];
+            for p in plan.announce {
+                let j = self.id_index[&p];
+                self.send(i, j, &Message::NewBlockHashes(hashes.clone()));
+            }
+        }
+    }
+
+    /// Attempts to import a block at node `i`; handles orphans, epoch bumps,
+    /// relaying and statistics. `from` is the delivering peer (None = mined
+    /// locally).
+    fn import_at(&mut self, i: usize, block: Block, from: Option<usize>) {
+        let hash = block.hash();
+        if !self.nodes[i].gossip.blocks.insert(hash) {
+            return; // already seen via gossip
+        }
+        self.process_block(i, block, from);
+    }
+
+    /// The import path proper — also used to retry buffered orphans, which
+    /// are already in the seen-filter and must bypass it.
+    fn process_block(&mut self, i: usize, block: Block, from: Option<usize>) {
+        let hash = block.hash();
+        match self.nodes[i].store.import(block.clone()) {
+            Ok(result) => {
+                // Propagation measurement.
+                if let Some(t0) = self.mined_at.get(&hash) {
+                    self.propagation_sum_ms += (self.now_ms - t0) as f64;
+                    self.propagation_samples += 1;
+                }
+                match result.outcome {
+                    ImportOutcome::Extended | ImportOutcome::Reorged { .. } => {
+                        if matches!(result.outcome, ImportOutcome::Reorged { .. }) {
+                            self.report.reorgs += 1;
+                        }
+                        self.nodes[i].epoch += 1;
+                        if let Some(fh) = self.fork_height {
+                            if block.header.number >= fh {
+                                self.prune_incompatible_peers(i);
+                            }
+                        }
+                        self.schedule_mining(i);
+                    }
+                    ImportOutcome::SideChain => {
+                        self.report.side_blocks += 1;
+                    }
+                    ImportOutcome::AlreadyKnown => return,
+                }
+                self.relay_block(i, &block, from);
+                // Any orphans waiting for this block can now be tried
+                // (bypassing the seen-filter, which already holds them).
+                if let Some(children) = self.nodes[i].orphans.remove(&hash) {
+                    for child in children {
+                        self.process_block(i, child, None);
+                    }
+                }
+            }
+            Err(ChainError::UnknownParent { parent }) => {
+                // Buffer (dedup — re-fetches come through here again) and
+                // ask the sender for the parent; the buffered block is
+                // retried by `process_block` when it arrives. If the parent
+                // is itself already orphan-buffered, a walk is in flight —
+                // re-requesting would only amplify traffic.
+                let number = block.header.number;
+                let parent_walk_active = self.nodes[i].orphans.contains_key(&parent);
+                let bucket = self.nodes[i].orphans.entry(parent).or_default();
+                if !bucket.iter().any(|b| b.hash() == hash) {
+                    bucket.push(block);
+                }
+                if let (Some(f), false) = (from, parent_walk_active) {
+                    let head = self.nodes[i].store.head_number();
+                    if number > head + 8 {
+                        // Large gap: header-first sync instead of walking
+                        // one ancestor per round trip.
+                        self.send(
+                            i,
+                            f,
+                            &Message::GetBlockHeaders {
+                                start: head + 1,
+                                count: number - head,
+                            },
+                        );
+                    } else {
+                        self.send(i, f, &Message::GetBlockBodies(vec![parent]));
+                    }
+                }
+            }
+            Err(_) => {
+                // Invalid under this node's rules — the partition mechanism.
+            }
+        }
+    }
+
+    fn handle_message(&mut self, from: usize, to: usize, bytes: Vec<u8>) {
+        self.report.delivered += 1;
+        let Some(payload) = fork_net::open_frame(&bytes) else {
+            self.report.corrupted_frames += 1;
+            return;
+        };
+        let msg = match Message::decode(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.report.corrupted_frames += 1;
+                return;
+            }
+        };
+        match msg {
+            Message::NewBlock { block, .. } => self.import_at(to, block, Some(from)),
+            Message::NewBlockHashes(hashes) => {
+                let unknown: Vec<H256> = hashes
+                    .into_iter()
+                    .filter(|h| !self.nodes[to].store.contains(*h))
+                    .collect();
+                if !unknown.is_empty() {
+                    self.send(to, from, &Message::GetBlockBodies(unknown));
+                }
+            }
+            Message::GetBlockBodies(hashes) => {
+                let blocks: Vec<Block> = hashes
+                    .iter()
+                    .filter_map(|h| self.nodes[to].store.block(*h).cloned())
+                    .collect();
+                if !blocks.is_empty() {
+                    self.send(to, from, &Message::BlockBodies(blocks));
+                }
+            }
+            Message::BlockBodies(blocks) => {
+                for b in blocks {
+                    // Requested blocks bypass the seen-filter: they are
+                    // usually re-fetches of ancestors first seen (and
+                    // orphan-buffered) long ago.
+                    self.process_block(to, b, Some(from));
+                }
+            }
+            Message::GetBlockHeaders { start, count } => {
+                // Serve canonical headers from the retained window.
+                let mut headers = Vec::new();
+                for n in start..start.saturating_add(count.min(192)) {
+                    match self.nodes[to]
+                        .store
+                        .canonical_hash(n)
+                        .and_then(|h| self.nodes[to].store.block(h))
+                    {
+                        Some(b) => headers.push(b.header.clone()),
+                        None => break,
+                    }
+                }
+                if !headers.is_empty() {
+                    self.send(to, from, &Message::BlockHeaders(headers));
+                }
+            }
+            Message::BlockHeaders(headers) => {
+                // Header-first sync: request the bodies we lack.
+                let unknown: Vec<H256> = headers
+                    .iter()
+                    .map(fork_chain::Header::hash)
+                    .filter(|h| !self.nodes[to].store.contains(*h))
+                    .collect();
+                if !unknown.is_empty() {
+                    self.send(to, from, &Message::GetBlockBodies(unknown));
+                }
+            }
+            Message::Ping(n) => self.send(to, from, &Message::Pong(n)),
+            // Status / transactions / pong: no-ops in this engine.
+            _ => {}
+        }
+    }
+
+    fn mine_block(&mut self, i: usize) {
+        let ts = self.start.as_unix() + self.now_ms / 1_000;
+        let beneficiary = Address(self.nodes[i].id.0 .0[..20].try_into().expect("20 bytes"));
+        let block = self.nodes[i]
+            .store
+            .propose(beneficiary, ts, Vec::new(), &[]);
+        self.report.mined[i] += 1;
+        self.report.ommers_included += block.ommers.len() as u64;
+        self.mined_at.insert(block.hash(), self.now_ms);
+        self.import_at(i, block, None);
+    }
+
+    /// Runs the simulation to completion and returns statistics.
+    pub fn run(&mut self) -> MicroReport {
+        let mut processed: u64 = 0;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            if event.at_ms > self.end_ms {
+                break;
+            }
+            processed += 1;
+            if processed % 200_000 == 0 && std::env::var_os("FORK_MICRO_DEBUG").is_some() {
+                let orphans: usize = (0..self.nodes.len()).map(|i| self.orphan_count(i)).sum();
+                let heads: Vec<u64> =
+                    self.nodes.iter().map(|n| n.store.head_number()).collect();
+                eprintln!(
+                    "micro: {processed} events, t={}ms, queue={}, sent={:?}, orphans={orphans}, heads={heads:?}",
+                    event.at_ms,
+                    self.queue.len(),
+                    self.sent_by_type,
+                );
+            }
+            self.now_ms = event.at_ms;
+            match event.kind {
+                EventKind::BlockFound { node, epoch } => {
+                    if self.nodes[node].epoch != epoch {
+                        continue; // stale: head changed since scheduling
+                    }
+                    self.mine_block(node);
+                    // `import_at` bumped the epoch and rescheduled.
+                }
+                EventKind::Deliver { from, to, bytes } => {
+                    if self.nodes[to].online {
+                        self.handle_message(from, to, bytes);
+                    }
+                }
+                EventKind::NodeJoins { node } => {
+                    self.join_node(node);
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            self.report.head_numbers[i] = node.store.head_number();
+        }
+        self.report.mean_propagation_ms = if self.propagation_samples == 0 {
+            0.0
+        } else {
+            self.propagation_sum_ms / self.propagation_samples as f64
+        };
+        // Partition census: cluster nodes by their fork-height canonical
+        // hash (or head hash when no fork is configured).
+        let mut groups: HashMap<Option<H256>, usize> = HashMap::new();
+        for node in &self.nodes {
+            let key = match self.fork_height {
+                Some(h) => node.store.canonical_hash(h),
+                None => Some(node.store.head_hash()),
+            };
+            *groups.entry(key).or_default() += 1;
+        }
+        let mut sizes: Vec<usize> = groups.into_values().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        self.report.partition_groups = sizes;
+        self.report.clone()
+    }
+
+    /// A node's store (inspection).
+    pub fn node_store(&self, i: usize) -> &ChainStore {
+        &self.nodes[i].store
+    }
+
+    /// Number of orphan blocks a node is holding (diagnostics).
+    pub fn orphan_count(&self, i: usize) -> usize {
+        self.nodes[i].orphans.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_network_converges_to_one_chain() {
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 1,
+            n_nodes: 16,
+            n_miners: 6,
+            duration_secs: 1_800,
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        let total_mined: u64 = report.mined.iter().sum();
+        assert!(total_mined > 50, "{total_mined}");
+        // Everyone near the same height (no partition): heads within the
+        // propagation window of each other.
+        let max = *report.head_numbers.iter().max().unwrap();
+        let min = *report.head_numbers.iter().min().unwrap();
+        assert!(max - min <= 2, "heads diverged: {min}..{max}");
+        assert_eq!(report.partition_groups.len(), 1, "{:?}", report.partition_groups);
+        assert!(report.mean_propagation_ms > 0.0);
+    }
+
+    #[test]
+    fn fork_split_partitions_network() {
+        let dao = vec![Address([0xDA; 20])];
+        let refund = Address([0xFD; 20]);
+        let mut eth = ChainSpec::eth(dao.clone(), refund);
+        let mut etc = ChainSpec::etc(dao, refund);
+        // Test scale: fork at block 1, low difficulty.
+        for spec in [&mut eth, &mut etc] {
+            spec.difficulty = ChainSpec::test().difficulty;
+            spec.pow_work_factor = 2;
+            if let Some(d) = spec.dao_fork.as_mut() {
+                d.block = 1;
+            }
+            spec.eip150_block = None;
+            spec.eip155 = None;
+        }
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 2,
+            n_nodes: 20,
+            // Every node mines so both cohorts have hashpower (the ETH
+            // cohort holds 60% of nodes and thus 60% of the hashrate).
+            n_miners: 20,
+            duration_secs: 1_800,
+            specs: SpecAssignment::ForkSplit {
+                eth,
+                etc,
+                eth_fraction: 0.6,
+            },
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        // Exactly two head-agreement groups: the partition.
+        assert_eq!(
+            report.partition_groups.len(),
+            2,
+            "{:?}",
+            report.partition_groups
+        );
+        assert_eq!(report.partition_groups.iter().sum::<usize>(), 20);
+        assert!(report.partition_groups[0] >= 10);
+        // The handshake check severed cross-fork peerships.
+        assert!(report.handshake_drops > 0);
+        // Both sides kept mining.
+        let eth_head = report.head_numbers[0];
+        let etc_head = report.head_numbers[19];
+        assert!(eth_head > 5, "{eth_head}");
+        assert!(etc_head > 1, "{etc_head}");
+    }
+
+    #[test]
+    fn lossy_links_still_converge() {
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 3,
+            n_nodes: 12,
+            n_miners: 4,
+            duration_secs: 1_200,
+            faults: FaultPlan {
+                drop_chance: 0.10,
+                duplicate_chance: 0.05,
+                corrupt_chance: 0.10,
+            },
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        assert!(report.corrupted_frames > 0, "fault injection active");
+        // Despite faults, the request/response recovery path keeps heads
+        // close.
+        let max = *report.head_numbers.iter().max().unwrap();
+        let min = *report.head_numbers.iter().min().unwrap();
+        let orphans: Vec<usize> = (0..12).map(|i| net.orphan_count(i)).collect();
+        assert!(
+            max - min <= 4,
+            "heads diverged: {min}..{max}, heads {:?}, orphans {orphans:?}",
+            report.head_numbers
+        );
+    }
+
+    #[test]
+    fn higher_latency_raises_transient_forks() {
+        let run = |base_ms: u64, seed: u64| {
+            let mut net = MicroNet::new(MicroConfig {
+                seed,
+                n_nodes: 16,
+                n_miners: 8,
+                duration_secs: 2_400,
+                latency: LatencyModel {
+                    base_ms,
+                    jitter_ms: base_ms / 2,
+                },
+                ..MicroConfig::default()
+            });
+            let r = net.run();
+            (r.side_blocks + r.reorgs, r.mined.iter().sum::<u64>())
+        };
+        // Aggregate over a few seeds to beat noise.
+        let mut slow_forks = 0;
+        let mut fast_forks = 0;
+        for seed in 0..3 {
+            let (fast, _) = run(50, seed);
+            let (slow, _) = run(4_000, seed);
+            fast_forks += fast;
+            slow_forks += slow;
+        }
+        assert!(
+            slow_forks > fast_forks,
+            "latency should breed transient forks: fast={fast_forks} slow={slow_forks}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = MicroNet::new(MicroConfig {
+                seed,
+                n_nodes: 10,
+                n_miners: 4,
+                duration_secs: 600,
+                ..MicroConfig::default()
+            });
+            let r = net.run();
+            (r.mined, r.head_numbers, r.delivered)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn late_joiners_snap_sync_and_catch_up() {
+        // Nodes 10 and 11 join mid-run; by the end they must be at the
+        // common head, and the joining miner contributes blocks.
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 12,
+            n_nodes: 12,
+            n_miners: 11, // node 10 mines after joining, node 11 never mines
+            duration_secs: 1_800,
+            late_joiners: vec![(10, 600), (11, 900)],
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        assert_eq!(report.joined, 2);
+        let max = *report.head_numbers.iter().max().unwrap();
+        assert!(
+            max - report.head_numbers[10] <= 2,
+            "joiner 10 behind: {} vs {max}",
+            report.head_numbers[10]
+        );
+        assert!(
+            max - report.head_numbers[11] <= 2,
+            "joiner 11 behind: {} vs {max}",
+            report.head_numbers[11]
+        );
+        assert!(report.mined[10] > 0, "joining miner never mined");
+        assert_eq!(report.partition_groups.len(), 1);
+    }
+
+    #[test]
+    fn rejoin_wave_lands_on_the_right_side_of_the_fork() {
+        // A fork-split network where three nodes (with ETC rules) rejoin
+        // days... minutes later — the node-level analogue of the paper's
+        // two-week ETC rejoin influx. They must bootstrap onto the ETC
+        // branch, never the ETH one.
+        let dao = vec![Address([0xDA; 20])];
+        let refund = Address([0xFD; 20]);
+        let mut eth = ChainSpec::eth(dao.clone(), refund);
+        let mut etc = ChainSpec::etc(dao, refund);
+        for spec in [&mut eth, &mut etc] {
+            spec.difficulty = ChainSpec::test().difficulty;
+            spec.pow_work_factor = 2;
+            if let Some(d) = spec.dao_fork.as_mut() {
+                d.block = 1;
+            }
+            spec.eip150_block = None;
+            spec.eip155 = None;
+        }
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 13,
+            n_nodes: 20,
+            n_miners: 20,
+            duration_secs: 1_800,
+            specs: SpecAssignment::ForkSplit {
+                eth,
+                etc,
+                eth_fraction: 0.6, // nodes 0..11 ETH, 12..19 ETC
+            },
+            // Three ETC-rules nodes rejoin later.
+            late_joiners: vec![(17, 400), (18, 700), (19, 1_000)],
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        assert_eq!(report.joined, 3);
+        // The rejoiners ended on the same fork-height block as the ETC
+        // cohort's always-online members.
+        let etc_anchor = net.node_store(12).canonical_hash(1);
+        assert!(etc_anchor.is_some());
+        for i in [17usize, 18, 19] {
+            assert_eq!(
+                net.node_store(i).canonical_hash(1),
+                etc_anchor,
+                "rejoiner {i} on the wrong branch"
+            );
+        }
+        let eth_anchor = net.node_store(0).canonical_hash(1);
+        assert_ne!(etc_anchor, eth_anchor);
+    }
+}

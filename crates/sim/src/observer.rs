@@ -1,0 +1,108 @@
+//! Ledger sinks: where finalized blocks stream to.
+
+use fork_analytics::{BlockRecord, Pipeline, TxRecord};
+
+/// Consumer of the finalized-ledger stream. The analytics [`Pipeline`] is
+/// the primary implementation; tests use [`CountingSink`].
+pub trait LedgerSink {
+    /// One finalized block.
+    fn block(&mut self, record: BlockRecord);
+    /// One included transaction (emitted after its block's record).
+    fn tx(&mut self, record: TxRecord);
+}
+
+impl LedgerSink for Pipeline {
+    fn block(&mut self, record: BlockRecord) {
+        self.ingest_block(&record);
+    }
+    fn tx(&mut self, record: TxRecord) {
+        self.ingest_tx(&record);
+    }
+}
+
+/// Discards everything (pure-performance benches).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl LedgerSink for NullSink {
+    fn block(&mut self, _: BlockRecord) {}
+    fn tx(&mut self, _: TxRecord) {}
+}
+
+/// Counts records (tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    /// Blocks seen.
+    pub blocks: u64,
+    /// Transactions seen.
+    pub txs: u64,
+}
+
+impl LedgerSink for CountingSink {
+    fn block(&mut self, _: BlockRecord) {
+        self.blocks += 1;
+    }
+    fn tx(&mut self, _: TxRecord) {
+        self.txs += 1;
+    }
+}
+
+/// Fans one stream out to two sinks (e.g. Pipeline + raw CSV logger).
+pub struct TeeSink<'a, A: LedgerSink, B: LedgerSink> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<A: LedgerSink, B: LedgerSink> LedgerSink for TeeSink<'_, A, B> {
+    fn block(&mut self, record: BlockRecord) {
+        self.a.block(record.clone());
+        self.b.block(record);
+    }
+    fn tx(&mut self, record: TxRecord) {
+        self.a.tx(record.clone());
+        self.b.tx(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fork_primitives::{Address, H256, U256};
+    use fork_replay::Side;
+
+    fn rec() -> BlockRecord {
+        BlockRecord {
+            network: Side::Eth,
+            number: 1,
+            hash: H256::ZERO,
+            timestamp: 0,
+            difficulty: U256::ONE,
+            beneficiary: Address::ZERO,
+            gas_used: 0,
+            tx_count: 0,
+            ommer_count: 0,
+        }
+    }
+
+    #[test]
+    fn counting_and_tee() {
+        let mut a = CountingSink::default();
+        let mut b = CountingSink::default();
+        {
+            let mut tee = TeeSink { a: &mut a, b: &mut b };
+            tee.block(rec());
+            tee.block(rec());
+        }
+        assert_eq!(a.blocks, 2);
+        assert_eq!(b.blocks, 2);
+    }
+
+    #[test]
+    fn pipeline_is_a_sink() {
+        let mut p = Pipeline::new();
+        LedgerSink::block(&mut p, rec());
+        assert_eq!(p.totals(Side::Eth).0, 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! Scenario presets: the calibrated DAO-fork timeline.
+//!
+//! The engine takes *mechanism* from the chain rules and *behavior* from
+//! these schedules. Behavior — who pointed hashpower where, how many
+//! transactions users sent — is exactly what the paper measured, so we
+//! parameterize it from the paper's own measured shapes and the historical
+//! narrative, and let everything downstream (block rates, difficulty
+//! trajectories, echo series, pool concentration) emerge.
+//!
+//! ## Height mapping
+//!
+//! The simulated genesis is the last *pre-fork* block, at height 0 — so the
+//! fork block is height 1, and every real mainnet height `H` maps to
+//! `H − 1,920,000 + 1`. Both chains targeted 14-second blocks, so the
+//! calendar dates of the later forks land where they did in reality
+//! (ETH's replay fork ≈ day 125 ≈ Nov 22; ETC's ≈ day 177 ≈ Jan 13).
+
+use fork_chain::{BombConfig, ChainSpec};
+use fork_market::{HashpowerAllocator, HashpowerSplit, TotalHashpowerPath};
+use fork_pools::PoolSet;
+use fork_primitives::time::DAO_FORK_TIMESTAMP;
+use fork_primitives::{units::ether, Address, ChainId, SimTime, U256};
+use fork_replay::{etc_adoption, eth_adoption};
+
+use crate::meso::{MesoConfig, NetworkParams};
+use crate::rng::SimRng;
+use crate::schedule::StepSeries;
+use crate::workload::WorkloadParams;
+
+/// Maps a real mainnet block height into simulation heights.
+pub fn sim_height(real: u64) -> u64 {
+    real - fork_chain::DAO_FORK_BLOCK + 1
+}
+
+/// The fork block in simulation numbering.
+pub const SIM_FORK_BLOCK: u64 = 1;
+
+/// Workload scale divisor: simulated transaction volumes are 1/20 of the
+/// measured 2016–17 volumes (documented in DESIGN.md; every per-day count in
+/// EXPERIMENTS.md is compared after multiplying back by this factor).
+pub const TX_SCALE: f64 = 20.0;
+
+/// Pre-fork operating point: ETH mainnet difficulty at block 1,920,000.
+pub fn fork_difficulty() -> U256 {
+    U256::from_u128(62_000_000_000_000)
+}
+
+/// The DAO vault address used across scenarios.
+pub fn dao_vault_address() -> Address {
+    Address([0xDA; 20])
+}
+
+/// The withdraw/refund contract address.
+pub fn dao_refund_address() -> Address {
+    Address([0xFD; 20])
+}
+
+/// ETH protocol rules in simulation heights.
+pub fn sim_spec_eth() -> ChainSpec {
+    let mut spec = ChainSpec::eth(vec![dao_vault_address()], dao_refund_address());
+    if let Some(d) = spec.dao_fork.as_mut() {
+        d.block = SIM_FORK_BLOCK;
+    }
+    spec.eip150_block = Some(sim_height(fork_chain::spec::ETH_EIP150_BLOCK));
+    spec.eip155 = Some((
+        sim_height(fork_chain::spec::ETH_REPLAY_FORK_BLOCK),
+        ChainId::ETH,
+    ));
+    spec
+}
+
+/// ETC protocol rules in simulation heights.
+pub fn sim_spec_etc() -> ChainSpec {
+    let mut spec = ChainSpec::etc(vec![dao_vault_address()], dao_refund_address());
+    if let Some(d) = spec.dao_fork.as_mut() {
+        d.block = SIM_FORK_BLOCK;
+    }
+    spec.eip150_block = Some(sim_height(fork_chain::spec::ETC_REPLAY_FORK_BLOCK));
+    spec.eip155 = Some((
+        sim_height(fork_chain::spec::ETC_REPLAY_FORK_BLOCK),
+        ChainId::ETC,
+    ));
+    spec.difficulty.bomb = BombConfig::PausedAt {
+        pause_block: sim_height(fork_chain::spec::ETC_REPLAY_FORK_BLOCK),
+    };
+    spec
+}
+
+/// The ETC hashpower *fraction* timeline around and after the fork:
+/// near-total collapse at the fork (observation 1), a ramp over the first
+/// two days as holdout miners spin up (observation 2), and the
+/// switchback wave in days 10–16 that Figure 1's mirror-image difficulty
+/// curves reveal.
+pub fn etc_fraction_schedule(start: SimTime) -> StepSeries {
+    StepSeries::constant(0.004)
+        .then(start.plus_secs(6 * 3_600), 0.008)
+        .then(start.plus_secs(12 * 3_600), 0.014)
+        .then(start.plus_secs(24 * 3_600), 0.018)
+        .then(start.plus_secs(36 * 3_600), 0.032)
+        .then(start.plus_secs(48 * 3_600), 0.050)
+        .then(start.plus_secs(60 * 3_600), 0.065)
+        .then(start.plus_secs(72 * 3_600), 0.070)
+        .then(start.plus_days(10), 0.078)
+        .then(start.plus_days(12), 0.088)
+        .then(start.plus_days(14), 0.098)
+        .then(start.plus_days(16), 0.105)
+}
+
+/// Builds both networks' absolute hashrate schedules over `days`:
+/// the transient allegiance shape above for the first ~16 days, then daily
+/// rational reallocation against the calibrated USD prices, all multiplied
+/// by the total-hashpower path (growth + the Zcash exodus).
+pub fn hashrate_schedules(start: SimTime, days: u64, seed: u64) -> (StepSeries, StepSeries) {
+    let total_path = TotalHashpowerPath::default();
+    let allocator = HashpowerAllocator::default();
+    let mut price_rng = SimRng::new(seed).fork("prices");
+    let (eth_usd, etc_usd) = fork_market::calibrated_pair(&mut price_rng);
+
+    let transient = etc_fraction_schedule(start);
+    let mut split = HashpowerSplit {
+        eth_fraction: 1.0 - 0.105,
+    };
+
+    let mut eth_knots = Vec::new();
+    let mut etc_knots = Vec::new();
+    // Sub-daily knots for the fork window, daily afterwards.
+    let mut knot_times: Vec<SimTime> = vec![start];
+    for h in [6u64, 12, 24, 36, 48] {
+        knot_times.push(start.plus_secs(h * 3_600));
+    }
+    for d in 3..=days {
+        knot_times.push(start.plus_days(d));
+    }
+
+    for t in knot_times {
+        let day = t.secs_since(start) / 86_400;
+        let total = total_path.at_day(day);
+        let etc_frac = if t < start.plus_days(17) {
+            transient.at(t)
+        } else {
+            split = allocator.step(split, eth_usd.usd_at(t), etc_usd.usd_at(t));
+            split.etc_fraction()
+        };
+        etc_knots.push((t, total * etc_frac));
+        eth_knots.push((t, total * (1.0 - etc_frac)));
+    }
+    (
+        StepSeries::from_knots(eth_knots),
+        StepSeries::from_knots(etc_knots),
+    )
+}
+
+/// ETH transactions-per-second schedule (scaled by [`TX_SCALE`]), shaped to
+/// Figure 2's middle panel: ~25k/day post-fork, slow growth, then the March
+/// 2017 speculation surge toward ~100k/day.
+pub fn eth_tx_rate(start: SimTime) -> StepSeries {
+    let per_day = |v: f64| v / 86_400.0 / TX_SCALE;
+    StepSeries::constant(per_day(25_000.0))
+        .then(start.plus_days(60), per_day(30_000.0))
+        .then(start.plus_days(120), per_day(38_000.0))
+        .then(start.plus_days(200), per_day(45_000.0))
+        .then(start.plus_days(225), per_day(70_000.0))
+        .then(start.plus_days(240), per_day(100_000.0))
+        .then(start.plus_days(265), per_day(95_000.0))
+}
+
+/// ETC transactions-per-second schedule: depressed in the chaotic first two
+/// days, then the ~2.5:1 ETH:ETC ratio the paper reports, drifting to ~5:1
+/// by late March as ETH surges.
+pub fn etc_tx_rate(start: SimTime) -> StepSeries {
+    let per_day = |v: f64| v / 86_400.0 / TX_SCALE;
+    StepSeries::constant(per_day(2_000.0))
+        .then(start.plus_days(2), per_day(10_000.0))
+        .then(start.plus_days(60), per_day(12_000.0))
+        .then(start.plus_days(120), per_day(15_000.0))
+        .then(start.plus_days(200), per_day(18_000.0))
+        .then(start.plus_days(240), per_day(20_000.0))
+}
+
+/// Contract-call fraction schedules — similar on both chains for most of the
+/// study, with ETH pulling ahead only at the very end (Figure 2 bottom).
+pub fn contract_fraction(start: SimTime, is_eth: bool) -> StepSeries {
+    let base = StepSeries::constant(0.10)
+        .then(start.plus_days(60), 0.18)
+        .then(start.plus_days(120), 0.25)
+        .then(start.plus_days(200), 0.33);
+    if is_eth {
+        base.then(start.plus_days(235), 0.45)
+            .then(start.plus_days(255), 0.55)
+    } else {
+        base.then(start.plus_days(235), 0.35)
+    }
+}
+
+/// Rebroadcast eagerness over time: the initial spike (shared wallets,
+/// greedy recipients), decay as users split funds, small persistent tail
+/// (paper: "hundreds of daily rebroadcast transactions even today").
+pub fn replay_eagerness(start: SimTime) -> StepSeries {
+    StepSeries::constant(0.45)
+        .then(start.plus_days(3), 0.30)
+        .then(start.plus_days(14), 0.15)
+        .then(start.plus_days(60), 0.08)
+        .then(start.plus_days(90), 0.12) // the Oct/Nov contract-linked bumps
+        .then(start.plus_days(130), 0.05)
+        .then(start.plus_days(200), 0.03)
+}
+
+/// The full DAO-fork scenario over `days`, at the real difficulty scale.
+pub fn dao_scenario(seed: u64, days: u64) -> MesoConfig {
+    let start = SimTime::from_unix(DAO_FORK_TIMESTAMP);
+    let (eth_hash, etc_hash) = hashrate_schedules(start, days.max(17), seed);
+
+    let eth = NetworkParams {
+        spec: sim_spec_eth(),
+        hashrate: eth_hash,
+        pools: PoolSet::converged("eth"),
+        pool_churn_per_day: 0.004,
+        workload: WorkloadParams {
+            tx_rate: eth_tx_rate(start),
+            contract_fraction: contract_fraction(start, true),
+            adoption: eth_adoption(start.plus_days(125).day_bucket()),
+            chain_id: ChainId::ETH,
+        },
+    };
+    let etc = NetworkParams {
+        spec: sim_spec_etc(),
+        hashrate: etc_hash,
+        pools: PoolSet::fragmented("etc", 16),
+        pool_churn_per_day: 0.035,
+        workload: WorkloadParams {
+            tx_rate: etc_tx_rate(start),
+            contract_fraction: contract_fraction(start, false),
+            adoption: etc_adoption(start.plus_days(177).day_bucket()),
+            chain_id: ChainId::ETC,
+        },
+    };
+
+    MesoConfig {
+        seed,
+        start,
+        end: start.plus_days(days),
+        genesis_difficulty: fork_difficulty(),
+        users: 400,
+        eth_user_fraction: 0.7,
+        user_funding: ether(10_000),
+        replay_eagerness: replay_eagerness(start),
+        retention: 64,
+        eth,
+        etc,
+    }
+}
+
+/// Figure 1's window: the month following the fork.
+pub fn fork_month(seed: u64) -> MesoConfig {
+    dao_scenario(seed, 31)
+}
+
+/// Figures 2–5's window: the full nine-month study (280 days).
+pub fn nine_months(seed: u64) -> MesoConfig {
+    dao_scenario(seed, 280)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_mapping_lands_on_calendar() {
+        assert_eq!(sim_height(1_920_000), 1);
+        // ETH replay fork: ~125 days of 14s blocks after the fork.
+        let d = sim_height(fork_chain::spec::ETH_REPLAY_FORK_BLOCK) * 14 / 86_400;
+        assert!((120..130).contains(&d), "{d} days");
+        // ETC replay fork: ~175 days.
+        let d = sim_height(fork_chain::spec::ETC_REPLAY_FORK_BLOCK) * 14 / 86_400;
+        assert!((170..182).contains(&d), "{d} days");
+    }
+
+    #[test]
+    fn specs_fork_at_block_one() {
+        let eth = sim_spec_eth();
+        let etc = sim_spec_etc();
+        assert_eq!(eth.dao_fork.as_ref().unwrap().block, 1);
+        assert_eq!(etc.dao_fork.as_ref().unwrap().block, 1);
+        assert!(eth.dao_fork.as_ref().unwrap().support);
+        assert!(!etc.dao_fork.as_ref().unwrap().support);
+    }
+
+    #[test]
+    fn etc_fraction_shape() {
+        let start = SimTime::from_unix(DAO_FORK_TIMESTAMP);
+        let s = etc_fraction_schedule(start);
+        assert!(s.at(start) < 0.01, "near-total initial collapse");
+        let at_2d = s.at(start.plus_days(2));
+        assert!((0.04..0.08).contains(&at_2d), "{at_2d}");
+        let late = s.at(start.plus_days(20));
+        assert!((0.10..0.11).contains(&late), "~90% net loss persists: {late}");
+    }
+
+    #[test]
+    fn hashrate_schedules_partition_total() {
+        let start = SimTime::from_unix(DAO_FORK_TIMESTAMP);
+        let (eth, etc) = hashrate_schedules(start, 40, 1);
+        let path = TotalHashpowerPath::default();
+        for d in [0u64, 1, 5, 20, 39] {
+            let t = start.plus_days(d).plus_secs(100);
+            let sum = eth.at(t) + etc.at(t);
+            let total = path.at_day(d);
+            assert!(
+                (sum - total).abs() / total < 1e-6,
+                "day {d}: {sum} vs {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn tx_ratio_moves_from_2_5_to_5() {
+        let start = SimTime::from_unix(DAO_FORK_TIMESTAMP);
+        let eth = eth_tx_rate(start);
+        let etc = etc_tx_rate(start);
+        let early = eth.at(start.plus_days(30)) / etc.at(start.plus_days(30));
+        let late = eth.at(start.plus_days(250)) / etc.at(start.plus_days(250));
+        assert!((2.2..2.8).contains(&early), "early ratio {early}");
+        assert!((4.2..5.6).contains(&late), "late ratio {late}");
+    }
+
+    #[test]
+    fn fork_month_config_sane() {
+        let c = fork_month(1);
+        assert_eq!(c.end.secs_since(c.start), 31 * 86_400);
+        assert_eq!(c.genesis_difficulty, fork_difficulty());
+        // ETH hashrate at start sustains ~14s blocks on the genesis
+        // difficulty.
+        let h = c.eth.hashrate.at(c.start);
+        let block_time = c.genesis_difficulty.to_f64_lossy() / h;
+        assert!((12.0..17.0).contains(&block_time), "{block_time}");
+        // ETC at start is in crisis: >30 minute expected blocks.
+        let h_etc = c.etc.hashrate.at(c.start);
+        let etc_time = c.genesis_difficulty.to_f64_lossy() / h_etc;
+        assert!(etc_time > 1_800.0, "{etc_time}");
+    }
+
+    #[test]
+    fn replay_eagerness_decays_but_persists() {
+        let start = SimTime::from_unix(DAO_FORK_TIMESTAMP);
+        let s = replay_eagerness(start);
+        assert!(s.at(start) > 0.4);
+        assert!(s.at(start.plus_days(250)) >= 0.02, "persistent tail");
+        assert!(s.at(start.plus_days(250)) < s.at(start) / 5.0);
+    }
+}

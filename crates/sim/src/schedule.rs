@@ -1,0 +1,140 @@
+//! Piecewise-constant time functions (hashrate and transaction-rate
+//! schedules).
+//!
+//! Step functions make non-homogeneous Poisson sampling *exact*: the
+//! memoryless property lets the block-time sampler restart at each knot
+//! (see [`crate::meso`]).
+
+use fork_primitives::SimTime;
+
+/// A right-continuous step function of time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSeries {
+    /// `(from_time, value)` knots, time-ascending; the first knot's value
+    /// also applies before it.
+    knots: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// A constant function.
+    pub fn constant(value: f64) -> Self {
+        StepSeries {
+            knots: vec![(SimTime::EPOCH, value)],
+        }
+    }
+
+    /// Builds from knots (must be non-empty; sorted by construction).
+    pub fn from_knots(mut knots: Vec<(SimTime, f64)>) -> Self {
+        assert!(!knots.is_empty(), "schedule needs at least one knot");
+        knots.sort_by_key(|(t, _)| *t);
+        StepSeries { knots }
+    }
+
+    /// Appends a knot (must be after the last).
+    pub fn then(mut self, at: SimTime, value: f64) -> Self {
+        assert!(
+            self.knots.last().map(|(t, _)| *t < at).unwrap_or(true),
+            "knots must be time-ascending"
+        );
+        self.knots.push((at, value));
+        self
+    }
+
+    /// Value at `t`.
+    pub fn at(&self, t: SimTime) -> f64 {
+        match self.knots.partition_point(|(kt, _)| *kt <= t) {
+            0 => self.knots[0].1,
+            n => self.knots[n - 1].1,
+        }
+    }
+
+    /// The first knot strictly after `t`, if any.
+    pub fn next_knot_after(&self, t: SimTime) -> Option<SimTime> {
+        let idx = self.knots.partition_point(|(kt, _)| *kt <= t);
+        self.knots.get(idx).map(|(kt, _)| *kt)
+    }
+
+    /// Multiplies two schedules pointwise (e.g. total hashpower × allocation
+    /// fraction), producing knots at the union of both knot sets.
+    pub fn product(&self, other: &StepSeries) -> StepSeries {
+        let mut times: Vec<SimTime> = self
+            .knots
+            .iter()
+            .chain(&other.knots)
+            .map(|(t, _)| *t)
+            .collect();
+        times.sort();
+        times.dedup();
+        StepSeries {
+            knots: times
+                .into_iter()
+                .map(|t| (t, self.at(t) * other.at(t)))
+                .collect(),
+        }
+    }
+
+    /// The knots.
+    pub fn knots(&self) -> &[(SimTime, f64)] {
+        &self.knots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_unix(secs)
+    }
+
+    #[test]
+    fn constant_everywhere() {
+        let s = StepSeries::constant(5.0);
+        assert_eq!(s.at(t(0)), 5.0);
+        assert_eq!(s.at(t(1_000_000)), 5.0);
+        assert_eq!(s.next_knot_after(t(0)), None);
+    }
+
+    #[test]
+    fn step_semantics_right_continuous() {
+        let s = StepSeries::constant(1.0).then(t(100), 2.0).then(t(200), 3.0);
+        assert_eq!(s.at(t(0)), 1.0);
+        assert_eq!(s.at(t(99)), 1.0);
+        assert_eq!(s.at(t(100)), 2.0, "value applies from the knot");
+        assert_eq!(s.at(t(199)), 2.0);
+        assert_eq!(s.at(t(200)), 3.0);
+        assert_eq!(s.at(t(10_000)), 3.0);
+    }
+
+    #[test]
+    fn next_knot_lookup() {
+        let s = StepSeries::constant(1.0).then(t(100), 2.0).then(t(200), 3.0);
+        assert_eq!(s.next_knot_after(t(0)), Some(t(100)));
+        assert_eq!(s.next_knot_after(t(100)), Some(t(200)));
+        assert_eq!(s.next_knot_after(t(99)), Some(t(100)));
+        assert_eq!(s.next_knot_after(t(200)), None);
+    }
+
+    #[test]
+    fn product_unions_knots() {
+        let a = StepSeries::constant(2.0).then(t(100), 4.0);
+        let b = StepSeries::constant(10.0).then(t(150), 20.0);
+        let p = a.product(&b);
+        assert_eq!(p.at(t(0)), 20.0);
+        assert_eq!(p.at(t(120)), 40.0);
+        assert_eq!(p.at(t(160)), 80.0);
+        assert_eq!(p.knots().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn out_of_order_then_panics() {
+        let _ = StepSeries::constant(1.0).then(t(100), 2.0).then(t(50), 3.0);
+    }
+
+    #[test]
+    fn from_knots_sorts() {
+        let s = StepSeries::from_knots(vec![(t(200), 3.0), (t(0), 1.0), (t(100), 2.0)]);
+        assert_eq!(s.at(t(150)), 2.0);
+    }
+}

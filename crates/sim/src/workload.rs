@@ -1,0 +1,318 @@
+//! Transaction workload generation.
+//!
+//! A shared pre-fork user population (every account exists on both chains at
+//! the fork — the root cause of replayability) is split into ETH-side and
+//! ETC-side actives. Each side's users emit value transfers and contract
+//! calls at a scheduled rate; after the replay-protection forks ship, an
+//! adoption-curve fraction of new transactions carries the side's chain id.
+
+use fork_chain::Transaction;
+use fork_crypto::Keypair;
+use fork_primitives::{units::gwei, Address, ChainId, SimTime, U256};
+use fork_replay::{AdoptionCurve, Side};
+use rand::Rng;
+
+use crate::rng::SimRng;
+use crate::schedule::StepSeries;
+
+/// Per-side workload schedule.
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Transactions per second.
+    pub tx_rate: StepSeries,
+    /// Fraction of transactions that are contract calls.
+    pub contract_fraction: StepSeries,
+    /// EIP-155 adoption (in days).
+    pub adoption: AdoptionCurve,
+    /// The chain id adopted transactions carry.
+    pub chain_id: ChainId,
+}
+
+/// The user population shared by both networks.
+#[derive(Debug)]
+pub struct UserPopulation {
+    users: Vec<Keypair>,
+    addresses: Vec<Address>,
+    /// Index ranges: `0..eth_active` transact on ETH,
+    /// `eth_active..users.len()` on ETC.
+    eth_active: usize,
+    /// Next nonce per (side, user).
+    next_nonce: [Vec<u64>; 2],
+    /// Deployed utility contracts (targets of contract-call transactions).
+    contracts: Vec<Address>,
+}
+
+fn side_idx(side: Side) -> usize {
+    match side {
+        Side::Eth => 0,
+        Side::Etc => 1,
+    }
+}
+
+impl UserPopulation {
+    /// Creates `n` deterministic users, the first `eth_fraction` of which
+    /// transact on ETH and the rest on ETC.
+    pub fn new(label: &str, n: usize, eth_fraction: f64) -> Self {
+        let users: Vec<Keypair> = (0..n as u64)
+            .map(|i| Keypair::from_seed(label, i))
+            .collect();
+        let addresses = users.iter().map(Keypair::address).collect();
+        UserPopulation {
+            eth_active: ((n as f64) * eth_fraction.clamp(0.0, 1.0)) as usize,
+            next_nonce: [vec![0; n], vec![0; n]],
+            users,
+            addresses,
+            contracts: Vec::new(),
+        }
+    }
+
+    /// All user addresses (for genesis funding).
+    pub fn addresses(&self) -> &[Address] {
+        &self.addresses
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Registers a deployed contract as a call target.
+    pub fn add_contract(&mut self, addr: Address) {
+        self.contracts.push(addr);
+    }
+
+    /// The registered contracts.
+    pub fn contracts(&self) -> &[Address] {
+        &self.contracts
+    }
+
+    /// Whether `addr` is one of the registered contracts.
+    pub fn is_contract(&self, addr: &Address) -> bool {
+        self.contracts.contains(addr)
+    }
+
+    fn user_range(&self, side: Side) -> std::ops::Range<usize> {
+        match side {
+            Side::Eth => 0..self.eth_active.max(1),
+            Side::Etc => self.eth_active.min(self.users.len() - 1)..self.users.len(),
+        }
+    }
+
+    /// Generates the transactions arriving on `side` during `(from, to]`.
+    ///
+    /// `eip155_active` gates chain-id usage (the chain must have passed its
+    /// replay-protection fork block, not just the calendar date).
+    pub fn generate(
+        &mut self,
+        side: Side,
+        from: SimTime,
+        to: SimTime,
+        params: &WorkloadParams,
+        eip155_active: bool,
+        rng: &mut SimRng,
+    ) -> Vec<Transaction> {
+        let dt = to.secs_since(from) as f64;
+        if dt <= 0.0 || self.users.is_empty() {
+            return Vec::new();
+        }
+        let rate = params.tx_rate.at(from).max(0.0);
+        let count = rng.poisson(rate * dt);
+        let mut out = Vec::with_capacity(count as usize);
+        let range = self.user_range(side);
+        let contract_frac = params.contract_fraction.at(from).clamp(0.0, 1.0);
+        let adoption = params.adoption.fraction_protected(from.day_bucket());
+        let si = side_idx(side);
+
+        for _ in 0..count {
+            let u = rng.gen_range(range.clone());
+            let nonce = self.next_nonce[si][u];
+            self.next_nonce[si][u] += 1;
+            let chain_id = if eip155_active && rng.gen_bool(adoption) {
+                Some(params.chain_id)
+            } else {
+                None
+            };
+            let gas_price = gwei(rng.gen_range(18..25));
+            let tx = if !self.contracts.is_empty() && rng.gen_bool(contract_frac) {
+                // Contract call: a storage-churner invocation.
+                let target = self.contracts[rng.gen_range(0..self.contracts.len())];
+                let payload = U256::from_u64(rng.gen_range(1..u64::MAX)).to_be_bytes().to_vec();
+                Transaction::sign(
+                    &self.users[u],
+                    nonce,
+                    gas_price,
+                    120_000,
+                    Some(target),
+                    U256::ZERO,
+                    payload,
+                    chain_id,
+                )
+            } else {
+                // Plain transfer to another user.
+                let to_user = rng.gen_range(0..self.users.len());
+                let value = U256::from_u128(rng.gen_range(1..5_000) as u128)
+                    .saturating_mul(U256::from_u128(1_000_000_000_000_000)); // 0.001–5 ether
+                Transaction::transfer(
+                    &self.users[u],
+                    nonce,
+                    self.addresses[to_user],
+                    value,
+                    gas_price,
+                    chain_id,
+                )
+            };
+            out.push(tx);
+        }
+        out
+    }
+
+    /// Re-aligns a user's nonce counter with on-chain state (called by the
+    /// engine if one of the user's transactions was evicted un-included).
+    pub fn resync_nonce(&mut self, side: Side, user_addr: Address, state_nonce: u64) {
+        if let Some(u) = self.addresses.iter().position(|a| *a == user_addr) {
+            self.next_nonce[side_idx(side)][u] = state_nonce;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(rate: f64) -> WorkloadParams {
+        WorkloadParams {
+            tx_rate: StepSeries::constant(rate),
+            contract_fraction: StepSeries::constant(0.3),
+            adoption: AdoptionCurve {
+                activation_day: 0,
+                halflife_days: 10.0,
+                ceiling: 1.0,
+            },
+            chain_id: ChainId::ETH,
+        }
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_unix(secs)
+    }
+
+    #[test]
+    fn rate_controls_volume() {
+        let mut pop = UserPopulation::new("w", 50, 0.7);
+        let mut rng = SimRng::new(1);
+        let txs = pop.generate(Side::Eth, t(0), t(10_000), &params(0.05), false, &mut rng);
+        // Expect ~500 transactions.
+        assert!((400..620).contains(&txs.len()), "{}", txs.len());
+    }
+
+    #[test]
+    fn zero_interval_or_rate_yields_nothing() {
+        let mut pop = UserPopulation::new("w", 10, 0.5);
+        let mut rng = SimRng::new(2);
+        assert!(pop
+            .generate(Side::Eth, t(100), t(100), &params(1.0), false, &mut rng)
+            .is_empty());
+        assert!(pop
+            .generate(Side::Eth, t(0), t(100), &params(0.0), false, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn nonces_are_sequential_per_user_per_side() {
+        let mut pop = UserPopulation::new("w", 5, 1.0);
+        let mut rng = SimRng::new(3);
+        let txs = pop.generate(Side::Eth, t(0), t(50_000), &params(0.01), false, &mut rng);
+        let mut per_sender: std::collections::HashMap<Address, Vec<u64>> = Default::default();
+        for tx in &txs {
+            per_sender
+                .entry(tx.sender().unwrap())
+                .or_default()
+                .push(tx.nonce);
+        }
+        for (_, nonces) in per_sender {
+            for (i, n) in nonces.iter().enumerate() {
+                assert_eq!(*n, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sides_draw_disjoint_users() {
+        let mut pop = UserPopulation::new("w", 100, 0.6);
+        let mut rng = SimRng::new(4);
+        let eth_txs = pop.generate(Side::Eth, t(0), t(30_000), &params(0.02), false, &mut rng);
+        let etc_txs = pop.generate(Side::Etc, t(0), t(30_000), &params(0.02), false, &mut rng);
+        let eth_senders: std::collections::HashSet<Address> =
+            eth_txs.iter().map(|t| t.sender().unwrap()).collect();
+        let etc_senders: std::collections::HashSet<Address> =
+            etc_txs.iter().map(|t| t.sender().unwrap()).collect();
+        assert!(eth_senders.is_disjoint(&etc_senders));
+    }
+
+    #[test]
+    fn adoption_gates_chain_ids() {
+        let mut pop = UserPopulation::new("w", 20, 1.0);
+        let mut rng = SimRng::new(5);
+        // Not yet active on chain: all legacy regardless of date.
+        let txs = pop.generate(Side::Eth, t(0), t(50_000), &params(0.01), false, &mut rng);
+        assert!(txs.iter().all(|t| t.chain_id.is_none()));
+        // Active and late in the adoption curve: mostly protected.
+        let late = t(200 * 86_400);
+        let txs = pop.generate(
+            Side::Eth,
+            late,
+            late.plus_secs(50_000),
+            &params(0.01),
+            true,
+            &mut rng,
+        );
+        let protected = txs.iter().filter(|t| t.chain_id.is_some()).count();
+        assert!(protected * 10 > txs.len() * 9, "{protected}/{}", txs.len());
+    }
+
+    #[test]
+    fn contract_calls_target_registered_contracts() {
+        let mut pop = UserPopulation::new("w", 20, 1.0);
+        let churner = Address([0xCC; 20]);
+        pop.add_contract(churner);
+        let mut rng = SimRng::new(6);
+        let txs = pop.generate(Side::Eth, t(0), t(100_000), &params(0.01), false, &mut rng);
+        let calls = txs.iter().filter(|t| t.to == Some(churner)).count();
+        assert!(calls > 0, "no contract calls generated");
+        // Contract calls carry data; transfers do not.
+        for tx in &txs {
+            if tx.to == Some(churner) {
+                assert!(!tx.data.is_empty());
+            } else {
+                assert!(tx.data.is_empty());
+            }
+        }
+        // Rough fraction check (30% configured).
+        let frac = calls as f64 / txs.len() as f64;
+        assert!((0.18..0.45).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn resync_nonce_realigns() {
+        let mut pop = UserPopulation::new("w", 3, 1.0);
+        let addr = pop.addresses()[0];
+        pop.next_nonce[0][0] = 10;
+        pop.resync_nonce(Side::Eth, addr, 4);
+        assert_eq!(pop.next_nonce[0][0], 4);
+    }
+
+    #[test]
+    fn transactions_are_valid_and_recoverable() {
+        let mut pop = UserPopulation::new("w", 10, 1.0);
+        let mut rng = SimRng::new(7);
+        for tx in pop.generate(Side::Eth, t(0), t(20_000), &params(0.01), false, &mut rng) {
+            assert!(tx.sender().is_some());
+            assert!(tx.gas_limit >= 21_000);
+        }
+    }
+}

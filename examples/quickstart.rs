@@ -1,0 +1,29 @@
+//! Quickstart: run a down-scaled fork study end-to-end and print the report.
+//!
+//! ```sh
+//! cargo run --example quickstart [seed]
+//! ```
+//!
+//! The run simulates both post-fork networks (real chain rules at toy
+//! difficulty) for a few hours, demonstrates the partition by cross-feeding
+//! a head block, and prints the paper's observation checks plus one ASCII
+//! figure.
+
+use stick_a_fork::core::{observations, full_report, ForkStudy};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    println!("Running quick fork study (seed {seed})...\n");
+    let result = ForkStudy::quick(seed).run();
+    let obs = observations::short_term(&result);
+    println!("{}", full_report(&result, &obs));
+
+    println!(
+        "Note: `quick` runs a toy-difficulty window. For the paper-scale\n\
+         figures use the `make-figures` binary in crates/bench."
+    );
+}

@@ -1,0 +1,134 @@
+//! Replay attack walkthrough: the Figure 4 mechanism at transaction level.
+//!
+//! ```sh
+//! cargo run --example replay_attack
+//! ```
+//!
+//! Demonstrates, against real chain machinery:
+//! 1. a legacy transaction included on ETH replaying verbatim on ETC;
+//! 2. the defensive fund-split (chain-specific nonce bump) stopping it;
+//! 3. EIP-155 chain ids making replays unrecoverable;
+//! 4. the DAO-style drain that motivated the fork in the first place.
+
+use stick_a_fork::chain::{ChainSpec, Transaction};
+use stick_a_fork::crypto::Keypair;
+use stick_a_fork::evm::{contracts, CallParams, Evm, GasSchedule, WorldState};
+use stick_a_fork::evm::{BlockContext, TxContext};
+use stick_a_fork::primitives::{units::ether, Address, ChainId, U256};
+use stick_a_fork::replay::{check_replay, Replayability};
+
+fn main() {
+    println!("== 1. The replay channel ==\n");
+
+    let alice = Keypair::from_seed("alice", 0);
+    let bob = Keypair::from_seed("bob", 0);
+
+    // The fork duplicated every account: Alice owns 10 ether on BOTH chains.
+    let mut etc_state = WorldState::new();
+    etc_state.set_balance(alice.address(), ether(10));
+
+    // Alice pays Bob 3 ether on ETH with a LEGACY transaction.
+    let tx = Transaction::transfer(
+        &alice,
+        0,
+        bob.address(),
+        ether(3),
+        U256::from_u64(20_000_000_000),
+        None, // no chain id: pre-EIP-155
+    );
+    println!("Alice pays Bob 3 ETH (legacy tx, hash {}).", tx.hash());
+
+    // Bob lifts the exact bytes into ETC.
+    let etc_spec = ChainSpec::etc(vec![], Address::ZERO);
+    let verdict = check_replay(&tx, &etc_spec, 2_000_000, &etc_state);
+    println!("Replaying on ETC: {verdict:?} — Bob collects 3 ETC too!\n");
+    assert_eq!(verdict, Replayability::Replayable);
+
+    println!("== 2. The defense: split your funds ==\n");
+    // Alice follows the community advice: she first moves her ETC with a
+    // chain-specific transaction, bumping her ETC nonce.
+    let mut split_state = etc_state.clone();
+    split_state.set_nonce(alice.address(), 1);
+    let verdict = check_replay(&tx, &etc_spec, 2_000_000, &split_state);
+    println!("After Alice's ETC-side self-transfer: {verdict:?}\n");
+    assert!(!verdict.is_replayable());
+
+    println!("== 3. EIP-155: chain ids in the signing domain ==\n");
+    let protected = Transaction::transfer(
+        &alice,
+        0,
+        bob.address(),
+        ether(3),
+        U256::from_u64(20_000_000_000),
+        Some(ChainId::ETH),
+    );
+    let verdict = check_replay(&protected, &etc_spec, 3_100_000, &etc_state);
+    println!("An ETH-chain-id tx on ETC: {verdict:?}");
+    let mut relabeled = protected.clone();
+    relabeled.chain_id = Some(ChainId::ETC);
+    println!(
+        "Relabeling the chain id breaks signature recovery: sender = {:?}\n",
+        relabeled.sender()
+    );
+
+    println!("== 4. Why the fork happened: the DAO drain ==\n");
+    let mut world = WorldState::new();
+    let vault = Address([0xDA; 20]);
+    let attacker_contract = Address([0xBA; 20]);
+    let attacker = Keypair::from_seed("attacker", 0);
+    let victim = Keypair::from_seed("victim", 0);
+    world.set_code(vault, contracts::vulnerable_vault());
+    world.set_code(attacker_contract, contracts::reentrancy_attacker());
+    world.set_balance(victim.address(), ether(1_000));
+    world.set_balance(attacker.address(), ether(10));
+
+    let call = |caller: Address, to: Address, value: U256, input: Vec<u8>,
+                    world: &mut WorldState| {
+        let mut evm = Evm::new(
+            world,
+            GasSchedule::frontier(),
+            BlockContext::default(),
+            TxContext {
+                origin: caller,
+                gas_price: U256::ONE,
+            },
+        );
+        let r = evm.call(CallParams {
+            caller,
+            address: to,
+            value,
+            input,
+            gas: 8_000_000,
+        });
+        assert!(r.success, "call failed: {:?}", r.error);
+    };
+
+    // Victims crowdfund 1,000 ether into the vault.
+    call(
+        victim.address(),
+        vault,
+        ether(1_000),
+        contracts::vault_deposit_calldata(),
+        &mut world,
+    );
+    println!("The DAO holds {} wei.", world.balance(vault));
+
+    // The attacker deposits 10 and re-enters withdraw 40 times.
+    call(
+        attacker.address(),
+        attacker_contract,
+        ether(10),
+        contracts::attacker_setup_calldata(40, vault),
+        &mut world,
+    );
+    println!(
+        "After the reentrancy attack: attacker contract holds {} ether, \
+         the vault holds {} ether.",
+        world.balance(attacker_contract) / ether(1),
+        world.balance(vault) / ether(1),
+    );
+    println!(
+        "\nEvery call was valid under 'code is law' — which is exactly the \
+         dispute that split Ethereum in two."
+    );
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration: the partition emerges at every layer.
+
+use stick_a_fork::chain::{ChainSpec, ChainStore, GenesisBuilder, ImportOutcome};
+use stick_a_fork::net::{Message, Status, PROTOCOL_VERSION};
+use stick_a_fork::primitives::{units::ether, Address, H256, U256};
+
+fn fork_specs() -> (ChainSpec, ChainSpec) {
+    let dao = vec![Address([0xDA; 20])];
+    let refund = Address([0xFD; 20]);
+    let mut eth = ChainSpec::eth(dao.clone(), refund);
+    let mut etc = ChainSpec::etc(dao, refund);
+    for spec in [&mut eth, &mut etc] {
+        spec.difficulty = ChainSpec::test().difficulty;
+        spec.pow_work_factor = 2;
+        if let Some(d) = spec.dao_fork.as_mut() {
+            d.block = 1;
+        }
+        spec.eip150_block = None;
+        spec.eip155 = None;
+    }
+    (eth, etc)
+}
+
+fn shared_genesis() -> (stick_a_fork::chain::Block, stick_a_fork::evm::WorldState) {
+    GenesisBuilder::new()
+        .difficulty(U256::from_u64(1 << 16))
+        .timestamp(1_469_020_839)
+        .alloc(Address([0x01; 20]), ether(100))
+        .alloc(Address([0xDA; 20]), ether(3_600_000)) // the DAO's loot
+        .build()
+}
+
+/// The full story in one test: shared history, diverging fork blocks,
+/// mutual rejection, diverging state, diverging handshakes.
+#[test]
+fn the_partition_end_to_end() {
+    let (eth_spec, etc_spec) = fork_specs();
+    let (genesis, state) = shared_genesis();
+
+    let mut eth = ChainStore::new(eth_spec, genesis.clone(), state.clone());
+    let mut etc = ChainStore::new(etc_spec, genesis.clone(), state);
+
+    // Both networks share the genesis — same hash, same state.
+    assert_eq!(eth.head_hash(), etc.head_hash());
+
+    // Each side mines its own fork block.
+    let t = genesis.header.timestamp;
+    let eth_fork_block = eth.propose(Address([0xAA; 20]), t + 14, vec![], &[]);
+    let etc_fork_block = etc.propose(Address([0xBB; 20]), t + 14, vec![], &[]);
+    eth.import(eth_fork_block.clone()).unwrap();
+    etc.import(etc_fork_block.clone()).unwrap();
+
+    // 1. The extra-data marker differs.
+    assert_eq!(
+        eth_fork_block.header.extra_data,
+        stick_a_fork::chain::spec::DAO_EXTRA_DATA
+    );
+    assert!(etc_fork_block.header.extra_data.is_empty());
+
+    // 2. Cross-imports are rejected — the chains can no longer merge.
+    assert!(eth.import(etc_fork_block.clone()).is_err());
+    assert!(etc.import(eth_fork_block.clone()).is_err());
+
+    // 3. The irregular state change applied only on ETH: the DAO's balance
+    //    moved to the refund contract.
+    assert_eq!(eth.state().balance(Address([0xDA; 20])), U256::ZERO);
+    assert_eq!(eth.state().balance(Address([0xFD; 20])), ether(3_600_000));
+    assert_eq!(etc.state().balance(Address([0xDA; 20])), ether(3_600_000));
+
+    // 4. The handshake now separates the networks.
+    let status = |store: &ChainStore| Status {
+        protocol_version: PROTOCOL_VERSION,
+        network_id: store.spec().network_id,
+        total_difficulty: store.head_total_difficulty(),
+        head_hash: store.head_hash(),
+        genesis_hash: store.canonical_hash(0).unwrap(),
+        fork_block_hash: store.canonical_hash(1),
+    };
+    let eth_status = status(&eth);
+    let etc_status = status(&etc);
+    assert_eq!(eth_status.genesis_hash, etc_status.genesis_hash);
+    assert!(!eth_status.compatible_with(&etc_status));
+
+    // 5. But a pre-fork node (no fork block yet) still talks to both —
+    //    which is how the partition propagated gradually.
+    let pre_fork = Status {
+        fork_block_hash: None,
+        ..eth_status.clone()
+    };
+    assert!(pre_fork.compatible_with(&eth_status));
+    assert!(pre_fork.compatible_with(&etc_status));
+
+    // 6. Both networks keep extending their own chains indefinitely.
+    for k in 2..6u64 {
+        let b = eth.propose(Address([0xAA; 20]), t + k * 14, vec![], &[]);
+        assert_eq!(eth.import(b).unwrap().outcome, ImportOutcome::Extended);
+        let b = etc.propose(Address([0xBB; 20]), t + k * 14, vec![], &[]);
+        assert_eq!(etc.import(b).unwrap().outcome, ImportOutcome::Extended);
+    }
+    assert_eq!(eth.head_number(), 5);
+    assert_eq!(etc.head_number(), 5);
+    assert_ne!(eth.head_hash(), etc.head_hash());
+}
+
+/// Blocks survive the wire: a block encoded into a NewBlock message by one
+/// network decodes bit-exact and is judged by the receiving node's rules.
+#[test]
+fn wire_roundtrip_preserves_verdicts() {
+    let (eth_spec, etc_spec) = fork_specs();
+    let (genesis, state) = shared_genesis();
+    let mut eth = ChainStore::new(eth_spec, genesis.clone(), state.clone());
+    let mut etc = ChainStore::new(etc_spec, genesis.clone(), state);
+
+    let t = genesis.header.timestamp;
+    let block = eth.propose(Address([0xAA; 20]), t + 14, vec![], &[]);
+    eth.import(block.clone()).unwrap();
+
+    let msg = Message::NewBlock {
+        block: block.clone(),
+        total_difficulty: eth.head_total_difficulty(),
+    };
+    let decoded = Message::decode(&msg.encode()).unwrap();
+    let Message::NewBlock { block: wire_block, .. } = decoded else {
+        panic!("wrong message type");
+    };
+    assert_eq!(wire_block.hash(), block.hash());
+    // ETH accepts its own block from the wire (AlreadyKnown), ETC rejects.
+    assert!(matches!(
+        eth.import(wire_block.clone()).unwrap().outcome,
+        ImportOutcome::AlreadyKnown
+    ));
+    assert!(etc.import(wire_block).is_err());
+}
+
+/// Seal tampering detected after wire transfer.
+#[test]
+fn tampered_wire_block_rejected() {
+    let (eth_spec, _) = fork_specs();
+    let (genesis, state) = shared_genesis();
+    let mut eth = ChainStore::new(eth_spec, genesis.clone(), state.clone());
+    let mut eth2 = ChainStore::new(fork_specs().0, genesis.clone(), state);
+
+    let t = genesis.header.timestamp;
+    let block = eth.propose(Address([0xAA; 20]), t + 14, vec![], &[]);
+    eth.import(block.clone()).unwrap();
+
+    // A "man in the middle" bumps the beneficiary (fee theft attempt).
+    let mut stolen = block;
+    stolen.header.beneficiary = Address([0x66; 20]);
+    let msg = Message::NewBlock {
+        block: stolen,
+        total_difficulty: U256::from_u64(1),
+    };
+    let Message::NewBlock { block: wire_block, .. } = Message::decode(&msg.encode()).unwrap()
+    else {
+        panic!("wrong type");
+    };
+    // With overwhelming probability the seal no longer verifies; a lucky
+    // seal would still fail on the state root (rewards go elsewhere).
+    assert!(eth2.import(wire_block).is_err());
+}
+
+#[test]
+fn genesis_hash_is_seed_independent_but_alloc_dependent() {
+    let (g1, _) = shared_genesis();
+    let (g2, _) = shared_genesis();
+    assert_eq!(g1.hash(), g2.hash());
+    let (g3, _) = GenesisBuilder::new()
+        .difficulty(U256::from_u64(1 << 16))
+        .timestamp(1_469_020_839)
+        .alloc(Address([0x01; 20]), ether(101))
+        .build();
+    assert_ne!(g1.hash(), g3.hash());
+    let _ = H256::ZERO;
+}

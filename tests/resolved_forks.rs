@@ -1,0 +1,49 @@
+//! In-text observation T3: the two *resolved* forks' minority-branch
+//! lengths — ETH's 86 blocks vs ETC's 3,583.
+
+use stick_a_fork::sim::resolved::{run, ResolvedForkConfig};
+
+#[test]
+fn branch_lengths_match_paper_orders() {
+    let eth = run(&ResolvedForkConfig::eth_dos_2016(1));
+    let etc = run(&ResolvedForkConfig::etc_replay_2017(1));
+
+    // Paper: 86 vs 3,583. Same order of magnitude required.
+    assert!(
+        (25..350).contains(&eth.minority_branch_len),
+        "ETH branch {} (paper: 86)",
+        eth.minority_branch_len
+    );
+    assert!(
+        (1_200..9_000).contains(&etc.minority_branch_len),
+        "ETC branch {} (paper: 3,583)",
+        etc.minority_branch_len
+    );
+    assert!(
+        etc.minority_branch_len > 10 * eth.minority_branch_len,
+        "the factor-~40 gap must be directionally preserved: {} vs {}",
+        etc.minority_branch_len,
+        eth.minority_branch_len
+    );
+}
+
+#[test]
+fn episode_statistics_stable_across_seeds() {
+    let lens: Vec<u64> = (0..5)
+        .map(|s| run(&ResolvedForkConfig::eth_dos_2016(s)).minority_branch_len)
+        .collect();
+    let mean = lens.iter().sum::<u64>() as f64 / lens.len() as f64;
+    assert!(
+        (40.0..250.0).contains(&mean),
+        "mean ETH branch length {mean} from {lens:?}"
+    );
+}
+
+#[test]
+fn minority_difficulty_decays_majority_does_not_stall() {
+    let etc = run(&ResolvedForkConfig::etc_replay_2017(4));
+    let cfg = ResolvedForkConfig::etc_replay_2017(4);
+    assert!(etc.final_difficulty < cfg.pre_fork_difficulty);
+    // The majority produced blocks throughout the episode.
+    assert!(etc.majority_blocks > etc.minority_branch_len / 4);
+}
