@@ -49,7 +49,8 @@ pub fn write_csv(path: impl AsRef<Path>, series: &[&TimeSeries]) -> std::io::Res
 /// Serializes series as JSON (used to snapshot figure data into
 /// EXPERIMENTS.md regeneration runs).
 pub fn to_json(series: &[&TimeSeries]) -> String {
-    serde_json::to_string_pretty(&series).expect("series serialize cleanly")
+    let arr = fork_telemetry::json::Value::Arr(series.iter().map(|s| s.to_json_value()).collect());
+    arr.to_json_pretty()
 }
 
 /// Writes JSON to a file.
@@ -94,9 +95,10 @@ mod tests {
     fn json_roundtrips_structure() {
         let a = s("ETH", &[(10, 1.5)]);
         let j = to_json(&[&a]);
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v[0]["label"], "ETH");
-        assert_eq!(v[0]["points"][0][0], 10);
+        let v = fork_telemetry::json::Value::parse(&j).unwrap();
+        assert_eq!(v[0]["label"].as_str(), Some("ETH"));
+        assert_eq!(v[0]["points"][0][0].as_u64(), Some(10));
+        assert_eq!(v[0]["points"][0][1].as_f64(), Some(1.5));
     }
 
     #[test]

@@ -348,7 +348,7 @@ mod tests {
         let s = p.hashes_per_usd(Side::Eth, |_| 12.0);
         assert_eq!(s.points.len(), 1);
         assert!((s.points[0].1 - 1_000.0).abs() < 1e-9); // 60000/5/12
-        // Unlisted market yields an empty series.
+                                                         // Unlisted market yields an empty series.
         let empty = p.hashes_per_usd(Side::Eth, |_| 0.0);
         assert!(empty.is_empty());
     }

@@ -3,7 +3,7 @@
 use fork_primitives::SimTime;
 
 /// A named series of `(time, value)` points, time-ascending.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     /// Legend label ("ETH", "ETC top 5", …).
     pub label: String,
@@ -23,7 +23,10 @@ impl TimeSeries {
     /// Appends a point (must be time-ascending; debug-asserted).
     pub fn push(&mut self, t: SimTime, value: f64) {
         debug_assert!(
-            self.points.last().map(|(lt, _)| *lt <= t.as_unix()).unwrap_or(true),
+            self.points
+                .last()
+                .map(|(lt, _)| *lt <= t.as_unix())
+                .unwrap_or(true),
             "series must be time-ascending"
         );
         self.points.push((t.as_unix(), value));
@@ -76,6 +79,23 @@ impl TimeSeries {
             .iter()
             .min_by_key(|(pt, _)| pt.abs_diff(t.as_unix()))
             .map(|(_, v)| *v)
+    }
+
+    /// This series as a JSON value: `{"label": ..., "points": [[t, v], ...]}`.
+    pub fn to_json_value(&self) -> fork_telemetry::json::Value {
+        use fork_telemetry::json::Value;
+        Value::Obj(vec![
+            ("label".into(), Value::Str(self.label.clone())),
+            (
+                "points".into(),
+                Value::Arr(
+                    self.points
+                        .iter()
+                        .map(|(t, v)| Value::Arr(vec![Value::Num(*t as f64), Value::Num(*v)]))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 
     /// Restricts to points within `[from, to]`.

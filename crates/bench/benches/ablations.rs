@@ -17,8 +17,8 @@ use fork_pools::{distribute, income_coefficient_of_variation, PayoutScheme, Shar
 use fork_primitives::{units::ether, Address, U256};
 use fork_replay::{AdoptionCurve, Side};
 use fork_sim::micro::{MicroConfig, MicroNet};
-use rand::Rng;
 use fork_sim::SimRng;
+use rand::Rng;
 
 /// Deterministic recovery after ETC's actual ~99.5% hashpower collapse (the
 /// −99 cap binds only when blocks are slower than ~1,000 s, so the ablation
@@ -38,12 +38,8 @@ fn recovery(capped: bool) -> (u64, f64) {
         let bt = d / h;
         elapsed += bt;
         if capped {
-            let next = cfg.next_difficulty(
-                U256::from_u128(d as u128),
-                0,
-                bt as u64,
-                1_920_000 + blocks,
-            );
+            let next =
+                cfg.next_difficulty(U256::from_u128(d as u128), 0, bt as u64, 1_920_000 + blocks);
             d = next.to_f64_lossy();
         } else {
             // Uncapped: sigma = 1 - bt/10 with no floor.
@@ -211,11 +207,7 @@ fn ablate_payout(c: &mut Criterion) {
                     let i = miners.iter().position(|x| *x == m).unwrap();
                     proportional[i] += v.to_f64_lossy();
                 }
-                for (m, v) in distribute(
-                    PayoutScheme::Pplns { window: 40 },
-                    ether(5),
-                    &ledger,
-                ) {
+                for (m, v) in distribute(PayoutScheme::Pplns { window: 40 }, ether(5), &ledger) {
                     let i = miners.iter().position(|x| *x == m).unwrap();
                     pplns[i] += v.to_f64_lossy();
                 }

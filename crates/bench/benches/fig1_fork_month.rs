@@ -25,7 +25,11 @@ fn fig1(c: &mut Criterion) {
             // statistical test over seeds.
             let etc_bph = result.pipeline.blocks_per_hour(Side::Etc);
             let first12 = etc_bph.window(result.start, result.start.plus_secs(12 * 3_600));
-            let early_rate = if first12.is_empty() { 0.0 } else { first12.mean() };
+            let early_rate = if first12.is_empty() {
+                0.0
+            } else {
+                first12.mean()
+            };
             assert!(
                 early_rate < 40.0,
                 "ETC early block rate should collapse, got {early_rate}/hr"

@@ -137,14 +137,7 @@ fn bench_block_pipeline(c: &mut Criterion) {
             let txs: Vec<Transaction> = users
                 .iter()
                 .map(|u| {
-                    Transaction::transfer(
-                        u,
-                        round,
-                        Address([9; 20]),
-                        U256::ONE,
-                        U256::ONE,
-                        None,
-                    )
+                    Transaction::transfer(u, round, Address([9; 20]), U256::ONE, U256::ONE, None)
                 })
                 .collect();
             round += 1;

@@ -5,16 +5,23 @@
 //! cargo run --release -p fork-bench --bin make-figures -- fig1 --days 31
 //! cargo run --release -p fork-bench --bin make-figures -- fig2 fig3 --days 280
 //! cargo run --release -p fork-bench --bin make-figures -- resolved obs
+//! cargo run --release -p fork-bench --bin make-figures -- micro --telemetry-out telemetry.json
 //! ```
 //!
 //! Writes `figN.csv` / `figN.json` plus `observations.md` into `--out`
-//! (default `figures/`), and prints ASCII renderings.
+//! (default `figures/`), and prints ASCII renderings. With
+//! `--telemetry-out <path>`, the merged telemetry of everything that ran —
+//! engine step-phase spans, per-chain import counters, EVM opcode-class
+//! dispatch counts, gossip/frame counters from the `micro` target — is
+//! written as `fork-telemetry/v1` JSON and printed as a table.
 
 use std::collections::HashSet;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use fork_core::{observations, ForkStudy, StudyResult};
 use fork_sim::resolved::{run as run_resolved, ResolvedForkConfig};
+use fork_sim::{MicroConfig, MicroNet};
+use fork_telemetry::{MetricsRegistry, Snapshot, TimingMode};
 
 struct Args {
     targets: HashSet<String>,
@@ -22,6 +29,7 @@ struct Args {
     days_long: u64,
     seed: u64,
     out: PathBuf,
+    telemetry_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +38,7 @@ fn parse_args() -> Args {
     let mut days_long = 280u64;
     let mut seed = 2016u64;
     let mut out = PathBuf::from("figures");
+    let mut telemetry_out = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -48,6 +57,12 @@ fn parse_args() -> Args {
                 out = PathBuf::from(&argv[i + 1]);
                 i += 1;
             }
+            "--telemetry-out" => {
+                telemetry_out = Some(PathBuf::from(
+                    argv.get(i + 1).expect("--telemetry-out takes a path"),
+                ));
+                i += 1;
+            }
             t => {
                 targets.insert(t.to_string());
             }
@@ -55,7 +70,9 @@ fn parse_args() -> Args {
         i += 1;
     }
     if targets.is_empty() || targets.contains("all") {
-        for t in ["fig1", "fig2", "fig3", "fig4", "fig5", "obs", "resolved"] {
+        for t in [
+            "fig1", "fig2", "fig3", "fig4", "fig5", "obs", "resolved", "micro",
+        ] {
             targets.insert(t.to_string());
         }
     }
@@ -65,10 +82,11 @@ fn parse_args() -> Args {
         days_long,
         seed,
         out,
+        telemetry_out,
     }
 }
 
-fn write_figure(out: &PathBuf, fig: &fork_core::FigureData) {
+fn write_figure(out: &Path, fig: &fork_core::FigureData) {
     let series = fig.all_series();
     let csv = out.join(format!("{}.csv", fig.id));
     let json = out.join(format!("{}.json", fig.id));
@@ -81,6 +99,11 @@ fn write_figure(out: &PathBuf, fig: &fork_core::FigureData) {
 fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    // Top-level phase spans for this tool's own runs; merged into the
+    // telemetry export alongside the engines' metrics.
+    let registry = MetricsRegistry::new();
+    let mut telemetry = Snapshot::default();
 
     let wants = |t: &str| args.targets.contains(t);
     let wants_short = wants("fig1");
@@ -95,18 +118,31 @@ fn main() {
             "Running the fork-month window ({} days, seed {})...",
             args.days_short, args.seed
         );
-        let start = std::time::Instant::now();
+        let run_span = registry.span("figures.run.fork_month");
+        let guard = run_span.enter();
         short_result = Some(ForkStudy::days(args.seed, args.days_short).run());
-        eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
+        drop(guard);
+        eprintln!(
+            "  done in {:.1}s",
+            run_span.snapshot().total_ns as f64 / 1e9
+        );
     }
     if wants_long {
         eprintln!(
             "Running the nine-month window ({} days, seed {})...",
             args.days_long, args.seed
         );
-        let start = std::time::Instant::now();
+        let run_span = registry.span("figures.run.nine_months");
+        let guard = run_span.enter();
         long_result = Some(ForkStudy::days(args.seed, args.days_long).run());
-        eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
+        drop(guard);
+        eprintln!(
+            "  done in {:.1}s",
+            run_span.snapshot().total_ns as f64 / 1e9
+        );
+    }
+    for result in [&short_result, &long_result].into_iter().flatten() {
+        telemetry.merge(&result.telemetry);
     }
 
     if let Some(result) = &short_result {
@@ -151,17 +187,60 @@ fn main() {
             vec![
                 "ETH 2016-11-22".to_string(),
                 "86 blocks".to_string(),
-                format!("{} blocks over {:.1} h", eth.minority_branch_len, eth.duration_secs / 3_600.0),
+                format!(
+                    "{} blocks over {:.1} h",
+                    eth.minority_branch_len,
+                    eth.duration_secs / 3_600.0
+                ),
             ],
             vec![
                 "ETC 2017-01-13".to_string(),
                 "3,583 blocks".to_string(),
-                format!("{} blocks over {:.1} h", etc.minority_branch_len, etc.duration_secs / 3_600.0),
+                format!(
+                    "{} blocks over {:.1} h",
+                    etc.minority_branch_len,
+                    etc.duration_secs / 3_600.0
+                ),
             ],
         ];
         let md = fork_analytics::markdown_table(&["fork", "paper", "measured"], &rows);
         println!("{md}");
         std::fs::write(args.out.join("resolved_forks.md"), &md).expect("write resolved");
         println!("  -> {}\n", args.out.join("resolved_forks.md").display());
+    }
+
+    if wants("micro") {
+        eprintln!("Running the networked micro-simulation (30 min, 16 nodes)...");
+        let run_span = registry.span("figures.run.micro");
+        let guard = run_span.enter();
+        let mut net = MicroNet::new(MicroConfig {
+            seed: args.seed,
+            n_nodes: 16,
+            n_miners: 6,
+            duration_secs: 1_800,
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        drop(guard);
+        println!(
+            "Micro run: {} blocks mined, {} messages delivered, {} corrupted frames, \
+             mean propagation {:.0} ms\n",
+            report.mined.iter().sum::<u64>(),
+            report.delivered,
+            report.corrupted_frames,
+            report.mean_propagation_ms,
+        );
+        telemetry.merge(&net.telemetry_snapshot());
+    }
+
+    if let Some(path) = &args.telemetry_out {
+        // Fold in this binary's own spans plus the process-global crate
+        // metrics (EVM dispatch/gas, net frames/gossip).
+        telemetry.merge(&registry.snapshot());
+        fork_evm::telemetry::snapshot_into(&mut telemetry);
+        fork_net::telemetry::snapshot_into(&mut telemetry);
+        println!("Telemetry\n{}", telemetry.render_table());
+        std::fs::write(path, telemetry.to_json(TimingMode::Wall)).expect("write telemetry");
+        println!("  -> {}\n", path.display());
     }
 }

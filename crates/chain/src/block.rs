@@ -1,6 +1,5 @@
 //! Blocks: header + transaction list + ommers.
 
-
 use fork_primitives::H256;
 use fork_rlp::{expect_fields, RlpError};
 

@@ -95,8 +95,7 @@ impl DifficultyConfig {
                 if sigma >= 0 {
                     parent_difficulty.saturating_add(quantum * U256::from_u64(sigma as u64))
                 } else {
-                    parent_difficulty
-                        .saturating_sub(quantum * U256::from_u64((-sigma) as u64))
+                    parent_difficulty.saturating_sub(quantum * U256::from_u64((-sigma) as u64))
                 }
             }
         };
@@ -167,10 +166,7 @@ mod tests {
         let cfg = homestead();
         let parent = u(2_048_000);
         // Δt = 140s -> sigma = 1 - 14 = -13.
-        assert_eq!(
-            cfg.next_difficulty(parent, 0, 140, 10),
-            parent - u(13_000)
-        );
+        assert_eq!(cfg.next_difficulty(parent, 0, 140, 10), parent - u(13_000));
     }
 
     #[test]

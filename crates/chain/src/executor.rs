@@ -364,8 +364,14 @@ mod tests {
 
     #[test]
     fn ommer_rewards_scale_with_depth() {
-        assert_eq!(ommer_reward(10, 9), ether(5) * U256::from_u64(7) / U256::from_u64(8));
-        assert_eq!(ommer_reward(10, 8), ether(5) * U256::from_u64(6) / U256::from_u64(8));
+        assert_eq!(
+            ommer_reward(10, 9),
+            ether(5) * U256::from_u64(7) / U256::from_u64(8)
+        );
+        assert_eq!(
+            ommer_reward(10, 8),
+            ether(5) * U256::from_u64(6) / U256::from_u64(8)
+        );
         assert_eq!(ommer_reward(10, 3), ether(5) / U256::from_u64(8));
         assert_eq!(ommer_reward(10, 2), U256::ZERO, "too deep");
         assert_eq!(ommer_reward(10, 10), U256::ZERO, "same height");

@@ -163,8 +163,14 @@ mod tests {
 
     #[test]
     fn different_alloc_different_genesis_hash() {
-        let a = GenesisBuilder::new().alloc(Address([1; 20]), ether(5)).build().0;
-        let b = GenesisBuilder::new().alloc(Address([1; 20]), ether(6)).build().0;
+        let a = GenesisBuilder::new()
+            .alloc(Address([1; 20]), ether(5))
+            .build()
+            .0;
+        let b = GenesisBuilder::new()
+            .alloc(Address([1; 20]), ether(6))
+            .build()
+            .0;
         assert_ne!(a.hash(), b.hash());
     }
 }

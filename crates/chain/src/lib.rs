@@ -20,6 +20,7 @@ pub mod pow;
 pub mod receipt;
 pub mod spec;
 pub mod store;
+pub mod telemetry;
 pub mod transaction;
 pub mod validation;
 
@@ -32,6 +33,7 @@ pub use header::Header;
 pub use receipt::Receipt;
 pub use spec::{ChainSpec, DaoForkConfig, DAO_FORK_BLOCK};
 pub use store::{ChainStore, FinalizedBlock, ImportOutcome, ImportResult};
+pub use telemetry::StoreMetrics;
 pub use transaction::Transaction;
 
 #[cfg(test)]

@@ -72,8 +72,14 @@ mod tests {
 
     #[test]
     fn digest_distinguishes_outcomes() {
-        assert_ne!(receipt(true, 21_000).digest(), receipt(false, 21_000).digest());
-        assert_ne!(receipt(true, 21_000).digest(), receipt(true, 21_001).digest());
+        assert_ne!(
+            receipt(true, 21_000).digest(),
+            receipt(false, 21_000).digest()
+        );
+        assert_ne!(
+            receipt(true, 21_000).digest(),
+            receipt(true, 21_001).digest()
+        );
     }
 
     #[test]

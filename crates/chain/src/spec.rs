@@ -196,7 +196,10 @@ mod tests {
     fn specs() -> (ChainSpec, ChainSpec) {
         let dao = vec![Address([0xDA; 20])];
         let refund = Address([0xFD; 20]);
-        (ChainSpec::eth(dao.clone(), refund), ChainSpec::etc(dao, refund))
+        (
+            ChainSpec::eth(dao.clone(), refund),
+            ChainSpec::etc(dao, refund),
+        )
     }
 
     #[test]

@@ -16,10 +16,13 @@ use fork_primitives::{Address, H256, U256};
 
 use crate::block::{body_commitments_match, Block};
 use crate::error::ChainError;
-use crate::executor::{apply_block, check_execution_against_header, select_transactions, select_transactions_pooled};
+use crate::executor::{
+    apply_block, check_execution_against_header, select_transactions, select_transactions_pooled,
+};
 use crate::header::Header;
 use crate::receipt::{receipts_root, Receipt};
 use crate::spec::{ChainSpec, DAO_EXTRA_DATA, DAO_EXTRA_DATA_RANGE};
+use crate::telemetry::StoreMetrics;
 use crate::transaction::Transaction;
 use crate::validation::{validate_header, validate_ommers, GAS_LIMIT_BOUND_DIVISOR};
 
@@ -95,6 +98,10 @@ pub struct ChainStore {
     /// Monotone counter handed to the PoW grinder so repeated proposals
     /// search fresh nonce ranges.
     seal_counter: u64,
+    /// Shared metric handles (detached by default; see
+    /// [`ChainStore::with_telemetry`]). Clones keep counting into the same
+    /// atomics.
+    metrics: StoreMetrics,
 }
 
 impl ChainStore {
@@ -129,6 +136,7 @@ impl ChainStore {
             retention: DEFAULT_RETENTION,
             used_ommers: HashSet::new(),
             seal_counter: 0,
+            metrics: StoreMetrics::detached(),
         }
     }
 
@@ -136,6 +144,22 @@ impl ChainStore {
     pub fn with_retention(mut self, retention: usize) -> Self {
         self.retention = retention.max(1);
         self
+    }
+
+    /// Attaches this store's metrics to `registry` under `<prefix>.…` names,
+    /// so registry snapshots include its import counts and timings.
+    pub fn with_telemetry(
+        mut self,
+        registry: &fork_telemetry::MetricsRegistry,
+        prefix: &str,
+    ) -> Self {
+        self.metrics = StoreMetrics::registered(registry, prefix);
+        self
+    }
+
+    /// This store's metric handles.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
     }
 
     /// The protocol rules this store validates against.
@@ -213,6 +237,26 @@ impl ChainStore {
 
     /// Imports a block, advancing / reorging the head per total difficulty.
     pub fn import(&mut self, block: Block) -> Result<ImportResult, ChainError> {
+        // The guard only holds a start time (the stats Arc lives on a
+        // thread-local stack), so it does not borrow `self`.
+        let _span = self.metrics.import_span.enter();
+        let result = self.import_inner(block);
+        match &result {
+            Ok(r) => match &r.outcome {
+                ImportOutcome::Extended => self.metrics.extended.incr(),
+                ImportOutcome::SideChain => self.metrics.side_chain.incr(),
+                ImportOutcome::Reorged { reverted } => {
+                    self.metrics.reorged.incr();
+                    self.metrics.reorg_depth.record(*reverted as u64);
+                }
+                ImportOutcome::AlreadyKnown => self.metrics.already_known.incr(),
+            },
+            Err(_) => self.metrics.rejected.incr(),
+        }
+        result
+    }
+
+    fn import_inner(&mut self, block: Block) -> Result<ImportResult, ChainError> {
         let hash = block.hash();
         if self.entries.contains_key(&hash) {
             return Ok(ImportResult {
@@ -227,20 +271,24 @@ impl ChainStore {
             .ok_or(ChainError::UnknownParent {
                 parent: parent_hash,
             })?;
-        validate_header(&self.spec, &block.header, &parent.block.header)?;
-        validate_ommers(&self.spec, &block.header, &block.ommers)?;
-        if !body_commitments_match(&block) {
-            return Err(ChainError::BodyMismatch);
+        {
+            let _validate = self.metrics.validate_span.enter();
+            validate_header(&self.spec, &block.header, &parent.block.header)?;
+            validate_ommers(&self.spec, &block.header, &block.ommers)?;
+            if !body_commitments_match(&block) {
+                return Err(ChainError::BodyMismatch);
+            }
         }
-        let total_difficulty = parent.total_difficulty.saturating_add(block.header.difficulty);
+        let total_difficulty = parent
+            .total_difficulty
+            .saturating_add(block.header.difficulty);
 
         if parent_hash == self.head_hash() {
             // Fast path: extend the canonical chain.
             let checkpoint = self.state.checkpoint();
-            let receipts = match apply_block(&mut self.state, &self.spec, &block)
-                .and_then(|ex| {
-                    check_execution_against_header(&self.state, &block, &ex).map(|()| ex)
-                }) {
+            let receipts = match apply_block(&mut self.state, &self.spec, &block).and_then(|ex| {
+                check_execution_against_header(&self.state, &block, &ex).map(|()| ex)
+            }) {
                 Ok(ex) => ex.receipts,
                 Err(e) => {
                     self.state.rollback_to(checkpoint);
@@ -406,11 +454,7 @@ impl ChainStore {
             let entry = self.entries.remove(&old.hash).expect("canonical entry");
             let number = entry.block.header.number;
             // Drop side blocks at or below the finalized height.
-            let stale: Vec<u64> = self
-                .by_number
-                .range(..=number)
-                .map(|(n, _)| *n)
-                .collect();
+            let stale: Vec<u64> = self.by_number.range(..=number).map(|(n, _)| *n).collect();
             for n in stale {
                 if let Some(hashes) = self.by_number.remove(&n) {
                     for h in hashes {
@@ -528,6 +572,7 @@ impl ChainStore {
         self.seal_counter = self.seal_counter.wrapping_add(0x9E37_79B9_7F4A_7C15);
         crate::pow::seal(&mut header, self.spec.pow_work_factor, self.seal_counter);
         block.header = header;
+        self.metrics.proposed.incr();
         block
     }
 
@@ -613,6 +658,8 @@ impl ChainStore {
             receipts: executed.receipts,
         });
         let finalized = self.prune();
+        self.metrics.proposed.incr();
+        self.metrics.extended.incr();
         (block, finalized)
     }
 
@@ -673,6 +720,35 @@ mod tests {
         assert_eq!(result.outcome, ImportOutcome::Extended);
         assert_eq!(store.head_number(), 1);
         assert_eq!(store.head_hash(), block.hash());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn import_outcomes_counted_in_registry() {
+        let reg = fork_telemetry::MetricsRegistry::new();
+        let mut store = new_store().with_telemetry(&reg, "chain.test");
+        let t0 = store.head_header().timestamp;
+        let b1 = store.propose(miner(), t0 + 14, vec![], &[]);
+        store.import(b1.clone()).unwrap();
+        store.import(b1).unwrap(); // AlreadyKnown
+
+        let mut orphan = store.propose(miner(), t0 + 28, vec![], &[]);
+        orphan.header.parent_hash = H256([9; 32]);
+        crate::pow::seal(&mut orphan.header, store.spec().pow_work_factor, 0);
+        assert!(store.import(orphan).is_err());
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["chain.test.imports.extended"], 1);
+        assert_eq!(snap.counters["chain.test.imports.already_known"], 1);
+        assert_eq!(snap.counters["chain.test.imports.rejected"], 1);
+        assert_eq!(snap.counters["chain.test.proposed"], 2);
+        let import = snap.spans["chain.test.import"];
+        assert_eq!(import.count, 3);
+        let validate = snap.spans["chain.test.validate"];
+        // The duplicate short-circuits before validation; the orphan fails
+        // before it too (unknown parent).
+        assert_eq!(validate.count, 1);
+        assert!(import.child_ns >= validate.total_ns);
     }
 
     #[test]
@@ -762,12 +838,29 @@ mod tests {
         let t0 = a.head_header().timestamp;
 
         // A's branch pays kp(1); B's branch pays kp(0)->kp(1) differently.
-        let tx_a = Transaction::transfer(&kp(0), 0, kp(1).address(), U256::from_u64(111), U256::ONE, None);
+        let tx_a = Transaction::transfer(
+            &kp(0),
+            0,
+            kp(1).address(),
+            U256::from_u64(111),
+            U256::ONE,
+            None,
+        );
         let a1 = a.propose(Address([0xAA; 20]), t0 + 20, vec![], &[tx_a]);
         a.import(a1).unwrap();
-        assert_eq!(a.state().balance(kp(1).address()), ether(1_000) + U256::from_u64(111));
+        assert_eq!(
+            a.state().balance(kp(1).address()),
+            ether(1_000) + U256::from_u64(111)
+        );
 
-        let tx_b = Transaction::transfer(&kp(0), 0, kp(1).address(), U256::from_u64(222), U256::ONE, None);
+        let tx_b = Transaction::transfer(
+            &kp(0),
+            0,
+            kp(1).address(),
+            U256::from_u64(222),
+            U256::ONE,
+            None,
+        );
         let b1 = b.propose(Address([0xBB; 20]), t0 + 14, vec![], &[tx_b]);
         b.import(b1.clone()).unwrap();
         let b2 = b.propose(Address([0xBB; 20]), t0 + 28, vec![], &[]);
@@ -776,7 +869,10 @@ mod tests {
         a.import(b1).unwrap();
         a.import(b2).unwrap();
         // After the reorg, A's state reflects B's branch: 222, not 111.
-        assert_eq!(a.state().balance(kp(1).address()), ether(1_000) + U256::from_u64(222));
+        assert_eq!(
+            a.state().balance(kp(1).address()),
+            ether(1_000) + U256::from_u64(222)
+        );
         assert_eq!(a.state().nonce(kp(0).address()), 1);
     }
 
@@ -904,7 +1000,7 @@ mod tests {
                 U256::ONE,
                 None,
             );
-            let b_slow = slow.propose(miner(), t, vec![], &[tx.clone()]);
+            let b_slow = slow.propose(miner(), t, vec![], std::slice::from_ref(&tx));
             slow.import(b_slow).unwrap();
             let (b_fast, _) = fast.propose_and_commit(miner(), t, vec![], &[tx]);
             // The blocks themselves may differ only in their seal nonce

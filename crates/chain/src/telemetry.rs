@@ -1,0 +1,111 @@
+//! Per-store chain telemetry: import outcome counters, reorg depth, and
+//! import/validation span timing.
+//!
+//! Unlike the crate-global counters in `fork_evm::telemetry` (one interpreter
+//! per process is a fine assumption), a simulation runs *many* [`ChainStore`]s
+//! — two macro chains, dozens of micro-net nodes — so chain metrics live on
+//! the store itself as shared-`Arc` handles. A store starts *detached*
+//! (counting into private, unobserved metrics — free when the `telemetry`
+//! feature is off, cheap when on) and can be attached to a
+//! [`MetricsRegistry`] under a name prefix with
+//! [`ChainStore::with_telemetry`], after which the registry's snapshots see
+//! its totals.
+//!
+//! [`ChainStore`]: crate::store::ChainStore
+//! [`ChainStore::with_telemetry`]: crate::store::ChainStore::with_telemetry
+
+use std::sync::Arc;
+
+use fork_telemetry::{Counter, Histogram, MetricsRegistry, SpanStats};
+
+/// Shared metric handles for one [`crate::store::ChainStore`].
+///
+/// Cloning shares the underlying atomics (clones of a store keep counting
+/// into the same metrics, matching how the simulators fork stores).
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// Blocks that extended the canonical head.
+    pub extended: Arc<Counter>,
+    /// Blocks stored on side branches.
+    pub side_chain: Arc<Counter>,
+    /// Imports that triggered a reorg.
+    pub reorged: Arc<Counter>,
+    /// Duplicate imports.
+    pub already_known: Arc<Counter>,
+    /// Imports rejected with an error.
+    pub rejected: Arc<Counter>,
+    /// Blocks proposed (and sealed) by this store.
+    pub proposed: Arc<Counter>,
+    /// Canonical blocks rolled back, per reorg.
+    pub reorg_depth: Arc<Histogram>,
+    /// Wall time of [`crate::store::ChainStore::import`].
+    pub import_span: Arc<SpanStats>,
+    /// Wall time of header/ommer/body validation (nested inside the import
+    /// span, so import self-time excludes it).
+    pub validate_span: Arc<SpanStats>,
+}
+
+impl StoreMetrics {
+    /// Private metrics not attached to any registry.
+    pub fn detached() -> Self {
+        StoreMetrics {
+            extended: Arc::new(Counter::new()),
+            side_chain: Arc::new(Counter::new()),
+            reorged: Arc::new(Counter::new()),
+            already_known: Arc::new(Counter::new()),
+            rejected: Arc::new(Counter::new()),
+            proposed: Arc::new(Counter::new()),
+            reorg_depth: Arc::new(Histogram::new()),
+            import_span: Arc::new(SpanStats::new()),
+            validate_span: Arc::new(SpanStats::new()),
+        }
+    }
+
+    /// Metrics registered in `registry` under `<prefix>.…` names
+    /// (e.g. prefix `chain.eth` yields `chain.eth.imports.extended`).
+    pub fn registered(registry: &MetricsRegistry, prefix: &str) -> Self {
+        StoreMetrics {
+            extended: registry.counter(&format!("{prefix}.imports.extended")),
+            side_chain: registry.counter(&format!("{prefix}.imports.side_chain")),
+            reorged: registry.counter(&format!("{prefix}.imports.reorged")),
+            already_known: registry.counter(&format!("{prefix}.imports.already_known")),
+            rejected: registry.counter(&format!("{prefix}.imports.rejected")),
+            proposed: registry.counter(&format!("{prefix}.proposed")),
+            reorg_depth: registry.histogram(&format!("{prefix}.reorg_depth")),
+            import_span: registry.span(&format!("{prefix}.import")),
+            validate_span: registry.span(&format!("{prefix}.validate")),
+        }
+    }
+}
+
+impl Default for StoreMetrics {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+#[cfg(test)]
+#[cfg(feature = "telemetry")]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_metrics_share_registry_atomics() {
+        let reg = MetricsRegistry::new();
+        let a = StoreMetrics::registered(&reg, "chain.x");
+        let b = a.clone();
+        a.extended.incr();
+        b.extended.incr();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["chain.x.imports.extended"], 2);
+    }
+
+    #[test]
+    fn detached_metrics_are_invisible_to_registries() {
+        let reg = MetricsRegistry::new();
+        let m = StoreMetrics::detached();
+        m.extended.incr();
+        assert!(reg.snapshot().counters.is_empty());
+        assert_eq!(m.extended.get(), 1);
+    }
+}

@@ -58,7 +58,10 @@ pub fn validate_header(
     }
 
     let bound = parent.gas_limit / GAS_LIMIT_BOUND_DIVISOR;
-    let low = parent.gas_limit.saturating_sub(bound).max(spec.min_gas_limit);
+    let low = parent
+        .gas_limit
+        .saturating_sub(bound)
+        .max(spec.min_gas_limit);
     let high = parent.gas_limit.saturating_add(bound);
     if header.gas_limit < low || header.gas_limit > high {
         return Err(ChainError::BadGasLimit {
@@ -198,7 +201,7 @@ mod tests {
         ));
 
         let mut c = valid_child(&p);
-        c.difficulty = c.difficulty + U256::ONE;
+        c.difficulty += U256::ONE;
         assert!(matches!(
             validate_header(&spec(), &c, &p),
             Err(ChainError::WrongDifficulty { .. })

@@ -2,10 +2,10 @@
 //! from a completed study run.
 
 use fork_analytics::{ascii_chart, TimeSeries};
-use serde::Serialize;
+use fork_telemetry::json::Value;
 
 /// One panel of a figure (the paper's figures stack up to three panels).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigurePanel {
     /// Y-axis label.
     pub title: String,
@@ -16,7 +16,7 @@ pub struct FigurePanel {
 }
 
 /// A full figure: id, caption and panels.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureData {
     /// "fig1" … "fig5".
     pub id: &'static str,
@@ -61,6 +61,39 @@ impl FigureData {
     /// All series flattened (for CSV export).
     pub fn all_series(&self) -> Vec<&TimeSeries> {
         self.panels.iter().flat_map(|p| p.series.iter()).collect()
+    }
+
+    /// This figure as a JSON value (id, caption, panels with their series).
+    pub fn to_json_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), Value::Str(self.id.into())),
+            ("caption".into(), Value::Str(self.caption.into())),
+            (
+                "panels".into(),
+                Value::Arr(
+                    self.panels
+                        .iter()
+                        .map(|p| {
+                            Value::Obj(vec![
+                                ("title".into(), Value::Str(p.title.clone())),
+                                (
+                                    "series".into(),
+                                    Value::Arr(
+                                        p.series.iter().map(|s| s.to_json_value()).collect(),
+                                    ),
+                                ),
+                                ("log_scale".into(), Value::Bool(p.log_scale)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Compact JSON rendering of [`FigureData::to_json_value`].
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
     }
 }
 
@@ -119,7 +152,10 @@ mod tests {
 
     #[test]
     fn serializes_to_json() {
-        let j = serde_json::to_string(&fig()).unwrap();
+        let j = fig().to_json();
         assert!(j.contains("\"id\":\"fig1\""));
+        let v = Value::parse(&j).unwrap();
+        assert_eq!(v["panels"][0]["series"][0]["label"].as_str(), Some("ETH"));
+        assert_eq!(v["panels"][1]["log_scale"].as_bool(), Some(true));
     }
 }

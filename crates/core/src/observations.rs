@@ -4,12 +4,12 @@
 use fork_analytics::{correlation, ratio};
 use fork_primitives::time::TARGET_BLOCK_TIME_SECS;
 use fork_replay::Side;
-use serde::Serialize;
+use fork_telemetry::json::Value;
 
 use crate::study::StudyResult;
 
 /// One paper claim with our measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Observation {
     /// Short id ("O1", "O2", …).
     pub id: &'static str,
@@ -22,7 +22,7 @@ pub struct Observation {
 }
 
 /// The full set of observation checks.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ObservationReport {
     /// Individual checks.
     pub observations: Vec<Observation>,
@@ -32,6 +32,27 @@ impl ObservationReport {
     /// True when every observation passed.
     pub fn all_pass(&self) -> bool {
         self.observations.iter().all(|o| o.pass)
+    }
+
+    /// The report as a JSON string.
+    pub fn to_json(&self) -> String {
+        Value::Obj(vec![(
+            "observations".into(),
+            Value::Arr(
+                self.observations
+                    .iter()
+                    .map(|o| {
+                        Value::Obj(vec![
+                            ("id".into(), Value::Str(o.id.into())),
+                            ("paper".into(), Value::Str(o.paper.into())),
+                            ("measured".into(), Value::Str(o.measured.clone())),
+                            ("pass".into(), Value::Bool(o.pass)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+        .to_json()
     }
 
     /// Markdown table for EXPERIMENTS.md.
@@ -66,7 +87,11 @@ pub fn short_term(result: &StudyResult) -> ObservationReport {
     // O1: drastic, rapid partition — ETC block production collapses.
     {
         let first_12h = etc_bph.window(start, start.plus_secs(12 * 3_600));
-        let mean = if first_12h.is_empty() { 0.0 } else { first_12h.mean() };
+        let mean = if first_12h.is_empty() {
+            0.0
+        } else {
+            first_12h.mean()
+        };
         let frac = mean / target_blocks_per_hour();
         obs.push(Observation {
             id: "O1",
@@ -100,7 +125,9 @@ pub fn short_term(result: &StudyResult) -> ObservationReport {
             id: "O2",
             paper: "It took two days for ETC to resume producing blocks at the target rate",
             measured,
-            pass: recovery_hours.map(|h| (18..=96).contains(&h)).unwrap_or(false),
+            pass: recovery_hours
+                .map(|h| (18..=96).contains(&h))
+                .unwrap_or(false),
         });
     }
 
@@ -185,9 +212,7 @@ pub fn long_term(result: &StudyResult) -> ObservationReport {
         let eth = result.pipeline.txs_per_day(Side::Eth);
         let etc = result.pipeline.txs_per_day(Side::Etc);
         let r = ratio(&eth, &etc, "tx ratio");
-        let early = r
-            .window(start.plus_days(20), start.plus_days(120))
-            .mean();
+        let early = r.window(start.plus_days(20), start.plus_days(120)).mean();
         let late_r = r.window(start.plus_days(240), late).mean();
         obs.push(Observation {
             id: "T4",
@@ -213,7 +238,8 @@ pub fn long_term(result: &StudyResult) -> ObservationReport {
         let gap_end = (eth_end - etc_end).abs();
         obs.push(Observation {
             id: "O6",
-            paper: "ETC's top-pool share starts considerably smaller, then converges to ETH's ratios",
+            paper:
+                "ETC's top-pool share starts considerably smaller, then converges to ETH's ratios",
             measured: format!(
                 "top-5 gap: {gap_start:.0} pp at start → {gap_end:.0} pp at end \
                  (ETH {eth_end:.0}%, ETC {etc_end:.0}%)"
@@ -243,7 +269,8 @@ fn replay_checks(result: &StudyResult) -> Vec<Observation> {
             .unwrap_or(0.0);
         obs.push(Observation {
             id: "O5a",
-            paper: "A high level of rebroadcasting initially after the fork (up to ~50% of ETC txs)",
+            paper:
+                "A high level of rebroadcasting initially after the fork (up to ~50% of ETC txs)",
             measured: format!("peak ETC echo share in week 1 = {peak:.0}%"),
             pass: peak > 25.0,
         });

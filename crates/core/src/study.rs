@@ -57,14 +57,14 @@ impl ForkStudy {
         // Shrink difficulty and hashrate together (operating point ~14 s),
         // staying above the protocol's 131,072 difficulty floor.
         config.genesis_difficulty = fork_primitives::U256::from_u64(1_400_000);
-        let scale_series = |s: &fork_sim::StepSeries| {
+        fn scale_series(s: &fork_sim::StepSeries) -> fork_sim::StepSeries {
             fork_sim::StepSeries::from_knots(
                 s.knots()
                     .iter()
                     .map(|(t, v)| (*t, v / 4.4e7))
                     .collect::<Vec<_>>(),
             )
-        };
+        }
         config.eth.hashrate = scale_series(&config.eth.hashrate);
         // Soften ETC's collapse to 8% (instead of 0.5%) so the toy window
         // still produces ETC blocks — the echo and pool mechanisms need an
@@ -86,8 +86,10 @@ impl ForkStudy {
     /// Runs the simulation and collects the measurement pipeline.
     pub fn run(self) -> StudyResult {
         let mut engine = TwoChainEngine::new(self.config.clone());
-        let mut pipeline = Pipeline::new();
-        let summary = engine.run(&mut pipeline);
+        let mut sink = fork_sim::MeteredSink::registered(Pipeline::new(), engine.telemetry());
+        let summary = engine.run(&mut sink);
+        let telemetry = engine.telemetry().snapshot();
+        let pipeline = sink.into_inner();
         // Regenerate the exact price series the scenario's hashpower
         // allocation used (same seed, same fork label).
         let mut price_rng = SimRng::new(self.seed).fork("prices");
@@ -99,6 +101,7 @@ impl ForkStudy {
             etc_usd,
             start: self.config.start,
             end: self.config.end,
+            telemetry,
         }
     }
 }
@@ -117,6 +120,10 @@ pub struct StudyResult {
     pub start: SimTime,
     /// Window end.
     pub end: SimTime,
+    /// The engine's telemetry at the end of the run: step-phase spans, both
+    /// stores' import counters/timings, sink throughput. Empty when the
+    /// `telemetry` feature is off.
+    pub telemetry: fork_telemetry::Snapshot,
 }
 
 impl StudyResult {

@@ -66,8 +66,8 @@ pub fn vulnerable_vault() -> Vec<u8> {
         a = a.push(0).op(Opcode::Caller).op(Opcode::SStore);
         let end = a.len() as u16;
         a = a.op(Opcode::JumpDest).op(Opcode::Pop).op(Opcode::Stop);
-        debug_assert_eq!(withdraw_at == 0 || withdraw == withdraw_at, true);
-        debug_assert_eq!(end_at == 0 || end == end_at, true);
+        debug_assert!(withdraw_at == 0 || withdraw == withdraw_at);
+        debug_assert!(end_at == 0 || end == end_at);
         a
     };
     // Pass 1: discover offsets with zero targets.
@@ -85,10 +85,10 @@ fn vault_offsets() -> (u16, u16) {
     // Header: PUSH1 0, CALLDATALOAD, PUSH2 t, JUMPI = 2+1+3+1 = 7
     // deposit: CALLER SLOAD CALLVALUE ADD CALLER SSTORE STOP = 7
     let withdraw = 7 + 7; // 14
-    // withdraw body:
-    // JUMPDEST(1) CALLER(1) SLOAD(1) DUP1(1) ISZERO(1) PUSH2(3) JUMPI(1) = 9
-    // four PUSH1 0 (8), DUP5(1), CALLER(1), PUSH3 gas(4), CALL(1), POP(1) = 16
-    // PUSH1 0(2) CALLER(1) SSTORE(1) = 4
+                          // withdraw body:
+                          // JUMPDEST(1) CALLER(1) SLOAD(1) DUP1(1) ISZERO(1) PUSH2(3) JUMPI(1) = 9
+                          // four PUSH1 0 (8), DUP5(1), CALLER(1), PUSH3 gas(4), CALL(1), POP(1) = 16
+                          // PUSH1 0(2) CALLER(1) SSTORE(1) = 4
     let end = withdraw + 9 + 16 + 4; // 43
     (withdraw as u16, end as u16)
 }
@@ -107,8 +107,16 @@ pub fn reentrancy_attacker() -> Vec<u8> {
         a = push2(a, fallback_at);
         a = a.op(Opcode::JumpI);
         // setup: slot0 = budget, slot1 = vault
-        a = a.push(0).op(Opcode::CallDataLoad).push(0).op(Opcode::SStore);
-        a = a.push(32).op(Opcode::CallDataLoad).push(1).op(Opcode::SStore);
+        a = a
+            .push(0)
+            .op(Opcode::CallDataLoad)
+            .push(0)
+            .op(Opcode::SStore);
+        a = a
+            .push(32)
+            .op(Opcode::CallDataLoad)
+            .push(1)
+            .op(Opcode::SStore);
         // deposit: CALL(gas, vault, callvalue, empty input)
         a = a.push(0).push(0).push(0).push(0);
         a = a.op(Opcode::CallValue);
@@ -140,8 +148,8 @@ pub fn reentrancy_attacker() -> Vec<u8> {
         a = a.op(Opcode::Stop);
         let end = a.len() as u16;
         a = a.op(Opcode::JumpDest).op(Opcode::Pop).op(Opcode::Stop);
-        debug_assert_eq!(fallback_at == 0 || fallback == fallback_at, true);
-        debug_assert_eq!(end_at == 0 || end == end_at, true);
+        debug_assert!(fallback_at == 0 || fallback == fallback_at);
+        debug_assert!(end_at == 0 || end == end_at);
         a
     };
     // Compute offsets via a discovery pass.
@@ -311,7 +319,13 @@ mod tests {
         w.set_balance(attacker_eoa, U256::from_u64(1_000));
 
         // Victims fill the vault with 10,000 wei.
-        assert!(call(&mut w, victim, vault, 10_000, vault_deposit_calldata()));
+        assert!(call(
+            &mut w,
+            victim,
+            vault,
+            10_000,
+            vault_deposit_calldata()
+        ));
         assert_eq!(w.balance(vault), U256::from_u64(10_000));
 
         // Attacker primes: deposit 1,000, reenter 4 more times.

@@ -127,6 +127,8 @@ pub fn transact(
     let fee = U256::from_u64(gas_used).saturating_mul(gas_price);
     world.credit(block.coinbase, fee);
 
+    crate::telemetry::record_tx_gas(gas_used);
+
     Ok(TransactOutcome {
         success: result.success,
         gas_used,

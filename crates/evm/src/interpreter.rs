@@ -150,7 +150,10 @@ impl<'w> Evm<'w> {
         let checkpoint = self.world.checkpoint();
         let logs_mark = self.logs.len();
 
-        if !params.value.is_zero() && !self.world.transfer(params.caller, params.address, params.value)
+        if !params.value.is_zero()
+            && !self
+                .world
+                .transfer(params.caller, params.address, params.value)
         {
             return FrameResult::failed(VmError::InsufficientBalance);
         }
@@ -330,6 +333,7 @@ impl<'w> Evm<'w> {
                 }
             };
             pc += 1;
+            crate::telemetry::record_dispatch(byte);
 
             // PUSH / DUP / SWAP ranges first.
             if (0x60..=0x7F).contains(&byte) {
@@ -341,7 +345,7 @@ impl<'w> Evm<'w> {
                 buf[32 - n..32 - n + got].copy_from_slice(&code[pc..end]);
                 // Missing trailing bytes read as zero (yellow paper).
                 push!(U256::from_be_slice(&buf).expect("32 bytes"));
-                pc = pc + n;
+                pc += n;
                 continue;
             }
             if (0x80..=0x8F).contains(&byte) {
@@ -524,7 +528,11 @@ impl<'w> Evm<'w> {
                     let off = pop_usize!();
                     let mut buf = [0u8; 32];
                     for (i, b) in buf.iter_mut().enumerate() {
-                        *b = params.input.get(off.saturating_add(i)).copied().unwrap_or(0);
+                        *b = params
+                            .input
+                            .get(off.saturating_add(i))
+                            .copied()
+                            .unwrap_or(0);
                     }
                     push!(U256::from_be_slice(&buf).expect("32 bytes"));
                 }
@@ -540,7 +548,13 @@ impl<'w> Evm<'w> {
                     charge!(s.very_low.saturating_add(s.copy_word.saturating_mul(words)));
                     expand_memory!(dst, len);
                     let data: Vec<u8> = (0..len)
-                        .map(|i| params.input.get(src.saturating_add(i)).copied().unwrap_or(0))
+                        .map(|i| {
+                            params
+                                .input
+                                .get(src.saturating_add(i))
+                                .copied()
+                                .unwrap_or(0)
+                        })
                         .collect();
                     memory.copy_padded(dst, &data, len);
                 }
@@ -982,10 +996,7 @@ mod tests {
             .build();
         let (r, w) = run(code, 100_000);
         assert!(r.success);
-        assert_eq!(
-            w.storage(addr(0xCC), U256::ONE),
-            U256::from_u64(0xAB)
-        );
+        assert_eq!(w.storage(addr(0xCC), U256::ONE), U256::from_u64(0xAB));
     }
 
     #[test]
@@ -1184,11 +1195,7 @@ mod tests {
 
     #[test]
     fn logs_emitted_and_rolled_back_with_frame() {
-        let logger = Assembler::new()
-            .push(0)
-            .push(0)
-            .op(Opcode::Log0)
-            .build();
+        let logger = Assembler::new().push(0).push(0).op(Opcode::Log0).build();
         let (r, _) = run(logger, 100_000);
         assert!(r.success);
 
@@ -1341,16 +1348,12 @@ mod tests {
         assert_eq!(returned_word(&r), U256::from_u64(4));
 
         // MULMOD(7, 5, 4) = 3.
-        let code = return_top(
-            Assembler::new().push(4).push(5).push(7).op(Opcode::MulMod),
-        );
+        let code = return_top(Assembler::new().push(4).push(5).push(7).op(Opcode::MulMod));
         let (r, _) = run(code, 100_000);
         assert_eq!(returned_word(&r), U256::from_u64(3));
 
         // SIGNEXTEND(0, 0xFF) = -1.
-        let code = return_top(
-            Assembler::new().push(0xFF).push(0).op(Opcode::SignExtend),
-        );
+        let code = return_top(Assembler::new().push(0xFF).push(0).op(Opcode::SignExtend));
         let (r, _) = run(code, 100_000);
         assert_eq!(returned_word(&r), U256::MAX);
     }

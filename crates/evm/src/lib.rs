@@ -21,14 +21,15 @@ pub mod interpreter;
 pub mod memory;
 pub mod opcode;
 pub mod stack;
+pub mod telemetry;
 pub mod world;
 
 pub use error::VmError;
 pub use execute::{transact, TransactOutcome, TxError};
 pub use gas::GasSchedule;
 pub use interpreter::{
-    address_to_u256, contract_address, u256_to_address, BlockContext, CallParams, Evm,
-    FrameResult, Log, TxContext,
+    address_to_u256, contract_address, u256_to_address, BlockContext, CallParams, Evm, FrameResult,
+    Log, TxContext,
 };
 pub use world::{Account, Checkpoint, WorldState};
 

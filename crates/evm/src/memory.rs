@@ -44,7 +44,9 @@ impl Memory {
         }
         let end = offset
             .checked_add(len)
-            .ok_or(VmError::MemoryLimitExceeded { requested: usize::MAX })?;
+            .ok_or(VmError::MemoryLimitExceeded {
+                requested: usize::MAX,
+            })?;
         if end > MEMORY_LIMIT {
             return Err(VmError::MemoryLimitExceeded { requested: end });
         }

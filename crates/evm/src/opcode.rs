@@ -155,6 +155,98 @@ impl Opcode {
     }
 }
 
+/// Coarse instruction families used by the telemetry dispatch counters.
+///
+/// Classification works on the *raw byte* (not [`Opcode`]) so the PUSH /
+/// DUP / SWAP ranges — which the interpreter handles numerically and which
+/// have no enum variant — are still attributed, and undefined bytes land in
+/// [`OpClass::Other`] rather than being dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// ADD..SIGNEXTEND (0x01–0x0B).
+    Arithmetic,
+    /// LT..SAR comparisons and bitwise ops (0x10–0x1A).
+    Compare,
+    /// KECCAK256 (0x20).
+    Keccak,
+    /// Caller/call-data/code/balance environment reads (0x30–0x3C).
+    Environment,
+    /// Block header accessors (0x41–0x45).
+    Block,
+    /// Stack and memory shuffling: POP/MLOAD/MSTORE(8), PC/MSIZE/GAS/
+    /// JUMPDEST, and the PUSH/DUP/SWAP ranges (0x50–0x53, 0x58–0x5B,
+    /// 0x60–0x9F).
+    StackMem,
+    /// SLOAD/SSTORE (0x54–0x55).
+    Storage,
+    /// STOP, JUMP/JUMPI, RETURN (0x00, 0x56–0x57, 0xF3).
+    ControlFlow,
+    /// LOG0..LOG4 (0xA0–0xA4).
+    Logging,
+    /// CREATE and the call family plus SELFDESTRUCT (0xF0–0xF2, 0xF4, 0xFF).
+    CallCreate,
+    /// Anything not covered above (undefined / invalid bytes).
+    Other,
+}
+
+impl OpClass {
+    /// Every class, in the order used for counters and reports.
+    pub const ALL: [OpClass; 11] = [
+        OpClass::Arithmetic,
+        OpClass::Compare,
+        OpClass::Keccak,
+        OpClass::Environment,
+        OpClass::Block,
+        OpClass::StackMem,
+        OpClass::Storage,
+        OpClass::ControlFlow,
+        OpClass::Logging,
+        OpClass::CallCreate,
+        OpClass::Other,
+    ];
+
+    /// Stable lowercase name (used as the metric-name suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Arithmetic => "arithmetic",
+            OpClass::Compare => "compare",
+            OpClass::Keccak => "keccak",
+            OpClass::Environment => "environment",
+            OpClass::Block => "block",
+            OpClass::StackMem => "stack_mem",
+            OpClass::Storage => "storage",
+            OpClass::ControlFlow => "control_flow",
+            OpClass::Logging => "logging",
+            OpClass::CallCreate => "call_create",
+            OpClass::Other => "other",
+        }
+    }
+
+    /// Index into [`OpClass::ALL`] (and the telemetry counter table).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Classifies a raw code byte.
+    #[inline]
+    pub fn classify(byte: u8) -> OpClass {
+        match byte {
+            0x00 | 0x56 | 0x57 | 0xF3 => OpClass::ControlFlow,
+            0x01..=0x0B => OpClass::Arithmetic,
+            0x10..=0x1A => OpClass::Compare,
+            0x20 => OpClass::Keccak,
+            0x30..=0x3C => OpClass::Environment,
+            0x41..=0x45 => OpClass::Block,
+            0x50..=0x53 | 0x58..=0x5B | 0x60..=0x9F => OpClass::StackMem,
+            0x54 | 0x55 => OpClass::Storage,
+            0xA0..=0xA4 => OpClass::Logging,
+            0xF0..=0xF2 | 0xF4 | 0xFF => OpClass::CallCreate,
+            _ => OpClass::Other,
+        }
+    }
+}
+
 /// A tiny bytecode assembler used by tests, examples and the scenario
 /// generators to author contracts (the DAO-style splitter, ping-pong callers,
 /// storage churners) without hand-writing hex.
@@ -280,5 +372,47 @@ mod tests {
         let code = Assembler::new().push_address(addr).build();
         assert_eq!(code[0], 0x73); // PUSH20
         assert_eq!(&code[1..], addr.as_bytes());
+    }
+
+    #[test]
+    fn classify_covers_defined_opcodes_sensibly() {
+        // Every structured opcode must land somewhere other than Other.
+        for b in 0u8..=255 {
+            if Opcode::from_byte(b).is_some() {
+                assert_ne!(
+                    OpClass::classify(b),
+                    OpClass::Other,
+                    "defined opcode {b:#04x} classified as Other"
+                );
+            }
+        }
+        // Spot checks across the partition.
+        assert_eq!(OpClass::classify(Opcode::Add as u8), OpClass::Arithmetic);
+        assert_eq!(OpClass::classify(Opcode::Lt as u8), OpClass::Compare);
+        assert_eq!(OpClass::classify(Opcode::Sha3 as u8), OpClass::Keccak);
+        assert_eq!(
+            OpClass::classify(Opcode::Caller as u8),
+            OpClass::Environment
+        );
+        assert_eq!(OpClass::classify(Opcode::Number as u8), OpClass::Block);
+        assert_eq!(OpClass::classify(0x60), OpClass::StackMem); // PUSH1
+        assert_eq!(OpClass::classify(0x8F), OpClass::StackMem); // DUP16
+        assert_eq!(OpClass::classify(Opcode::SStore as u8), OpClass::Storage);
+        assert_eq!(OpClass::classify(Opcode::Jump as u8), OpClass::ControlFlow);
+        assert_eq!(
+            OpClass::classify(Opcode::Return as u8),
+            OpClass::ControlFlow
+        );
+        assert_eq!(OpClass::classify(Opcode::Log0 as u8), OpClass::Logging);
+        assert_eq!(OpClass::classify(Opcode::Call as u8), OpClass::CallCreate);
+        assert_eq!(OpClass::classify(0xFE), OpClass::Other); // INVALID
+    }
+
+    #[test]
+    fn opclass_index_matches_all_order() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.name().is_empty());
+        }
     }
 }

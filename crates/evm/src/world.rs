@@ -163,11 +163,11 @@ impl WorldState {
     }
 
     fn touch(&mut self, addr: Address) -> &mut Account {
-        if !self.accounts.contains_key(&addr) {
-            self.accounts.insert(addr, Account::default());
-            self.journal.push_back(Undo::Created(addr));
-        }
-        self.accounts.get_mut(&addr).expect("just inserted")
+        let journal = &mut self.journal;
+        self.accounts.entry(addr).or_insert_with(|| {
+            journal.push_back(Undo::Created(addr));
+            Account::default()
+        })
     }
 
     /// Sets the balance of `addr`, journaling the old value.

@@ -12,7 +12,9 @@ pub mod calibration;
 pub mod process;
 pub mod rational;
 
-pub use calibration::{calibrated_pair, etc_usd, eth_usd, PriceSeries, CALIBRATED_DAYS, PAIR_CORRELATION};
+pub use calibration::{
+    calibrated_pair, etc_usd, eth_usd, PriceSeries, CALIBRATED_DAYS, PAIR_CORRELATION,
+};
 pub use process::{correlated_pair, sample_series, standard_normal, Jump, JumpDiffusion};
 pub use rational::{HashpowerAllocator, HashpowerSplit, TotalHashpowerPath};
 

@@ -75,6 +75,9 @@ impl JumpDiffusion {
     }
 }
 
+/// A daily price series: one `(time, price)` sample per simulated day.
+pub type DailySeries = Vec<(SimTime, f64)>;
+
 /// Generates two daily price series driven by a **common market factor**:
 /// each day's log-return shock is `√ρ·z_market + √(1−ρ)·z_own`, giving the
 /// pair correlation `ρ`. Crypto assets co-move strongly — this is part of
@@ -87,7 +90,7 @@ pub fn correlated_pair<R: Rng>(
     days: usize,
     rho: f64,
     rng: &mut R,
-) -> (Vec<(SimTime, f64)>, Vec<(SimTime, f64)>) {
+) -> (DailySeries, DailySeries) {
     let rho = rho.clamp(0.0, 1.0);
     let (w_m, w_i) = (rho.sqrt(), (1.0 - rho).sqrt());
     let mut out_a = Vec::with_capacity(days);
@@ -184,8 +187,18 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let p = JumpDiffusion::new(0.001, 0.08);
-        let a = p.series(10.0, SimTime::from_unix(0), 50, &mut StdRng::seed_from_u64(7));
-        let b = p.series(10.0, SimTime::from_unix(0), 50, &mut StdRng::seed_from_u64(7));
+        let a = p.series(
+            10.0,
+            SimTime::from_unix(0),
+            50,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = p.series(
+            10.0,
+            SimTime::from_unix(0),
+            50,
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(a, b);
     }
 

@@ -73,7 +73,8 @@ impl HashpowerAllocator {
         let target = self.rational_target(eth_usd, etc_usd);
         let rate = self.adjustment_rate.clamp(0.0, 1.0);
         HashpowerSplit {
-            eth_fraction: current.eth_fraction + rate * (target.eth_fraction - current.eth_fraction),
+            eth_fraction: current.eth_fraction
+                + rate * (target.eth_fraction - current.eth_fraction),
         }
     }
 }
@@ -214,6 +215,9 @@ mod tests {
     #[test]
     fn hashpower_growth_compounds() {
         let p = TotalHashpowerPath::default();
-        assert!(p.at_day(250) > p.at_day(0) * 2.0, "ETH's mining power 'increased tremendously'");
+        assert!(
+            p.at_day(250) > p.at_day(0) * 2.0,
+            "ETH's mining power 'increased tremendously'"
+        );
     }
 }

@@ -15,6 +15,7 @@ pub const CHECKSUM_LEN: usize = 4;
 
 /// Wraps a payload with its checksum.
 pub fn seal_frame(payload: &[u8]) -> Vec<u8> {
+    crate::telemetry::record_seal();
     let digest = keccak256(payload);
     let mut out = Vec::with_capacity(payload.len() + CHECKSUM_LEN);
     out.extend_from_slice(&digest.0[..CHECKSUM_LEN]);
@@ -26,13 +27,16 @@ pub fn seal_frame(payload: &[u8]) -> Vec<u8> {
 /// frames.
 pub fn open_frame(frame: &[u8]) -> Option<&[u8]> {
     if frame.len() < CHECKSUM_LEN {
+        crate::telemetry::record_open(false);
         return None;
     }
     let (checksum, payload) = frame.split_at(CHECKSUM_LEN);
     let digest = keccak256(payload);
     if &digest.0[..CHECKSUM_LEN] == checksum {
+        crate::telemetry::record_open(true);
         Some(payload)
     } else {
+        crate::telemetry::record_open(false);
         None
     }
 }

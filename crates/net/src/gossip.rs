@@ -39,8 +39,10 @@ impl<T: Eq + Hash> SeenFilter<T> {
     /// Inserts; returns `true` if the item was NOT seen before (i.e. fresh).
     pub fn insert(&mut self, item: T) -> bool {
         if self.contains(&item) {
+            crate::telemetry::record_seen_lookup(false);
             return false;
         }
+        crate::telemetry::record_seen_lookup(true);
         if self.current.len() >= self.capacity {
             self.previous = std::mem::take(&mut self.current);
         }
@@ -105,6 +107,7 @@ pub fn plan_block_relay<R: Rng>(
     eligible.shuffle(rng);
     let n_full = (eligible.len() as f64).sqrt().ceil() as usize;
     let announce = eligible.split_off(n_full.min(eligible.len()));
+    crate::telemetry::record_relay_plan(eligible.len(), announce.len());
     BlockRelayPlan {
         full_block: eligible,
         announce,

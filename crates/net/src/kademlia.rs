@@ -236,8 +236,7 @@ mod tests {
             .iter()
             .map(|me| {
                 let mut t = RoutingTable::new(*me);
-                let mut others: Vec<NodeId> =
-                    ids.iter().filter(|o| *o != me).copied().collect();
+                let mut others: Vec<NodeId> = ids.iter().filter(|o| *o != me).copied().collect();
                 others.sort_by_key(|o| o.distance(me));
                 for o in others.into_iter().take(8) {
                     t.insert(o);
@@ -247,12 +246,7 @@ mod tests {
             .collect();
 
         let target = ids[60];
-        let found = iterative_lookup(
-            &target,
-            &[ids[0]],
-            |q| tables[q].nearest(&target, 8),
-            8,
-        );
+        let found = iterative_lookup(&target, &[ids[0]], |q| tables[q].nearest(&target, 8), 8);
         assert!(!found.is_empty());
         // The lookup's best result must be closer to the target than the
         // starting seed was (strict progress through the overlay).

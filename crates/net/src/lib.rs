@@ -19,6 +19,7 @@ pub mod kademlia;
 pub mod link;
 pub mod message;
 pub mod node_id;
+pub mod telemetry;
 pub mod topology;
 
 pub use frame::{open_frame, seal_frame};

@@ -14,6 +14,11 @@ use fork_rlp::{expect_fields, RlpError, RlpStream};
 pub const PROTOCOL_VERSION: u32 = 63;
 
 /// A peer-to-peer message.
+///
+/// Variants differ widely in size (a full `Block` vs a ping), but messages
+/// are moved once into the event queue and consumed; boxing the block-bearing
+/// variants would add an allocation on the gossip hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// The handshake: protocol compatibility data exchanged on connect.
@@ -360,7 +365,10 @@ mod tests {
             },
             Message::NewBlockHashes(vec![H256([1; 32]), H256([2; 32])]),
             Message::Transactions(block.transactions.clone()),
-            Message::GetBlockHeaders { start: 5, count: 10 },
+            Message::GetBlockHeaders {
+                start: 5,
+                count: 10,
+            },
             Message::BlockHeaders(vec![block.header.clone()]),
             Message::GetBlockBodies(vec![block.hash()]),
             Message::BlockBodies(vec![block]),

@@ -125,10 +125,8 @@ impl Topology {
 
 /// Builds a topology over `ids` using Kademlia lookups plus random dials.
 pub fn build_topology<R: Rng>(ids: &[NodeId], config: TopologyConfig, rng: &mut R) -> Topology {
-    let mut tables: HashMap<NodeId, RoutingTable> = ids
-        .iter()
-        .map(|id| (*id, RoutingTable::new(*id)))
-        .collect();
+    let mut tables: HashMap<NodeId, RoutingTable> =
+        ids.iter().map(|id| (*id, RoutingTable::new(*id))).collect();
 
     // Bootstrap: everyone learns a few random contacts.
     for id in ids {
@@ -245,8 +243,16 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let ids = ids(40);
-        let a = build_topology(&ids, TopologyConfig::default(), &mut StdRng::seed_from_u64(7));
-        let b = build_topology(&ids, TopologyConfig::default(), &mut StdRng::seed_from_u64(7));
+        let a = build_topology(
+            &ids,
+            TopologyConfig::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = build_topology(
+            &ids,
+            TopologyConfig::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(a.adjacency, b.adjacency);
     }
 

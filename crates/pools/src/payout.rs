@@ -197,7 +197,11 @@ mod tests {
         ledger.submit(a(1), 100); // old
         ledger.submit(a(2), 10);
         ledger.submit(a(3), 10);
-        let out = distribute(PayoutScheme::Pplns { window: 2 }, U256::from_u64(100), &ledger);
+        let out = distribute(
+            PayoutScheme::Pplns { window: 2 },
+            U256::from_u64(100),
+            &ledger,
+        );
         assert!(!out.contains_key(&a(1)), "old share outside window");
         assert_eq!(out[&a(2)], U256::from_u64(50));
         assert_eq!(out[&a(3)], U256::from_u64(50));

@@ -23,7 +23,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// should left-pad before calling.
 pub fn decode(s: &str) -> Result<Vec<u8>, PrimitiveError> {
     let s = s.strip_prefix("0x").unwrap_or(s);
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(PrimitiveError::OddHexLength { len: s.len() });
     }
     let bytes = s.as_bytes();

@@ -111,10 +111,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (a, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (b, c2) = a.overflowing_add(carry as u64);
-            out[i] = b;
+            *limb = b;
             carry = c1 | c2;
         }
         (U256(out), carry)
@@ -124,10 +124,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (a, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (b, b2) = a.overflowing_sub(borrow as u64);
-            out[i] = b;
+            *limb = b;
             borrow = b1 | b2;
         }
         (U256(out), borrow)
@@ -253,7 +253,7 @@ impl U256 {
                 remainder.0[0] |= 1;
             }
             if remainder >= divisor {
-                remainder = remainder - divisor;
+                remainder -= divisor;
                 quotient.0[(i / 64) as usize] |= 1 << (i % 64);
             }
         }
@@ -575,10 +575,10 @@ impl Shr<u32> for U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..(4 - limb_shift) {
-            out[i] = self.0[i + limb_shift] >> bit_shift;
+        for (i, limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
+            *limb = self.0[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
-                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                *limb |= self.0[i + limb_shift + 1] << (64 - bit_shift);
             }
         }
         U256(out)
@@ -876,7 +876,7 @@ mod tests {
         let mut expect = U256::ONE;
         for e in 0..20u64 {
             assert_eq!(b.wrapping_pow(e), expect);
-            expect = expect * b;
+            expect *= b;
         }
     }
 
@@ -974,11 +974,7 @@ mod tests {
             for b in [0u64, 3, 13, 1 << 30] {
                 for m in [1u64, 2, 97, 1 << 16] {
                     let expect = ((a as u128 * b as u128) % m as u128) as u64;
-                    assert_eq!(
-                        u(a).mulmod(u(b), u(m)),
-                        u(expect),
-                        "{a} * {b} mod {m}"
-                    );
+                    assert_eq!(u(a).mulmod(u(b), u(m)), u(expect), "{a} * {b} mod {m}");
                 }
             }
         }

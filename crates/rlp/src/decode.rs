@@ -223,10 +223,7 @@ mod tests {
     #[test]
     fn truncated_input_rejected() {
         let enc = encode_bytes(b"longer string here");
-        assert_eq!(
-            decode(&enc[..enc.len() - 1]),
-            Err(RlpError::UnexpectedEof)
-        );
+        assert_eq!(decode(&enc[..enc.len() - 1]), Err(RlpError::UnexpectedEof));
         assert_eq!(decode(&[]), Err(RlpError::UnexpectedEof));
     }
 
@@ -271,7 +268,10 @@ mod tests {
         let mut s = RlpStream::new();
         s.append_bytes(&[0xFF; 9]);
         let enc = s.into_bytes();
-        assert_eq!(decode(&enc).unwrap().as_u64(), Err(RlpError::IntegerOverflow));
+        assert_eq!(
+            decode(&enc).unwrap().as_u64(),
+            Err(RlpError::IntegerOverflow)
+        );
     }
 
     #[test]

@@ -194,10 +194,7 @@ mod tests {
             s.finish_list(c2);
             s.finish_list(c);
         });
-        assert_eq!(
-            enc,
-            vec![0xC7, 0xC0, 0xC1, 0xC0, 0xC3, 0xC0, 0xC1, 0xC0]
-        );
+        assert_eq!(enc, vec![0xC7, 0xC0, 0xC1, 0xC0, 0xC3, 0xC0, 0xC1, 0xC0]);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod workload;
 
 pub use meso::{MesoConfig, NetworkParams, RunSummary, TwoChainEngine};
 pub use micro::{MicroConfig, MicroNet, MicroReport};
-pub use observer::{CountingSink, LedgerSink, NullSink, TeeSink};
+pub use observer::{CountingSink, LedgerSink, MeteredSink, NullSink, TeeSink};
 pub use resolved::{ResolvedForkConfig, ResolvedForkOutcome};
 pub use rng::SimRng;
 pub use schedule::StepSeries;

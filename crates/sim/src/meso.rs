@@ -14,14 +14,16 @@
 //! ecosystem drifts daily (Figure 5).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use fork_analytics::{BlockRecord, TxRecord};
 use fork_chain::transaction::PooledTx;
 use fork_chain::{Block, ChainSpec, ChainStore, FinalizedBlock, GenesisBuilder, Transaction};
 use fork_evm::contracts as evm_contracts;
 use fork_pools::PoolSet;
-use fork_primitives::{Address, H256, SimTime, U256};
+use fork_primitives::{Address, SimTime, H256, U256};
 use fork_replay::Side;
+use fork_telemetry::{MetricsRegistry, SpanStats};
 use rand::Rng;
 
 use crate::observer::LedgerSink;
@@ -126,6 +128,35 @@ impl NetSim {
     }
 }
 
+/// Cached span handles for the engine's step phases (cached so the hot loop
+/// never touches the registry's lock).
+#[derive(Clone)]
+struct StepSpans {
+    step: Arc<SpanStats>,
+    sample: Arc<SpanStats>,
+    generate: Arc<SpanStats>,
+    mine: Arc<SpanStats>,
+    mempool: Arc<SpanStats>,
+    replay: Arc<SpanStats>,
+    pools: Arc<SpanStats>,
+    emit: Arc<SpanStats>,
+}
+
+impl StepSpans {
+    fn new(registry: &MetricsRegistry) -> Self {
+        StepSpans {
+            step: registry.span("meso.step"),
+            sample: registry.span("meso.sample"),
+            generate: registry.span("meso.step.generate"),
+            mine: registry.span("meso.step.mine"),
+            mempool: registry.span("meso.step.mempool"),
+            replay: registry.span("meso.step.replay"),
+            pools: registry.span("meso.step.pools"),
+            emit: registry.span("meso.step.emit"),
+        }
+    }
+}
+
 /// The engine.
 pub struct TwoChainEngine {
     nets: [NetSim; 2],
@@ -137,10 +168,11 @@ pub struct TwoChainEngine {
     rng_pools: SimRng,
     end: SimTime,
     summary: RunSummary,
-    /// Section timings (secs): sample, generate, mine, mempool, replay,
-    /// pools, emit. Printed at the end of `run` when `FORK_MESO_PROF` is
-    /// set.
-    prof: [f64; 7],
+    /// Every metric this run produces: the per-phase spans below, plus the
+    /// two stores' import counters/timings. A table is printed at the end of
+    /// `run` when `FORK_MESO_PROF` is set.
+    telemetry: Arc<MetricsRegistry>,
+    spans: StepSpans,
 }
 
 impl TwoChainEngine {
@@ -174,8 +206,13 @@ impl TwoChainEngine {
         }
         let (genesis_block, genesis_state) = genesis.build();
 
+        let telemetry = Arc::new(MetricsRegistry::new());
         let mk_net = |side: Side, params: &NetworkParams| -> NetSim {
             let eip155_block = params.spec.eip155.map(|(b, _)| b);
+            let prefix = match side {
+                Side::Eth => "chain.eth",
+                Side::Etc => "chain.etc",
+            };
             NetSim {
                 side,
                 store: ChainStore::new(
@@ -183,7 +220,8 @@ impl TwoChainEngine {
                     genesis_block.clone(),
                     genesis_state.clone(),
                 )
-                .with_retention(config.retention),
+                .with_retention(config.retention)
+                .with_telemetry(&telemetry, prefix),
                 pools: params.pools.clone(),
                 pool_churn: params.pool_churn_per_day,
                 workload: params.workload.clone(),
@@ -215,7 +253,8 @@ impl TwoChainEngine {
             rng_pools: root.fork("pools"),
             end: config.end,
             summary: RunSummary::default(),
-            prof: [0.0; 7],
+            spans: StepSpans::new(&telemetry),
+            telemetry,
         };
         let t0 = config.start.as_unix() as f64;
         for i in 0..2 {
@@ -269,23 +308,13 @@ impl TwoChainEngine {
                 break;
             }
             self.step_network(i, t, sink);
-            let s = std::time::Instant::now();
+            let span = self.spans.sample.enter();
             let next = self.sample_next_block(i, t);
-            self.prof[0] += s.elapsed().as_secs_f64();
+            drop(span);
             self.nets[i].next_block_at = next;
         }
         if std::env::var_os("FORK_MESO_PROF").is_some() {
-            eprintln!(
-                "meso prof (s): sample={:.2} generate={:.2} mine={:.2} mempool={:.2} \
-                 replay={:.2} pools={:.2} emit={:.2}",
-                self.prof[0],
-                self.prof[1],
-                self.prof[2],
-                self.prof[3],
-                self.prof[4],
-                self.prof[5],
-                self.prof[6]
-            );
+            eprint!("{}", self.telemetry.snapshot().render_table());
         }
         // Flush both windows so analytics sees the complete ledgers —
         // including the head block, which the store must keep.
@@ -296,8 +325,7 @@ impl TwoChainEngine {
             }
             let head_hash = self.nets[i].store.head_hash();
             if let Some(head) = self.nets[i].store.block(head_hash).cloned() {
-                let receipts = self
-                    .nets[i]
+                let receipts = self.nets[i]
                     .store
                     .canonical_receipts(head.header.number)
                     .map(<[fork_chain::Receipt]>::to_vec)
@@ -322,9 +350,13 @@ impl TwoChainEngine {
     fn step_network(&mut self, i: usize, t: f64, sink: &mut impl LedgerSink) {
         let t_sim = SimTime::from_unix(t as u64);
         let side = self.nets[i].side;
+        // Phase guards hold only a start time (the stats Arc lives on a
+        // thread-local stack), so they don't borrow `self`; the phase spans
+        // nest inside the step span, which reports their sum as child time.
+        let _step = self.spans.step.enter();
 
         // 1. Transactions that arrived since this side's last generation.
-        let s = std::time::Instant::now();
+        let s = self.spans.generate.enter();
         let eip155_active = self.nets[i].eip155_active();
         let from = self.nets[i].last_txgen;
         let workload = self.nets[i].workload.clone();
@@ -340,12 +372,12 @@ impl TwoChainEngine {
         for tx in new_txs {
             self.nets[i].push_mempool(tx.into());
         }
-        self.prof[1] += s.elapsed().as_secs_f64();
+        drop(s);
 
         // 2. Mine: pool winner + single-execution propose-and-commit (the
         //    miner does not re-validate its own block; equivalence with
         //    propose+import is locked by a chain-crate test).
-        let s = std::time::Instant::now();
+        let s = self.spans.mine.enter();
         let beneficiary = self.nets[i].pools.sample_winner(&mut self.rng_pools);
         let mempool = std::mem::take(&mut self.nets[i].mempool);
         let (block, finalized) = self.nets[i].store.propose_and_commit_pooled(
@@ -356,10 +388,10 @@ impl TwoChainEngine {
         );
         self.summary.blocks[i] += 1;
         self.summary.txs[i] += block.transactions.len() as u64;
-        self.prof[2] += s.elapsed().as_secs_f64();
+        drop(s);
 
         // 3. Mempool upkeep: drop included transactions, keep the rest.
-        let s = std::time::Instant::now();
+        let s = self.spans.mempool.enter();
         let included: HashSet<H256> = block.transactions.iter().map(Transaction::hash).collect();
         for h in &included {
             self.nets[i].mempool_hashes.remove(h);
@@ -375,11 +407,11 @@ impl TwoChainEngine {
         if self.nets[i].blocks_since_cleanup >= 200 {
             self.cleanup_mempool(i);
         }
-        self.prof[3] += s.elapsed().as_secs_f64();
+        drop(s);
 
         // 4. The echo channel: included legacy transactions may be lifted
         //    into the other chain's mempool verbatim.
-        let s = std::time::Instant::now();
+        let s = self.spans.replay.enter();
         let eagerness = self.replay_eagerness.at(t_sim).clamp(0.0, 1.0);
         if eagerness > 0.0 {
             let other = 1 - i;
@@ -392,10 +424,10 @@ impl TwoChainEngine {
                 }
             }
         }
-        self.prof[4] += s.elapsed().as_secs_f64();
+        drop(s);
 
         // 5. Daily pool-ecosystem drift.
-        let s = std::time::Instant::now();
+        let s = self.spans.pools.enter();
         let day = t_sim.day_bucket();
         while self.nets[i].last_pool_day < day {
             self.nets[i].last_pool_day += 1;
@@ -404,14 +436,14 @@ impl TwoChainEngine {
                 .pools
                 .step_preferential(churn, &mut self.rng_pools);
         }
-        self.prof[5] += s.elapsed().as_secs_f64();
+        drop(s);
 
         // 6. Stream finalized blocks to the sink.
-        let s = std::time::Instant::now();
+        let s = self.spans.emit.enter();
         for f in finalized {
             self.emit(i, f, sink);
         }
-        self.prof[6] += s.elapsed().as_secs_f64();
+        drop(s);
     }
 
     /// Evicts mempool transactions that can never apply (nonce already used
@@ -431,21 +463,22 @@ impl TwoChainEngine {
             // Wedged entries (waiting on a predecessor that will never
             // come — broken replay chains) age out after a few epochs.
             let aged_out = epoch.saturating_sub(born) >= 3;
-            let stale = aged_out || match entry.sender {
-                Some(sender) => {
-                    let state = self.nets[i].store.state();
-                    let used = tx.nonce < state.nonce(sender);
-                    // A next-in-line transaction the sender can no longer
-                    // fund wedges the account's whole queue — evict it too.
-                    let upfront = U256::from_u64(tx.gas_limit)
-                        .saturating_mul(tx.gas_price)
-                        .saturating_add(tx.value);
-                    let unfundable =
-                        tx.nonce == state.nonce(sender) && state.balance(sender) < upfront;
-                    used || unfundable
-                }
-                None => true,
-            };
+            let stale = aged_out
+                || match entry.sender {
+                    Some(sender) => {
+                        let state = self.nets[i].store.state();
+                        let used = tx.nonce < state.nonce(sender);
+                        // A next-in-line transaction the sender can no longer
+                        // fund wedges the account's whole queue — evict it too.
+                        let upfront = U256::from_u64(tx.gas_limit)
+                            .saturating_mul(tx.gas_price)
+                            .saturating_add(tx.value);
+                        let unfundable =
+                            tx.nonce == state.nonce(sender) && state.balance(sender) < upfront;
+                        used || unfundable
+                    }
+                    None => true,
+                };
             if stale {
                 self.nets[i].mempool_hashes.remove(&entry.hash);
                 if let Some(sender) = entry.sender {
@@ -483,7 +516,10 @@ impl TwoChainEngine {
         for tx in &f.block.transactions {
             let is_contract = tx.to.is_none()
                 || !tx.data.is_empty()
-                || tx.to.map(|a| self.population.is_contract(&a)).unwrap_or(false);
+                || tx
+                    .to
+                    .map(|a| self.population.is_contract(&a))
+                    .unwrap_or(false);
             sink.tx(TxRecord {
                 network: side,
                 hash: tx.hash(),
@@ -522,6 +558,13 @@ impl TwoChainEngine {
     /// The produced block / included tx counters so far.
     pub fn summary(&self) -> &RunSummary {
         &self.summary
+    }
+
+    /// The engine's metrics registry: per-phase step spans plus both stores'
+    /// import counters and timings. Empty when the `telemetry` feature is
+    /// off.
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.telemetry
     }
 
     /// Demonstrates the partition at the chain-rule level: a block proposed
@@ -651,7 +694,10 @@ mod tests {
         // under exponential block times is ~14.4 s (E[σ] = 0 at
         // 10/ln 2 s), so difficulty settles near 14.4k.
         let d_eth = summary.final_difficulty[0].to_f64_lossy();
-        assert!((10_000.0..22_000.0).contains(&d_eth), "ETH difficulty {d_eth}");
+        assert!(
+            (10_000.0..22_000.0).contains(&d_eth),
+            "ETH difficulty {d_eth}"
+        );
         // ETC: 100 H/s, starting 10x over-difficult; after 12 h it is still
         // gliding down toward ~1.4k but must be well below ETH.
         let d_etc = summary.final_difficulty[1].to_f64_lossy();

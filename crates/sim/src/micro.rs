@@ -20,7 +20,7 @@ use fork_net::{
     plan_block_relay, FaultPlan, GossipState, LatencyModel, Link, Message, NodeId, Status,
     Topology, TopologyConfig, PROTOCOL_VERSION,
 };
-use fork_primitives::{Address, H256, SimTime, U256};
+use fork_primitives::{Address, SimTime, H256, U256};
 
 use crate::rng::SimRng;
 
@@ -143,9 +143,18 @@ struct Node {
 
 #[derive(Debug)]
 enum EventKind {
-    BlockFound { node: usize, epoch: u64 },
-    Deliver { from: usize, to: usize, bytes: Vec<u8> },
-    NodeJoins { node: usize },
+    BlockFound {
+        node: usize,
+        epoch: u64,
+    },
+    Deliver {
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+    },
+    NodeJoins {
+        node: usize,
+    },
 }
 
 struct Event {
@@ -290,37 +299,15 @@ impl MicroNet {
         }
         self.nodes[i].online = true;
         self.report.joined += 1;
-        // Find a compatible online peer to bootstrap from: same genesis and
-        // (when both sides have one) the same fork-height block.
-        let my_status = self.status_of(i);
+        // Find a compatible online peer to bootstrap from: same basic
+        // handshake fields, and its chain valid under OUR rules (its
+        // fork-height block, if it has one, must satisfy our DAO stance).
         let my_id = self.nodes[i].id;
         let peers: Vec<NodeId> = self.topology.peers(&my_id).to_vec();
         let bootstrap = peers
             .iter()
             .map(|p| self.id_index[p])
-            .find(|&j| self.nodes[j].online && {
-                let their = self.status_of(j);
-                // Also require the peer's chain to be valid under OUR rules:
-                // its fork-height block (if it has one) must satisfy our
-                // DAO stance. Compatibility via Status covers that because
-                // our own fork hash only exists after we synced — so check
-                // the peer's head under our spec's extra-data rule instead.
-                let fh = self.fork_height;
-                let marker_ok = match fh.and_then(|h| self.nodes[j].store.canonical_hash(h)) {
-                    Some(hash) => self.nodes[j]
-                        .store
-                        .block(hash)
-                        .map(|b| {
-                            self.nodes[i]
-                                .store
-                                .spec()
-                                .dao_extra_data_ok(b.header.number, &b.header.extra_data)
-                        })
-                        .unwrap_or(true),
-                    None => true,
-                };
-                my_status.compatible_with(&their) && marker_ok
-            });
+            .find(|&j| self.nodes[j].online && self.handshake_compatible(i, j));
         if let Some(j) = bootstrap {
             let own_spec = self.nodes[i].store.spec().clone();
             let mut synced = self.nodes[j].store.clone();
@@ -359,7 +346,10 @@ impl MicroNet {
         let mean_secs = d.to_f64_lossy() / node.hashrate;
         let dt_ms = (self.rng.exp(mean_secs) * 1_000.0) as u64;
         let epoch = self.nodes[i].epoch;
-        self.push_event(self.now_ms + dt_ms.max(1), EventKind::BlockFound { node: i, epoch });
+        self.push_event(
+            self.now_ms + dt_ms.max(1),
+            EventKind::BlockFound { node: i, epoch },
+        );
     }
 
     /// The node's current handshake status.
@@ -371,21 +361,56 @@ impl MicroNet {
             total_difficulty: node.store.head_total_difficulty(),
             head_hash: node.store.head_hash(),
             genesis_hash: node.genesis_hash,
-            fork_block_hash: self
-                .fork_height
-                .and_then(|h| node.store.canonical_hash(h)),
+            fork_block_hash: self.fork_height.and_then(|h| node.store.canonical_hash(h)),
         }
+    }
+
+    /// Whether peers `i` and `j` would keep their connection through a
+    /// handshake: basic `Status` fields must match, and each side's
+    /// fork-height block (once it has one) must be acceptable under the
+    /// *other's* DAO stance. The stance check deliberately does NOT compare
+    /// fork-block hashes directly — a transient same-rules fork at the fork
+    /// height is an ordinary chain race to be resolved by difficulty, not a
+    /// partition; hash comparison would freeze it permanently. This mirrors
+    /// the DAO challenge real clients shipped: fetch the peer's header at
+    /// 1,920,000 and validate its extra-data under local rules.
+    fn handshake_compatible(&self, i: usize, j: usize) -> bool {
+        let (a, b) = (self.status_of(i), self.status_of(j));
+        if a.protocol_version != b.protocol_version
+            || a.network_id != b.network_id
+            || a.genesis_hash != b.genesis_hash
+        {
+            return false;
+        }
+        let Some(fh) = self.fork_height else {
+            return true;
+        };
+        let stance_ok = |local: usize, remote: usize| -> bool {
+            match self.nodes[remote]
+                .store
+                .canonical_hash(fh)
+                .and_then(|h| self.nodes[remote].store.block(h))
+            {
+                Some(blk) => self.nodes[local]
+                    .store
+                    .spec()
+                    .dao_extra_data_ok(blk.header.number, &blk.header.extra_data),
+                // Peer has not reached the fork height (or pruned past it):
+                // it cannot be told apart yet.
+                None => true,
+            }
+        };
+        stance_ok(i, j) && stance_ok(j, i)
     }
 
     /// Drops peerships whose statuses became incompatible (run after a
     /// node's head crosses the fork height).
     fn prune_incompatible_peers(&mut self, i: usize) {
-        let my_status = self.status_of(i);
         let my_id = self.nodes[i].id;
         let peers: Vec<NodeId> = self.topology.peers(&my_id).to_vec();
         for p in peers {
             let j = self.id_index[&p];
-            if !my_status.compatible_with(&self.status_of(j)) {
+            if !self.handshake_compatible(i, j) {
                 // Sever both directions.
                 let mut t = std::mem::take(&mut self.topology);
                 if let Some(adj) = t.adjacency.get_mut(&my_id) {
@@ -637,10 +662,9 @@ impl MicroNet {
                 break;
             }
             processed += 1;
-            if processed % 200_000 == 0 && std::env::var_os("FORK_MICRO_DEBUG").is_some() {
+            if processed.is_multiple_of(200_000) && std::env::var_os("FORK_MICRO_DEBUG").is_some() {
                 let orphans: usize = (0..self.nodes.len()).map(|i| self.orphan_count(i)).sum();
-                let heads: Vec<u64> =
-                    self.nodes.iter().map(|n| n.store.head_number()).collect();
+                let heads: Vec<u64> = self.nodes.iter().map(|n| n.store.head_number()).collect();
                 eprintln!(
                     "micro: {processed} events, t={}ms, queue={}, sent={:?}, orphans={orphans}, heads={heads:?}",
                     event.at_ms,
@@ -696,6 +720,48 @@ impl MicroNet {
         &self.nodes[i].store
     }
 
+    /// The run's gossip and consensus counters as a telemetry snapshot
+    /// (`micro.*` names). Built from the event loop's own counters, so it is
+    /// exact and deterministic regardless of the `telemetry` feature.
+    pub fn telemetry_snapshot(&self) -> fork_telemetry::Snapshot {
+        const TAG_NAMES: [&str; 10] = [
+            "status",
+            "new_block",
+            "new_block_hashes",
+            "transactions",
+            "get_block_headers",
+            "block_headers",
+            "get_block_bodies",
+            "block_bodies",
+            "ping",
+            "pong",
+        ];
+        let mut snap = fork_telemetry::Snapshot::default();
+        for (name, n) in TAG_NAMES.iter().zip(self.sent_by_type) {
+            if n > 0 {
+                snap.counters.insert(format!("micro.sent.{name}"), n);
+            }
+        }
+        let r = &self.report;
+        for (name, v) in [
+            ("micro.sent.total", self.sent_by_type.iter().sum()),
+            ("micro.delivered", r.delivered),
+            ("micro.corrupted_frames", r.corrupted_frames),
+            ("micro.mined", r.mined.iter().sum()),
+            ("micro.side_blocks", r.side_blocks),
+            ("micro.reorgs", r.reorgs),
+            ("micro.handshake_drops", r.handshake_drops),
+            ("micro.joined", r.joined),
+        ] {
+            if v > 0 {
+                snap.counters.insert(name.into(), v);
+            }
+        }
+        snap.gauges
+            .insert("micro.nodes".into(), self.nodes.len() as i64);
+        snap
+    }
+
     /// Number of orphan blocks a node is holding (diagnostics).
     pub fn orphan_count(&self, i: usize) -> usize {
         self.nodes[i].orphans.values().map(Vec::len).sum()
@@ -723,8 +789,21 @@ mod tests {
         let max = *report.head_numbers.iter().max().unwrap();
         let min = *report.head_numbers.iter().min().unwrap();
         assert!(max - min <= 2, "heads diverged: {min}..{max}");
-        assert_eq!(report.partition_groups.len(), 1, "{:?}", report.partition_groups);
+        assert_eq!(
+            report.partition_groups.len(),
+            1,
+            "{:?}",
+            report.partition_groups
+        );
         assert!(report.mean_propagation_ms > 0.0);
+
+        // The same run's counters surface as a telemetry snapshot.
+        let snap = net.telemetry_snapshot();
+        assert_eq!(snap.counters["micro.mined"], total_mined);
+        assert_eq!(snap.counters["micro.delivered"], report.delivered);
+        assert!(snap.counters["micro.sent.new_block"] > 0);
+        assert!(snap.counters["micro.sent.total"] > 0);
+        assert_eq!(snap.gauges["micro.nodes"], 16);
     }
 
     #[test]

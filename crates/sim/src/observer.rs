@@ -1,6 +1,10 @@
 //! Ledger sinks: where finalized blocks stream to.
 
+use std::sync::Arc;
+
 use fork_analytics::{BlockRecord, Pipeline, TxRecord};
+use fork_replay::Side;
+use fork_telemetry::{Counter, MetricsRegistry};
 
 /// Consumer of the finalized-ledger stream. The analytics [`Pipeline`] is
 /// the primary implementation; tests use [`CountingSink`].
@@ -29,21 +33,85 @@ impl LedgerSink for NullSink {
     fn tx(&mut self, _: TxRecord) {}
 }
 
-/// Counts records (tests).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct CountingSink {
-    /// Blocks seen.
+/// Wraps a sink, counting the stream flowing through it — whole-run `u64`
+/// totals in the public fields (always live, even with telemetry compiled
+/// out), plus per-side registry counters (`sink.blocks.eth`, …) when
+/// constructed with [`MeteredSink::registered`].
+#[derive(Debug, Clone)]
+pub struct MeteredSink<S> {
+    /// The wrapped sink; records pass through unchanged.
+    pub inner: S,
+    /// Blocks seen (both sides).
     pub blocks: u64,
-    /// Transactions seen.
+    /// Transactions seen (both sides).
     pub txs: u64,
+    side_blocks: [Arc<Counter>; 2],
+    side_txs: [Arc<Counter>; 2],
 }
 
-impl LedgerSink for CountingSink {
-    fn block(&mut self, _: BlockRecord) {
-        self.blocks += 1;
+/// Counts records without forwarding them anywhere (tests). The historical
+/// name for [`MeteredSink`] over a [`NullSink`].
+pub type CountingSink = MeteredSink<NullSink>;
+
+impl<S: Default> Default for MeteredSink<S> {
+    fn default() -> Self {
+        Self::detached(S::default())
     }
-    fn tx(&mut self, _: TxRecord) {
+}
+
+impl<S> MeteredSink<S> {
+    /// Meters `inner` with private (unregistered) per-side counters.
+    pub fn detached(inner: S) -> Self {
+        MeteredSink {
+            inner,
+            blocks: 0,
+            txs: 0,
+            side_blocks: [Arc::new(Counter::new()), Arc::new(Counter::new())],
+            side_txs: [Arc::new(Counter::new()), Arc::new(Counter::new())],
+        }
+    }
+
+    /// Meters `inner` into `registry` under `sink.blocks.{eth,etc}` and
+    /// `sink.txs.{eth,etc}`.
+    pub fn registered(inner: S, registry: &MetricsRegistry) -> Self {
+        MeteredSink {
+            inner,
+            blocks: 0,
+            txs: 0,
+            side_blocks: [
+                registry.counter("sink.blocks.eth"),
+                registry.counter("sink.blocks.etc"),
+            ],
+            side_txs: [
+                registry.counter("sink.txs.eth"),
+                registry.counter("sink.txs.etc"),
+            ],
+        }
+    }
+
+    /// Consumes the wrapper, returning the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn side_index(side: Side) -> usize {
+        match side {
+            Side::Eth => 0,
+            Side::Etc => 1,
+        }
+    }
+}
+
+impl<S: LedgerSink> LedgerSink for MeteredSink<S> {
+    fn block(&mut self, record: BlockRecord) {
+        self.blocks += 1;
+        self.side_blocks[Self::side_index(record.network)].incr();
+        self.inner.block(record);
+    }
+    fn tx(&mut self, record: TxRecord) {
         self.txs += 1;
+        self.side_txs[Self::side_index(record.network)].incr();
+        self.inner.tx(record);
     }
 }
 
@@ -91,7 +159,10 @@ mod tests {
         let mut a = CountingSink::default();
         let mut b = CountingSink::default();
         {
-            let mut tee = TeeSink { a: &mut a, b: &mut b };
+            let mut tee = TeeSink {
+                a: &mut a,
+                b: &mut b,
+            };
             tee.block(rec());
             tee.block(rec());
         }
@@ -104,5 +175,30 @@ mod tests {
         let mut p = Pipeline::new();
         LedgerSink::block(&mut p, rec());
         assert_eq!(p.totals(Side::Eth).0, 1);
+    }
+
+    #[test]
+    fn metered_sink_forwards_and_counts() {
+        let mut sink = MeteredSink::detached(Pipeline::new());
+        sink.block(rec());
+        sink.block(rec());
+        assert_eq!(sink.blocks, 2);
+        assert_eq!(sink.txs, 0);
+        assert_eq!(sink.inner.totals(Side::Eth).0, 2, "records pass through");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metered_sink_feeds_registry_per_side() {
+        let reg = fork_telemetry::MetricsRegistry::new();
+        let mut sink = MeteredSink::registered(NullSink, &reg);
+        sink.block(rec());
+        let mut etc = rec();
+        etc.network = Side::Etc;
+        sink.block(etc);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sink.blocks.eth"], 1);
+        assert_eq!(snap.counters["sink.blocks.etc"], 1);
+        assert_eq!(sink.blocks, 2);
     }
 }

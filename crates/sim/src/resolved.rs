@@ -109,11 +109,9 @@ pub fn run(config: &ResolvedForkConfig) -> ResolvedForkOutcome {
         let holdout_hashrate = h0 * (0.5f64).powf(t / config.upgrade_halflife_secs);
         if holdout_hashrate < config.abandon_remainder * h0 {
             let final_difficulty = store.head_header().difficulty;
-            let majority_rate =
-                config.total_hashrate * (1.0 - config.holdout_fraction);
+            let majority_rate = config.total_hashrate * (1.0 - config.holdout_fraction);
             // Majority keeps its ~equilibrium cadence (difficulty tracks it).
-            let majority_block_time =
-                config.pre_fork_difficulty.to_f64_lossy() / majority_rate;
+            let majority_block_time = config.pre_fork_difficulty.to_f64_lossy() / majority_rate;
             return ResolvedForkOutcome {
                 minority_branch_len: blocks,
                 duration_secs: t,

@@ -293,7 +293,10 @@ mod tests {
         let at_2d = s.at(start.plus_days(2));
         assert!((0.04..0.08).contains(&at_2d), "{at_2d}");
         let late = s.at(start.plus_days(20));
-        assert!((0.10..0.11).contains(&late), "~90% net loss persists: {late}");
+        assert!(
+            (0.10..0.11).contains(&late),
+            "~90% net loss persists: {late}"
+        );
     }
 
     #[test]

@@ -97,7 +97,9 @@ mod tests {
 
     #[test]
     fn step_semantics_right_continuous() {
-        let s = StepSeries::constant(1.0).then(t(100), 2.0).then(t(200), 3.0);
+        let s = StepSeries::constant(1.0)
+            .then(t(100), 2.0)
+            .then(t(200), 3.0);
         assert_eq!(s.at(t(0)), 1.0);
         assert_eq!(s.at(t(99)), 1.0);
         assert_eq!(s.at(t(100)), 2.0, "value applies from the knot");
@@ -108,7 +110,9 @@ mod tests {
 
     #[test]
     fn next_knot_lookup() {
-        let s = StepSeries::constant(1.0).then(t(100), 2.0).then(t(200), 3.0);
+        let s = StepSeries::constant(1.0)
+            .then(t(100), 2.0)
+            .then(t(200), 3.0);
         assert_eq!(s.next_knot_after(t(0)), Some(t(100)));
         assert_eq!(s.next_knot_after(t(100)), Some(t(200)));
         assert_eq!(s.next_knot_after(t(99)), Some(t(100)));

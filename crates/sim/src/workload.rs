@@ -141,7 +141,9 @@ impl UserPopulation {
             let tx = if !self.contracts.is_empty() && rng.gen_bool(contract_frac) {
                 // Contract call: a storage-churner invocation.
                 let target = self.contracts[rng.gen_range(0..self.contracts.len())];
-                let payload = U256::from_u64(rng.gen_range(1..u64::MAX)).to_be_bytes().to_vec();
+                let payload = U256::from_u64(rng.gen_range(1..u64::MAX))
+                    .to_be_bytes()
+                    .to_vec();
                 Transaction::sign(
                     &self.users[u],
                     nonce,

@@ -1,0 +1,52 @@
+//! `fork-telemetry`: a dependency-light metrics and span-timing subsystem.
+//!
+//! The paper this workspace reproduces is a measurement study; this crate is
+//! the instrument the reproduction points at itself. It provides:
+//!
+//! - [`Counter`] / [`Gauge`] — relaxed atomics, monotonic and signed;
+//! - [`Histogram`] — 65 fixed log2 buckets with a deterministic
+//!   [`HistogramSnapshot::merge`];
+//! - [`SpanStats`] / [`Span`] — scoped timers whose thread-local nesting
+//!   attributes child time to parents, yielding per-phase self/total
+//!   breakdowns;
+//! - [`MetricsRegistry`] — a name → metric map producing a plain-data
+//!   [`Snapshot`] that renders as a human table or machine-readable JSON;
+//! - [`json`] — a tiny JSON value/parser/writer module used for all exports
+//!   (always compiled, independent of the feature flag).
+//!
+//! # Feature flag
+//!
+//! Everything except [`json`] and the plain-data snapshot types sits behind
+//! the `enabled` feature (on by default). With the feature off, the same API
+//! compiles to zero-sized no-ops: counters don't touch memory, spans don't
+//! read the clock, and registries return empty snapshots. Downstream crates
+//! expose their own `telemetry` feature forwarding to
+//! `fork-telemetry/enabled` so `--no-default-features` builds prove the off
+//! path costs nothing.
+//!
+//! # Ownership model
+//!
+//! Engine-scoped metrics (simulation phases, chain stores) live in an
+//! `Arc<MetricsRegistry>` owned by the engine, which keeps runs isolated and
+//! makes determinism testable. Stateless hot paths (EVM dispatch, net
+//! framing) use crate-level `static` metrics — [`Counter::new`] and friends
+//! are `const fn` — and export via a `snapshot_into` helper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::MetricsRegistry;
+pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot, TimingMode};
+pub use span::{timed, Span, SpanStats};
+
+/// `true` when the `enabled` feature is compiled in (instrumentation live).
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}

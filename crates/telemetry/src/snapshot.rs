@@ -1,0 +1,438 @@
+//! Plain-data snapshots of metrics, with merge, table, and JSON export.
+//!
+//! These types are always compiled (no feature gate): they carry no atomics
+//! and exist so results can flow through APIs (`StudyResult`, figure tools)
+//! regardless of whether live instrumentation is on.
+
+use crate::metrics::{bucket_range, BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen state of a [`crate::Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Wrapping sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts; bucket 0 holds zeros, bucket `i` holds
+    /// values in `[2^(i-1), 2^i)`.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`. Bucket-wise addition: associative,
+    /// commutative, and total-count preserving.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Mean sample value (0.0 when empty). Approximate once `sum` wraps.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Frozen state of a [`crate::SpanStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time, including children.
+    pub total_ns: u64,
+    /// Wall time attributed to nested child spans.
+    pub child_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Wall time excluding nested children.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    /// Folds `other` into `self` (counts and times add, max takes max).
+    pub fn merge(&mut self, other: &SpanSnapshot) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.child_ns += other.child_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// How span timings appear in JSON export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingMode {
+    /// Real wall-clock nanoseconds.
+    Wall,
+    /// All nanosecond fields written as zero; span *counts* remain. Used by
+    /// determinism tests, where timings are the only nondeterministic data.
+    Zeroed,
+}
+
+/// A frozen, mergeable view of a whole registry (plus any crate-static
+/// metrics folded in via `snapshot_into` helpers).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span timings by name.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl Snapshot {
+    /// Folds `other` into `self`: counters/gauges add, histograms and spans
+    /// merge element-wise.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, s) in &other.spans {
+            self.spans.entry(name.clone()).or_default().merge(s);
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Human-readable table of every metric.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(
+                "SPANS                                    count     total      self       max\n",
+            );
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<38} {:>7} {:>9} {:>9} {:>9}",
+                    name,
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.self_ns()),
+                    fmt_ns(s.max_ns),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("COUNTERS\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<38} {v:>15}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("GAUGES\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<38} {v:>15}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(
+                "HISTOGRAMS                                 count       min      mean       max\n",
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<38} {:>7} {:>9} {:>9.1} {:>9}",
+                    name,
+                    h.count,
+                    h.min,
+                    h.mean(),
+                    h.max,
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Machine-readable JSON. Integer-exact, key-ordered (`BTreeMap`), and —
+    /// with [`TimingMode::Zeroed`] — byte-identical across identical seeded
+    /// runs.
+    pub fn to_json(&self, timing: TimingMode) -> String {
+        let mut out = String::from("{\n  \"schema\": \"fork-telemetry/v1\",\n");
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {v}", crate::json::quote(name));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {v}", crate::json::quote(name));
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"spans\": {");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let (total, child, self_ns, max) = match timing {
+                TimingMode::Wall => (s.total_ns, s.child_ns, s.self_ns(), s.max_ns),
+                TimingMode::Zeroed => (0, 0, 0, 0),
+            };
+            let _ = write!(
+                out,
+                "{sep}    {}: {{\"count\": {}, \"total_ns\": {total}, \"self_ns\": {self_ns}, \"child_ns\": {child}, \"max_ns\": {max}}}",
+                crate::json::quote(name),
+                s.count,
+            );
+        }
+        out.push_str(if self.spans.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                crate::json::quote(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+            );
+            let mut first = true;
+            for (idx, &n) in h.buckets.iter().enumerate() {
+                if n > 0 {
+                    let (lo, _) = bucket_range(idx);
+                    let _ = write!(out, "{}[{lo}, {n}]", if first { "" } else { ", " });
+                    first = false;
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{}us", ns / 1_000)
+    } else if ns < 10_000_000_000 {
+        format!("{}ms", ns / 1_000_000)
+    } else {
+        format!("{:.1}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    fn hist(samples: &[u64]) -> HistogramSnapshot {
+        let h = crate::Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn snapshot_merge_adds_and_maxes() {
+        let mut a = Snapshot::default();
+        a.counters.insert("x".into(), 2);
+        a.spans.insert(
+            "s".into(),
+            SpanSnapshot {
+                count: 1,
+                total_ns: 10,
+                child_ns: 4,
+                max_ns: 10,
+            },
+        );
+        let mut b = Snapshot::default();
+        b.counters.insert("x".into(), 3);
+        b.counters.insert("y".into(), 1);
+        b.spans.insert(
+            "s".into(),
+            SpanSnapshot {
+                count: 2,
+                total_ns: 30,
+                child_ns: 0,
+                max_ns: 25,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.counters["x"], 5);
+        assert_eq!(a.counters["y"], 1);
+        let s = &a.spans["s"];
+        assert_eq!((s.count, s.total_ns, s.max_ns), (3, 40, 25));
+        assert_eq!(s.self_ns(), 36);
+    }
+
+    #[test]
+    fn json_shape_and_zeroed_timing() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("net.frames_sealed".into(), 7);
+        snap.spans.insert(
+            "meso.mine".into(),
+            SpanSnapshot {
+                count: 5,
+                total_ns: 123,
+                child_ns: 23,
+                max_ns: 99,
+            },
+        );
+        let wall = snap.to_json(TimingMode::Wall);
+        assert!(wall.contains("\"net.frames_sealed\": 7"));
+        assert!(wall.contains("\"total_ns\": 123"));
+        let zeroed = snap.to_json(TimingMode::Zeroed);
+        assert!(zeroed.contains("\"total_ns\": 0"));
+        assert!(
+            zeroed.contains("\"count\": 5"),
+            "span counts survive zeroing"
+        );
+        let parsed = crate::json::Value::parse(&wall).expect("export parses");
+        assert_eq!(parsed["counters"]["net.frames_sealed"].as_u64(), Some(7));
+        assert_eq!(parsed["schema"].as_str(), Some("fork-telemetry/v1"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports() {
+        let snap = Snapshot::default();
+        assert!(snap.is_empty());
+        let json = snap.to_json(TimingMode::Wall);
+        assert!(crate::json::Value::parse(&json).is_ok());
+        assert_eq!(snap.render_table(), "(no metrics recorded)\n");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn histogram_merge_preserves_shape() {
+        let mut a = hist(&[1, 5, 5, 1000]);
+        let b = hist(&[0, 2, u64::MAX]);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        a.merge(&b);
+        assert_eq!(a, ba, "merge is commutative");
+        assert_eq!(a.count, 7);
+        assert_eq!(a.min, 0);
+        assert_eq!(a.max, u64::MAX);
+        assert_eq!(a.buckets.iter().sum::<u64>(), 7);
+    }
+
+    #[cfg(feature = "enabled")]
+    mod proptests {
+        use super::super::HistogramSnapshot;
+        use proptest::prelude::*;
+
+        fn hist(samples: &[u64]) -> HistogramSnapshot {
+            let h = crate::Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h.snapshot()
+        }
+
+        proptest! {
+            #[test]
+            fn merge_is_associative_commutative_count_preserving(
+                xs in proptest::collection::vec(any::<u64>(), 0..20),
+                ys in proptest::collection::vec(any::<u64>(), 0..20),
+                zs in proptest::collection::vec(any::<u64>(), 0..20),
+            ) {
+                let (a, b, c) = (hist(&xs), hist(&ys), hist(&zs));
+
+                // Commutative: a+b == b+a.
+                let mut ab = a.clone();
+                ab.merge(&b);
+                let mut ba = b.clone();
+                ba.merge(&a);
+                prop_assert_eq!(&ab, &ba);
+
+                // Associative: (a+b)+c == a+(b+c).
+                let mut ab_c = ab.clone();
+                ab_c.merge(&c);
+                let mut bc = b.clone();
+                bc.merge(&c);
+                let mut a_bc = a.clone();
+                a_bc.merge(&bc);
+                prop_assert_eq!(&ab_c, &a_bc);
+
+                // Count-preserving, in total and per bucket.
+                prop_assert_eq!(ab_c.count, (xs.len() + ys.len() + zs.len()) as u64);
+                prop_assert_eq!(ab_c.buckets.iter().sum::<u64>(), ab_c.count);
+
+                // Merging matches recording everything into one histogram.
+                let mut all = Vec::new();
+                all.extend_from_slice(&xs);
+                all.extend_from_slice(&ys);
+                all.extend_from_slice(&zs);
+                prop_assert_eq!(&ab_c, &hist(&all));
+            }
+        }
+    }
+}

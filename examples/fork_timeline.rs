@@ -40,7 +40,11 @@ fn main() {
     println!(
         "\nETC produced {:.0} blocks/hour on average during the first day \
          (target: ~257).",
-        if first_day.is_empty() { 0.0 } else { first_day.mean() }
+        if first_day.is_empty() {
+            0.0
+        } else {
+            first_day.mean()
+        }
     );
     let delta = result.pipeline.block_delta(Side::Etc);
     if let Some((_, max)) = delta.value_range() {

@@ -68,7 +68,10 @@ fn main() {
     // The two dips the paper narrates (window means beat day noise).
     let zcash_day = 100u64;
     let before = eth_hpu
-        .window(start.plus_days(zcash_day - 12), start.plus_days(zcash_day - 1))
+        .window(
+            start.plus_days(zcash_day - 12),
+            start.plus_days(zcash_day - 1),
+        )
         .mean();
     let at = eth_hpu
         .window(start.plus_days(zcash_day), start.plus_days(zcash_day + 12))

@@ -9,13 +9,13 @@
 //! concentration series, then quantifies why miners pool at all by comparing
 //! income variance under solo vs pooled mining.
 
+use rand::Rng;
 use stick_a_fork::analytics::{ascii_chart, TimeSeries};
 use stick_a_fork::pools::{
     distribute, income_coefficient_of_variation, DailyWinners, PayoutScheme, PoolSet, ShareLedger,
 };
 use stick_a_fork::primitives::{units::ether, Address, SimTime, U256};
 use stick_a_fork::sim::SimRng;
-use rand::Rng;
 
 fn main() {
     let days: u64 = std::env::args()

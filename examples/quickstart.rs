@@ -9,7 +9,7 @@
 //! a head block, and prints the paper's observation checks plus one ASCII
 //! figure.
 
-use stick_a_fork::core::{observations, full_report, ForkStudy};
+use stick_a_fork::core::{full_report, observations, ForkStudy};
 
 fn main() {
     let seed = std::env::args()

@@ -82,26 +82,26 @@ fn main() {
     world.set_balance(victim.address(), ether(1_000));
     world.set_balance(attacker.address(), ether(10));
 
-    let call = |caller: Address, to: Address, value: U256, input: Vec<u8>,
-                    world: &mut WorldState| {
-        let mut evm = Evm::new(
-            world,
-            GasSchedule::frontier(),
-            BlockContext::default(),
-            TxContext {
-                origin: caller,
-                gas_price: U256::ONE,
-            },
-        );
-        let r = evm.call(CallParams {
-            caller,
-            address: to,
-            value,
-            input,
-            gas: 8_000_000,
-        });
-        assert!(r.success, "call failed: {:?}", r.error);
-    };
+    let call =
+        |caller: Address, to: Address, value: U256, input: Vec<u8>, world: &mut WorldState| {
+            let mut evm = Evm::new(
+                world,
+                GasSchedule::frontier(),
+                BlockContext::default(),
+                TxContext {
+                    origin: caller,
+                    gas_price: U256::ONE,
+                },
+            );
+            let r = evm.call(CallParams {
+                caller,
+                address: to,
+                value,
+                input,
+                gas: 8_000_000,
+            });
+            assert!(r.success, "call failed: {:?}", r.error);
+        };
 
     // Victims crowdfund 1,000 ether into the vault.
     call(

@@ -41,6 +41,7 @@
 //! | [`replay`] | `fork-replay` | echo detection, replay protection |
 //! | [`analytics`] | `fork-analytics` | the measurement pipeline |
 //! | [`core`] | `fork-core` | `ForkStudy`, figures, observations |
+//! | [`telemetry`] | `fork-telemetry` | counters, histograms, span timers |
 
 #![forbid(unsafe_code)]
 
@@ -56,3 +57,4 @@ pub use fork_primitives as primitives;
 pub use fork_replay as replay;
 pub use fork_rlp as rlp;
 pub use fork_sim as sim;
+pub use fork_telemetry as telemetry;

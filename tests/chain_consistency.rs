@@ -53,11 +53,7 @@ fn ether_conservation_with_rewards() {
     }
 
     // Sum every account in the final state.
-    let total: U256 = store
-        .state()
-        .iter_accounts()
-        .map(|(_, a)| a.balance)
-        .sum();
+    let total: U256 = store.state().iter_accounts().map(|(_, a)| a.balance).sum();
     let expected = initial_supply + ether(5) * U256::from_u64(blocks);
     assert_eq!(total, expected, "supply = initial + block rewards");
 }
@@ -75,16 +71,7 @@ fn nonce_and_fee_accounting() {
         t += 14;
         let txs: Vec<Transaction> = users
             .iter()
-            .map(|u| {
-                Transaction::transfer(
-                    u,
-                    round,
-                    miner,
-                    U256::ONE,
-                    U256::from_u64(7),
-                    None,
-                )
-            })
+            .map(|u| Transaction::transfer(u, round, miner, U256::ONE, U256::from_u64(7), None))
             .collect();
         let block = store.propose(miner, t, vec![], &txs);
         store.import(block).unwrap();
@@ -93,8 +80,7 @@ fn nonce_and_fee_accounting() {
         assert_eq!(store.state().nonce(u.address()), 5);
     }
     // Miner: 5 rewards + 15 × (21000×7 + 1).
-    let expected = ether(5) * U256::from_u64(5)
-        + U256::from_u64(15 * (21_000 * 7 + 1));
+    let expected = ether(5) * U256::from_u64(5) + U256::from_u64(15 * (21_000 * 7 + 1));
     assert_eq!(store.state().balance(miner), expected);
 }
 

@@ -120,7 +120,10 @@ fn wire_roundtrip_preserves_verdicts() {
         total_difficulty: eth.head_total_difficulty(),
     };
     let decoded = Message::decode(&msg.encode()).unwrap();
-    let Message::NewBlock { block: wire_block, .. } = decoded else {
+    let Message::NewBlock {
+        block: wire_block, ..
+    } = decoded
+    else {
         panic!("wrong message type");
     };
     assert_eq!(wire_block.hash(), block.hash());
@@ -151,7 +154,9 @@ fn tampered_wire_block_rejected() {
         block: stolen,
         total_difficulty: U256::from_u64(1),
     };
-    let Message::NewBlock { block: wire_block, .. } = Message::decode(&msg.encode()).unwrap()
+    let Message::NewBlock {
+        block: wire_block, ..
+    } = Message::decode(&msg.encode()).unwrap()
     else {
         panic!("wrong type");
     };

@@ -44,7 +44,10 @@ fn etc_blocks_scarce_then_recovering() {
     // paper-scale run uses the real 0.5% collapse).
     let eth_total: f64 = eth_bph.points.iter().map(|(_, v)| v).sum();
     let etc_total: f64 = etc_bph.points.iter().map(|(_, v)| v).sum();
-    assert!(eth_total > 4.0 * etc_total.max(1.0), "{eth_total} vs {etc_total}");
+    assert!(
+        eth_total > 4.0 * etc_total.max(1.0),
+        "{eth_total} vs {etc_total}"
+    );
 }
 
 #[test]
@@ -78,8 +81,9 @@ fn pool_concentration_gap_at_start() {
 fn observation_report_serializes() {
     let result = ForkStudy::quick(10).run();
     let report = observations::short_term(&result);
-    let json = serde_json::to_string(&report).unwrap();
+    let json = report.to_json();
     assert!(json.contains("\"O1\""));
+    assert!(stick_a_fork::telemetry::json::Value::parse(&json).is_ok());
     let md = report.to_markdown();
     assert!(md.contains("| O1 |"));
 }

@@ -38,13 +38,23 @@ fn replay_included_on_both_chains_and_detected() {
 
     // Include on ETH.
     let t = genesis.header.timestamp;
-    let b1 = eth.propose(Address([0xAA; 20]), t + 14, vec![], &[pay.clone()]);
+    let b1 = eth.propose(
+        Address([0xAA; 20]),
+        t + 14,
+        vec![],
+        std::slice::from_ref(&pay),
+    );
     assert_eq!(b1.transactions.len(), 1);
     eth.import(b1.clone()).unwrap();
 
     // The merchant checks replayability against ETC's state, then replays.
     assert!(check_replay(&pay, etc.spec(), etc.head_number() + 1, etc.state()).is_replayable());
-    let b2 = etc.propose(Address([0xBB; 20]), t + 14, vec![], &[pay.clone()]);
+    let b2 = etc.propose(
+        Address([0xBB; 20]),
+        t + 14,
+        vec![],
+        std::slice::from_ref(&pay),
+    );
     assert_eq!(b2.transactions.len(), 1, "replay included on ETC");
     etc.import(b2.clone()).unwrap();
 
@@ -78,7 +88,12 @@ fn replay_included_on_both_chains_and_detected() {
         U256::from_u64(20),
         None,
     );
-    let b4 = eth.propose(Address([0xAA; 20]), t + 28, vec![], &[pay2.clone()]);
+    let b4 = eth.propose(
+        Address([0xAA; 20]),
+        t + 28,
+        vec![],
+        std::slice::from_ref(&pay2),
+    );
     eth.import(b4).unwrap();
     assert!(
         !check_replay(&pay2, etc.spec(), etc.head_number() + 1, etc.state()).is_replayable(),
@@ -119,11 +134,21 @@ fn eip155_transactions_cannot_cross() {
 
     let t = genesis.header.timestamp;
     // ETH includes it.
-    let b = eth.propose(Address([0xAA; 20]), t + 14, vec![], &[protected.clone()]);
+    let b = eth.propose(
+        Address([0xAA; 20]),
+        t + 14,
+        vec![],
+        std::slice::from_ref(&protected),
+    );
     assert_eq!(b.transactions.len(), 1);
     eth.import(b).unwrap();
     // ETC's producer refuses it.
-    let b = etc.propose(Address([0xBB; 20]), t + 14, vec![], &[protected.clone()]);
+    let b = etc.propose(
+        Address([0xBB; 20]),
+        t + 14,
+        vec![],
+        std::slice::from_ref(&protected),
+    );
     assert!(b.transactions.is_empty());
     // And a malicious ETC miner force-including it produces an invalid
     // block under ETC's rules.
