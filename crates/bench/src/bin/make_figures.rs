@@ -6,6 +6,7 @@
 //! cargo run --release -p fork-bench --bin make-figures -- fig2 fig3 --days 280
 //! cargo run --release -p fork-bench --bin make-figures -- resolved obs
 //! cargo run --release -p fork-bench --bin make-figures -- micro --telemetry-out telemetry.json
+//! cargo run --release -p fork-bench --bin make-figures -- chaos
 //! ```
 //!
 //! Writes `figN.csv` / `figN.json` plus `observations.md` into `--out`
@@ -71,7 +72,7 @@ fn parse_args() -> Args {
     }
     if targets.is_empty() || targets.contains("all") {
         for t in [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "obs", "resolved", "micro",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "obs", "resolved", "micro", "chaos",
         ] {
             targets.insert(t.to_string());
         }
@@ -230,6 +231,60 @@ fn main() {
             report.corrupted_frames,
             report.mean_propagation_ms,
         );
+        telemetry.merge(&net.telemetry_snapshot());
+    }
+
+    if wants("chaos") {
+        eprintln!("Running the chaos scenario (80 min, 20 nodes, fork split + faults)...");
+        let run_span = registry.span("figures.run.chaos");
+        let guard = run_span.enter();
+        let scenario = fork_sim::scenario::chaos_scenario(args.seed);
+        let end_ms = scenario.config.duration_secs * 1_000;
+        let mut net = MicroNet::new(scenario.config.clone());
+        // Step window by window with the invariant checker engaged, exactly
+        // like the chaos integration test.
+        let mut t = 0;
+        while t < end_ms {
+            t = (t + 60_000).min(end_ms);
+            net.run_until(t);
+            if let Err(v) = fork_sim::check_invariants(&net) {
+                panic!("invariant violated at t={}s: {v}", t / 1_000);
+            }
+        }
+        let report = net.finalize_report();
+        drop(guard);
+
+        let fmt_u64s = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(" ");
+        let rows: Vec<Vec<String>> = vec![
+            vec![
+                "crashes / restarts".into(),
+                format!("{} / {}", report.crashes, report.restarts),
+            ],
+            vec!["recovery times (ms)".into(), fmt_u64s(&report.recovery_ms)],
+            vec![
+                "sync timeouts / retries".into(),
+                format!("{} / {}", report.sync_timeouts, report.sync_retries),
+            ],
+            vec!["peer bans".into(), report.peer_bans.to_string()],
+            vec!["equivocations".into(), report.equivocations.to_string()],
+            vec![
+                "corrupted frames".into(),
+                report.corrupted_frames.to_string(),
+            ],
+            vec![
+                "reorgs / side blocks".into(),
+                format!("{} / {}", report.reorgs, report.side_blocks),
+            ],
+            vec![
+                "partition groups".into(),
+                format!("{:?}", report.partition_groups),
+            ],
+            vec!["head heights".into(), fmt_u64s(&report.head_numbers)],
+        ];
+        let md = fork_analytics::markdown_table(&["chaos metric", "value"], &rows);
+        println!("{md}");
+        std::fs::write(args.out.join("chaos.md"), &md).expect("write chaos");
+        println!("  -> {}\n", args.out.join("chaos.md").display());
         telemetry.merge(&net.telemetry_snapshot());
     }
 

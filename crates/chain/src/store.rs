@@ -680,6 +680,34 @@ impl ChainStore {
         }
     }
 
+    /// Total difficulty of a stored block (canonical or side), if retained.
+    pub fn total_difficulty(&self, hash: H256) -> Option<U256> {
+        self.entries.get(&hash).map(|e| e.total_difficulty)
+    }
+
+    /// Crash-recovery model: drops the newest `depth` canonical blocks — a
+    /// corrupted or half-written tail discovered on restart — rolling world
+    /// state back to before the oldest dropped block. The dropped blocks
+    /// leave the store entirely, so a resync can re-import them from peers.
+    /// At least one canonical entry is always kept. Returns how many blocks
+    /// were actually dropped.
+    pub fn truncate_tail(&mut self, depth: usize) -> usize {
+        let removable = self.recent.len().saturating_sub(1);
+        let n = depth.min(removable);
+        if n == 0 {
+            return 0;
+        }
+        let keep = self.recent.len() - n;
+        let removed: Vec<CanonEntry> = self.recent.drain(keep..).collect();
+        // Checkpoints record the state *before* their block; rolling back to
+        // the oldest removed checkpoint undoes the whole tail at once.
+        self.state.rollback_to(removed[0].checkpoint);
+        for e in &removed {
+            self.remove_entry(e.hash);
+        }
+        n
+    }
+
     /// Number of retained entries (diagnostics / memory tests).
     pub fn retained_blocks(&self) -> usize {
         self.entries.len()
@@ -1043,6 +1071,80 @@ mod tests {
             assert_eq!(result.outcome, ImportOutcome::Extended);
         }
         assert_eq!(replica.head_hash(), producer.head_hash());
+    }
+
+    #[test]
+    fn truncate_tail_rolls_back_and_allows_reimport() {
+        let mut store = new_store();
+        let mut t = store.head_header().timestamp;
+        let mut blocks = Vec::new();
+        for round in 0..6u64 {
+            t += 14;
+            let tx = Transaction::transfer(
+                &kp(0),
+                round,
+                kp(1).address(),
+                U256::from_u64(50 + round),
+                U256::ONE,
+                None,
+            );
+            let b = store.propose(miner(), t, vec![], &[tx]);
+            store.import(b.clone()).unwrap();
+            blocks.push(b);
+        }
+        let snapshot = store.clone(); // the intact six-block chain
+        assert_eq!(store.truncate_tail(2), 2);
+        assert_eq!(store.head_number(), 4);
+        assert_eq!(store.head_hash(), blocks[3].hash());
+        // The dropped blocks are gone entirely, not side-chained.
+        assert!(!store.contains(blocks[4].hash()));
+        assert!(!store.contains(blocks[5].hash()));
+        // World state rolled back with the tail.
+        assert_eq!(store.state().nonce(kp(0).address()), 4);
+        // Resync: re-importing the dropped tail restores the exact chain.
+        for b in &blocks[4..] {
+            assert_eq!(
+                store.import(b.clone()).unwrap().outcome,
+                ImportOutcome::Extended
+            );
+        }
+        assert_eq!(store.head_hash(), snapshot.head_hash());
+        assert_eq!(store.state().state_root(), snapshot.state().state_root());
+        assert_eq!(
+            store.head_total_difficulty(),
+            snapshot.head_total_difficulty()
+        );
+    }
+
+    #[test]
+    fn truncate_tail_bounds() {
+        let mut store = new_store();
+        let mut t = store.head_header().timestamp;
+        for _ in 0..3 {
+            t += 14;
+            let b = store.propose(miner(), t, vec![], &[]);
+            store.import(b).unwrap();
+        }
+        assert_eq!(store.truncate_tail(0), 0);
+        assert_eq!(store.head_number(), 3);
+        // Deeper than the window: everything but the oldest retained entry
+        // goes; the store never empties.
+        assert_eq!(store.truncate_tail(100), 3);
+        assert_eq!(store.head_number(), 0);
+        assert_eq!(store.truncate_tail(1), 0);
+    }
+
+    #[test]
+    fn total_difficulty_accessor_tracks_entries() {
+        let mut store = new_store();
+        let genesis_td = store.head_total_difficulty();
+        assert_eq!(store.total_difficulty(store.head_hash()), Some(genesis_td));
+        let t0 = store.head_header().timestamp;
+        let b = store.propose(miner(), t0 + 14, vec![], &[]);
+        store.import(b.clone()).unwrap();
+        let td = store.total_difficulty(b.hash()).unwrap();
+        assert_eq!(td, genesis_td.saturating_add(b.header.difficulty));
+        assert_eq!(store.total_difficulty(H256([9; 32])), None);
     }
 
     #[test]

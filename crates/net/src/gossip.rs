@@ -60,6 +60,12 @@ impl<T: Eq + Hash> SeenFilter<T> {
         self.current.len() + self.previous.len()
     }
 
+    /// The configured generation capacity: `len() <= 2 * capacity()` always
+    /// holds (the bound the chaos invariant checker asserts).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True when nothing is remembered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -163,6 +169,30 @@ mod tests {
         for i in 0..=50 {
             assert!(f.contains(&i), "item {i} forgotten too early");
         }
+    }
+
+    #[test]
+    fn seen_filter_eviction_order_at_small_capacity() {
+        // Capacity 2: generations rotate on the insert that overflows the
+        // current set, so eviction proceeds oldest-generation-first.
+        let mut f = SeenFilter::new(2);
+        assert_eq!(f.capacity(), 2);
+        assert!(f.insert(1));
+        assert!(f.insert(2)); // current = {1, 2} (full)
+        assert!(f.insert(3)); // rotate: previous = {1, 2}, current = {3}
+        for i in [1, 2, 3] {
+            assert!(f.contains(&i), "item {i} evicted too early");
+        }
+        assert!(f.insert(4)); // current = {3, 4} (full)
+        assert!(f.insert(5)); // rotate: previous = {3, 4}, current = {5}
+        assert!(!f.contains(&1), "oldest generation must be evicted");
+        assert!(!f.contains(&2), "oldest generation must be evicted");
+        for i in [3, 4, 5] {
+            assert!(f.contains(&i), "item {i} evicted too early");
+        }
+        assert!(f.len() <= 2 * f.capacity());
+        // Re-inserting an evicted item reports it as fresh again.
+        assert!(f.insert(1));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod topology;
 pub use frame::{open_frame, seal_frame};
 pub use gossip::{plan_block_relay, BlockRelayPlan, GossipState, SeenFilter};
 pub use kademlia::{iterative_lookup, RoutingTable, BUCKET_SIZE};
-pub use link::{Delivery, DeliveryPlan, FaultPlan, LatencyModel, Link};
+pub use link::{Delivery, DeliveryPlan, FaultPlan, FaultPlanError, LatencyModel, Link};
 pub use message::{Message, Status, PROTOCOL_VERSION};
 pub use node_id::NodeId;
 pub use topology::{build_topology, Topology, TopologyConfig};
@@ -85,10 +85,48 @@ mod proptests {
             seed in any::<u64>(),
         ) {
             let mut link = Link::with_latency(10, 20);
-            link.faults = FaultPlan { drop_chance: 0.2, duplicate_chance: 0.2, corrupt_chance: 0.5 };
+            link.faults = FaultPlan::new(0.2, 0.2, 0.5).unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             for d in link.transmit(&frame, &mut rng) {
                 prop_assert_eq!(d.bytes.len(), frame.len());
+            }
+        }
+
+        /// Sealed frames round-trip for arbitrary payloads.
+        #[test]
+        fn sealed_frames_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let frame = seal_frame(&payload);
+            prop_assert_eq!(open_frame(&frame), Some(payload.as_slice()));
+        }
+
+        /// Any single-byte flip anywhere in a sealed frame — checksum or
+        /// payload — is rejected by `open_frame`. This is the guarantee that
+        /// makes the link layer's corrupt fault lose frames instead of
+        /// minting mutant consensus messages.
+        #[test]
+        fn sealed_frames_reject_any_single_byte_flip(
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+            idx in any::<usize>(),
+            mask in 1u8..=255,
+        ) {
+            let mut frame = seal_frame(&payload);
+            // Frames are never empty: the checksum prefix is 4 bytes.
+            let i = idx % frame.len();
+            frame[i] ^= mask;
+            prop_assert_eq!(open_frame(&frame), None, "flip at byte {} undetected", i);
+        }
+
+        /// FaultPlan construction is total over finite non-negative inputs
+        /// and never yields probabilities outside [0, 1].
+        #[test]
+        fn fault_plan_always_in_unit_range(
+            d in 0.0f64..10.0,
+            u in 0.0f64..10.0,
+            c in 0.0f64..10.0,
+        ) {
+            let plan = FaultPlan::new(d, u, c).unwrap();
+            for p in [plan.drop_chance(), plan.duplicate_chance(), plan.corrupt_chance()] {
+                prop_assert!((0.0..=1.0).contains(&p));
             }
         }
     }

@@ -28,16 +28,38 @@ impl Default for LatencyModel {
     }
 }
 
+/// Rejected [`FaultPlan`] probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanError {
+    /// Which probability was invalid.
+    pub field: &'static str,
+    /// The offending value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {} probability {} (must be a finite value >= 0)",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// Fault-injection knobs, mirroring the smoltcp examples' `--drop-chance`
 /// style options.
+///
+/// Probabilities are validated once, at construction: NaN and negative
+/// values are rejected, values above 1.0 are clamped to 1.0. Consumers can
+/// therefore use the accessors directly without re-clamping.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultPlan {
-    /// Probability a frame is silently dropped.
-    pub drop_chance: f64,
-    /// Probability a frame is delivered twice.
-    pub duplicate_chance: f64,
-    /// Probability one random byte of the frame is flipped.
-    pub corrupt_chance: f64,
+    drop_chance: f64,
+    duplicate_chance: f64,
+    corrupt_chance: f64,
 }
 
 impl FaultPlan {
@@ -48,6 +70,26 @@ impl FaultPlan {
         corrupt_chance: 0.0,
     };
 
+    /// Validates and builds a plan. Rejects NaN / infinite / negative
+    /// probabilities; clamps values above 1.0 to 1.0.
+    pub fn new(
+        drop_chance: f64,
+        duplicate_chance: f64,
+        corrupt_chance: f64,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        let check = |field: &'static str, value: f64| -> Result<f64, FaultPlanError> {
+            if !value.is_finite() || value < 0.0 {
+                return Err(FaultPlanError { field, value });
+            }
+            Ok(value.min(1.0))
+        };
+        Ok(FaultPlan {
+            drop_chance: check("drop", drop_chance)?,
+            duplicate_chance: check("duplicate", duplicate_chance)?,
+            corrupt_chance: check("corrupt", corrupt_chance)?,
+        })
+    }
+
     /// The smoltcp documentation's suggested stress setting (15% drop, 15%
     /// corrupt).
     pub fn stress() -> FaultPlan {
@@ -56,6 +98,26 @@ impl FaultPlan {
             duplicate_chance: 0.05,
             corrupt_chance: 0.15,
         }
+    }
+
+    /// Probability a frame is silently dropped.
+    pub fn drop_chance(&self) -> f64 {
+        self.drop_chance
+    }
+
+    /// Probability a frame is delivered twice.
+    pub fn duplicate_chance(&self) -> f64 {
+        self.duplicate_chance
+    }
+
+    /// Probability one random byte of the frame is flipped.
+    pub fn corrupt_chance(&self) -> f64 {
+        self.corrupt_chance
+    }
+
+    /// True when every probability is zero (the link is clean).
+    pub fn is_none(&self) -> bool {
+        self.drop_chance == 0.0 && self.duplicate_chance == 0.0 && self.corrupt_chance == 0.0
     }
 }
 
@@ -90,23 +152,26 @@ impl Link {
     }
 
     /// Computes the deliveries for `frame`.
+    ///
+    /// The `> 0.0` guards are not redundant with `gen_bool`: a zero-chance
+    /// fault must not consume an RNG draw, so clean links stay
+    /// draw-for-draw identical to links that never had fault code at all.
     pub fn transmit<R: Rng>(&self, frame: &[u8], rng: &mut R) -> DeliveryPlan {
-        if self.faults.drop_chance > 0.0 && rng.gen_bool(self.faults.drop_chance.min(1.0)) {
+        if self.faults.drop_chance > 0.0 && rng.gen_bool(self.faults.drop_chance) {
             return Vec::new();
         }
-        let copies = if self.faults.duplicate_chance > 0.0
-            && rng.gen_bool(self.faults.duplicate_chance.min(1.0))
-        {
-            2
-        } else {
-            1
-        };
+        let copies =
+            if self.faults.duplicate_chance > 0.0 && rng.gen_bool(self.faults.duplicate_chance) {
+                2
+            } else {
+                1
+            };
         let mut plan = Vec::with_capacity(copies);
         for _ in 0..copies {
             let mut bytes = frame.to_vec();
             if !bytes.is_empty()
                 && self.faults.corrupt_chance > 0.0
-                && rng.gen_bool(self.faults.corrupt_chance.min(1.0))
+                && rng.gen_bool(self.faults.corrupt_chance)
             {
                 let idx = rng.gen_range(0..bytes.len());
                 let mask = rng.gen_range(1..=255u8);
@@ -160,7 +225,7 @@ mod tests {
     #[test]
     fn drop_rate_statistics() {
         let mut link = Link::with_latency(10, 0);
-        link.faults.drop_chance = 0.30;
+        link.faults = FaultPlan::new(0.30, 0.0, 0.0).unwrap();
         let mut r = rng();
         let delivered = (0..5_000)
             .filter(|_| !link.transmit(b"f", &mut r).is_empty())
@@ -172,7 +237,7 @@ mod tests {
     #[test]
     fn duplicates_produce_two_copies() {
         let mut link = Link::with_latency(10, 0);
-        link.faults.duplicate_chance = 1.0;
+        link.faults = FaultPlan::new(0.0, 1.0, 0.0).unwrap();
         let mut r = rng();
         let plan = link.transmit(b"dup", &mut r);
         assert_eq!(plan.len(), 2);
@@ -183,7 +248,7 @@ mod tests {
     #[test]
     fn corruption_flips_exactly_one_byte() {
         let mut link = Link::with_latency(10, 0);
-        link.faults.corrupt_chance = 1.0;
+        link.faults = FaultPlan::new(0.0, 0.0, 1.0).unwrap();
         let mut r = rng();
         let frame = vec![0u8; 64];
         for _ in 0..100 {
@@ -201,7 +266,7 @@ mod tests {
     #[test]
     fn empty_frame_never_corrupted() {
         let mut link = Link::with_latency(10, 0);
-        link.faults.corrupt_chance = 1.0;
+        link.faults = FaultPlan::new(0.0, 0.0, 1.0).unwrap();
         let mut r = rng();
         let plan = link.transmit(&[], &mut r);
         assert_eq!(plan[0].bytes, Vec::<u8>::new());
@@ -218,5 +283,49 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_plan_accepts_boundaries() {
+        let p = FaultPlan::new(0.0, 0.5, 1.0).unwrap();
+        assert_eq!(p.drop_chance(), 0.0);
+        assert_eq!(p.duplicate_chance(), 0.5);
+        assert_eq!(p.corrupt_chance(), 1.0);
+        assert!(!p.is_none());
+        assert!(FaultPlan::NONE.is_none());
+        assert!(FaultPlan::default().is_none());
+    }
+
+    #[test]
+    fn fault_plan_clamps_above_one() {
+        let p = FaultPlan::new(1.5, 2.0, 100.0).unwrap();
+        assert_eq!(p.drop_chance(), 1.0);
+        assert_eq!(p.duplicate_chance(), 1.0);
+        assert_eq!(p.corrupt_chance(), 1.0);
+    }
+
+    #[test]
+    fn fault_plan_rejects_nan_negative_and_infinite() {
+        for (d, u, c, field) in [
+            (f64::NAN, 0.0, 0.0, "drop"),
+            (0.0, -0.1, 0.0, "duplicate"),
+            (0.0, 0.0, f64::INFINITY, "corrupt"),
+            (f64::NEG_INFINITY, 0.0, 0.0, "drop"),
+        ] {
+            let err = FaultPlan::new(d, u, c).unwrap_err();
+            assert_eq!(err.field, field, "{err}");
+        }
+    }
+
+    #[test]
+    fn clamped_plan_never_consumes_extra_draws() {
+        // A plan clamped from 1.5 must behave exactly like 1.0 — every
+        // frame dropped, no statistical residue from the overshoot.
+        let mut link = Link::with_latency(10, 0);
+        link.faults = FaultPlan::new(1.5, 0.0, 0.0).unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(link.transmit(b"x", &mut r).is_empty());
+        }
     }
 }

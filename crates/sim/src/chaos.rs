@@ -1,0 +1,395 @@
+//! Deterministic fault schedules for the micro engine.
+//!
+//! A [`ChaosPlan`] scripts *when* faults happen — node crashes and restarts,
+//! mid-run link-degradation windows, byzantine peers — while the engine's
+//! [`ResilienceConfig`] governs *how* honest nodes survive them: per-request
+//! timeouts, bounded retries with exponential backoff and jitter, and a
+//! decaying per-peer misbehavior score that disconnects peers exceeding a
+//! budget. Everything is a pure function of the plan and the run's seed, so
+//! a chaos run is exactly as reproducible as a clean one — and
+//! [`ChaosPlan::NONE`] adds zero events and zero RNG draws, leaving the
+//! clean figures byte-identical.
+
+use fork_net::FaultPlan;
+
+/// How a crashed node's store comes back at restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// The persisted store survived intact; only the downtime must be
+    /// resynced.
+    Intact,
+    /// The newest `depth` canonical blocks were lost (a corrupted or
+    /// half-written tail): the store is truncated via
+    /// `ChainStore::truncate_tail` before resync.
+    TruncatedTail {
+        /// Canonical blocks dropped from the tail.
+        depth: usize,
+    },
+}
+
+/// One scripted crash: the node goes dark at `at_secs` losing all volatile
+/// state (gossip filters, orphan pool, in-flight requests), and restarts
+/// `down_secs` later from its persisted [`fork_chain::ChainStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Index of the crashing node.
+    pub node: usize,
+    /// Crash time, seconds into the run.
+    pub at_secs: u64,
+    /// Downtime before the restart, seconds.
+    pub down_secs: u64,
+    /// Store condition at restart.
+    pub recovery: RecoveryMode,
+}
+
+/// A window during which every link runs a harsher [`FaultPlan`] than the
+/// run's baseline (e.g. a 15%-drop storm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationWindow {
+    /// Window start, seconds into the run (inclusive).
+    pub from_secs: u64,
+    /// Window end, seconds into the run (exclusive).
+    pub until_secs: u64,
+    /// Fault plan replacing the baseline inside the window.
+    pub faults: FaultPlan,
+}
+
+/// What a byzantine node does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineBehavior {
+    /// An equivocating miner: every block it finds, it also mines and sends
+    /// a *conflicting twin* at the same height to half its peers, feeding
+    /// both sides of a transient fork.
+    Equivocate,
+    /// Re-announces its stale head to all peers every `period_secs`
+    /// (exercising gossip dedup) and announces `fake_hashes` nonexistent
+    /// blocks per round (exercising the request/timeout/scoring path).
+    StaleSpam {
+        /// Seconds between spam rounds.
+        period_secs: u64,
+        /// Nonexistent block hashes announced per round.
+        fake_hashes: usize,
+    },
+    /// Flips one byte of every frame it sends — detected by the frame
+    /// checksum at every receiver, so its traffic is pure waste.
+    CorruptFrames,
+}
+
+/// A node scripted to misbehave, optionally until a deadline (after which it
+/// acts honestly — letting convergence-after-faults be tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByzantineNode {
+    /// Index of the misbehaving node.
+    pub node: usize,
+    /// The behavior.
+    pub behavior: ByzantineBehavior,
+    /// Seconds into the run at which the node turns honest (`None` =
+    /// misbehaves for the whole run).
+    pub until_secs: Option<u64>,
+}
+
+/// An invalid [`ChaosPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosPlanError {
+    /// A crash/byzantine entry names a node index outside the network.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// Network size.
+        n_nodes: usize,
+    },
+    /// A crash has zero downtime (restart would coincide with the crash).
+    ZeroDowntime {
+        /// The crashing node.
+        node: usize,
+    },
+    /// A degradation window is empty or inverted.
+    EmptyWindow {
+        /// Window start (seconds).
+        from_secs: u64,
+        /// Window end (seconds).
+        until_secs: u64,
+    },
+    /// A stale-spam behavior with a zero period would fire unboundedly.
+    ZeroSpamPeriod {
+        /// The spamming node.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for ChaosPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosPlanError::NodeOutOfRange { node, n_nodes } => {
+                write!(
+                    f,
+                    "chaos plan names node {node} but the network has {n_nodes} nodes"
+                )
+            }
+            ChaosPlanError::ZeroDowntime { node } => {
+                write!(f, "crash of node {node} has zero downtime")
+            }
+            ChaosPlanError::EmptyWindow {
+                from_secs,
+                until_secs,
+            } => {
+                write!(f, "degradation window {from_secs}s..{until_secs}s is empty")
+            }
+            ChaosPlanError::ZeroSpamPeriod { node } => {
+                write!(f, "stale-spam node {node} has a zero period")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosPlanError {}
+
+/// A deterministic fault schedule for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// Scripted crash/restart cycles.
+    pub crashes: Vec<CrashEvent>,
+    /// Link-degradation windows (the first window containing `now` wins).
+    pub degradations: Vec<DegradationWindow>,
+    /// Scripted byzantine peers (at most one behavior per node; later
+    /// entries for the same node are rejected by [`ChaosPlan::validate`]).
+    pub byzantine: Vec<ByzantineNode>,
+}
+
+impl ChaosPlan {
+    /// The empty plan: no crashes, no windows, no byzantine peers. A run
+    /// with this plan is event-for-event identical to a run without the
+    /// chaos layer.
+    pub const NONE: ChaosPlan = ChaosPlan {
+        crashes: Vec::new(),
+        degradations: Vec::new(),
+        byzantine: Vec::new(),
+    };
+
+    /// True when the plan schedules nothing.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty() && self.degradations.is_empty() && self.byzantine.is_empty()
+    }
+
+    /// Checks the plan against a network of `n_nodes` nodes.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), ChaosPlanError> {
+        let check_node = |node: usize| -> Result<(), ChaosPlanError> {
+            if node >= n_nodes {
+                return Err(ChaosPlanError::NodeOutOfRange { node, n_nodes });
+            }
+            Ok(())
+        };
+        for c in &self.crashes {
+            check_node(c.node)?;
+            if c.down_secs == 0 {
+                return Err(ChaosPlanError::ZeroDowntime { node: c.node });
+            }
+        }
+        for w in &self.degradations {
+            if w.from_secs >= w.until_secs {
+                return Err(ChaosPlanError::EmptyWindow {
+                    from_secs: w.from_secs,
+                    until_secs: w.until_secs,
+                });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for b in &self.byzantine {
+            check_node(b.node)?;
+            if !seen.insert(b.node) {
+                return Err(ChaosPlanError::NodeOutOfRange {
+                    node: b.node,
+                    n_nodes,
+                });
+            }
+            if let ByzantineBehavior::StaleSpam { period_secs: 0, .. } = b.behavior {
+                return Err(ChaosPlanError::ZeroSpamPeriod { node: b.node });
+            }
+        }
+        Ok(())
+    }
+
+    /// The fault plan governing links at `now_ms`, if a degradation window
+    /// is active (the baseline plan applies otherwise).
+    pub fn link_faults_at(&self, now_ms: u64) -> Option<FaultPlan> {
+        self.degradations
+            .iter()
+            .find(|w| w.from_secs * 1_000 <= now_ms && now_ms < w.until_secs * 1_000)
+            .map(|w| w.faults)
+    }
+}
+
+/// Misbehavior score added when a peer's frame fails the checksum.
+pub const SCORE_CORRUPT_FRAME: u32 = 3;
+/// Misbehavior score added when a peer's block fails validation.
+pub const SCORE_INVALID_BLOCK: u32 = 4;
+/// Misbehavior score added when a request to a peer times out past its
+/// retry budget (per timeout, including the final give-up).
+pub const SCORE_TIMEOUT: u32 = 2;
+
+/// Tunables for the resilient sync path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// How long a header/body request may stay unanswered before a retry,
+    /// in milliseconds. The engine raises this automatically to cover the
+    /// configured link round trip.
+    pub request_timeout_ms: u64,
+    /// Retries per request before giving up (total attempts = retries + 1).
+    pub max_retries: u32,
+    /// Base backoff before the first retry, milliseconds; doubles per
+    /// subsequent retry.
+    pub backoff_base_ms: u64,
+    /// Uniform jitter added on top of each backoff, milliseconds.
+    pub backoff_jitter_ms: u64,
+    /// Misbehavior points a peer may accumulate before being banned.
+    pub misbehavior_budget: u32,
+    /// Score decay: one point forgiven per this many milliseconds, so
+    /// sparse accidents (lossy links) never accumulate into a ban.
+    pub decay_ms_per_point: u64,
+    /// Ban length, seconds. Expired bans re-admit the peer if (and only if)
+    /// the Status handshake still passes.
+    pub ban_secs: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            request_timeout_ms: 3_000,
+            max_retries: 3,
+            backoff_base_ms: 500,
+            backoff_jitter_ms: 250,
+            misbehavior_budget: 12,
+            decay_ms_per_point: 10_000,
+            ban_secs: 120,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_empty_and_valid() {
+        assert!(ChaosPlan::NONE.is_none());
+        assert!(ChaosPlan::default().is_none());
+        assert_eq!(ChaosPlan::NONE, ChaosPlan::default());
+        ChaosPlan::NONE.validate(0).unwrap();
+        assert_eq!(ChaosPlan::NONE.link_faults_at(0), None);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_nodes() {
+        let plan = ChaosPlan {
+            crashes: vec![CrashEvent {
+                node: 5,
+                at_secs: 10,
+                down_secs: 5,
+                recovery: RecoveryMode::Intact,
+            }],
+            ..ChaosPlan::default()
+        };
+        plan.validate(6).unwrap();
+        assert_eq!(
+            plan.validate(5),
+            Err(ChaosPlanError::NodeOutOfRange {
+                node: 5,
+                n_nodes: 5
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_downtime_and_duplicates() {
+        let plan = ChaosPlan {
+            crashes: vec![CrashEvent {
+                node: 0,
+                at_secs: 10,
+                down_secs: 0,
+                recovery: RecoveryMode::Intact,
+            }],
+            ..ChaosPlan::default()
+        };
+        assert_eq!(
+            plan.validate(4),
+            Err(ChaosPlanError::ZeroDowntime { node: 0 })
+        );
+
+        let twice = ChaosPlan {
+            byzantine: vec![
+                ByzantineNode {
+                    node: 1,
+                    behavior: ByzantineBehavior::Equivocate,
+                    until_secs: None,
+                },
+                ByzantineNode {
+                    node: 1,
+                    behavior: ByzantineBehavior::CorruptFrames,
+                    until_secs: None,
+                },
+            ],
+            ..ChaosPlan::default()
+        };
+        assert!(twice.validate(4).is_err(), "one behavior per node");
+    }
+
+    #[test]
+    fn validate_rejects_empty_windows_and_zero_periods() {
+        let window = ChaosPlan {
+            degradations: vec![DegradationWindow {
+                from_secs: 100,
+                until_secs: 100,
+                faults: FaultPlan::NONE,
+            }],
+            ..ChaosPlan::default()
+        };
+        assert!(matches!(
+            window.validate(1),
+            Err(ChaosPlanError::EmptyWindow { .. })
+        ));
+
+        let spam = ChaosPlan {
+            byzantine: vec![ByzantineNode {
+                node: 0,
+                behavior: ByzantineBehavior::StaleSpam {
+                    period_secs: 0,
+                    fake_hashes: 1,
+                },
+                until_secs: None,
+            }],
+            ..ChaosPlan::default()
+        };
+        assert_eq!(
+            spam.validate(1),
+            Err(ChaosPlanError::ZeroSpamPeriod { node: 0 })
+        );
+    }
+
+    #[test]
+    fn degradation_window_boundaries_are_half_open() {
+        let storm = FaultPlan::new(0.15, 0.0, 0.0).unwrap();
+        let plan = ChaosPlan {
+            degradations: vec![DegradationWindow {
+                from_secs: 60,
+                until_secs: 120,
+                faults: storm,
+            }],
+            ..ChaosPlan::default()
+        };
+        plan.validate(1).unwrap();
+        assert_eq!(plan.link_faults_at(59_999), None);
+        assert_eq!(plan.link_faults_at(60_000), Some(storm));
+        assert_eq!(plan.link_faults_at(119_999), Some(storm));
+        assert_eq!(plan.link_faults_at(120_000), None);
+    }
+
+    #[test]
+    fn resilience_defaults_are_sane() {
+        let r = ResilienceConfig::default();
+        assert!(r.request_timeout_ms > 0);
+        assert!(r.max_retries > 0);
+        assert!(r.misbehavior_budget >= SCORE_INVALID_BLOCK);
+        assert!(r.decay_ms_per_point > 0);
+        assert!(r.ban_secs > 0);
+    }
+}

@@ -13,10 +13,17 @@
 //! * [`resolved`] — the resolved-fork experiment reproducing the paper's
 //!   86-block (ETH) vs 3,583-block (ETC) minority-branch comparison.
 //! * [`scenario`] — calibrated presets binding the historical timeline.
+//! * [`chaos`] — deterministic fault-injection plans (node crashes and
+//!   restarts, link-degradation windows, byzantine peers) and the resilience
+//!   knobs (timeouts, retries, peer scoring) the micro engine runs under.
+//! * [`invariants`] — the safety conditions a chaos run must never violate,
+//!   checked window-by-window by the chaos harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod invariants;
 pub mod meso;
 pub mod micro;
 pub mod observer;
@@ -26,6 +33,11 @@ pub mod scenario;
 pub mod schedule;
 pub mod workload;
 
+pub use chaos::{
+    ByzantineBehavior, ByzantineNode, ChaosPlan, ChaosPlanError, CrashEvent, DegradationWindow,
+    RecoveryMode, ResilienceConfig,
+};
+pub use invariants::{check_invariants, InvariantViolation};
 pub use meso::{MesoConfig, NetworkParams, RunSummary, TwoChainEngine};
 pub use micro::{MicroConfig, MicroNet, MicroReport};
 pub use observer::{CountingSink, LedgerSink, MeteredSink, NullSink, TeeSink};

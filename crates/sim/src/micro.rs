@@ -13,16 +13,21 @@
 //! bench.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use fork_chain::{Block, ChainError, ChainSpec, ChainStore, GenesisBuilder, ImportOutcome};
 use fork_net::{
-    plan_block_relay, FaultPlan, GossipState, LatencyModel, Link, Message, NodeId, Status,
-    Topology, TopologyConfig, PROTOCOL_VERSION,
+    plan_block_relay, FaultPlan, GossipState, LatencyModel, Link, Message, NodeId, SeenFilter,
+    Status, Topology, TopologyConfig, PROTOCOL_VERSION,
 };
 use fork_primitives::{Address, SimTime, H256, U256};
 
+use crate::chaos::{
+    ByzantineBehavior, ChaosPlan, RecoveryMode, ResilienceConfig, SCORE_CORRUPT_FRAME,
+    SCORE_INVALID_BLOCK, SCORE_TIMEOUT,
+};
 use crate::rng::SimRng;
+use rand::{Rng as _, RngCore as _};
 
 /// How protocol rules are assigned across nodes.
 #[derive(Debug, Clone)]
@@ -74,6 +79,13 @@ pub struct MicroConfig {
     /// and gossiping. This is the node-level form of the paper's
     /// "influx of nodes re-joined ETC over the subsequent two weeks".
     pub late_joiners: Vec<(usize, u64)>,
+    /// Scripted fault schedule (crashes, degradation windows, byzantine
+    /// peers). [`ChaosPlan::NONE`] schedules nothing and consumes no RNG
+    /// draws: a clean run with the chaos layer compiled in is byte-identical
+    /// to one without it.
+    pub chaos: ChaosPlan,
+    /// Sync resilience tunables (request timeouts, retries, peer scoring).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for MicroConfig {
@@ -92,12 +104,14 @@ impl Default for MicroConfig {
             specs: SpecAssignment::Uniform(ChainSpec::test()),
             retention: 64,
             late_joiners: Vec::new(),
+            chaos: ChaosPlan::NONE,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
 
 /// Run statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MicroReport {
     /// Blocks mined per node.
     pub mined: Vec<u64>,
@@ -114,8 +128,10 @@ pub struct MicroReport {
     /// Mean block propagation delay in milliseconds (mined → imported,
     /// averaged over all (block, node) pairs that imported it).
     pub mean_propagation_ms: f64,
-    /// Sizes of the head-agreement groups at the end (nodes clustered by
-    /// their canonical hash at the fork height; one group = no partition).
+    /// Sizes of the chain-agreement groups at the end: with a fork
+    /// configured, nodes sharing the canonical block at the lower of each
+    /// pair's heads cluster together; otherwise nodes cluster by exact head
+    /// hash. One group = no partition.
     pub partition_groups: Vec<usize>,
     /// Messages delivered.
     pub delivered: u64,
@@ -123,6 +139,21 @@ pub struct MicroReport {
     pub handshake_drops: u64,
     /// Late joiners that came online during the run.
     pub joined: u64,
+    /// Scripted node crashes executed.
+    pub crashes: u64,
+    /// Scripted restarts executed.
+    pub restarts: u64,
+    /// Sync requests that timed out (including retried attempts).
+    pub sync_timeouts: u64,
+    /// Sync requests retried after a timeout.
+    pub sync_retries: u64,
+    /// Peer links severed by the misbehavior score.
+    pub peer_bans: u64,
+    /// Per-crash recovery time: restart → head caught up to the best
+    /// compatible online peer's head at restart time, milliseconds.
+    pub recovery_ms: Vec<u64>,
+    /// Conflicting same-height twins minted by equivocating miners.
+    pub equivocations: u64,
 }
 
 struct Node {
@@ -139,6 +170,9 @@ struct Node {
     /// The chain's genesis hash (immutable; the store prunes genesis out of
     /// its window, but the Status handshake still advertises it).
     genesis_hash: H256,
+    /// Hashes this node has already requested bodies for — bounds the
+    /// request stream under hash-announcement spam.
+    requested: SeenFilter<H256>,
 }
 
 #[derive(Debug)]
@@ -154,6 +188,33 @@ enum EventKind {
     },
     NodeJoins {
         node: usize,
+    },
+    /// Scripted crash: the node loses its volatile state and goes dark.
+    NodeCrashes {
+        node: usize,
+    },
+    /// Scripted restart after a crash.
+    NodeRestarts {
+        node: usize,
+        recovery: RecoveryMode,
+    },
+    /// Periodic action of a stale-spam byzantine node.
+    ByzantineTick {
+        node: usize,
+        period_ms: u64,
+    },
+    /// A sync request's timeout fired; retry or give up if still pending.
+    RequestTimeout {
+        req_id: u64,
+    },
+    /// A backed-off retry comes due; re-send if still pending.
+    SyncRetry {
+        req_id: u64,
+    },
+    /// A peer ban expired; the edge heals if the handshake still passes.
+    BanExpires {
+        a: usize,
+        b: usize,
     },
 }
 
@@ -180,6 +241,34 @@ impl Ord for Event {
     }
 }
 
+/// What a pending sync request asked for (used to match responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    Headers,
+    Bodies,
+}
+
+/// A tracked header/body request awaiting its response.
+#[derive(Debug, Clone)]
+struct PendingRequest {
+    node: usize,
+    peer: usize,
+    msg: Message,
+    attempts: u32,
+    /// Sticky requests always retry the same peer — used for
+    /// announce-driven fetches so the cost of a bogus announcement lands on
+    /// the announcer, never on an innocent third peer.
+    sticky_peer: bool,
+    kind: ReqKind,
+}
+
+/// A peer's misbehavior score with linear time decay.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerScore {
+    points: u32,
+    updated_ms: u64,
+}
+
 /// The networked simulation.
 pub struct MicroNet {
     nodes: Vec<Node>,
@@ -200,6 +289,29 @@ pub struct MicroNet {
     propagation_samples: u64,
     /// Messages sent per type tag (diagnostics).
     sent_by_type: [u64; 10],
+    chaos: ChaosPlan,
+    resilience: ResilienceConfig,
+    /// Effective request timeout: the configured one, raised to cover the
+    /// link's worst-case round trip so high-latency runs don't self-inflict
+    /// spurious retries.
+    request_timeout_ms: u64,
+    /// Chaos-only RNG stream (forked off the root seed): byzantine and
+    /// crash decisions draw from here so an empty plan perturbs nothing.
+    chaos_rng: SimRng,
+    /// Per-node active byzantine behavior and its end time (ms).
+    behaviors: Vec<Option<(ByzantineBehavior, Option<u64>)>>,
+    /// In-flight sync requests by id (BTreeMap: deterministic iteration).
+    pending: BTreeMap<u64, PendingRequest>,
+    next_req_id: u64,
+    /// (observer, peer) → misbehavior score.
+    scores: HashMap<(usize, usize), PeerScore>,
+    /// Per-node crash recovery in progress: (restart time ms, target head).
+    recovering: Vec<Option<(u64, u64)>>,
+    /// Store retention window (bounds how far behind header-walk sync can
+    /// reach before snap sync is the only recovery).
+    retention: usize,
+    /// Events processed so far (debug pacing; survives windowed runs).
+    processed: u64,
 }
 
 impl MicroNet {
@@ -251,9 +363,18 @@ impl MicroNet {
                 orphans: HashMap::new(),
                 online: !offline.contains(&i),
                 genesis_hash: genesis.hash(),
+                requested: SeenFilter::new(4_096),
             })
             .collect();
         let id_index = ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+
+        config
+            .chaos
+            .validate(config.n_nodes)
+            .expect("invalid chaos plan");
+        let worst_rtt = 2 * (config.latency.base_ms + config.latency.jitter_ms);
+        let request_timeout_ms = config.resilience.request_timeout_ms.max(2 * worst_rtt);
+        let chaos_rng = rng.fork("chaos");
 
         let mut net = MicroNet {
             report: MicroReport {
@@ -279,6 +400,17 @@ impl MicroNet {
             propagation_sum_ms: 0.0,
             propagation_samples: 0,
             sent_by_type: [0; 10],
+            behaviors: vec![None; config.n_nodes],
+            recovering: vec![None; config.n_nodes],
+            retention: config.retention,
+            chaos: config.chaos,
+            resilience: config.resilience,
+            request_timeout_ms,
+            chaos_rng,
+            pending: BTreeMap::new(),
+            next_req_id: 0,
+            scores: HashMap::new(),
+            processed: 0,
         };
         for i in 0..net.nodes.len() {
             if net.nodes[i].hashrate > 0.0 && net.nodes[i].online {
@@ -287,6 +419,33 @@ impl MicroNet {
         }
         for (node, at_secs) in &config.late_joiners {
             net.push_event(at_secs * 1_000, EventKind::NodeJoins { node: *node });
+        }
+        // Script the chaos plan into the event queue up front: the schedule
+        // is part of the configuration, not of the stochastic run.
+        let crashes = net.chaos.crashes.clone();
+        for c in &crashes {
+            net.push_event(c.at_secs * 1_000, EventKind::NodeCrashes { node: c.node });
+            net.push_event(
+                (c.at_secs + c.down_secs) * 1_000,
+                EventKind::NodeRestarts {
+                    node: c.node,
+                    recovery: c.recovery,
+                },
+            );
+        }
+        let byzantine = net.chaos.byzantine.clone();
+        for b in &byzantine {
+            net.behaviors[b.node] = Some((b.behavior, b.until_secs.map(|s| s * 1_000)));
+            if let ByzantineBehavior::StaleSpam { period_secs, .. } = b.behavior {
+                let period_ms = period_secs * 1_000;
+                net.push_event(
+                    period_ms,
+                    EventKind::ByzantineTick {
+                        node: b.node,
+                        period_ms,
+                    },
+                );
+            }
         }
         net
     }
@@ -299,6 +458,19 @@ impl MicroNet {
         }
         self.nodes[i].online = true;
         self.report.joined += 1;
+        self.snap_sync(i);
+        if self.nodes[i].hashrate > 0.0 {
+            self.schedule_mining(i);
+        }
+    }
+
+    /// Snap sync (the fast-sync model): clone a spec-compatible online
+    /// peer's store wholesale, keeping our own rules. Used by late joiners
+    /// and by nodes that fell further behind than the retention window —
+    /// there, block-by-block sync is impossible forever, because every peer
+    /// has pruned the needed ancestors. Returns whether a bootstrap peer was
+    /// found; does NOT schedule mining (callers own that, exactly once).
+    fn snap_sync(&mut self, i: usize) -> bool {
         // Find a compatible online peer to bootstrap from: same basic
         // handshake fields, and its chain valid under OUR rules (its
         // fork-height block, if it has one, must satisfy our DAO stance).
@@ -308,16 +480,31 @@ impl MicroNet {
             .iter()
             .map(|p| self.id_index[p])
             .find(|&j| self.nodes[j].online && self.handshake_compatible(i, j));
-        if let Some(j) = bootstrap {
-            let own_spec = self.nodes[i].store.spec().clone();
-            let mut synced = self.nodes[j].store.clone();
-            synced.set_spec(own_spec);
-            self.nodes[i].store = synced;
-            self.nodes[i].epoch += 1;
+        let Some(j) = bootstrap else {
+            return false;
+        };
+        let own_spec = self.nodes[i].store.spec().clone();
+        let mut synced = self.nodes[j].store.clone();
+        synced.set_spec(own_spec);
+        self.nodes[i].store = synced;
+        self.nodes[i].epoch += 1;
+        // Buffered orphans are retried against the new store (most land as
+        // AlreadyKnown; stragglers extend it).
+        let orphans: Vec<Block> = std::mem::take(&mut self.nodes[i].orphans)
+            .into_values()
+            .flatten()
+            .collect();
+        for b in orphans {
+            self.process_block(i, b, None);
         }
-        if self.nodes[i].hashrate > 0.0 {
-            self.schedule_mining(i);
+        // A snap can complete a crash recovery.
+        if let Some((t0, target)) = self.recovering[i] {
+            if self.nodes[i].store.head_number() >= target {
+                self.report.recovery_ms.push(self.now_ms - t0);
+                self.recovering[i] = None;
+            }
         }
+        true
     }
 
     fn push_event(&mut self, at_ms: u64, kind: EventKind) {
@@ -425,6 +612,304 @@ impl MicroNet {
         }
     }
 
+    /// The byzantine behavior node `i` is currently acting out, if any.
+    fn byz_active(&self, i: usize) -> Option<ByzantineBehavior> {
+        match self.behaviors[i] {
+            Some((b, until)) if until.is_none_or(|u| self.now_ms < u) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Removes the topology edge between `i` and `j` (both directions).
+    /// Returns whether an edge existed.
+    fn sever_edge(&mut self, i: usize, j: usize) -> bool {
+        let (a, b) = (self.nodes[i].id, self.nodes[j].id);
+        let mut t = std::mem::take(&mut self.topology);
+        let mut existed = false;
+        if let Some(adj) = t.adjacency.get_mut(&a) {
+            let before = adj.len();
+            adj.retain(|x| *x != b);
+            existed |= adj.len() != before;
+        }
+        if let Some(adj) = t.adjacency.get_mut(&b) {
+            let before = adj.len();
+            adj.retain(|x| *x != a);
+            existed |= adj.len() != before;
+        }
+        self.topology = t;
+        existed
+    }
+
+    /// Re-adds the edge between `i` and `j` (both directions, no
+    /// duplicates).
+    fn restore_edge(&mut self, i: usize, j: usize) {
+        let (a, b) = (self.nodes[i].id, self.nodes[j].id);
+        let mut t = std::mem::take(&mut self.topology);
+        let adj_a = t.adjacency.entry(a).or_default();
+        if !adj_a.contains(&b) {
+            adj_a.push(b);
+        }
+        let adj_b = t.adjacency.entry(b).or_default();
+        if !adj_b.contains(&a) {
+            adj_b.push(a);
+        }
+        self.topology = t;
+    }
+
+    /// Charges `points` of misbehavior against `peer` as observed by
+    /// `observer`. Scores decay linearly with time so isolated accidents on
+    /// lossy links are forgiven; crossing the budget severs the edge for
+    /// `ban_secs` (with a scheduled heal that re-checks the handshake).
+    fn penalize(&mut self, observer: usize, peer: usize, points: u32) {
+        if observer == peer {
+            return;
+        }
+        let entry = self.scores.entry((observer, peer)).or_default();
+        let elapsed = self.now_ms.saturating_sub(entry.updated_ms);
+        let decayed = (elapsed / self.resilience.decay_ms_per_point.max(1)) as u32;
+        entry.points = entry.points.saturating_sub(decayed).saturating_add(points);
+        entry.updated_ms = self.now_ms;
+        if entry.points > self.resilience.misbehavior_budget {
+            self.scores.remove(&(observer, peer));
+            if self.sever_edge(observer, peer) {
+                self.report.peer_bans += 1;
+                self.push_event(
+                    self.now_ms + self.resilience.ban_secs * 1_000,
+                    EventKind::BanExpires {
+                        a: observer,
+                        b: peer,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Sends a tracked sync request and arms its timeout.
+    fn send_request(&mut self, node: usize, peer: usize, msg: Message, sticky_peer: bool) {
+        let kind = match msg {
+            Message::GetBlockHeaders { .. } => ReqKind::Headers,
+            _ => ReqKind::Bodies,
+        };
+        self.next_req_id += 1;
+        let req_id = self.next_req_id;
+        self.pending.insert(
+            req_id,
+            PendingRequest {
+                node,
+                peer,
+                msg: msg.clone(),
+                attempts: 1,
+                sticky_peer,
+                kind,
+            },
+        );
+        self.send(node, peer, &msg);
+        self.push_event(
+            self.now_ms + self.request_timeout_ms,
+            EventKind::RequestTimeout { req_id },
+        );
+    }
+
+    /// Marks the oldest matching pending request as answered (called when a
+    /// response arrives at `node` from `peer`).
+    fn complete_request(&mut self, node: usize, peer: usize, kind: ReqKind) {
+        let done = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.node == node && p.peer == peer && p.kind == kind)
+            .map(|(id, _)| *id);
+        if let Some(id) = done {
+            self.pending.remove(&id);
+        }
+    }
+
+    /// A request's timeout fired: retry with exponential backoff + jitter,
+    /// or give up and charge the peer once the retry budget is spent.
+    fn on_request_timeout(&mut self, req_id: u64) {
+        let Some(req) = self.pending.get(&req_id).cloned() else {
+            return; // answered in time
+        };
+        self.report.sync_timeouts += 1;
+        self.penalize(req.node, req.peer, SCORE_TIMEOUT);
+        if req.attempts > self.resilience.max_retries || !self.nodes[req.node].online {
+            self.pending.remove(&req_id);
+            return;
+        }
+        // Non-sticky requests rotate to a different online peer; sticky
+        // ones (announce-driven fetches) keep hammering the announcer so
+        // the penalty for bogus announcements stays on it.
+        if !req.sticky_peer {
+            let my_id = self.nodes[req.node].id;
+            let candidates: Vec<usize> = self
+                .topology
+                .peers(&my_id)
+                .iter()
+                .map(|p| self.id_index[p])
+                .filter(|&j| self.nodes[j].online && j != req.node)
+                .collect();
+            if !candidates.is_empty() {
+                let pick = candidates[self.rng.gen_range(0..candidates.len())];
+                if let Some(p) = self.pending.get_mut(&req_id) {
+                    p.peer = pick;
+                }
+            }
+        }
+        let attempts = req.attempts;
+        if let Some(p) = self.pending.get_mut(&req_id) {
+            p.attempts += 1;
+        }
+        let backoff = self.resilience.backoff_base_ms << (attempts - 1).min(16);
+        let jitter = if self.resilience.backoff_jitter_ms > 0 {
+            self.rng.gen_range(0..=self.resilience.backoff_jitter_ms)
+        } else {
+            0
+        };
+        self.push_event(
+            self.now_ms + backoff + jitter,
+            EventKind::SyncRetry { req_id },
+        );
+    }
+
+    /// A backed-off retry comes due: re-send and re-arm the timeout.
+    fn on_sync_retry(&mut self, req_id: u64) {
+        let Some(req) = self.pending.get(&req_id).cloned() else {
+            return;
+        };
+        if !self.nodes[req.node].online {
+            self.pending.remove(&req_id);
+            return;
+        }
+        self.report.sync_retries += 1;
+        self.send(req.node, req.peer, &req.msg);
+        self.push_event(
+            self.now_ms + self.request_timeout_ms,
+            EventKind::RequestTimeout { req_id },
+        );
+    }
+
+    /// Scripted crash: all volatile state is lost — gossip filters, orphan
+    /// pool, in-flight requests — and the node goes dark. The persisted
+    /// `ChainStore` survives for the restart.
+    fn crash_node(&mut self, i: usize) {
+        if !self.nodes[i].online {
+            return;
+        }
+        self.nodes[i].online = false;
+        self.nodes[i].epoch += 1; // discard scheduled mining
+        self.nodes[i].gossip = GossipState::new();
+        self.nodes[i].requested = SeenFilter::new(4_096);
+        self.nodes[i].orphans.clear();
+        self.recovering[i] = None;
+        let dead: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.node == i)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            self.pending.remove(&id);
+        }
+        self.report.crashes += 1;
+    }
+
+    /// Scripted restart: recover the persisted store (optionally truncating
+    /// a corrupted tail), measure the gap to the best compatible online
+    /// peer, and start resyncing toward it.
+    fn restart_node(&mut self, i: usize, recovery: RecoveryMode) {
+        if self.nodes[i].online {
+            return;
+        }
+        self.nodes[i].online = true;
+        self.nodes[i].epoch += 1;
+        self.report.restarts += 1;
+        if let RecoveryMode::TruncatedTail { depth } = recovery {
+            self.nodes[i].store.truncate_tail(depth);
+        }
+        // Resync target: the best head among online handshake-compatible
+        // peers right now (the honest measure of how far behind we are).
+        let my_id = self.nodes[i].id;
+        let peers: Vec<usize> = self
+            .topology
+            .peers(&my_id)
+            .iter()
+            .map(|p| self.id_index[p])
+            .filter(|&j| self.nodes[j].online && self.handshake_compatible(i, j))
+            .collect();
+        let target = peers
+            .iter()
+            .map(|&j| self.nodes[j].store.head_number())
+            .max()
+            .unwrap_or(0);
+        let own_head = self.nodes[i].store.head_number();
+        if target > own_head {
+            self.recovering[i] = Some((self.now_ms, target));
+            let peer = peers[self.rng.gen_range(0..peers.len())];
+            let count = (target - own_head).min(192);
+            self.send_request(
+                i,
+                peer,
+                Message::GetBlockHeaders {
+                    start: own_head + 1,
+                    count,
+                },
+                false,
+            );
+        }
+        if self.nodes[i].hashrate > 0.0 {
+            self.schedule_mining(i);
+        }
+    }
+
+    /// One round of a stale-spam byzantine node: re-gossip the (stale) head
+    /// to every peer and announce a batch of nonexistent hashes.
+    fn spam_tick(&mut self, i: usize, period_ms: u64) {
+        let Some(ByzantineBehavior::StaleSpam { fake_hashes, .. }) = self.byz_active(i) else {
+            return; // behavior expired (or node crashed out of it)
+        };
+        if self.nodes[i].online {
+            let head = self.nodes[i]
+                .store
+                .block(self.nodes[i].store.head_hash())
+                .cloned();
+            let td = self.nodes[i].store.head_total_difficulty();
+            let mut fakes = Vec::with_capacity(fake_hashes);
+            for _ in 0..fake_hashes {
+                let mut h = [0u8; 32];
+                self.chaos_rng.fill_bytes(&mut h);
+                fakes.push(H256(h));
+            }
+            let peers: Vec<usize> = self
+                .topology
+                .peers(&self.nodes[i].id)
+                .iter()
+                .map(|p| self.id_index[p])
+                .collect();
+            for j in peers {
+                if let Some(b) = &head {
+                    self.send(
+                        i,
+                        j,
+                        &Message::NewBlock {
+                            block: b.clone(),
+                            total_difficulty: td,
+                        },
+                    );
+                }
+                self.send(i, j, &Message::NewBlockHashes(fakes.clone()));
+            }
+        }
+        // Keep ticking while the behavior can still be active.
+        let next = self.now_ms + period_ms;
+        let still_active = match self.behaviors[i] {
+            Some((_, Some(until))) => next < until,
+            Some((_, None)) => true,
+            None => false,
+        };
+        if still_active && next <= self.end_ms {
+            self.push_event(next, EventKind::ByzantineTick { node: i, period_ms });
+        }
+    }
+
     /// Sends `msg` from node `i` to peer node `j` through the faulty link.
     fn send(&mut self, i: usize, j: usize, msg: &Message) {
         let tag = match msg {
@@ -442,8 +927,24 @@ impl MicroNet {
         self.sent_by_type[tag] += 1;
         // Frames carry a checksum (the RLPx MAC's role): corruption kills a
         // frame instead of mutating consensus data.
-        let frame = fork_net::seal_frame(&msg.encode());
-        for delivery in self.link.transmit(&frame, &mut self.rng) {
+        let mut frame = fork_net::seal_frame(&msg.encode());
+        if matches!(self.byz_active(i), Some(ByzantineBehavior::CorruptFrames)) {
+            // A corrupt-frame byzantine sender: flip one byte of everything
+            // it emits (drawing only from the chaos stream).
+            let idx = self.chaos_rng.gen_range(0..frame.len());
+            let mask = self.chaos_rng.gen_range(1..=255u8);
+            frame[idx] ^= mask;
+        }
+        // Degradation windows override the baseline fault plan for their
+        // duration; an empty plan never matches and costs nothing.
+        let link = match self.chaos.link_faults_at(self.now_ms) {
+            Some(faults) => Link {
+                latency: self.link.latency,
+                faults,
+            },
+            None => self.link.clone(),
+        };
+        for delivery in link.transmit(&frame, &mut self.rng) {
             self.push_event(
                 self.now_ms + delivery.delay_ms.max(1),
                 EventKind::Deliver {
@@ -516,6 +1017,14 @@ impl MicroNet {
                             }
                         }
                         self.schedule_mining(i);
+                        // Crash recovery completes when the head reaches the
+                        // target measured at restart.
+                        if let Some((t0, target)) = self.recovering[i] {
+                            if self.nodes[i].store.head_number() >= target {
+                                self.report.recovery_ms.push(self.now_ms - t0);
+                                self.recovering[i] = None;
+                            }
+                        }
                     }
                     ImportOutcome::SideChain => {
                         self.report.side_blocks += 1;
@@ -545,50 +1054,75 @@ impl MicroNet {
                 }
                 if let (Some(f), false) = (from, parent_walk_active) {
                     let head = self.nodes[i].store.head_number();
-                    if number > head + 8 {
+                    if number >= head + self.retention as u64 {
+                        // The gap exceeds every peer's retained window: the
+                        // needed ancestors are pruned network-wide, so no
+                        // amount of header-walking can ever close it. Snap
+                        // sync is the only recovery (what fast sync is for).
+                        if self.snap_sync(i) {
+                            self.schedule_mining(i);
+                        }
+                    } else if number > head + 8 {
                         // Large gap: header-first sync instead of walking
                         // one ancestor per round trip.
-                        self.send(
+                        self.send_request(
                             i,
                             f,
-                            &Message::GetBlockHeaders {
+                            Message::GetBlockHeaders {
                                 start: head + 1,
                                 count: number - head,
                             },
+                            false,
                         );
                     } else {
-                        self.send(i, f, &Message::GetBlockBodies(vec![parent]));
+                        self.send_request(i, f, Message::GetBlockBodies(vec![parent]), false);
                     }
                 }
             }
             Err(_) => {
-                // Invalid under this node's rules — the partition mechanism.
+                // Invalid under this node's rules — the partition mechanism
+                // (and, under chaos, the equivocation/garbage path). The
+                // sender is charged for wasting our validation time.
+                if let Some(f) = from {
+                    self.penalize(i, f, SCORE_INVALID_BLOCK);
+                }
             }
         }
     }
 
     fn handle_message(&mut self, from: usize, to: usize, bytes: Vec<u8>) {
         self.report.delivered += 1;
-        let Some(payload) = fork_net::open_frame(&bytes) else {
-            self.report.corrupted_frames += 1;
-            return;
+        let payload = match fork_net::open_frame(&bytes) {
+            Some(p) => p,
+            None => {
+                self.report.corrupted_frames += 1;
+                self.penalize(to, from, SCORE_CORRUPT_FRAME);
+                return;
+            }
         };
         let msg = match Message::decode(payload) {
             Ok(m) => m,
             Err(_) => {
                 self.report.corrupted_frames += 1;
+                self.penalize(to, from, SCORE_CORRUPT_FRAME);
                 return;
             }
         };
         match msg {
             Message::NewBlock { block, .. } => self.import_at(to, block, Some(from)),
             Message::NewBlockHashes(hashes) => {
+                // Fetch each announced hash at most once per filter window —
+                // under announcement spam the request stream stays bounded
+                // and the timeout/scoring path handles the fakes.
+                let node = &mut self.nodes[to];
                 let unknown: Vec<H256> = hashes
                     .into_iter()
-                    .filter(|h| !self.nodes[to].store.contains(*h))
+                    .filter(|h| !node.store.contains(*h))
+                    .filter(|h| node.requested.insert(*h))
                     .collect();
                 if !unknown.is_empty() {
-                    self.send(to, from, &Message::GetBlockBodies(unknown));
+                    // Sticky: a bogus announcement must cost the announcer.
+                    self.send_request(to, from, Message::GetBlockBodies(unknown), true);
                 }
             }
             Message::GetBlockBodies(hashes) => {
@@ -601,6 +1135,7 @@ impl MicroNet {
                 }
             }
             Message::BlockBodies(blocks) => {
+                self.complete_request(to, from, ReqKind::Bodies);
                 for b in blocks {
                     // Requested blocks bypass the seen-filter: they are
                     // usually re-fetches of ancestors first seen (and
@@ -626,6 +1161,7 @@ impl MicroNet {
                 }
             }
             Message::BlockHeaders(headers) => {
+                self.complete_request(to, from, ReqKind::Headers);
                 // Header-first sync: request the bodies we lack.
                 let unknown: Vec<H256> = headers
                     .iter()
@@ -633,7 +1169,10 @@ impl MicroNet {
                     .filter(|h| !self.nodes[to].store.contains(*h))
                     .collect();
                 if !unknown.is_empty() {
-                    self.send(to, from, &Message::GetBlockBodies(unknown));
+                    // Sticky: the header server has the bodies by
+                    // construction, so rotating peers would only misattribute
+                    // a failure.
+                    self.send_request(to, from, Message::GetBlockBodies(unknown), true);
                 }
             }
             Message::Ping(n) => self.send(to, from, &Message::Pong(n)),
@@ -645,6 +1184,18 @@ impl MicroNet {
     fn mine_block(&mut self, i: usize) {
         let ts = self.start.as_unix() + self.now_ms / 1_000;
         let beneficiary = Address(self.nodes[i].id.0 .0[..20].try_into().expect("20 bytes"));
+        // An equivocating miner seals a second, conflicting block at the
+        // same height (the twin is built first, while the store's head is
+        // still the shared parent) and feeds it to half its peers.
+        let twin = if matches!(self.byz_active(i), Some(ByzantineBehavior::Equivocate)) {
+            Some(
+                self.nodes[i]
+                    .store
+                    .propose(beneficiary, ts + 1, Vec::new(), &[]),
+            )
+        } else {
+            None
+        };
         let block = self.nodes[i]
             .store
             .propose(beneficiary, ts, Vec::new(), &[]);
@@ -652,21 +1203,57 @@ impl MicroNet {
         self.report.ommers_included += block.ommers.len() as u64;
         self.mined_at.insert(block.hash(), self.now_ms);
         self.import_at(i, block, None);
+        if let Some(twin) = twin {
+            self.report.equivocations += 1;
+            self.nodes[i].gossip.blocks.insert(twin.hash());
+            let peers: Vec<usize> = self
+                .topology
+                .peers(&self.nodes[i].id)
+                .iter()
+                .map(|p| self.id_index[p])
+                .collect();
+            let td = self.nodes[i].store.head_total_difficulty();
+            for j in peers.into_iter().skip(1).step_by(2) {
+                self.send(
+                    i,
+                    j,
+                    &Message::NewBlock {
+                        block: twin.clone(),
+                        total_difficulty: td,
+                    },
+                );
+            }
+        }
     }
 
     /// Runs the simulation to completion and returns statistics.
     pub fn run(&mut self) -> MicroReport {
-        let mut processed: u64 = 0;
-        while let Some(Reverse(event)) = self.queue.pop() {
-            if event.at_ms > self.end_ms {
+        self.run_until(self.end_ms);
+        self.finalize_report()
+    }
+
+    /// Advances the event loop up to simulated time `t_ms` (capped at the
+    /// configured duration). The chaos harness steps a run in windows,
+    /// checking invariants between them; `run_until(end)` followed by
+    /// [`MicroNet::finalize_report`] is exactly [`MicroNet::run`].
+    pub fn run_until(&mut self, t_ms: u64) {
+        let cap = t_ms.min(self.end_ms);
+        while let Some(Reverse(peeked)) = self.queue.peek() {
+            if peeked.at_ms > cap {
                 break;
             }
-            processed += 1;
-            if processed.is_multiple_of(200_000) && std::env::var_os("FORK_MICRO_DEBUG").is_some() {
+            let Some(Reverse(event)) = self.queue.pop() else {
+                break;
+            };
+            self.processed += 1;
+            if self.processed.is_multiple_of(200_000)
+                && std::env::var_os("FORK_MICRO_DEBUG").is_some()
+            {
                 let orphans: usize = (0..self.nodes.len()).map(|i| self.orphan_count(i)).sum();
                 let heads: Vec<u64> = self.nodes.iter().map(|n| n.store.head_number()).collect();
                 eprintln!(
-                    "micro: {processed} events, t={}ms, queue={}, sent={:?}, orphans={orphans}, heads={heads:?}",
+                    "micro: {} events, t={}ms, queue={}, sent={:?}, orphans={orphans}, heads={heads:?}",
+                    self.processed,
                     event.at_ms,
                     self.queue.len(),
                     self.sent_by_type,
@@ -689,8 +1276,36 @@ impl MicroNet {
                 EventKind::NodeJoins { node } => {
                     self.join_node(node);
                 }
+                EventKind::NodeCrashes { node } => {
+                    self.crash_node(node);
+                }
+                EventKind::NodeRestarts { node, recovery } => {
+                    self.restart_node(node, recovery);
+                }
+                EventKind::ByzantineTick { node, period_ms } => {
+                    self.spam_tick(node, period_ms);
+                }
+                EventKind::RequestTimeout { req_id } => {
+                    self.on_request_timeout(req_id);
+                }
+                EventKind::SyncRetry { req_id } => {
+                    self.on_sync_retry(req_id);
+                }
+                EventKind::BanExpires { a, b } => {
+                    // Bans heal — permanent graph damage would outlive the
+                    // fault that caused it — but only if the pair would
+                    // still pass a fresh handshake (cross-fork stays cut).
+                    if self.handshake_compatible(a, b) {
+                        self.restore_edge(a, b);
+                    }
+                }
             }
         }
+        self.now_ms = cap.max(self.now_ms);
+    }
+
+    /// Fills in the end-of-run derived statistics and returns the report.
+    pub fn finalize_report(&mut self) -> MicroReport {
         for (i, node) in self.nodes.iter().enumerate() {
             self.report.head_numbers[i] = node.store.head_number();
         }
@@ -699,17 +1314,53 @@ impl MicroNet {
         } else {
             self.propagation_sum_ms / self.propagation_samples as f64
         };
-        // Partition census: cluster nodes by their fork-height canonical
-        // hash (or head hash when no fork is configured).
-        let mut groups: HashMap<Option<H256>, usize> = HashMap::new();
-        for node in &self.nodes {
-            let key = match self.fork_height {
-                Some(h) => node.store.canonical_hash(h),
-                None => Some(node.store.head_hash()),
-            };
-            *groups.entry(key).or_default() += 1;
-        }
-        let mut sizes: Vec<usize> = groups.into_values().collect();
+        // Partition census.
+        let mut sizes: Vec<usize> = match self.fork_height {
+            // No fork configured: cluster by exact head hash.
+            None => {
+                let mut groups: HashMap<H256, usize> = HashMap::new();
+                for node in &self.nodes {
+                    *groups.entry(node.store.head_hash()).or_default() += 1;
+                }
+                groups.into_values().collect()
+            }
+            // Fork configured: cluster by chain agreement — two nodes share
+            // a group when both still retain a common canonical height
+            // (a few blocks below the lower head, so an ordinary tip race
+            // doesn't read as a partition) and hold the same hash there.
+            // (Keying on the fork-height hash directly breaks on long runs:
+            // the fork block leaves every store's retention window and all
+            // sides collapse into one `None` group.)
+            Some(h_fork) => {
+                let n = self.nodes.len();
+                let mut group = vec![usize::MAX; n];
+                let mut count = Vec::new();
+                for i in 0..n {
+                    if group[i] != usize::MAX {
+                        continue;
+                    }
+                    group[i] = count.len();
+                    count.push(1usize);
+                    let head_i = self.nodes[i].store.head_number();
+                    for j in i + 1..n {
+                        if group[j] != usize::MAX {
+                            continue;
+                        }
+                        let m = head_i.min(self.nodes[j].store.head_number());
+                        // Step below transient-fork depth, but never below
+                        // the fork height (above which the sides differ at
+                        // every block).
+                        let cmp = m.saturating_sub(8).max(h_fork.min(m));
+                        let a = self.nodes[i].store.canonical_hash(cmp);
+                        if a.is_some() && a == self.nodes[j].store.canonical_hash(cmp) {
+                            group[j] = group[i];
+                            count[group[i]] += 1;
+                        }
+                    }
+                }
+                count
+            }
+        };
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         self.report.partition_groups = sizes;
         self.report.clone()
@@ -752,10 +1403,35 @@ impl MicroNet {
             ("micro.reorgs", r.reorgs),
             ("micro.handshake_drops", r.handshake_drops),
             ("micro.joined", r.joined),
+            ("micro.chaos.crashes", r.crashes),
+            ("micro.chaos.restarts", r.restarts),
+            ("micro.chaos.equivocations", r.equivocations),
+            ("micro.sync.timeouts", r.sync_timeouts),
+            ("micro.sync.retries", r.sync_retries),
+            ("micro.peers.banned", r.peer_bans),
         ] {
             if v > 0 {
                 snap.counters.insert(name.into(), v);
             }
+        }
+        if !r.recovery_ms.is_empty() {
+            // Hand-built histogram (same log2 bucketing as the telemetry
+            // crate) so recovery times export identically with the
+            // `telemetry` feature on or off.
+            let mut h = fork_telemetry::HistogramSnapshot::default();
+            for &v in &r.recovery_ms {
+                h.count += 1;
+                h.sum += v;
+                h.min = if h.count == 1 { v } else { h.min.min(v) };
+                h.max = h.max.max(v);
+                let bucket = if v == 0 {
+                    0
+                } else {
+                    64 - v.leading_zeros() as usize
+                };
+                h.buckets[bucket] += 1;
+            }
+            snap.histograms.insert("micro.chaos.recovery_ms".into(), h);
         }
         snap.gauges
             .insert("micro.nodes".into(), self.nodes.len() as i64);
@@ -765,6 +1441,46 @@ impl MicroNet {
     /// Number of orphan blocks a node is holding (diagnostics).
     pub fn orphan_count(&self, i: usize) -> usize {
         self.nodes[i].orphans.values().map(Vec::len).sum()
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether node `i` is currently online.
+    pub fn is_online(&self, i: usize) -> bool {
+        self.nodes[i].online
+    }
+
+    /// The configured fork height, when running a fork-split assignment.
+    pub fn fork_height(&self) -> Option<u64> {
+        self.fork_height
+    }
+
+    /// Current simulated time, milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Events waiting in the queue (bounded-memory invariant input).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// In-flight tracked sync requests.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// A node's gossip dedup state (inspection).
+    pub fn gossip_state(&self, i: usize) -> &GossipState {
+        &self.nodes[i].gossip
+    }
+
+    /// A node's requested-hashes dedup filter (inspection).
+    pub fn requested_filter(&self, i: usize) -> &SeenFilter<H256> {
+        &self.nodes[i].requested
     }
 }
 
@@ -862,11 +1578,7 @@ mod tests {
             n_nodes: 12,
             n_miners: 4,
             duration_secs: 1_200,
-            faults: FaultPlan {
-                drop_chance: 0.10,
-                duplicate_chance: 0.05,
-                corrupt_chance: 0.10,
-            },
+            faults: FaultPlan::new(0.10, 0.05, 0.10).unwrap(),
             ..MicroConfig::default()
         });
         let report = net.run();
@@ -1008,5 +1720,259 @@ mod tests {
         }
         let eth_anchor = net.node_store(0).canonical_hash(1);
         assert_ne!(etc_anchor, eth_anchor);
+    }
+
+    #[test]
+    fn crashed_nodes_restart_and_catch_up() {
+        use crate::chaos::{ChaosPlan, CrashEvent, RecoveryMode};
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 20,
+            n_nodes: 10,
+            n_miners: 4,
+            duration_secs: 1_800,
+            chaos: ChaosPlan {
+                crashes: vec![
+                    CrashEvent {
+                        node: 1,
+                        at_secs: 300,
+                        down_secs: 120,
+                        recovery: RecoveryMode::Intact,
+                    },
+                    CrashEvent {
+                        node: 2,
+                        at_secs: 400,
+                        down_secs: 120,
+                        recovery: RecoveryMode::TruncatedTail { depth: 3 },
+                    },
+                ],
+                ..ChaosPlan::NONE
+            },
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        assert_eq!(report.crashes, 2);
+        assert_eq!(report.restarts, 2);
+        // Both restarts were behind (≈8 blocks of downtime each, plus the
+        // truncated tail) and measurably recovered.
+        assert_eq!(report.recovery_ms.len(), 2, "{:?}", report.recovery_ms);
+        assert!(report.recovery_ms.iter().all(|&ms| ms > 0));
+        // By the end, the whole network is back on one chain.
+        let max = *report.head_numbers.iter().max().unwrap();
+        let min = *report.head_numbers.iter().min().unwrap();
+        assert!(max - min <= 2, "heads diverged: {:?}", report.head_numbers);
+        assert_eq!(report.partition_groups.len(), 1);
+        // Counters surface in telemetry.
+        let snap = net.telemetry_snapshot();
+        assert_eq!(snap.counters["micro.chaos.crashes"], 2);
+        assert_eq!(snap.counters["micro.chaos.restarts"], 2);
+        assert_eq!(snap.histograms["micro.chaos.recovery_ms"].count, 2);
+    }
+
+    #[test]
+    fn corrupt_frame_byzantine_is_banned_then_rejoins() {
+        use crate::chaos::{ByzantineBehavior, ByzantineNode, ChaosPlan};
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 21,
+            n_nodes: 10,
+            n_miners: 4,
+            duration_secs: 2_400,
+            chaos: ChaosPlan {
+                byzantine: vec![ByzantineNode {
+                    node: 1,
+                    behavior: ByzantineBehavior::CorruptFrames,
+                    until_secs: Some(600),
+                }],
+                ..ChaosPlan::NONE
+            },
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        assert!(report.corrupted_frames > 0, "byzantine sender was active");
+        assert!(
+            report.peer_bans > 0,
+            "persistent corruption must trip the misbehavior score"
+        );
+        // After turning honest at t=600s, bans expire and the node rejoins:
+        // it finishes on the common chain.
+        let max = *report.head_numbers.iter().max().unwrap();
+        assert!(
+            max - report.head_numbers[1] <= 2,
+            "reformed node still behind: {} vs {max}",
+            report.head_numbers[1]
+        );
+        assert_eq!(report.partition_groups.len(), 1);
+    }
+
+    #[test]
+    fn stale_spam_is_bounded_and_costs_the_spammer() {
+        use crate::chaos::{ByzantineBehavior, ByzantineNode, ChaosPlan};
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 22,
+            n_nodes: 10,
+            n_miners: 4,
+            duration_secs: 2_400,
+            chaos: ChaosPlan {
+                byzantine: vec![ByzantineNode {
+                    node: 1,
+                    behavior: ByzantineBehavior::StaleSpam {
+                        period_secs: 15,
+                        fake_hashes: 3,
+                    },
+                    until_secs: Some(900),
+                }],
+                ..ChaosPlan::NONE
+            },
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        // Fake announcements are fetched, time out, and get retried a
+        // bounded number of times; the spammer pays in score.
+        assert!(report.sync_timeouts > 0, "fake hashes must time out");
+        assert!(report.peer_bans > 0, "the spammer must get banned");
+        // The per-node requested filter (not the spam) bounds request
+        // amplification.
+        for i in 0..net.node_count() {
+            let f = net.requested_filter(i);
+            assert!(f.len() <= 2 * f.capacity());
+        }
+        // Honest nodes were never disturbed off the common chain.
+        let max = *report.head_numbers.iter().max().unwrap();
+        let min = *report.head_numbers.iter().min().unwrap();
+        assert!(max - min <= 2, "heads diverged: {:?}", report.head_numbers);
+    }
+
+    #[test]
+    fn equivocating_miner_is_counted_and_survivable() {
+        use crate::chaos::{ByzantineBehavior, ByzantineNode, ChaosPlan};
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 23,
+            n_nodes: 10,
+            n_miners: 10, // the byzantine node must mine to equivocate
+            duration_secs: 2_400,
+            chaos: ChaosPlan {
+                byzantine: vec![ByzantineNode {
+                    node: 1,
+                    behavior: ByzantineBehavior::Equivocate,
+                    until_secs: Some(1_200),
+                }],
+                ..ChaosPlan::NONE
+            },
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        assert!(report.equivocations > 0, "equivocating miner found blocks");
+        // Twins breed transient forks, but total difficulty resolves them.
+        let max = *report.head_numbers.iter().max().unwrap();
+        let min = *report.head_numbers.iter().min().unwrap();
+        assert!(max - min <= 2, "heads diverged: {:?}", report.head_numbers);
+        assert_eq!(report.partition_groups.len(), 1);
+    }
+
+    #[test]
+    fn degradation_window_exercises_the_retry_path() {
+        use crate::chaos::{ChaosPlan, DegradationWindow};
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 24,
+            n_nodes: 10,
+            n_miners: 4,
+            duration_secs: 2_400,
+            chaos: ChaosPlan {
+                degradations: vec![DegradationWindow {
+                    from_secs: 300,
+                    until_secs: 900,
+                    faults: FaultPlan::new(0.25, 0.0, 0.0).unwrap(),
+                }],
+                ..ChaosPlan::NONE
+            },
+            ..MicroConfig::default()
+        });
+        let report = net.run();
+        assert!(
+            report.sync_timeouts > 0,
+            "a 25% drop storm must produce request timeouts"
+        );
+        assert!(report.sync_retries > 0, "timeouts must be retried");
+        // Once the window closes, retry/backoff heals the gaps.
+        let max = *report.head_numbers.iter().max().unwrap();
+        let min = *report.head_numbers.iter().min().unwrap();
+        assert!(max - min <= 2, "heads diverged: {:?}", report.head_numbers);
+        assert_eq!(report.partition_groups.len(), 1);
+    }
+
+    #[test]
+    fn inert_chaos_plan_changes_nothing() {
+        use crate::chaos::{
+            ByzantineBehavior, ByzantineNode, ChaosPlan, CrashEvent, DegradationWindow,
+            RecoveryMode,
+        };
+        let base = MicroConfig {
+            seed: 25,
+            n_nodes: 10,
+            n_miners: 4,
+            duration_secs: 900,
+            ..MicroConfig::default()
+        };
+        let mut clean = MicroNet::new(base.clone());
+        let clean_report = clean.run();
+        // A plan whose every entry lies beyond the run (or is already
+        // expired) must not perturb a single event or RNG draw.
+        let mut inert = MicroNet::new(MicroConfig {
+            chaos: ChaosPlan {
+                crashes: vec![CrashEvent {
+                    node: 1,
+                    at_secs: 100_000,
+                    down_secs: 60,
+                    recovery: RecoveryMode::Intact,
+                }],
+                degradations: vec![DegradationWindow {
+                    from_secs: 100_000,
+                    until_secs: 200_000,
+                    faults: FaultPlan::stress(),
+                }],
+                byzantine: vec![ByzantineNode {
+                    node: 2,
+                    behavior: ByzantineBehavior::Equivocate,
+                    until_secs: Some(0), // expired before the run starts
+                }],
+            },
+            ..base
+        });
+        let inert_report = inert.run();
+        assert_eq!(clean_report, inert_report);
+        assert_eq!(
+            clean
+                .telemetry_snapshot()
+                .to_json(fork_telemetry::TimingMode::Zeroed),
+            inert
+                .telemetry_snapshot()
+                .to_json(fork_telemetry::TimingMode::Zeroed),
+        );
+    }
+
+    #[test]
+    fn windowed_stepping_matches_one_shot_run() {
+        // The chaos harness steps the net window by window to interleave
+        // invariant checks; that must not change the simulation.
+        let scenario = crate::scenario::chaos_scenario(6);
+        let mut one_shot = MicroNet::new(scenario.config.clone());
+        let one_report = one_shot.run();
+
+        let mut stepped = MicroNet::new(scenario.config.clone());
+        let end_ms = scenario.config.duration_secs * 1_000;
+        let mut t = 0;
+        while t < end_ms {
+            t += 60_000;
+            stepped.run_until(t.min(end_ms));
+        }
+        let stepped_report = stepped.finalize_report();
+        assert_eq!(one_report, stepped_report);
+        assert_eq!(
+            one_shot
+                .telemetry_snapshot()
+                .to_json(fork_telemetry::TimingMode::Zeroed),
+            stepped
+                .telemetry_snapshot()
+                .to_json(fork_telemetry::TimingMode::Zeroed),
+        );
     }
 }

@@ -22,10 +22,15 @@ use fork_primitives::time::DAO_FORK_TIMESTAMP;
 use fork_primitives::{units::ether, Address, ChainId, SimTime, U256};
 use fork_replay::{etc_adoption, eth_adoption};
 
+use crate::chaos::{
+    ByzantineBehavior, ByzantineNode, ChaosPlan, CrashEvent, DegradationWindow, RecoveryMode,
+};
 use crate::meso::{MesoConfig, NetworkParams};
+use crate::micro::{MicroConfig, SpecAssignment};
 use crate::rng::SimRng;
 use crate::schedule::StepSeries;
 use crate::workload::WorkloadParams;
+use fork_net::FaultPlan;
 
 /// Maps a real mainnet block height into simulation heights.
 pub fn sim_height(real: u64) -> u64 {
@@ -253,6 +258,126 @@ pub fn dao_scenario(seed: u64, days: u64) -> MesoConfig {
 /// Figure 1's window: the month following the fork.
 pub fn fork_month(seed: u64) -> MesoConfig {
     dao_scenario(seed, 31)
+}
+
+/// The chaos harness preset: a fork-split micro network plus the metadata
+/// the harness needs to judge it.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// The micro-engine configuration, chaos plan included.
+    pub config: MicroConfig,
+    /// Pro-fork node indices (the first half).
+    pub eth_nodes: Vec<usize>,
+    /// Anti-fork node indices (the second half).
+    pub etc_nodes: Vec<usize>,
+    /// Seconds into the run by which every scripted fault has ended (crashes
+    /// recovered, degradation window closed, byzantine nodes turned honest).
+    pub faults_clear_secs: u64,
+    /// The per-side target block interval the scenario is tuned for.
+    pub target_block_secs: f64,
+}
+
+impl ChaosScenario {
+    /// The same run with the chaos plan stripped — the byte-identical
+    /// baseline a chaos run is diffed against.
+    pub fn base_without_chaos(&self) -> MicroConfig {
+        MicroConfig {
+            chaos: ChaosPlan::NONE,
+            ..self.config.clone()
+        }
+    }
+}
+
+/// The standard chaos scenario: a 20-node fork-split network (half pro-,
+/// half anti-fork, all mining) hit — entirely in the first 25 simulated
+/// minutes — by two node crashes (one restarting intact, one with a
+/// truncated store tail), a 10-minute 15%-drop link storm, and three
+/// byzantine peers (an equivocating miner, a corrupt-frame sender, and a
+/// stale/fake-hash spammer). Nodes 0 and 19 are never touched by the plan,
+/// so each side keeps a clean representative. Hashrate and genesis
+/// difficulty are tuned so each side starts at the paper's 14-second block
+/// target; the long fault-free tail after `faults_clear_secs` is where the
+/// harness measures recovery and convergence.
+pub fn chaos_scenario(seed: u64) -> ChaosScenario {
+    let mut eth = ChainSpec::eth(vec![dao_vault_address()], dao_refund_address());
+    let mut etc = ChainSpec::etc(vec![dao_vault_address()], dao_refund_address());
+    // Test scale: fork at block 1, fast-retarget difficulty, light PoW.
+    for spec in [&mut eth, &mut etc] {
+        spec.difficulty = ChainSpec::test().difficulty;
+        spec.pow_work_factor = 2;
+        if let Some(d) = spec.dao_fork.as_mut() {
+            d.block = SIM_FORK_BLOCK;
+        }
+        spec.eip150_block = None;
+        spec.eip155 = None;
+    }
+
+    let chaos = ChaosPlan {
+        crashes: vec![
+            CrashEvent {
+                node: 3,
+                at_secs: 600,
+                down_secs: 300,
+                recovery: RecoveryMode::Intact,
+            },
+            CrashEvent {
+                node: 15,
+                at_secs: 800,
+                down_secs: 240,
+                recovery: RecoveryMode::TruncatedTail { depth: 4 },
+            },
+        ],
+        degradations: vec![DegradationWindow {
+            from_secs: 900,
+            until_secs: 1_500,
+            faults: FaultPlan::new(0.15, 0.0, 0.0).expect("static chances are valid"),
+        }],
+        byzantine: vec![
+            ByzantineNode {
+                node: 2,
+                behavior: ByzantineBehavior::Equivocate,
+                until_secs: Some(1_200),
+            },
+            ByzantineNode {
+                node: 5,
+                behavior: ByzantineBehavior::CorruptFrames,
+                until_secs: Some(1_500),
+            },
+            ByzantineNode {
+                node: 16,
+                behavior: ByzantineBehavior::StaleSpam {
+                    period_secs: 15,
+                    fake_hashes: 4,
+                },
+                until_secs: Some(1_500),
+            },
+        ],
+    };
+
+    // 1,000 h/s split evenly across 20 mining nodes → 500 h/s per side;
+    // genesis difficulty 7,000 → 14-second blocks on each side from the
+    // start (no slow Homestead retarget transient to wait out).
+    ChaosScenario {
+        config: MicroConfig {
+            seed,
+            n_nodes: 20,
+            n_miners: 20,
+            total_hashrate: 1_000.0,
+            genesis_difficulty: U256::from_u64(7_000),
+            duration_secs: 4_800,
+            specs: SpecAssignment::ForkSplit {
+                eth,
+                etc,
+                eth_fraction: 0.5,
+            },
+            chaos,
+            ..MicroConfig::default()
+        },
+        eth_nodes: (0..10).collect(),
+        etc_nodes: (10..20).collect(),
+        faults_clear_secs: 1_500,
+        target_block_secs: 14.0,
+    }
 }
 
 /// Figures 2–5's window: the full nine-month study (280 days).

@@ -24,6 +24,33 @@ fn identical_runs_export_identical_telemetry_json() {
     assert!(!a.contains("\"total_ns\": 1"), "no wall-clock leaks");
 }
 
+/// A chaos-enabled micro run is exactly as deterministic as a clean one:
+/// crashes, bans, retries, and the recovery histogram must export
+/// byte-identically across reruns of the same seed.
+#[test]
+fn chaos_run_telemetry_is_deterministic() {
+    let run = |seed: u64| {
+        let mut net = fork_sim::MicroNet::new(scenario::chaos_scenario(seed).config);
+        let report = net.run();
+        assert!(report.crashes > 0, "chaos plan must fire");
+        net.telemetry_snapshot().to_json(TimingMode::Zeroed)
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a, b, "chaos telemetry must be deterministic across reruns");
+    for key in [
+        "micro.chaos.crashes",
+        "micro.chaos.restarts",
+        "micro.chaos.equivocations",
+        "micro.chaos.recovery_ms",
+        "micro.sync.timeouts",
+        "micro.sync.retries",
+        "micro.peers.banned",
+    ] {
+        assert!(a.contains(key), "missing {key} in {a}");
+    }
+}
+
 #[cfg(feature = "telemetry")]
 #[test]
 fn telemetry_json_carries_engine_metrics() {

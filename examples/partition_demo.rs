@@ -54,11 +54,8 @@ fn main() {
         n_miners: 30,
         duration_secs: 1_800,
         latency: LatencyModel::default(),
-        faults: FaultPlan {
-            drop_chance,
-            corrupt_chance,
-            duplicate_chance: 0.0,
-        },
+        faults: FaultPlan::new(drop_chance, 0.0, corrupt_chance)
+            .expect("fault chances validated at parse time"),
         specs: SpecAssignment::ForkSplit {
             eth,
             etc,

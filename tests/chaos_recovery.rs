@@ -1,0 +1,140 @@
+//! The chaos harness: the standard fault-injection scenario swept across
+//! seeds, with every safety invariant checked window by window.
+//!
+//! The scenario (see `fork_sim::scenario::chaos_scenario`) runs a 20-node
+//! fork-split network through two node crashes (one restarting intact, one
+//! with a truncated store tail), a 10-minute 15%-drop link storm, and three
+//! byzantine peers — all inside the first 25 simulated minutes — followed by
+//! a long fault-free tail. The test asserts that across ≥8 seeds:
+//!
+//! * no invariant (store consistency, cross-spec isolation, bounded memory)
+//!   is ever violated, at any 60-second checkpoint;
+//! * every scripted fault actually fired (crashes, restarts, bans,
+//!   timeouts, equivocations — chaos that silently no-ops tests nothing);
+//! * both partition sides converge internally after the faults clear, and
+//!   their post-fault block production is within 25% of the 14-second
+//!   target;
+//! * a `ChaosPlan::NONE` run of the same configuration is byte-identically
+//!   deterministic — the chaos layer costs a clean run nothing.
+
+use stick_a_fork::sim::invariants::{check_invariants, check_side_agreement};
+use stick_a_fork::sim::micro::MicroNet;
+use stick_a_fork::sim::scenario::chaos_scenario;
+use stick_a_fork::telemetry::TimingMode;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+#[test]
+fn chaos_seed_sweep_holds_every_invariant_and_recovers() {
+    for &seed in &SEEDS {
+        let scenario = chaos_scenario(seed);
+        let end_ms = scenario.config.duration_secs * 1_000;
+        let clear_ms = scenario.faults_clear_secs * 1_000;
+        let mut net = MicroNet::new(scenario.config.clone());
+
+        // Step in 60-second windows, checking invariants at each boundary so
+        // a violation is pinned near the event that caused it. Capture each
+        // side's clean representative head as the faults clear.
+        let mut heads_at_clear: Option<(u64, u64)> = None;
+        let mut t = 0;
+        while t < end_ms {
+            t = (t + 60_000).min(end_ms);
+            net.run_until(t);
+            if let Err(v) = check_invariants(&net) {
+                panic!("seed {seed}, t={}s: invariant violated: {v}", t / 1_000);
+            }
+            if t >= clear_ms && heads_at_clear.is_none() {
+                heads_at_clear = Some((
+                    net.node_store(0).head_number(),
+                    net.node_store(19).head_number(),
+                ));
+            }
+        }
+        let report = net.finalize_report();
+
+        // Every scripted fault must actually have fired.
+        assert_eq!(report.crashes, 2, "seed {seed}");
+        assert_eq!(report.restarts, 2, "seed {seed}");
+        assert_eq!(
+            report.recovery_ms.len(),
+            2,
+            "seed {seed}: both restarts were behind and must measurably recover: {:?}",
+            report.recovery_ms
+        );
+        assert!(
+            report.equivocations > 0,
+            "seed {seed}: the equivocating miner never found a block"
+        );
+        assert!(
+            report.corrupted_frames > 0,
+            "seed {seed}: the corrupt-frame byzantine left no trace"
+        );
+        assert!(
+            report.sync_timeouts > 0 && report.sync_retries > 0,
+            "seed {seed}: fakes and the drop storm must exercise retry ({} timeouts, {} retries)",
+            report.sync_timeouts,
+            report.sync_retries
+        );
+        assert!(
+            report.peer_bans > 0,
+            "seed {seed}: sustained misbehavior must cost at least one ban"
+        );
+
+        // The partition survived the chaos: exactly two sides, and each side
+        // internally converged once faults cleared.
+        assert_eq!(
+            report.partition_groups,
+            vec![10, 10],
+            "seed {seed}: groups {:?}, heads {:?}, online {:?}",
+            report.partition_groups,
+            report.head_numbers,
+            (0..20).map(|i| net.is_online(i)).collect::<Vec<_>>()
+        );
+        check_side_agreement(&net, &scenario.eth_nodes, 3)
+            .unwrap_or_else(|v| panic!("seed {seed}: pro-fork side diverged: {v}"));
+        check_side_agreement(&net, &scenario.etc_nodes, 3)
+            .unwrap_or_else(|v| panic!("seed {seed}: anti-fork side diverged: {v}"));
+
+        // Post-fault block production within 25% of the 14-second target,
+        // measured on each side's chaos-free representative (nodes 0 / 19)
+        // over the fault-free tail.
+        let (eth_clear, etc_clear) = heads_at_clear.expect("run passed faults_clear");
+        let tail_secs = (end_ms - clear_ms) as f64 / 1_000.0;
+        for (side, clear_head, node) in [("eth", eth_clear, 0usize), ("etc", etc_clear, 19)] {
+            let blocks = net.node_store(node).head_number() - clear_head;
+            assert!(blocks > 0, "seed {seed}: {side} side stalled after faults");
+            let block_time = tail_secs / blocks as f64;
+            let target = scenario.target_block_secs;
+            assert!(
+                (block_time - target).abs() <= 0.25 * target,
+                "seed {seed}: {side} post-fault block time {block_time:.1}s vs target {target}s"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_none_is_byte_identical() {
+    let scenario = chaos_scenario(3);
+
+    // Two clean runs of the same seed: reports and telemetry JSON must match
+    // byte for byte — the chaos layer, compiled in but inert, perturbs
+    // nothing.
+    let base = scenario.base_without_chaos();
+    let mut a = MicroNet::new(base.clone());
+    let report_a = a.run();
+    let mut b = MicroNet::new(base);
+    let report_b = b.run();
+    assert_eq!(report_a, report_b);
+    assert_eq!(
+        a.telemetry_snapshot().to_json(TimingMode::Zeroed),
+        b.telemetry_snapshot().to_json(TimingMode::Zeroed),
+    );
+
+    // And the chaos plan is not a no-op: the same seed under chaos tells a
+    // different story.
+    let mut chaotic = MicroNet::new(scenario.config.clone());
+    let chaos_report = chaotic.run();
+    assert_ne!(report_a, chaos_report);
+    assert_eq!(chaos_report.crashes, 2);
+}
