@@ -59,6 +59,24 @@ pub fn write_json(path: impl AsRef<Path>, series: &[&TimeSeries]) -> std::io::Re
     f.write_all(to_json(series).as_bytes())
 }
 
+/// Converts a telemetry histogram (log2 buckets) into a [`TimeSeries`]-shaped
+/// export: x is each occupied bucket's lower bound, y its sample count. The
+/// same CSV/JSON writers that handle figure series then handle histogram
+/// exports (block inter-arrival distributions, frame sizes, …).
+pub fn histogram_series(
+    label: impl Into<String>,
+    h: &fork_telemetry::HistogramSnapshot,
+) -> TimeSeries {
+    let mut s = TimeSeries::new(label);
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            let (lo, _) = fork_telemetry::bucket_range(i);
+            s.points.push((lo, n as f64));
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

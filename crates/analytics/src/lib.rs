@@ -16,7 +16,7 @@ pub mod record;
 pub mod render;
 pub mod series;
 
-pub use export::{to_csv, to_json, write_csv, write_json};
+pub use export::{histogram_series, to_csv, to_json, write_csv, write_json};
 pub use pipeline::Pipeline;
 pub use record::{BlockRecord, TxRecord};
 pub use render::{ascii_chart, markdown_table};

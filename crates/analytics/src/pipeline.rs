@@ -83,18 +83,39 @@ impl NetworkAggregates {
     }
 }
 
+/// Cached ingest span handles (no-ops unless the build enables telemetry).
+#[derive(Debug, Clone)]
+struct IngestSpans {
+    block: std::sync::Arc<fork_telemetry::SpanStats>,
+    tx: std::sync::Arc<fork_telemetry::SpanStats>,
+}
+
 /// The two-network aggregation pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct Pipeline {
     eth: NetworkAggregates,
     etc: NetworkAggregates,
     echo: EchoDetector,
+    /// Optional `analytics.ingest.*` spans — attached by study runs and
+    /// archive replays so ingestion cost is measurable either way.
+    spans: Option<IngestSpans>,
 }
 
 impl Pipeline {
     /// Fresh pipeline.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Times every `ingest_block` / `ingest_tx` under
+    /// `analytics.ingest.block` / `analytics.ingest.tx` in `registry`.
+    /// Spans never influence the aggregates, so an instrumented pipeline
+    /// produces byte-identical figures to a bare one.
+    pub fn attach_telemetry(&mut self, registry: &fork_telemetry::MetricsRegistry) {
+        self.spans = Some(IngestSpans {
+            block: registry.span("analytics.ingest.block"),
+            tx: registry.span("analytics.ingest.tx"),
+        });
     }
 
     fn side(&self, side: Side) -> &NetworkAggregates {
@@ -113,11 +134,13 @@ impl Pipeline {
 
     /// Ingests one finalized block.
     pub fn ingest_block(&mut self, b: &BlockRecord) {
+        let _guard = self.spans.as_ref().map(|s| s.block.enter());
         self.side_mut(b.network).ingest_block(b);
     }
 
     /// Ingests one included transaction (feeds the echo detector too).
     pub fn ingest_tx(&mut self, t: &TxRecord) {
+        let _guard = self.spans.as_ref().map(|s| s.tx.enter());
         self.side_mut(t.network).ingest_tx(t);
         self.echo.observe(t.network, t.hash, t.day());
     }

@@ -1,0 +1,93 @@
+//! Archive error type.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Anything that can go wrong opening, writing, or reading an archive.
+///
+/// Corruption is a *reported* condition, never a panic: torn tails are
+/// recovered at open, checksum mismatches surface as [`ArchiveError::Corrupt`]
+/// with the segment and byte offset.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// An I/O operation failed.
+    Io {
+        /// File or directory being touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A frame or superblock failed validation.
+    Corrupt {
+        /// The segment file.
+        path: PathBuf,
+        /// Byte offset of the offending frame (0 for the superblock).
+        offset: u64,
+        /// What failed (checksum mismatch, bad length, …).
+        detail: String,
+    },
+    /// The directory holds no recognizable archive.
+    NotAnArchive {
+        /// The directory inspected.
+        path: PathBuf,
+    },
+    /// `manifest.json` exists but does not parse as a v1 manifest.
+    Manifest {
+        /// The manifest file.
+        path: PathBuf,
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl ArchiveError {
+    pub(crate) fn io(path: &Path, source: io::Error) -> Self {
+        ArchiveError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: &Path, offset: u64, detail: impl Into<String>) -> Self {
+        ArchiveError::Corrupt {
+            path: path.to_path_buf(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Io { path, source } => {
+                write!(f, "archive i/o error at {}: {source}", path.display())
+            }
+            ArchiveError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt archive segment {} at offset {offset}: {detail}",
+                path.display()
+            ),
+            ArchiveError::NotAnArchive { path } => {
+                write!(f, "{} is not a fork-archive directory", path.display())
+            }
+            ArchiveError::Manifest { path, detail } => {
+                write!(f, "bad manifest {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchiveError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

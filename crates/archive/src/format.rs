@@ -1,0 +1,426 @@
+//! The on-disk format: superblock, frame layout, record codec.
+//!
+//! An archive is a directory with one subdirectory per network side
+//! (`eth/`, `etc/`), each holding numbered segment files
+//! (`seg-00000.seg`, `seg-00001.seg`, …), plus a human-readable
+//! `manifest.json` written when the archive is finished. A segment is a
+//! fixed-size [`Superblock`] followed by append-only frames:
+//!
+//! ```text
+//! [len: u32 LE][crc: 4 bytes][payload: len bytes]
+//! ```
+//!
+//! `crc` is the first [`CHECKSUM_LEN`] bytes of the Keccak-256 digest of the
+//! payload — the same truncated-keccak integrity scheme as the net layer's
+//! `seal_frame`. Payloads are fixed-layout record encodings (no RLP: records
+//! are flat rows, and a fixed layout lets the open-time scan read only a
+//! 25-byte prefix per frame to build the sparse index).
+//!
+//! Every record carries a **global sequence number**, monotonically
+//! increasing across *both* sides. The analytics pipeline's echo detector is
+//! order-sensitive across chains ("which side saw this hash first"), so a
+//! replay must reconstruct the exact interleaving of the original stream;
+//! merging the two per-side streams by `seq` does exactly that.
+
+use fork_analytics::{BlockRecord, TxRecord};
+use fork_crypto::keccak256;
+use fork_primitives::{Address, H256, U256};
+use fork_replay::Side;
+
+/// Segment-file magic ("Fork ARCHive SeGment v1").
+pub const MAGIC: [u8; 8] = *b"FARCHSG1";
+
+/// Format version stamped into every superblock.
+pub const VERSION: u16 = 1;
+
+/// Size of the superblock at the start of every segment file.
+pub const SUPERBLOCK_LEN: usize = 32;
+
+/// Frame header size: `len: u32` + truncated-keccak checksum.
+pub const FRAME_HEADER_LEN: usize = 4 + CHECKSUM_LEN;
+
+/// Checksum length in bytes (truncated keccak — integrity, not crypto).
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Upper bound on a sane frame payload; anything larger is corruption.
+pub const MAX_PAYLOAD_LEN: u32 = 1 << 20;
+
+/// Shortest valid payload (a tx record); anything shorter is corruption.
+pub const MIN_PAYLOAD_LEN: u32 = TX_PAYLOAD_LEN as u32;
+
+/// Bytes of payload the open-time scan reads to index a frame:
+/// `kind + seq + timestamp + number`.
+pub const PREFIX_LEN: usize = 25;
+
+/// Every `INDEX_STRIDE`-th block frame lands in the sparse index.
+pub const INDEX_STRIDE: u64 = 64;
+
+/// Payload kind tag: a [`BlockRecord`].
+pub const KIND_BLOCK: u8 = 0;
+/// Payload kind tag: a [`TxRecord`].
+pub const KIND_TX: u8 = 1;
+
+const BLOCK_PAYLOAD_LEN: usize = 125;
+const TX_PAYLOAD_LEN: usize = 82;
+
+/// Truncated-keccak checksum over a frame payload.
+pub fn checksum(payload: &[u8]) -> [u8; CHECKSUM_LEN] {
+    let digest = keccak256(payload);
+    let mut out = [0u8; CHECKSUM_LEN];
+    out.copy_from_slice(&digest.0[..CHECKSUM_LEN]);
+    out
+}
+
+/// Segment filename for index `i` (`seg-00042.seg`).
+pub fn segment_file_name(i: u32) -> String {
+    format!("seg-{i:05}.seg")
+}
+
+/// Directory name for a side's segments.
+pub fn side_dir_name(side: Side) -> &'static str {
+    match side {
+        Side::Eth => "eth",
+        Side::Etc => "etc",
+    }
+}
+
+fn side_to_byte(side: Side) -> u8 {
+    match side {
+        Side::Eth => 0,
+        Side::Etc => 1,
+    }
+}
+
+fn side_from_byte(b: u8) -> Option<Side> {
+    match b {
+        0 => Some(Side::Eth),
+        1 => Some(Side::Etc),
+        _ => None,
+    }
+}
+
+/// The fixed-size header at the start of every segment file.
+///
+/// Layout (32 bytes): magic(8) · version(u16 LE) · side(u8) · reserved(u8) ·
+/// segment(u32 LE) · first_seq(u64 LE) · reserved(4) · checksum(4) — the
+/// checksum covers the first 28 bytes, so a flipped superblock byte marks
+/// the whole segment corrupt instead of mis-attributing its records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Which side's stream this segment holds.
+    pub side: Side,
+    /// Segment index within the side (contiguous from 0).
+    pub segment: u32,
+    /// Global sequence number of the first record written to this segment.
+    pub first_seq: u64,
+}
+
+impl Superblock {
+    /// Serializes to the fixed 32-byte layout.
+    pub fn encode(&self) -> [u8; SUPERBLOCK_LEN] {
+        let mut out = [0u8; SUPERBLOCK_LEN];
+        out[0..8].copy_from_slice(&MAGIC);
+        out[8..10].copy_from_slice(&VERSION.to_le_bytes());
+        out[10] = side_to_byte(self.side);
+        out[12..16].copy_from_slice(&self.segment.to_le_bytes());
+        out[16..24].copy_from_slice(&self.first_seq.to_le_bytes());
+        let crc = checksum(&out[..SUPERBLOCK_LEN - CHECKSUM_LEN]);
+        out[SUPERBLOCK_LEN - CHECKSUM_LEN..].copy_from_slice(&crc);
+        out
+    }
+
+    /// Parses and verifies a superblock; the error string says what failed.
+    pub fn decode(bytes: &[u8]) -> Result<Superblock, String> {
+        if bytes.len() < SUPERBLOCK_LEN {
+            return Err(format!("superblock truncated ({} bytes)", bytes.len()));
+        }
+        let bytes = &bytes[..SUPERBLOCK_LEN];
+        let crc = checksum(&bytes[..SUPERBLOCK_LEN - CHECKSUM_LEN]);
+        if crc != bytes[SUPERBLOCK_LEN - CHECKSUM_LEN..] {
+            return Err("superblock checksum mismatch".into());
+        }
+        if bytes[0..8] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        let side = side_from_byte(bytes[10]).ok_or_else(|| format!("bad side {}", bytes[10]))?;
+        let segment = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let first_seq = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        Ok(Superblock {
+            side,
+            segment,
+            first_seq,
+        })
+    }
+}
+
+/// One archived row: a block or a transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchiveRecord {
+    /// An exported block row.
+    Block(BlockRecord),
+    /// An exported transaction row.
+    Tx(TxRecord),
+}
+
+impl ArchiveRecord {
+    /// Timestamp of the record (a tx carries its including block's).
+    pub fn timestamp(&self) -> u64 {
+        match self {
+            ArchiveRecord::Block(b) => b.timestamp,
+            ArchiveRecord::Tx(t) => t.timestamp,
+        }
+    }
+
+    /// Encodes `self` into a frame payload, stamping the global `seq`.
+    /// The side is *not* stored per record — it is the segment's side.
+    pub fn encode_payload(&self, seq: u64) -> Vec<u8> {
+        match self {
+            ArchiveRecord::Block(b) => {
+                let mut out = Vec::with_capacity(BLOCK_PAYLOAD_LEN);
+                out.push(KIND_BLOCK);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&b.timestamp.to_le_bytes());
+                out.extend_from_slice(&b.number.to_le_bytes());
+                out.extend_from_slice(&b.hash.0);
+                out.extend_from_slice(&b.difficulty.to_be_bytes());
+                out.extend_from_slice(&b.beneficiary.0);
+                out.extend_from_slice(&b.gas_used.to_le_bytes());
+                out.extend_from_slice(&b.tx_count.to_le_bytes());
+                out.extend_from_slice(&b.ommer_count.to_le_bytes());
+                debug_assert_eq!(out.len(), BLOCK_PAYLOAD_LEN);
+                out
+            }
+            ArchiveRecord::Tx(t) => {
+                let mut out = Vec::with_capacity(TX_PAYLOAD_LEN);
+                out.push(KIND_TX);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&t.timestamp.to_le_bytes());
+                out.extend_from_slice(&t.hash.0);
+                out.extend_from_slice(&t.value.to_be_bytes());
+                out.push(u8::from(t.is_contract) | (u8::from(t.has_chain_id) << 1));
+                debug_assert_eq!(out.len(), TX_PAYLOAD_LEN);
+                out
+            }
+        }
+    }
+
+    /// Decodes a full frame payload into `(seq, record)`, re-attaching the
+    /// segment's `side` as the record's network.
+    pub fn decode_payload(side: Side, payload: &[u8]) -> Result<(u64, ArchiveRecord), String> {
+        let prefix = FramePrefix::decode(payload)?;
+        match prefix.kind {
+            KIND_BLOCK => {
+                if payload.len() != BLOCK_PAYLOAD_LEN {
+                    return Err(format!("block payload length {}", payload.len()));
+                }
+                let mut hash = [0u8; 32];
+                hash.copy_from_slice(&payload[25..57]);
+                let difficulty = U256::from_be_slice(&payload[57..89])
+                    .map_err(|e| format!("difficulty: {e:?}"))?;
+                let mut beneficiary = [0u8; 20];
+                beneficiary.copy_from_slice(&payload[89..109]);
+                let gas_used = u64::from_le_bytes(payload[109..117].try_into().unwrap());
+                let tx_count = u32::from_le_bytes(payload[117..121].try_into().unwrap());
+                let ommer_count = u32::from_le_bytes(payload[121..125].try_into().unwrap());
+                Ok((
+                    prefix.seq,
+                    ArchiveRecord::Block(BlockRecord {
+                        network: side,
+                        number: prefix.number,
+                        hash: H256(hash),
+                        timestamp: prefix.timestamp,
+                        difficulty,
+                        beneficiary: Address(beneficiary),
+                        gas_used,
+                        tx_count,
+                        ommer_count,
+                    }),
+                ))
+            }
+            KIND_TX => {
+                if payload.len() != TX_PAYLOAD_LEN {
+                    return Err(format!("tx payload length {}", payload.len()));
+                }
+                let mut hash = [0u8; 32];
+                hash.copy_from_slice(&payload[17..49]);
+                let value =
+                    U256::from_be_slice(&payload[49..81]).map_err(|e| format!("value: {e:?}"))?;
+                let flags = payload[81];
+                Ok((
+                    prefix.seq,
+                    ArchiveRecord::Tx(TxRecord {
+                        network: side,
+                        hash: H256(hash),
+                        timestamp: prefix.timestamp,
+                        is_contract: flags & 1 != 0,
+                        has_chain_id: flags & 2 != 0,
+                        value,
+                    }),
+                ))
+            }
+            k => Err(format!("unknown record kind {k}")),
+        }
+    }
+}
+
+/// The fixed-offset prefix shared by both payload kinds, enough to build the
+/// sparse index without reading (or verifying) whole payloads.
+#[derive(Debug, Clone, Copy)]
+pub struct FramePrefix {
+    /// Record kind tag ([`KIND_BLOCK`] / [`KIND_TX`]).
+    pub kind: u8,
+    /// Global sequence number.
+    pub seq: u64,
+    /// Record timestamp.
+    pub timestamp: u64,
+    /// Block number ([`KIND_BLOCK`] only; 0 for transactions).
+    pub number: u64,
+}
+
+impl FramePrefix {
+    /// Decodes the first [`PREFIX_LEN`] bytes of a payload.
+    pub fn decode(payload: &[u8]) -> Result<FramePrefix, String> {
+        if payload.len() < 17 {
+            return Err(format!("payload too short ({} bytes)", payload.len()));
+        }
+        let kind = payload[0];
+        let seq = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+        let timestamp = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+        let number = if kind == KIND_BLOCK {
+            if payload.len() < PREFIX_LEN {
+                return Err(format!("block payload too short ({} bytes)", payload.len()));
+            }
+            u64::from_le_bytes(payload[17..25].try_into().unwrap())
+        } else {
+            0
+        };
+        Ok(FramePrefix {
+            kind,
+            seq,
+            timestamp,
+            number,
+        })
+    }
+}
+
+/// Encodes a full frame (header + payload) for `record` at `seq`.
+pub fn encode_frame(record: &ArchiveRecord, seq: u64) -> Vec<u8> {
+    let payload = record.encode_payload(seq);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: u64) -> ArchiveRecord {
+        ArchiveRecord::Block(BlockRecord {
+            network: Side::Eth,
+            number: n,
+            hash: H256([n as u8; 32]),
+            timestamp: 1_000 + n,
+            difficulty: U256::from_u128(0xDEAD_BEEF_0000 + n as u128),
+            beneficiary: Address([7; 20]),
+            gas_used: 21_000 * n,
+            tx_count: 3,
+            ommer_count: 1,
+        })
+    }
+
+    fn tx(n: u64) -> ArchiveRecord {
+        ArchiveRecord::Tx(TxRecord {
+            network: Side::Etc,
+            hash: H256([n as u8; 32]),
+            timestamp: 2_000 + n,
+            is_contract: n.is_multiple_of(2),
+            has_chain_id: n.is_multiple_of(3),
+            value: U256::from_u64(n * 17),
+        })
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock {
+            side: Side::Etc,
+            segment: 42,
+            first_seq: 1_234_567,
+        };
+        let bytes = sb.encode();
+        assert_eq!(bytes.len(), SUPERBLOCK_LEN);
+        assert_eq!(Superblock::decode(&bytes).unwrap(), sb);
+    }
+
+    #[test]
+    fn superblock_detects_any_flip() {
+        let bytes = Superblock {
+            side: Side::Eth,
+            segment: 0,
+            first_seq: 0,
+        }
+        .encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes;
+            bad[i] ^= 0x40;
+            assert!(Superblock::decode(&bad).is_err(), "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn record_payload_roundtrip() {
+        for (seq, rec) in [(0u64, block(5)), (9, tx(6)), (u64::MAX, block(0))] {
+            let payload = rec.encode_payload(seq);
+            // A record's own network is *not* stored; decoding re-attaches
+            // the segment side.
+            let want_side = match &rec {
+                ArchiveRecord::Block(b) => b.network,
+                ArchiveRecord::Tx(t) => t.network,
+            };
+            let (got_seq, got) = ArchiveRecord::decode_payload(want_side, &payload).unwrap();
+            assert_eq!(got_seq, seq);
+            assert_eq!(got, rec);
+        }
+    }
+
+    #[test]
+    fn prefix_matches_full_decode() {
+        let rec = block(77);
+        let payload = rec.encode_payload(123);
+        let p = FramePrefix::decode(&payload).unwrap();
+        assert_eq!(p.kind, KIND_BLOCK);
+        assert_eq!(p.seq, 123);
+        assert_eq!(p.timestamp, 1_077);
+        assert_eq!(p.number, 77);
+
+        let t = tx(4).encode_payload(9);
+        let p = FramePrefix::decode(&t).unwrap();
+        assert_eq!(p.kind, KIND_TX);
+        assert_eq!((p.seq, p.timestamp, p.number), (9, 2_004, 0));
+    }
+
+    #[test]
+    fn frame_checksum_covers_payload() {
+        let frame = encode_frame(&tx(1), 3);
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len + FRAME_HEADER_LEN, frame.len());
+        let payload = &frame[FRAME_HEADER_LEN..];
+        assert_eq!(checksum(payload), frame[4..8]);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let payload = block(1).encode_payload(0);
+        assert!(ArchiveRecord::decode_payload(Side::Eth, &payload[..20]).is_err());
+        assert!(ArchiveRecord::decode_payload(Side::Eth, &[]).is_err());
+        let mut wrong_kind = payload.clone();
+        wrong_kind[0] = 9;
+        assert!(ArchiveRecord::decode_payload(Side::Eth, &wrong_kind).is_err());
+    }
+}

@@ -7,7 +7,17 @@
 //! cargo run --release -p fork-bench --bin make-figures -- resolved obs
 //! cargo run --release -p fork-bench --bin make-figures -- micro --telemetry-out telemetry.json
 //! cargo run --release -p fork-bench --bin make-figures -- chaos
+//! cargo run --release -p fork-bench --bin make-figures -- archive --quick --archive-dir run.arch
+//! cargo run --release -p fork-bench --bin make-figures -- telemetry-diff a.json b.json
+//! cargo run --release -p fork-bench --bin make-figures -- interarrival
 //! ```
+//!
+//! The `archive` target runs a study streamed into a durable on-disk
+//! archive (or, when `--archive-dir` already holds one, replays it without
+//! re-simulating), verifies every frame checksum, and proves the replayed
+//! figures byte-identical to the live run's. `telemetry-diff` compares two
+//! exported telemetry JSON files metric by metric. `interarrival` exports
+//! the block inter-arrival histograms as CSV/JSON series.
 //!
 //! Writes `figN.csv` / `figN.json` plus `observations.md` into `--out`
 //! (default `figures/`), and prints ASCII renderings. With
@@ -31,6 +41,9 @@ struct Args {
     seed: u64,
     out: PathBuf,
     telemetry_out: Option<PathBuf>,
+    archive_dir: Option<PathBuf>,
+    quick: bool,
+    diff: Option<(PathBuf, PathBuf)>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +53,9 @@ fn parse_args() -> Args {
     let mut seed = 2016u64;
     let mut out = PathBuf::from("figures");
     let mut telemetry_out = None;
+    let mut archive_dir = None;
+    let mut quick = false;
+    let mut diff = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -64,6 +80,26 @@ fn parse_args() -> Args {
                 ));
                 i += 1;
             }
+            "--archive-dir" => {
+                archive_dir = Some(PathBuf::from(
+                    argv.get(i + 1).expect("--archive-dir takes a path"),
+                ));
+                i += 1;
+            }
+            "--quick" => {
+                quick = true;
+            }
+            "telemetry-diff" => {
+                let a = argv
+                    .get(i + 1)
+                    .expect("telemetry-diff takes two JSON paths");
+                let b = argv
+                    .get(i + 2)
+                    .expect("telemetry-diff takes two JSON paths");
+                diff = Some((PathBuf::from(a), PathBuf::from(b)));
+                targets.insert("telemetry-diff".to_string());
+                i += 2;
+            }
             t => {
                 targets.insert(t.to_string());
             }
@@ -72,7 +108,16 @@ fn parse_args() -> Args {
     }
     if targets.is_empty() || targets.contains("all") {
         for t in [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "obs", "resolved", "micro", "chaos",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "obs",
+            "resolved",
+            "micro",
+            "chaos",
+            "interarrival",
         ] {
             targets.insert(t.to_string());
         }
@@ -84,6 +129,9 @@ fn parse_args() -> Args {
         seed,
         out,
         telemetry_out,
+        archive_dir,
+        quick,
+        diff,
     }
 }
 
@@ -107,7 +155,7 @@ fn main() {
     let mut telemetry = Snapshot::default();
 
     let wants = |t: &str| args.targets.contains(t);
-    let wants_short = wants("fig1");
+    let wants_short = wants("fig1") || wants("interarrival");
     let wants_long =
         wants("fig2") || wants("fig3") || wants("fig4") || wants("fig5") || wants("obs");
 
@@ -286,6 +334,120 @@ fn main() {
         std::fs::write(args.out.join("chaos.md"), &md).expect("write chaos");
         println!("  -> {}\n", args.out.join("chaos.md").display());
         telemetry.merge(&net.telemetry_snapshot());
+    }
+
+    if wants("interarrival") {
+        if let Some(result) = short_result.as_ref().or(long_result.as_ref()) {
+            let series = result.interarrival_series();
+            if series.is_empty() {
+                eprintln!("interarrival: no histograms (telemetry feature off); skipping\n");
+            } else {
+                let refs: Vec<&fork_analytics::TimeSeries> = series.iter().collect();
+                let csv = args.out.join("interarrival.csv");
+                let json = args.out.join("interarrival.json");
+                fork_analytics::write_csv(&csv, &refs).expect("write interarrival csv");
+                fork_analytics::write_json(&json, &refs).expect("write interarrival json");
+                for s in &series {
+                    let n: f64 = s.points.iter().map(|(_, v)| v).sum();
+                    println!(
+                        "{}: {} samples across {} log2 buckets",
+                        s.label,
+                        n,
+                        s.points.len()
+                    );
+                }
+                println!("  -> {} and {}\n", csv.display(), json.display());
+            }
+        }
+    }
+
+    if wants("archive") {
+        let dir = args
+            .archive_dir
+            .clone()
+            .unwrap_or_else(|| args.out.join("archive"));
+        let replayed = if dir.join("manifest.json").is_file() {
+            eprintln!("Replaying archived study from {}...", dir.display());
+            StudyResult::from_archive(&dir).expect("replay archive")
+        } else {
+            let study = if args.quick {
+                eprintln!(
+                    "Running and archiving a quick-scale study (seed {}) into {}...",
+                    args.seed,
+                    dir.display()
+                );
+                ForkStudy::quick(args.seed)
+            } else {
+                eprintln!(
+                    "Running and archiving the fork-month window ({} days, seed {}) into {}...",
+                    args.days_short,
+                    args.seed,
+                    dir.display()
+                );
+                ForkStudy::days(args.seed, args.days_short)
+            };
+            let run_span = registry.span("figures.run.archive");
+            let guard = run_span.enter();
+            let live = study.archive_to(&dir).expect("archive run");
+            drop(guard);
+            let replayed = StudyResult::from_archive(&dir).expect("replay archive");
+            let mut mismatched = Vec::new();
+            for (a, b) in live.all_figures().iter().zip(replayed.all_figures().iter()) {
+                let csv_live = fork_analytics::to_csv(&a.all_series());
+                let csv_replay = fork_analytics::to_csv(&b.all_series());
+                if csv_live != csv_replay {
+                    mismatched.push(a.id);
+                }
+            }
+            assert!(
+                mismatched.is_empty(),
+                "archive replay diverged from the live run on {mismatched:?}"
+            );
+            println!("Archive round-trip: all 5 figures byte-identical to the live run");
+            telemetry.merge(&live.telemetry);
+            replayed
+        };
+
+        let reader = fork_archive::ArchiveReader::open(&dir).expect("reopen archive");
+        let report = reader.open_report();
+        let verify = reader.verify();
+        let (ok, bad, torn) = verify.totals();
+        println!(
+            "Archive {}: {} segments, {} blocks + {} txs; verify: {} frames ok, \
+             {} corrupt, {} torn bytes{}",
+            dir.display(),
+            report.segments,
+            report.blocks,
+            report.txs,
+            ok,
+            bad,
+            torn,
+            if verify.is_clean() { " (clean)" } else { "" },
+        );
+        for (path, detail) in &report.skipped {
+            eprintln!("  skipped segment {}: {detail}", path.display());
+        }
+
+        for fig in replayed.all_figures() {
+            write_figure(&args.out, &fig);
+        }
+    }
+
+    if let Some((a_path, b_path)) = &args.diff {
+        let parse = |p: &Path| {
+            let text =
+                std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()));
+            Snapshot::from_json(&text).unwrap_or_else(|e| panic!("parse {}: {e}", p.display()))
+        };
+        let a = parse(a_path);
+        let b = parse(b_path);
+        let d = fork_telemetry::diff_snapshots(&a, &b);
+        println!(
+            "Telemetry diff: {} -> {}\n{}",
+            a_path.display(),
+            b_path.display(),
+            fork_telemetry::render_diff(&d)
+        );
     }
 
     if let Some(path) = &args.telemetry_out {

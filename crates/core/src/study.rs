@@ -1,11 +1,14 @@
 //! The headline API: configure, run, extract figures.
 
-use fork_analytics::Pipeline;
+use std::path::Path;
+
+use fork_analytics::{Pipeline, TimeSeries};
+use fork_archive::{ArchiveError, ArchiveMeta, ArchiveReader, ArchiveWriter};
 use fork_market::PriceSeries;
 use fork_primitives::SimTime;
 use fork_replay::Side;
 use fork_sim::scenario;
-use fork_sim::{MesoConfig, RunSummary, SimRng, TwoChainEngine};
+use fork_sim::{MesoConfig, RunSummary, SimRng, TeeSink, TwoChainEngine};
 
 use crate::figures::{FigureData, FigurePanel};
 
@@ -86,7 +89,9 @@ impl ForkStudy {
     /// Runs the simulation and collects the measurement pipeline.
     pub fn run(self) -> StudyResult {
         let mut engine = TwoChainEngine::new(self.config.clone());
-        let mut sink = fork_sim::MeteredSink::registered(Pipeline::new(), engine.telemetry());
+        let mut pipeline = Pipeline::new();
+        pipeline.attach_telemetry(engine.telemetry());
+        let mut sink = fork_sim::MeteredSink::registered(pipeline, engine.telemetry());
         let summary = engine.run(&mut sink);
         let telemetry = engine.telemetry().snapshot();
         let pipeline = sink.into_inner();
@@ -103,6 +108,92 @@ impl ForkStudy {
             end: self.config.end,
             telemetry,
         }
+    }
+
+    /// Runs the simulation exactly as [`run`](Self::run) does while also
+    /// streaming every finalized block and transaction into a durable
+    /// [`fork_archive`] at `dir`. The archive's manifest records the seed
+    /// and study window, so [`StudyResult::from_archive`] can later replay
+    /// the run — byte-identical figure exports included — without
+    /// re-simulating.
+    ///
+    /// The directory is created (and any previous archive in it replaced).
+    /// Archive I/O rides the engine's telemetry registry, so the returned
+    /// snapshot includes `archive.bytes_written`, `archive.frames`, and
+    /// friends.
+    pub fn archive_to(self, dir: impl AsRef<std::path::Path>) -> Result<StudyResult, ArchiveError> {
+        let meta = ArchiveMeta {
+            seed: self.seed,
+            start_unix: self.config.start.as_unix(),
+            end_unix: self.config.end.as_unix(),
+        };
+        let mut engine = TwoChainEngine::new(self.config.clone());
+        let mut pipeline = Pipeline::new();
+        pipeline.attach_telemetry(engine.telemetry());
+        let mut writer = ArchiveWriter::create(dir.as_ref())?.with_telemetry(engine.telemetry());
+        let summary = {
+            let tee = TeeSink {
+                a: &mut pipeline,
+                b: &mut writer,
+            };
+            let mut sink = fork_sim::MeteredSink::registered(tee, engine.telemetry());
+            engine.run(&mut sink)
+        };
+        writer.finish(Some(meta))?;
+        let telemetry = engine.telemetry().snapshot();
+        let mut price_rng = SimRng::new(self.seed).fork("prices");
+        let (eth_usd, etc_usd) = fork_market::calibrated_pair(&mut price_rng);
+        Ok(StudyResult {
+            pipeline,
+            summary,
+            eth_usd,
+            etc_usd,
+            start: self.config.start,
+            end: self.config.end,
+            telemetry,
+        })
+    }
+}
+
+/// Rebuilds per-side [`RunSummary`] counters from the archived stream.
+///
+/// `replay_pushes` is an engine-internal counter that never reaches the
+/// ledger stream, so it is not recoverable and stays 0; everything the
+/// figures depend on flows through the pipeline, not the summary.
+#[derive(Default)]
+struct ReplaySummarySink {
+    blocks: [u64; 2],
+    txs: [u64; 2],
+    final_difficulty: [fork_primitives::U256; 2],
+}
+
+impl ReplaySummarySink {
+    fn side_index(side: Side) -> usize {
+        match side {
+            Side::Eth => 0,
+            Side::Etc => 1,
+        }
+    }
+
+    fn into_summary(self) -> RunSummary {
+        RunSummary {
+            blocks: self.blocks,
+            txs: self.txs,
+            replay_pushes: 0,
+            final_difficulty: self.final_difficulty,
+        }
+    }
+}
+
+impl fork_sim::LedgerSink for ReplaySummarySink {
+    fn block(&mut self, record: fork_analytics::BlockRecord) {
+        let i = Self::side_index(record.network);
+        self.blocks[i] += 1;
+        self.final_difficulty[i] = record.difficulty;
+    }
+
+    fn tx(&mut self, record: fork_analytics::TxRecord) {
+        self.txs[Self::side_index(record.network)] += 1;
     }
 }
 
@@ -127,6 +218,71 @@ pub struct StudyResult {
 }
 
 impl StudyResult {
+    /// Reconstructs a study from an archive written by
+    /// [`ForkStudy::archive_to`], without re-running the simulation.
+    ///
+    /// The archived record stream is replayed — in its original global
+    /// order — through a fresh [`Pipeline`], so every figure export is
+    /// byte-identical to the live run's. Prices are regenerated from the
+    /// manifest's seed (the same derivation the live run used). The
+    /// returned summary is rebuilt from the stream: `replay_pushes` is not
+    /// recoverable (always 0), and a side that mined no blocks reports
+    /// zero difficulty rather than the genesis difficulty.
+    ///
+    /// Fails with [`ArchiveError::Manifest`] when the archive carries no
+    /// manifest (e.g. it was produced by a raw [`ArchiveWriter`] finished
+    /// without [`ArchiveMeta`]).
+    pub fn from_archive(dir: impl AsRef<Path>) -> Result<StudyResult, ArchiveError> {
+        let dir = dir.as_ref();
+        let registry = fork_telemetry::MetricsRegistry::new();
+        let reader = ArchiveReader::open_with_telemetry(dir, &registry)?;
+        let meta = reader.meta().ok_or_else(|| ArchiveError::Manifest {
+            path: dir.join("manifest.json"),
+            detail: "no manifest (seed and window unknown); archive studies with \
+                     ForkStudy::archive_to, or pass ArchiveMeta to ArchiveWriter::finish"
+                .into(),
+        })?;
+        let mut pipeline = Pipeline::new();
+        pipeline.attach_telemetry(&registry);
+        let mut recount = ReplaySummarySink::default();
+        {
+            let mut tee = TeeSink {
+                a: &mut pipeline,
+                b: &mut recount,
+            };
+            reader.replay_into_sink(&mut tee)?;
+        }
+        let mut price_rng = SimRng::new(meta.seed).fork("prices");
+        let (eth_usd, etc_usd) = fork_market::calibrated_pair(&mut price_rng);
+        Ok(StudyResult {
+            pipeline,
+            summary: recount.into_summary(),
+            eth_usd,
+            etc_usd,
+            start: SimTime::from_unix(meta.start_unix),
+            end: SimTime::from_unix(meta.end_unix),
+            telemetry: registry.snapshot(),
+        })
+    }
+
+    /// Block inter-arrival distributions (`meso.interarrival.{eth,etc}`
+    /// telemetry histograms) as figure-style series: x is each occupied
+    /// log2 bucket's lower bound in seconds, y its block count. Empty when
+    /// telemetry is compiled out (and for archive replays, which carry no
+    /// engine histograms).
+    pub fn interarrival_series(&self) -> Vec<TimeSeries> {
+        let mut out = Vec::new();
+        for (name, label) in [
+            ("meso.interarrival.eth", "ETH inter-arrival (s)"),
+            ("meso.interarrival.etc", "ETC inter-arrival (s)"),
+        ] {
+            if let Some(h) = self.telemetry.histograms.get(name) {
+                out.push(fork_analytics::histogram_series(label, h));
+            }
+        }
+        out
+    }
+
     /// Figure 1: blocks/hour, block difficulty, inter-block delta — the
     /// month following the fork.
     pub fn figure1(&self) -> FigureData {
@@ -313,5 +469,39 @@ mod tests {
         let result = ForkStudy::quick(2).run();
         let ids: Vec<&str> = result.all_figures().iter().map(|f| f.id).collect();
         assert_eq!(ids, vec!["fig1", "fig2", "fig3", "fig4", "fig5"]);
+    }
+
+    #[test]
+    fn archived_run_matches_live_run() {
+        let dir = std::env::temp_dir().join(format!("fork-core-study-{}", std::process::id()));
+        let live = ForkStudy::quick(7).archive_to(&dir).unwrap();
+        let replayed = StudyResult::from_archive(&dir).unwrap();
+        assert_eq!(live.summary.blocks, replayed.summary.blocks);
+        assert_eq!(live.summary.txs, replayed.summary.txs);
+        assert_eq!(
+            live.summary.final_difficulty,
+            replayed.summary.final_difficulty
+        );
+        assert_eq!(live.start, replayed.start);
+        assert_eq!(live.end, replayed.end);
+        for (a, b) in live.all_figures().iter().zip(replayed.all_figures().iter()) {
+            for (pa, pb) in a.panels.iter().zip(b.panels.iter()) {
+                let ca = fork_analytics::to_csv(&pa.series.iter().collect::<Vec<_>>());
+                let cb = fork_analytics::to_csv(&pb.series.iter().collect::<Vec<_>>());
+                assert_eq!(ca, cb, "{} / {}", a.id, pa.title);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn interarrival_series_present_with_telemetry() {
+        let result = ForkStudy::quick(3).run();
+        let series = result.interarrival_series();
+        assert_eq!(series.len(), 2);
+        let eth_total: f64 = series[0].points.iter().map(|(_, n)| n).sum();
+        // Every block after the first contributes one inter-arrival sample.
+        assert_eq!(eth_total as u64 + 1, result.summary.blocks[0]);
     }
 }

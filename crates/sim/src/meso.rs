@@ -23,7 +23,7 @@ use fork_evm::contracts as evm_contracts;
 use fork_pools::PoolSet;
 use fork_primitives::{Address, SimTime, H256, U256};
 use fork_replay::Side;
-use fork_telemetry::{MetricsRegistry, SpanStats};
+use fork_telemetry::{Histogram, MetricsRegistry, SpanStats};
 use rand::Rng;
 
 use crate::observer::LedgerSink;
@@ -173,6 +173,12 @@ pub struct TwoChainEngine {
     /// `run` when `FORK_MESO_PROF` is set.
     telemetry: Arc<MetricsRegistry>,
     spans: StepSpans,
+    /// Block inter-arrival histograms per side
+    /// (`meso.interarrival.{eth,etc}`): seconds between consecutive emitted
+    /// blocks' timestamps, exportable via telemetry snapshots.
+    interarrival: [Arc<Histogram>; 2],
+    /// Timestamp of the last emitted block per side.
+    last_emit_ts: [Option<u64>; 2],
 }
 
 impl TwoChainEngine {
@@ -254,6 +260,11 @@ impl TwoChainEngine {
             end: config.end,
             summary: RunSummary::default(),
             spans: StepSpans::new(&telemetry),
+            interarrival: [
+                telemetry.histogram("meso.interarrival.eth"),
+                telemetry.histogram("meso.interarrival.etc"),
+            ],
+            last_emit_ts: [None, None],
             telemetry,
         };
         let t0 = config.start.as_unix() as f64;
@@ -496,12 +507,16 @@ impl TwoChainEngine {
 
     /// Converts a finalized block into analytics records. The synthetic
     /// genesis (number 0, never mined) is not part of the measured ledger.
-    fn emit(&self, i: usize, f: FinalizedBlock, sink: &mut impl LedgerSink) {
+    fn emit(&mut self, i: usize, f: FinalizedBlock, sink: &mut impl LedgerSink) {
         if f.block.header.number == 0 {
             return;
         }
         let side = self.nets[i].side;
         let header = &f.block.header;
+        if let Some(prev) = self.last_emit_ts[i] {
+            self.interarrival[i].record(header.timestamp.saturating_sub(prev));
+        }
+        self.last_emit_ts[i] = Some(header.timestamp);
         sink.block(BlockRecord {
             network: side,
             number: header.number,

@@ -1,0 +1,205 @@
+//! Snapshot diffing for A/B ablation runs.
+//!
+//! `make-figures telemetry-diff a.json b.json` loads two `--telemetry-out`
+//! snapshots and prints per-metric deltas — which counters moved, by how
+//! much, and in which direction. Metrics present in only one snapshot are
+//! marked added/removed rather than silently dropped.
+
+use crate::snapshot::Snapshot;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One changed metric in a [`SnapshotDiff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Value in the first snapshot (`None` when added in the second).
+    pub a: Option<f64>,
+    /// Value in the second snapshot (`None` when removed).
+    pub b: Option<f64>,
+}
+
+impl MetricDelta {
+    /// `b - a`, treating a missing side as zero.
+    pub fn delta(&self) -> f64 {
+        self.b.unwrap_or(0.0) - self.a.unwrap_or(0.0)
+    }
+}
+
+/// Structured diff of two snapshots; only changed metrics appear.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotDiff {
+    /// Changed counters.
+    pub counters: Vec<MetricDelta>,
+    /// Changed gauges.
+    pub gauges: Vec<MetricDelta>,
+    /// Span *count* changes (timings are nondeterministic run-to-run, so the
+    /// diff compares how often each phase ran, not how long it took).
+    pub span_counts: Vec<MetricDelta>,
+    /// Histogram changes as `(name, count delta, mean a, mean b)`.
+    pub histograms: Vec<(String, f64, f64, f64)>,
+}
+
+impl SnapshotDiff {
+    /// True when the two snapshots agree on everything compared.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.span_counts.is_empty()
+            && self.histograms.is_empty()
+    }
+}
+
+fn diff_maps<V: Copy, F: Fn(V) -> f64>(
+    a: &std::collections::BTreeMap<String, V>,
+    b: &std::collections::BTreeMap<String, V>,
+    to_f64: F,
+) -> Vec<MetricDelta> {
+    let names: BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    let mut out = Vec::new();
+    for name in names {
+        let av = a.get(name).map(|v| to_f64(*v));
+        let bv = b.get(name).map(|v| to_f64(*v));
+        if av != bv {
+            out.push(MetricDelta {
+                name: name.clone(),
+                a: av,
+                b: bv,
+            });
+        }
+    }
+    out
+}
+
+/// Compares two snapshots metric-by-metric.
+pub fn diff_snapshots(a: &Snapshot, b: &Snapshot) -> SnapshotDiff {
+    let span_a: std::collections::BTreeMap<String, u64> =
+        a.spans.iter().map(|(k, s)| (k.clone(), s.count)).collect();
+    let span_b: std::collections::BTreeMap<String, u64> =
+        b.spans.iter().map(|(k, s)| (k.clone(), s.count)).collect();
+    let mut histograms = Vec::new();
+    let names: BTreeSet<&String> = a.histograms.keys().chain(b.histograms.keys()).collect();
+    for name in names {
+        let (ca, ma) = a
+            .histograms
+            .get(name)
+            .map_or((0u64, 0.0), |h| (h.count, h.mean()));
+        let (cb, mb) = b
+            .histograms
+            .get(name)
+            .map_or((0u64, 0.0), |h| (h.count, h.mean()));
+        if ca != cb || ma != mb {
+            histograms.push((name.clone(), cb as f64 - ca as f64, ma, mb));
+        }
+    }
+    SnapshotDiff {
+        counters: diff_maps(&a.counters, &b.counters, |v: u64| v as f64),
+        gauges: diff_maps(&a.gauges, &b.gauges, |v: i64| v as f64),
+        span_counts: diff_maps(&span_a, &span_b, |v: u64| v as f64),
+        histograms,
+    }
+}
+
+fn fmt_value(v: Option<f64>) -> String {
+    match v {
+        None => "—".to_string(),
+        Some(v) => format!("{v}"),
+    }
+}
+
+/// Renders a diff as the table `telemetry-diff` prints.
+pub fn render_diff(diff: &SnapshotDiff) -> String {
+    if diff.is_empty() {
+        return "(snapshots agree on every compared metric)\n".to_string();
+    }
+    let mut out = String::new();
+    let sections: [(&str, &[MetricDelta]); 3] = [
+        ("COUNTERS", &diff.counters),
+        ("GAUGES", &diff.gauges),
+        ("SPAN COUNTS", &diff.span_counts),
+    ];
+    for (title, rows) in sections {
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{title:<30}{:>15} {:>15} {:>12}", "a", "b", "delta");
+        for row in rows {
+            let _ = writeln!(
+                out,
+                "  {:<28}{:>15} {:>15} {:>+12}",
+                row.name,
+                fmt_value(row.a),
+                fmt_value(row.b),
+                row.delta(),
+            );
+        }
+    }
+    if !diff.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<30}{:>15} {:>15} {:>12}",
+            "HISTOGRAMS", "mean a", "mean b", "count Δ"
+        );
+        for (name, dcount, ma, mb) in &diff.histograms {
+            let _ = writeln!(out, "  {name:<28}{ma:>15.2} {mb:>15.2} {dcount:>+12}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{HistogramSnapshot, SpanSnapshot};
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let mut a = Snapshot::default();
+        a.counters.insert("x".into(), 5);
+        a.spans.insert(
+            "s".into(),
+            SpanSnapshot {
+                count: 2,
+                total_ns: 100,
+                child_ns: 0,
+                max_ns: 60,
+            },
+        );
+        let mut b = a.clone();
+        // Same span count, different timing: timings are ignored.
+        b.spans.get_mut("s").unwrap().total_ns = 999;
+        let d = diff_snapshots(&a, &b);
+        assert!(d.is_empty(), "{d:?}");
+        assert!(render_diff(&d).contains("agree"));
+    }
+
+    #[test]
+    fn deltas_and_missing_sides() {
+        let mut a = Snapshot::default();
+        a.counters.insert("hits".into(), 10);
+        a.counters.insert("gone".into(), 1);
+        let mut b = Snapshot::default();
+        b.counters.insert("hits".into(), 25);
+        b.counters.insert("new".into(), 7);
+        let h = HistogramSnapshot {
+            count: 3,
+            sum: 30,
+            ..Default::default()
+        };
+        b.histograms.insert("lat".into(), h);
+
+        let d = diff_snapshots(&a, &b);
+        assert_eq!(d.counters.len(), 3);
+        let hits = d.counters.iter().find(|m| m.name == "hits").unwrap();
+        assert_eq!(hits.delta(), 15.0);
+        let gone = d.counters.iter().find(|m| m.name == "gone").unwrap();
+        assert_eq!((gone.a, gone.b), (Some(1.0), None));
+        assert_eq!(d.histograms.len(), 1);
+
+        let rendered = render_diff(&d);
+        assert!(rendered.contains("hits"));
+        assert!(rendered.contains("+15"));
+        assert!(rendered.contains("—"), "missing side is marked");
+    }
+}

@@ -35,13 +35,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod json;
 mod metrics;
 mod registry;
 mod snapshot;
 mod span;
 
-pub use metrics::{Counter, Gauge, Histogram};
+pub use diff::{diff_snapshots, render_diff, SnapshotDiff};
+pub use metrics::{bucket_range, Counter, Gauge, Histogram, BUCKETS};
 pub use registry::MetricsRegistry;
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot, TimingMode};
 pub use span::{timed, Span, SpanStats};

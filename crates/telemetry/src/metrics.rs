@@ -6,7 +6,7 @@
 
 /// Number of histogram buckets: bucket 0 holds zeros, bucket `i` (1..=64)
 /// holds values in `[2^(i-1), 2^i)`.
-pub(crate) const BUCKETS: usize = 65;
+pub const BUCKETS: usize = 65;
 
 #[cfg(feature = "enabled")]
 mod imp {
@@ -251,7 +251,9 @@ pub(crate) fn bucket_index(v: u64) -> usize {
 }
 
 /// Inclusive-exclusive value range `[lo, hi)` covered by a bucket index.
-pub(crate) fn bucket_range(i: usize) -> (u64, u64) {
+/// Downstream exporters use this to turn bucket counts back into value-axis
+/// series (e.g. inter-arrival histograms → figure data).
+pub fn bucket_range(i: usize) -> (u64, u64) {
     if i == 0 {
         (0, 1)
     } else {

@@ -4,7 +4,7 @@
 //! and exist so results can flow through APIs (`StudyResult`, figure tools)
 //! regardless of whether live instrumentation is on.
 
-use crate::metrics::{bucket_range, BUCKETS};
+use crate::metrics::{bucket_index, bucket_range, BUCKETS};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -273,6 +273,68 @@ impl Snapshot {
         out.push_str("}\n");
         out
     }
+
+    /// Parses a snapshot previously written by [`Snapshot::to_json`] (a
+    /// `--telemetry-out` file). The inverse up to histogram `min`/`max`
+    /// fields, which round-trip exactly, and bucket placement, which is
+    /// reconstructed from each bucket's lower bound.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let value = crate::json::Value::parse(text).map_err(|e| e.to_string())?;
+        if value["schema"].as_str() != Some("fork-telemetry/v1") {
+            return Err("not a fork-telemetry/v1 snapshot".into());
+        }
+        let mut snap = Snapshot::default();
+        if let Some(crate::json::Value::Obj(fields)) = value.get("counters") {
+            for (name, v) in fields {
+                let v = v.as_u64().ok_or_else(|| format!("counter {name}"))?;
+                snap.counters.insert(name.clone(), v);
+            }
+        }
+        if let Some(crate::json::Value::Obj(fields)) = value.get("gauges") {
+            for (name, v) in fields {
+                let v = v.as_f64().ok_or_else(|| format!("gauge {name}"))?;
+                snap.gauges.insert(name.clone(), v as i64);
+            }
+        }
+        if let Some(crate::json::Value::Obj(fields)) = value.get("spans") {
+            for (name, s) in fields {
+                let field = |k: &str| s[k].as_u64().ok_or_else(|| format!("span {name}.{k}"));
+                snap.spans.insert(
+                    name.clone(),
+                    SpanSnapshot {
+                        count: field("count")?,
+                        total_ns: field("total_ns")?,
+                        child_ns: field("child_ns")?,
+                        max_ns: field("max_ns")?,
+                    },
+                );
+            }
+        }
+        if let Some(crate::json::Value::Obj(fields)) = value.get("histograms") {
+            for (name, h) in fields {
+                let field = |k: &str| h[k].as_u64().ok_or_else(|| format!("histogram {name}.{k}"));
+                let mut hs = HistogramSnapshot {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                    buckets: [0; BUCKETS],
+                };
+                let buckets = h["buckets"]
+                    .as_array()
+                    .ok_or_else(|| format!("histogram {name}.buckets"))?;
+                for pair in buckets {
+                    let (lo, n) = match (pair[0].as_u64(), pair[1].as_u64()) {
+                        (Some(lo), Some(n)) => (lo, n),
+                        _ => return Err(format!("histogram {name}: bad bucket entry")),
+                    };
+                    hs.buckets[bucket_index(lo)] += n;
+                }
+                snap.histograms.insert(name.clone(), hs);
+            }
+        }
+        Ok(snap)
+    }
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -358,6 +420,36 @@ mod tests {
         let parsed = crate::json::Value::parse(&wall).expect("export parses");
         assert_eq!(parsed["counters"]["net.frames_sealed"].as_u64(), Some(7));
         assert_eq!(parsed["schema"].as_str(), Some("fork-telemetry/v1"));
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("a.b".into(), 42);
+        snap.gauges.insert("depth".into(), -3);
+        snap.spans.insert(
+            "phase".into(),
+            SpanSnapshot {
+                count: 9,
+                total_ns: 1_234,
+                child_ns: 200,
+                max_ns: 500,
+            },
+        );
+        let mut h = HistogramSnapshot::default();
+        for v in [0u64, 1, 3, 3, 1000] {
+            h.buckets[bucket_index(v)] += 1;
+            h.count += 1;
+            h.sum += v;
+            h.max = h.max.max(v);
+        }
+        snap.histograms.insert("sizes".into(), h);
+
+        let parsed = Snapshot::from_json(&snap.to_json(TimingMode::Wall)).unwrap();
+        assert_eq!(parsed, snap);
+
+        assert!(Snapshot::from_json("{}").is_err(), "schema required");
+        assert!(Snapshot::from_json("not json").is_err());
     }
 
     #[test]

@@ -40,12 +40,14 @@
 //! | [`pools`] | `fork-pools` | payouts, pool dynamics, concentration |
 //! | [`replay`] | `fork-replay` | echo detection, replay protection |
 //! | [`analytics`] | `fork-analytics` | the measurement pipeline |
+//! | [`archive`] | `fork-archive` | durable block/tx archive, replay, verify |
 //! | [`core`] | `fork-core` | `ForkStudy`, figures, observations |
 //! | [`telemetry`] | `fork-telemetry` | counters, histograms, span timers |
 
 #![forbid(unsafe_code)]
 
 pub use fork_analytics as analytics;
+pub use fork_archive as archive;
 pub use fork_chain as chain;
 pub use fork_core as core;
 pub use fork_crypto as crypto;
