@@ -7,6 +7,8 @@
 //! cargo run --release -p fork-bench --bin make-figures -- resolved obs
 //! cargo run --release -p fork-bench --bin make-figures -- micro --telemetry-out telemetry.json
 //! cargo run --release -p fork-bench --bin make-figures -- chaos
+//! cargo run --release -p fork-bench --bin make-figures -- trace
+//! cargo run --release -p fork-bench --bin make-figures -- fig2 --days 280 --progress
 //! cargo run --release -p fork-bench --bin make-figures -- archive --quick --archive-dir run.arch
 //! cargo run --release -p fork-bench --bin make-figures -- telemetry-diff a.json b.json
 //! cargo run --release -p fork-bench --bin make-figures -- interarrival
@@ -17,7 +19,12 @@
 //! re-simulating), verifies every frame checksum, and proves the replayed
 //! figures byte-identical to the live run's. `telemetry-diff` compares two
 //! exported telemetry JSON files metric by metric. `interarrival` exports
-//! the block inter-arrival histograms as CSV/JSON series.
+//! the block inter-arrival histograms as CSV/JSON series. The `trace`
+//! target runs the fork-split micro network with the block-lifecycle
+//! tracer attached and writes `trace.json` (Chrome trace-event format,
+//! loadable in `chrome://tracing` / Perfetto) plus `propagation.md` (per-
+//! side time-to-coverage, pre- vs post-fork). `--progress` prints one
+//! stderr heartbeat per simulated day on the long meso runs.
 //!
 //! Writes `figN.csv` / `figN.json` plus `observations.md` into `--out`
 //! (default `figures/`), and prints ASCII renderings. With
@@ -43,6 +50,7 @@ struct Args {
     telemetry_out: Option<PathBuf>,
     archive_dir: Option<PathBuf>,
     quick: bool,
+    progress: bool,
     diff: Option<(PathBuf, PathBuf)>,
 }
 
@@ -55,6 +63,7 @@ fn parse_args() -> Args {
     let mut telemetry_out = None;
     let mut archive_dir = None;
     let mut quick = false;
+    let mut progress = false;
     let mut diff = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -89,6 +98,9 @@ fn parse_args() -> Args {
             "--quick" => {
                 quick = true;
             }
+            "--progress" => {
+                progress = true;
+            }
             "telemetry-diff" => {
                 let a = argv
                     .get(i + 1)
@@ -117,6 +129,7 @@ fn parse_args() -> Args {
             "resolved",
             "micro",
             "chaos",
+            "trace",
             "interarrival",
         ] {
             targets.insert(t.to_string());
@@ -131,7 +144,18 @@ fn parse_args() -> Args {
         telemetry_out,
         archive_dir,
         quick,
+        progress,
         diff,
+    }
+}
+
+/// One stderr heartbeat line per simulated day (`--progress`).
+fn heartbeat(label: &'static str) -> impl FnMut(fork_sim::ProgressEvent) {
+    move |p| {
+        eprintln!(
+            "  [{label}] day {:>3}: sim t={}s, blocks eth/etc {}/{}, {:.0} events/s",
+            p.day, p.sim_unix, p.blocks[0], p.blocks[1], p.events_per_sec
+        );
     }
 }
 
@@ -169,7 +193,13 @@ fn main() {
         );
         let run_span = registry.span("figures.run.fork_month");
         let guard = run_span.enter();
-        short_result = Some(ForkStudy::days(args.seed, args.days_short).run());
+        let study = ForkStudy::days(args.seed, args.days_short);
+        short_result = Some(if args.progress {
+            let mut beat = heartbeat("fork-month");
+            study.run_with_progress(Some(&mut beat))
+        } else {
+            study.run()
+        });
         drop(guard);
         eprintln!(
             "  done in {:.1}s",
@@ -183,7 +213,13 @@ fn main() {
         );
         let run_span = registry.span("figures.run.nine_months");
         let guard = run_span.enter();
-        long_result = Some(ForkStudy::days(args.seed, args.days_long).run());
+        let study = ForkStudy::days(args.seed, args.days_long);
+        long_result = Some(if args.progress {
+            let mut beat = heartbeat("nine-months");
+            study.run_with_progress(Some(&mut beat))
+        } else {
+            study.run()
+        });
         drop(guard);
         eprintln!(
             "  done in {:.1}s",
@@ -289,6 +325,11 @@ fn main() {
         let scenario = fork_sim::scenario::chaos_scenario(args.seed);
         let end_ms = scenario.config.duration_secs * 1_000;
         let mut net = MicroNet::new(scenario.config.clone());
+        // A bounded flight recorder (constant memory) so an invariant
+        // violation can dump each node's recent lifecycle events.
+        net.attach_tracer(std::sync::Arc::new(
+            fork_telemetry::TraceSink::recorder_only(64),
+        ));
         // Step window by window with the invariant checker engaged, exactly
         // like the chaos integration test.
         let mut t = 0;
@@ -296,7 +337,15 @@ fn main() {
             t = (t + 60_000).min(end_ms);
             net.run_until(t);
             if let Err(v) = fork_sim::check_invariants(&net) {
-                panic!("invariant violated at t={}s: {v}", t / 1_000);
+                let dump = fork_sim::violation_report(&net, &v);
+                let dump_path = args.out.join("flight_dump.txt");
+                std::fs::write(&dump_path, &dump).expect("write flight dump");
+                eprintln!("{dump}");
+                panic!(
+                    "invariant violated at t={}s: {v} (flight dump at {})",
+                    t / 1_000,
+                    dump_path.display()
+                );
             }
         }
         let report = net.finalize_report();
@@ -333,6 +382,77 @@ fn main() {
         println!("{md}");
         std::fs::write(args.out.join("chaos.md"), &md).expect("write chaos");
         println!("  -> {}\n", args.out.join("chaos.md").display());
+        telemetry.merge(&net.telemetry_snapshot());
+    }
+
+    if wants("trace") {
+        eprintln!(
+            "Running the trace scenario (30 min, 20 nodes, fork at block {})...",
+            fork_sim::scenario::TRACE_FORK_BLOCK
+        );
+        let run_span = registry.span("figures.run.trace");
+        let guard = run_span.enter();
+        let scenario = fork_sim::scenario::trace_scenario(args.seed);
+        let mut net = MicroNet::new(scenario.config.clone());
+        net.attach_tracer(std::sync::Arc::new(
+            fork_telemetry::TraceSink::with_recorder(64),
+        ));
+        let report = net.run();
+        drop(guard);
+
+        let n = scenario.config.n_nodes;
+        let mut side_of = vec![0usize; n];
+        for &i in &scenario.etc_nodes {
+            side_of[i] = 1;
+        }
+        let labels: Vec<String> = (0..n)
+            .map(|i| format!("node{:02} ({})", i, ["eth", "etc"][side_of[i]]))
+            .collect();
+        let events = net.tracer().events();
+        let trace_path = args.out.join("trace.json");
+        std::fs::write(
+            &trace_path,
+            fork_telemetry::chrome_trace_json(&events, &labels),
+        )
+        .expect("write trace");
+
+        let rows = fork_telemetry::propagation_rows(
+            &events,
+            &side_of,
+            &["eth", "etc"],
+            fork_sim::scenario::TRACE_FORK_BLOCK,
+        );
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.side.clone(),
+                    r.phase.to_string(),
+                    r.blocks.to_string(),
+                    r.p50_ms.to_string(),
+                    r.p90_ms.to_string(),
+                    r.max_ms.to_string(),
+                ]
+            })
+            .collect();
+        let md = fork_analytics::markdown_table(
+            &[
+                "side", "phase", "blocks", "p50 (ms)", "p90 (ms)", "max (ms)",
+            ],
+            &table,
+        );
+        println!(
+            "Trace run: {} blocks mined, {} lifecycle events\n\n\
+             Propagation: time from Mined to full same-side coverage\n{md}",
+            report.mined.iter().sum::<u64>(),
+            events.len(),
+        );
+        std::fs::write(args.out.join("propagation.md"), &md).expect("write propagation");
+        println!(
+            "  -> {} and {}\n",
+            trace_path.display(),
+            args.out.join("propagation.md").display()
+        );
         telemetry.merge(&net.telemetry_snapshot());
     }
 

@@ -33,7 +33,7 @@ pub use header::Header;
 pub use receipt::Receipt;
 pub use spec::{ChainSpec, DaoForkConfig, DAO_FORK_BLOCK};
 pub use store::{ChainStore, FinalizedBlock, ImportOutcome, ImportResult};
-pub use telemetry::StoreMetrics;
+pub use telemetry::{ChainTracer, StoreMetrics};
 pub use transaction::Transaction;
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use crate::executor::{
 use crate::header::Header;
 use crate::receipt::{receipts_root, Receipt};
 use crate::spec::{ChainSpec, DAO_EXTRA_DATA, DAO_EXTRA_DATA_RANGE};
-use crate::telemetry::StoreMetrics;
+use crate::telemetry::{ChainTracer, StoreMetrics};
 use crate::transaction::Transaction;
 use crate::validation::{validate_header, validate_ommers, GAS_LIMIT_BOUND_DIVISOR};
 
@@ -102,6 +102,10 @@ pub struct ChainStore {
     /// [`ChainStore::with_telemetry`]). Clones keep counting into the same
     /// atomics.
     metrics: StoreMetrics,
+    /// Lifecycle-event tracer (detached by default; see
+    /// [`ChainStore::with_tracer`]). Emits Validated / Imported / Orphaned /
+    /// ReorgedOut into a shared [`fork_telemetry::TraceSink`].
+    tracer: ChainTracer,
 }
 
 impl ChainStore {
@@ -137,6 +141,7 @@ impl ChainStore {
             used_ommers: HashSet::new(),
             seal_counter: 0,
             metrics: StoreMetrics::detached(),
+            tracer: ChainTracer::detached(),
         }
     }
 
@@ -155,6 +160,24 @@ impl ChainStore {
     ) -> Self {
         self.metrics = StoreMetrics::registered(registry, prefix);
         self
+    }
+
+    /// Attaches a lifecycle-event tracer (see [`ChainTracer::attached`]), so
+    /// imports emit Validated / Imported / Orphaned / ReorgedOut events.
+    pub fn with_tracer(mut self, tracer: ChainTracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Replaces the tracer in place — used when a simulator clones a peer's
+    /// store during snap-sync and must re-tag events with the new owner.
+    pub fn set_tracer(&mut self, tracer: ChainTracer) {
+        self.tracer = tracer;
+    }
+
+    /// This store's tracer handle.
+    pub fn tracer(&self) -> &ChainTracer {
+        &self.tracer
     }
 
     /// This store's metric handles.
@@ -240,6 +263,11 @@ impl ChainStore {
         // The guard only holds a start time (the stats Arc lives on a
         // thread-local stack), so it does not borrow `self`.
         let _span = self.metrics.import_span.enter();
+        // Hash here is a keccak; only pay it when a sink is listening.
+        let traced = self
+            .tracer
+            .is_active()
+            .then(|| (block.hash(), block.header.number));
         let result = self.import_inner(block);
         match &result {
             Ok(r) => match &r.outcome {
@@ -252,6 +280,32 @@ impl ChainStore {
                 ImportOutcome::AlreadyKnown => self.metrics.already_known.incr(),
             },
             Err(_) => self.metrics.rejected.incr(),
+        }
+        if let Some((hash, number)) = traced {
+            use fork_telemetry::TraceEventKind as K;
+            match &result {
+                Ok(r) => match &r.outcome {
+                    ImportOutcome::Extended => {
+                        self.tracer
+                            .emit_detail(K::Imported, hash, number, "extended")
+                    }
+                    ImportOutcome::SideChain => {
+                        self.tracer
+                            .emit_detail(K::Imported, hash, number, "side_chain")
+                    }
+                    ImportOutcome::Reorged { .. } => {
+                        self.tracer
+                            .emit_detail(K::Imported, hash, number, "reorged")
+                    }
+                    ImportOutcome::AlreadyKnown => {}
+                },
+                Err(ChainError::UnknownParent { .. }) => {
+                    self.tracer.emit(K::Orphaned, hash, number)
+                }
+                Err(_) => self
+                    .tracer
+                    .emit_detail(K::GossipDropped, hash, number, "rejected"),
+            }
         }
         result
     }
@@ -278,6 +332,13 @@ impl ChainStore {
             if !body_commitments_match(&block) {
                 return Err(ChainError::BodyMismatch);
             }
+        }
+        if self.tracer.is_active() {
+            self.tracer.emit(
+                fork_telemetry::TraceEventKind::Validated,
+                hash,
+                block.header.number,
+            );
         }
         let total_difficulty = parent
             .total_difficulty
@@ -394,6 +455,16 @@ impl ChainStore {
 
         match failure {
             None => {
+                if self.tracer.is_active() {
+                    for old in &old_tail {
+                        let number = self.entries[&old.hash].block.header.number;
+                        self.tracer.emit(
+                            fork_telemetry::TraceEventKind::ReorgedOut,
+                            old.hash,
+                            number,
+                        );
+                    }
+                }
                 self.recent.extend(applied);
                 Ok(reverted)
             }

@@ -16,7 +16,8 @@
 
 use std::sync::Arc;
 
-use fork_telemetry::{Counter, Histogram, MetricsRegistry, SpanStats};
+use fork_primitives::H256;
+use fork_telemetry::{Counter, Histogram, MetricsRegistry, SpanStats, TraceEventKind, TraceSink};
 
 /// Shared metric handles for one [`crate::store::ChainStore`].
 ///
@@ -84,6 +85,64 @@ impl Default for StoreMetrics {
     }
 }
 
+/// A store's handle into a shared [`TraceSink`], tagged with the node id the
+/// store belongs to. Detached by default: emission is a single `None` check.
+///
+/// The same sink is shared by every node of a simulation (the sim owns the
+/// `Arc`); the tracer adds only the *who* so the store can emit
+/// [`TraceEventKind::Validated`] / `Imported` / `Orphaned` / `ReorgedOut`
+/// events without knowing it lives inside a simulated network.
+#[derive(Debug, Clone, Default)]
+pub struct ChainTracer {
+    sink: Option<(Arc<TraceSink>, u32)>,
+}
+
+impl ChainTracer {
+    /// A tracer that emits nothing (the default).
+    pub fn detached() -> Self {
+        ChainTracer { sink: None }
+    }
+
+    /// A tracer emitting into `sink` as node `node`.
+    pub fn attached(sink: Arc<TraceSink>, node: u32) -> Self {
+        ChainTracer {
+            sink: Some((sink, node)),
+        }
+    }
+
+    /// Whether emits reach an active sink (false when detached, when the
+    /// sink was constructed disabled, or when the feature is off).
+    pub fn is_active(&self) -> bool {
+        match &self.sink {
+            Some((s, _)) => s.is_active(),
+            None => false,
+        }
+    }
+
+    /// Emits a lifecycle event for `block` at this tracer's node.
+    #[inline]
+    pub fn emit(&self, kind: TraceEventKind, block: H256, number: u64) {
+        if let Some((s, node)) = &self.sink {
+            s.record(*node, block.0, number, kind);
+        }
+    }
+
+    /// Emits a lifecycle event with a qualifier (import outcome, drop
+    /// reason…).
+    #[inline]
+    pub fn emit_detail(
+        &self,
+        kind: TraceEventKind,
+        block: H256,
+        number: u64,
+        detail: &'static str,
+    ) {
+        if let Some((s, node)) = &self.sink {
+            s.record_full(*node, block.0, number, kind, None, detail);
+        }
+    }
+}
+
 #[cfg(test)]
 #[cfg(feature = "telemetry")]
 mod tests {
@@ -98,6 +157,25 @@ mod tests {
         b.extended.incr();
         let snap = reg.snapshot();
         assert_eq!(snap.counters["chain.x.imports.extended"], 2);
+    }
+
+    #[test]
+    fn chain_tracer_tags_events_with_its_node() {
+        let sink = Arc::new(TraceSink::new());
+        let tracer = ChainTracer::attached(Arc::clone(&sink), 7);
+        assert!(tracer.is_active());
+        tracer.emit(TraceEventKind::Imported, H256([3; 32]), 42);
+        tracer.emit_detail(TraceEventKind::Imported, H256([4; 32]), 43, "reorged");
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].node, 7);
+        assert_eq!(events[0].number, 42);
+        assert_eq!(events[1].detail, "reorged");
+
+        let off = ChainTracer::detached();
+        assert!(!off.is_active());
+        off.emit(TraceEventKind::Mined, H256([5; 32]), 1);
+        assert_eq!(sink.len(), 2, "detached tracer emits nothing");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use fork_market::PriceSeries;
 use fork_primitives::SimTime;
 use fork_replay::Side;
 use fork_sim::scenario;
-use fork_sim::{MesoConfig, RunSummary, SimRng, TeeSink, TwoChainEngine};
+use fork_sim::{MesoConfig, ProgressEvent, RunSummary, SimRng, TeeSink, TwoChainEngine};
 
 use crate::figures::{FigureData, FigurePanel};
 
@@ -88,11 +88,18 @@ impl ForkStudy {
 
     /// Runs the simulation and collects the measurement pipeline.
     pub fn run(self) -> StudyResult {
+        self.run_with_progress(None)
+    }
+
+    /// Like [`run`](Self::run), but forwards a per-simulated-day heartbeat
+    /// to `progress` (see [`fork_sim::ProgressEvent`]). The callback is
+    /// observation-only: results are byte-identical with or without it.
+    pub fn run_with_progress(self, progress: Option<&mut dyn FnMut(ProgressEvent)>) -> StudyResult {
         let mut engine = TwoChainEngine::new(self.config.clone());
         let mut pipeline = Pipeline::new();
         pipeline.attach_telemetry(engine.telemetry());
         let mut sink = fork_sim::MeteredSink::registered(pipeline, engine.telemetry());
-        let summary = engine.run(&mut sink);
+        let summary = engine.run_with_progress(&mut sink, progress);
         let telemetry = engine.telemetry().snapshot();
         let pipeline = sink.into_inner();
         // Regenerate the exact price series the scenario's hashpower

@@ -14,6 +14,7 @@ use rand::Rng;
 
 use crate::node_id::NodeId;
 use fork_primitives::H256;
+use fork_telemetry::{BlockTag, TraceEventKind, TraceSink};
 
 /// A bounded "have I seen this" filter: two generations of hash sets; when
 /// the current generation fills, it becomes the previous one. Lookups check
@@ -120,6 +121,34 @@ pub fn plan_block_relay<R: Rng>(
     }
 }
 
+/// Emits the receive-side trace event for a block that just hit a node's
+/// seen-filter: [`TraceEventKind::GossipRecv`] when `fresh` (the node will
+/// go on to validate/import it), [`TraceEventKind::GossipDropped`] with
+/// detail `"duplicate"` when the filter had already seen it. `from` is the
+/// sending peer (`None` for locally mined blocks, which skip the recv
+/// event — mining emits its own [`TraceEventKind::Mined`]).
+pub fn trace_block_seen(
+    sink: &TraceSink,
+    node: u32,
+    from: Option<u32>,
+    block: BlockTag,
+    number: u64,
+    fresh: bool,
+) {
+    if fresh {
+        sink.record_full(node, block, number, TraceEventKind::GossipRecv, from, "");
+    } else {
+        sink.record_full(
+            node,
+            block,
+            number,
+            TraceEventKind::GossipDropped,
+            from,
+            "duplicate",
+        );
+    }
+}
+
 /// Output of [`plan_block_relay`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockRelayPlan {
@@ -193,6 +222,21 @@ mod tests {
         assert!(f.len() <= 2 * f.capacity());
         // Re-inserting an evicted item reports it as fresh again.
         assert!(f.insert(1));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn trace_block_seen_splits_fresh_from_duplicate() {
+        let sink = TraceSink::new();
+        let tag: BlockTag = [7; 32];
+        trace_block_seen(&sink, 3, Some(1), tag, 9, true);
+        trace_block_seen(&sink, 3, Some(2), tag, 9, false);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceEventKind::GossipRecv);
+        assert_eq!(events[0].peer, Some(1));
+        assert_eq!(events[1].kind, TraceEventKind::GossipDropped);
+        assert_eq!(events[1].detail, "duplicate");
     }
 
     #[test]

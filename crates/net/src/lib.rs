@@ -23,9 +23,11 @@ pub mod telemetry;
 pub mod topology;
 
 pub use frame::{open_frame, seal_frame};
-pub use gossip::{plan_block_relay, BlockRelayPlan, GossipState, SeenFilter};
+pub use gossip::{plan_block_relay, trace_block_seen, BlockRelayPlan, GossipState, SeenFilter};
 pub use kademlia::{iterative_lookup, RoutingTable, BUCKET_SIZE};
-pub use link::{Delivery, DeliveryPlan, FaultPlan, FaultPlanError, LatencyModel, Link};
+pub use link::{
+    trace_transmit, Delivery, DeliveryPlan, FaultPlan, FaultPlanError, LatencyModel, Link,
+};
 pub use message::{Message, Status, PROTOCOL_VERSION};
 pub use node_id::NodeId;
 pub use topology::{build_topology, Topology, TopologyConfig};

@@ -8,6 +8,8 @@
 
 use rand::Rng;
 
+use fork_telemetry::{BlockTag, TraceEventKind, TraceSink};
+
 /// Latency model for one link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
@@ -191,6 +193,36 @@ impl Link {
     }
 }
 
+/// Emits the send-side trace events for one [`Link::transmit`] outcome: a
+/// [`TraceEventKind::GossipSent`] at `from` (peer = `to`) per scheduled
+/// delivery, or a [`TraceEventKind::GossipDropped`] with detail `"link"`
+/// when the plan came back empty (the drop fault fired). Frames that carry
+/// no block (`block` = `None` — status, transactions, announcements) emit
+/// nothing: the trace is a *block*-lifecycle record.
+pub fn trace_transmit(
+    sink: &TraceSink,
+    plan: &DeliveryPlan,
+    from: u32,
+    to: u32,
+    block: Option<(BlockTag, u64)>,
+) {
+    let Some((tag, number)) = block else { return };
+    if plan.is_empty() {
+        sink.record_full(
+            from,
+            tag,
+            number,
+            TraceEventKind::GossipDropped,
+            Some(to),
+            "link",
+        );
+        return;
+    }
+    for _ in plan {
+        sink.record_full(from, tag, number, TraceEventKind::GossipSent, Some(to), "");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +334,33 @@ mod tests {
         assert_eq!(p.drop_chance(), 1.0);
         assert_eq!(p.duplicate_chance(), 1.0);
         assert_eq!(p.corrupt_chance(), 1.0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn trace_transmit_maps_plans_to_hop_events() {
+        let sink = TraceSink::new();
+        let tag: BlockTag = [9; 32];
+        let delivered = vec![Delivery {
+            delay_ms: 10,
+            bytes: vec![1],
+        }];
+        let duplicated = vec![delivered[0].clone(), delivered[0].clone()];
+        let dropped: DeliveryPlan = Vec::new();
+
+        trace_transmit(&sink, &delivered, 1, 2, Some((tag, 5)));
+        trace_transmit(&sink, &duplicated, 1, 3, Some((tag, 5)));
+        trace_transmit(&sink, &dropped, 1, 4, Some((tag, 5)));
+        trace_transmit(&sink, &delivered, 1, 5, None); // non-block frame
+
+        let events = sink.events();
+        assert_eq!(events.len(), 4, "1 sent + 2 sent (dup) + 1 dropped");
+        assert_eq!(events[0].kind, TraceEventKind::GossipSent);
+        assert_eq!((events[0].node, events[0].peer), (1, Some(2)));
+        assert_eq!(events[2].peer, Some(3));
+        assert_eq!(events[3].kind, TraceEventKind::GossipDropped);
+        assert_eq!(events[3].detail, "link");
+        assert_eq!(events[3].peer, Some(4));
     }
 
     #[test]

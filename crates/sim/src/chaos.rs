@@ -75,6 +75,17 @@ pub enum ByzantineBehavior {
     CorruptFrames,
 }
 
+impl ByzantineBehavior {
+    /// Short stable label used in trace events and reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ByzantineBehavior::Equivocate => "equivocation",
+            ByzantineBehavior::StaleSpam { .. } => "stale_spam",
+            ByzantineBehavior::CorruptFrames => "corrupt_frames",
+        }
+    }
+}
+
 /// A node scripted to misbehave, optionally until a deadline (after which it
 /// acts honestly — letting convergence-after-faults be tested).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

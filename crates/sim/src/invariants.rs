@@ -199,6 +199,55 @@ impl fmt::Display for InvariantViolation {
 
 impl std::error::Error for InvariantViolation {}
 
+impl InvariantViolation {
+    /// The node the violation is localized to, when it names one.
+    pub fn node(&self) -> Option<usize> {
+        use InvariantViolation::*;
+        match self {
+            BrokenParentLink { node, .. }
+            | MissingCanonicalBlock { node, .. }
+            | NumberMismatch { node, .. }
+            | NonIncreasingTotalDifficulty { node, .. }
+            | CrossSpecAcceptance { node, .. }
+            | SeenFilterOverCapacity { node, .. }
+            | OrphanBufferOverflow { node, .. }
+            | RetainedBlocksOverflow { node, .. } => Some(*node),
+            SideDisagreement { b, .. } => Some(*b),
+            SideHeadSpread { lo_node, .. } => Some(*lo_node),
+            EventQueueOverflow { .. } | PendingRequestsOverflow { .. } => None,
+        }
+    }
+}
+
+/// Renders a failure post-mortem for `v`: the violation message, the flight
+/// recorder's last-N events per node (when the run carries a recorder), and
+/// the run's telemetry snapshot. The violation is first stamped into the
+/// trace as an [`fork_telemetry::TraceEventKind::InvariantViolated`] event
+/// at the offending node, so the dump's event history ends with it. This is
+/// the text the chaos harness writes to disk before panicking.
+pub fn violation_report(net: &MicroNet, v: &InvariantViolation) -> String {
+    net.tracer().record_full(
+        v.node().unwrap_or(0) as u32,
+        fork_telemetry::NO_BLOCK,
+        0,
+        fork_telemetry::TraceEventKind::InvariantViolated,
+        None,
+        "",
+    );
+    let mut out = format!("INVARIANT VIOLATED at t={}ms\n  {v}\n\n", net.now_ms());
+    match net.flight_dump() {
+        Some(dump) => out.push_str(&dump.render()),
+        None => {
+            out.push_str(
+                "(no flight recorder attached — attach a recorder-carrying \
+                 TraceSink for per-node event history)\n\nTELEMETRY AT DUMP TIME\n",
+            );
+            out.push_str(&net.telemetry_snapshot().render_table());
+        }
+    }
+    out
+}
+
 /// Checks every safety invariant over the current state of `net`.
 ///
 /// Covers, for each node (online or not — a crashed node's persisted store

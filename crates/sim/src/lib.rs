@@ -37,8 +37,10 @@ pub use chaos::{
     ByzantineBehavior, ByzantineNode, ChaosPlan, ChaosPlanError, CrashEvent, DegradationWindow,
     RecoveryMode, ResilienceConfig,
 };
-pub use invariants::{check_invariants, InvariantViolation};
-pub use meso::{MesoConfig, NetworkParams, RunSummary, TwoChainEngine};
+pub use invariants::{
+    check_invariants, check_side_agreement, violation_report, InvariantViolation,
+};
+pub use meso::{MesoConfig, NetworkParams, ProgressEvent, RunSummary, TwoChainEngine};
 pub use micro::{MicroConfig, MicroNet, MicroReport};
 pub use observer::{CountingSink, LedgerSink, MeteredSink, NullSink, TeeSink};
 pub use resolved::{ResolvedForkConfig, ResolvedForkOutcome};

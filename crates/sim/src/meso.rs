@@ -157,6 +157,21 @@ impl StepSpans {
     }
 }
 
+/// One heartbeat emitted by [`TwoChainEngine::run_with_progress`] each time
+/// the simulation crosses a simulated-day boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressEvent {
+    /// Completed simulated days since the run started (1-based: the first
+    /// heartbeat fires when day 1 finishes).
+    pub day: u64,
+    /// Simulated unix time (seconds) of the step that crossed the boundary.
+    pub sim_unix: u64,
+    /// Canonical blocks mined so far per side (`[eth, etc]`).
+    pub blocks: [u64; 2],
+    /// Engine steps per wall-clock second since the previous heartbeat.
+    pub events_per_sec: f64,
+}
+
 /// The engine.
 pub struct TwoChainEngine {
     nets: [NetSim; 2],
@@ -166,6 +181,7 @@ pub struct TwoChainEngine {
     rng_users: SimRng,
     rng_replay: SimRng,
     rng_pools: SimRng,
+    start: SimTime,
     end: SimTime,
     summary: RunSummary,
     /// Every metric this run produces: the per-phase spans below, plus the
@@ -257,6 +273,7 @@ impl TwoChainEngine {
             rng_users: root.fork("users"),
             rng_replay: root.fork("replay"),
             rng_pools: root.fork("pools"),
+            start: config.start,
             end: config.end,
             summary: RunSummary::default(),
             spans: StepSpans::new(&telemetry),
@@ -307,7 +324,24 @@ impl TwoChainEngine {
     /// Runs to the configured end time, streaming finalized blocks into
     /// `sink`. Returns run counters.
     pub fn run(&mut self, sink: &mut impl LedgerSink) -> RunSummary {
+        self.run_with_progress(sink, None)
+    }
+
+    /// Like [`TwoChainEngine::run`], but invokes `progress` once per
+    /// completed simulated day. The heartbeat is pure observation: it reads
+    /// counters the run already maintains and never touches the RNG streams,
+    /// so a run with a progress callback produces byte-identical results to
+    /// one without.
+    pub fn run_with_progress(
+        &mut self,
+        sink: &mut impl LedgerSink,
+        mut progress: Option<&mut dyn FnMut(ProgressEvent)>,
+    ) -> RunSummary {
         let end_f = self.end.as_unix() as f64;
+        let run_start = self.start.as_unix();
+        let mut next_day: u64 = 1;
+        let mut day_steps: u64 = 0;
+        let mut day_wall = std::time::Instant::now();
         loop {
             let i = if self.nets[0].next_block_at <= self.nets[1].next_block_at {
                 0
@@ -319,6 +353,28 @@ impl TwoChainEngine {
                 break;
             }
             self.step_network(i, t, sink);
+            day_steps += 1;
+            if let Some(cb) = progress.as_deref_mut() {
+                let sim_unix = t as u64;
+                if sim_unix >= run_start + next_day * 86_400 {
+                    let day = (sim_unix - run_start) / 86_400;
+                    let elapsed = day_wall.elapsed().as_secs_f64();
+                    let events_per_sec = if elapsed > 0.0 {
+                        day_steps as f64 / elapsed
+                    } else {
+                        0.0
+                    };
+                    cb(ProgressEvent {
+                        day,
+                        sim_unix,
+                        blocks: self.summary.blocks,
+                        events_per_sec,
+                    });
+                    next_day = day + 1;
+                    day_steps = 0;
+                    day_wall = std::time::Instant::now();
+                }
+            }
             let span = self.spans.sample.enter();
             let next = self.sample_next_block(i, t);
             drop(span);

@@ -14,13 +14,17 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::Arc;
 
-use fork_chain::{Block, ChainError, ChainSpec, ChainStore, GenesisBuilder, ImportOutcome};
+use fork_chain::{
+    Block, ChainError, ChainSpec, ChainStore, ChainTracer, GenesisBuilder, ImportOutcome,
+};
 use fork_net::{
     plan_block_relay, FaultPlan, GossipState, LatencyModel, Link, Message, NodeId, SeenFilter,
     Status, Topology, TopologyConfig, PROTOCOL_VERSION,
 };
 use fork_primitives::{Address, SimTime, H256, U256};
+use fork_telemetry::{FlightDump, TraceEventKind, TraceSink, NO_BLOCK};
 
 use crate::chaos::{
     ByzantineBehavior, ChaosPlan, RecoveryMode, ResilienceConfig, SCORE_CORRUPT_FRAME,
@@ -312,6 +316,10 @@ pub struct MicroNet {
     retention: usize,
     /// Events processed so far (debug pacing; survives windowed runs).
     processed: u64,
+    /// Shared lifecycle-event sink (a disabled sink by default; see
+    /// [`MicroNet::attach_tracer`]). The event loop drives its clock, so
+    /// traces carry simulated — deterministic — timestamps.
+    tracer: Arc<TraceSink>,
 }
 
 impl MicroNet {
@@ -411,6 +419,7 @@ impl MicroNet {
             next_req_id: 0,
             scores: HashMap::new(),
             processed: 0,
+            tracer: Arc::new(TraceSink::disabled()),
         };
         for i in 0..net.nodes.len() {
             if net.nodes[i].hashrate > 0.0 && net.nodes[i].online {
@@ -486,6 +495,9 @@ impl MicroNet {
         let own_spec = self.nodes[i].store.spec().clone();
         let mut synced = self.nodes[j].store.clone();
         synced.set_spec(own_spec);
+        // The clone carries the peer's tracer tag; re-attach as ourselves so
+        // post-sync events are attributed to the right node.
+        synced.set_tracer(ChainTracer::attached(Arc::clone(&self.tracer), i as u32));
         self.nodes[i].store = synced;
         self.nodes[i].epoch += 1;
         // Buffered orphans are retried against the new store (most land as
@@ -810,6 +822,8 @@ impl MicroNet {
             self.pending.remove(&id);
         }
         self.report.crashes += 1;
+        self.tracer
+            .record(i as u32, NO_BLOCK, 0, TraceEventKind::NodeCrashed);
     }
 
     /// Scripted restart: recover the persisted store (optionally truncating
@@ -822,6 +836,8 @@ impl MicroNet {
         self.nodes[i].online = true;
         self.nodes[i].epoch += 1;
         self.report.restarts += 1;
+        self.tracer
+            .record(i as u32, NO_BLOCK, 0, TraceEventKind::NodeRestarted);
         if let RecoveryMode::TruncatedTail { depth } = recovery {
             self.nodes[i].store.truncate_tail(depth);
         }
@@ -863,10 +879,21 @@ impl MicroNet {
     /// One round of a stale-spam byzantine node: re-gossip the (stale) head
     /// to every peer and announce a batch of nonexistent hashes.
     fn spam_tick(&mut self, i: usize, period_ms: u64) {
-        let Some(ByzantineBehavior::StaleSpam { fake_hashes, .. }) = self.byz_active(i) else {
+        let Some(behavior) = self.byz_active(i) else {
             return; // behavior expired (or node crashed out of it)
         };
+        let ByzantineBehavior::StaleSpam { fake_hashes, .. } = behavior else {
+            return;
+        };
         if self.nodes[i].online {
+            self.tracer.record_full(
+                i as u32,
+                NO_BLOCK,
+                0,
+                TraceEventKind::FaultInjected,
+                None,
+                behavior.label(),
+            );
             let head = self.nodes[i]
                 .store
                 .block(self.nodes[i].store.head_hash())
@@ -934,6 +961,16 @@ impl MicroNet {
             let idx = self.chaos_rng.gen_range(0..frame.len());
             let mask = self.chaos_rng.gen_range(1..=255u8);
             frame[idx] ^= mask;
+            if self.tracer.is_active() {
+                self.tracer.record_full(
+                    i as u32,
+                    NO_BLOCK,
+                    0,
+                    TraceEventKind::FaultInjected,
+                    Some(j as u32),
+                    ByzantineBehavior::CorruptFrames.label(),
+                );
+            }
         }
         // Degradation windows override the baseline fault plan for their
         // duration; an empty plan never matches and costs nothing.
@@ -944,7 +981,18 @@ impl MicroNet {
             },
             None => self.link.clone(),
         };
-        for delivery in link.transmit(&frame, &mut self.rng) {
+        let plan = link.transmit(&frame, &mut self.rng);
+        if self.tracer.is_active() {
+            // Only full-block frames carry trace context (the trace is a
+            // block-lifecycle record); announcement-driven body fetches show
+            // up through their Validated/Imported events instead.
+            let block_ctx = match msg {
+                Message::NewBlock { block, .. } => Some((block.hash().0, block.header.number)),
+                _ => None,
+            };
+            fork_net::trace_transmit(&self.tracer, &plan, i as u32, j as u32, block_ctx);
+        }
+        for delivery in plan {
             self.push_event(
                 self.now_ms + delivery.delay_ms.max(1),
                 EventKind::Deliver {
@@ -988,7 +1036,20 @@ impl MicroNet {
     /// locally).
     fn import_at(&mut self, i: usize, block: Block, from: Option<usize>) {
         let hash = block.hash();
-        if !self.nodes[i].gossip.blocks.insert(hash) {
+        let fresh = self.nodes[i].gossip.blocks.insert(hash);
+        if self.tracer.is_active() {
+            if let Some(f) = from {
+                fork_net::trace_block_seen(
+                    &self.tracer,
+                    i as u32,
+                    Some(f as u32),
+                    hash.0,
+                    block.header.number,
+                    fresh,
+                );
+            }
+        }
+        if !fresh {
             return; // already seen via gossip
         }
         self.process_block(i, block, from);
@@ -1201,10 +1262,25 @@ impl MicroNet {
             .propose(beneficiary, ts, Vec::new(), &[]);
         self.report.mined[i] += 1;
         self.report.ommers_included += block.ommers.len() as u64;
-        self.mined_at.insert(block.hash(), self.now_ms);
+        let hash = block.hash();
+        self.mined_at.insert(hash, self.now_ms);
+        if self.tracer.is_active() {
+            self.tracer
+                .record(i as u32, hash.0, block.header.number, TraceEventKind::Mined);
+        }
         self.import_at(i, block, None);
         if let Some(twin) = twin {
             self.report.equivocations += 1;
+            if self.tracer.is_active() {
+                self.tracer.record_full(
+                    i as u32,
+                    twin.hash().0,
+                    twin.header.number,
+                    TraceEventKind::Mined,
+                    None,
+                    ByzantineBehavior::Equivocate.label(),
+                );
+            }
             self.nodes[i].gossip.blocks.insert(twin.hash());
             let peers: Vec<usize> = self
                 .topology
@@ -1260,6 +1336,7 @@ impl MicroNet {
                 );
             }
             self.now_ms = event.at_ms;
+            self.tracer.set_now(self.now_ms);
             match event.kind {
                 EventKind::BlockFound { node, epoch } => {
                     if self.nodes[node].epoch != epoch {
@@ -1369,6 +1446,34 @@ impl MicroNet {
     /// A node's store (inspection).
     pub fn node_store(&self, i: usize) -> &ChainStore {
         &self.nodes[i].store
+    }
+
+    /// Attaches a lifecycle-event sink: every node's store gets a
+    /// [`ChainTracer`] tagged with its index, and the event loop starts
+    /// driving the sink's clock. Attaching consumes no RNG draws and
+    /// schedules nothing, so a traced run is event-for-event identical to an
+    /// untraced one.
+    pub fn attach_tracer(&mut self, sink: Arc<TraceSink>) {
+        sink.set_now(self.now_ms);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.store
+                .set_tracer(ChainTracer::attached(Arc::clone(&sink), i as u32));
+        }
+        self.tracer = sink;
+    }
+
+    /// The attached trace sink (a disabled sink when none was attached).
+    pub fn tracer(&self) -> &TraceSink {
+        &self.tracer
+    }
+
+    /// The flight recorder's bounded last-N-events-per-node view with the
+    /// run's telemetry snapshot attached — the post-mortem written when an
+    /// invariant fails. `None` unless a recorder-carrying sink is attached.
+    pub fn flight_dump(&self) -> Option<FlightDump> {
+        let mut dump = self.tracer.flight_dump()?;
+        dump.snapshot = Some(self.telemetry_snapshot());
+        Some(dump)
     }
 
     /// The run's gossip and consensus counters as a telemetry snapshot

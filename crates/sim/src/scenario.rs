@@ -380,6 +380,33 @@ pub fn chaos_scenario(seed: u64) -> ChaosScenario {
     }
 }
 
+/// Where the trace preset forks (vs. block 1 in the chaos preset): late
+/// enough that the shared pre-fork regime produces a measurable propagation
+/// sample before the network splits.
+pub const TRACE_FORK_BLOCK: u64 = 15;
+
+/// The tracing preset: the chaos scenario's 20-node fork-split network with
+/// the chaos plan stripped and the fork moved from block 1 to
+/// [`TRACE_FORK_BLOCK`]. Below that height the whole network mines one
+/// shared chain, so a trace records both the *pre-fork* propagation regime
+/// (blocks cover the full 20-node graph) and the *post-fork* regime (each
+/// block only covers its own side) — the before/after rows of the
+/// propagation table.
+pub fn trace_scenario(seed: u64) -> ChaosScenario {
+    let mut scenario = chaos_scenario(seed);
+    scenario.config.chaos = ChaosPlan::NONE;
+    scenario.config.duration_secs = 1_800;
+    if let SpecAssignment::ForkSplit { eth, etc, .. } = &mut scenario.config.specs {
+        for spec in [eth, etc] {
+            if let Some(d) = spec.dao_fork.as_mut() {
+                d.block = TRACE_FORK_BLOCK;
+            }
+        }
+    }
+    scenario.faults_clear_secs = 0;
+    scenario
+}
+
 /// Figures 2–5's window: the full nine-month study (280 days).
 pub fn nine_months(seed: u64) -> MesoConfig {
     dao_scenario(seed, 280)

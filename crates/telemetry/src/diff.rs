@@ -93,12 +93,21 @@ pub fn diff_snapshots(a: &Snapshot, b: &Snapshot) -> SnapshotDiff {
             histograms.push((name.clone(), cb as f64 - ca as f64, ma, mb));
         }
     }
-    SnapshotDiff {
+    let mut diff = SnapshotDiff {
         counters: diff_maps(&a.counters, &b.counters, |v: u64| v as f64),
         gauges: diff_maps(&a.gauges, &b.gauges, |v: i64| v as f64),
         span_counts: diff_maps(&span_a, &span_b, |v: u64| v as f64),
         histograms,
-    }
+    };
+    // The sections above are already name-ordered (BTreeSet iteration), but
+    // `render_diff` stability across runs is a contract, not an accident of
+    // the construction path — sort defensively so hand-built or merged
+    // diffs render identically too.
+    diff.counters.sort_by(|x, y| x.name.cmp(&y.name));
+    diff.gauges.sort_by(|x, y| x.name.cmp(&y.name));
+    diff.span_counts.sort_by(|x, y| x.name.cmp(&y.name));
+    diff.histograms.sort_by(|x, y| x.0.cmp(&y.0));
+    diff
 }
 
 fn fmt_value(v: Option<f64>) -> String {
@@ -201,5 +210,51 @@ mod tests {
         assert!(rendered.contains("hits"));
         assert!(rendered.contains("+15"));
         assert!(rendered.contains("—"), "missing side is marked");
+    }
+
+    #[test]
+    fn render_diff_is_deterministically_sorted() {
+        // Build the two snapshots with interleaved, unordered inserts; the
+        // rendered diff must come out name-ordered and byte-stable.
+        let mut a = Snapshot::default();
+        let mut b = Snapshot::default();
+        for name in ["zeta", "alpha", "mid"] {
+            a.counters.insert(name.into(), 1);
+            b.counters.insert(name.into(), 2);
+            b.gauges.insert(name.into(), 3);
+            b.spans.insert(
+                name.into(),
+                SpanSnapshot {
+                    count: 4,
+                    ..Default::default()
+                },
+            );
+            b.histograms.insert(
+                name.into(),
+                HistogramSnapshot {
+                    count: 1,
+                    sum: 9,
+                    ..Default::default()
+                },
+            );
+        }
+        let d = diff_snapshots(&a, &b);
+        for rows in [&d.counters, &d.gauges, &d.span_counts] {
+            let names: Vec<&str> = rows.iter().map(|m| m.name.as_str()).collect();
+            assert_eq!(names, vec!["alpha", "mid", "zeta"], "rows sorted by name");
+        }
+        let hist_names: Vec<&str> = d.histograms.iter().map(|h| h.0.as_str()).collect();
+        assert_eq!(hist_names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(
+            render_diff(&d),
+            render_diff(&diff_snapshots(&a, &b)),
+            "two diffs of the same snapshots render byte-identically"
+        );
+
+        // A hand-shuffled diff renders sorted once re-sorted through
+        // diff_snapshots' contract — simulate by reversing and re-sorting.
+        let mut shuffled = d.clone();
+        shuffled.counters.reverse();
+        assert_ne!(render_diff(&shuffled), render_diff(&d));
     }
 }

@@ -12,7 +12,11 @@
 //! - [`MetricsRegistry`] — a name → metric map producing a plain-data
 //!   [`Snapshot`] that renders as a human table or machine-readable JSON;
 //! - [`json`] — a tiny JSON value/parser/writer module used for all exports
-//!   (always compiled, independent of the feature flag).
+//!   (always compiled, independent of the feature flag);
+//! - [`TraceSink`] / [`FlightRecorder`] — structured block-lifecycle
+//!   tracing on simulated time (Chrome-trace exportable, deterministic per
+//!   seed) with a bounded last-N-per-node flight recorder for chaos
+//!   post-mortems.
 //!
 //! # Feature flag
 //!
@@ -38,15 +42,22 @@
 pub mod diff;
 pub mod json;
 mod metrics;
+pub mod recorder;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use diff::{diff_snapshots, render_diff, SnapshotDiff};
 pub use metrics::{bucket_range, Counter, Gauge, Histogram, BUCKETS};
+pub use recorder::{FlightDump, FlightRecorder};
 pub use registry::MetricsRegistry;
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot, TimingMode};
 pub use span::{timed, Span, SpanStats};
+pub use trace::{
+    chrome_trace_json, propagation_rows, BlockTag, PropagationRow, TraceEvent, TraceEventKind,
+    TraceSink, NO_BLOCK,
+};
 
 /// `true` when the `enabled` feature is compiled in (instrumentation live).
 pub const fn is_enabled() -> bool {
