@@ -1,0 +1,103 @@
+//! Shared aggregation cells and series builders.
+//!
+//! Both the live [`crate::Pipeline`] and fork-query's archive-backed
+//! projections fold per-bucket means over `f64` values. Floating-point
+//! addition is not associative, so "the same numbers in the same order"
+//! is the *only* way two independent consumers produce bit-identical
+//! series. Keeping the cell and the series construction here — and feeding
+//! both consumers in per-side ingestion order — makes that equality hold by
+//! construction instead of by tolerance.
+
+use std::collections::BTreeMap;
+
+use fork_primitives::SimTime;
+
+use crate::series::TimeSeries;
+
+/// Mean-accumulator cell: a running `sum / n` fold in insertion order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanCell {
+    sum: f64,
+    n: u64,
+}
+
+impl MeanCell {
+    /// Folds one value into the mean.
+    pub fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// The mean so far (`NaN` when no values were pushed).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of values folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Builds a time series of per-bucket means. Bucket keys are multiples of
+/// `bucket_secs` (hours → `3_600`, days → `86_400`).
+pub fn mean_series(
+    label: impl Into<String>,
+    cells: &BTreeMap<u64, MeanCell>,
+    bucket_secs: u64,
+) -> TimeSeries {
+    let mut s = TimeSeries::new(label);
+    for (bucket, cell) in cells {
+        s.push(SimTime::from_unix(bucket * bucket_secs), cell.mean());
+    }
+    s
+}
+
+/// Builds a time series of per-bucket counts.
+pub fn count_series(
+    label: impl Into<String>,
+    counts: &BTreeMap<u64, u64>,
+    bucket_secs: u64,
+) -> TimeSeries {
+    let mut s = TimeSeries::new(label);
+    for (bucket, n) in counts {
+        s.push(SimTime::from_unix(bucket * bucket_secs), *n as f64);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_cell_folds_in_order() {
+        let mut cell = MeanCell::default();
+        assert!(cell.mean().is_nan());
+        cell.push(1.0);
+        cell.push(2.0);
+        cell.push(4.0);
+        assert_eq!(cell.mean(), (1.0 + 2.0 + 4.0) / 3.0);
+        assert_eq!(cell.count(), 3);
+    }
+
+    #[test]
+    fn series_builders_scale_buckets() {
+        let mut cells = BTreeMap::new();
+        cells
+            .entry(2u64)
+            .or_insert_with(MeanCell::default)
+            .push(10.0);
+        let s = mean_series("m", &cells, 86_400);
+        assert_eq!(s.points, vec![(2 * 86_400, 10.0)]);
+
+        let mut counts = BTreeMap::new();
+        counts.insert(3u64, 7u64);
+        let c = count_series("c", &counts, 3_600);
+        assert_eq!(c.points, vec![(3 * 3_600, 7.0)]);
+    }
+}

@@ -10,12 +10,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod export;
 pub mod pipeline;
 pub mod record;
 pub mod render;
 pub mod series;
 
+pub use aggregate::{count_series, mean_series, MeanCell};
 pub use export::{histogram_series, to_csv, to_json, write_csv, write_json};
 pub use pipeline::Pipeline;
 pub use record::{BlockRecord, TxRecord};

@@ -12,29 +12,9 @@ use fork_pools::DailyWinners;
 use fork_primitives::SimTime;
 use fork_replay::{EchoDetector, Side};
 
+use crate::aggregate::{count_series, mean_series, MeanCell};
 use crate::record::{BlockRecord, TxRecord};
 use crate::series::TimeSeries;
-
-/// Mean-accumulator cell.
-#[derive(Debug, Clone, Copy, Default)]
-struct MeanCell {
-    sum: f64,
-    n: u64,
-}
-
-impl MeanCell {
-    fn push(&mut self, v: f64) {
-        self.sum += v;
-        self.n += 1;
-    }
-    fn mean(&self) -> f64 {
-        if self.n == 0 {
-            f64::NAN
-        } else {
-            self.sum / self.n as f64
-        }
-    }
-}
 
 /// Aggregates for one network.
 #[derive(Debug, Clone, Default)]
@@ -147,47 +127,27 @@ impl Pipeline {
 
     /// Blocks per hour — Figure 1 top panel.
     pub fn blocks_per_hour(&self, side: Side) -> TimeSeries {
-        let mut s = TimeSeries::new(side.label());
-        for (hour, n) in &self.side(side).hourly_blocks {
-            s.push(SimTime::from_unix(hour * 3_600), *n as f64);
-        }
-        s
+        count_series(side.label(), &self.side(side).hourly_blocks, 3_600)
     }
 
     /// Mean block difficulty per hour — Figure 1 middle panel.
     pub fn hourly_difficulty(&self, side: Side) -> TimeSeries {
-        let mut s = TimeSeries::new(side.label());
-        for (hour, cell) in &self.side(side).hourly_difficulty {
-            s.push(SimTime::from_unix(hour * 3_600), cell.mean());
-        }
-        s
+        mean_series(side.label(), &self.side(side).hourly_difficulty, 3_600)
     }
 
     /// Mean inter-block delta (seconds) per hour — Figure 1 bottom panel.
     pub fn block_delta(&self, side: Side) -> TimeSeries {
-        let mut s = TimeSeries::new(side.label());
-        for (hour, cell) in &self.side(side).hourly_delta {
-            s.push(SimTime::from_unix(hour * 3_600), cell.mean());
-        }
-        s
+        mean_series(side.label(), &self.side(side).hourly_delta, 3_600)
     }
 
     /// Mean difficulty per day — Figure 2 top panel.
     pub fn daily_difficulty(&self, side: Side) -> TimeSeries {
-        let mut s = TimeSeries::new(side.label());
-        for (day, cell) in &self.side(side).daily_difficulty {
-            s.push(SimTime::from_unix(day * 86_400), cell.mean());
-        }
-        s
+        mean_series(side.label(), &self.side(side).daily_difficulty, 86_400)
     }
 
     /// Transactions per day — Figure 2 middle panel.
     pub fn txs_per_day(&self, side: Side) -> TimeSeries {
-        let mut s = TimeSeries::new(side.label());
-        for (day, n) in &self.side(side).daily_txs {
-            s.push(SimTime::from_unix(day * 86_400), *n as f64);
-        }
-        s
+        count_series(side.label(), &self.side(side).daily_txs, 86_400)
     }
 
     /// Percentage of transactions that are contract interactions —

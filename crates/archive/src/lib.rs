@@ -28,6 +28,7 @@ pub mod segment;
 pub mod writer;
 
 pub use error::ArchiveError;
-pub use format::ArchiveRecord;
+pub use format::{ArchiveRecord, Codec};
 pub use reader::{ArchiveReader, OpenReport, RecordStream, SegmentVerify, VerifyReport};
-pub use writer::{ArchiveConfig, ArchiveMeta, ArchiveStats, ArchiveWriter};
+pub use segment::{SegmentCursor, SegmentScan};
+pub use writer::{ArchiveConfig, ArchiveMeta, ArchiveStats, ArchiveWriter, CompactReport};

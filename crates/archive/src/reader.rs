@@ -40,6 +40,9 @@ pub struct OpenReport {
     /// reason. Their frames are unreadable — side attribution needs the
     /// superblock — but the rest of the archive stays readable.
     pub skipped: Vec<(PathBuf, String)>,
+    /// Zero-length segment files ignored at open (a crash between a segment
+    /// roll and the first superblock byte leaves one behind).
+    pub empty_segments: u64,
 }
 
 /// Per-segment result of [`ArchiveReader::verify`].
@@ -87,7 +90,6 @@ impl VerifyReport {
 
 #[derive(Debug)]
 struct SideIndex {
-    side: Side,
     /// Scanned segments in segment order.
     segments: Vec<(PathBuf, SegmentScan)>,
 }
@@ -135,7 +137,6 @@ impl ArchiveReader {
         for side in [Side::Eth, Side::Etc] {
             let side_dir = dir.join(side_dir_name(side));
             let mut index = SideIndex {
-                side,
                 segments: Vec::new(),
             };
             if side_dir.is_dir() {
@@ -144,6 +145,15 @@ impl ArchiveReader {
                 for seg in seg_ids {
                     let path = side_dir.join(segment_file_name(seg));
                     let _scan_guard = scan_span.enter();
+                    // An empty file is a crash artifact, not corruption: the
+                    // roll happened but no superblock byte ever landed.
+                    let len = fs::metadata(&path)
+                        .map_err(|e| ArchiveError::io(&path, e))?
+                        .len();
+                    if len == 0 {
+                        report.empty_segments += 1;
+                        continue;
+                    }
                     match scan_segment(&path, side) {
                         Ok(scan) => {
                             report.segments += 1;
@@ -202,6 +212,15 @@ impl ArchiveReader {
             Side::Eth => &self.sides[0],
             Side::Etc => &self.sides[1],
         }
+    }
+
+    /// One side's scanned segments in segment order, as `(path, scan)`.
+    /// This is the raw material for external cursors (fork-query's reader
+    /// pool): each scan carries the superblock, valid length, and sparse
+    /// indexes needed to open independent [`SegmentCursor`]s without
+    /// re-scanning the archive.
+    pub fn segments(&self, side: Side) -> &[(PathBuf, SegmentScan)] {
+        &self.side_index(side).segments
     }
 
     /// Full scan of one side, in write (= seq) order.
@@ -296,7 +315,12 @@ impl ArchiveReader {
                     corrupt: Vec::new(),
                     torn_bytes: scan.torn_bytes,
                 };
-                match SegmentCursor::open(path, side.side, SUPERBLOCK_LEN as u64, scan.valid_len) {
+                match SegmentCursor::open(
+                    path,
+                    scan.superblock,
+                    SUPERBLOCK_LEN as u64,
+                    scan.valid_len,
+                ) {
                     Ok(mut cursor) => {
                         while let Some(item) = cursor.next_frame() {
                             match item {
@@ -343,7 +367,6 @@ enum StopKey {
 /// affected segment's contribution (the stream continues with the next
 /// segment).
 pub struct RecordStream<'a> {
-    side: Side,
     segments: std::slice::Iter<'a, (PathBuf, SegmentScan)>,
     seek: Option<SeekKey>,
     stop: Option<StopKey>,
@@ -355,7 +378,6 @@ pub struct RecordStream<'a> {
 impl<'a> RecordStream<'a> {
     fn new(index: &'a SideIndex, seek: Option<SeekKey>, stop: Option<StopKey>) -> Self {
         RecordStream {
-            side: index.side,
             segments: index.segments.iter(),
             seek,
             stop,
@@ -384,7 +406,7 @@ impl<'a> RecordStream<'a> {
                     scan.seek_for_time(*t)
                 }
             };
-            match SegmentCursor::open(path, self.side, start, scan.valid_len) {
+            match SegmentCursor::open(path, scan.superblock, start, scan.valid_len) {
                 Ok(cursor) => {
                     self.cursor = Some(cursor);
                     return Some(Ok(()));
@@ -472,7 +494,7 @@ impl PeekedStream<'_> {
     }
 }
 
-fn read_manifest(path: &Path) -> Result<Option<ArchiveMeta>, ArchiveError> {
+pub(crate) fn read_manifest(path: &Path) -> Result<Option<ArchiveMeta>, ArchiveError> {
     if !path.is_file() {
         return Ok(None);
     }

@@ -1,7 +1,7 @@
 //! Segment scanning and sequential frame reading.
 //!
 //! [`scan_segment`] is the open-time pass: it validates the superblock,
-//! walks the frame *headers* (reading only a 25-byte payload prefix per
+//! walks the frame *headers* (reading only a short payload prefix per
 //! frame and seeking over the rest), builds the sparse block-number and
 //! timestamp indexes, and finds the torn-tail boundary — the offset after
 //! the last structurally complete frame. It does **not** verify payload
@@ -18,8 +18,8 @@ use fork_replay::Side;
 
 use crate::error::ArchiveError;
 use crate::format::{
-    checksum, ArchiveRecord, FramePrefix, Superblock, FRAME_HEADER_LEN, INDEX_STRIDE, KIND_BLOCK,
-    KIND_TX, MAX_PAYLOAD_LEN, MIN_PAYLOAD_LEN, PREFIX_LEN, SUPERBLOCK_LEN,
+    checksum, min_payload_len, ArchiveRecord, FramePrefix, Superblock, FRAME_HEADER_LEN,
+    INDEX_STRIDE, KIND_BLOCK, KIND_TX, MAX_PAYLOAD_LEN, PREFIX_READ_LEN, SUPERBLOCK_LEN,
 };
 
 /// Everything the open-time scan learns about one segment file.
@@ -115,9 +115,10 @@ pub fn scan_segment(path: &Path, expect_side: Side) -> Result<SegmentScan, Archi
         time_index: Vec::new(),
     };
 
+    let min_len = min_payload_len(superblock.codec);
     let mut pos = SUPERBLOCK_LEN as u64;
     let mut header = [0u8; FRAME_HEADER_LEN];
-    let mut prefix_buf = [0u8; PREFIX_LEN];
+    let mut prefix_buf = [0u8; PREFIX_READ_LEN];
     loop {
         if pos + FRAME_HEADER_LEN as u64 > file_len {
             break; // clean end, or a tail shorter than a header
@@ -126,18 +127,18 @@ pub fn scan_segment(path: &Path, expect_side: Side) -> Result<SegmentScan, Archi
             break;
         }
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        if !(MIN_PAYLOAD_LEN..=MAX_PAYLOAD_LEN).contains(&len)
+        if !(min_len..=MAX_PAYLOAD_LEN).contains(&len)
             || pos + (FRAME_HEADER_LEN as u64) + (len as u64) > file_len
         {
             // Implausible length or a payload running past EOF: the tail
             // from `pos` on is unreadable.
             break;
         }
-        let prefix_len = PREFIX_LEN.min(len as usize);
+        let prefix_len = PREFIX_READ_LEN.min(len as usize);
         if read_exact_or_none(&mut reader, &mut prefix_buf[..prefix_len]).is_none() {
             break;
         }
-        let Ok(prefix) = FramePrefix::decode(&prefix_buf[..prefix_len]) else {
+        let Ok(prefix) = FramePrefix::decode_in(&superblock, &prefix_buf[..prefix_len]) else {
             break;
         };
         // Skip the rest of the payload without reading it.
@@ -198,7 +199,7 @@ fn read_exact_or_none(reader: &mut BufReader<File>, buf: &mut [u8]) -> Option<()
 /// Sequential checksum-verified frame reader over one segment's valid range.
 pub struct SegmentCursor {
     path: PathBuf,
-    side: Side,
+    superblock: Superblock,
     reader: BufReader<File>,
     pos: u64,
     end: u64,
@@ -207,10 +208,11 @@ pub struct SegmentCursor {
 impl SegmentCursor {
     /// Opens a cursor at `start` (a frame offset from the sparse index, or
     /// `SUPERBLOCK_LEN` for the first frame), bounded by the scan's
-    /// `valid_len`.
+    /// `valid_len`. The superblock supplies the side and codec; every
+    /// cursor over one segment can share the scan's copy.
     pub fn open(
         path: &Path,
-        side: Side,
+        superblock: Superblock,
         start: u64,
         end: u64,
     ) -> Result<SegmentCursor, ArchiveError> {
@@ -221,11 +223,19 @@ impl SegmentCursor {
             .map_err(|e| ArchiveError::io(path, e))?;
         Ok(SegmentCursor {
             path: path.to_path_buf(),
-            side,
+            superblock,
             reader,
             pos: start,
             end,
         })
+    }
+
+    /// Current byte offset: the offset the next [`SegmentCursor::next_frame`]
+    /// will read from (after a successful read, one past the frame just
+    /// returned). External cached readers use this to learn a frame's length
+    /// without re-parsing headers.
+    pub fn pos(&self) -> u64 {
+        self.pos
     }
 
     /// Reads the next frame, verifying its checksum and decoding the record.
@@ -243,7 +253,7 @@ impl SegmentCursor {
             return Some(Err(ArchiveError::io(&self.path, e)));
         }
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        if !(MIN_PAYLOAD_LEN..=MAX_PAYLOAD_LEN).contains(&len)
+        if !(min_payload_len(self.superblock.codec)..=MAX_PAYLOAD_LEN).contains(&len)
             || offset + FRAME_HEADER_LEN as u64 + len as u64 > self.end
         {
             self.pos = self.end;
@@ -265,7 +275,7 @@ impl SegmentCursor {
                 "frame checksum mismatch",
             )));
         }
-        match ArchiveRecord::decode_payload(self.side, &payload) {
+        match ArchiveRecord::decode_payload_in(&self.superblock, &payload) {
             Ok((seq, record)) => Some(Ok((offset, seq, record))),
             Err(d) => Some(Err(ArchiveError::corrupt(&self.path, offset, d))),
         }

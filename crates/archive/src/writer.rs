@@ -23,7 +23,8 @@ use fork_telemetry::{json::Value, Counter, MetricsRegistry};
 
 use crate::error::ArchiveError;
 use crate::format::{
-    encode_frame, segment_file_name, side_dir_name, ArchiveRecord, Superblock, SUPERBLOCK_LEN,
+    encode_frame_in, segment_file_name, side_dir_name, ArchiveRecord, Codec, Superblock,
+    SUPERBLOCK_LEN,
 };
 use crate::segment::scan_segment;
 
@@ -33,12 +34,16 @@ pub struct ArchiveConfig {
     /// Roll to a new segment file once the current one would exceed this
     /// many bytes (a segment always holds at least one frame).
     pub segment_max_bytes: u64,
+    /// Payload codec for newly opened segments. Appending to an existing
+    /// archive keeps each reopened segment's own codec.
+    pub codec: Codec,
 }
 
 impl Default for ArchiveConfig {
     fn default() -> Self {
         ArchiveConfig {
             segment_max_bytes: 4 << 20,
+            codec: Codec::Raw,
         }
     }
 }
@@ -73,6 +78,8 @@ struct SideWriter {
     dir: PathBuf,
     side: Side,
     file: Option<BufWriter<File>>,
+    /// Superblock of the open segment (encode anchors live here).
+    sb: Option<Superblock>,
     /// Index of the segment `file` writes to (next to create when `None`).
     segment: u32,
     /// Bytes in the current segment, superblock included.
@@ -89,6 +96,7 @@ impl SideWriter {
             dir,
             side,
             file: None,
+            sb: None,
             segment: 0,
             seg_bytes: 0,
             seg_frames: 0,
@@ -101,47 +109,73 @@ impl SideWriter {
     }
 
     /// Opens the segment file `self.segment` fresh, writing its superblock.
-    fn open_segment(&mut self, first_seq: u64) -> Result<(), ArchiveError> {
+    /// `first_ts` anchors delta timestamps (saturated to `u32::MAX`).
+    fn open_segment(
+        &mut self,
+        first_seq: u64,
+        first_ts: u64,
+        codec: Codec,
+    ) -> Result<(), ArchiveError> {
         let path = self.seg_path(self.segment);
         let file = File::create(&path).map_err(|e| ArchiveError::io(&path, e))?;
         let mut writer = BufWriter::new(file);
         let sb = Superblock {
             side: self.side,
+            codec,
             segment: self.segment,
             first_seq,
+            base_time: match codec {
+                Codec::Raw => 0,
+                Codec::Delta => u32::try_from(first_ts).unwrap_or(u32::MAX),
+            },
         };
         writer
             .write_all(&sb.encode())
             .map_err(|e| ArchiveError::io(&path, e))?;
         self.file = Some(writer);
+        self.sb = Some(sb);
         self.seg_bytes = SUPERBLOCK_LEN as u64;
         self.seg_frames = 0;
         self.segments_opened += 1;
         Ok(())
     }
 
-    /// Appends one encoded frame, rolling segments as needed. Returns the
+    /// Encodes and appends one record, rolling segments as needed. Encoding
+    /// happens here because the payload depends on the receiving segment's
+    /// superblock anchors (codec, `first_seq`, `base_time`); a frame that
+    /// triggers a roll is re-encoded against the fresh segment. Returns the
     /// frame's byte length.
     fn append(
         &mut self,
-        frame: &[u8],
+        record: &ArchiveRecord,
         seq: u64,
         config: &ArchiveConfig,
     ) -> Result<u64, ArchiveError> {
-        let roll = self.file.is_some()
-            && self.seg_frames > 0
-            && self.seg_bytes + frame.len() as u64 > config.segment_max_bytes;
-        if roll {
-            self.close_current()?;
-            self.segment += 1;
+        let mut frame = self
+            .sb
+            .filter(|_| self.file.is_some())
+            .map(|sb| encode_frame_in(&sb, record, seq));
+        if let Some(f) = &frame {
+            if self.seg_frames > 0 && self.seg_bytes + f.len() as u64 > config.segment_max_bytes {
+                self.close_current()?;
+                self.segment += 1;
+                frame = None;
+            }
         }
         if self.file.is_none() {
-            self.open_segment(seq)?;
+            self.open_segment(seq, record.timestamp(), config.codec)?;
         }
+        let frame = match frame {
+            Some(f) => f,
+            None => {
+                let sb = self.sb.expect("segment opened above");
+                encode_frame_in(&sb, record, seq)
+            }
+        };
         let path = self.seg_path(self.segment);
         let writer = self.file.as_mut().expect("segment opened above");
         writer
-            .write_all(frame)
+            .write_all(&frame)
             .map_err(|e| ArchiveError::io(&path, e))?;
         self.seg_bytes += frame.len() as u64;
         self.seg_frames += 1;
@@ -239,10 +273,27 @@ impl ArchiveWriter {
         for sw in writer.sides.iter_mut() {
             let mut segments = list_segments(&sw.dir)?;
             segments.sort();
-            let Some(&last) = segments.last() else {
+            // A crash between a segment roll and the first superblock byte
+            // leaves a zero-length file. There is nothing to recover in it;
+            // remove it so the previous segment becomes the append tail.
+            // (Only empty files get this treatment — a short-but-nonempty
+            // file is real corruption and still fails the superblock scan.)
+            let mut kept = Vec::with_capacity(segments.len());
+            for &seg in &segments {
+                let path = sw.dir.join(segment_file_name(seg));
+                let len = fs::metadata(&path)
+                    .map_err(|e| ArchiveError::io(&path, e))?
+                    .len();
+                if len == 0 {
+                    fs::remove_file(&path).map_err(|e| ArchiveError::io(&path, e))?;
+                } else {
+                    kept.push(seg);
+                }
+            }
+            let Some(&last) = kept.last() else {
                 continue;
             };
-            for &seg in &segments {
+            for &seg in &kept {
                 let path = sw.dir.join(segment_file_name(seg));
                 let scan = scan_segment(&path, sw.side)?;
                 if scan.torn_bytes > 0 {
@@ -255,12 +306,15 @@ impl ArchiveWriter {
                     max_seq = Some(max_seq.map_or(hi, |m| m.max(hi)));
                 }
                 if seg == last {
-                    // Reopen the tail segment for appending.
+                    // Reopen the tail segment for appending. Its own
+                    // superblock keeps supplying the encode anchors, so a
+                    // raw tail stays raw even under a delta config.
                     let file = OpenOptions::new()
                         .append(true)
                         .open(&path)
                         .map_err(|e| ArchiveError::io(&path, e))?;
                     sw.segment = seg;
+                    sw.sb = Some(scan.superblock);
                     sw.seg_bytes = scan.valid_len;
                     sw.seg_frames = scan.frames;
                     sw.file = Some(BufWriter::new(file));
@@ -339,10 +393,9 @@ impl ArchiveWriter {
             return; // sticky failure: do not archive a stream with holes
         }
         let seq = self.next_seq;
-        let frame = encode_frame(&record, seq);
         let sw = &mut self.sides[Self::side_index(side)];
         let opened_before = sw.segments_opened;
-        match sw.append(&frame, seq, &self.config) {
+        match sw.append(&record, seq, &self.config) {
             Ok(bytes) => {
                 self.next_seq += 1;
                 self.bytes += bytes;
@@ -382,22 +435,7 @@ impl ArchiveWriter {
             segments += sw.segments_opened;
         }
         self.flushes.incr();
-        let mut fields = vec![(
-            "schema".to_string(),
-            Value::Str("fork-archive/v1".to_string()),
-        )];
-        if let Some(m) = meta {
-            // Seed as a string: JSON numbers are f64 and a 64-bit seed would
-            // lose precision past 2^53.
-            fields.push(("seed".to_string(), Value::Str(m.seed.to_string())));
-            fields.push(("start_unix".to_string(), Value::Num(m.start_unix as f64)));
-            fields.push(("end_unix".to_string(), Value::Num(m.end_unix as f64)));
-        }
-        fields.push(("blocks".to_string(), Value::Num(self.blocks as f64)));
-        fields.push(("txs".to_string(), Value::Num(self.txs as f64)));
-        let manifest = self.dir.join("manifest.json");
-        fs::write(&manifest, Value::Obj(fields).to_json_pretty())
-            .map_err(|e| ArchiveError::io(&manifest, e))?;
+        write_manifest(&self.dir, meta, self.blocks, self.txs, None)?;
         Ok(ArchiveStats {
             blocks: self.blocks,
             txs: self.txs,
@@ -405,6 +443,114 @@ impl ArchiveWriter {
             segments,
         })
     }
+}
+
+/// What [`ArchiveWriter::compact_below`] removed and kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Segment files deleted across both sides.
+    pub removed_segments: u64,
+    /// Block records that went with them.
+    pub removed_blocks: u64,
+    /// Tx records that went with them.
+    pub removed_txs: u64,
+    /// Segment files retained across both sides.
+    pub retained_segments: u64,
+    /// Block records still readable.
+    pub retained_blocks: u64,
+    /// Tx records still readable.
+    pub retained_txs: u64,
+}
+
+impl ArchiveWriter {
+    /// Prunes whole segments whose blocks all precede `cutoff` (exclusive)
+    /// and rewrites `manifest.json` with the surviving totals.
+    ///
+    /// Only a *prefix* of each side's segment sequence is removable: block
+    /// numbers ascend per side, and tx frames carry no block number, so a
+    /// tx-only segment is pruned together with the block segments around it.
+    /// The tail segment is never pruned — the archive stays append-able and
+    /// never becomes side-less. Retained segments are untouched (their
+    /// numbering keeps its gap; readers sort indices, not assume contiguity).
+    pub fn compact_below(dir: &Path, cutoff: u64) -> Result<CompactReport, ArchiveError> {
+        let mut report = CompactReport::default();
+        for side in [Side::Eth, Side::Etc] {
+            let side_dir = dir.join(side_dir_name(side));
+            if !side_dir.is_dir() {
+                continue;
+            }
+            let mut segments = list_segments(&side_dir)?;
+            segments.sort();
+            let mut scans = Vec::with_capacity(segments.len());
+            for &seg in &segments {
+                let path = side_dir.join(segment_file_name(seg));
+                let scan = scan_segment(&path, side)?;
+                scans.push((path, scan));
+            }
+            let mut prefix = 0;
+            for (i, (_, scan)) in scans.iter().enumerate() {
+                if i + 1 == scans.len() {
+                    break; // never prune the tail
+                }
+                if scan.block_range.is_some_and(|(_, hi)| hi >= cutoff) {
+                    break;
+                }
+                prefix = i + 1;
+            }
+            for (i, (path, scan)) in scans.iter().enumerate() {
+                if i < prefix {
+                    fs::remove_file(path).map_err(|e| ArchiveError::io(path, e))?;
+                    report.removed_segments += 1;
+                    report.removed_blocks += scan.blocks;
+                    report.removed_txs += scan.txs;
+                } else {
+                    report.retained_segments += 1;
+                    report.retained_blocks += scan.blocks;
+                    report.retained_txs += scan.txs;
+                }
+            }
+        }
+        let manifest = dir.join("manifest.json");
+        let meta = crate::reader::read_manifest(&manifest)?;
+        write_manifest(
+            dir,
+            meta,
+            report.retained_blocks,
+            report.retained_txs,
+            Some(cutoff),
+        )?;
+        Ok(report)
+    }
+}
+
+/// Writes `manifest.json`. `compacted_below` records the cutoff of the last
+/// [`ArchiveWriter::compact_below`], if any.
+fn write_manifest(
+    dir: &Path,
+    meta: Option<ArchiveMeta>,
+    blocks: u64,
+    txs: u64,
+    compacted_below: Option<u64>,
+) -> Result<(), ArchiveError> {
+    let mut fields = vec![(
+        "schema".to_string(),
+        Value::Str("fork-archive/v1".to_string()),
+    )];
+    if let Some(m) = meta {
+        // Seed as a string: JSON numbers are f64 and a 64-bit seed would
+        // lose precision past 2^53.
+        fields.push(("seed".to_string(), Value::Str(m.seed.to_string())));
+        fields.push(("start_unix".to_string(), Value::Num(m.start_unix as f64)));
+        fields.push(("end_unix".to_string(), Value::Num(m.end_unix as f64)));
+    }
+    fields.push(("blocks".to_string(), Value::Num(blocks as f64)));
+    fields.push(("txs".to_string(), Value::Num(txs as f64)));
+    if let Some(cutoff) = compacted_below {
+        fields.push(("compacted_below".to_string(), Value::Num(cutoff as f64)));
+    }
+    let manifest = dir.join("manifest.json");
+    fs::write(&manifest, Value::Obj(fields).to_json_pretty())
+        .map_err(|e| ArchiveError::io(&manifest, e))
 }
 
 impl LedgerSink for ArchiveWriter {

@@ -3,9 +3,12 @@
 use std::path::Path;
 
 use fork_analytics::{Pipeline, TimeSeries};
-use fork_archive::{ArchiveError, ArchiveMeta, ArchiveReader, ArchiveWriter};
+use fork_archive::{ArchiveConfig, ArchiveError, ArchiveMeta, ArchiveReader, ArchiveWriter};
 use fork_market::PriceSeries;
 use fork_primitives::SimTime;
+use fork_query::{
+    CacheStats, Projection, Query, QueryError, QueryExecutor, QueryOutput, QueryRange, ReaderPool,
+};
 use fork_replay::Side;
 use fork_sim::scenario;
 use fork_sim::{MesoConfig, ProgressEvent, RunSummary, SimRng, TeeSink, TwoChainEngine};
@@ -129,6 +132,17 @@ impl ForkStudy {
     /// snapshot includes `archive.bytes_written`, `archive.frames`, and
     /// friends.
     pub fn archive_to(self, dir: impl AsRef<std::path::Path>) -> Result<StudyResult, ArchiveError> {
+        self.archive_to_with(dir, ArchiveConfig::default())
+    }
+
+    /// [`archive_to`](Self::archive_to) with an explicit archive
+    /// configuration — segment size and on-disk codec (e.g.
+    /// [`fork_archive::Codec::Delta`] for the compressed format).
+    pub fn archive_to_with(
+        self,
+        dir: impl AsRef<std::path::Path>,
+        config: ArchiveConfig,
+    ) -> Result<StudyResult, ArchiveError> {
         let meta = ArchiveMeta {
             seed: self.seed,
             start_unix: self.config.start.as_unix(),
@@ -137,7 +151,8 @@ impl ForkStudy {
         let mut engine = TwoChainEngine::new(self.config.clone());
         let mut pipeline = Pipeline::new();
         pipeline.attach_telemetry(engine.telemetry());
-        let mut writer = ArchiveWriter::create(dir.as_ref())?.with_telemetry(engine.telemetry());
+        let mut writer =
+            ArchiveWriter::create_with(dir.as_ref(), config)?.with_telemetry(engine.telemetry());
         let summary = {
             let tee = TeeSink {
                 a: &mut pipeline,
@@ -201,6 +216,43 @@ impl fork_sim::LedgerSink for ReplaySummarySink {
 
     fn tx(&mut self, record: fork_analytics::TxRecord) {
         self.txs[Self::side_index(record.network)] += 1;
+    }
+}
+
+/// The paper aggregates of an archived run, re-derived by the fork-query
+/// engine instead of a full pipeline replay. See
+/// [`StudyResult::aggregates_from_archive`].
+#[derive(Debug, Clone)]
+pub struct ArchiveAggregates {
+    /// Inter-block arrival histograms for `[ETH, ETC]` — bit-identical to
+    /// the live run's `meso.interarrival.{eth,etc}` telemetry histograms.
+    pub interarrival: [fork_telemetry::HistogramSnapshot; 2],
+    /// Daily mean difficulty for `[ETH, ETC]` — bit-identical to the live
+    /// pipeline's `daily_difficulty`.
+    pub daily_difficulty: [TimeSeries; 2],
+    /// Pointwise ETH:ETC transactions-per-day ratio.
+    pub tx_ratio_per_day: TimeSeries,
+    /// Daily echo counts into `[ETH, ETC]` — bit-identical to the live
+    /// pipeline's `echoes_per_day`.
+    pub echoes_per_day: [TimeSeries; 2],
+    /// Frame-cache counters after the batch.
+    pub cache: CacheStats,
+    /// Per-query latency (`query.latency`, microseconds; empty when the
+    /// build compiles telemetry out).
+    pub latency: fork_telemetry::HistogramSnapshot,
+}
+
+fn expect_histogram(out: QueryOutput) -> fork_telemetry::HistogramSnapshot {
+    match out {
+        QueryOutput::Histogram(h) => *h,
+        other => unreachable!("histogram projection returned {other:?}"),
+    }
+}
+
+fn expect_series(out: QueryOutput) -> TimeSeries {
+    match out {
+        QueryOutput::Series(s) => s,
+        other => unreachable!("series projection returned {other:?}"),
     }
 }
 
@@ -269,6 +321,45 @@ impl StudyResult {
             start: SimTime::from_unix(meta.start_unix),
             end: SimTime::from_unix(meta.end_unix),
             telemetry: registry.snapshot(),
+        })
+    }
+
+    /// Re-derives the paper aggregates straight from an archive through the
+    /// fork-query engine — an 8-worker [`QueryExecutor`] over a shared
+    /// [`ReaderPool`] — without re-running the simulation *or* replaying
+    /// the full pipeline. The batch covers both sides' inter-arrival
+    /// histograms, daily difficulty, the ETH:ETC tx-per-day ratio, and
+    /// daily echo counts; each result is bit-identical to what the live
+    /// run produced (`assert`ed in this crate's tests).
+    ///
+    /// Unlike [`StudyResult::from_archive`] this works on manifest-less
+    /// archives too: the aggregates need only the record stream.
+    pub fn aggregates_from_archive(dir: impl AsRef<Path>) -> Result<ArchiveAggregates, QueryError> {
+        let pool = ReaderPool::open(dir.as_ref())?;
+        let exec = QueryExecutor::new(8);
+        let q = |side: Option<Side>, projection| Query {
+            side,
+            range: QueryRange::All,
+            projection,
+        };
+        let batch = [
+            q(Some(Side::Eth), Projection::InterArrival),
+            q(Some(Side::Etc), Projection::InterArrival),
+            q(Some(Side::Eth), Projection::Difficulty),
+            q(Some(Side::Etc), Projection::Difficulty),
+            q(None, Projection::TxRatioPerDay),
+            q(Some(Side::Eth), Projection::Echoes { window_days: 1 }),
+            q(Some(Side::Etc), Projection::Echoes { window_days: 1 }),
+        ];
+        let mut results = exec.run_batch(&pool, &batch).into_iter();
+        let mut next = || results.next().expect("one result per query");
+        Ok(ArchiveAggregates {
+            interarrival: [expect_histogram(next()?), expect_histogram(next()?)],
+            daily_difficulty: [expect_series(next()?), expect_series(next()?)],
+            tx_ratio_per_day: expect_series(next()?),
+            echoes_per_day: [expect_series(next()?), expect_series(next()?)],
+            cache: pool.cache().stats(),
+            latency: exec.latency_snapshot(),
         })
     }
 
@@ -498,6 +589,54 @@ mod tests {
                 assert_eq!(ca, cb, "{} / {}", a.id, pa.title);
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn archive_aggregates_match_live_run() {
+        let dir = std::env::temp_dir().join(format!("fork-core-agg-{}", std::process::id()));
+        let live = ForkStudy::quick(11)
+            .archive_to_with(
+                &dir,
+                ArchiveConfig {
+                    codec: fork_archive::Codec::Delta,
+                    ..ArchiveConfig::default()
+                },
+            )
+            .unwrap();
+        let agg = StudyResult::aggregates_from_archive(&dir).unwrap();
+        for (i, side) in [Side::Eth, Side::Etc].into_iter().enumerate() {
+            assert_eq!(
+                agg.daily_difficulty[i],
+                live.pipeline.daily_difficulty(side),
+                "{side:?} daily difficulty"
+            );
+            assert_eq!(
+                agg.echoes_per_day[i],
+                live.pipeline.echoes_per_day(side),
+                "{side:?} echoes/day"
+            );
+        }
+        assert_eq!(
+            agg.tx_ratio_per_day,
+            fork_analytics::ratio(
+                &live.pipeline.txs_per_day(Side::Eth),
+                &live.pipeline.txs_per_day(Side::Etc),
+                "ETH:ETC",
+            )
+        );
+        #[cfg(feature = "telemetry")]
+        for (i, name) in ["meso.interarrival.eth", "meso.interarrival.etc"]
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(
+                Some(&agg.interarrival[i]),
+                live.telemetry.histograms.get(name),
+                "{name} must be re-derivable from the archive bit-identically"
+            );
+        }
+        assert!(agg.cache.misses > 0, "the batch reads through the cache");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

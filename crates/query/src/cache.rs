@@ -1,0 +1,276 @@
+//! Sharded LRU cache of decoded frames.
+//!
+//! Keys are `(side, segment, frame offset)` — stable for the lifetime of an
+//! opened archive — and values are the decoded record plus the *next* frame
+//! offset, so a cache hit advances a sequential scan without touching disk.
+//! The cache is purely an I/O accelerator: hits and misses return the same
+//! bytes, so query results are identical with the cache at any size,
+//! including zero.
+//!
+//! Sharding keeps lock contention bounded under a many-reader executor:
+//! each shard owns an independent `Mutex` around a hash map plus an LRU
+//! ordering (a tick-keyed `BTreeMap`, oldest tick evicted first). Eviction
+//! is byte-budgeted: every shard gets `budget / shards` bytes and evicts
+//! least-recently-used entries once an insert would overflow it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fork_archive::ArchiveRecord;
+use fork_replay::Side;
+use fork_telemetry::{Counter, MetricsRegistry};
+
+/// Cache key: one frame of one segment of one side.
+pub(crate) type FrameKey = (Side, u32, u64);
+
+/// A decoded frame plus the offset where the next frame starts.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedFrame {
+    /// Global sequence number stamped into the frame.
+    pub seq: u64,
+    /// The decoded record.
+    pub record: ArchiveRecord,
+    /// Byte offset of the following frame (the cursor position after this
+    /// frame was read) — lets a hit advance the scan without a header read.
+    pub next_offset: u64,
+}
+
+/// Rough resident size of one entry: the frame itself plus map/LRU
+/// bookkeeping. Records are near-fixed-size (difficulty/value are inline
+/// `U256`s), so a constant is accurate enough for budgeting.
+const ENTRY_BYTES: u64 = (std::mem::size_of::<CachedFrame>() + 96) as u64;
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<FrameKey, (u64, Arc<CachedFrame>)>,
+    lru: BTreeMap<u64, FrameKey>,
+    bytes: u64,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &FrameKey) -> Option<Arc<CachedFrame>> {
+        let (tick, frame) = self.map.get(key)?;
+        let (old_tick, frame) = (*tick, Arc::clone(frame));
+        self.lru.remove(&old_tick);
+        self.tick += 1;
+        let new_tick = self.tick;
+        self.lru.insert(new_tick, *key);
+        self.map.insert(*key, (new_tick, Arc::clone(&frame)));
+        Some(frame)
+    }
+
+    fn insert(&mut self, key: FrameKey, frame: Arc<CachedFrame>, budget: u64) -> u64 {
+        let mut evicted = 0;
+        if let Some((old_tick, _)) = self.map.remove(&key) {
+            self.lru.remove(&old_tick);
+            self.bytes -= ENTRY_BYTES;
+        }
+        while self.bytes + ENTRY_BYTES > budget {
+            let Some((&oldest, _)) = self.lru.iter().next() else {
+                break;
+            };
+            let victim = self.lru.remove(&oldest).expect("oldest tick present");
+            self.map.remove(&victim);
+            self.bytes -= ENTRY_BYTES;
+            evicted += 1;
+        }
+        self.tick += 1;
+        self.lru.insert(self.tick, key);
+        self.map.insert(key, (self.tick, frame));
+        self.bytes += ENTRY_BYTES;
+        evicted
+    }
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that went to disk.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate resident bytes.
+    pub resident_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded byte-budgeted LRU over decoded frames. See the [module
+/// docs](self).
+pub struct FrameCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    hit_counter: Arc<Counter>,
+    miss_counter: Arc<Counter>,
+}
+
+impl std::fmt::Debug for FrameCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameCache")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FrameCache {
+    /// A cache holding at most ~`budget_bytes` across `shards` shards (both
+    /// clamped to sane minimums: one entry per shard, one shard).
+    pub fn new(budget_bytes: u64, shards: usize) -> FrameCache {
+        let shards = shards.max(1);
+        let shard_budget = (budget_bytes / shards as u64).max(ENTRY_BYTES);
+        FrameCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            hit_counter: Arc::new(Counter::new()),
+            miss_counter: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Mirrors hits and misses into `query.cache.hit` / `query.cache.miss`
+    /// counters in `registry` (the [`CacheStats`] numbers are always live,
+    /// telemetry or not).
+    pub fn with_telemetry(mut self, registry: &MetricsRegistry) -> Self {
+        self.hit_counter = registry.counter("query.cache.hit");
+        self.miss_counter = registry.counter("query.cache.miss");
+        self
+    }
+
+    fn shard_for(&self, key: &FrameKey) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    pub(crate) fn get(&self, key: &FrameKey) -> Option<Arc<CachedFrame>> {
+        let hit = self.shard_for(key).lock().expect("cache lock").touch(key);
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit_counter.incr();
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.miss_counter.incr();
+        }
+        hit
+    }
+
+    pub(crate) fn insert(&self, key: FrameKey, frame: CachedFrame) {
+        let evicted = self.shard_for(&key).lock().expect("cache lock").insert(
+            key,
+            Arc::new(frame),
+            self.shard_budget,
+        );
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Live counters (aggregated across shards).
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut resident = 0;
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache lock");
+            entries += s.map.len() as u64;
+            resident += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            resident_bytes: resident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fork_analytics::TxRecord;
+    use fork_primitives::{H256, U256};
+
+    fn frame(n: u64) -> CachedFrame {
+        CachedFrame {
+            seq: n,
+            record: ArchiveRecord::Tx(TxRecord {
+                network: Side::Eth,
+                hash: H256([n as u8; 32]),
+                timestamp: n,
+                is_contract: false,
+                has_chain_id: false,
+                value: U256::from_u64(n),
+            }),
+            next_offset: n + 100,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = FrameCache::new(1 << 20, 4);
+        let key = (Side::Eth, 0, 32);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, frame(7));
+        let got = cache.get(&key).expect("hit");
+        assert_eq!(got.seq, 7);
+        assert_eq!(got.next_offset, 107);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // One shard, room for exactly 2 entries.
+        let cache = FrameCache::new(ENTRY_BYTES * 2, 1);
+        let (a, b, c) = ((Side::Eth, 0, 1), (Side::Eth, 0, 2), (Side::Eth, 0, 3));
+        cache.insert(a, frame(1));
+        cache.insert(b, frame(2));
+        cache.get(&a); // a is now most-recently-used
+        cache.insert(c, frame(3)); // must evict b
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(&c).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.resident_bytes <= ENTRY_BYTES * 2);
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_leak_bytes() {
+        let cache = FrameCache::new(ENTRY_BYTES * 4, 1);
+        let key = (Side::Etc, 1, 64);
+        for i in 0..10 {
+            cache.insert(key, frame(i));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.resident_bytes, ENTRY_BYTES);
+        assert_eq!(stats.evictions, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Query failure modes.
+
+use fork_archive::ArchiveError;
+
+/// Why a query could not be answered.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The underlying archive read failed (I/O or corruption).
+    Archive(ArchiveError),
+    /// The query shape is not answerable from the archive — e.g. a
+    /// block-number range over transaction frames, which carry no block
+    /// number.
+    Unsupported {
+        /// What was asked and why it cannot be served.
+        detail: String,
+    },
+}
+
+impl QueryError {
+    pub(crate) fn unsupported(detail: impl Into<String>) -> QueryError {
+        QueryError::Unsupported {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Archive(e) => write!(f, "archive: {e}"),
+            QueryError::Unsupported { detail } => write!(f, "unsupported query: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Archive(e) => Some(e),
+            QueryError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<ArchiveError> for QueryError {
+    fn from(e: ArchiveError) -> Self {
+        QueryError::Archive(e)
+    }
+}

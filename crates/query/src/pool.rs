@@ -1,0 +1,285 @@
+//! Reader pool: independent per-consumer cursors over one opened archive.
+//!
+//! [`ReaderPool`] opens the archive **once** — the expensive part of
+//! `ArchiveReader::open` is the header scan that builds per-segment sparse
+//! indexes — and then hands out any number of [`PoolStream`]s that share the
+//! immutable index but own their file handles and read positions. Streams
+//! are therefore safe to drive from different threads concurrently
+//! (`ReaderPool: Sync`), and every frame read goes through the shared
+//! [`FrameCache`](crate::FrameCache), so concurrent scans over overlapping
+//! ranges hit memory instead of disk.
+//!
+//! A [`PoolStream`] reproduces `fork_archive::RecordStream`'s semantics
+//! exactly — same sparse-index seek, same segment-skip, same stop rule, same
+//! error behavior on corrupt frames — so a pooled scan and a direct reader
+//! scan yield identical record sequences.
+
+use std::path::{Path, PathBuf};
+
+use fork_archive::format::{Superblock, FRAME_HEADER_LEN, SUPERBLOCK_LEN};
+use fork_archive::{ArchiveError, ArchiveReader, ArchiveRecord, SegmentCursor, SegmentScan};
+use fork_replay::Side;
+
+use crate::cache::{CachedFrame, FrameCache, FrameKey};
+
+/// Default cache budget for [`ReaderPool::open`]: 64 MiB.
+pub const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
+
+/// Default shard count for [`ReaderPool::open`].
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// Where a range scan starts: mirrors the reader's private seek keys.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SeekKey {
+    /// Seek to the largest indexed frame with block number `<= n`.
+    Number(u64),
+    /// Seek to the largest indexed frame with block timestamp `<= t`.
+    Time(u64),
+}
+
+/// Where a range scan ends (inclusive bound; the first record past it stops
+/// the stream).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StopKey {
+    Number(u64),
+    Time(u64),
+}
+
+/// A shared, immutable view of one opened archive plus a frame cache. See
+/// the [module docs](self).
+#[derive(Debug)]
+pub struct ReaderPool {
+    reader: ArchiveReader,
+    cache: FrameCache,
+}
+
+impl ReaderPool {
+    /// Opens `dir` once and wraps it with a default-sized cache
+    /// ([`DEFAULT_CACHE_BYTES`] across [`DEFAULT_CACHE_SHARDS`] shards).
+    pub fn open(dir: &Path) -> Result<ReaderPool, ArchiveError> {
+        Ok(ReaderPool::new(
+            ArchiveReader::open(dir)?,
+            FrameCache::new(DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SHARDS),
+        ))
+    }
+
+    /// Wraps an already-opened reader with a caller-configured cache.
+    pub fn new(reader: ArchiveReader, cache: FrameCache) -> ReaderPool {
+        ReaderPool { reader, cache }
+    }
+
+    /// The underlying reader (index, manifest, verify, replay).
+    pub fn reader(&self) -> &ArchiveReader {
+        &self.reader
+    }
+
+    /// The shared frame cache (for stats and telemetry).
+    pub fn cache(&self) -> &FrameCache {
+        &self.cache
+    }
+
+    /// A fresh stream over `side`, optionally seeked and bounded. Each call
+    /// returns an independent cursor; any number may run concurrently.
+    pub(crate) fn stream(
+        &self,
+        side: Side,
+        seek: Option<SeekKey>,
+        stop: Option<StopKey>,
+    ) -> PoolStream<'_> {
+        PoolStream {
+            cache: &self.cache,
+            side,
+            segments: self.reader.segments(side).iter(),
+            seek,
+            stop,
+            cursor: None,
+            done: false,
+        }
+    }
+
+    /// Full scan of one side in write (= seq) order, served through the
+    /// cache.
+    pub fn records(&self, side: Side) -> PoolStream<'_> {
+        self.stream(side, None, None)
+    }
+}
+
+/// One frame-granular cached cursor over a single segment. A cache hit
+/// jumps straight to the next frame offset without touching the file; a
+/// miss opens (or reuses) a real [`SegmentCursor`] positioned at the wanted
+/// offset and back-fills the cache.
+struct CachedCursor<'a> {
+    cache: &'a FrameCache,
+    side: Side,
+    path: &'a Path,
+    superblock: Superblock,
+    /// Offset of the next frame to yield.
+    offset: u64,
+    /// The scan's `valid_len`: one past the last complete frame.
+    end: u64,
+    /// Lazily opened on a miss; reusable while its position tracks `offset`.
+    cursor: Option<SegmentCursor>,
+}
+
+impl<'a> CachedCursor<'a> {
+    fn open(
+        cache: &'a FrameCache,
+        side: Side,
+        path: &'a Path,
+        scan: &SegmentScan,
+        start: u64,
+    ) -> Self {
+        CachedCursor {
+            cache,
+            side,
+            path,
+            superblock: scan.superblock,
+            offset: start,
+            end: scan.valid_len,
+            cursor: None,
+        }
+    }
+
+    fn key(&self) -> FrameKey {
+        (self.side, self.superblock.segment, self.offset)
+    }
+
+    /// Same contract as [`SegmentCursor::next_frame`]: `(offset, seq,
+    /// record)`, `None` at the end of the valid range, `Some(Err(..))` once
+    /// for a corrupt frame (the cursor then reports end).
+    #[allow(clippy::type_complexity)]
+    fn next_frame(&mut self) -> Option<Result<(u64, u64, ArchiveRecord), ArchiveError>> {
+        if self.offset + FRAME_HEADER_LEN as u64 > self.end {
+            return None;
+        }
+        let at = self.offset;
+        if let Some(hit) = self.cache.get(&self.key()) {
+            self.offset = hit.next_offset;
+            return Some(Ok((at, hit.seq, hit.record.clone())));
+        }
+        // Miss: make sure a real cursor sits exactly at `at`. A cursor left
+        // over from a previous miss is reusable only if no cache hit has
+        // jumped the offset past it since.
+        if self.cursor.as_ref().is_none_or(|c| c.pos() != at) {
+            match SegmentCursor::open(self.path, self.superblock, at, self.end) {
+                Ok(c) => self.cursor = Some(c),
+                Err(e) => {
+                    self.offset = self.end;
+                    return Some(Err(e));
+                }
+            }
+        }
+        let cursor = self.cursor.as_mut().expect("cursor opened above");
+        match cursor.next_frame() {
+            None => None,
+            Some(Ok((off, seq, record))) => {
+                let next_offset = cursor.pos();
+                self.cache.insert(
+                    (self.side, self.superblock.segment, off),
+                    CachedFrame {
+                        seq,
+                        record: record.clone(),
+                        next_offset,
+                    },
+                );
+                self.offset = next_offset;
+                Some(Ok((off, seq, record)))
+            }
+            Some(Err(e)) => {
+                self.offset = self.end;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Iterator over one side's records in write order, served through the
+/// pool's cache. Yields `(seq, record)`; corrupt frames surface as `Err`
+/// and end the affected segment's contribution (the stream continues with
+/// the next segment) — exactly like `fork_archive::RecordStream`.
+pub struct PoolStream<'a> {
+    cache: &'a FrameCache,
+    side: Side,
+    segments: std::slice::Iter<'a, (PathBuf, SegmentScan)>,
+    seek: Option<SeekKey>,
+    stop: Option<StopKey>,
+    cursor: Option<CachedCursor<'a>>,
+    done: bool,
+}
+
+impl PoolStream<'_> {
+    /// Opens the next segment's cursor, applying the seek key (and skipping
+    /// segments that end before it).
+    fn advance_segment(&mut self) -> Option<Result<(), ArchiveError>> {
+        loop {
+            let (path, scan) = self.segments.next()?;
+            let start = match &self.seek {
+                None => SUPERBLOCK_LEN as u64,
+                Some(SeekKey::Number(n)) => {
+                    if scan.block_range.is_some_and(|(_, hi)| hi < *n) {
+                        continue; // whole segment precedes the range
+                    }
+                    scan.seek_for_number(*n)
+                }
+                Some(SeekKey::Time(t)) => {
+                    if scan.time_range.is_some_and(|(_, hi)| hi < *t) {
+                        continue;
+                    }
+                    scan.seek_for_time(*t)
+                }
+            };
+            self.cursor = Some(CachedCursor::open(self.cache, self.side, path, scan, start));
+            return Some(Ok(()));
+        }
+    }
+
+    fn past_stop(&self, record: &ArchiveRecord) -> bool {
+        match (&self.stop, record) {
+            // Block numbers and timestamps ascend per side, so the first
+            // block past the bound ends the scan. Tx frames tag along with
+            // their block and are filtered by the caller.
+            (Some(StopKey::Number(n)), ArchiveRecord::Block(b)) => b.number > *n,
+            (Some(StopKey::Time(t)), rec) => rec.timestamp() > *t,
+            _ => false,
+        }
+    }
+
+    fn pull(&mut self) -> Result<Option<(u64, ArchiveRecord)>, ArchiveError> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            if self.cursor.is_none() {
+                match self.advance_segment() {
+                    None => return Ok(None),
+                    Some(Ok(())) => {}
+                    Some(Err(e)) => return Err(e),
+                }
+            }
+            let cursor = self.cursor.as_mut().expect("cursor opened above");
+            match cursor.next_frame() {
+                None => {
+                    self.cursor = None; // segment exhausted, try the next
+                }
+                Some(Ok((_, seq, record))) => {
+                    if self.past_stop(&record) {
+                        self.done = true;
+                        return Ok(None);
+                    }
+                    return Ok(Some((seq, record)));
+                }
+                Some(Err(e)) => {
+                    self.cursor = None; // cursor already reported end
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for PoolStream<'_> {
+    type Item = Result<(u64, ArchiveRecord), ArchiveError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.pull().transpose()
+    }
+}

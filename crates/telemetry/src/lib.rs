@@ -49,7 +49,7 @@ mod span;
 pub mod trace;
 
 pub use diff::{diff_snapshots, render_diff, SnapshotDiff};
-pub use metrics::{bucket_range, Counter, Gauge, Histogram, BUCKETS};
+pub use metrics::{bucket_index, bucket_range, Counter, Gauge, Histogram, BUCKETS};
 pub use recorder::{FlightDump, FlightRecorder};
 pub use registry::MetricsRegistry;
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot, TimingMode};

@@ -243,10 +243,11 @@ mod imp {
 pub use imp::{Counter, Gauge, Histogram};
 
 /// Bucket for a sample: 0 for zero, else `64 - leading_zeros` (so bucket `i`
-/// spans `[2^(i-1), 2^i)`).
-#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+/// spans `[2^(i-1), 2^i)`). Public so downstream consumers (fork-query's
+/// archive-derived histograms) can bucket identically to [`Histogram`]
+/// without depending on the `enabled` feature.
 #[inline]
-pub(crate) fn bucket_index(v: u64) -> usize {
+pub fn bucket_index(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
 }
 

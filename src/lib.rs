@@ -41,6 +41,7 @@
 //! | [`replay`] | `fork-replay` | echo detection, replay protection |
 //! | [`analytics`] | `fork-analytics` | the measurement pipeline |
 //! | [`archive`] | `fork-archive` | durable block/tx archive, replay, verify |
+//! | [`query`] | `fork-query` | concurrent cached query engine over archives |
 //! | [`core`] | `fork-core` | `ForkStudy`, figures, observations |
 //! | [`telemetry`] | `fork-telemetry` | counters, histograms, span timers |
 
@@ -56,6 +57,7 @@ pub use fork_market as market;
 pub use fork_net as net;
 pub use fork_pools as pools;
 pub use fork_primitives as primitives;
+pub use fork_query as query;
 pub use fork_replay as replay;
 pub use fork_rlp as rlp;
 pub use fork_sim as sim;

@@ -47,6 +47,70 @@ fn replay_reproduces_figures_byte_identically_for_three_seeds() {
     }
 }
 
+#[test]
+fn compressed_archive_replays_byte_identically_to_raw() {
+    use stick_a_fork::archive::{ArchiveConfig, Codec};
+
+    let raw_dir = scratch("codec-raw");
+    let delta_dir = scratch("codec-delta");
+    let live_raw = ForkStudy::quick(9)
+        .archive_to_with(
+            &raw_dir,
+            ArchiveConfig {
+                codec: Codec::Raw,
+                ..ArchiveConfig::default()
+            },
+        )
+        .unwrap();
+    let live_delta = ForkStudy::quick(9)
+        .archive_to_with(
+            &delta_dir,
+            ArchiveConfig {
+                codec: Codec::Delta,
+                ..ArchiveConfig::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        live_raw.summary, live_delta.summary,
+        "codec never touches the run"
+    );
+
+    // Both replays reproduce the live run's figure exports byte for byte,
+    // so raw and delta replays are byte-identical to each other too.
+    let (live_csv, live_json) = figure_bytes(&live_raw);
+    for dir in [&raw_dir, &delta_dir] {
+        let replayed = StudyResult::from_archive(dir).unwrap();
+        let (csv, json) = figure_bytes(&replayed);
+        assert_eq!(live_csv, csv, "CSV diverged for {}", dir.display());
+        assert_eq!(live_json, json, "JSON diverged for {}", dir.display());
+        assert!(
+            ArchiveReader::open(dir).unwrap().verify().is_clean(),
+            "verify must cover the {} archive",
+            dir.display()
+        );
+    }
+
+    // The delta codec must actually compress the same record stream.
+    let disk_bytes = |dir: &Path| {
+        let mut total = 0;
+        for side in ["eth", "etc"] {
+            for entry in std::fs::read_dir(dir.join(side)).unwrap() {
+                total += entry.unwrap().metadata().unwrap().len();
+            }
+        }
+        total
+    };
+    let (raw_bytes, delta_bytes) = (disk_bytes(&raw_dir), disk_bytes(&delta_dir));
+    assert!(
+        delta_bytes < raw_bytes * 3 / 4,
+        "delta ({delta_bytes} B) should be at least 25% smaller than raw ({raw_bytes} B)"
+    );
+
+    let _ = std::fs::remove_dir_all(&raw_dir);
+    let _ = std::fs::remove_dir_all(&delta_dir);
+}
+
 fn first_segment(dir: &Path) -> PathBuf {
     let seg = dir.join("eth").join("seg-00000.seg");
     assert!(seg.is_file(), "expected {}", seg.display());
