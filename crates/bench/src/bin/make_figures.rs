@@ -13,6 +13,7 @@
 //! cargo run --release -p fork-bench --bin make-figures -- telemetry-diff a.json b.json
 //! cargo run --release -p fork-bench --bin make-figures -- interarrival
 //! cargo run --release -p fork-bench --bin make-figures -- query --quick
+//! cargo run --release -p fork-bench --bin make-figures -- bench --quick
 //! ```
 //!
 //! The `archive` target runs a study streamed into a durable on-disk
@@ -22,7 +23,12 @@
 //! fork-query engine over an archive (creating one first if needed): an
 //! 8-worker executor runs a mixed batch twice, every result is diffed
 //! against a single-threaded naive scan, and `query.md` reports throughput,
-//! cache hit rates, and the `query.latency` histogram. `telemetry-diff`
+//! cache hit rates, and the `query.latency` histogram. The `bench` target
+//! is the serving benchmark: it measures raw scan throughput and cold/warm
+//! in-process batch rates over an archive, then boots an in-process
+//! `fork-served` daemon and drives it with the `fork-load` mixed workload
+//! (120 connections), writing client- and server-side p50/p90/p99 plus
+//! cache hit rates to `BENCH_6.json` (`--bench-out`). `telemetry-diff`
 //! compares two
 //! exported telemetry JSON files metric by metric. `interarrival` exports
 //! the block inter-arrival histograms as CSV/JSON series. The `trace`
@@ -54,6 +60,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     telemetry_out: Option<PathBuf>,
+    bench_out: PathBuf,
     archive_dir: Option<PathBuf>,
     quick: bool,
     progress: bool,
@@ -67,6 +74,7 @@ fn parse_args() -> Args {
     let mut seed = 2016u64;
     let mut out = PathBuf::from("figures");
     let mut telemetry_out = None;
+    let mut bench_out = PathBuf::from("BENCH_6.json");
     let mut archive_dir = None;
     let mut quick = false;
     let mut progress = false;
@@ -93,6 +101,10 @@ fn parse_args() -> Args {
                 telemetry_out = Some(PathBuf::from(
                     argv.get(i + 1).expect("--telemetry-out takes a path"),
                 ));
+                i += 1;
+            }
+            "--bench-out" => {
+                bench_out = PathBuf::from(argv.get(i + 1).expect("--bench-out takes a path"));
                 i += 1;
             }
             "--archive-dir" => {
@@ -148,6 +160,7 @@ fn parse_args() -> Args {
         seed,
         out,
         telemetry_out,
+        bench_out,
         archive_dir,
         quick,
         progress,
@@ -794,6 +807,187 @@ fn main() {
             warm_rate > 50.0,
             "second pass should be mostly cache hits, got {warm_rate:.2}%"
         );
+    }
+
+    if wants("bench") {
+        use fork_query::{
+            FrameCache, Projection, Query, QueryExecutor, QueryRange, ReaderPool,
+            DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SHARDS,
+        };
+        use fork_replay::Side;
+        use fork_serve::{
+            run_load, workload_queries, LoadConfig, ServeClient, ServeConfig, Server,
+        };
+
+        let dir = args
+            .archive_dir
+            .clone()
+            .unwrap_or_else(|| args.out.join("archive"));
+        if !dir.join("manifest.json").is_file() {
+            let study = if args.quick {
+                eprintln!(
+                    "No archive at {}; running and archiving a quick-scale study (seed {})...",
+                    dir.display(),
+                    args.seed
+                );
+                ForkStudy::quick(args.seed)
+            } else {
+                eprintln!(
+                    "No archive at {}; running and archiving the fork-month window \
+                     ({} days, seed {})...",
+                    dir.display(),
+                    args.days_short,
+                    args.seed
+                );
+                ForkStudy::days(args.seed, args.days_short)
+            };
+            let live = study.archive_to(&dir).expect("archive run");
+            telemetry.merge(&live.telemetry);
+        }
+
+        eprintln!("Benchmarking archive at {}...", dir.display());
+        let pool = ReaderPool::open(&dir).expect("open archive");
+        let (total_blocks, total_txs) = pool.reader().totals();
+
+        // Raw scan throughput: full per-side Blocks scans through a fresh
+        // cold cache, 8 workers. Every archived block is decoded once.
+        let scan_queries: Vec<Query> = [Side::Eth, Side::Etc]
+            .into_iter()
+            .map(|side| Query {
+                side: Some(side),
+                range: QueryRange::All,
+                projection: Projection::Blocks,
+            })
+            .collect();
+        let scan_exec = QueryExecutor::new(8);
+        let t = std::time::Instant::now();
+        for r in scan_exec.run_batch(&pool, &scan_queries) {
+            r.expect("scan query");
+        }
+        let scan_wall = t.elapsed();
+        let blocks_per_sec = total_blocks as f64 / scan_wall.as_secs_f64().max(1e-9);
+
+        // In-process batch rates, cold vs warm, over the serving workload.
+        let meta = fork_serve::server::archive_meta(&pool);
+        let workload = workload_queries(&meta);
+        let batch_pool = ReaderPool::new(
+            fork_archive::ArchiveReader::open(&dir).expect("reopen archive"),
+            FrameCache::new(DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SHARDS),
+        );
+        let exec = QueryExecutor::new(8);
+        let t = std::time::Instant::now();
+        for r in exec.run_batch(&batch_pool, &workload) {
+            r.expect("bench query");
+        }
+        let cold_wall = t.elapsed();
+        let cold_stats = batch_pool.cache().stats();
+        let t = std::time::Instant::now();
+        for r in exec.run_batch(&batch_pool, &workload) {
+            r.expect("bench query");
+        }
+        let warm_wall = t.elapsed();
+        let warm_stats = batch_pool.cache().stats();
+        let rate = |hits: u64, misses: u64| {
+            let total = hits + misses;
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        };
+        let cold_hit_rate = rate(cold_stats.hits, cold_stats.misses);
+        let warm_hit_rate = rate(
+            warm_stats.hits - cold_stats.hits,
+            warm_stats.misses - cold_stats.misses,
+        );
+        let qps = |n: usize, wall: std::time::Duration| n as f64 / wall.as_secs_f64().max(1e-9);
+
+        // The served path: an in-process daemon on an ephemeral port under
+        // the standard fork-load mix — 120 connections, cold + warm phase.
+        eprintln!("Starting in-process fork-served and driving 120 connections...");
+        let handle = Server::start(ServeConfig::new(&dir)).expect("start daemon");
+        let addr = handle.local_addr().to_string();
+        let mut load_cfg = LoadConfig::new(&addr);
+        load_cfg.connections = 120;
+        load_cfg.requests_per_conn = 10;
+        load_cfg.seed = args.seed;
+        let report = run_load(&load_cfg).expect("load run");
+        print!("{}", report.render_table());
+
+        // Server-side view before shutdown: per-endpoint latency merged
+        // into one histogram, plus the shared frame-cache hit rate.
+        let mut probe = ServeClient::connect_retry(&addr, std::time::Duration::from_secs(5))
+            .expect("stats probe");
+        let stats_json = probe.stats().expect("stats");
+        let server_snap = Snapshot::from_json(&stats_json).expect("parse daemon stats");
+        let mut server_latency = fork_telemetry::HistogramSnapshot::default();
+        for (name, h) in &server_snap.histograms {
+            if name.starts_with("serve.latency.") {
+                server_latency.merge(h);
+            }
+        }
+        let counter = |name: &str| server_snap.counters.get(name).copied().unwrap_or(0);
+        let served_hit_rate = rate(counter("query.cache.hit"), counter("query.cache.miss"));
+        drop(probe);
+        handle.shutdown();
+        telemetry.merge(&server_snap);
+
+        let phase_obj = |name: &str, wall: std::time::Duration, hit_rate: f64, n: usize| {
+            format!(
+                "{{\"name\": \"{name}\", \"wall_ms\": {:.1}, \"queries_per_sec\": {:.1}, \
+                 \"cache_hit_rate\": {hit_rate:.4}}}",
+                wall.as_secs_f64() * 1e3,
+                qps(n, wall),
+            )
+        };
+        let pctls = |h: &fork_telemetry::HistogramSnapshot| {
+            format!(
+                "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.min,
+                h.max
+            )
+        };
+        let json = format!(
+            "{{\n  \"schema\": \"fork-bench/v1\",\n  \"archive\": {{\"dir\": {:?}, \
+             \"blocks\": {total_blocks}, \"txs\": {total_txs}}},\n  \"scan\": \
+             {{\"blocks_per_sec\": {blocks_per_sec:.1}, \"wall_ms\": {:.1}}},\n  \
+             \"in_process\": {{\"queries\": {}, \"cold\": {}, \"warm\": {}}},\n  \
+             \"served\": {{\"connections\": {}, \"requests\": {}, \"ok\": {}, \
+             \"overloaded\": {}, \"backpressure\": {}, \"errors\": {}, \
+             \"queries_per_sec\": {:.1}, \"cache_hit_rate\": {served_hit_rate:.4}, \
+             \"client_latency_us\": {}, \"server_latency_us\": {}}}\n}}\n",
+            dir.display().to_string(),
+            scan_wall.as_secs_f64() * 1e3,
+            workload.len(),
+            phase_obj("cold", cold_wall, cold_hit_rate, workload.len()),
+            phase_obj("warm", warm_wall, warm_hit_rate, workload.len()),
+            report.connections,
+            report.overall.requests,
+            report.overall.ok,
+            report.overall.overloaded,
+            report.overall.backpressure,
+            report.overall.errors,
+            report.overall.queries_per_sec(),
+            pctls(&report.overall.latency),
+            pctls(&server_latency),
+        );
+        std::fs::write(&args.bench_out, &json).expect("write bench report");
+        println!(
+            "bench: {blocks_per_sec:.0} blocks/s scanned; in-process {:.0} q/s cold \
+             -> {:.0} q/s warm (hit rate {:.1}% -> {:.1}%); served {:.0} q/s, \
+             client p99 {}us, server p99 {}us",
+            qps(workload.len(), cold_wall),
+            qps(workload.len(), warm_wall),
+            100.0 * cold_hit_rate,
+            100.0 * warm_hit_rate,
+            report.overall.queries_per_sec(),
+            report.overall.latency.p99(),
+            server_latency.p99(),
+        );
+        println!("  -> {}\n", args.bench_out.display());
     }
 
     if let Some((a_path, b_path)) = &args.diff {

@@ -23,7 +23,7 @@ use fork_analytics::{
 use fork_archive::{ArchiveError, ArchiveReader, ArchiveRecord};
 use fork_primitives::SimTime;
 use fork_replay::{EchoDetector, Side};
-use fork_telemetry::{bucket_index, HistogramSnapshot};
+use fork_telemetry::HistogramSnapshot;
 
 use crate::error::QueryError;
 use crate::pool::{PoolStream, ReaderPool, SeekKey, StopKey};
@@ -243,9 +243,9 @@ pub(crate) fn evaluate(
         }
         Projection::InterArrival => {
             let side = query.side.expect("validated");
-            // Mirror of `fork_telemetry::Histogram::record`, built without
-            // the live type so results are identical whether or not the
-            // build enables the `enabled` feature.
+            // `HistogramSnapshot::record` mirrors the live histogram's
+            // bucketing without the live type, so results are identical
+            // whether or not the build enables the `enabled` feature.
             let mut h = HistogramSnapshot::default();
             let mut prev: Option<u64> = None;
             for item in source.stream(side, &query.range) {
@@ -254,16 +254,7 @@ pub(crate) fn evaluate(
                         continue;
                     }
                     if let Some(p) = prev {
-                        let v = b.timestamp.saturating_sub(p);
-                        if h.count == 0 {
-                            h.min = v;
-                        } else {
-                            h.min = h.min.min(v);
-                        }
-                        h.max = h.max.max(v);
-                        h.count += 1;
-                        h.sum = h.sum.wrapping_add(v);
-                        h.buckets[bucket_index(v)] += 1;
+                        h.record(b.timestamp.saturating_sub(p));
                     }
                     prev = Some(b.timestamp);
                 }

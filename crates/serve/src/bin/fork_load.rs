@@ -1,0 +1,115 @@
+//! `fork-load` — hammer a `fork-served` daemon and measure latency.
+//!
+//! ```text
+//! fork-load --addr 127.0.0.1:4077 [--connections N] [--requests N]
+//!           [--depth N] [--phases N] [--seed N] [--json PATH]
+//!           [--p99-budget-us N] [--shutdown]
+//! ```
+//!
+//! Runs the mixed cold/warm workload, prints a summary table, optionally
+//! writes a machine-readable `fork-load/v1` JSON report, and — when
+//! `--p99-budget-us` is set — exits nonzero if the overall client-side p99
+//! exceeds the budget (the CI latency gate). `--shutdown` asks the daemon
+//! to drain and exit afterwards.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fork_serve::{run_load, LoadConfig, ServeClient};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fork-load --addr HOST:PORT [--connections N] [--requests N] [--depth N] \
+         [--phases N] [--seed N] [--json PATH] [--p99-budget-us N] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cfg: LoadConfig,
+    json_out: Option<String>,
+    p99_budget_us: Option<u64>,
+    shutdown: bool,
+}
+
+fn parse<T: std::str::FromStr>(s: String) -> T {
+    s.parse().unwrap_or_else(|_| usage())
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        cfg: LoadConfig::new("127.0.0.1:4077"),
+        json_out: None,
+        p99_budget_us: None,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => out.cfg.addr = value("--addr"),
+            "--connections" => out.cfg.connections = parse(value("--connections")),
+            "--requests" => out.cfg.requests_per_conn = parse(value("--requests")),
+            "--depth" => out.cfg.pipeline_depth = parse(value("--depth")),
+            "--phases" => out.cfg.phases = parse(value("--phases")),
+            "--seed" => out.cfg.seed = parse(value("--seed")),
+            "--json" => out.json_out = Some(value("--json")),
+            "--p99-budget-us" => out.p99_budget_us = Some(parse(value("--p99-budget-us"))),
+            "--shutdown" => out.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let report = match run_load(&args.cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fork-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_table());
+
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("fork-load: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if args.shutdown {
+        match ServeClient::connect_retry(&args.cfg.addr, Duration::from_secs(5)) {
+            Ok(mut client) => {
+                if let Err(e) = client.shutdown_server() {
+                    eprintln!("fork-load: shutdown request failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("fork-load: shutdown connect failed: {e}"),
+        }
+    }
+
+    if report.overall.ok == 0 {
+        eprintln!("fork-load: no request succeeded");
+        return ExitCode::FAILURE;
+    }
+    if let Some(budget) = args.p99_budget_us {
+        let p99 = report.overall.latency.p99();
+        if p99 > budget {
+            eprintln!("fork-load: overall p99 {p99}us exceeds budget {budget}us");
+            return ExitCode::FAILURE;
+        }
+        println!("p99 {p99}us within budget {budget}us");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! `fork-served` — serve one fork-archive over TCP.
+//!
+//! ```text
+//! fork-served --archive-dir runs/archive [--addr 127.0.0.1:4077]
+//!             [--workers N] [--inflight N] [--global-inflight N]
+//!             [--cache-mb N] [--idle-secs N]
+//! ```
+//!
+//! Prints `fork-served listening on <addr>` once ready, then runs until a
+//! client sends the wire `Shutdown` request (e.g. `fork-load --shutdown`),
+//! at which point it drains in-flight queries and exits 0.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fork_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fork-served --archive-dir DIR [--addr HOST:PORT] [--workers N] \
+         [--inflight N] [--global-inflight N] [--cache-mb N] [--idle-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServeConfig {
+    let mut archive_dir: Option<String> = None;
+    let mut cfg = ServeConfig::new("");
+    cfg.addr = "127.0.0.1:4077".into();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--archive-dir" => archive_dir = Some(value("--archive-dir")),
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--inflight" => {
+                cfg.per_conn_inflight = value("--inflight").parse().unwrap_or_else(|_| usage())
+            }
+            "--global-inflight" => {
+                cfg.global_inflight = value("--global-inflight")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--cache-mb" => {
+                let mb: u64 = value("--cache-mb").parse().unwrap_or_else(|_| usage());
+                cfg.cache_bytes = mb << 20;
+            }
+            "--idle-secs" => {
+                let secs: u64 = value("--idle-secs").parse().unwrap_or_else(|_| usage());
+                cfg.idle_timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    match archive_dir {
+        Some(dir) => cfg.archive_dir = dir.into(),
+        None => usage(),
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let handle = match Server::start(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("fork-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let meta = handle.meta();
+    println!(
+        "fork-served listening on {} ({} blocks, {} txs)",
+        handle.local_addr(),
+        meta.blocks,
+        meta.txs
+    );
+    handle.wait();
+    println!("fork-served: drained and stopped");
+    ExitCode::SUCCESS
+}

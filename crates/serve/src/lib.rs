@@ -1,0 +1,52 @@
+//! # fork-serve
+//!
+//! A long-running archive query daemon plus a load generator — the network
+//! face of [`fork_query`].
+//!
+//! The paper's pipeline is *archive then re-analyze*; the ROADMAP
+//! north-star is that re-analysis as a **service**: one `fork-served`
+//! process opens an archive once (one shared
+//! [`ReaderPool`](fork_query::ReaderPool) + frame cache) and multiplexes
+//! typed queries from many concurrent clients over a compact
+//! length-prefixed wire protocol whose frames are sealed with the sim's
+//! own [`fork_net::seal_frame`] integrity checksums — a corrupted frame
+//! dies at the transport, exactly as in the simulated gossip layer.
+//!
+//! The pieces:
+//!
+//! - [`wire`]: the frame format and payload codec (typed requests,
+//!   responses, and errors; total decoding — corrupt input yields typed
+//!   errors, never panics).
+//! - [`server`]: the daemon core — per-connection backpressure, global
+//!   admission control with typed `Overloaded` rejections, read/write
+//!   timeouts with idle reaping, graceful draining shutdown, and
+//!   per-endpoint `serve.latency.*` histograms behind a `/stats`-style
+//!   control request.
+//! - [`client`]: a small blocking client (sequential calls or raw
+//!   pipelining).
+//! - [`load`]: the load generator — hundreds of concurrent connections,
+//!   mixed cold/warm workload, client-side p50/p90/p99 via the same
+//!   [`HistogramSnapshot`](fork_telemetry::HistogramSnapshot) percentile
+//!   path the server's telemetry uses.
+//!
+//! Binaries: `fork-served` (the daemon) and `fork-load` (the generator,
+//! with a `--p99-budget-us` exit-code gate for CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod load;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, ServeClient};
+pub use load::{run_load, workload_queries, LoadConfig, LoadError, LoadReport, PhaseStats};
+pub use server::{
+    archive_meta, endpoint_index, ServeConfig, ServeError, Server, ServerHandle, ENDPOINTS,
+};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    DecodeError, ErrorKind, FrameError, FrameReader, Request, RequestBody, Response, ResponseBody,
+    ServeMeta, WireError, MAX_FRAME_LEN,
+};

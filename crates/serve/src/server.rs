@@ -1,0 +1,700 @@
+//! The `fork-served` daemon core: one shared [`ReaderPool`] + frame cache,
+//! thread-per-connection TCP serving, and real operational behavior.
+//!
+//! ## Backpressure and admission control
+//!
+//! Two counters bound every queue in the server:
+//!
+//! - **Per-connection in-flight cap** ([`ServeConfig::per_conn_inflight`]):
+//!   a connection may have at most this many admitted-but-unwritten
+//!   queries. The counter is decremented only when the *response hits the
+//!   socket*, so a slow reader cannot grow its response queue past the cap
+//!   — excess requests get a typed `Backpressure` error instead of
+//!   unbounded buffering.
+//! - **Global in-flight cap** ([`ServeConfig::global_inflight`]): bounds
+//!   queued-plus-executing queries across all connections. Past it, new
+//!   queries are refused with a typed `Overloaded` error *without being
+//!   executed* — load sheds at admission, not by stalling.
+//!
+//! Control requests (stats/meta/ping) are answered inline on the reader
+//! thread and bypass admission; they stay responsive under flood.
+//!
+//! ## Timeouts, idle reaping, shutdown
+//!
+//! Connection sockets run with a short read timeout so reader threads tick:
+//! each tick checks the shutdown flag and the idle clock (a connection with
+//! no traffic and no in-flight work for [`ServeConfig::idle_timeout`] is
+//! reaped; a peer stalled mid-frame is cut off as a dead sender). Writes
+//! carry [`ServeConfig::write_timeout`]; a client that stops draining
+//! responses is disconnected rather than blocking a writer forever.
+//!
+//! Graceful shutdown (the wire `Shutdown` request, or
+//! [`ServerHandle::shutdown`]) stops accepting, lets every admitted query
+//! finish, flushes its response, then joins all threads — in-flight work
+//! drains, new work is refused.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fork_query::{
+    FrameCache, Projection, Query, QueryError, QueryExecutor, ReaderPool, DEFAULT_CACHE_BYTES,
+    DEFAULT_CACHE_SHARDS,
+};
+use fork_replay::Side;
+use fork_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, TimingMode};
+
+use crate::wire::{
+    decode_request, encode_response, write_frame, ErrorKind, FrameError, FrameReader, RequestBody,
+    Response, ResponseBody, ServeMeta, WireError,
+};
+
+/// How often blocked reads wake to check idle/shutdown state.
+const READ_TICK: Duration = Duration::from_millis(50);
+/// Extra writer-queue slots beyond the in-flight cap, for inline control
+/// replies and backpressure rejections.
+const CONTROL_SLACK: usize = 64;
+
+/// Endpoint labels, one per projection; `serve.latency.<label>` histograms
+/// are registered for each at startup.
+pub const ENDPOINTS: [&str; 6] = [
+    "blocks",
+    "txs",
+    "interarrival",
+    "difficulty",
+    "tx_ratio",
+    "echoes",
+];
+
+/// The `serve.latency.*` histogram index for a projection.
+pub fn endpoint_index(projection: &Projection) -> usize {
+    match projection {
+        Projection::Blocks => 0,
+        Projection::Txs => 1,
+        Projection::InterArrival => 2,
+        Projection::Difficulty => 3,
+        Projection::TxRatioPerDay => 4,
+        Projection::Echoes { .. } => 5,
+    }
+}
+
+/// Daemon configuration. `ServeConfig::new(dir)` gives production-shaped
+/// defaults; tests shrink the caps to force the admission paths.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Archive directory to serve.
+    pub archive_dir: PathBuf,
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Query worker threads (0 = one per available core, clamped to 2..=16).
+    pub workers: usize,
+    /// Max admitted-but-unwritten queries per connection.
+    pub per_conn_inflight: usize,
+    /// Max queued-plus-executing queries across all connections.
+    pub global_inflight: usize,
+    /// Frame cache budget in bytes.
+    pub cache_bytes: u64,
+    /// Frame cache shard count.
+    pub cache_shards: usize,
+    /// Reap connections idle (no traffic, nothing in flight) this long.
+    pub idle_timeout: Duration,
+    /// Max time one response write may take before the client is dropped.
+    pub write_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// Defaults for serving `archive_dir` on an ephemeral local port.
+    pub fn new(archive_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            archive_dir: archive_dir.into(),
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            per_conn_inflight: 64,
+            global_inflight: 1024,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers.min(64);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 16)
+    }
+}
+
+/// Failure starting the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, accept setup).
+    Io(io::Error),
+    /// The archive would not open.
+    Archive(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o: {e}"),
+            ServeError::Archive(e) => write!(f, "archive: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+// --- job queue -------------------------------------------------------------
+
+/// A closable FIFO the worker pool drains. `std::sync::mpsc` serializes
+/// consumers behind one receiver lock, so this is a plain
+/// `Mutex<VecDeque>` + condvar: push never blocks (admission control
+/// already bounds depth), pop blocks until work or close-and-empty.
+struct JobQueue {
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut inner = self.inner.lock().expect("job queue");
+        inner.0.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("job queue");
+        loop {
+            if let Some(job) = inner.0.pop_front() {
+                return Some(job);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("job queue");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("job queue").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// What the writer thread sends. `Query` responses decrement the
+/// connection's in-flight counter once written.
+enum WriterMsg {
+    Control(Response),
+    Query(Response),
+}
+
+struct Job {
+    id: u64,
+    query: Query,
+    reply: SyncSender<WriterMsg>,
+    conn: Arc<ConnShared>,
+}
+
+struct ConnShared {
+    /// Admitted queries whose responses have not yet hit the socket.
+    inflight: AtomicUsize,
+}
+
+struct State {
+    pool: ReaderPool,
+    exec: QueryExecutor,
+    registry: MetricsRegistry,
+    meta: ServeMeta,
+    shutdown: AtomicBool,
+    global_inflight: AtomicUsize,
+    cfg: ServeConfig,
+    latency: Vec<Arc<Histogram>>,
+    queries: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    backpressure: Arc<Counter>,
+    control: Arc<Counter>,
+    connections: Arc<Gauge>,
+}
+
+impl State {
+    fn stats_json(&self) -> String {
+        self.registry.snapshot().to_json(TimingMode::Wall)
+    }
+}
+
+/// Derives the wire [`ServeMeta`] an archive advertises: record totals plus
+/// overall block-number and timestamp ranges folded across both sides'
+/// segment scans.
+pub fn archive_meta(pool: &ReaderPool) -> ServeMeta {
+    let reader = pool.reader();
+    let (blocks, txs) = reader.totals();
+    let mut block_range: Option<(u64, u64)> = None;
+    let mut time_range: Option<(u64, u64)> = None;
+    for side in [Side::Eth, Side::Etc] {
+        for (_, scan) in reader.segments(side) {
+            for (acc, seen) in [
+                (&mut block_range, scan.block_range),
+                (&mut time_range, scan.time_range),
+            ] {
+                if let Some((lo, hi)) = seen {
+                    *acc = Some(match *acc {
+                        None => (lo, hi),
+                        Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                    });
+                }
+            }
+        }
+    }
+    ServeMeta {
+        blocks,
+        txs,
+        block_range,
+        time_range,
+    }
+}
+
+/// A running daemon. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] (or send the wire `Shutdown` request and
+/// [`ServerHandle::wait`]).
+pub struct Server;
+
+/// Join/inspect handle for a running [`Server`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    queue: Arc<JobQueue>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens the archive, binds the listener, and spawns the accept loop
+    /// plus the query worker pool.
+    pub fn start(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let cache = FrameCache::new(cfg.cache_bytes, cfg.cache_shards);
+        let registry = MetricsRegistry::new();
+        let cache = cache.with_telemetry(&registry);
+        let reader = fork_archive::ArchiveReader::open(&cfg.archive_dir)
+            .map_err(|e| ServeError::Archive(e.to_string()))?;
+        let pool = ReaderPool::new(reader, cache);
+        let workers = cfg.effective_workers();
+        let exec = QueryExecutor::new(workers).with_telemetry(&registry);
+        let meta = archive_meta(&pool);
+
+        let latency = ENDPOINTS
+            .iter()
+            .map(|ep| registry.histogram(&format!("serve.latency.{ep}")))
+            .collect();
+        let state = Arc::new(State {
+            meta,
+            exec,
+            pool,
+            latency,
+            queries: registry.counter("serve.queries"),
+            overloaded: registry.counter("serve.rejected.overloaded"),
+            backpressure: registry.counter("serve.rejected.backpressure"),
+            control: registry.counter("serve.control"),
+            connections: registry.gauge("serve.connections"),
+            registry,
+            shutdown: AtomicBool::new(false),
+            global_inflight: AtomicUsize::new(0),
+            cfg,
+        });
+
+        let listener = TcpListener::bind(&state.cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let queue = Arc::new(JobQueue::new());
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let (state, queue) = (Arc::clone(&state), Arc::clone(&queue));
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &queue))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let (state, queue, conns) =
+                (Arc::clone(&state), Arc::clone(&queue), Arc::clone(&conns));
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, &state, &queue, &conns))
+                .expect("spawn accept loop")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            queue,
+            accept: Some(accept),
+            conns,
+            workers: worker_handles,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Archive shape served by this daemon.
+    pub fn meta(&self) -> ServeMeta {
+        self.state.meta
+    }
+
+    /// The daemon's metrics registry (latency histograms, admission
+    /// counters, connection gauge).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.state.registry
+    }
+
+    /// True once shutdown has been requested (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and drains: stops accepting, finishes every
+    /// admitted query, flushes responses, joins all threads.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.wait();
+    }
+
+    /// Blocks until the daemon shuts down (e.g. a wire `Shutdown` request),
+    /// then drains and joins exactly like [`ServerHandle::shutdown`].
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Accept loop only exits on the shutdown flag; make local waits
+        // (which reach here via `shutdown`) and remote ones equivalent.
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        loop {
+            let handle = self.conns.lock().expect("conn registry").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        // All producers are gone; let the workers drain what remains.
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: &Arc<State>,
+    queue: &Arc<JobQueue>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let (state, queue) = (Arc::clone(state), Arc::clone(queue));
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || conn_loop(stream, &state, &queue));
+                match handle {
+                    Ok(h) => conns.lock().expect("conn registry").push(h),
+                    Err(_) => std::thread::sleep(READ_TICK), // thread exhaustion: back off
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(READ_TICK),
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<State>, queue: &Arc<JobQueue>) {
+    while let Some(job) = queue.pop() {
+        let started = Instant::now();
+        let result = state.exec.run(&state.pool, &job.query);
+        let micros = started.elapsed().as_micros() as u64;
+        state.latency[endpoint_index(&job.query.projection)].record(micros);
+        state.global_inflight.fetch_sub(1, Ordering::SeqCst);
+        let body = match result {
+            Ok(output) => ResponseBody::Output(output),
+            Err(QueryError::Unsupported { detail }) => ResponseBody::Error(WireError {
+                kind: ErrorKind::Unsupported,
+                detail,
+            }),
+            Err(err) => ResponseBody::Error(WireError {
+                kind: ErrorKind::Archive,
+                detail: err.to_string(),
+            }),
+        };
+        let resp = Response { id: job.id, body };
+        if job.reply.send(WriterMsg::Query(resp)).is_err() {
+            // Writer is gone (dead connection); release its in-flight slot.
+            job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<WriterMsg>, conn: Arc<ConnShared>) {
+    let mut dead = false;
+    for msg in rx {
+        let (resp, admitted) = match msg {
+            WriterMsg::Control(r) => (r, false),
+            WriterMsg::Query(r) => (r, true),
+        };
+        if !dead {
+            let payload = encode_response(&resp);
+            if write_frame(&mut stream, &payload).is_err() {
+                // Slow/dead client: cut the socket so the reader unblocks,
+                // then keep draining messages to release in-flight slots.
+                dead = true;
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        if admitted {
+            conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Sends an inline (non-admitted) reply; a full queue here means the
+/// client ignored `CONTROL_SLACK` rejections in a row, so give up on it.
+fn send_control(tx: &SyncSender<WriterMsg>, stream: &TcpStream, resp: Response) -> bool {
+    match tx.try_send(WriterMsg::Control(resp)) {
+        Ok(()) => true,
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            false
+        }
+    }
+}
+
+fn conn_loop(stream: TcpStream, state: &Arc<State>, queue: &Arc<JobQueue>) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let _ = write_half.set_write_timeout(Some(state.cfg.write_timeout));
+
+    let conn = Arc::new(ConnShared {
+        inflight: AtomicUsize::new(0),
+    });
+    let (tx, rx) = sync_channel::<WriterMsg>(state.cfg.per_conn_inflight + CONTROL_SLACK);
+    let writer = {
+        let conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("serve-writer".into())
+            .spawn(move || writer_loop(write_half, rx, conn))
+    };
+    let writer = match writer {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+
+    state.connections.add(1);
+    serve_requests(stream, state, queue, &conn, &tx);
+    state.connections.add(-1);
+
+    // Dropping our sender lets the writer drain: it exits once the jobs
+    // still holding clones (in-flight queries) finish and are flushed.
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn serve_requests(
+    mut stream: TcpStream,
+    state: &Arc<State>,
+    queue: &Arc<JobQueue>,
+    conn: &Arc<ConnShared>,
+    tx: &SyncSender<WriterMsg>,
+) {
+    let mut frames = FrameReader::new();
+    let mut last_activity = Instant::now();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match frames.poll_frame(&mut stream, state.cfg.idle_timeout) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                let idle = conn.inflight.load(Ordering::SeqCst) == 0 && !frames.mid_frame();
+                if idle && last_activity.elapsed() >= state.cfg.idle_timeout {
+                    return; // idle reap
+                }
+                continue;
+            }
+            Err(FrameError::Oversized(len)) => {
+                let resp = Response {
+                    id: 0,
+                    body: ResponseBody::Error(WireError {
+                        kind: ErrorKind::BadRequest,
+                        detail: format!("frame length {len} exceeds cap"),
+                    }),
+                };
+                send_control(tx, &stream, resp);
+                return; // stream position is unrecoverable
+            }
+            Err(_) => return, // closed / corrupt / io: transport death
+        };
+        last_activity = Instant::now();
+
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(err) => {
+                let resp = Response {
+                    id: 0,
+                    body: ResponseBody::Error(WireError {
+                        kind: ErrorKind::BadRequest,
+                        detail: err.to_string(),
+                    }),
+                };
+                // Framing was intact, so the stream stays in sync; reject
+                // just this request and keep serving.
+                if !send_control(tx, &stream, resp) {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        match req.body {
+            RequestBody::Ping => {
+                state.control.incr();
+                if !send_control(
+                    tx,
+                    &stream,
+                    Response {
+                        id: req.id,
+                        body: ResponseBody::Pong,
+                    },
+                ) {
+                    return;
+                }
+            }
+            RequestBody::Stats => {
+                state.control.incr();
+                let resp = Response {
+                    id: req.id,
+                    body: ResponseBody::Stats(state.stats_json()),
+                };
+                if !send_control(tx, &stream, resp) {
+                    return;
+                }
+            }
+            RequestBody::Meta => {
+                state.control.incr();
+                let resp = Response {
+                    id: req.id,
+                    body: ResponseBody::Meta(state.meta),
+                };
+                if !send_control(tx, &stream, resp) {
+                    return;
+                }
+            }
+            RequestBody::Shutdown => {
+                state.control.incr();
+                let resp = Response {
+                    id: req.id,
+                    body: ResponseBody::ShutdownAck,
+                };
+                send_control(tx, &stream, resp);
+                state.shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            RequestBody::Query(query) => {
+                if let Some(rejection) = admit(state, conn, req.id) {
+                    if !send_control(tx, &stream, rejection) {
+                        return;
+                    }
+                    continue;
+                }
+                state.queries.incr();
+                queue.push(Job {
+                    id: req.id,
+                    query,
+                    reply: tx.clone(),
+                    conn: Arc::clone(conn),
+                });
+            }
+        }
+    }
+}
+
+/// Runs admission control for one query. `None` admits (both counters
+/// incremented); `Some(resp)` rejects with the typed reason.
+fn admit(state: &State, conn: &ConnShared, id: u64) -> Option<Response> {
+    let reject = |kind: ErrorKind, detail: String| {
+        Some(Response {
+            id,
+            body: ResponseBody::Error(WireError { kind, detail }),
+        })
+    };
+    if state.shutdown.load(Ordering::SeqCst) {
+        return reject(ErrorKind::ShuttingDown, "daemon is draining".into());
+    }
+    let per_conn = conn.inflight.fetch_add(1, Ordering::SeqCst);
+    if per_conn >= state.cfg.per_conn_inflight {
+        conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        state.backpressure.incr();
+        return reject(
+            ErrorKind::Backpressure,
+            format!(
+                "connection already has {per_conn} queries in flight (cap {})",
+                state.cfg.per_conn_inflight
+            ),
+        );
+    }
+    let global = state.global_inflight.fetch_add(1, Ordering::SeqCst);
+    if global >= state.cfg.global_inflight {
+        state.global_inflight.fetch_sub(1, Ordering::SeqCst);
+        conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        state.overloaded.incr();
+        return reject(
+            ErrorKind::Overloaded,
+            format!(
+                "server has {global} queries in flight (cap {})",
+                state.cfg.global_inflight
+            ),
+        );
+    }
+    None
+}

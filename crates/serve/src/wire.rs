@@ -1,0 +1,767 @@
+//! The fork-serve wire protocol: compact length-prefixed frames, sealed
+//! with the sim's own transport integrity.
+//!
+//! Every message on the socket is one frame:
+//!
+//! ```text
+//! [u32 LE sealed length][4-byte truncated-keccak checksum][payload ...]
+//!                        `---------- seal_frame ---------------------'
+//! ```
+//!
+//! The checksum comes from [`fork_net::seal_frame`] / [`fork_net::open_frame`]
+//! — the same machinery that protects gossip frames in the simulator — so a
+//! corrupted frame dies at the transport with [`FrameError::Corrupt`] instead
+//! of decoding into a wrong-but-plausible message. A declared length above
+//! [`MAX_FRAME_LEN`] is rejected *before* any allocation
+//! ([`FrameError::Oversized`]): a hostile or desynced peer cannot make the
+//! server buffer unbounded bytes.
+//!
+//! Payloads are fixed-layout little-endian (tag bytes + LE integers +
+//! length-prefixed strings); block/tx records reuse the archive's own
+//! `ArchiveRecord` codec so the storage and wire layers cannot drift apart.
+//! Decoding is total: any input either yields a typed message or a typed
+//! [`DecodeError`] — never a panic, never trailing-garbage acceptance.
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+use fork_analytics::{BlockRecord, TimeSeries, TxRecord};
+use fork_archive::ArchiveRecord;
+use fork_net::{open_frame, seal_frame};
+use fork_query::{Projection, Query, QueryOutput, QueryRange};
+use fork_replay::Side;
+use fork_telemetry::{HistogramSnapshot, BUCKETS};
+
+/// Hard cap on one sealed frame. Full-archive block scans at paper scale
+/// are a few MiB; 64 MiB leaves headroom while bounding what one peer can
+/// make the other side buffer.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// A request as carried on the wire: a client-chosen correlation id plus
+/// the request body. Responses echo the id; with pipelining they may come
+/// back in any order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// What is being asked.
+    pub body: RequestBody,
+}
+
+/// The request variants the daemon understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Evaluate a [`Query`] against the served archive.
+    Query(Query),
+    /// Return a JSON telemetry snapshot (the `/stats`-style control call).
+    Stats,
+    /// Return archive shape metadata (totals plus block-number/timestamp
+    /// ranges) so load generators can build workloads without disk access.
+    Meta,
+    /// Liveness no-op.
+    Ping,
+    /// Ask the daemon to shut down gracefully (drain, then exit).
+    Shutdown,
+}
+
+/// Typed error classes a server can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The global in-flight admission cap is reached; retry later.
+    Overloaded,
+    /// This connection's own in-flight cap is reached (per-client
+    /// backpressure); drain responses before sending more.
+    Backpressure,
+    /// The daemon is draining and takes no new queries.
+    ShuttingDown,
+    /// The query shape is invalid ([`fork_query::QueryError::Unsupported`]).
+    Unsupported,
+    /// The archive failed underneath the query.
+    Archive,
+    /// The request frame decoded but made no sense.
+    BadRequest,
+}
+
+impl ErrorKind {
+    /// Stable lowercase label (used in logs and load reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Backpressure => "backpressure",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Archive => "archive",
+            ErrorKind::BadRequest => "bad_request",
+        }
+    }
+}
+
+/// A typed server-side error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Error class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.detail)
+    }
+}
+
+/// Archive shape metadata returned by [`RequestBody::Meta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeMeta {
+    /// Total block records across both sides.
+    pub blocks: u64,
+    /// Total transaction records across both sides.
+    pub txs: u64,
+    /// Min/max block number across both sides, if any blocks exist.
+    pub block_range: Option<(u64, u64)>,
+    /// Min/max record timestamp across both sides, if known.
+    pub time_range: Option<(u64, u64)>,
+}
+
+/// A response as carried on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Correlation id copied from the request (0 when the request id could
+    /// not be decoded).
+    pub id: u64,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// The response variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Successful query evaluation.
+    Output(QueryOutput),
+    /// JSON telemetry snapshot (see [`fork_telemetry::Snapshot::to_json`]).
+    Stats(String),
+    /// Archive shape metadata.
+    Meta(ServeMeta),
+    /// Liveness reply.
+    Pong,
+    /// Shutdown acknowledged; the daemon drains and exits.
+    ShutdownAck,
+    /// A typed failure.
+    Error(WireError),
+}
+
+/// Transport-level failure while reading a frame off a socket.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// The checksum did not open: bytes were corrupted or the stream
+    /// desynced. The connection is unrecoverable.
+    Corrupt,
+    /// Declared length exceeds [`MAX_FRAME_LEN`]; rejected pre-allocation.
+    Oversized(u32),
+    /// Clean end-of-stream.
+    Closed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::Corrupt => write!(f, "frame checksum failed"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds cap {MAX_FRAME_LEN}")
+            }
+            FrameError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Structured failure while decoding a frame payload into a typed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// An unknown discriminant byte.
+    UnknownTag(u8),
+    /// Structurally invalid content (bad record payload, trailing bytes…).
+    Malformed(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            DecodeError::Malformed(d) => write!(f, "malformed payload: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// --- framing ---------------------------------------------------------------
+
+/// Seals `payload` and writes it as one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let sealed = seal_frame(payload);
+    debug_assert!(sealed.len() <= MAX_FRAME_LEN as usize);
+    w.write_all(&(sealed.len() as u32).to_le_bytes())?;
+    w.write_all(&sealed)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking until it fully arrives (client side; the
+/// server uses [`FrameReader`] so read-timeout ticks don't tear frames).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Closed),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut sealed = vec![0u8; len as usize];
+    r.read_exact(&mut sealed).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Closed
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    match open_frame(&sealed) {
+        Some(payload) => Ok(payload.to_vec()),
+        None => Err(FrameError::Corrupt),
+    }
+}
+
+/// Incremental frame reader for sockets with a read timeout: partial bytes
+/// accumulate across timeout ticks instead of desyncing the stream, so the
+/// server can poll for idleness/shutdown without tearing frames.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    stalled_since: Option<Instant>,
+}
+
+impl FrameReader {
+    /// Fresh reader with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when a frame has started arriving but is not complete yet.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Pulls the next complete frame. `Ok(None)` means the read timed out
+    /// with no progress (an idle tick for the caller to act on); a peer
+    /// stalled mid-frame longer than `stall_limit` reads as [`FrameError::Closed`].
+    pub fn poll_frame<R: Read>(
+        &mut self,
+        r: &mut R,
+        stall_limit: Duration,
+    ) -> Result<Option<Vec<u8>>, FrameError> {
+        loop {
+            if let Some(frame) = self.try_extract()? {
+                self.stalled_since = None;
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match r.read(&mut chunk) {
+                Ok(0) => return Err(FrameError::Closed),
+                Ok(n) => {
+                    self.stalled_since = None;
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.mid_frame() {
+                        let since = *self.stalled_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() > stall_limit {
+                            return Err(FrameError::Closed);
+                        }
+                    }
+                    return Ok(None);
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+
+    fn try_extract(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = match open_frame(&self.buf[4..total]) {
+            Some(p) => p.to_vec(),
+            None => return Err(FrameError::Corrupt),
+        };
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+// --- payload cursor --------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| DecodeError::Malformed("non-utf8 string".into()))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, raw: &[u8]) {
+    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+    out.extend_from_slice(raw);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+// --- request codec ---------------------------------------------------------
+
+const REQ_QUERY: u8 = 0;
+const REQ_STATS: u8 = 1;
+const REQ_META: u8 = 2;
+const REQ_PING: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+fn side_tag(side: Option<Side>) -> u8 {
+    match side {
+        None => 0,
+        Some(Side::Eth) => 1,
+        Some(Side::Etc) => 2,
+    }
+}
+
+fn side_from(tag: u8) -> Result<Option<Side>, DecodeError> {
+    match tag {
+        0 => Ok(None),
+        1 => Ok(Some(Side::Eth)),
+        2 => Ok(Some(Side::Etc)),
+        t => Err(DecodeError::UnknownTag(t)),
+    }
+}
+
+fn encode_query(out: &mut Vec<u8>, q: &Query) {
+    out.push(side_tag(q.side));
+    match q.range {
+        QueryRange::All => out.push(0),
+        QueryRange::Blocks { first, last } => {
+            out.push(1);
+            out.extend_from_slice(&first.to_le_bytes());
+            out.extend_from_slice(&last.to_le_bytes());
+        }
+        QueryRange::Time { start, end } => {
+            out.push(2);
+            out.extend_from_slice(&start.to_le_bytes());
+            out.extend_from_slice(&end.to_le_bytes());
+        }
+    }
+    match q.projection {
+        Projection::Blocks => out.push(0),
+        Projection::Txs => out.push(1),
+        Projection::InterArrival => out.push(2),
+        Projection::Difficulty => out.push(3),
+        Projection::TxRatioPerDay => out.push(4),
+        Projection::Echoes { window_days } => {
+            out.push(5);
+            out.extend_from_slice(&window_days.to_le_bytes());
+        }
+    }
+}
+
+fn decode_query(c: &mut Cursor<'_>) -> Result<Query, DecodeError> {
+    let side = side_from(c.u8()?)?;
+    let range = match c.u8()? {
+        0 => QueryRange::All,
+        1 => QueryRange::Blocks {
+            first: c.u64()?,
+            last: c.u64()?,
+        },
+        2 => QueryRange::Time {
+            start: c.u64()?,
+            end: c.u64()?,
+        },
+        t => return Err(DecodeError::UnknownTag(t)),
+    };
+    let projection = match c.u8()? {
+        0 => Projection::Blocks,
+        1 => Projection::Txs,
+        2 => Projection::InterArrival,
+        3 => Projection::Difficulty,
+        4 => Projection::TxRatioPerDay,
+        5 => Projection::Echoes {
+            window_days: c.u64()?,
+        },
+        t => return Err(DecodeError::UnknownTag(t)),
+    };
+    Ok(Query {
+        side,
+        range,
+        projection,
+    })
+}
+
+/// Serializes a request into a frame payload (pre-seal).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&req.id.to_le_bytes());
+    match &req.body {
+        RequestBody::Query(q) => {
+            out.push(REQ_QUERY);
+            encode_query(&mut out, q);
+        }
+        RequestBody::Stats => out.push(REQ_STATS),
+        RequestBody::Meta => out.push(REQ_META),
+        RequestBody::Ping => out.push(REQ_PING),
+        RequestBody::Shutdown => out.push(REQ_SHUTDOWN),
+    }
+    out
+}
+
+/// Parses a frame payload as a request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut c = Cursor::new(payload);
+    let id = c.u64()?;
+    let body = match c.u8()? {
+        REQ_QUERY => RequestBody::Query(decode_query(&mut c)?),
+        REQ_STATS => RequestBody::Stats,
+        REQ_META => RequestBody::Meta,
+        REQ_PING => RequestBody::Ping,
+        REQ_SHUTDOWN => RequestBody::Shutdown,
+        t => return Err(DecodeError::UnknownTag(t)),
+    };
+    c.finish()?;
+    Ok(Request { id, body })
+}
+
+// --- response codec --------------------------------------------------------
+
+const RESP_OUTPUT: u8 = 0;
+const RESP_STATS: u8 = 1;
+const RESP_META: u8 = 2;
+const RESP_PONG: u8 = 3;
+const RESP_SHUTDOWN_ACK: u8 = 4;
+const RESP_ERROR: u8 = 5;
+
+const OUT_BLOCKS: u8 = 0;
+const OUT_TXS: u8 = 1;
+const OUT_HISTOGRAM: u8 = 2;
+const OUT_SERIES: u8 = 3;
+
+fn err_kind_tag(kind: ErrorKind) -> u8 {
+    match kind {
+        ErrorKind::Overloaded => 0,
+        ErrorKind::Backpressure => 1,
+        ErrorKind::ShuttingDown => 2,
+        ErrorKind::Unsupported => 3,
+        ErrorKind::Archive => 4,
+        ErrorKind::BadRequest => 5,
+    }
+}
+
+fn err_kind_from(tag: u8) -> Result<ErrorKind, DecodeError> {
+    Ok(match tag {
+        0 => ErrorKind::Overloaded,
+        1 => ErrorKind::Backpressure,
+        2 => ErrorKind::ShuttingDown,
+        3 => ErrorKind::Unsupported,
+        4 => ErrorKind::Archive,
+        5 => ErrorKind::BadRequest,
+        t => return Err(DecodeError::UnknownTag(t)),
+    })
+}
+
+fn encode_block(out: &mut Vec<u8>, b: &BlockRecord) {
+    out.push(side_tag(Some(b.network)));
+    put_bytes(out, &ArchiveRecord::Block(b.clone()).encode_payload(0));
+}
+
+fn encode_tx(out: &mut Vec<u8>, t: &TxRecord) {
+    out.push(side_tag(Some(t.network)));
+    put_bytes(out, &ArchiveRecord::Tx(t.clone()).encode_payload(0));
+}
+
+fn decode_record(c: &mut Cursor<'_>) -> Result<ArchiveRecord, DecodeError> {
+    let side = side_from(c.u8()?)?.ok_or(DecodeError::UnknownTag(0))?;
+    let payload = c.bytes()?;
+    let (_seq, rec) =
+        ArchiveRecord::decode_payload(side, payload).map_err(DecodeError::Malformed)?;
+    Ok(rec)
+}
+
+fn encode_histogram(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    out.extend_from_slice(&h.count.to_le_bytes());
+    out.extend_from_slice(&h.sum.to_le_bytes());
+    out.extend_from_slice(&h.min.to_le_bytes());
+    out.extend_from_slice(&h.max.to_le_bytes());
+    let nonzero = h.buckets.iter().filter(|&&n| n > 0).count() as u32;
+    out.extend_from_slice(&nonzero.to_le_bytes());
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            out.push(i as u8);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+    }
+}
+
+fn decode_histogram(c: &mut Cursor<'_>) -> Result<HistogramSnapshot, DecodeError> {
+    let mut h = HistogramSnapshot {
+        count: c.u64()?,
+        sum: c.u64()?,
+        min: c.u64()?,
+        max: c.u64()?,
+        ..HistogramSnapshot::default()
+    };
+    let pairs = c.u32()?;
+    if pairs as usize > BUCKETS {
+        return Err(DecodeError::Malformed(format!(
+            "{pairs} bucket pairs > {BUCKETS}"
+        )));
+    }
+    for _ in 0..pairs {
+        let idx = c.u8()? as usize;
+        if idx >= BUCKETS {
+            return Err(DecodeError::Malformed(format!("bucket index {idx}")));
+        }
+        h.buckets[idx] = c.u64()?;
+    }
+    Ok(h)
+}
+
+fn encode_series(out: &mut Vec<u8>, s: &TimeSeries) {
+    put_str(out, &s.label);
+    out.extend_from_slice(&(s.points.len() as u32).to_le_bytes());
+    for &(t, v) in &s.points {
+        out.extend_from_slice(&t.to_le_bytes());
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_series(c: &mut Cursor<'_>) -> Result<TimeSeries, DecodeError> {
+    let label = c.string()?;
+    let n = c.u32()?;
+    let mut points = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        let t = c.u64()?;
+        let v = f64::from_bits(c.u64()?);
+        points.push((t, v));
+    }
+    Ok(TimeSeries { label, points })
+}
+
+fn encode_output(out: &mut Vec<u8>, o: &QueryOutput) {
+    match o {
+        QueryOutput::Blocks(blocks) => {
+            out.push(OUT_BLOCKS);
+            out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+            for b in blocks {
+                encode_block(out, b);
+            }
+        }
+        QueryOutput::Txs(txs) => {
+            out.push(OUT_TXS);
+            out.extend_from_slice(&(txs.len() as u32).to_le_bytes());
+            for t in txs {
+                encode_tx(out, t);
+            }
+        }
+        QueryOutput::Histogram(h) => {
+            out.push(OUT_HISTOGRAM);
+            encode_histogram(out, h);
+        }
+        QueryOutput::Series(s) => {
+            out.push(OUT_SERIES);
+            encode_series(out, s);
+        }
+    }
+}
+
+fn decode_output(c: &mut Cursor<'_>) -> Result<QueryOutput, DecodeError> {
+    match c.u8()? {
+        OUT_BLOCKS => {
+            let n = c.u32()?;
+            let mut blocks = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                match decode_record(c)? {
+                    ArchiveRecord::Block(b) => blocks.push(b),
+                    ArchiveRecord::Tx(_) => {
+                        return Err(DecodeError::Malformed("tx record in Blocks output".into()))
+                    }
+                }
+            }
+            Ok(QueryOutput::Blocks(blocks))
+        }
+        OUT_TXS => {
+            let n = c.u32()?;
+            let mut txs = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                match decode_record(c)? {
+                    ArchiveRecord::Tx(t) => txs.push(t),
+                    ArchiveRecord::Block(_) => {
+                        return Err(DecodeError::Malformed("block record in Txs output".into()))
+                    }
+                }
+            }
+            Ok(QueryOutput::Txs(txs))
+        }
+        OUT_HISTOGRAM => Ok(QueryOutput::Histogram(Box::new(decode_histogram(c)?))),
+        OUT_SERIES => Ok(QueryOutput::Series(decode_series(c)?)),
+        t => Err(DecodeError::UnknownTag(t)),
+    }
+}
+
+fn encode_meta(out: &mut Vec<u8>, m: &ServeMeta) {
+    out.extend_from_slice(&m.blocks.to_le_bytes());
+    out.extend_from_slice(&m.txs.to_le_bytes());
+    for range in [m.block_range, m.time_range] {
+        match range {
+            None => out.push(0),
+            Some((lo, hi)) => {
+                out.push(1);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn decode_meta(c: &mut Cursor<'_>) -> Result<ServeMeta, DecodeError> {
+    let blocks = c.u64()?;
+    let txs = c.u64()?;
+    let mut ranges = [None, None];
+    for slot in &mut ranges {
+        *slot = match c.u8()? {
+            0 => None,
+            1 => Some((c.u64()?, c.u64()?)),
+            t => return Err(DecodeError::UnknownTag(t)),
+        };
+    }
+    Ok(ServeMeta {
+        blocks,
+        txs,
+        block_range: ranges[0],
+        time_range: ranges[1],
+    })
+}
+
+/// Serializes a response into a frame payload (pre-seal).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&resp.id.to_le_bytes());
+    match &resp.body {
+        ResponseBody::Output(o) => {
+            out.push(RESP_OUTPUT);
+            encode_output(&mut out, o);
+        }
+        ResponseBody::Stats(json) => {
+            out.push(RESP_STATS);
+            put_str(&mut out, json);
+        }
+        ResponseBody::Meta(m) => {
+            out.push(RESP_META);
+            encode_meta(&mut out, m);
+        }
+        ResponseBody::Pong => out.push(RESP_PONG),
+        ResponseBody::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
+        ResponseBody::Error(e) => {
+            out.push(RESP_ERROR);
+            out.push(err_kind_tag(e.kind));
+            put_str(&mut out, &e.detail);
+        }
+    }
+    out
+}
+
+/// Parses a frame payload as a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut c = Cursor::new(payload);
+    let id = c.u64()?;
+    let body = match c.u8()? {
+        RESP_OUTPUT => ResponseBody::Output(decode_output(&mut c)?),
+        RESP_STATS => ResponseBody::Stats(c.string()?),
+        RESP_META => ResponseBody::Meta(decode_meta(&mut c)?),
+        RESP_PONG => ResponseBody::Pong,
+        RESP_SHUTDOWN_ACK => ResponseBody::ShutdownAck,
+        RESP_ERROR => ResponseBody::Error(WireError {
+            kind: err_kind_from(c.u8()?)?,
+            detail: c.string()?,
+        }),
+        t => return Err(DecodeError::UnknownTag(t)),
+    };
+    c.finish()?;
+    Ok(Response { id, body })
+}

@@ -1,0 +1,281 @@
+//! Protocol hardening: whatever happens to the bytes, the wire codec either
+//! round-trips a message exactly or reports a typed failure — never a
+//! panic, never silent acceptance of damaged frames.
+
+use fork_analytics::{BlockRecord, TimeSeries, TxRecord};
+use fork_primitives::{Address, H256, U256};
+use fork_query::{Projection, Query, QueryOutput, QueryRange};
+use fork_replay::Side;
+use fork_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    DecodeError, ErrorKind, FrameError, Request, RequestBody, Response, ResponseBody, ServeMeta,
+    WireError, MAX_FRAME_LEN,
+};
+use fork_telemetry::HistogramSnapshot;
+use proptest::prelude::*;
+
+fn side(n: u64) -> Side {
+    if n.is_multiple_of(2) {
+        Side::Eth
+    } else {
+        Side::Etc
+    }
+}
+
+fn block(n: u64) -> BlockRecord {
+    BlockRecord {
+        network: side(n),
+        number: n,
+        hash: H256([(n % 251) as u8; 32]),
+        timestamp: 1_469_000_000u64.wrapping_add(n.wrapping_mul(14)),
+        difficulty: U256::from_u128(62_000_000_000_000 + n as u128),
+        beneficiary: Address([(n % 31) as u8; 20]),
+        gas_used: 21_000u64.wrapping_add(n),
+        tx_count: (n % 7) as u32,
+        ommer_count: (n % 3) as u32,
+    }
+}
+
+fn tx(n: u64) -> TxRecord {
+    TxRecord {
+        network: side(n),
+        hash: H256([(n % 253) as u8; 32]),
+        timestamp: 1_469_000_000u64.wrapping_add(n.wrapping_mul(7)),
+        is_contract: n.is_multiple_of(2),
+        has_chain_id: n.is_multiple_of(3),
+        value: U256::from_u64(n.wrapping_mul(1_000_000_007)),
+    }
+}
+
+/// Deterministically expands a compact integer spec into a Query — the
+/// vendored proptest has no `prop_oneof`, so variants come from modulus.
+type QuerySpec = ((u64, u64), (u64, u64, u64));
+
+fn query_from(spec: QuerySpec) -> Query {
+    let ((kind, a), (b, proj, window)) = spec;
+    let projection = match proj % 6 {
+        0 => Projection::Blocks,
+        1 => Projection::Txs,
+        2 => Projection::InterArrival,
+        3 => Projection::Difficulty,
+        4 => Projection::TxRatioPerDay,
+        _ => Projection::Echoes {
+            window_days: window.max(1),
+        },
+    };
+    let range = match kind % 3 {
+        0 => QueryRange::All,
+        1 => QueryRange::Blocks {
+            first: a.min(b),
+            last: a.max(b),
+        },
+        _ => QueryRange::Time {
+            start: a.min(b),
+            end: a.max(b),
+        },
+    };
+    let side = if matches!(projection, Projection::TxRatioPerDay) {
+        None
+    } else {
+        Some(side(a))
+    };
+    Query {
+        side,
+        range,
+        projection,
+    }
+}
+
+fn request_from(spec: (u64, u64, QuerySpec)) -> Request {
+    let (id, kind, qspec) = spec;
+    let body = match kind % 5 {
+        0 => RequestBody::Query(query_from(qspec)),
+        1 => RequestBody::Stats,
+        2 => RequestBody::Meta,
+        3 => RequestBody::Ping,
+        _ => RequestBody::Shutdown,
+    };
+    Request { id, body }
+}
+
+fn response_from(spec: (u64, u64, Vec<u64>, Vec<u64>)) -> Response {
+    let (id, kind, nums, extra) = spec;
+    let body = match kind % 7 {
+        0 => ResponseBody::Output(QueryOutput::Blocks(
+            nums.iter().map(|&n| block(n)).collect(),
+        )),
+        1 => ResponseBody::Output(QueryOutput::Txs(nums.iter().map(|&n| tx(n)).collect())),
+        2 => {
+            let mut h = HistogramSnapshot::default();
+            for &n in &nums {
+                h.record(n);
+            }
+            ResponseBody::Output(QueryOutput::Histogram(Box::new(h)))
+        }
+        3 => ResponseBody::Output(QueryOutput::Series(TimeSeries {
+            label: format!("series-{id}"),
+            points: nums
+                .iter()
+                .zip(&extra)
+                .map(|(&t, &v)| (t, v as f64 / 7.0))
+                .collect(),
+        })),
+        4 => ResponseBody::Stats(format!(
+            "{{\"schema\": \"fork-telemetry/v1\", \"n\": {id}}}"
+        )),
+        5 => ResponseBody::Meta(ServeMeta {
+            blocks: nums.first().copied().unwrap_or(0),
+            txs: extra.first().copied().unwrap_or(0),
+            block_range: nums.first().map(|&lo| (lo, lo.wrapping_add(100))),
+            time_range: extra.first().map(|&lo| (lo, lo.wrapping_add(1000))),
+        }),
+        _ => ResponseBody::Error(WireError {
+            kind: match id % 6 {
+                0 => ErrorKind::Overloaded,
+                1 => ErrorKind::Backpressure,
+                2 => ErrorKind::ShuttingDown,
+                3 => ErrorKind::Unsupported,
+                4 => ErrorKind::Archive,
+                _ => ErrorKind::BadRequest,
+            },
+            detail: format!("detail {id}"),
+        }),
+    };
+    Response { id, body }
+}
+
+proptest! {
+    #[test]
+    fn requests_roundtrip(spec in (any::<u64>(), any::<u64>(), ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>(), any::<u64>())))) {
+        let req = request_from(spec);
+        let payload = encode_request(&req);
+        prop_assert_eq!(decode_request(&payload), Ok(req));
+    }
+
+    #[test]
+    fn responses_roundtrip(
+        id in any::<u64>(),
+        kind in any::<u64>(),
+        nums in proptest::collection::vec(any::<u64>(), 0..24),
+        extra in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let resp = response_from((id, kind, nums, extra));
+        let payload = encode_response(&resp);
+        prop_assert_eq!(decode_response(&payload), Ok(resp));
+    }
+
+    #[test]
+    fn truncated_payloads_decode_to_typed_errors(
+        id in any::<u64>(),
+        kind in any::<u64>(),
+        nums in proptest::collection::vec(any::<u64>(), 0..12),
+        extra in proptest::collection::vec(any::<u64>(), 0..12),
+        cut in any::<u64>(),
+    ) {
+        let payload = encode_response(&response_from((id, kind, nums, extra)));
+        prop_assume!(payload.len() > 1);
+        let cut = 1 + (cut as usize) % (payload.len() - 1);
+        // Every proper prefix either fails typed or — if it happens to
+        // parse — differs from nothing we assert; it must never panic.
+        let _ = decode_response(&payload[..cut]);
+        // Cutting the trailing byte specifically must be caught: either a
+        // mid-field truncation or the trailing-bytes check repairs nothing.
+        prop_assert!(decode_response(&payload[..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_single_byte_flip_dies_at_transport(
+        spec in (any::<u64>(), any::<u64>(), ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>(), any::<u64>()))),
+        flip_at in any::<u64>(),
+        flip_bit in 0u32..8,
+    ) {
+        let req = request_from(spec);
+        let payload = encode_request(&req);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &payload).unwrap();
+
+        // Clean frame round-trips.
+        let got = read_frame(&mut frame.as_slice()).expect("clean frame opens");
+        prop_assert_eq!(decode_request(&got), Ok(req));
+
+        // Any single-bit flip beyond the length prefix dies at the
+        // transport (checksum), or — if it hits the prefix — reads as a
+        // short/oversized/incomplete frame. Never a silently wrong decode.
+        let at = 4 + (flip_at as usize) % (frame.len() - 4);
+        frame[at] ^= 1 << flip_bit;
+        match read_frame(&mut frame.as_slice()) {
+            Err(_) => {}
+            Ok(opened) => prop_assert!(
+                false,
+                "flipped byte {at} still opened as {:?}",
+                decode_request(&opened)
+            ),
+        }
+    }
+
+    #[test]
+    fn length_prefix_flips_never_open_clean(
+        spec in (any::<u64>(), any::<u64>(), ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>(), any::<u64>()))),
+        flip_at in 0usize..4,
+        flip_bit in 0u32..8,
+    ) {
+        let req = request_from(spec);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &encode_request(&req)).unwrap();
+        frame[flip_at] ^= 1 << flip_bit;
+        match read_frame(&mut frame.as_slice()) {
+            // Shorter declared length: the sealed bytes no longer line up
+            // with the checksum, or trailing garbage is left unread (the
+            // caller treats both as fatal). Longer: EOF or the cap.
+            Err(FrameError::Corrupt | FrameError::Closed | FrameError::Oversized(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected io error: {e}"),
+            Ok(opened) => {
+                // A shrunken length can still open only if the checksum of
+                // the prefix collides — the seal makes that a non-event.
+                prop_assert!(false, "resized frame opened: {opened:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_length_is_rejected_before_allocation() {
+    // A hostile 4 GiB declared length must be refused from the prefix
+    // alone — read_frame returns Oversized without buffering the body.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    frame.extend_from_slice(&[0u8; 64]);
+    match read_frame(&mut frame.as_slice()) {
+        Err(FrameError::Oversized(n)) => assert_eq!(n, MAX_FRAME_LEN + 1),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+
+    let mut huge = Vec::new();
+    huge.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut huge.as_slice()),
+        Err(FrameError::Oversized(_))
+    ));
+}
+
+#[test]
+fn unknown_tags_and_trailing_bytes_are_typed_errors() {
+    let mut payload = encode_request(&Request {
+        id: 9,
+        body: RequestBody::Ping,
+    });
+    payload[8] = 0xEE; // request tag byte
+    assert_eq!(decode_request(&payload), Err(DecodeError::UnknownTag(0xEE)));
+
+    let mut trailing = encode_response(&Response {
+        id: 9,
+        body: ResponseBody::Pong,
+    });
+    trailing.push(0);
+    assert!(matches!(
+        decode_response(&trailing),
+        Err(DecodeError::Malformed(_))
+    ));
+
+    assert_eq!(decode_request(&[1, 2, 3]), Err(DecodeError::Truncated));
+}

@@ -61,6 +61,65 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Records one sample into this plain-data snapshot, with the same
+    /// bucketing as the live `Histogram::record`. Unlike the live type this
+    /// works in every build (no `enabled` feature), so client-side latency
+    /// collection and archive-derived histograms share one code path with
+    /// server-side metrics.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+        } else {
+            self.min = self.min.min(v);
+        }
+        self.max = self.max.max(v);
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Estimated value at percentile `p` (clamped to `0..=100`): walks the
+    /// log2 buckets to the one covering the target rank and interpolates
+    /// linearly inside it, then clamps to the observed `[min, max]`. Exact
+    /// when all samples share a bucket endpoint; otherwise accurate to the
+    /// covering power-of-two bucket. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_range(i);
+                let into = (rank - seen) as f64 / n as f64; // (0, 1]
+                let est = lo as f64 + into * (hi - lo) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
 }
 
 /// Frozen state of a [`crate::SpanStats`].
@@ -450,6 +509,71 @@ mod tests {
 
         assert!(Snapshot::from_json("{}").is_err(), "schema required");
         assert!(Snapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn record_matches_manual_bucketing_and_merge() {
+        let mut h = HistogramSnapshot::default();
+        for v in [0u64, 1, 3, 3, 1000, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1014);
+        assert_eq!((h.min, h.max), (0, 1000));
+        assert_eq!(h.buckets.iter().sum::<u64>(), 6);
+        assert_eq!(h.buckets[bucket_index(3)], 2);
+
+        // record() agrees with what the live histogram would have produced.
+        #[cfg(feature = "enabled")]
+        assert_eq!(h, hist(&[0, 1, 3, 3, 1000, 7]));
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_log2_buckets() {
+        assert_eq!(HistogramSnapshot::default().percentile(99.0), 0);
+
+        // Constant stream: every percentile is that constant (the clamp to
+        // [min, max] makes bucket interpolation exact here).
+        let mut constant = HistogramSnapshot::default();
+        for _ in 0..100 {
+            constant.record(42);
+        }
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(constant.percentile(p), 42);
+        }
+
+        // Uniform 1..=1000: estimates land within the covering power-of-two
+        // bucket and stay monotone in p.
+        let mut uniform = HistogramSnapshot::default();
+        for v in 1..=1000u64 {
+            uniform.record(v);
+        }
+        let (p50, p90, p99) = (uniform.p50(), uniform.p90(), uniform.p99());
+        assert!((256..=1024).contains(&p50), "p50 estimate {p50}");
+        assert!((512..=1024).contains(&p90), "p90 estimate {p90}");
+        assert!((900..=1000).contains(&p99), "p99 estimate {p99}");
+        assert!(p50 <= p90 && p90 <= p99, "{p50} <= {p90} <= {p99}");
+        assert_eq!(uniform.percentile(100.0), uniform.max);
+        assert_eq!(uniform.percentile(-3.0), uniform.percentile(0.0));
+
+        // Tail-heavy: p99 must sit in the tail, p50 in the body.
+        let mut tail = HistogramSnapshot::default();
+        for _ in 0..980 {
+            tail.record(10);
+        }
+        for _ in 0..20 {
+            tail.record(1_000_000);
+        }
+        assert!(
+            tail.p50() < 16,
+            "p50 {} should be in the body bucket",
+            tail.p50()
+        );
+        assert!(
+            tail.p99() >= 524_288,
+            "p99 {} should be in the tail",
+            tail.p99()
+        );
     }
 
     #[test]

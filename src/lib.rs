@@ -42,6 +42,7 @@
 //! | [`analytics`] | `fork-analytics` | the measurement pipeline |
 //! | [`archive`] | `fork-archive` | durable block/tx archive, replay, verify |
 //! | [`query`] | `fork-query` | concurrent cached query engine over archives |
+//! | [`serve`] | `fork-serve` | archive query daemon + load generator |
 //! | [`core`] | `fork-core` | `ForkStudy`, figures, observations |
 //! | [`telemetry`] | `fork-telemetry` | counters, histograms, span timers |
 
@@ -60,5 +61,6 @@ pub use fork_primitives as primitives;
 pub use fork_query as query;
 pub use fork_replay as replay;
 pub use fork_rlp as rlp;
+pub use fork_serve as serve;
 pub use fork_sim as sim;
 pub use fork_telemetry as telemetry;
