@@ -7,6 +7,7 @@
 //! cargo run --release -p fork-bench --bin make-figures -- resolved obs
 //! cargo run --release -p fork-bench --bin make-figures -- micro --telemetry-out telemetry.json
 //! cargo run --release -p fork-bench --bin make-figures -- chaos
+//! cargo run --release -p fork-bench --bin make-figures -- atlas
 //! cargo run --release -p fork-bench --bin make-figures -- trace
 //! cargo run --release -p fork-bench --bin make-figures -- fig2 --days 280 --progress
 //! cargo run --release -p fork-bench --bin make-figures -- archive --quick --archive-dir run.arch
@@ -30,7 +31,11 @@
 //! (120 connections), writing client- and server-side p50/p90/p99 plus
 //! cache hit rates to `BENCH_6.json` (`--bench-out`). `telemetry-diff`
 //! compares two
-//! exported telemetry JSON files metric by metric. `interarrival` exports
+//! exported telemetry JSON files metric by metric. The `atlas` target runs
+//! the fork atlas — every partition preset across three seeds under the
+//! safety and heal-convergence invariants, plus the never-healed negative
+//! control — and writes `atlas.md` (partition duration vs minority-branch
+//! lifetime vs heal reorg depth, per preset × seed). `interarrival` exports
 //! the block inter-arrival histograms as CSV/JSON series. The `trace`
 //! target runs the fork-split micro network with the block-lifecycle
 //! tracer attached and writes `trace.json` (Chrome trace-event format,
@@ -147,6 +152,7 @@ fn parse_args() -> Args {
             "resolved",
             "micro",
             "chaos",
+            "atlas",
             "trace",
             "interarrival",
         ] {
@@ -176,6 +182,48 @@ fn heartbeat(label: &'static str) -> impl FnMut(fork_sim::ProgressEvent) {
             p.day, p.sim_unix, p.blocks[0], p.blocks[1], p.events_per_sec
         );
     }
+}
+
+/// Steps an atlas preset to its end, checking the safety invariants (and,
+/// past the preset's heal-plus-grace deadline, census convergence) at every
+/// 60 s window and the reorg-depth bound at the end. The census itself is
+/// sampled every 15 s — short partitions cross the census's 8-block
+/// agreement cushion only briefly, and 60 s sampling can miss the whole
+/// divergent phase. Returns the finished net plus the observed
+/// minority-branch lifetime: seconds during which the sampled census was
+/// divergent.
+fn run_atlas_preset(preset: &fork_sim::AtlasPreset, seed: u64) -> (MicroNet, u64) {
+    const SAMPLE_MS: u64 = 15_000;
+    let end_ms = preset.config.duration_secs * 1_000;
+    let mut net = MicroNet::new(preset.config.clone());
+    let mut divergent_ms = 0u64;
+    let mut t = 0;
+    while t < end_ms {
+        t = (t + SAMPLE_MS).min(end_ms);
+        net.run_until(t);
+        if net.partition_census().len() > 1 {
+            divergent_ms += SAMPLE_MS;
+        }
+        if t % 60_000 != 0 && t != end_ms {
+            continue;
+        }
+        if let Err(v) = fork_sim::check_invariants(&net) {
+            panic!(
+                "atlas {} seed {seed}: invariant violated at t={}s: {v}",
+                preset.name,
+                t / 1_000
+            );
+        }
+        if t >= preset.converge_by_ms {
+            if let Err(v) = fork_sim::check_heal_convergence(&net, preset.expected_groups) {
+                panic!("atlas {} seed {seed}: t={}s: {v}", preset.name, t / 1_000);
+            }
+        }
+    }
+    if let Err(v) = fork_sim::check_reorg_depth(&net, preset.reorg_depth_bound) {
+        panic!("atlas {} seed {seed}: {v}", preset.name);
+    }
+    (net, divergent_ms / 1_000)
 }
 
 fn write_figure(out: &Path, fig: &fork_core::FigureData) {
@@ -402,6 +450,77 @@ fn main() {
         std::fs::write(args.out.join("chaos.md"), &md).expect("write chaos");
         println!("  -> {}\n", args.out.join("chaos.md").display());
         telemetry.merge(&net.telemetry_snapshot());
+    }
+
+    if wants("atlas") {
+        eprintln!("Running the fork atlas (4 partition presets x 3 seeds + negative control)...");
+        let run_span = registry.span("figures.run.atlas");
+        let guard = run_span.enter();
+        let seeds = [args.seed, args.seed + 1, args.seed + 2];
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for &seed in &seeds {
+            for preset in fork_sim::scenario::atlas_presets(seed) {
+                let (net, minority_lifetime_s) = run_atlas_preset(&preset, seed);
+                let partition = if preset.partition_secs == 0 {
+                    "spec-driven".to_string()
+                } else {
+                    format!("{} s", preset.partition_secs)
+                };
+                rows.push(vec![
+                    preset.name.to_string(),
+                    seed.to_string(),
+                    partition,
+                    format!("{minority_lifetime_s} s"),
+                    format!(
+                        "{} (bound {})",
+                        net.max_reorg_depth(),
+                        preset.reorg_depth_bound
+                    ),
+                    format!("{:?}", net.partition_census()),
+                    "ok".to_string(),
+                ]);
+            }
+        }
+        // Negative control: the flash partition without its heal must FAIL
+        // the convergence invariant — an atlas whose gate can't reject a
+        // stuck partition proves nothing.
+        let control = fork_sim::scenario::atlas_never_healed(args.seed);
+        let mut net = MicroNet::new(control.config.clone());
+        net.run();
+        let control_line = match fork_sim::check_heal_convergence(&net, control.expected_groups) {
+            Err(v) => format!(
+                "Negative control `{}` (heal removed): convergence invariant correctly \
+                 rejected it — {v}.",
+                control.name
+            ),
+            Ok(()) => panic!("never-healed control passed convergence — the gate is broken"),
+        };
+        drop(guard);
+
+        let md = format!(
+            "# Fork atlas\n\nEach preset × seed runs under the safety invariants at every \
+             60 s window; past its heal-plus-grace deadline the census must hold its \
+             expected group count at every window. \"Minority lifetime\" is how long a \
+             divergent census persisted (15 s sampling); 0 s means the partition healed \
+             before the divergence ever crossed the census's 8-block agreement cushion — \
+             a flash partition can be invisible at spec tolerance.\n\n{}\n{}\n",
+            fork_analytics::markdown_table(
+                &[
+                    "preset",
+                    "seed",
+                    "partition",
+                    "minority lifetime",
+                    "heal reorg depth (blocks)",
+                    "census",
+                    "invariants",
+                ],
+                &rows,
+            ),
+            control_line,
+        );
+        println!("{md}");
+        std::fs::write(args.out.join("atlas.md"), &md).expect("write atlas");
+        println!("  -> {}\n", args.out.join("atlas.md").display());
     }
 
     if wants("trace") {

@@ -2,15 +2,17 @@
 //!
 //! ```text
 //! fork-load --addr 127.0.0.1:4077 [--connections N] [--requests N]
-//!           [--depth N] [--phases N] [--seed N] [--json PATH]
-//!           [--p99-budget-us N] [--shutdown]
+//!           [--depth N] [--phases N] [--seed N] [--max-retries N]
+//!           [--json PATH] [--p99-budget-us N] [--shutdown]
 //! ```
 //!
 //! Runs the mixed cold/warm workload, prints a summary table, optionally
 //! writes a machine-readable `fork-load/v1` JSON report, and — when
 //! `--p99-budget-us` is set — exits nonzero if the overall client-side p99
 //! exceeds the budget (the CI latency gate). `--shutdown` asks the daemon
-//! to drain and exit afterwards.
+//! to drain and exit afterwards. `Overloaded` sheds are retried with
+//! bounded exponential backoff (`--max-retries`, default 4; 0 makes sheds
+//! terminal again) and reported in the `retries` column.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -20,7 +22,8 @@ use fork_serve::{run_load, LoadConfig, ServeClient};
 fn usage() -> ! {
     eprintln!(
         "usage: fork-load --addr HOST:PORT [--connections N] [--requests N] [--depth N] \
-         [--phases N] [--seed N] [--json PATH] [--p99-budget-us N] [--shutdown]"
+         [--phases N] [--seed N] [--max-retries N] [--json PATH] [--p99-budget-us N] \
+         [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -56,6 +59,7 @@ fn parse_args() -> Args {
             "--depth" => out.cfg.pipeline_depth = parse(value("--depth")),
             "--phases" => out.cfg.phases = parse(value("--phases")),
             "--seed" => out.cfg.seed = parse(value("--seed")),
+            "--max-retries" => out.cfg.max_retries = parse(value("--max-retries")),
             "--json" => out.json_out = Some(value("--json")),
             "--p99-budget-us" => out.p99_budget_us = Some(parse(value("--p99-budget-us"))),
             "--shutdown" => out.shutdown = true,

@@ -41,7 +41,9 @@ pub mod server;
 pub mod wire;
 
 pub use client::{ClientError, ServeClient};
-pub use load::{run_load, workload_queries, LoadConfig, LoadError, LoadReport, PhaseStats};
+pub use load::{
+    run_load, workload_queries, LoadConfig, LoadError, LoadReport, PhaseStats, RETRY_BACKOFF_CAP,
+};
 pub use server::{
     archive_meta, endpoint_index, ServeConfig, ServeError, Server, ServerHandle, ENDPOINTS,
 };

@@ -15,6 +15,13 @@
 //! daemon's frame cache in, then a warm pass over the same queries), all
 //! connections barrier-synchronized at phase boundaries so per-phase
 //! throughput numbers mean something.
+//!
+//! `Overloaded` rejections are not terminal: the generator re-queues the
+//! shed request with bounded exponential backoff plus jitter (up to
+//! [`LoadConfig::max_retries`] attempts, each delay capped at
+//! [`RETRY_BACKOFF_CAP`]) and reports the extra attempts as
+//! [`PhaseStats::retries`]. Only a request still shed after its whole
+//! budget counts as [`PhaseStats::overloaded`].
 
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier, Mutex};
@@ -49,10 +56,23 @@ pub struct LoadConfig {
     pub seed: u64,
     /// How long to retry the initial connects.
     pub connect_timeout: Duration,
+    /// Resend attempts granted to a request the server rejects with
+    /// `Overloaded` before it counts as terminally shed. 0 restores the
+    /// old shed-on-first-rejection behavior.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; attempt `n` waits
+    /// `retry_backoff × 2ⁿ` plus uniform jitter of up to one base unit,
+    /// capped at [`RETRY_BACKOFF_CAP`].
+    pub retry_backoff: Duration,
 }
 
+/// Ceiling on a single retry backoff, jitter included: bounded patience —
+/// a load generator that waits seconds per retry measures nothing.
+pub const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(50);
+
 impl LoadConfig {
-    /// Defaults: 128 connections × 20 requests × 2 phases, depth 4.
+    /// Defaults: 128 connections × 20 requests × 2 phases, depth 4, up to
+    /// 4 retries backing off from 2 ms.
     pub fn new(addr: impl Into<String>) -> Self {
         LoadConfig {
             addr: addr.into(),
@@ -62,6 +82,8 @@ impl LoadConfig {
             phases: 2,
             seed: 6,
             connect_timeout: Duration::from_secs(10),
+            max_retries: 4,
+            retry_backoff: Duration::from_millis(2),
         }
     }
 }
@@ -71,12 +93,15 @@ impl LoadConfig {
 pub struct PhaseStats {
     /// Phase label (`"cold"`, `"warm"`, `"phase2"`, …).
     pub name: String,
-    /// Requests sent.
+    /// Distinct requests issued (a retried request counts once here).
     pub requests: u64,
     /// Successful query outputs.
     pub ok: u64,
-    /// Typed `Overloaded` rejections (global admission cap).
+    /// Requests terminally shed by the global admission cap: still
+    /// `Overloaded` after exhausting the retry budget.
     pub overloaded: u64,
+    /// Extra send attempts spent retrying `Overloaded` rejections.
+    pub retries: u64,
     /// Typed `Backpressure` rejections (per-connection cap).
     pub backpressure: u64,
     /// Other typed server errors plus transport failures.
@@ -102,6 +127,7 @@ impl PhaseStats {
         self.requests += other.requests;
         self.ok += other.ok;
         self.overloaded += other.overloaded;
+        self.retries += other.retries;
         self.backpressure += other.backpressure;
         self.errors += other.errors;
         self.latency.merge(&other.latency);
@@ -158,15 +184,16 @@ impl LoadReport {
             self.connections, self.pipeline_depth, self.meta.blocks, self.meta.txs
         ));
         out.push_str(
-            "phase      requests       ok  overl  backp   err      q/s      p50      p90      p99\n",
+            "phase      requests       ok  overl  retry  backp   err      q/s      p50      p90      p99\n",
         );
         for phase in self.phases.iter().chain([&self.overall]) {
             out.push_str(&format!(
-                "{:<9} {:>9} {:>8} {:>6} {:>6} {:>5} {:>8.1} {:>7}us {:>7}us {:>7}us\n",
+                "{:<9} {:>9} {:>8} {:>6} {:>6} {:>6} {:>5} {:>8.1} {:>7}us {:>7}us {:>7}us\n",
                 phase.name,
                 phase.requests,
                 phase.ok,
                 phase.overloaded,
+                phase.retries,
                 phase.backpressure,
                 phase.errors,
                 phase.queries_per_sec(),
@@ -182,13 +209,14 @@ impl LoadReport {
 fn phase_json(phase: &PhaseStats) -> String {
     format!(
         "{{\"name\": \"{}\", \"requests\": {}, \"ok\": {}, \"overloaded\": {}, \
-         \"backpressure\": {}, \"errors\": {}, \"wall_ms\": {}, \
+         \"retries\": {}, \"backpressure\": {}, \"errors\": {}, \"wall_ms\": {}, \
          \"queries_per_sec\": {:.1}, \"latency_us\": {{\"p50\": {}, \"p90\": {}, \
          \"p99\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}}}}}",
         phase.name,
         phase.requests,
         phase.ok,
         phase.overloaded,
+        phase.retries,
         phase.backpressure,
         phase.errors,
         phase.wall.as_millis(),
@@ -381,13 +409,12 @@ fn drive_connection(
         .collect();
     let mut client = ServeClient::connect_retry(&cfg.addr, cfg.connect_timeout).ok();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9E37_79B9));
-    let depth = cfg.pipeline_depth.max(1);
 
     for phase in stats.iter_mut() {
         barrier.wait(); // phase start
         let started = Instant::now();
         if let Some(c) = client.as_mut() {
-            run_phase(c, cfg.requests_per_conn, depth, workload, &mut rng, phase);
+            run_phase(c, cfg, workload, &mut rng, phase);
         } else {
             phase.errors += cfg.requests_per_conn as u64;
         }
@@ -397,33 +424,92 @@ fn drive_connection(
     stats
 }
 
+/// An in-flight request: what was asked, how many times, and when this
+/// attempt left the socket (latency is per-attempt, so percentile gates
+/// measure the server, not the client's backoff sleeps).
+struct InFlight {
+    query: Query,
+    attempts: u32,
+    sent_at: Instant,
+}
+
+/// A request waiting out its backoff before re-entering the pipeline.
+struct QueuedRetry {
+    due: Instant,
+    query: Query,
+    attempts: u32,
+}
+
+/// Exponential backoff with uniform jitter, bounded by
+/// [`RETRY_BACKOFF_CAP`]: `base × 2ⁿ + U(0, base)`.
+fn retry_backoff(base: Duration, attempt: u32, rng: &mut StdRng) -> Duration {
+    let backoff = base
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(RETRY_BACKOFF_CAP);
+    let jitter_us = rng.gen_range(0..=base.as_micros().min(u64::MAX as u128) as u64);
+    (backoff + Duration::from_micros(jitter_us)).min(RETRY_BACKOFF_CAP)
+}
+
 fn run_phase(
     client: &mut ServeClient,
-    requests: usize,
-    depth: usize,
+    cfg: &LoadConfig,
     workload: &[Query],
     rng: &mut StdRng,
     phase: &mut PhaseStats,
 ) {
-    let mut pending: HashMap<u64, Instant> = HashMap::new();
+    let requests = cfg.requests_per_conn;
+    let depth = cfg.pipeline_depth.max(1);
+    let mut pending: HashMap<u64, InFlight> = HashMap::new();
+    let mut retry_queue: Vec<QueuedRetry> = Vec::new();
     let mut sent = 0usize;
     loop {
-        while sent < requests && pending.len() < depth {
-            let query = workload[rng.gen_range(0..workload.len())];
+        // Fill the pipeline: due retries first (they hold admission slots
+        // fairly — a shed request re-queues ahead of fresh traffic), then
+        // fresh requests.
+        while pending.len() < depth {
+            let now = Instant::now();
+            let (query, attempts) = if let Some(i) = retry_queue.iter().position(|r| r.due <= now) {
+                let r = retry_queue.swap_remove(i);
+                phase.retries += 1;
+                (r.query, r.attempts)
+            } else if sent < requests {
+                sent += 1;
+                phase.requests += 1;
+                (workload[rng.gen_range(0..workload.len())], 0)
+            } else {
+                break;
+            };
             match client.send(RequestBody::Query(query)) {
                 Ok(id) => {
-                    pending.insert(id, Instant::now());
-                    sent += 1;
-                    phase.requests += 1;
+                    pending.insert(
+                        id,
+                        InFlight {
+                            query,
+                            attempts,
+                            sent_at: Instant::now(),
+                        },
+                    );
                 }
                 Err(_) => {
                     // Connection is gone; charge the rest as errors.
-                    phase.errors += (requests - sent) as u64 + pending.len() as u64;
+                    phase.errors += (requests - sent) as u64
+                        + pending.len() as u64
+                        + retry_queue.len() as u64
+                        + 1;
                     return;
                 }
             }
         }
         if pending.is_empty() {
+            if let Some(due) = retry_queue.iter().map(|r| r.due).min() {
+                // Nothing in flight, everything backing off: sleep to the
+                // earliest due time instead of spinning.
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep((due - now).min(RETRY_BACKOFF_CAP));
+                }
+                continue;
+            }
             if sent >= requests {
                 return;
             }
@@ -431,14 +517,26 @@ fn run_phase(
         }
         match client.recv() {
             Ok(resp) => {
-                let sent_at = pending.remove(&resp.id);
-                match (&resp.body, sent_at) {
-                    (ResponseBody::Output(_), Some(at)) => {
+                let inflight = pending.remove(&resp.id);
+                match (&resp.body, inflight) {
+                    (ResponseBody::Output(_), Some(f)) => {
                         phase.ok += 1;
-                        phase.latency.record(at.elapsed().as_micros() as u64);
+                        phase.latency.record(f.sent_at.elapsed().as_micros() as u64);
                     }
-                    (ResponseBody::Error(e), _) => match e.kind {
-                        ErrorKind::Overloaded => phase.overloaded += 1,
+                    (ResponseBody::Error(e), inflight) => match e.kind {
+                        ErrorKind::Overloaded => match inflight {
+                            // Shed, but with retry budget left: back off and
+                            // re-queue rather than counting it lost.
+                            Some(f) if f.attempts < cfg.max_retries => {
+                                retry_queue.push(QueuedRetry {
+                                    due: Instant::now()
+                                        + retry_backoff(cfg.retry_backoff, f.attempts, rng),
+                                    query: f.query,
+                                    attempts: f.attempts + 1,
+                                });
+                            }
+                            _ => phase.overloaded += 1,
+                        },
                         ErrorKind::Backpressure => phase.backpressure += 1,
                         _ => phase.errors += 1,
                     },
@@ -447,7 +545,8 @@ fn run_phase(
             }
             Err(ClientError::Server(_)) => phase.errors += 1,
             Err(_) => {
-                phase.errors += pending.len() as u64 + (requests - sent) as u64;
+                phase.errors +=
+                    pending.len() as u64 + retry_queue.len() as u64 + (requests - sent) as u64;
                 return;
             }
         }

@@ -1,7 +1,8 @@
 //! Deterministic fault schedules for the micro engine.
 //!
 //! A [`ChaosPlan`] scripts *when* faults happen — node crashes and restarts,
-//! mid-run link-degradation windows, byzantine peers — while the engine's
+//! mid-run link-degradation windows, byzantine peers, network partitions
+//! that sever and later heal topology edges — while the engine's
 //! [`ResilienceConfig`] governs *how* honest nodes survive them: per-request
 //! timeouts, bounded retries with exponential backoff and jitter, and a
 //! decaying per-peer misbehavior score that disconnects peers exceeding a
@@ -99,6 +100,37 @@ pub struct ByzantineNode {
     pub until_secs: Option<u64>,
 }
 
+/// A scripted network partition: at `at_ms` every topology edge whose
+/// endpoints fall in *different* `groups` is severed; at `heal_at_ms` (when
+/// set) those edges are restored — except edges under a still-active
+/// misbehavior ban, and edges whose endpoints no longer pass the Status
+/// handshake (cross-fork pairs stay apart). Nodes absent from every group
+/// are unaffected. `heal_at_ms: None` means the partition never heals,
+/// which is the negative control for the convergence invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEvent {
+    /// Partition start, milliseconds into the run.
+    pub at_ms: u64,
+    /// Disjoint node groups; edges *between* groups are severed, edges
+    /// within a group are untouched.
+    pub groups: Vec<Vec<usize>>,
+    /// Heal time, milliseconds into the run (`None` = never heals).
+    pub heal_at_ms: Option<u64>,
+}
+
+/// A scripted single-node isolation: at `at_ms` every edge touching `node`
+/// is severed; at `rejoin_at_ms` (when set) they are restored under the same
+/// ban/handshake caveats as [`PartitionEvent`] heals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolationEvent {
+    /// The isolated node.
+    pub node: usize,
+    /// Isolation start, milliseconds into the run.
+    pub at_ms: u64,
+    /// Rejoin time, milliseconds into the run (`None` = never rejoins).
+    pub rejoin_at_ms: Option<u64>,
+}
+
 /// An invalid [`ChaosPlan`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ChaosPlanError {
@@ -126,6 +158,42 @@ pub enum ChaosPlanError {
         /// The spamming node.
         node: usize,
     },
+    /// A partition heals at (or before) the instant it starts.
+    EmptyPartitionWindow {
+        /// Partition start (milliseconds).
+        at_ms: u64,
+        /// Scripted heal time (milliseconds).
+        heal_at_ms: u64,
+    },
+    /// A partition with fewer than two non-empty groups severs nothing.
+    DegeneratePartition {
+        /// Partition start (milliseconds).
+        at_ms: u64,
+    },
+    /// The same node appears twice across one partition's groups.
+    DuplicatePartitionNode {
+        /// The duplicated node.
+        node: usize,
+    },
+    /// An isolation rejoins at (or before) the instant it starts.
+    EmptyIsolationWindow {
+        /// The isolated node.
+        node: usize,
+    },
+    /// The same node appears in more than one byzantine entry.
+    DuplicateByzantineNode {
+        /// The duplicated node.
+        node: usize,
+    },
+    /// A crash is scripted while its target is isolated: the node is already
+    /// dark to the network, so the crash would test nothing and the restart
+    /// resync would hang against zero peers.
+    CrashWhileIsolated {
+        /// The crashing (and isolated) node.
+        node: usize,
+        /// Crash time (seconds).
+        at_secs: u64,
+    },
 }
 
 impl std::fmt::Display for ChaosPlanError {
@@ -149,6 +217,33 @@ impl std::fmt::Display for ChaosPlanError {
             ChaosPlanError::ZeroSpamPeriod { node } => {
                 write!(f, "stale-spam node {node} has a zero period")
             }
+            ChaosPlanError::EmptyPartitionWindow { at_ms, heal_at_ms } => {
+                write!(
+                    f,
+                    "partition window {at_ms}ms..{heal_at_ms}ms is empty or inverted"
+                )
+            }
+            ChaosPlanError::DegeneratePartition { at_ms } => {
+                write!(
+                    f,
+                    "partition at {at_ms}ms needs at least two non-empty groups"
+                )
+            }
+            ChaosPlanError::DuplicatePartitionNode { node } => {
+                write!(f, "node {node} appears twice in one partition's groups")
+            }
+            ChaosPlanError::EmptyIsolationWindow { node } => {
+                write!(f, "isolation of node {node} rejoins at or before its start")
+            }
+            ChaosPlanError::DuplicateByzantineNode { node } => {
+                write!(f, "node {node} has more than one byzantine behavior")
+            }
+            ChaosPlanError::CrashWhileIsolated { node, at_secs } => {
+                write!(
+                    f,
+                    "crash of node {node} at {at_secs}s lands inside its isolation window"
+                )
+            }
         }
     }
 }
@@ -165,21 +260,84 @@ pub struct ChaosPlan {
     /// Scripted byzantine peers (at most one behavior per node; later
     /// entries for the same node are rejected by [`ChaosPlan::validate`]).
     pub byzantine: Vec<ByzantineNode>,
+    /// Scripted network partitions (overlapping windows compose: an edge
+    /// stays severed until every partition covering it has healed).
+    pub partitions: Vec<PartitionEvent>,
+    /// Scripted single-node isolations.
+    pub isolations: Vec<IsolationEvent>,
 }
 
 impl ChaosPlan {
-    /// The empty plan: no crashes, no windows, no byzantine peers. A run
-    /// with this plan is event-for-event identical to a run without the
-    /// chaos layer.
+    /// The empty plan: no crashes, no windows, no byzantine peers, no
+    /// partitions. A run with this plan is event-for-event identical to a
+    /// run without the chaos layer.
     pub const NONE: ChaosPlan = ChaosPlan {
         crashes: Vec::new(),
         degradations: Vec::new(),
         byzantine: Vec::new(),
+        partitions: Vec::new(),
+        isolations: Vec::new(),
     };
 
     /// True when the plan schedules nothing.
     pub fn is_none(&self) -> bool {
-        self.crashes.is_empty() && self.degradations.is_empty() && self.byzantine.is_empty()
+        self.crashes.is_empty()
+            && self.degradations.is_empty()
+            && self.byzantine.is_empty()
+            && self.partitions.is_empty()
+            && self.isolations.is_empty()
+    }
+
+    /// Appends a partition of the topology into `groups` starting at
+    /// `at_ms`, initially never healing. Chain with
+    /// [`ChaosPlan::heal_partition`] to script the heal; leave unhealed for
+    /// the convergence-invariant negative control.
+    pub fn create_partition(mut self, at_ms: u64, groups: Vec<Vec<usize>>) -> Self {
+        self.partitions.push(PartitionEvent {
+            at_ms,
+            groups,
+            heal_at_ms: None,
+        });
+        self
+    }
+
+    /// Sets the heal time of the most recently created partition.
+    ///
+    /// # Panics
+    /// Panics when no partition has been created yet — that is builder
+    /// misuse, not a data error (plan *data* is checked by
+    /// [`ChaosPlan::validate`]).
+    pub fn heal_partition(mut self, heal_at_ms: u64) -> Self {
+        self.partitions
+            .last_mut()
+            .expect("heal_partition without create_partition")
+            .heal_at_ms = Some(heal_at_ms);
+        self
+    }
+
+    /// Appends an isolation of `node` starting at `at_ms`, initially never
+    /// rejoining. Chain with [`ChaosPlan::rejoin`] to script the rejoin.
+    pub fn isolate_node(mut self, node: usize, at_ms: u64) -> Self {
+        self.isolations.push(IsolationEvent {
+            node,
+            at_ms,
+            rejoin_at_ms: None,
+        });
+        self
+    }
+
+    /// Sets the rejoin time of the most recent isolation of `node`.
+    ///
+    /// # Panics
+    /// Panics when `node` has no isolation yet (builder misuse).
+    pub fn rejoin(mut self, node: usize, rejoin_at_ms: u64) -> Self {
+        self.isolations
+            .iter_mut()
+            .rev()
+            .find(|i| i.node == node)
+            .unwrap_or_else(|| panic!("rejoin({node}, ..) without isolate_node"))
+            .rejoin_at_ms = Some(rejoin_at_ms);
+        self
     }
 
     /// Checks the plan against a network of `n_nodes` nodes.
@@ -195,6 +353,19 @@ impl ChaosPlan {
             if c.down_secs == 0 {
                 return Err(ChaosPlanError::ZeroDowntime { node: c.node });
             }
+            // A crash landing inside an isolation window would restart into
+            // a peerless resync; the half-open window mirrors the heal
+            // semantics (a crash *at* the rejoin instant is fine).
+            let at_ms = c.at_secs * 1_000;
+            for i in &self.isolations {
+                let rejoins = i.rejoin_at_ms.map_or(u64::MAX, |r| r);
+                if i.node == c.node && i.at_ms <= at_ms && at_ms < rejoins {
+                    return Err(ChaosPlanError::CrashWhileIsolated {
+                        node: c.node,
+                        at_secs: c.at_secs,
+                    });
+                }
+            }
         }
         for w in &self.degradations {
             if w.from_secs >= w.until_secs {
@@ -208,13 +379,38 @@ impl ChaosPlan {
         for b in &self.byzantine {
             check_node(b.node)?;
             if !seen.insert(b.node) {
-                return Err(ChaosPlanError::NodeOutOfRange {
-                    node: b.node,
-                    n_nodes,
-                });
+                return Err(ChaosPlanError::DuplicateByzantineNode { node: b.node });
             }
             if let ByzantineBehavior::StaleSpam { period_secs: 0, .. } = b.behavior {
                 return Err(ChaosPlanError::ZeroSpamPeriod { node: b.node });
+            }
+        }
+        for p in &self.partitions {
+            if let Some(heal_at_ms) = p.heal_at_ms {
+                if heal_at_ms <= p.at_ms {
+                    return Err(ChaosPlanError::EmptyPartitionWindow {
+                        at_ms: p.at_ms,
+                        heal_at_ms,
+                    });
+                }
+            }
+            if p.groups.iter().filter(|g| !g.is_empty()).count() < 2 {
+                return Err(ChaosPlanError::DegeneratePartition { at_ms: p.at_ms });
+            }
+            let mut members = std::collections::HashSet::new();
+            for &node in p.groups.iter().flatten() {
+                check_node(node)?;
+                if !members.insert(node) {
+                    return Err(ChaosPlanError::DuplicatePartitionNode { node });
+                }
+            }
+        }
+        for i in &self.isolations {
+            check_node(i.node)?;
+            if let Some(rejoin_at_ms) = i.rejoin_at_ms {
+                if rejoin_at_ms <= i.at_ms {
+                    return Err(ChaosPlanError::EmptyIsolationWindow { node: i.node });
+                }
             }
         }
         Ok(())
@@ -392,6 +588,140 @@ mod tests {
         assert_eq!(plan.link_faults_at(60_000), Some(storm));
         assert_eq!(plan.link_faults_at(119_999), Some(storm));
         assert_eq!(plan.link_faults_at(120_000), None);
+    }
+
+    #[test]
+    fn partition_builders_compose() {
+        let plan = ChaosPlan::NONE
+            .create_partition(60_000, vec![vec![0, 1], vec![2, 3]])
+            .heal_partition(120_000)
+            .isolate_node(1, 200_000)
+            .rejoin(1, 260_000);
+        plan.validate(4).unwrap();
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.partitions[0].heal_at_ms, Some(120_000));
+        assert_eq!(plan.isolations.len(), 1);
+        assert_eq!(plan.isolations[0].rejoin_at_ms, Some(260_000));
+        assert!(!plan.is_none());
+
+        // An unhealed partition is legal: it is the negative control.
+        ChaosPlan::NONE
+            .create_partition(0, vec![vec![0], vec![1]])
+            .validate(2)
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_partitions() {
+        // heal <= start, boundary inclusive.
+        let flat = ChaosPlan::NONE
+            .create_partition(60_000, vec![vec![0], vec![1]])
+            .heal_partition(60_000);
+        assert_eq!(
+            flat.validate(2),
+            Err(ChaosPlanError::EmptyPartitionWindow {
+                at_ms: 60_000,
+                heal_at_ms: 60_000
+            })
+        );
+        let inverted = ChaosPlan::NONE
+            .create_partition(60_000, vec![vec![0], vec![1]])
+            .heal_partition(59_999);
+        assert!(inverted.validate(2).is_err());
+        // heal = start + 1 is the smallest legal window.
+        ChaosPlan::NONE
+            .create_partition(60_000, vec![vec![0], vec![1]])
+            .heal_partition(60_001)
+            .validate(2)
+            .unwrap();
+
+        // Duplicate node within a group and across groups.
+        let dup_in_group = ChaosPlan::NONE.create_partition(0, vec![vec![0, 0], vec![1]]);
+        assert_eq!(
+            dup_in_group.validate(2),
+            Err(ChaosPlanError::DuplicatePartitionNode { node: 0 })
+        );
+        let dup_across = ChaosPlan::NONE.create_partition(0, vec![vec![0, 1], vec![1, 2]]);
+        assert_eq!(
+            dup_across.validate(3),
+            Err(ChaosPlanError::DuplicatePartitionNode { node: 1 })
+        );
+
+        // Unknown node, fewer than two non-empty groups.
+        let unknown = ChaosPlan::NONE.create_partition(0, vec![vec![0], vec![7]]);
+        assert_eq!(
+            unknown.validate(3),
+            Err(ChaosPlanError::NodeOutOfRange {
+                node: 7,
+                n_nodes: 3
+            })
+        );
+        let lone = ChaosPlan::NONE.create_partition(0, vec![vec![0, 1], vec![]]);
+        assert_eq!(
+            lone.validate(2),
+            Err(ChaosPlanError::DegeneratePartition { at_ms: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_isolations_and_crash_overlap() {
+        let inverted = ChaosPlan::NONE.isolate_node(0, 10_000).rejoin(0, 10_000);
+        assert_eq!(
+            inverted.validate(1),
+            Err(ChaosPlanError::EmptyIsolationWindow { node: 0 })
+        );
+
+        let crash = CrashEvent {
+            node: 2,
+            at_secs: 100,
+            down_secs: 30,
+            recovery: RecoveryMode::Intact,
+        };
+        let overlapping = ChaosPlan {
+            crashes: vec![crash],
+            ..ChaosPlan::NONE
+        }
+        .isolate_node(2, 90_000)
+        .rejoin(2, 150_000);
+        assert_eq!(
+            overlapping.validate(4),
+            Err(ChaosPlanError::CrashWhileIsolated {
+                node: 2,
+                at_secs: 100
+            })
+        );
+        // Crash exactly at the rejoin instant is legal (half-open window),
+        // as is crashing a different node during the isolation.
+        let at_rejoin = ChaosPlan {
+            crashes: vec![CrashEvent {
+                at_secs: 150,
+                ..crash
+            }],
+            ..ChaosPlan::NONE
+        }
+        .isolate_node(2, 90_000)
+        .rejoin(2, 150_000);
+        at_rejoin.validate(4).unwrap();
+        let other_node = ChaosPlan {
+            crashes: vec![CrashEvent { node: 3, ..crash }],
+            ..ChaosPlan::NONE
+        }
+        .isolate_node(2, 90_000)
+        .rejoin(2, 150_000);
+        other_node.validate(4).unwrap();
+        // Crashing a node under a never-ending isolation is always rejected.
+        let never_rejoins = ChaosPlan {
+            crashes: vec![CrashEvent {
+                at_secs: 9_999,
+                ..crash
+            }],
+            ..ChaosPlan::NONE
+        }
+        .isolate_node(2, 0);
+        assert!(matches!(
+            never_rejoins.validate(4),
+            Err(ChaosPlanError::CrashWhileIsolated { node: 2, .. })
+        ));
     }
 
     #[test]

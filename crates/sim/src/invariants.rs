@@ -141,6 +141,23 @@ pub enum InvariantViolation {
         /// Maximum allowed spread.
         tolerance: u64,
     },
+    /// After a partition heal (plus grace) the pairwise census did not
+    /// collapse to the expected per-spec agreement groups (reported by
+    /// [`check_heal_convergence`]).
+    HealConvergenceFailed {
+        /// Observed census group sizes, descending.
+        groups: Vec<usize>,
+        /// Expected number of groups (one per spec in the run).
+        expected: usize,
+    },
+    /// A reorg rolled back more canonical blocks than the partition that
+    /// caused it can justify (reported by [`check_reorg_depth`]).
+    ReorgDepthExceeded {
+        /// Deepest observed reorg, blocks.
+        depth: u64,
+        /// Maximum depth the partition duration justifies.
+        bound: u64,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -193,6 +210,14 @@ impl fmt::Display for InvariantViolation {
                 "head spread {}..{} (nodes {lo_node}/{hi_node}) exceeds tolerance {tolerance}",
                 lo_head, hi_head
             ),
+            HealConvergenceFailed { groups, expected } => write!(
+                f,
+                "census groups {groups:?} after heal + grace, expected {expected} group(s)"
+            ),
+            ReorgDepthExceeded { depth, bound } => write!(
+                f,
+                "reorg rolled back {depth} blocks, partition justifies at most {bound}"
+            ),
         }
     }
 }
@@ -214,7 +239,10 @@ impl InvariantViolation {
             | RetainedBlocksOverflow { node, .. } => Some(*node),
             SideDisagreement { b, .. } => Some(*b),
             SideHeadSpread { lo_node, .. } => Some(*lo_node),
-            EventQueueOverflow { .. } | PendingRequestsOverflow { .. } => None,
+            EventQueueOverflow { .. }
+            | PendingRequestsOverflow { .. }
+            | HealConvergenceFailed { .. }
+            | ReorgDepthExceeded { .. } => None,
         }
     }
 }
@@ -445,6 +473,42 @@ pub fn check_side_agreement(
     Ok(())
 }
 
+/// Checks that the network has converged back to its per-spec agreement
+/// groups: the pairwise census ([`MicroNet::partition_census`]) must hold
+/// exactly `expected_groups` clusters — one for a uniform-spec run, two for
+/// a fork split. Meaningful only after every scripted partition has healed
+/// and a propagation/resync grace has elapsed, so — like
+/// [`check_side_agreement`] — it is a separate call, sampled window by
+/// window by the atlas harness rather than folded into
+/// [`check_invariants`]. A deliberately never-healed partition fails this
+/// check: that is the atlas's negative control.
+pub fn check_heal_convergence(
+    net: &MicroNet,
+    expected_groups: usize,
+) -> Result<(), InvariantViolation> {
+    let groups = net.partition_census();
+    if groups.len() != expected_groups {
+        return Err(InvariantViolation::HealConvergenceFailed {
+            groups,
+            expected: expected_groups,
+        });
+    }
+    Ok(())
+}
+
+/// Checks that the deepest reorg observed so far is explainable by the
+/// scripted partitions: a heal can revert at most the blocks the losing
+/// side mined while split, so `bound` is derived from the longest partition
+/// duration (plus a transient-fork margin — the caller owns the scaling;
+/// atlas presets use `2 × duration / target_block_time + 8`).
+pub fn check_reorg_depth(net: &MicroNet, bound: u64) -> Result<(), InvariantViolation> {
+    let depth = net.max_reorg_depth();
+    if depth > bound {
+        return Err(InvariantViolation::ReorgDepthExceeded { depth, bound });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +549,39 @@ mod tests {
             check_side_agreement(&net, &mixed, u64::MAX).is_err(),
             "opposite sides must not agree"
         );
+    }
+
+    #[test]
+    fn heal_convergence_tracks_the_census() {
+        use crate::chaos::ChaosPlan;
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 14,
+            n_nodes: 10,
+            n_miners: 10,
+            duration_secs: 2_400,
+            chaos: ChaosPlan::NONE
+                .create_partition(300_000, vec![(0..5).collect(), (5..10).collect()])
+                .heal_partition(900_000),
+            ..MicroConfig::default()
+        });
+        // Deep into the partition the sides have diverged: the convergence
+        // check fails (which is exactly what the negative control relies
+        // on)...
+        net.run_until(880_000);
+        assert!(matches!(
+            check_heal_convergence(&net, 1),
+            Err(InvariantViolation::HealConvergenceFailed { .. })
+        ));
+        // ...and safety invariants still hold throughout.
+        check_invariants(&net).expect("a partition is divergence, not unsoundness");
+        // After heal + grace, the census collapses back to one group and
+        // the reorg depth is explainable by the partition duration.
+        net.run_until(2_400_000);
+        check_heal_convergence(&net, 1).expect("heal must reconverge the census");
+        let bound = 2 * 600 / 14 + 8;
+        check_reorg_depth(&net, bound).expect("reorg bounded by partition duration");
+        assert!(net.max_reorg_depth() > 0, "the heal produced a reorg");
+        assert!(check_reorg_depth(&net, net.max_reorg_depth() - 1).is_err());
     }
 
     #[test]

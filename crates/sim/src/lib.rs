@@ -14,8 +14,9 @@
 //!   86-block (ETH) vs 3,583-block (ETC) minority-branch comparison.
 //! * [`scenario`] — calibrated presets binding the historical timeline.
 //! * [`chaos`] — deterministic fault-injection plans (node crashes and
-//!   restarts, link-degradation windows, byzantine peers) and the resilience
-//!   knobs (timeouts, retries, peer scoring) the micro engine runs under.
+//!   restarts, link-degradation windows, byzantine peers, network partitions
+//!   and node isolations with scripted heals) and the resilience knobs
+//!   (timeouts, retries, peer scoring) the micro engine runs under.
 //! * [`invariants`] — the safety conditions a chaos run must never violate,
 //!   checked window-by-window by the chaos harness.
 
@@ -35,15 +36,17 @@ pub mod workload;
 
 pub use chaos::{
     ByzantineBehavior, ByzantineNode, ChaosPlan, ChaosPlanError, CrashEvent, DegradationWindow,
-    RecoveryMode, ResilienceConfig,
+    IsolationEvent, PartitionEvent, RecoveryMode, ResilienceConfig,
 };
 pub use invariants::{
-    check_invariants, check_side_agreement, violation_report, InvariantViolation,
+    check_heal_convergence, check_invariants, check_reorg_depth, check_side_agreement,
+    violation_report, InvariantViolation,
 };
 pub use meso::{MesoConfig, NetworkParams, ProgressEvent, RunSummary, TwoChainEngine};
 pub use micro::{MicroConfig, MicroNet, MicroReport};
 pub use observer::{CountingSink, LedgerSink, MeteredSink, NullSink, TeeSink};
 pub use resolved::{ResolvedForkConfig, ResolvedForkOutcome};
 pub use rng::SimRng;
+pub use scenario::{atlas_never_healed, atlas_presets, atlas_reorg_bound, AtlasPreset};
 pub use schedule::StepSeries;
 pub use workload::{UserPopulation, WorkloadParams};

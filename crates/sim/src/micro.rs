@@ -13,7 +13,7 @@
 //! bench.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 use fork_chain::{
@@ -132,10 +132,10 @@ pub struct MicroReport {
     /// Mean block propagation delay in milliseconds (mined → imported,
     /// averaged over all (block, node) pairs that imported it).
     pub mean_propagation_ms: f64,
-    /// Sizes of the chain-agreement groups at the end: with a fork
-    /// configured, nodes sharing the canonical block at the lower of each
-    /// pair's heads cluster together; otherwise nodes cluster by exact head
-    /// hash. One group = no partition.
+    /// Sizes of the chain-agreement groups at the end (see
+    /// [`MicroNet::partition_census`]): nodes sharing a canonical block a
+    /// few blocks below the lower of each pair's heads cluster together.
+    /// One group = no partition.
     pub partition_groups: Vec<usize>,
     /// Messages delivered.
     pub delivered: u64,
@@ -158,6 +158,23 @@ pub struct MicroReport {
     pub recovery_ms: Vec<u64>,
     /// Conflicting same-height twins minted by equivocating miners.
     pub equivocations: u64,
+    /// Scripted partitions that began.
+    pub partitions_started: u64,
+    /// Scripted partitions that healed.
+    pub partitions_healed: u64,
+    /// Scripted single-node isolations that began.
+    pub isolations: u64,
+    /// Scripted isolation rejoins executed.
+    pub rejoins: u64,
+    /// Topology edges severed by partition/isolation cuts.
+    pub partition_edges_cut: u64,
+    /// Edges given back by partition heals and rejoins (pairs held apart by
+    /// an active ban or a failing handshake are not counted).
+    pub partition_edges_restored: u64,
+    /// Deepest reorg observed anywhere: the most canonical blocks any
+    /// single import rolled back. The heal-convergence invariants bound
+    /// this by the partition duration.
+    pub max_reorg_depth: u64,
 }
 
 struct Node {
@@ -219,6 +236,23 @@ enum EventKind {
     BanExpires {
         a: usize,
         b: usize,
+    },
+    /// A scripted partition starts: every cross-group edge severs.
+    PartitionStarts {
+        idx: usize,
+    },
+    /// A scripted partition heals: its cuts lift, restoring the edges it
+    /// severed (pairs under an active ban or a failing handshake stay cut).
+    PartitionHeals {
+        idx: usize,
+    },
+    /// A scripted isolation starts: every edge touching the node severs.
+    NodeIsolated {
+        idx: usize,
+    },
+    /// A scripted isolation ends: the node's severed edges restore.
+    NodeRejoins {
+        idx: usize,
     },
 }
 
@@ -309,6 +343,18 @@ pub struct MicroNet {
     next_req_id: u64,
     /// (observer, peer) → misbehavior score.
     scores: HashMap<(usize, usize), PeerScore>,
+    /// Active partition/isolation cuts per normalized node pair. A pair may
+    /// be covered by several overlapping cuts; its edge may only come back
+    /// once the count returns to zero.
+    cut_count: HashMap<(usize, usize), u32>,
+    /// Pairs whose topology edge the partition layer owes back: the edge
+    /// existed when the first cut landed (or its ban expired mid-cut) and
+    /// is restored when the last covering cut lifts.
+    cut_edges: HashSet<(usize, usize)>,
+    /// Pairs severed by a still-active misbehavior ban. A partition heal
+    /// must not clear an active ban, and a ban expiry must not resurrect a
+    /// partitioned edge — this set plus `cut_count` arbitrate.
+    banned_pairs: HashSet<(usize, usize)>,
     /// Per-node crash recovery in progress: (restart time ms, target head).
     recovering: Vec<Option<(u64, u64)>>,
     /// Store retention window (bounds how far behind header-walk sync can
@@ -418,6 +464,9 @@ impl MicroNet {
             pending: BTreeMap::new(),
             next_req_id: 0,
             scores: HashMap::new(),
+            cut_count: HashMap::new(),
+            cut_edges: HashSet::new(),
+            banned_pairs: HashSet::new(),
             processed: 0,
             tracer: Arc::new(TraceSink::disabled()),
         };
@@ -454,6 +503,30 @@ impl MicroNet {
                         period_ms,
                     },
                 );
+            }
+        }
+        let partition_windows: Vec<(u64, Option<u64>)> = net
+            .chaos
+            .partitions
+            .iter()
+            .map(|p| (p.at_ms, p.heal_at_ms))
+            .collect();
+        for (idx, (at_ms, heal_at_ms)) in partition_windows.into_iter().enumerate() {
+            net.push_event(at_ms, EventKind::PartitionStarts { idx });
+            if let Some(heal) = heal_at_ms {
+                net.push_event(heal, EventKind::PartitionHeals { idx });
+            }
+        }
+        let isolation_windows: Vec<(u64, Option<u64>)> = net
+            .chaos
+            .isolations
+            .iter()
+            .map(|i| (i.at_ms, i.rejoin_at_ms))
+            .collect();
+        for (idx, (at_ms, rejoin_at_ms)) in isolation_windows.into_iter().enumerate() {
+            net.push_event(at_ms, EventKind::NodeIsolated { idx });
+            if let Some(rejoin) = rejoin_at_ms {
+                net.push_event(rejoin, EventKind::NodeRejoins { idx });
             }
         }
         net
@@ -668,6 +741,96 @@ impl MicroNet {
         self.topology = t;
     }
 
+    /// Normalized key for per-pair edge bookkeeping.
+    fn pair_key(a: usize, b: usize) -> (usize, usize) {
+        (a.min(b), a.max(b))
+    }
+
+    /// Every cross-group node pair of partition `idx`, in plan order. The
+    /// order is deterministic on purpose: heals restore edges in it, and
+    /// adjacency-list order shapes gossip fan-out.
+    fn partition_pairs(&self, idx: usize) -> Vec<(usize, usize)> {
+        let groups = &self.chaos.partitions[idx].groups;
+        let mut pairs = Vec::new();
+        for (gi, ga) in groups.iter().enumerate() {
+            for gb in groups.iter().skip(gi + 1) {
+                for &a in ga {
+                    for &b in gb {
+                        pairs.push(Self::pair_key(a, b));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Every node pair touching the target of isolation `idx`.
+    fn isolation_pairs(&self, idx: usize) -> Vec<(usize, usize)> {
+        let node = self.chaos.isolations[idx].node;
+        (0..self.nodes.len())
+            .filter(|&j| j != node)
+            .map(|j| Self::pair_key(node, j))
+            .collect()
+    }
+
+    /// Applies partition/isolation cuts: bumps each pair's cut count and
+    /// severs the edge when this is the first covering cut. Pairs with no
+    /// edge (never peers, handshake-dropped, or ban-severed) are still
+    /// counted — the count is what stops a later ban expiry from
+    /// resurrecting a partitioned pair.
+    fn apply_cuts(&mut self, pairs: &[(usize, usize)]) {
+        for &(a, b) in pairs {
+            let c = self.cut_count.entry((a, b)).or_insert(0);
+            *c += 1;
+            if *c == 1 && self.sever_edge(a, b) {
+                self.cut_edges.insert((a, b));
+                self.report.partition_edges_cut += 1;
+            }
+        }
+    }
+
+    /// Lifts partition/isolation cuts: decrements counts and, for pairs no
+    /// longer covered by any cut, restores the edges the partition layer
+    /// severed — unless an active ban holds the pair apart (a heal must not
+    /// clear an active ban; `BanExpires` will restore it later) or the pair
+    /// no longer passes the handshake (cross-fork pairs stay cut).
+    fn lift_cuts(&mut self, pairs: &[(usize, usize)]) {
+        for &(a, b) in pairs {
+            let Some(c) = self.cut_count.get_mut(&(a, b)) else {
+                continue;
+            };
+            *c -= 1;
+            if *c > 0 {
+                continue;
+            }
+            self.cut_count.remove(&(a, b));
+            if !self.cut_edges.remove(&(a, b)) {
+                continue; // the cut never severed an edge here
+            }
+            if self.banned_pairs.contains(&(a, b)) {
+                continue;
+            }
+            if self.handshake_compatible(a, b) {
+                self.restore_edge(a, b);
+                self.report.partition_edges_restored += 1;
+            }
+        }
+    }
+
+    /// A misbehavior ban expired: the edge heals — permanent graph damage
+    /// would outlive the fault that caused it — unless a partition now
+    /// covers the pair (the edge becomes the partition's to give back at
+    /// heal time) or the pair no longer passes a fresh handshake.
+    fn on_ban_expires(&mut self, a: usize, b: usize) {
+        let key = Self::pair_key(a, b);
+        self.banned_pairs.remove(&key);
+        if self.cut_count.contains_key(&key) {
+            self.cut_edges.insert(key);
+        } else if self.handshake_compatible(a, b) {
+            self.restore_edge(a, b);
+        }
+    }
+
     /// Charges `points` of misbehavior against `peer` as observed by
     /// `observer`. Scores decay linearly with time so isolated accidents on
     /// lossy links are forgiven; crossing the budget severs the edge for
@@ -685,6 +848,7 @@ impl MicroNet {
             self.scores.remove(&(observer, peer));
             if self.sever_edge(observer, peer) {
                 self.report.peer_bans += 1;
+                self.banned_pairs.insert(Self::pair_key(observer, peer));
                 self.push_event(
                     self.now_ms + self.resilience.ban_secs * 1_000,
                     EventKind::BanExpires {
@@ -1068,8 +1232,10 @@ impl MicroNet {
                 }
                 match result.outcome {
                     ImportOutcome::Extended | ImportOutcome::Reorged { .. } => {
-                        if matches!(result.outcome, ImportOutcome::Reorged { .. }) {
+                        if let ImportOutcome::Reorged { reverted } = result.outcome {
                             self.report.reorgs += 1;
+                            self.report.max_reorg_depth =
+                                self.report.max_reorg_depth.max(reverted as u64);
                         }
                         self.nodes[i].epoch += 1;
                         if let Some(fh) = self.fork_height {
@@ -1369,12 +1535,73 @@ impl MicroNet {
                     self.on_sync_retry(req_id);
                 }
                 EventKind::BanExpires { a, b } => {
-                    // Bans heal — permanent graph damage would outlive the
-                    // fault that caused it — but only if the pair would
-                    // still pass a fresh handshake (cross-fork stays cut).
-                    if self.handshake_compatible(a, b) {
-                        self.restore_edge(a, b);
-                    }
+                    self.on_ban_expires(a, b);
+                }
+                EventKind::PartitionStarts { idx } => {
+                    let pairs = self.partition_pairs(idx);
+                    self.apply_cuts(&pairs);
+                    self.report.partitions_started += 1;
+                    let witness = self.chaos.partitions[idx]
+                        .groups
+                        .first()
+                        .and_then(|g| g.first())
+                        .copied()
+                        .unwrap_or(0);
+                    self.tracer.record_full(
+                        witness as u32,
+                        NO_BLOCK,
+                        0,
+                        TraceEventKind::FaultInjected,
+                        None,
+                        "partition",
+                    );
+                }
+                EventKind::PartitionHeals { idx } => {
+                    let pairs = self.partition_pairs(idx);
+                    self.lift_cuts(&pairs);
+                    self.report.partitions_healed += 1;
+                    let witness = self.chaos.partitions[idx]
+                        .groups
+                        .first()
+                        .and_then(|g| g.first())
+                        .copied()
+                        .unwrap_or(0);
+                    self.tracer.record_full(
+                        witness as u32,
+                        NO_BLOCK,
+                        0,
+                        TraceEventKind::FaultInjected,
+                        None,
+                        "partition_heal",
+                    );
+                }
+                EventKind::NodeIsolated { idx } => {
+                    let pairs = self.isolation_pairs(idx);
+                    self.apply_cuts(&pairs);
+                    self.report.isolations += 1;
+                    let node = self.chaos.isolations[idx].node;
+                    self.tracer.record_full(
+                        node as u32,
+                        NO_BLOCK,
+                        0,
+                        TraceEventKind::FaultInjected,
+                        None,
+                        "isolation",
+                    );
+                }
+                EventKind::NodeRejoins { idx } => {
+                    let pairs = self.isolation_pairs(idx);
+                    self.lift_cuts(&pairs);
+                    self.report.rejoins += 1;
+                    let node = self.chaos.isolations[idx].node;
+                    self.tracer.record_full(
+                        node as u32,
+                        NO_BLOCK,
+                        0,
+                        TraceEventKind::FaultInjected,
+                        None,
+                        "rejoin",
+                    );
                 }
             }
         }
@@ -1391,56 +1618,47 @@ impl MicroNet {
         } else {
             self.propagation_sum_ms / self.propagation_samples as f64
         };
-        // Partition census.
-        let mut sizes: Vec<usize> = match self.fork_height {
-            // No fork configured: cluster by exact head hash.
-            None => {
-                let mut groups: HashMap<H256, usize> = HashMap::new();
-                for node in &self.nodes {
-                    *groups.entry(node.store.head_hash()).or_default() += 1;
-                }
-                groups.into_values().collect()
-            }
-            // Fork configured: cluster by chain agreement — two nodes share
-            // a group when both still retain a common canonical height
-            // (a few blocks below the lower head, so an ordinary tip race
-            // doesn't read as a partition) and hold the same hash there.
-            // (Keying on the fork-height hash directly breaks on long runs:
-            // the fork block leaves every store's retention window and all
-            // sides collapse into one `None` group.)
-            Some(h_fork) => {
-                let n = self.nodes.len();
-                let mut group = vec![usize::MAX; n];
-                let mut count = Vec::new();
-                for i in 0..n {
-                    if group[i] != usize::MAX {
-                        continue;
-                    }
-                    group[i] = count.len();
-                    count.push(1usize);
-                    let head_i = self.nodes[i].store.head_number();
-                    for j in i + 1..n {
-                        if group[j] != usize::MAX {
-                            continue;
-                        }
-                        let m = head_i.min(self.nodes[j].store.head_number());
-                        // Step below transient-fork depth, but never below
-                        // the fork height (above which the sides differ at
-                        // every block).
-                        let cmp = m.saturating_sub(8).max(h_fork.min(m));
-                        let a = self.nodes[i].store.canonical_hash(cmp);
-                        if a.is_some() && a == self.nodes[j].store.canonical_hash(cmp) {
-                            group[j] = group[i];
-                            count[group[i]] += 1;
-                        }
-                    }
-                }
-                count
-            }
-        };
-        sizes.sort_unstable_by(|a, b| b.cmp(a));
-        self.report.partition_groups = sizes;
+        self.report.partition_groups = self.partition_census();
         self.report.clone()
+    }
+
+    /// The chain-agreement census: cluster sizes, descending. Two nodes
+    /// share a group when both still retain a common canonical height — a
+    /// few blocks below the lower of their heads, so an ordinary tip race
+    /// doesn't read as a partition — and hold the same hash there. With a
+    /// fork configured the comparison height never drops below the fork
+    /// height (above which the sides differ at every block; keying on the
+    /// fork-height hash directly breaks on long runs, because the fork
+    /// block leaves every store's retention window). One group = a
+    /// connected, agreeing network. Callable mid-run: the heal-convergence
+    /// invariants sample it window by window.
+    pub fn partition_census(&self) -> Vec<usize> {
+        let floor = self.fork_height.unwrap_or(0);
+        let n = self.nodes.len();
+        let mut group = vec![usize::MAX; n];
+        let mut count = Vec::new();
+        for i in 0..n {
+            if group[i] != usize::MAX {
+                continue;
+            }
+            group[i] = count.len();
+            count.push(1usize);
+            let head_i = self.nodes[i].store.head_number();
+            for j in i + 1..n {
+                if group[j] != usize::MAX {
+                    continue;
+                }
+                let m = head_i.min(self.nodes[j].store.head_number());
+                let cmp = m.saturating_sub(8).max(floor.min(m));
+                let a = self.nodes[i].store.canonical_hash(cmp);
+                if a.is_some() && a == self.nodes[j].store.canonical_hash(cmp) {
+                    group[j] = group[i];
+                    count[group[i]] += 1;
+                }
+            }
+        }
+        count.sort_unstable_by(|a, b| b.cmp(a));
+        count
     }
 
     /// A node's store (inspection).
@@ -1514,6 +1732,16 @@ impl MicroNet {
             ("micro.sync.timeouts", r.sync_timeouts),
             ("micro.sync.retries", r.sync_retries),
             ("micro.peers.banned", r.peer_bans),
+            ("micro.chaos.partitions", r.partitions_started),
+            ("micro.chaos.partition_heals", r.partitions_healed),
+            ("micro.chaos.isolations", r.isolations),
+            ("micro.chaos.rejoins", r.rejoins),
+            ("micro.chaos.partition_edges_cut", r.partition_edges_cut),
+            (
+                "micro.chaos.partition_edges_restored",
+                r.partition_edges_restored,
+            ),
+            ("micro.reorg.max_depth", r.max_reorg_depth),
         ] {
             if v > 0 {
                 snap.counters.insert(name.into(), v);
@@ -1561,6 +1789,19 @@ impl MicroNet {
     /// The configured fork height, when running a fork-split assignment.
     pub fn fork_height(&self) -> Option<u64> {
         self.fork_height
+    }
+
+    /// Deepest reorg observed so far (canonical blocks rolled back by one
+    /// import).
+    pub fn max_reorg_depth(&self) -> u64 {
+        self.report.max_reorg_depth
+    }
+
+    /// Whether a topology edge currently links nodes `i` and `j`.
+    pub fn are_connected(&self, i: usize, j: usize) -> bool {
+        self.topology
+            .peers(&self.nodes[i].id)
+            .contains(&self.nodes[j].id)
     }
 
     /// Current simulated time, milliseconds.
@@ -2020,7 +2261,8 @@ mod tests {
         let mut clean = MicroNet::new(base.clone());
         let clean_report = clean.run();
         // A plan whose every entry lies beyond the run (or is already
-        // expired) must not perturb a single event or RNG draw.
+        // expired) must not perturb a single event or RNG draw — including
+        // partitions and isolations.
         let mut inert = MicroNet::new(MicroConfig {
             chaos: ChaosPlan {
                 crashes: vec![CrashEvent {
@@ -2039,7 +2281,11 @@ mod tests {
                     behavior: ByzantineBehavior::Equivocate,
                     until_secs: Some(0), // expired before the run starts
                 }],
-            },
+                ..ChaosPlan::NONE
+            }
+            .create_partition(100_000_000, vec![vec![0, 1], vec![2, 3]])
+            .heal_partition(200_000_000)
+            .isolate_node(3, 150_000_000),
             ..base
         });
         let inert_report = inert.run();
@@ -2051,6 +2297,187 @@ mod tests {
             inert
                 .telemetry_snapshot()
                 .to_json(fork_telemetry::TimingMode::Zeroed),
+        );
+    }
+
+    #[test]
+    fn partition_severs_heals_and_reconverges() {
+        use crate::chaos::ChaosPlan;
+        let left: Vec<usize> = (0..5).collect();
+        let right: Vec<usize> = (5..10).collect();
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 26,
+            n_nodes: 10,
+            n_miners: 10, // both sides keep mining while split
+            duration_secs: 1_800,
+            chaos: ChaosPlan::NONE
+                .create_partition(300_000, vec![left.clone(), right.clone()])
+                .heal_partition(600_000),
+            ..MicroConfig::default()
+        });
+        // Mid-partition: no cross-group edge exists.
+        net.run_until(400_000);
+        for &a in &left {
+            for &b in &right {
+                assert!(!net.are_connected(a, b), "edge {a}-{b} survived the cut");
+            }
+        }
+        let report = net.run();
+        assert_eq!(report.partitions_started, 1);
+        assert_eq!(report.partitions_healed, 1);
+        assert!(report.partition_edges_cut > 0, "the split severed edges");
+        assert!(
+            report.partition_edges_restored > 0,
+            "the heal restored edges"
+        );
+        // After the heal, difficulty resolves the divergence: one census
+        // group, one deep reorg on the losing side.
+        assert_eq!(
+            report.partition_groups.len(),
+            1,
+            "{:?}",
+            report.partition_groups
+        );
+        assert!(report.reorgs > 0);
+        assert!(report.max_reorg_depth > 0);
+        let snap = net.telemetry_snapshot();
+        assert_eq!(snap.counters["micro.chaos.partitions"], 1);
+        assert_eq!(snap.counters["micro.chaos.partition_heals"], 1);
+        assert!(snap.counters["micro.reorg.max_depth"] > 0);
+    }
+
+    #[test]
+    fn isolated_node_drops_out_and_rejoins() {
+        use crate::chaos::ChaosPlan;
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 27,
+            n_nodes: 10,
+            n_miners: 4,
+            duration_secs: 1_800,
+            chaos: ChaosPlan::NONE.isolate_node(2, 300_000).rejoin(2, 600_000),
+            ..MicroConfig::default()
+        });
+        net.run_until(400_000);
+        for j in 0..10 {
+            if j != 2 {
+                assert!(!net.are_connected(2, j), "edge 2-{j} survived isolation");
+            }
+        }
+        let report = net.run();
+        assert_eq!(report.isolations, 1);
+        assert_eq!(report.rejoins, 1);
+        assert!(report.partition_edges_cut > 0);
+        assert!(report.partition_edges_restored > 0);
+        // Back on the common chain by the end.
+        let max = *report.head_numbers.iter().max().unwrap();
+        assert!(
+            max - report.head_numbers[2] <= 2,
+            "rejoined node behind: {} vs {max}",
+            report.head_numbers[2]
+        );
+        assert_eq!(report.partition_groups.len(), 1);
+    }
+
+    #[test]
+    fn ban_and_partition_edge_state_compose() {
+        // Drives the edge-state machine directly (no event loop): a heal
+        // must not clear an active ban, and a ban expiry must not
+        // resurrect a partitioned edge.
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 28,
+            n_nodes: 6,
+            n_miners: 0,
+            duration_secs: 10,
+            ..MicroConfig::default()
+        });
+        let mut connected = Vec::new();
+        for a in 0..6 {
+            for b in a + 1..6 {
+                if net.are_connected(a, b) {
+                    connected.push((a, b));
+                }
+            }
+        }
+        let (a, b) = connected[0];
+        let (c, d) = *connected
+            .iter()
+            .find(|(x, y)| ![a, b].contains(x) && ![a, b].contains(y))
+            .expect("a second, disjoint connected pair");
+
+        // Case 1: ban first, partition second, heal during the ban. The
+        // heal must not restore; the later expiry must.
+        net.penalize(a, b, 1_000);
+        assert!(!net.are_connected(a, b), "ban severs");
+        let key = MicroNet::pair_key(a, b);
+        net.apply_cuts(&[key]);
+        net.lift_cuts(&[key]);
+        assert!(
+            !net.are_connected(a, b),
+            "heal must not clear an active ban"
+        );
+        net.on_ban_expires(a, b);
+        assert!(net.are_connected(a, b), "expiry after heal restores");
+
+        // Case 2: ban expires while the pair is still partitioned — the
+        // edge stays severed until the heal gives it back.
+        net.penalize(a, b, 1_000);
+        net.apply_cuts(&[key]);
+        net.on_ban_expires(a, b);
+        assert!(
+            !net.are_connected(a, b),
+            "expiry must not resurrect a partitioned edge"
+        );
+        net.lift_cuts(&[key]);
+        assert!(net.are_connected(a, b), "the heal owes the edge back");
+
+        // Case 3: partition first — a ban then has nothing to sever, and
+        // the heal still restores the edge.
+        let key_cd = MicroNet::pair_key(c, d);
+        net.apply_cuts(&[key_cd]);
+        assert!(!net.are_connected(c, d));
+        let bans_before = net.report.peer_bans;
+        net.penalize(c, d, 1_000);
+        assert_eq!(net.report.peer_bans, bans_before, "no edge, no ban");
+        net.on_ban_expires(c, d);
+        assert!(!net.are_connected(c, d), "stray expiry resurrects nothing");
+        net.lift_cuts(&[key_cd]);
+        assert!(net.are_connected(c, d));
+    }
+
+    #[test]
+    fn overlapping_cuts_compose() {
+        use crate::chaos::ChaosPlan;
+        // An isolation inside a partition window: the shared pairs stay cut
+        // until BOTH lift. Node 0 is in the left group and also isolated
+        // for a window straddling the partition heal.
+        let mut net = MicroNet::new(MicroConfig {
+            seed: 29,
+            n_nodes: 8,
+            n_miners: 4,
+            duration_secs: 1_800,
+            chaos: ChaosPlan::NONE
+                .create_partition(300_000, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]])
+                .heal_partition(600_000)
+                .isolate_node(0, 500_000)
+                .rejoin(0, 900_000),
+            ..MicroConfig::default()
+        });
+        // After the partition heal, node 0 is still isolated...
+        net.run_until(700_000);
+        for j in 1..8 {
+            assert!(!net.are_connected(0, j), "edge 0-{j} during isolation");
+        }
+        // ...while the other cross-group pairs healed.
+        let report = net.run();
+        assert_eq!(report.partitions_started, 1);
+        assert_eq!(report.partitions_healed, 1);
+        assert_eq!(report.isolations, 1);
+        assert_eq!(report.rejoins, 1);
+        assert_eq!(
+            report.partition_groups.len(),
+            1,
+            "{:?}",
+            report.partition_groups
         );
     }
 

@@ -352,6 +352,7 @@ pub fn chaos_scenario(seed: u64) -> ChaosScenario {
                 until_secs: Some(1_500),
             },
         ],
+        ..ChaosPlan::NONE
     };
 
     // 1,000 h/s split evenly across 20 mining nodes → 500 h/s per side;
@@ -410,6 +411,192 @@ pub fn trace_scenario(seed: u64) -> ChaosScenario {
 /// Figures 2–5's window: the full nine-month study (280 days).
 pub fn nine_months(seed: u64) -> MesoConfig {
     dao_scenario(seed, 280)
+}
+
+/// One fork-atlas preset: a partition scenario plus the metadata the atlas
+/// harness (`make-figures atlas`, `tests/partition_atlas.rs`) uses to judge
+/// it against the convergence invariants.
+#[derive(Debug, Clone)]
+pub struct AtlasPreset {
+    /// Stable preset name (figure rows and the CI grep key on them).
+    pub name: &'static str,
+    /// The micro-engine configuration, partition plan included.
+    pub config: MicroConfig,
+    /// Census groups expected once converged: one per spec in the run.
+    pub expected_groups: usize,
+    /// Simulated time from which
+    /// [`crate::invariants::check_heal_convergence`] must hold: the last
+    /// heal plus a propagation/resync grace (or, for the spec-driven split,
+    /// a grace past the fork block).
+    pub converge_by_ms: u64,
+    /// Maximum justifiable reorg depth, blocks — see [`atlas_reorg_bound`].
+    pub reorg_depth_bound: u64,
+    /// Longest scripted partition window, seconds (0 = the split is
+    /// spec-driven by client diversity, not scripted).
+    pub partition_secs: u64,
+}
+
+/// The reorg-depth bound a partition of `partition_secs` justifies: the
+/// losing side can mine at most ~one block per 14 s target while split
+/// (in reality fewer — its difficulty still reflects the whole network),
+/// doubled for retarget drift, plus the 8-block transient-fork margin.
+pub fn atlas_reorg_bound(partition_secs: u64) -> u64 {
+    2 * partition_secs / 14 + 8
+}
+
+/// Flash partition: a uniform 16-node network splits clean in half for
+/// 300 s — each side keeps mining on half the hashpower — and heals while
+/// the sides' tips disagree, forcing the minority branch through a
+/// mid-reorg collapse (the arXiv:1804.07356 "heal-time reorg storm" case).
+pub fn atlas_flash(seed: u64) -> AtlasPreset {
+    let heal_ms = 900_000;
+    AtlasPreset {
+        name: "flash_two_way",
+        config: MicroConfig {
+            seed,
+            n_nodes: 16,
+            n_miners: 16,
+            duration_secs: 2_400,
+            chaos: ChaosPlan::NONE
+                .create_partition(600_000, vec![(0..8).collect(), (8..16).collect()])
+                .heal_partition(heal_ms),
+            ..MicroConfig::default()
+        },
+        expected_groups: 1,
+        converge_by_ms: heal_ms + 300_000,
+        reorg_depth_bound: atlas_reorg_bound(300),
+        partition_secs: 300,
+    }
+}
+
+/// Three-way split: 18 nodes shatter into three equal groups for 400 s.
+/// Three histories diverge; at heal, total difficulty must pick one winner
+/// and fold the other two back.
+pub fn atlas_three_way(seed: u64) -> AtlasPreset {
+    let heal_ms = 1_000_000;
+    AtlasPreset {
+        name: "three_way",
+        config: MicroConfig {
+            seed,
+            n_nodes: 18,
+            n_miners: 18,
+            duration_secs: 2_700,
+            chaos: ChaosPlan::NONE
+                .create_partition(
+                    600_000,
+                    vec![(0..6).collect(), (6..12).collect(), (12..18).collect()],
+                )
+                .heal_partition(heal_ms),
+            ..MicroConfig::default()
+        },
+        expected_groups: 1,
+        converge_by_ms: heal_ms + 400_000,
+        reorg_depth_bound: atlas_reorg_bound(400),
+        partition_secs: 400,
+    }
+}
+
+/// Geo-partition: a 20-node network on slow, jittery WAN links (the
+/// arXiv:2005.06356 geo-distribution motivation) loses its "transatlantic"
+/// edges for 600 s, stranding a 6-node minority continent. The longest
+/// outage in the atlas, with the deepest justified heal reorg; the high
+/// link latency also stretches the post-heal resync, hence the longer
+/// grace.
+pub fn atlas_geo(seed: u64) -> AtlasPreset {
+    let heal_ms = 1_200_000;
+    AtlasPreset {
+        name: "geo_continents",
+        config: MicroConfig {
+            seed,
+            n_nodes: 20,
+            n_miners: 20,
+            duration_secs: 3_000,
+            latency: fork_net::LatencyModel {
+                base_ms: 150,
+                jitter_ms: 75,
+            },
+            chaos: ChaosPlan::NONE
+                .create_partition(600_000, vec![(0..14).collect(), (14..20).collect()])
+                .heal_partition(heal_ms),
+            ..MicroConfig::default()
+        },
+        expected_groups: 1,
+        converge_by_ms: heal_ms + 600_000,
+        reorg_depth_bound: atlas_reorg_bound(600),
+        partition_secs: 600,
+    }
+}
+
+/// Client-diversity split: no scripted partition at all — a 65/35
+/// pro-/anti-fork rules split severs the network at the fork block, the
+/// mechanism behind the paper's Nov 2016 / Jan 2017 resolved forks (and
+/// `resolved.rs`). The census must settle at exactly two groups and stay
+/// there: this is the one preset whose steady state is a partition. The
+/// topology is denser than default so the 7-node minority's induced
+/// subgraph stays connected once every cross-spec edge drops at the
+/// handshake (a sparse graph can strand a minority node with only
+/// incompatible peers — a real hazard, but not the one this preset
+/// measures).
+pub fn atlas_client_split(seed: u64) -> AtlasPreset {
+    let mut eth = ChainSpec::eth(vec![dao_vault_address()], dao_refund_address());
+    let mut etc = ChainSpec::etc(vec![dao_vault_address()], dao_refund_address());
+    for spec in [&mut eth, &mut etc] {
+        spec.difficulty = ChainSpec::test().difficulty;
+        spec.pow_work_factor = 2;
+        if let Some(d) = spec.dao_fork.as_mut() {
+            d.block = SIM_FORK_BLOCK;
+        }
+        spec.eip150_block = None;
+        spec.eip155 = None;
+    }
+    AtlasPreset {
+        name: "client_split",
+        config: MicroConfig {
+            seed,
+            n_nodes: 20,
+            n_miners: 20,
+            total_hashrate: 1_000.0,
+            genesis_difficulty: U256::from_u64(7_000),
+            duration_secs: 2_400,
+            specs: SpecAssignment::ForkSplit {
+                eth,
+                etc,
+                eth_fraction: 0.65,
+            },
+            topology: fork_net::TopologyConfig {
+                target_degree: 12,
+                bootstrap_contacts: 5,
+                lookup_rounds: 3,
+            },
+            ..MicroConfig::default()
+        },
+        expected_groups: 2,
+        converge_by_ms: 600_000,
+        reorg_depth_bound: atlas_reorg_bound(0),
+        partition_secs: 0,
+    }
+}
+
+/// The full fork atlas, in figure-row order.
+pub fn atlas_presets(seed: u64) -> Vec<AtlasPreset> {
+    vec![
+        atlas_flash(seed),
+        atlas_three_way(seed),
+        atlas_geo(seed),
+        atlas_client_split(seed),
+    ]
+}
+
+/// The atlas's negative control: the flash partition with its heal removed.
+/// The network never reconverges, so
+/// [`crate::invariants::check_heal_convergence`] MUST fail past
+/// `converge_by_ms` — proving the invariant can actually catch a
+/// non-convergence, not just bless healthy runs.
+pub fn atlas_never_healed(seed: u64) -> AtlasPreset {
+    let mut preset = atlas_flash(seed);
+    preset.name = "never_healed";
+    preset.config.chaos.partitions[0].heal_at_ms = None;
+    preset
 }
 
 #[cfg(test)]
@@ -501,5 +688,55 @@ mod tests {
         assert!(s.at(start) > 0.4);
         assert!(s.at(start.plus_days(250)) >= 0.02, "persistent tail");
         assert!(s.at(start.plus_days(250)) < s.at(start) / 5.0);
+    }
+
+    #[test]
+    fn atlas_presets_are_well_formed() {
+        let presets = atlas_presets(7);
+        assert_eq!(presets.len(), 4);
+        let names: std::collections::HashSet<_> = presets.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 4, "preset names must be unique");
+        for p in &presets {
+            p.config
+                .chaos
+                .validate(p.config.n_nodes)
+                .unwrap_or_else(|e| panic!("{}: invalid chaos plan: {e}", p.name));
+            assert!(p.expected_groups >= 1, "{}", p.name);
+            assert!(
+                p.converge_by_ms < p.config.duration_secs * 1_000,
+                "{}: convergence deadline must land inside the run",
+                p.name
+            );
+            assert_eq!(p.reorg_depth_bound, atlas_reorg_bound(p.partition_secs));
+            // Scripted presets heal before the convergence deadline.
+            for part in &p.config.chaos.partitions {
+                let heal = part.heal_at_ms.expect("atlas partitions heal");
+                assert!(heal <= p.converge_by_ms, "{}", p.name);
+                assert_eq!((heal - part.at_ms) / 1_000, p.partition_secs, "{}", p.name);
+            }
+            // The client-diversity preset is the only spec-driven one.
+            let forked = matches!(p.config.specs, SpecAssignment::ForkSplit { .. });
+            assert_eq!(forked, p.partition_secs == 0, "{}", p.name);
+            assert_eq!(forked, p.expected_groups == 2, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn atlas_negative_control_never_heals() {
+        let control = atlas_never_healed(7);
+        assert_eq!(control.name, "never_healed");
+        assert_eq!(control.config.chaos.partitions.len(), 1);
+        assert_eq!(control.config.chaos.partitions[0].heal_at_ms, None);
+        // Still a valid plan: never-healing partitions are legal, just
+        // guaranteed to fail the convergence invariant.
+        control
+            .config
+            .chaos
+            .validate(control.config.n_nodes)
+            .expect("never-healed plan validates");
+        // Everything else matches the flash preset it was derived from.
+        let flash = atlas_flash(7);
+        assert_eq!(control.config.n_nodes, flash.config.n_nodes);
+        assert_eq!(control.converge_by_ms, flash.converge_by_ms);
     }
 }

@@ -1,0 +1,165 @@
+//! The fork atlas, swept across seeds: every partition preset must pass the
+//! safety invariants at each 60-second window, and — once its scripted heal
+//! plus grace has elapsed — collapse back to per-spec census agreement
+//! within a bounded number of blocks, with heal-reorg depth bounded by the
+//! partition duration.
+//!
+//! The never-healed negative control proves the convergence invariant has
+//! teeth: the same flash partition without its heal must *fail*
+//! `check_heal_convergence` while still upholding every safety invariant.
+
+use stick_a_fork::sim::invariants::{
+    check_heal_convergence, check_invariants, check_reorg_depth, InvariantViolation,
+};
+use stick_a_fork::sim::micro::MicroNet;
+use stick_a_fork::sim::scenario::{atlas_never_healed, atlas_presets, AtlasPreset};
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Steps a preset to its end in 60-second windows, checking the safety
+/// invariants at every boundary and the convergence invariant at every
+/// boundary past the preset's deadline. Returns the finalized net.
+fn run_preset(preset: &AtlasPreset, seed: u64) -> MicroNet {
+    let end_ms = preset.config.duration_secs * 1_000;
+    let mut net = MicroNet::new(preset.config.clone());
+
+    // Head height when the last scripted heal fires — the baseline for the
+    // blocks-to-converge bound. The spec-driven preset has no heal; its
+    // baseline is genesis.
+    let heal_ms = preset
+        .config
+        .chaos
+        .partitions
+        .iter()
+        .filter_map(|p| p.heal_at_ms)
+        .max()
+        .unwrap_or(0);
+    let mut head_at_heal: Option<u64> = None;
+    let mut converged_at: Option<(u64, u64)> = None; // (t_ms, max head)
+
+    let mut t = 0;
+    while t < end_ms {
+        t = (t + 60_000).min(end_ms);
+        net.run_until(t);
+        if let Err(v) = check_invariants(&net) {
+            panic!(
+                "{} seed {seed}, t={}s: invariant violated: {v}",
+                preset.name,
+                t / 1_000
+            );
+        }
+        let max_head = (0..preset.config.n_nodes)
+            .map(|i| net.node_store(i).head_number())
+            .max()
+            .unwrap();
+        if t >= heal_ms && head_at_heal.is_none() {
+            head_at_heal = Some(max_head);
+        }
+        if t >= preset.converge_by_ms {
+            // Past the deadline the census must hold at every window, not
+            // just the last one — convergence that flaps is not convergence.
+            check_heal_convergence(&net, preset.expected_groups).unwrap_or_else(|v| {
+                panic!(
+                    "{} seed {seed}, t={}s: not converged: {v}",
+                    preset.name,
+                    t / 1_000
+                )
+            });
+            if converged_at.is_none() {
+                converged_at = Some((t, max_head));
+            }
+        }
+    }
+
+    // Blocks burned between heal and first converged window stay bounded:
+    // the post-heal network can transiently mine faster than the 14 s target
+    // (both sides retargeted down while split), hence the 2× margin.
+    let (t_conv, head_conv) = converged_at.expect("deadline lands inside the run");
+    let grace_blocks = 2 * (t_conv.saturating_sub(heal_ms)) / 14_000 + 8;
+    let blocks_after_heal = head_conv - head_at_heal.unwrap_or(0);
+    assert!(
+        blocks_after_heal <= grace_blocks,
+        "{} seed {seed}: {blocks_after_heal} blocks to converge after heal (bound {grace_blocks})",
+        preset.name
+    );
+
+    // Heal-reorg depth is bounded by what the partition duration justifies.
+    check_reorg_depth(&net, preset.reorg_depth_bound).unwrap_or_else(|v| {
+        panic!(
+            "{} seed {seed}: {v} (partition was {}s)",
+            preset.name, preset.partition_secs
+        )
+    });
+    net
+}
+
+#[test]
+fn atlas_presets_converge_under_invariants() {
+    for &seed in &SEEDS {
+        for preset in atlas_presets(seed) {
+            let mut net = run_preset(&preset, seed);
+            let report = net.finalize_report();
+
+            assert_eq!(
+                report.partition_groups.len(),
+                preset.expected_groups,
+                "{} seed {seed}: final census {:?}",
+                preset.name,
+                report.partition_groups
+            );
+            // Scripted partitions must actually have fired and healed; the
+            // spec-driven split must have severed cross-spec edges on its
+            // own (handshake rejection, not the chaos layer).
+            let scripted = preset.config.chaos.partitions.len() as u64;
+            assert_eq!(report.partitions_started, scripted, "{}", preset.name);
+            assert_eq!(report.partitions_healed, scripted, "{}", preset.name);
+            if scripted > 0 {
+                assert!(
+                    report.partition_edges_cut > 0 && report.partition_edges_restored > 0,
+                    "{} seed {seed}: partition never touched the topology",
+                    preset.name
+                );
+                assert!(
+                    report.reorgs > 0,
+                    "{} seed {seed}: a healed partition must reorg someone",
+                    preset.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn never_healed_control_fails_convergence_only() {
+    for &seed in &SEEDS {
+        let control = atlas_never_healed(seed);
+        let end_ms = control.config.duration_secs * 1_000;
+        let mut net = MicroNet::new(control.config.clone());
+
+        let mut t = 0;
+        while t < end_ms {
+            t = (t + 60_000).min(end_ms);
+            net.run_until(t);
+            // Safety invariants hold throughout — a partition is not
+            // corruption, it is two healthy networks that can't talk.
+            if let Err(v) = check_invariants(&net) {
+                panic!("control seed {seed}, t={}s: {v}", t / 1_000);
+            }
+        }
+
+        // ...but the convergence invariant must catch the missing heal.
+        match check_heal_convergence(&net, control.expected_groups) {
+            Err(InvariantViolation::HealConvergenceFailed { groups, expected }) => {
+                assert_eq!(expected, 1, "control seed {seed}");
+                assert_eq!(groups, vec![8, 8], "control seed {seed}: census {groups:?}");
+            }
+            other => {
+                panic!("control seed {seed}: never-healed run must fail convergence, got {other:?}")
+            }
+        }
+        let report = net.finalize_report();
+        assert_eq!(report.partitions_started, 1, "control seed {seed}");
+        assert_eq!(report.partitions_healed, 0, "control seed {seed}");
+        assert_eq!(report.partition_edges_restored, 0, "control seed {seed}");
+    }
+}

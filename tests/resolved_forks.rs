@@ -27,6 +27,34 @@ fn branch_lengths_match_paper_orders() {
     );
 }
 
+/// The paper's 86-block ETH branch, scaled by a 5× simulation-variance
+/// envelope. The point of the constant is the *ordering*: the Nov 2016
+/// branch dies inside it, the Jan 2017 branch outlives it — a partition
+/// that resolves within hours vs one that persists for months, regardless
+/// of the exact branch lengths a seed produces.
+const SCALED_ETH_ENVELOPE: u64 = 5 * 86;
+
+#[test]
+fn scaled_envelope_orders_the_resolved_forks() {
+    for seed in 1..=3 {
+        let eth = run(&ResolvedForkConfig::eth_dos_2016(seed));
+        let etc = run(&ResolvedForkConfig::etc_replay_2017(seed));
+        assert!(
+            eth.minority_branch_len <= SCALED_ETH_ENVELOPE,
+            "seed {seed}: Nov 2016 branch {} outlived the scaled 86-block envelope {}",
+            eth.minority_branch_len,
+            SCALED_ETH_ENVELOPE
+        );
+        assert!(
+            etc.minority_branch_len > SCALED_ETH_ENVELOPE,
+            "seed {seed}: Jan 2017 branch {} died within the envelope {} — \
+             it must outlive the Nov 2016 shape",
+            etc.minority_branch_len,
+            SCALED_ETH_ENVELOPE
+        );
+    }
+}
+
 #[test]
 fn episode_statistics_stable_across_seeds() {
     let lens: Vec<u64> = (0..5)

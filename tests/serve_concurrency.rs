@@ -268,6 +268,60 @@ fn flood_past_admission_cap_returns_typed_overloaded_and_recovers() {
 }
 
 #[test]
+fn load_generator_retries_overloaded_sheds_with_backoff() {
+    use stick_a_fork::serve::{run_load, LoadConfig};
+
+    let dir = scratch("load-retry");
+    build_archive(&dir, 7);
+
+    // The same deliberately tiny daemon as the flood test: one worker, two
+    // admission slots. The load generator's pipelined traffic must overrun
+    // the cap — but with a retry budget, shed requests re-queue with
+    // backoff instead of counting as terminal.
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.workers = 1;
+    cfg.global_inflight = 2;
+    cfg.per_conn_inflight = 64;
+    let handle = Server::start(cfg).unwrap();
+
+    let mut load_cfg = LoadConfig::new(handle.local_addr().to_string());
+    load_cfg.connections = 8;
+    load_cfg.requests_per_conn = 20;
+    load_cfg.pipeline_depth = 4;
+    load_cfg.phases = 2;
+    let report = run_load(&load_cfg).expect("load run");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overall = &report.overall;
+    // Every distinct request reaches exactly one terminal outcome; retry
+    // attempts are counted separately, never double-booked as requests.
+    assert_eq!(overall.requests, 8 * 20 * 2);
+    assert_eq!(
+        overall.ok + overall.overloaded + overall.backpressure + overall.errors,
+        overall.requests,
+        "terminal outcomes must partition the requests: {overall:?}"
+    );
+    assert_eq!(overall.errors, 0, "no transport failures expected");
+    assert!(
+        overall.retries > 0,
+        "a 2-slot daemon under 32 pipelined requests must shed and retry"
+    );
+    // The retry budget converts most sheds into eventual successes.
+    assert!(
+        overall.ok > overall.requests / 2,
+        "retries should recover the bulk of shed requests: {overall:?}"
+    );
+
+    // The `fork-load/v1` report carries the retry count.
+    let json = report.to_json();
+    assert!(
+        json.contains(&format!("\"retries\": {}", overall.retries)),
+        "JSON report must carry retry counts: {json}"
+    );
+}
+
+#[test]
 fn per_conn_backpressure_rejects_and_shutdown_drains() {
     let dir = scratch("backpressure");
     build_archive(&dir, 11);
