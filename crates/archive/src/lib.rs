@@ -25,10 +25,15 @@ pub mod error;
 pub mod format;
 pub mod reader;
 pub mod segment;
+pub mod sidecar;
 pub mod writer;
 
 pub use error::ArchiveError;
 pub use format::{ArchiveRecord, Codec};
 pub use reader::{ArchiveReader, OpenReport, RecordStream, SegmentVerify, VerifyReport};
 pub use segment::{SegmentCursor, SegmentScan};
+pub use sidecar::{
+    archive_fingerprint, archive_format_version, HashIndex, IndexEntry, SidecarCheck, SidecarFault,
+    SidecarLoad, SIDECAR_FILE,
+};
 pub use writer::{ArchiveConfig, ArchiveMeta, ArchiveStats, ArchiveWriter, CompactReport};

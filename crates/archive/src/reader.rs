@@ -18,6 +18,7 @@ use fork_telemetry::{json::Value, MetricsRegistry};
 use crate::error::ArchiveError;
 use crate::format::{segment_file_name, side_dir_name, ArchiveRecord, SUPERBLOCK_LEN};
 use crate::segment::{scan_segment, SegmentCursor, SegmentScan};
+use crate::sidecar::SidecarCheck;
 use crate::writer::{list_segments, ArchiveMeta};
 
 /// What the open-time scan found (and what it had to repair or skip).
@@ -64,14 +65,21 @@ pub struct VerifyReport {
     /// One entry per readable segment, plus skipped superblock failures
     /// (those report zero ok frames and one corrupt entry at offset 0).
     pub segments: Vec<SegmentVerify>,
+    /// State of the hash-index sidecar. `Missing` is acceptable (the index
+    /// is built on first use); `Corrupt`/`Stale` are detected damage —
+    /// tolerated by loaders, which regenerate, but reported here.
+    pub sidecar: SidecarCheck,
 }
 
 impl VerifyReport {
-    /// True when every frame in every segment verified clean.
+    /// True when every frame in every segment verified clean and the
+    /// sidecar, if present, is valid and fresh.
     pub fn is_clean(&self) -> bool {
-        self.segments
-            .iter()
-            .all(|s| s.corrupt.is_empty() && s.torn_bytes == 0)
+        self.sidecar.is_clean()
+            && self
+                .segments
+                .iter()
+                .all(|s| s.corrupt.is_empty() && s.torn_bytes == 0)
     }
 
     /// Totals as `(frames_ok, corrupt_frames, torn_bytes)`.
@@ -348,6 +356,7 @@ impl ArchiveReader {
                 torn_bytes: 0,
             });
         }
+        report.sidecar = crate::sidecar::check_sidecar(self);
         report
     }
 }

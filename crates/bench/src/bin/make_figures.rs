@@ -29,7 +29,9 @@
 //! in-process batch rates over an archive, then boots an in-process
 //! `fork-served` daemon and drives it with the `fork-load` mixed workload
 //! (120 connections), writing client- and server-side p50/p90/p99 plus
-//! cache hit rates to `BENCH_6.json` (`--bench-out`). `telemetry-diff`
+//! cache hit rates to `BENCH_8.json` (`--bench-out`). It also races the
+//! hash-index sidecar's point lookups against naive full scans over the
+//! same sampled hashes (the `lookup` section of the report). `telemetry-diff`
 //! compares two
 //! exported telemetry JSON files metric by metric. The `atlas` target runs
 //! the fork atlas — every partition preset across three seeds under the
@@ -79,7 +81,7 @@ fn parse_args() -> Args {
     let mut seed = 2016u64;
     let mut out = PathBuf::from("figures");
     let mut telemetry_out = None;
-    let mut bench_out = PathBuf::from("BENCH_6.json");
+    let mut bench_out = PathBuf::from("BENCH_8.json");
     let mut archive_dir = None;
     let mut quick = false;
     let mut progress = false;
@@ -986,6 +988,56 @@ fn main() {
         let scan_wall = t.elapsed();
         let blocks_per_sec = total_blocks as f64 / scan_wall.as_secs_f64().max(1e-9);
 
+        // Point lookups: the sidecar-indexed path raced against a naive
+        // full scan over the same sampled hashes. The index build (or
+        // sidecar load) is timed once; each lookup is timed individually.
+        use fork_query::Lookup;
+        let t = std::time::Instant::now();
+        let index_entries = pool.hash_index().len();
+        let index_build_ms = t.elapsed().as_secs_f64() * 1e3;
+        let mut sample_lookups: Vec<Lookup> = Vec::new();
+        for side in [Side::Eth, Side::Etc] {
+            let mut blocks = Vec::new();
+            let mut txs = Vec::new();
+            for item in pool.reader().records(side) {
+                match item.expect("clean archive").1 {
+                    fork_archive::ArchiveRecord::Block(b) => blocks.push(b.hash),
+                    fork_archive::ArchiveRecord::Tx(x) => txs.push(x.hash),
+                }
+            }
+            for (from, is_block) in [(blocks, true), (txs, false)] {
+                if from.is_empty() {
+                    continue;
+                }
+                for k in 0..16usize {
+                    let hash = from[k * (from.len() - 1) / 15];
+                    sample_lookups.push(if is_block {
+                        Lookup::BlockByHash { hash }
+                    } else {
+                        Lookup::TxByHash { hash }
+                    });
+                }
+            }
+        }
+        let mut indexed_lat = fork_telemetry::HistogramSnapshot::default();
+        let mut scan_lat = fork_telemetry::HistogramSnapshot::default();
+        let lookup_exec = QueryExecutor::new(2);
+        let naive_reader = fork_archive::ArchiveReader::open(&dir).expect("reopen archive");
+        for round in 0..3 {
+            for lookup in &sample_lookups {
+                let t = std::time::Instant::now();
+                lookup_exec
+                    .run_lookup(&pool, lookup)
+                    .expect("indexed lookup");
+                indexed_lat.record(t.elapsed().as_micros() as u64);
+                if round == 0 {
+                    let t = std::time::Instant::now();
+                    QueryExecutor::run_lookup_naive(&naive_reader, lookup).expect("naive lookup");
+                    scan_lat.record(t.elapsed().as_micros() as u64);
+                }
+            }
+        }
+
         // In-process batch rates, cold vs warm, over the serving workload.
         let meta = fork_serve::server::archive_meta(&pool);
         let workload = workload_queries(&meta);
@@ -1073,6 +1125,9 @@ fn main() {
             "{{\n  \"schema\": \"fork-bench/v1\",\n  \"archive\": {{\"dir\": {:?}, \
              \"blocks\": {total_blocks}, \"txs\": {total_txs}}},\n  \"scan\": \
              {{\"blocks_per_sec\": {blocks_per_sec:.1}, \"wall_ms\": {:.1}}},\n  \
+             \"lookup\": {{\"index_entries\": {index_entries}, \
+             \"index_build_ms\": {index_build_ms:.1}, \"samples\": {}, \
+             \"indexed_latency_us\": {}, \"scan_latency_us\": {}}},\n  \
              \"in_process\": {{\"queries\": {}, \"cold\": {}, \"warm\": {}}},\n  \
              \"served\": {{\"connections\": {}, \"requests\": {}, \"ok\": {}, \
              \"overloaded\": {}, \"backpressure\": {}, \"errors\": {}, \
@@ -1080,6 +1135,9 @@ fn main() {
              \"client_latency_us\": {}, \"server_latency_us\": {}}}\n}}\n",
             dir.display().to_string(),
             scan_wall.as_secs_f64() * 1e3,
+            sample_lookups.len(),
+            pctls(&indexed_lat),
+            pctls(&scan_lat),
             workload.len(),
             phase_obj("cold", cold_wall, cold_hit_rate, workload.len()),
             phase_obj("warm", warm_wall, warm_hit_rate, workload.len()),
@@ -1095,9 +1153,14 @@ fn main() {
         );
         std::fs::write(&args.bench_out, &json).expect("write bench report");
         println!(
-            "bench: {blocks_per_sec:.0} blocks/s scanned; in-process {:.0} q/s cold \
+            "bench: {blocks_per_sec:.0} blocks/s scanned; lookups p99 {}us indexed \
+             vs {}us full-scan ({} entries, built in {index_build_ms:.0}ms); \
+             in-process {:.0} q/s cold \
              -> {:.0} q/s warm (hit rate {:.1}% -> {:.1}%); served {:.0} q/s, \
              client p99 {}us, server p99 {}us",
+            indexed_lat.p99(),
+            scan_lat.p99(),
+            index_entries,
             qps(workload.len(), cold_wall),
             qps(workload.len(), warm_wall),
             100.0 * cold_hit_rate,

@@ -1,0 +1,276 @@
+//! `fork-explorer`: user-facing reads over a fork archive.
+//!
+//! ```text
+//! fork-explorer --archive-dir DIR <command> [options]
+//! fork-explorer --addr HOST:PORT  <command> [options]
+//!
+//! commands:
+//!   overview                               fork-overview page
+//!   block  --hash 0x.. | --side S --number N   one block
+//!   tx     --hash 0x..                     one transaction
+//!   tips                                   per-side tip + reorg timeline
+//!   headers --side S --first N --last N    verified header chain
+//!   render --out DIR                       write the full static site
+//!
+//! options:
+//!   --html        emit the HTML page instead of JSON (page commands)
+//!   --side S      eth | etc
+//! ```
+//!
+//! Page commands print to stdout; `render` writes files and lists them.
+//! Exit codes: 0 ok, 1 runtime failure, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use fork_explorer::source::{ExplorerError, ExplorerSource};
+use fork_explorer::{
+    block_html, block_json, headers_html, headers_json, overview_html, overview_json, render_site,
+    timeline_html, timeline_json, tx_html, tx_json,
+};
+use fork_primitives::H256;
+use fork_query::{Lookup, LookupOutput};
+use fork_replay::Side;
+
+const USAGE: &str = "usage: fork-explorer (--archive-dir DIR | --addr HOST:PORT) COMMAND [options]
+
+commands:
+  overview                                   fork-overview page
+  block (--hash 0x.. | --side S --number N)  one block
+  tx --hash 0x..                             one transaction
+  tips                                       per-side tip + reorg timeline
+  headers --side S --first N --last N        verified header chain
+  render --out DIR                           write the full static site
+
+options:
+  --html         emit HTML instead of JSON (page commands)
+  --side S       eth | etc
+";
+
+struct Args {
+    archive_dir: Option<PathBuf>,
+    addr: Option<String>,
+    command: String,
+    hash: Option<H256>,
+    side: Option<Side>,
+    number: Option<u64>,
+    first: Option<u64>,
+    last: Option<u64>,
+    out: Option<PathBuf>,
+    html: bool,
+}
+
+fn usage(detail: &str) -> String {
+    format!("error: {detail}\n\n{USAGE}")
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        archive_dir: None,
+        addr: None,
+        command: String::new(),
+        hash: None,
+        side: None,
+        number: None,
+        first: None,
+        last: None,
+        out: None,
+        html: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--archive-dir" => args.archive_dir = Some(PathBuf::from(value("--archive-dir")?)),
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--hash" => {
+                let raw = value("--hash")?;
+                args.hash =
+                    Some(H256::from_str(&raw).map_err(|e| usage(&format!("bad hash: {e}")))?);
+            }
+            "--side" => {
+                args.side = Some(match value("--side")?.as_str() {
+                    "eth" => Side::Eth,
+                    "etc" => Side::Etc,
+                    other => return Err(usage(&format!("unknown side {other:?}"))),
+                });
+            }
+            "--number" => {
+                args.number = Some(parse_u64("--number", &value("--number")?)?);
+            }
+            "--first" => args.first = Some(parse_u64("--first", &value("--first")?)?),
+            "--last" => args.last = Some(parse_u64("--last", &value("--last")?)?),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--html" => args.html = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            cmd if !cmd.starts_with('-') && args.command.is_empty() => {
+                args.command = cmd.to_string();
+            }
+            other => return Err(usage(&format!("unknown argument {other:?}"))),
+        }
+    }
+    if args.command.is_empty() {
+        return Err(usage("no command given"));
+    }
+    match (&args.archive_dir, &args.addr) {
+        (None, None) => Err(usage("need --archive-dir or --addr")),
+        (Some(_), Some(_)) => Err(usage("--archive-dir and --addr are mutually exclusive")),
+        _ => Ok(args),
+    }
+}
+
+fn parse_u64(name: &str, raw: &str) -> Result<u64, String> {
+    raw.parse()
+        .map_err(|_| usage(&format!("{name} expects an integer, got {raw:?}")))
+}
+
+fn open_source(args: &Args) -> Result<ExplorerSource, ExplorerError> {
+    match (&args.archive_dir, &args.addr) {
+        (Some(dir), _) => ExplorerSource::open(dir),
+        (_, Some(addr)) => ExplorerSource::connect(addr),
+        _ => unreachable!("parse_args requires one"),
+    }
+}
+
+fn found_of(out: LookupOutput) -> Result<Option<fork_query::FoundRecord>, ExplorerError> {
+    match out {
+        LookupOutput::Found(f) => Ok(f),
+        other => Err(ExplorerError::Invalid(format!("lookup answered {other:?}"))),
+    }
+}
+
+fn run(args: &Args) -> Result<String, ExplorerError> {
+    let mut source = open_source(args)?;
+    match args.command.as_str() {
+        "overview" => {
+            let meta = source.meta()?;
+            let tips = match source.lookup(&Lookup::TipHistory)? {
+                LookupOutput::Tips(t) => t,
+                other => {
+                    return Err(ExplorerError::Invalid(format!(
+                        "tip history answered {other:?}"
+                    )))
+                }
+            };
+            Ok(if args.html {
+                overview_html(&meta, &tips)
+            } else {
+                overview_json(&meta, &tips)
+            })
+        }
+        "block" => {
+            let lookup = match (args.hash, args.side, args.number) {
+                (Some(hash), None, None) => Lookup::BlockByHash { hash },
+                (None, Some(side), Some(number)) => Lookup::BlockByNumber { side, number },
+                _ => {
+                    return Err(ExplorerError::Invalid(
+                        "block needs --hash, or --side with --number".into(),
+                    ))
+                }
+            };
+            let found = found_of(source.lookup(&lookup)?)?;
+            Ok(if args.html {
+                block_html(&found)
+            } else {
+                block_json(&found)
+            })
+        }
+        "tx" => {
+            let hash = args
+                .hash
+                .ok_or_else(|| ExplorerError::Invalid("tx needs --hash".into()))?;
+            let found = found_of(source.lookup(&Lookup::TxByHash { hash })?)?;
+            Ok(if args.html {
+                tx_html(&found)
+            } else {
+                tx_json(&found)
+            })
+        }
+        "tips" => {
+            let tips = match source.lookup(&Lookup::TipHistory)? {
+                LookupOutput::Tips(t) => t,
+                other => {
+                    return Err(ExplorerError::Invalid(format!(
+                        "tip history answered {other:?}"
+                    )))
+                }
+            };
+            Ok(if args.html {
+                timeline_html(&tips)
+            } else {
+                timeline_json(&tips)
+            })
+        }
+        "headers" => {
+            let (side, first, last) = match (args.side, args.first, args.last) {
+                (Some(s), Some(f), Some(l)) => (s, f, l),
+                _ => {
+                    return Err(ExplorerError::Invalid(
+                        "headers needs --side, --first and --last".into(),
+                    ))
+                }
+            };
+            let chain = match source.lookup(&Lookup::Headers { side, first, last })? {
+                LookupOutput::Headers(c) => c,
+                other => {
+                    return Err(ExplorerError::Invalid(format!(
+                        "headers answered {other:?}"
+                    )))
+                }
+            };
+            // Always verify client-side: a page only renders from a chain
+            // whose frame checksums all check out.
+            let blocks = chain
+                .verify()
+                .map_err(|e| ExplorerError::Invalid(format!("header chain failed: {e}")))?;
+            Ok(if args.html {
+                headers_html(&chain, &blocks)
+            } else {
+                headers_json(&chain, &blocks)
+            })
+        }
+        "render" => {
+            let out = args
+                .out
+                .clone()
+                .ok_or_else(|| ExplorerError::Invalid("render needs --out DIR".into()))?;
+            let written = render_site(&mut source, &out)?;
+            let mut listing = String::new();
+            for path in written {
+                listing.push_str(&format!("wrote {}\n", path.display()));
+            }
+            Ok(listing)
+        }
+        other => Err(ExplorerError::Invalid(format!("unknown command {other:?}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(ExplorerError::Invalid(detail)) => {
+            eprintln!("{}", usage(&detail));
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("fork-explorer: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

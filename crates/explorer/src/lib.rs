@@ -1,0 +1,44 @@
+//! # fork-explorer
+//!
+//! The user-facing read surface over [`fork_archive`] / [`fork_query`] /
+//! [`fork_serve`]: point lookups by hash, per-side tip and reorg
+//! timelines, light-client-style verifiable header chains, and a
+//! deterministic JSON + HTML page renderer — a block explorer for the
+//! two-sided fork archive.
+//!
+//! The pieces:
+//!
+//! - [`ExplorerSource`]: one lookup surface over either a **local archive
+//!   directory** (served through `fork_query`'s pooled, sidecar-indexed
+//!   lookup path) or a **running `fork-served` daemon** over the wire
+//!   protocol. Both answer identically; pages render byte-identically
+//!   either way.
+//! - [`render`]: pure-function page rendering. Every JSON page carries
+//!   `"schema": "fork-explorer/v1"`; HTML pages are static documents with
+//!   stable element ids. [`render::render_site`] writes the whole site
+//!   (overview, timeline, per-side tip blocks, per-side header tails) and
+//!   is deterministic — CI renders twice and byte-compares.
+//! - The `fork-explorer` binary: `overview` / `block` / `tx` / `tips` /
+//!   `headers` / `render` subcommands against `--archive-dir` or
+//!   `--addr`.
+//!
+//! ## Trust model
+//!
+//! Point lookups ride the hash-index sidecar but re-read the actual frame
+//! through the archive's checksummed cursor — a stale or lying index entry
+//! surfaces as an error, never as wrong data. Header chains
+//! ([`fork_query::HeaderChain`]) carry each block's canonical frame
+//! payload plus its frame checksum, so a client verifies a range offline
+//! with [`fork_query::HeaderChain::verify`] — no archive, no server trust.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod source;
+
+pub use render::{
+    block_html, block_json, headers_html, headers_json, overview_html, overview_json, render_site,
+    side_label, timeline_html, timeline_json, tx_html, tx_json, SCHEMA,
+};
+pub use source::{ExplorerError, ExplorerSource};

@@ -1,0 +1,473 @@
+//! Deterministic JSON and HTML rendering for explorer pages.
+//!
+//! Every page is a pure function of archive data: no clocks, no random
+//! ids, no hash-map iteration — rendering the same archive twice yields
+//! byte-identical files, which is what lets CI `cmp` two runs and what
+//! makes pages cacheable forever (an archive's checksum names its
+//! content).
+//!
+//! JSON pages all carry `"schema": "fork-explorer/v1"` plus a `"page"`
+//! discriminator; HTML pages are static documents with stable element ids
+//! (`eth-tip`, `etc-tip`, …) so scripts and tests can grep them.
+
+use std::path::{Path, PathBuf};
+
+use fork_analytics::{BlockRecord, TxRecord};
+use fork_archive::ArchiveRecord;
+use fork_query::{FoundRecord, HeaderChain, Lookup, LookupOutput, ReorgEvent, TipHistoryOutput};
+use fork_replay::Side;
+use fork_serve::ServeMeta;
+
+use crate::source::{ExplorerError, ExplorerSource};
+
+/// Schema tag stamped into every JSON page.
+pub const SCHEMA: &str = "fork-explorer/v1";
+
+/// How many trailing blocks the site's per-side header pages cover.
+const SITE_HEADER_TAIL: u64 = 16;
+
+/// Stable lowercase side label used in JSON and HTML.
+pub fn side_label(side: Side) -> &'static str {
+    match side {
+        Side::Eth => "eth",
+        Side::Etc => "etc",
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".into(),
+    }
+}
+
+fn opt_range(v: Option<(u64, u64)>) -> String {
+    match v {
+        Some((lo, hi)) => format!("[{lo}, {hi}]"),
+        None => "null".into(),
+    }
+}
+
+fn block_fields(b: &BlockRecord) -> String {
+    format!(
+        "{{\"number\": {}, \"hash\": \"{}\", \"timestamp\": {}, \"difficulty\": \"{}\", \
+         \"beneficiary\": \"{}\", \"gas_used\": {}, \"tx_count\": {}, \"ommer_count\": {}}}",
+        b.number,
+        b.hash,
+        b.timestamp,
+        b.difficulty,
+        b.beneficiary,
+        b.gas_used,
+        b.tx_count,
+        b.ommer_count
+    )
+}
+
+fn tx_fields(t: &TxRecord) -> String {
+    format!(
+        "{{\"hash\": \"{}\", \"timestamp\": {}, \"is_contract\": {}, \"has_chain_id\": {}, \
+         \"value\": \"{}\"}}",
+        t.hash, t.timestamp, t.is_contract, t.has_chain_id, t.value
+    )
+}
+
+fn html_doc(title: &str, body: &str) -> String {
+    format!(
+        "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{title}</title>\n</head>\n<body>\n{body}</body>\n</html>\n"
+    )
+}
+
+// --- record pages ----------------------------------------------------------
+
+/// JSON for a block page: the result of a block hash/number lookup.
+pub fn block_json(found: &Option<FoundRecord>) -> String {
+    match found {
+        Some(FoundRecord {
+            seq,
+            side,
+            record: ArchiveRecord::Block(b),
+        }) => format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"page\": \"block\",\n  \"found\": true,\n  \
+             \"side\": \"{}\",\n  \"seq\": {seq},\n  \"block\": {}\n}}\n",
+            side_label(*side),
+            block_fields(b)
+        ),
+        _ => format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"page\": \"block\",\n  \"found\": false\n}}\n"
+        ),
+    }
+}
+
+/// HTML for a block page.
+pub fn block_html(found: &Option<FoundRecord>) -> String {
+    let body = match found {
+        Some(FoundRecord {
+            seq,
+            side,
+            record: ArchiveRecord::Block(b),
+        }) => format!(
+            "<h1>Block {} on {}</h1>\n<table>\n\
+             <tr><th>hash</th><td><code>{}</code></td></tr>\n\
+             <tr><th>seq</th><td>{seq}</td></tr>\n\
+             <tr><th>timestamp</th><td>{}</td></tr>\n\
+             <tr><th>difficulty</th><td>{}</td></tr>\n\
+             <tr><th>beneficiary</th><td><code>{}</code></td></tr>\n\
+             <tr><th>gas used</th><td>{}</td></tr>\n\
+             <tr><th>txs</th><td>{}</td></tr>\n\
+             <tr><th>ommers</th><td>{}</td></tr>\n</table>\n",
+            b.number,
+            side_label(*side),
+            b.hash,
+            b.timestamp,
+            b.difficulty,
+            b.beneficiary,
+            b.gas_used,
+            b.tx_count,
+            b.ommer_count
+        ),
+        _ => "<h1>Block not found</h1>\n".into(),
+    };
+    html_doc("block", &body)
+}
+
+/// JSON for a tx page: the result of a tx hash lookup.
+pub fn tx_json(found: &Option<FoundRecord>) -> String {
+    match found {
+        Some(FoundRecord {
+            seq,
+            side,
+            record: ArchiveRecord::Tx(t),
+        }) => format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"page\": \"tx\",\n  \"found\": true,\n  \
+             \"side\": \"{}\",\n  \"seq\": {seq},\n  \"tx\": {}\n}}\n",
+            side_label(*side),
+            tx_fields(t)
+        ),
+        _ => {
+            format!(
+                "{{\n  \"schema\": \"{SCHEMA}\",\n  \"page\": \"tx\",\n  \"found\": false\n}}\n"
+            )
+        }
+    }
+}
+
+/// HTML for a tx page.
+pub fn tx_html(found: &Option<FoundRecord>) -> String {
+    let body = match found {
+        Some(FoundRecord {
+            seq,
+            side,
+            record: ArchiveRecord::Tx(t),
+        }) => format!(
+            "<h1>Transaction on {}</h1>\n<table>\n\
+             <tr><th>hash</th><td><code>{}</code></td></tr>\n\
+             <tr><th>seq</th><td>{seq}</td></tr>\n\
+             <tr><th>timestamp</th><td>{}</td></tr>\n\
+             <tr><th>contract creation</th><td>{}</td></tr>\n\
+             <tr><th>EIP-155 chain id</th><td>{}</td></tr>\n\
+             <tr><th>value</th><td>{}</td></tr>\n</table>\n",
+            side_label(*side),
+            t.hash,
+            t.timestamp,
+            t.is_contract,
+            t.has_chain_id,
+            t.value
+        ),
+        _ => "<h1>Transaction not found</h1>\n".into(),
+    };
+    html_doc("tx", &body)
+}
+
+// --- timeline page ---------------------------------------------------------
+
+fn reorg_json(ev: &ReorgEvent) -> String {
+    format!(
+        "{{\"side\": \"{}\", \"seq\": {}, \"number\": {}, \"depth\": {}, \"timestamp\": {}}}",
+        side_label(ev.side),
+        ev.seq,
+        ev.number,
+        ev.depth,
+        ev.timestamp
+    )
+}
+
+/// JSON for the per-side tip + reorg timeline page.
+pub fn timeline_json(tips: &TipHistoryOutput) -> String {
+    let mut out = format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"page\": \"timeline\",\n");
+    for t in [&tips.eth, &tips.etc] {
+        let tip = match &t.tip {
+            Some(b) => block_fields(b),
+            None => "null".into(),
+        };
+        out.push_str(&format!(
+            "  \"{}\": {{\"blocks\": {}, \"reorgs\": {}, \"tip_seq\": {}, \"tip\": {}}},\n",
+            side_label(t.side),
+            t.blocks,
+            t.reorgs,
+            opt_u64(t.tip_seq),
+            tip
+        ));
+    }
+    out.push_str("  \"reorgs\": [");
+    for (i, ev) in tips.reorgs.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        out.push_str(sep);
+        out.push_str(&reorg_json(ev));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// HTML for the timeline page.
+pub fn timeline_html(tips: &TipHistoryOutput) -> String {
+    let mut body = String::from("<h1>Tip and reorg timeline</h1>\n<table>\n");
+    body.push_str("<tr><th>side</th><th>blocks</th><th>reorgs</th><th>tip</th></tr>\n");
+    for t in [&tips.eth, &tips.etc] {
+        let label = side_label(t.side);
+        let tip = match &t.tip {
+            Some(b) => format!("#{} <code>{}</code>", b.number, b.hash),
+            None => "(empty)".into(),
+        };
+        body.push_str(&format!(
+            "<tr><td>{label}</td><td>{}</td><td>{}</td><td id=\"{label}-tip\">{tip}</td></tr>\n",
+            t.blocks, t.reorgs
+        ));
+    }
+    body.push_str("</table>\n<h2>Reorg events</h2>\n");
+    if tips.reorgs.is_empty() {
+        body.push_str("<p>No reorgs recorded.</p>\n");
+    } else {
+        body.push_str(
+            "<table>\n<tr><th>seq</th><th>side</th><th>new tip</th><th>depth</th><th>timestamp</th></tr>\n",
+        );
+        for ev in &tips.reorgs {
+            body.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                ev.seq,
+                side_label(ev.side),
+                ev.number,
+                ev.depth,
+                ev.timestamp
+            ));
+        }
+        body.push_str("</table>\n");
+    }
+    html_doc("timeline", &body)
+}
+
+// --- overview page ---------------------------------------------------------
+
+/// JSON for the fork-overview page: archive shape plus both sides' tips.
+pub fn overview_json(meta: &ServeMeta, tips: &TipHistoryOutput) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"page\": \"overview\",\n  \
+         \"archive\": {{\"blocks\": {}, \"txs\": {}, \"format_version\": {}, \
+         \"checksum\": \"{:08x}\", \"block_range\": {}, \"time_range\": {}}},\n",
+        meta.blocks,
+        meta.txs,
+        meta.format_version,
+        meta.checksum,
+        opt_range(meta.block_range),
+        opt_range(meta.time_range)
+    );
+    for t in [&tips.eth, &tips.etc] {
+        let (tip_number, tip_hash) = match &t.tip {
+            Some(b) => (b.number.to_string(), format!("\"{}\"", b.hash)),
+            None => ("null".into(), "null".into()),
+        };
+        out.push_str(&format!(
+            "  \"{}\": {{\"blocks\": {}, \"reorgs\": {}, \"tip_number\": {tip_number}, \
+             \"tip_hash\": {tip_hash}}},\n",
+            side_label(t.side),
+            t.blocks,
+            t.reorgs
+        ));
+    }
+    out.push_str(&format!("  \"reorg_count\": {}\n}}\n", tips.reorgs.len()));
+    out
+}
+
+/// HTML for the fork-overview page. Both sides' tips appear with stable
+/// `eth-tip` / `etc-tip` element ids.
+pub fn overview_html(meta: &ServeMeta, tips: &TipHistoryOutput) -> String {
+    let mut body = String::from("<h1>Fork overview</h1>\n");
+    body.push_str(&format!(
+        "<p>{} blocks, {} txs (format v{}, checksum <code>{:08x}</code>)</p>\n",
+        meta.blocks, meta.txs, meta.format_version, meta.checksum
+    ));
+    body.push_str("<table>\n<tr><th>side</th><th>blocks</th><th>reorgs</th><th>tip</th></tr>\n");
+    for t in [&tips.eth, &tips.etc] {
+        let label = side_label(t.side);
+        let tip = match &t.tip {
+            Some(b) => format!("#{} <code>{}</code>", b.number, b.hash),
+            None => "(empty)".into(),
+        };
+        body.push_str(&format!(
+            "<tr><td>{label}</td><td>{}</td><td>{}</td><td id=\"{label}-tip\">{tip}</td></tr>\n",
+            t.blocks, t.reorgs
+        ));
+    }
+    body.push_str(&format!(
+        "</table>\n<p>{} reorg events — see the <a href=\"timeline.html\">timeline</a>.</p>\n",
+        tips.reorgs.len()
+    ));
+    html_doc("fork overview", &body)
+}
+
+// --- headers page ----------------------------------------------------------
+
+/// JSON for a verified header-chain page. `blocks` must be the output of
+/// [`HeaderChain::verify`] on `chain` — rendering is refused upstream when
+/// verification fails.
+pub fn headers_json(chain: &HeaderChain, blocks: &[BlockRecord]) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"page\": \"headers\",\n  \"side\": \"{}\",\n  \
+         \"first\": {},\n  \"last\": {},\n  \"count\": {},\n  \"verified\": true,\n  \
+         \"headers\": [",
+        side_label(chain.side),
+        chain.first,
+        chain.last,
+        blocks.len()
+    );
+    for (i, (h, b)) in chain.headers.iter().zip(blocks).enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        out.push_str(&format!(
+            "{sep}{{\"seq\": {}, \"number\": {}, \"hash\": \"{}\", \"timestamp\": {}, \
+             \"difficulty\": \"{}\"}}",
+            h.seq, b.number, b.hash, b.timestamp, b.difficulty
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// HTML for a verified header-chain page.
+pub fn headers_html(chain: &HeaderChain, blocks: &[BlockRecord]) -> String {
+    let mut body = format!(
+        "<h1>Headers {}..={} on {}</h1>\n<p>{} headers, verified by frame checksums.</p>\n\
+         <table>\n<tr><th>number</th><th>hash</th><th>timestamp</th><th>difficulty</th></tr>\n",
+        chain.first,
+        chain.last,
+        side_label(chain.side),
+        blocks.len()
+    );
+    for b in blocks {
+        body.push_str(&format!(
+            "<tr><td>{}</td><td><code>{}</code></td><td>{}</td><td>{}</td></tr>\n",
+            b.number, b.hash, b.timestamp, b.difficulty
+        ));
+    }
+    body.push_str("</table>\n");
+    html_doc("headers", &body)
+}
+
+// --- static site -----------------------------------------------------------
+
+fn write_page(
+    out: &mut Vec<PathBuf>,
+    dir: &Path,
+    name: &str,
+    content: &str,
+) -> std::io::Result<()> {
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    out.push(path);
+    Ok(())
+}
+
+/// Renders the static explorer site into `dir` (created if missing):
+/// `overview`, `timeline`, each side's tip block page (looked up **by
+/// hash** through the sidecar index), and each side's trailing header
+/// chain (client-verified before rendering). Returns the files written.
+///
+/// Output is deterministic: rendering the same archive twice produces
+/// byte-identical files.
+pub fn render_site(source: &mut ExplorerSource, dir: &Path) -> Result<Vec<PathBuf>, ExplorerError> {
+    std::fs::create_dir_all(dir)?;
+    let meta = source.meta()?;
+    let tips = match source.lookup(&Lookup::TipHistory)? {
+        LookupOutput::Tips(t) => t,
+        other => {
+            return Err(ExplorerError::Invalid(format!(
+                "tip history lookup answered {other:?}"
+            )))
+        }
+    };
+
+    let mut written = Vec::new();
+    write_page(
+        &mut written,
+        dir,
+        "overview.json",
+        &overview_json(&meta, &tips),
+    )?;
+    write_page(
+        &mut written,
+        dir,
+        "overview.html",
+        &overview_html(&meta, &tips),
+    )?;
+    write_page(&mut written, dir, "timeline.json", &timeline_json(&tips))?;
+    write_page(&mut written, dir, "timeline.html", &timeline_html(&tips))?;
+
+    for t in [&tips.eth, &tips.etc] {
+        let label = side_label(t.side);
+        let Some(tip) = &t.tip else { continue };
+
+        // Tip block page, fetched by hash so the sidecar fast path is the
+        // thing rendering it.
+        let found = match source.lookup(&Lookup::BlockByHash { hash: tip.hash })? {
+            LookupOutput::Found(f) => f,
+            other => {
+                return Err(ExplorerError::Invalid(format!(
+                    "block lookup answered {other:?}"
+                )))
+            }
+        };
+        write_page(
+            &mut written,
+            dir,
+            &format!("block-{label}.json"),
+            &block_json(&found),
+        )?;
+        write_page(
+            &mut written,
+            dir,
+            &format!("block-{label}.html"),
+            &block_html(&found),
+        )?;
+
+        // Trailing header chain, verified client-side before rendering.
+        let first = tip.number.saturating_sub(SITE_HEADER_TAIL - 1);
+        let lookup = Lookup::Headers {
+            side: t.side,
+            first,
+            last: tip.number,
+        };
+        let chain = match source.lookup(&lookup)? {
+            LookupOutput::Headers(c) => c,
+            other => {
+                return Err(ExplorerError::Invalid(format!(
+                    "headers lookup answered {other:?}"
+                )))
+            }
+        };
+        let blocks = chain
+            .verify()
+            .map_err(|e| ExplorerError::Invalid(format!("header chain failed to verify: {e}")))?;
+        write_page(
+            &mut written,
+            dir,
+            &format!("headers-{label}.json"),
+            &headers_json(&chain, &blocks),
+        )?;
+        write_page(
+            &mut written,
+            dir,
+            &format!("headers-{label}.html"),
+            &headers_html(&chain, &blocks),
+        )?;
+    }
+    Ok(written)
+}

@@ -1,0 +1,106 @@
+//! Where explorer pages get their data: a local archive directory (opened
+//! through a [`ReaderPool`], so the hash-index sidecar serves point
+//! lookups) or a running `fork-served` daemon over the wire protocol.
+//!
+//! Both sources answer the same [`Lookup`]s with identical results — the
+//! daemon runs the very same `fork_query` lookup engine — so every page
+//! renders byte-identically whichever way it was fetched.
+
+use std::path::Path;
+
+use fork_query::{Lookup, LookupOutput, QueryError, ReaderPool};
+use fork_serve::{archive_meta, ClientError, ServeClient, ServeMeta};
+
+/// Failure fetching explorer data.
+#[derive(Debug)]
+pub enum ExplorerError {
+    /// The local archive would not open or read.
+    Archive(String),
+    /// The lookup itself was rejected (invalid range, corrupt index…).
+    Query(QueryError),
+    /// Talking to a remote daemon failed.
+    Client(ClientError),
+    /// Writing rendered pages failed.
+    Io(std::io::Error),
+    /// Bad input (unparseable hash, unknown side, inverted range…).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ExplorerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExplorerError::Archive(e) => write!(f, "archive: {e}"),
+            ExplorerError::Query(e) => write!(f, "query: {e}"),
+            ExplorerError::Client(e) => write!(f, "client: {e}"),
+            ExplorerError::Io(e) => write!(f, "i/o: {e}"),
+            ExplorerError::Invalid(d) => write!(f, "invalid input: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ExplorerError {}
+
+impl From<QueryError> for ExplorerError {
+    fn from(e: QueryError) -> Self {
+        ExplorerError::Query(e)
+    }
+}
+
+impl From<ClientError> for ExplorerError {
+    fn from(e: ClientError) -> Self {
+        ExplorerError::Client(e)
+    }
+}
+
+impl From<std::io::Error> for ExplorerError {
+    fn from(e: std::io::Error) -> Self {
+        ExplorerError::Io(e)
+    }
+}
+
+/// One place explorer data comes from. See the [module docs](self).
+pub enum ExplorerSource {
+    /// A local archive directory, served through the pool's sidecar-indexed
+    /// lookup path.
+    Local(Box<ReaderPool>),
+    /// A `fork-served` daemon reached over the wire protocol.
+    Remote(Box<ServeClient>),
+}
+
+impl ExplorerSource {
+    /// Opens a local archive directory.
+    pub fn open(dir: &Path) -> Result<ExplorerSource, ExplorerError> {
+        let pool = ReaderPool::open(dir).map_err(|e| ExplorerError::Archive(e.to_string()))?;
+        Ok(ExplorerSource::Local(Box::new(pool)))
+    }
+
+    /// Connects to a running `fork-served` daemon.
+    pub fn connect(addr: &str) -> Result<ExplorerSource, ExplorerError> {
+        let client = ServeClient::connect(addr)?;
+        Ok(ExplorerSource::Remote(Box::new(client)))
+    }
+
+    /// Evaluates one lookup, locally or over the wire.
+    pub fn lookup(&mut self, lookup: &Lookup) -> Result<LookupOutput, ExplorerError> {
+        match self {
+            ExplorerSource::Local(pool) => Ok(pool.lookup(lookup)?),
+            ExplorerSource::Remote(client) => Ok(client.lookup(lookup)?),
+        }
+    }
+
+    /// Archive shape metadata (totals, ranges, format version, checksum).
+    pub fn meta(&mut self) -> Result<ServeMeta, ExplorerError> {
+        match self {
+            ExplorerSource::Local(pool) => Ok(archive_meta(pool)),
+            ExplorerSource::Remote(client) => Ok(client.meta()?),
+        }
+    }
+
+    /// A short label for page footers: where the data came from.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExplorerSource::Local(_) => "local archive",
+            ExplorerSource::Remote(_) => "fork-served daemon",
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Explorer rendering is deterministic and source-agnostic: the same
+//! archive renders byte-identical pages across reruns, and a remote
+//! source (a live `fork-served` daemon) renders byte-identical pages to
+//! the local archive path.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use fork_analytics::{BlockRecord, TxRecord};
+use fork_archive::{ArchiveConfig, ArchiveWriter, Codec};
+use fork_explorer::{render_site, ExplorerSource, SCHEMA};
+use fork_primitives::{Address, H256, U256};
+use fork_replay::Side;
+use fork_serve::{ServeConfig, Server};
+use fork_sim::LedgerSink;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("fork-explorer-render-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_archive(dir: &Path) {
+    let config = ArchiveConfig {
+        segment_max_bytes: 4 * 1024,
+        codec: Codec::Delta,
+    };
+    let mut writer = ArchiveWriter::create_with(dir, config).unwrap();
+    for n in 0..60u64 {
+        for side in [Side::Eth, Side::Etc] {
+            let ts = 1_469_000_000 + n * 14 + (side == Side::Etc) as u64;
+            writer.block(BlockRecord {
+                network: side,
+                number: n,
+                hash: H256([(n % 250) as u8 + (side == Side::Etc) as u8; 32]),
+                timestamp: ts,
+                difficulty: U256::from_u64(7_000_000 + n),
+                beneficiary: Address([3; 20]),
+                gas_used: 50_000 + n,
+                tx_count: 2,
+                ommer_count: 0,
+            });
+            for k in 0..2u64 {
+                writer.tx(TxRecord {
+                    network: side,
+                    hash: H256([(n * 2 + k) as u8; 32]),
+                    timestamp: ts,
+                    is_contract: k == 0,
+                    has_chain_id: side == Side::Eth,
+                    value: U256::from_u64(n * 1000 + k),
+                });
+            }
+        }
+    }
+    writer.finish(None).unwrap();
+}
+
+fn site_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let path = e.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            (name, std::fs::read(&path).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn rendering_is_deterministic_and_identical_local_or_served() {
+    let arch = scratch("arch");
+    write_archive(&arch);
+
+    // Two local renders: byte-identical, and the expected page set.
+    let (site_a, site_b) = (scratch("site-a"), scratch("site-b"));
+    let mut source = ExplorerSource::open(&arch).unwrap();
+    let written = render_site(&mut source, &site_a).unwrap();
+    render_site(&mut ExplorerSource::open(&arch).unwrap(), &site_b).unwrap();
+    let (bytes_a, bytes_b) = (site_bytes(&site_a), site_bytes(&site_b));
+    assert_eq!(bytes_a, bytes_b, "re-render changed page bytes");
+    assert_eq!(written.len(), bytes_a.len());
+    for page in [
+        "overview.json",
+        "overview.html",
+        "timeline.json",
+        "timeline.html",
+        "block-eth.json",
+        "block-etc.html",
+        "headers-eth.json",
+        "headers-etc.html",
+    ] {
+        assert!(bytes_a.contains_key(page), "missing page {page}");
+    }
+    for (name, bytes) in &bytes_a {
+        if name.ends_with(".json") {
+            let text = std::str::from_utf8(bytes).unwrap();
+            assert!(
+                text.contains(&format!("\"schema\": \"{SCHEMA}\"")),
+                "{name} lacks the schema marker"
+            );
+        }
+    }
+    // The overview names both sides' tips under stable element ids.
+    let overview = std::str::from_utf8(&bytes_a["overview.html"]).unwrap();
+    assert!(overview.contains("id=\"eth-tip\""));
+    assert!(overview.contains("id=\"etc-tip\""));
+
+    // A remote source against a live daemon renders the same bytes.
+    let handle = Server::start(ServeConfig::new(&arch)).expect("start daemon");
+    let addr = handle.local_addr().to_string();
+    let site_remote = scratch("site-remote");
+    let mut remote = ExplorerSource::connect(&addr).unwrap();
+    render_site(&mut remote, &site_remote).unwrap();
+    drop(remote);
+    handle.shutdown();
+    assert_eq!(
+        site_bytes(&site_remote),
+        bytes_a,
+        "served pages diverge from local-archive pages"
+    );
+
+    for dir in [arch, site_a, site_b, site_remote] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

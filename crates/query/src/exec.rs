@@ -20,6 +20,7 @@ use fork_archive::ArchiveReader;
 use fork_telemetry::{Histogram, HistogramSnapshot, MetricsRegistry};
 
 use crate::error::QueryError;
+use crate::lookup::{evaluate_lookup, lookup_indexed, Lookup, LookupOutput};
 use crate::pool::ReaderPool;
 use crate::query::{evaluate, NaiveSource, PooledSource, Query, QueryOutput};
 
@@ -110,6 +111,30 @@ impl QueryExecutor {
     /// seek. Tests diff [`QueryExecutor::run`] output against this.
     pub fn run_naive(reader: &ArchiveReader, query: &Query) -> Result<QueryOutput, QueryError> {
         evaluate(&NaiveSource(reader), query)
+    }
+
+    /// Evaluates one lookup on the calling thread through the sidecar fast
+    /// path (hash lookups) or the pooled cached streams (the rest), with
+    /// latency recorded into `query.latency`.
+    pub fn run_lookup(
+        &self,
+        pool: &ReaderPool,
+        lookup: &Lookup,
+    ) -> Result<LookupOutput, QueryError> {
+        let started = Instant::now();
+        let out = lookup_indexed(pool, lookup);
+        self.latency.record(started.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Reference lookup evaluation: answered by plain full scans through
+    /// `reader` — no pool, no cache, no hash index. Tests diff
+    /// [`QueryExecutor::run_lookup`] output against this.
+    pub fn run_lookup_naive(
+        reader: &ArchiveReader,
+        lookup: &Lookup,
+    ) -> Result<LookupOutput, QueryError> {
+        evaluate_lookup(&NaiveSource(reader), lookup)
     }
 }
 

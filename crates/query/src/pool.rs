@@ -15,12 +15,17 @@
 //! scan yield identical record sequences.
 
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use fork_archive::format::{Superblock, FRAME_HEADER_LEN, SUPERBLOCK_LEN};
-use fork_archive::{ArchiveError, ArchiveReader, ArchiveRecord, SegmentCursor, SegmentScan};
+use fork_archive::{
+    ArchiveError, ArchiveReader, ArchiveRecord, HashIndex, SegmentCursor, SegmentScan,
+};
 use fork_replay::Side;
 
 use crate::cache::{CachedFrame, FrameCache, FrameKey};
+use crate::lookup::{lookup_indexed, Lookup, LookupOutput};
+use crate::QueryError;
 
 /// Default cache budget for [`ReaderPool::open`]: 64 MiB.
 pub const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
@@ -51,6 +56,9 @@ pub(crate) enum StopKey {
 pub struct ReaderPool {
     reader: ArchiveReader,
     cache: FrameCache,
+    /// Hash-index sidecar, loaded (or scan-built and persisted) on first
+    /// point lookup. Immutable once built, like the sparse index.
+    hash_index: OnceLock<HashIndex>,
 }
 
 impl ReaderPool {
@@ -65,7 +73,11 @@ impl ReaderPool {
 
     /// Wraps an already-opened reader with a caller-configured cache.
     pub fn new(reader: ArchiveReader, cache: FrameCache) -> ReaderPool {
-        ReaderPool { reader, cache }
+        ReaderPool {
+            reader,
+            cache,
+            hash_index: OnceLock::new(),
+        }
     }
 
     /// The underlying reader (index, manifest, verify, replay).
@@ -76,6 +88,64 @@ impl ReaderPool {
     /// The shared frame cache (for stats and telemetry).
     pub fn cache(&self) -> &FrameCache {
         &self.cache
+    }
+
+    /// The hash index, loading the persisted sidecar on first use (a
+    /// missing, torn, or stale sidecar is rebuilt by a scan and re-written
+    /// best-effort — see `fork_archive::sidecar`).
+    pub fn hash_index(&self) -> &HashIndex {
+        self.hash_index
+            .get_or_init(|| HashIndex::load_or_build(&self.reader).0)
+    }
+
+    /// Evaluates one lookup through the sidecar fast path (hash lookups
+    /// jump straight to their frame; the rest stream through the cache).
+    /// Results are identical to `QueryExecutor::run_lookup_naive`.
+    pub fn lookup(&self, lookup: &Lookup) -> Result<LookupOutput, QueryError> {
+        lookup_indexed(self, lookup)
+    }
+
+    /// Reads the single frame at `(side, segment, offset)` through the
+    /// cache, opening a checksum-verifying cursor on a miss.
+    pub(crate) fn read_frame_at(
+        &self,
+        side: Side,
+        segment: u32,
+        offset: u64,
+    ) -> Result<(u64, ArchiveRecord), ArchiveError> {
+        if let Some(hit) = self.cache.get(&(side, segment, offset)) {
+            return Ok((hit.seq, hit.record.clone()));
+        }
+        let (path, scan) = self
+            .reader
+            .segments(side)
+            .iter()
+            .find(|(_, s)| s.superblock.segment == segment)
+            .ok_or_else(|| ArchiveError::Corrupt {
+                path: self.reader.dir().to_path_buf(),
+                offset,
+                detail: format!("no {side:?} segment {segment} in the open index"),
+            })?;
+        let mut cursor = SegmentCursor::open(path, scan.superblock, offset, scan.valid_len)?;
+        match cursor.next_frame() {
+            Some(Ok((off, seq, record))) => {
+                self.cache.insert(
+                    (side, segment, off),
+                    CachedFrame {
+                        seq,
+                        record: record.clone(),
+                        next_offset: cursor.pos(),
+                    },
+                );
+                Ok((seq, record))
+            }
+            Some(Err(e)) => Err(e),
+            None => Err(ArchiveError::Corrupt {
+                path: path.clone(),
+                offset,
+                detail: "frame offset past the segment's valid range".into(),
+            }),
+        }
     }
 
     /// A fresh stream over `side`, optionally seeked and bounded. Each call

@@ -340,9 +340,12 @@ fn run_echo_detector(source: &dyn RecordSource) -> Result<EchoDetector, QueryErr
     Ok(detector)
 }
 
-type RecordIter<'a> = Box<dyn Iterator<Item = Result<(u64, ArchiveRecord), ArchiveError>> + 'a>;
+pub(crate) type RecordIter<'a> =
+    Box<dyn Iterator<Item = Result<(u64, ArchiveRecord), ArchiveError>> + 'a>;
 
-fn peek_seq(it: &mut std::iter::Peekable<RecordIter<'_>>) -> Result<Option<u64>, QueryError> {
+pub(crate) fn peek_seq(
+    it: &mut std::iter::Peekable<RecordIter<'_>>,
+) -> Result<Option<u64>, QueryError> {
     match it.peek() {
         None => Ok(None),
         Some(Ok((seq, _))) => Ok(Some(*seq)),

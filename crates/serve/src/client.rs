@@ -11,7 +11,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-use fork_query::{Query, QueryOutput};
+use fork_query::{Lookup, LookupOutput, Query, QueryOutput};
 
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, DecodeError, FrameError, Request,
@@ -123,6 +123,15 @@ impl ServeClient {
     pub fn query(&mut self, query: &Query) -> Result<QueryOutput, ClientError> {
         match self.call(RequestBody::Query(*query))? {
             ResponseBody::Output(out) => Ok(out),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Evaluates a point `lookup` on the daemon and returns the decoded
+    /// output (hash/number lookups, tip history, header chains).
+    pub fn lookup(&mut self, lookup: &Lookup) -> Result<LookupOutput, ClientError> {
+        match self.call(RequestBody::Lookup(*lookup))? {
+            ResponseBody::Lookup(out) => Ok(out),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

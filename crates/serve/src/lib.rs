@@ -45,7 +45,8 @@ pub use load::{
     run_load, workload_queries, LoadConfig, LoadError, LoadReport, PhaseStats, RETRY_BACKOFF_CAP,
 };
 pub use server::{
-    archive_meta, endpoint_index, ServeConfig, ServeError, Server, ServerHandle, ENDPOINTS,
+    archive_meta, endpoint_index, lookup_endpoint_index, ServeConfig, ServeError, Server,
+    ServerHandle, ENDPOINTS,
 };
 pub use wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,

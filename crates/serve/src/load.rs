@@ -160,8 +160,8 @@ impl LoadReport {
             self.connections, self.pipeline_depth
         ));
         out.push_str(&format!(
-            "  \"archive\": {{\"blocks\": {}, \"txs\": {}}},\n",
-            self.meta.blocks, self.meta.txs
+            "  \"archive\": {{\"blocks\": {}, \"txs\": {}, \"format_version\": {}, \"checksum\": \"{:08x}\"}},\n",
+            self.meta.blocks, self.meta.txs, self.meta.format_version, self.meta.checksum
         ));
         out.push_str("  \"phases\": [\n");
         for (i, phase) in self.phases.iter().enumerate() {
@@ -180,8 +180,13 @@ impl LoadReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "load: {} connections, depth {}, archive {} blocks / {} txs\n",
-            self.connections, self.pipeline_depth, self.meta.blocks, self.meta.txs
+            "load: {} connections, depth {}, archive {} blocks / {} txs (format v{}, checksum {:08x})\n",
+            self.connections,
+            self.pipeline_depth,
+            self.meta.blocks,
+            self.meta.txs,
+            self.meta.format_version,
+            self.meta.checksum
         ));
         out.push_str(
             "phase      requests       ok  overl  retry  backp   err      q/s      p50      p90      p99\n",

@@ -44,8 +44,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fork_query::{
-    FrameCache, Projection, Query, QueryError, QueryExecutor, ReaderPool, DEFAULT_CACHE_BYTES,
-    DEFAULT_CACHE_SHARDS,
+    FrameCache, Lookup, Projection, Query, QueryError, QueryExecutor, ReaderPool,
+    DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SHARDS,
 };
 use fork_replay::Side;
 use fork_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, TimingMode};
@@ -61,15 +61,20 @@ const READ_TICK: Duration = Duration::from_millis(50);
 /// replies and backpressure rejections.
 const CONTROL_SLACK: usize = 64;
 
-/// Endpoint labels, one per projection; `serve.latency.<label>` histograms
-/// are registered for each at startup.
-pub const ENDPOINTS: [&str; 6] = [
+/// Endpoint labels, one per projection and lookup shape;
+/// `serve.latency.<label>` histograms are registered for each at startup.
+pub const ENDPOINTS: [&str; 11] = [
     "blocks",
     "txs",
     "interarrival",
     "difficulty",
     "tx_ratio",
     "echoes",
+    "block_by_hash",
+    "tx_by_hash",
+    "block_by_number",
+    "tip_history",
+    "headers",
 ];
 
 /// The `serve.latency.*` histogram index for a projection.
@@ -81,6 +86,17 @@ pub fn endpoint_index(projection: &Projection) -> usize {
         Projection::Difficulty => 3,
         Projection::TxRatioPerDay => 4,
         Projection::Echoes { .. } => 5,
+    }
+}
+
+/// The `serve.latency.*` histogram index for a lookup.
+pub fn lookup_endpoint_index(lookup: &Lookup) -> usize {
+    match lookup {
+        Lookup::BlockByHash { .. } => 6,
+        Lookup::TxByHash { .. } => 7,
+        Lookup::BlockByNumber { .. } => 8,
+        Lookup::TipHistory => 9,
+        Lookup::Headers { .. } => 10,
     }
 }
 
@@ -214,9 +230,15 @@ enum WriterMsg {
     Query(Response),
 }
 
+/// One admitted unit of work: a full query or a point lookup.
+enum Work {
+    Query(Query),
+    Lookup(Lookup),
+}
+
 struct Job {
     id: u64,
-    query: Query,
+    work: Work,
     reply: SyncSender<WriterMsg>,
     conn: Arc<ConnShared>,
 }
@@ -276,6 +298,8 @@ pub fn archive_meta(pool: &ReaderPool) -> ServeMeta {
         txs,
         block_range,
         time_range,
+        format_version: fork_archive::archive_format_version(reader),
+        checksum: u32::from_le_bytes(fork_archive::archive_fingerprint(reader)),
     }
 }
 
@@ -448,12 +472,24 @@ fn accept_loop(
 fn worker_loop(state: &Arc<State>, queue: &Arc<JobQueue>) {
     while let Some(job) = queue.pop() {
         let started = Instant::now();
-        let result = state.exec.run(&state.pool, &job.query);
+        let (endpoint, result) = match &job.work {
+            Work::Query(query) => (
+                endpoint_index(&query.projection),
+                state.exec.run(&state.pool, query).map(ResponseBody::Output),
+            ),
+            Work::Lookup(lookup) => (
+                lookup_endpoint_index(lookup),
+                state
+                    .exec
+                    .run_lookup(&state.pool, lookup)
+                    .map(ResponseBody::Lookup),
+            ),
+        };
         let micros = started.elapsed().as_micros() as u64;
-        state.latency[endpoint_index(&job.query.projection)].record(micros);
+        state.latency[endpoint].record(micros);
         state.global_inflight.fetch_sub(1, Ordering::SeqCst);
         let body = match result {
-            Ok(output) => ResponseBody::Output(output),
+            Ok(body) => body,
             Err(QueryError::Unsupported { detail }) => ResponseBody::Error(WireError {
                 kind: ErrorKind::Unsupported,
                 detail,
@@ -650,7 +686,22 @@ fn serve_requests(
                 state.queries.incr();
                 queue.push(Job {
                     id: req.id,
-                    query,
+                    work: Work::Query(query),
+                    reply: tx.clone(),
+                    conn: Arc::clone(conn),
+                });
+            }
+            RequestBody::Lookup(lookup) => {
+                if let Some(rejection) = admit(state, conn, req.id) {
+                    if !send_control(tx, &stream, rejection) {
+                        return;
+                    }
+                    continue;
+                }
+                state.queries.incr();
+                queue.push(Job {
+                    id: req.id,
+                    work: Work::Lookup(lookup),
                     reply: tx.clone(),
                     conn: Arc::clone(conn),
                 });

@@ -26,9 +26,14 @@ use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
 use fork_analytics::{BlockRecord, TimeSeries, TxRecord};
+use fork_archive::format::CHECKSUM_LEN;
 use fork_archive::ArchiveRecord;
 use fork_net::{open_frame, seal_frame};
-use fork_query::{Projection, Query, QueryOutput, QueryRange};
+use fork_primitives::H256;
+use fork_query::{
+    FoundRecord, HeaderChain, Lookup, LookupOutput, Projection, Query, QueryOutput, QueryRange,
+    ReorgEvent, SealedHeader, SideTip, TipHistoryOutput,
+};
 use fork_replay::Side;
 use fork_telemetry::{HistogramSnapshot, BUCKETS};
 
@@ -53,6 +58,9 @@ pub struct Request {
 pub enum RequestBody {
     /// Evaluate a [`Query`] against the served archive.
     Query(Query),
+    /// Evaluate a point [`Lookup`] (hash/number lookups, tip history,
+    /// header chains) against the served archive.
+    Lookup(Lookup),
     /// Return a JSON telemetry snapshot (the `/stats`-style control call).
     Stats,
     /// Return archive shape metadata (totals plus block-number/timestamp
@@ -122,6 +130,12 @@ pub struct ServeMeta {
     pub block_range: Option<(u64, u64)>,
     /// Min/max record timestamp across both sides, if known.
     pub time_range: Option<(u64, u64)>,
+    /// Archive format version needed to read the served archive (see
+    /// `fork_archive::archive_format_version`).
+    pub format_version: u16,
+    /// Archive content checksum — `fork_archive::archive_fingerprint` as a
+    /// little-endian `u32`. Changes whenever segment bytes change.
+    pub checksum: u32,
 }
 
 /// A response as carried on the wire.
@@ -136,9 +150,12 @@ pub struct Response {
 
 /// The response variants.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // short-lived, one per answered request
 pub enum ResponseBody {
     /// Successful query evaluation.
     Output(QueryOutput),
+    /// Successful lookup evaluation.
+    Lookup(LookupOutput),
     /// JSON telemetry snapshot (see [`fork_telemetry::Snapshot::to_json`]).
     Stats(String),
     /// Archive shape metadata.
@@ -346,6 +363,11 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
     fn u32(&mut self) -> Result<u32, DecodeError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
@@ -397,6 +419,7 @@ const REQ_STATS: u8 = 1;
 const REQ_META: u8 = 2;
 const REQ_PING: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_LOOKUP: u8 = 5;
 
 fn side_tag(side: Option<Side>) -> u8 {
     match side {
@@ -475,6 +498,72 @@ fn decode_query(c: &mut Cursor<'_>) -> Result<Query, DecodeError> {
     })
 }
 
+/// Decodes a side byte that must name a concrete side (the "both sides"
+/// tag 0 is invalid here).
+fn one_side(c: &mut Cursor<'_>) -> Result<Side, DecodeError> {
+    side_from(c.u8()?)?.ok_or(DecodeError::UnknownTag(0))
+}
+
+const LOOKUP_BLOCK_BY_HASH: u8 = 0;
+const LOOKUP_TX_BY_HASH: u8 = 1;
+const LOOKUP_BLOCK_BY_NUMBER: u8 = 2;
+const LOOKUP_TIP_HISTORY: u8 = 3;
+const LOOKUP_HEADERS: u8 = 4;
+
+fn encode_lookup(out: &mut Vec<u8>, l: &Lookup) {
+    match *l {
+        Lookup::BlockByHash { hash } => {
+            out.push(LOOKUP_BLOCK_BY_HASH);
+            out.extend_from_slice(&hash.0);
+        }
+        Lookup::TxByHash { hash } => {
+            out.push(LOOKUP_TX_BY_HASH);
+            out.extend_from_slice(&hash.0);
+        }
+        Lookup::BlockByNumber { side, number } => {
+            out.push(LOOKUP_BLOCK_BY_NUMBER);
+            out.push(side_tag(Some(side)));
+            out.extend_from_slice(&number.to_le_bytes());
+        }
+        Lookup::TipHistory => out.push(LOOKUP_TIP_HISTORY),
+        Lookup::Headers { side, first, last } => {
+            out.push(LOOKUP_HEADERS);
+            out.push(side_tag(Some(side)));
+            out.extend_from_slice(&first.to_le_bytes());
+            out.extend_from_slice(&last.to_le_bytes());
+        }
+    }
+}
+
+fn decode_hash(c: &mut Cursor<'_>) -> Result<H256, DecodeError> {
+    let raw = c.take(32)?;
+    let mut hash = [0u8; 32];
+    hash.copy_from_slice(raw);
+    Ok(H256(hash))
+}
+
+fn decode_lookup(c: &mut Cursor<'_>) -> Result<Lookup, DecodeError> {
+    Ok(match c.u8()? {
+        LOOKUP_BLOCK_BY_HASH => Lookup::BlockByHash {
+            hash: decode_hash(c)?,
+        },
+        LOOKUP_TX_BY_HASH => Lookup::TxByHash {
+            hash: decode_hash(c)?,
+        },
+        LOOKUP_BLOCK_BY_NUMBER => Lookup::BlockByNumber {
+            side: one_side(c)?,
+            number: c.u64()?,
+        },
+        LOOKUP_TIP_HISTORY => Lookup::TipHistory,
+        LOOKUP_HEADERS => Lookup::Headers {
+            side: one_side(c)?,
+            first: c.u64()?,
+            last: c.u64()?,
+        },
+        t => return Err(DecodeError::UnknownTag(t)),
+    })
+}
+
 /// Serializes a request into a frame payload (pre-seal).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
@@ -483,6 +572,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         RequestBody::Query(q) => {
             out.push(REQ_QUERY);
             encode_query(&mut out, q);
+        }
+        RequestBody::Lookup(l) => {
+            out.push(REQ_LOOKUP);
+            encode_lookup(&mut out, l);
         }
         RequestBody::Stats => out.push(REQ_STATS),
         RequestBody::Meta => out.push(REQ_META),
@@ -498,6 +591,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
     let id = c.u64()?;
     let body = match c.u8()? {
         REQ_QUERY => RequestBody::Query(decode_query(&mut c)?),
+        REQ_LOOKUP => RequestBody::Lookup(decode_lookup(&mut c)?),
         REQ_STATS => RequestBody::Stats,
         REQ_META => RequestBody::Meta,
         REQ_PING => RequestBody::Ping,
@@ -516,6 +610,7 @@ const RESP_META: u8 = 2;
 const RESP_PONG: u8 = 3;
 const RESP_SHUTDOWN_ACK: u8 = 4;
 const RESP_ERROR: u8 = 5;
+const RESP_LOOKUP: u8 = 6;
 
 const OUT_BLOCKS: u8 = 0;
 const OUT_TXS: u8 = 1;
@@ -684,6 +779,158 @@ fn decode_output(c: &mut Cursor<'_>) -> Result<QueryOutput, DecodeError> {
     }
 }
 
+// --- lookup output codec ---------------------------------------------------
+
+const LOOKUP_OUT_NONE: u8 = 0;
+const LOOKUP_OUT_FOUND: u8 = 1;
+const LOOKUP_OUT_TIPS: u8 = 2;
+const LOOKUP_OUT_HEADERS: u8 = 3;
+
+/// Encodes a record with its real seq stamped into the payload, so the
+/// decoder can cross-check the framing seq against the archive codec's.
+fn encode_seq_record(out: &mut Vec<u8>, seq: u64, side: Side, record: &ArchiveRecord) {
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(side_tag(Some(side)));
+    put_bytes(out, &record.encode_payload(seq));
+}
+
+fn decode_seq_record(c: &mut Cursor<'_>) -> Result<(u64, Side, ArchiveRecord), DecodeError> {
+    let seq = c.u64()?;
+    let side = one_side(c)?;
+    let payload = c.bytes()?;
+    let (payload_seq, record) =
+        ArchiveRecord::decode_payload(side, payload).map_err(DecodeError::Malformed)?;
+    if payload_seq != seq {
+        return Err(DecodeError::Malformed(format!(
+            "payload seq {payload_seq} != framed seq {seq}"
+        )));
+    }
+    Ok((seq, side, record))
+}
+
+fn encode_side_tip(out: &mut Vec<u8>, t: &SideTip) {
+    out.push(side_tag(Some(t.side)));
+    match (&t.tip, t.tip_seq) {
+        (Some(b), Some(seq)) => {
+            out.push(1);
+            encode_seq_record(out, seq, t.side, &ArchiveRecord::Block(b.clone()));
+        }
+        _ => out.push(0),
+    }
+    out.extend_from_slice(&t.blocks.to_le_bytes());
+    out.extend_from_slice(&t.reorgs.to_le_bytes());
+}
+
+fn decode_side_tip(c: &mut Cursor<'_>) -> Result<SideTip, DecodeError> {
+    let side = one_side(c)?;
+    let (tip, tip_seq) = match c.u8()? {
+        0 => (None, None),
+        1 => match decode_seq_record(c)? {
+            (seq, s, ArchiveRecord::Block(b)) if s == side => (Some(b), Some(seq)),
+            (_, s, ArchiveRecord::Block(_)) => {
+                return Err(DecodeError::Malformed(format!(
+                    "tip side {s:?} != {side:?}"
+                )))
+            }
+            _ => return Err(DecodeError::Malformed("tip record is not a block".into())),
+        },
+        t => return Err(DecodeError::UnknownTag(t)),
+    };
+    Ok(SideTip {
+        side,
+        tip,
+        tip_seq,
+        blocks: c.u64()?,
+        reorgs: c.u64()?,
+    })
+}
+
+fn encode_lookup_output(out: &mut Vec<u8>, o: &LookupOutput) {
+    match o {
+        LookupOutput::Found(None) => out.push(LOOKUP_OUT_NONE),
+        LookupOutput::Found(Some(f)) => {
+            out.push(LOOKUP_OUT_FOUND);
+            encode_seq_record(out, f.seq, f.side, &f.record);
+        }
+        LookupOutput::Tips(t) => {
+            out.push(LOOKUP_OUT_TIPS);
+            encode_side_tip(out, &t.eth);
+            encode_side_tip(out, &t.etc);
+            out.extend_from_slice(&(t.reorgs.len() as u32).to_le_bytes());
+            for ev in &t.reorgs {
+                out.push(side_tag(Some(ev.side)));
+                out.extend_from_slice(&ev.seq.to_le_bytes());
+                out.extend_from_slice(&ev.number.to_le_bytes());
+                out.extend_from_slice(&ev.depth.to_le_bytes());
+                out.extend_from_slice(&ev.timestamp.to_le_bytes());
+            }
+        }
+        LookupOutput::Headers(chain) => {
+            out.push(LOOKUP_OUT_HEADERS);
+            out.push(side_tag(Some(chain.side)));
+            out.extend_from_slice(&chain.first.to_le_bytes());
+            out.extend_from_slice(&chain.last.to_le_bytes());
+            out.extend_from_slice(&(chain.headers.len() as u32).to_le_bytes());
+            for h in &chain.headers {
+                out.extend_from_slice(&h.seq.to_le_bytes());
+                put_bytes(out, &h.payload);
+                out.extend_from_slice(&h.checksum);
+            }
+        }
+    }
+}
+
+fn decode_lookup_output(c: &mut Cursor<'_>) -> Result<LookupOutput, DecodeError> {
+    match c.u8()? {
+        LOOKUP_OUT_NONE => Ok(LookupOutput::Found(None)),
+        LOOKUP_OUT_FOUND => {
+            let (seq, side, record) = decode_seq_record(c)?;
+            Ok(LookupOutput::Found(Some(FoundRecord { seq, side, record })))
+        }
+        LOOKUP_OUT_TIPS => {
+            let eth = decode_side_tip(c)?;
+            let etc = decode_side_tip(c)?;
+            let n = c.u32()?;
+            let mut reorgs = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                reorgs.push(ReorgEvent {
+                    side: one_side(c)?,
+                    seq: c.u64()?,
+                    number: c.u64()?,
+                    depth: c.u64()?,
+                    timestamp: c.u64()?,
+                });
+            }
+            Ok(LookupOutput::Tips(TipHistoryOutput { eth, etc, reorgs }))
+        }
+        LOOKUP_OUT_HEADERS => {
+            let side = one_side(c)?;
+            let first = c.u64()?;
+            let last = c.u64()?;
+            let n = c.u32()?;
+            let mut headers = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                let seq = c.u64()?;
+                let payload = c.bytes()?.to_vec();
+                let mut checksum = [0u8; CHECKSUM_LEN];
+                checksum.copy_from_slice(c.take(CHECKSUM_LEN)?);
+                headers.push(SealedHeader {
+                    seq,
+                    payload,
+                    checksum,
+                });
+            }
+            Ok(LookupOutput::Headers(HeaderChain {
+                side,
+                first,
+                last,
+                headers,
+            }))
+        }
+        t => Err(DecodeError::UnknownTag(t)),
+    }
+}
+
 fn encode_meta(out: &mut Vec<u8>, m: &ServeMeta) {
     out.extend_from_slice(&m.blocks.to_le_bytes());
     out.extend_from_slice(&m.txs.to_le_bytes());
@@ -697,6 +944,8 @@ fn encode_meta(out: &mut Vec<u8>, m: &ServeMeta) {
             }
         }
     }
+    out.extend_from_slice(&m.format_version.to_le_bytes());
+    out.extend_from_slice(&m.checksum.to_le_bytes());
 }
 
 fn decode_meta(c: &mut Cursor<'_>) -> Result<ServeMeta, DecodeError> {
@@ -715,6 +964,8 @@ fn decode_meta(c: &mut Cursor<'_>) -> Result<ServeMeta, DecodeError> {
         txs,
         block_range: ranges[0],
         time_range: ranges[1],
+        format_version: c.u16()?,
+        checksum: c.u32()?,
     })
 }
 
@@ -726,6 +977,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         ResponseBody::Output(o) => {
             out.push(RESP_OUTPUT);
             encode_output(&mut out, o);
+        }
+        ResponseBody::Lookup(o) => {
+            out.push(RESP_LOOKUP);
+            encode_lookup_output(&mut out, o);
         }
         ResponseBody::Stats(json) => {
             out.push(RESP_STATS);
@@ -752,6 +1007,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
     let id = c.u64()?;
     let body = match c.u8()? {
         RESP_OUTPUT => ResponseBody::Output(decode_output(&mut c)?),
+        RESP_LOOKUP => ResponseBody::Lookup(decode_lookup_output(&mut c)?),
         RESP_STATS => ResponseBody::Stats(c.string()?),
         RESP_META => ResponseBody::Meta(decode_meta(&mut c)?),
         RESP_PONG => ResponseBody::Pong,

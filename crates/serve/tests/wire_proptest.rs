@@ -3,8 +3,12 @@
 //! panic, never silent acceptance of damaged frames.
 
 use fork_analytics::{BlockRecord, TimeSeries, TxRecord};
+use fork_archive::ArchiveRecord;
 use fork_primitives::{Address, H256, U256};
-use fork_query::{Projection, Query, QueryOutput, QueryRange};
+use fork_query::{
+    FoundRecord, HeaderChain, Lookup, LookupOutput, Projection, Query, QueryOutput, QueryRange,
+    ReorgEvent, SealedHeader, SideTip, TipHistoryOutput,
+};
 use fork_replay::Side;
 use fork_serve::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
@@ -86,21 +90,118 @@ fn query_from(spec: QuerySpec) -> Query {
     }
 }
 
+fn lookup_from(spec: QuerySpec) -> Lookup {
+    let ((kind, a), (b, _, _)) = spec;
+    match kind % 5 {
+        0 => Lookup::BlockByHash {
+            hash: H256([(a % 251) as u8; 32]),
+        },
+        1 => Lookup::TxByHash {
+            hash: H256([(b % 253) as u8; 32]),
+        },
+        2 => Lookup::BlockByNumber {
+            side: side(a),
+            number: b,
+        },
+        3 => Lookup::TipHistory,
+        _ => Lookup::Headers {
+            side: side(a),
+            first: a.min(b),
+            last: a.max(b),
+        },
+    }
+}
+
 fn request_from(spec: (u64, u64, QuerySpec)) -> Request {
     let (id, kind, qspec) = spec;
-    let body = match kind % 5 {
+    let body = match kind % 6 {
         0 => RequestBody::Query(query_from(qspec)),
         1 => RequestBody::Stats,
         2 => RequestBody::Meta,
         3 => RequestBody::Ping,
+        4 => RequestBody::Lookup(lookup_from(qspec)),
         _ => RequestBody::Shutdown,
     };
     Request { id, body }
 }
 
+/// A side tip whose tip block (if any) genuinely lives on `s` — the wire
+/// codec derives the decoded block's network from the framed side byte.
+fn side_tip(s: Side, n: Option<u64>, reorgs: u64) -> SideTip {
+    let tip = n.map(|n| {
+        let mut b = block(n);
+        b.network = s;
+        b
+    });
+    SideTip {
+        side: s,
+        tip_seq: tip.as_ref().map(|_| n.unwrap_or(0).wrapping_mul(2)),
+        blocks: n.unwrap_or(0),
+        reorgs,
+        tip,
+    }
+}
+
+fn lookup_output_from(kind: u64, id: u64, nums: &[u64], extra: &[u64]) -> LookupOutput {
+    match kind % 4 {
+        0 => LookupOutput::Found(None),
+        1 => {
+            let n = nums.first().copied().unwrap_or(7);
+            let record = if n.is_multiple_of(2) {
+                ArchiveRecord::Block(block(n))
+            } else {
+                ArchiveRecord::Tx(tx(n))
+            };
+            LookupOutput::Found(Some(FoundRecord {
+                seq: n.wrapping_mul(3),
+                side: side(n),
+                record,
+            }))
+        }
+        2 => LookupOutput::Tips(TipHistoryOutput {
+            eth: side_tip(Side::Eth, nums.first().copied(), nums.len() as u64),
+            etc: side_tip(Side::Etc, extra.first().copied(), extra.len() as u64),
+            reorgs: nums
+                .iter()
+                .zip(extra)
+                .map(|(&n, &x)| ReorgEvent {
+                    side: side(n),
+                    seq: n,
+                    number: x,
+                    depth: 1 + n % 9,
+                    timestamp: x.wrapping_add(n),
+                })
+                .collect(),
+        }),
+        _ => {
+            let s = side(id);
+            let headers = nums
+                .iter()
+                .map(|&n| {
+                    let mut b = block(n);
+                    b.network = s;
+                    let payload = ArchiveRecord::Block(b).encode_payload(n);
+                    let checksum = fork_archive::format::checksum(&payload);
+                    SealedHeader {
+                        seq: n,
+                        payload,
+                        checksum,
+                    }
+                })
+                .collect();
+            LookupOutput::Headers(HeaderChain {
+                side: s,
+                first: nums.first().copied().unwrap_or(0),
+                last: nums.last().copied().unwrap_or(0),
+                headers,
+            })
+        }
+    }
+}
+
 fn response_from(spec: (u64, u64, Vec<u64>, Vec<u64>)) -> Response {
     let (id, kind, nums, extra) = spec;
-    let body = match kind % 7 {
+    let body = match kind % 8 {
         0 => ResponseBody::Output(QueryOutput::Blocks(
             nums.iter().map(|&n| block(n)).collect(),
         )),
@@ -128,7 +229,15 @@ fn response_from(spec: (u64, u64, Vec<u64>, Vec<u64>)) -> Response {
             txs: extra.first().copied().unwrap_or(0),
             block_range: nums.first().map(|&lo| (lo, lo.wrapping_add(100))),
             time_range: extra.first().map(|&lo| (lo, lo.wrapping_add(1000))),
+            format_version: (id % 17) as u16,
+            checksum: id.wrapping_mul(0x9E37_79B9) as u32,
         }),
+        6 => ResponseBody::Lookup(lookup_output_from(
+            nums.first().copied().unwrap_or(id),
+            id,
+            &nums,
+            &extra,
+        )),
         _ => ResponseBody::Error(WireError {
             kind: match id % 6 {
                 0 => ErrorKind::Overloaded,

@@ -43,6 +43,7 @@
 //! | [`archive`] | `fork-archive` | durable block/tx archive, replay, verify |
 //! | [`query`] | `fork-query` | concurrent cached query engine over archives |
 //! | [`serve`] | `fork-serve` | archive query daemon + load generator |
+//! | [`explorer`] | `fork-explorer` | hash-indexed lookups, explorer pages |
 //! | [`core`] | `fork-core` | `ForkStudy`, figures, observations |
 //! | [`telemetry`] | `fork-telemetry` | counters, histograms, span timers |
 
@@ -54,6 +55,7 @@ pub use fork_chain as chain;
 pub use fork_core as core;
 pub use fork_crypto as crypto;
 pub use fork_evm as evm;
+pub use fork_explorer as explorer;
 pub use fork_market as market;
 pub use fork_net as net;
 pub use fork_pools as pools;
