@@ -379,7 +379,11 @@ mod tests {
         let entry = |hash: u8, kind: u8, seq: u64| IndexEntry {
             hash: H256([hash; 32]),
             kind,
-            side: if seq.is_multiple_of(2) { Side::Eth } else { Side::Etc },
+            side: if seq.is_multiple_of(2) {
+                Side::Eth
+            } else {
+                Side::Etc
+            },
             segment: (seq / 10) as u32,
             offset: 32 + seq * 133,
             seq,

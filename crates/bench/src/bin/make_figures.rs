@@ -29,9 +29,11 @@
 //! in-process batch rates over an archive, then boots an in-process
 //! `fork-served` daemon and drives it with the `fork-load` mixed workload
 //! (120 connections), writing client- and server-side p50/p90/p99 plus
-//! cache hit rates to `BENCH_8.json` (`--bench-out`). It also races the
+//! cache hit rates to `BENCH_9.json` (`--bench-out`). It also races the
 //! hash-index sidecar's point lookups against naive full scans over the
-//! same sampled hashes (the `lookup` section of the report). `telemetry-diff`
+//! same sampled hashes (the `lookup` section of the report), and prices
+//! the observability plane: a tracing-off control run of the same served
+//! workload, reported against the traced run in the `obs` section. `telemetry-diff`
 //! compares two
 //! exported telemetry JSON files metric by metric. The `atlas` target runs
 //! the fork atlas — every partition preset across three seeds under the
@@ -81,7 +83,7 @@ fn parse_args() -> Args {
     let mut seed = 2016u64;
     let mut out = PathBuf::from("figures");
     let mut telemetry_out = None;
-    let mut bench_out = PathBuf::from("BENCH_8.json");
+    let mut bench_out = PathBuf::from("BENCH_9.json");
     let mut archive_dir = None;
     let mut quick = false;
     let mut progress = false;
@@ -1073,6 +1075,21 @@ fn main() {
         );
         let qps = |n: usize, wall: std::time::Duration| n as f64 / wall.as_secs_f64().max(1e-9);
 
+        // Tracing-off control: the same daemon and workload with the
+        // per-request tracing plane disabled, to price observability.
+        eprintln!("Starting tracing-off fork-served control (120 connections)...");
+        let mut off_cfg = ServeConfig::new(&dir);
+        off_cfg.tracing = false;
+        let off_handle = Server::start(off_cfg).expect("start tracing-off daemon");
+        let off_addr = off_handle.local_addr().to_string();
+        let mut off_load = LoadConfig::new(&off_addr);
+        off_load.connections = 120;
+        off_load.requests_per_conn = 10;
+        off_load.seed = args.seed;
+        let off_report = run_load(&off_load).expect("tracing-off load run");
+        off_handle.shutdown();
+        let tracing_off_p99 = off_report.overall.latency.p99();
+
         // The served path: an in-process daemon on an ephemeral port under
         // the standard fork-load mix — 120 connections, cold + warm phase.
         eprintln!("Starting in-process fork-served and driving 120 connections...");
@@ -1099,9 +1116,23 @@ fn main() {
         }
         let counter = |name: &str| server_snap.counters.get(name).copied().unwrap_or(0);
         let served_hit_rate = rate(counter("query.cache.hit"), counter("query.cache.miss"));
+
+        // Observability plane, scraped from the traced daemon before
+        // shutdown: slow-query log, series ring, and the stage histogram
+        // sums (the five stages should account for ~all of end-to-end).
+        let slow_log = probe.obs_slow_log().expect("slow log");
+        let series = probe.obs_series().expect("series ring");
+        let hist_sum = |name: &str| server_snap.histograms.get(name).map(|h| h.sum).unwrap_or(0);
+        let stage_sum_us: u64 = ["read", "admit", "queue", "execute", "write"]
+            .iter()
+            .map(|s| hist_sum(&format!("serve.stage.{s}")))
+            .sum();
+        let stage_total_us = hist_sum("serve.stage.total");
         drop(probe);
         handle.shutdown();
         telemetry.merge(&server_snap);
+        let tracing_on_p99 = report.overall.latency.p99();
+        let overhead_ratio = tracing_on_p99 as f64 / tracing_off_p99.max(1) as f64;
 
         let phase_obj = |name: &str, wall: std::time::Duration, hit_rate: f64, n: usize| {
             format!(
@@ -1132,7 +1163,12 @@ fn main() {
              \"served\": {{\"connections\": {}, \"requests\": {}, \"ok\": {}, \
              \"overloaded\": {}, \"backpressure\": {}, \"errors\": {}, \
              \"queries_per_sec\": {:.1}, \"cache_hit_rate\": {served_hit_rate:.4}, \
-             \"client_latency_us\": {}, \"server_latency_us\": {}}}\n}}\n",
+             \"client_latency_us\": {}, \"server_latency_us\": {}}},\n  \
+             \"obs\": {{\"tracing_on_p99_us\": {tracing_on_p99}, \
+             \"tracing_off_p99_us\": {tracing_off_p99}, \
+             \"overhead_ratio\": {overhead_ratio:.4}, \
+             \"slow_log\": {}, \"series_samples\": {}, \
+             \"stage_sum_us\": {stage_sum_us}, \"stage_total_us\": {stage_total_us}}}\n}}\n",
             dir.display().to_string(),
             scan_wall.as_secs_f64() * 1e3,
             sample_lookups.len(),
@@ -1150,6 +1186,8 @@ fn main() {
             report.overall.queries_per_sec(),
             pctls(&report.overall.latency),
             pctls(&server_latency),
+            slow_log.len(),
+            series.len(),
         );
         std::fs::write(&args.bench_out, &json).expect("write bench report");
         println!(
@@ -1168,6 +1206,13 @@ fn main() {
             report.overall.queries_per_sec(),
             report.overall.latency.p99(),
             server_latency.p99(),
+        );
+        println!(
+            "obs: tracing on p99 {tracing_on_p99}us vs off {tracing_off_p99}us \
+             (x{overhead_ratio:.2}); {} slow queries logged, {} series samples; \
+             stage sum {stage_sum_us}us vs end-to-end {stage_total_us}us",
+            slow_log.len(),
+            series.len(),
         );
         println!("  -> {}\n", args.bench_out.display());
     }

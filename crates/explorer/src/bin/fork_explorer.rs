@@ -11,11 +11,18 @@
 //!   tips                                   per-side tip + reorg timeline
 //!   headers --side S --first N --last N    verified header chain
 //!   render --out DIR                       write the full static site
+//!   ops [--series FILE]                    ops dashboard (fork-obs/v1)
+//!   metrics                                Prometheus text exposition
 //!
 //! options:
 //!   --html        emit the HTML page instead of JSON (page commands)
 //!   --side S      eth | etc
+//!   --series F    render ops from a dumped fork-obs/v1 file (no daemon)
 //! ```
+//!
+//! `ops` and `metrics` observe a **running daemon** (`--addr`); `ops
+//! --series FILE` re-renders a previously dumped `fork-obs/v1` document
+//! byte-identically with no daemon at all.
 //!
 //! Page commands print to stdout; `render` writes files and lists them.
 //! Exit codes: 0 ok, 1 runtime failure, 2 usage error.
@@ -26,8 +33,8 @@ use std::str::FromStr;
 
 use fork_explorer::source::{ExplorerError, ExplorerSource};
 use fork_explorer::{
-    block_html, block_json, headers_html, headers_json, overview_html, overview_json, render_site,
-    timeline_html, timeline_json, tx_html, tx_json,
+    block_html, block_json, headers_html, headers_json, ops_html, ops_json, overview_html,
+    overview_json, parse_ops_json, render_site, timeline_html, timeline_json, tx_html, tx_json,
 };
 use fork_primitives::H256;
 use fork_query::{Lookup, LookupOutput};
@@ -42,10 +49,13 @@ commands:
   tips                                       per-side tip + reorg timeline
   headers --side S --first N --last N        verified header chain
   render --out DIR                           write the full static site
+  ops [--series FILE]                        ops dashboard (fork-obs/v1)
+  metrics                                    Prometheus text exposition
 
 options:
   --html         emit HTML instead of JSON (page commands)
   --side S       eth | etc
+  --series F     render ops from a dumped fork-obs/v1 file (no daemon)
 ";
 
 struct Args {
@@ -58,6 +68,7 @@ struct Args {
     first: Option<u64>,
     last: Option<u64>,
     out: Option<PathBuf>,
+    series: Option<PathBuf>,
     html: bool,
 }
 
@@ -76,6 +87,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         first: None,
         last: None,
         out: None,
+        series: None,
         html: false,
     };
     let mut it = argv.iter();
@@ -106,6 +118,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--first" => args.first = Some(parse_u64("--first", &value("--first")?)?),
             "--last" => args.last = Some(parse_u64("--last", &value("--last")?)?),
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--series" => args.series = Some(PathBuf::from(value("--series")?)),
             "--html" => args.html = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             cmd if !cmd.starts_with('-') && args.command.is_empty() => {
@@ -118,6 +131,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return Err(usage("no command given"));
     }
     match (&args.archive_dir, &args.addr) {
+        // `ops --series FILE` renders a dumped document with no source.
+        (None, None) if args.command == "ops" && args.series.is_some() => Ok(args),
         (None, None) => Err(usage("need --archive-dir or --addr")),
         (Some(_), Some(_)) => Err(usage("--archive-dir and --addr are mutually exclusive")),
         _ => Ok(args),
@@ -145,6 +160,23 @@ fn found_of(out: LookupOutput) -> Result<Option<fork_query::FoundRecord>, Explor
 }
 
 fn run(args: &Args) -> Result<String, ExplorerError> {
+    // `ops` may render from a dumped fork-obs/v1 file with no source at all.
+    if args.command == "ops" {
+        let (series, slow) = match &args.series {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)?;
+                parse_ops_json(&text).map_err(|e| {
+                    ExplorerError::Invalid(format!("--series {}: {e}", path.display()))
+                })?
+            }
+            None => open_source(args)?.obs()?,
+        };
+        return Ok(if args.html {
+            ops_html(&series, &slow)
+        } else {
+            ops_json(&series, &slow)
+        });
+    }
     let mut source = open_source(args)?;
     match args.command.as_str() {
         "overview" => {
@@ -246,6 +278,7 @@ fn run(args: &Args) -> Result<String, ExplorerError> {
             }
             Ok(listing)
         }
+        "metrics" => source.metrics_text(),
         other => Err(ExplorerError::Invalid(format!("unknown command {other:?}"))),
     }
 }

@@ -18,9 +18,14 @@
 //!   stable element ids. [`render::render_site`] writes the whole site
 //!   (overview, timeline, per-side tip blocks, per-side header tails) and
 //!   is deterministic — CI renders twice and byte-compares.
+//! - [`ops`]: the ops dashboard over a daemon's observability plane —
+//!   `fork-obs/v1` JSON plus a static HTML page (sparkline tables for the
+//!   sampled series ring, a waterfall table for the slow-query log),
+//!   byte-identical whether rendered from a live daemon or a dumped
+//!   series file.
 //! - The `fork-explorer` binary: `overview` / `block` / `tx` / `tips` /
-//!   `headers` / `render` subcommands against `--archive-dir` or
-//!   `--addr`.
+//!   `headers` / `render` / `ops` / `metrics` subcommands against
+//!   `--archive-dir` or `--addr` (or `--series` for a dumped ops file).
 //!
 //! ## Trust model
 //!
@@ -34,9 +39,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ops;
 pub mod render;
 pub mod source;
 
+pub use ops::{ops_html, ops_json, parse_ops_json, OBS_SCHEMA};
 pub use render::{
     block_html, block_json, headers_html, headers_json, overview_html, overview_json, render_site,
     side_label, timeline_html, timeline_json, tx_html, tx_json, SCHEMA,

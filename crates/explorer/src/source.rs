@@ -9,7 +9,8 @@
 use std::path::Path;
 
 use fork_query::{Lookup, LookupOutput, QueryError, ReaderPool};
-use fork_serve::{archive_meta, ClientError, ServeClient, ServeMeta};
+use fork_serve::{archive_meta, ClientError, ServeClient, ServeMeta, SlowQueryRecord};
+use fork_telemetry::SeriesRing;
 
 /// Failure fetching explorer data.
 #[derive(Debug)]
@@ -93,6 +94,29 @@ impl ExplorerSource {
         match self {
             ExplorerSource::Local(pool) => Ok(archive_meta(pool)),
             ExplorerSource::Remote(client) => Ok(client.meta()?),
+        }
+    }
+
+    /// The daemon's observability plane: the sampled series ring plus the
+    /// slow-query log. Live-daemon only — a local archive has no request
+    /// traffic to observe (render a dumped `fork-obs/v1` file instead).
+    pub fn obs(&mut self) -> Result<(SeriesRing, Vec<SlowQueryRecord>), ExplorerError> {
+        match self {
+            ExplorerSource::Local(_) => Err(ExplorerError::Invalid(
+                "ops needs a running daemon (--addr) or a dumped series file (--series)".into(),
+            )),
+            ExplorerSource::Remote(client) => Ok((client.obs_series()?, client.obs_slow_log()?)),
+        }
+    }
+
+    /// Prometheus text exposition of the daemon's metrics registry.
+    /// Live-daemon only, like [`ExplorerSource::obs`].
+    pub fn metrics_text(&mut self) -> Result<String, ExplorerError> {
+        match self {
+            ExplorerSource::Local(_) => Err(ExplorerError::Invalid(
+                "metrics needs a running daemon (--addr)".into(),
+            )),
+            ExplorerSource::Remote(client) => Ok(client.metrics_text()?),
         }
     }
 

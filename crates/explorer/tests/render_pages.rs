@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 
 use fork_analytics::{BlockRecord, TxRecord};
 use fork_archive::{ArchiveConfig, ArchiveWriter, Codec};
-use fork_explorer::{render_site, ExplorerSource, SCHEMA};
+use fork_explorer::{ops_html, ops_json, parse_ops_json, render_site, ExplorerSource, SCHEMA};
 use fork_primitives::{Address, H256, U256};
 use fork_replay::Side;
 use fork_serve::{ServeConfig, Server};
@@ -124,4 +124,43 @@ fn rendering_is_deterministic_and_identical_local_or_served() {
     for dir in [arch, site_a, site_b, site_remote] {
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn ops_page_renders_identically_live_or_from_a_dump() {
+    let arch = scratch("ops-arch");
+    write_archive(&arch);
+
+    // A traced daemon with a fast sampler; drive a little traffic through
+    // the explorer source itself so the slow log and ring fill.
+    let mut cfg = ServeConfig::new(&arch);
+    cfg.sample_interval = std::time::Duration::from_millis(20);
+    let handle = Server::start(cfg).expect("start daemon");
+    let addr = handle.local_addr().to_string();
+    let mut remote = ExplorerSource::connect(&addr).unwrap();
+    for _ in 0..3 {
+        remote.lookup(&fork_query::Lookup::TipHistory).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let (series, slow) = remote.obs().unwrap();
+    drop(remote);
+    handle.shutdown();
+    assert!(!slow.is_empty(), "lookups should populate the slow log");
+    assert!(!series.is_empty(), "the sampler should have ticked");
+
+    // Live render == parse(dump) render, JSON and HTML, byte for byte.
+    let live_json = ops_json(&series, &slow);
+    let live_html = ops_html(&series, &slow);
+    let (series2, slow2) = parse_ops_json(&live_json).expect("parse dump");
+    assert_eq!(live_json, ops_json(&series2, &slow2));
+    assert_eq!(live_html, ops_html(&series2, &slow2));
+    assert!(live_json.contains("\"schema\": \"fork-obs/v1\""));
+
+    // A local archive source refuses ops — there is no traffic to observe.
+    let mut local = ExplorerSource::open(&arch).unwrap();
+    assert!(local.obs().is_err());
+    assert!(local.metrics_text().is_err());
+
+    let _ = std::fs::remove_dir_all(&arch);
 }

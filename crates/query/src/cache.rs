@@ -13,6 +13,7 @@
 //! is byte-budgeted: every shard gets `budget / shards` bytes and evicts
 //! least-recently-used entries once an insert would overflow it.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,6 +84,22 @@ impl Shard {
         self.bytes += ENTRY_BYTES;
         evicted
     }
+}
+
+thread_local! {
+    /// Per-thread (hits, misses) since the last
+    /// [`take_thread_cache_delta`] — lets a caller that evaluates a query
+    /// on its own thread attribute exactly that query's cache traffic,
+    /// which the global atomics (shared across all threads) cannot.
+    static THREAD_DELTA: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Returns and resets the calling thread's `(hits, misses)` accumulated by
+/// every [`FrameCache`] lookup on this thread since the previous call.
+/// Query evaluation runs on the calling thread, so bracketing a single
+/// evaluation with this yields that request's exact cache attribution.
+pub fn take_thread_cache_delta() -> (u64, u64) {
+    THREAD_DELTA.with(|d| d.replace((0, 0)))
 }
 
 /// Point-in-time cache counters.
@@ -171,9 +188,17 @@ impl FrameCache {
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.hit_counter.incr();
+            THREAD_DELTA.with(|d| {
+                let (h, m) = d.get();
+                d.set((h + 1, m));
+            });
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.miss_counter.incr();
+            THREAD_DELTA.with(|d| {
+                let (h, m) = d.get();
+                d.set((h, m + 1));
+            });
         }
         hit
     }
@@ -187,6 +212,15 @@ impl FrameCache {
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
+    }
+
+    /// Just the lifetime `(hits, misses)` totals — two atomic loads, no
+    /// shard locks, cheap enough for a 1 Hz sampler on the accept loop.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Live counters (aggregated across shards).
@@ -259,6 +293,34 @@ mod tests {
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
         assert!(stats.resident_bytes <= ENTRY_BYTES * 2);
+    }
+
+    #[test]
+    fn thread_delta_attributes_only_this_threads_traffic() {
+        let cache = FrameCache::new(1 << 20, 2);
+        let key = (Side::Eth, 0, 8);
+        let _ = take_thread_cache_delta(); // drain anything earlier tests left
+
+        assert!(cache.get(&key).is_none()); // miss
+        cache.insert(key, frame(1));
+        assert!(cache.get(&key).is_some()); // hit
+        assert!(cache.get(&key).is_some()); // hit
+        assert_eq!(take_thread_cache_delta(), (2, 1));
+        assert_eq!(take_thread_cache_delta(), (0, 0), "take resets");
+
+        // Another thread's lookups never land in this thread's delta.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _ = take_thread_cache_delta();
+                assert!(cache.get(&key).is_some());
+                assert!(cache.get(&(Side::Etc, 9, 9)).is_none());
+                assert_eq!(take_thread_cache_delta(), (1, 1));
+            });
+        });
+        assert_eq!(take_thread_cache_delta(), (0, 0));
+        // The global atomics still see everything.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (3, 2));
     }
 
     #[test]

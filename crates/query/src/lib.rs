@@ -44,7 +44,7 @@ pub mod lookup;
 pub mod pool;
 pub mod query;
 
-pub use cache::{CacheStats, FrameCache};
+pub use cache::{take_thread_cache_delta, CacheStats, FrameCache};
 pub use error::QueryError;
 pub use exec::QueryExecutor;
 pub use lookup::{

@@ -4,6 +4,7 @@
 //! fork-served --archive-dir runs/archive [--addr 127.0.0.1:4077]
 //!             [--workers N] [--inflight N] [--global-inflight N]
 //!             [--cache-mb N] [--idle-secs N]
+//!             [--no-tracing] [--slow-log N] [--series-capacity N]
 //! ```
 //!
 //! Prints `fork-served listening on <addr>` once ready, then runs until a
@@ -18,7 +19,8 @@ use fork_serve::{ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: fork-served --archive-dir DIR [--addr HOST:PORT] [--workers N] \
-         [--inflight N] [--global-inflight N] [--cache-mb N] [--idle-secs N]"
+         [--inflight N] [--global-inflight N] [--cache-mb N] [--idle-secs N] \
+         [--no-tracing] [--slow-log N] [--series-capacity N]"
     );
     std::process::exit(2);
 }
@@ -52,6 +54,13 @@ fn parse_args() -> ServeConfig {
             "--idle-secs" => {
                 let secs: u64 = value("--idle-secs").parse().unwrap_or_else(|_| usage());
                 cfg.idle_timeout = Duration::from_secs(secs);
+            }
+            "--no-tracing" => cfg.tracing = false,
+            "--slow-log" => cfg.slow_log = value("--slow-log").parse().unwrap_or_else(|_| usage()),
+            "--series-capacity" => {
+                cfg.series_capacity = value("--series-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             other => {

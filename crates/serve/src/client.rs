@@ -12,10 +12,11 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use fork_query::{Lookup, LookupOutput, Query, QueryOutput};
+use fork_telemetry::SeriesRing;
 
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, DecodeError, FrameError, Request,
-    RequestBody, Response, ResponseBody, ServeMeta, WireError,
+    RequestBody, Response, ResponseBody, ServeMeta, SlowQueryRecord, WireError,
 };
 
 /// Client-side failure talking to a daemon.
@@ -148,6 +149,33 @@ impl ServeClient {
     pub fn meta(&mut self) -> Result<ServeMeta, ClientError> {
         match self.call(RequestBody::Meta)? {
             ResponseBody::Meta(meta) => Ok(meta),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's sampled time-series ring (one sample per
+    /// configured interval; windowed shed and cache-hit rates).
+    pub fn obs_series(&mut self) -> Result<SeriesRing, ClientError> {
+        match self.call(RequestBody::ObsSeries)? {
+            ResponseBody::ObsSeries(ring) => Ok(ring),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's slow-query log, worst-first, with per-stage
+    /// waterfalls.
+    pub fn obs_slow_log(&mut self) -> Result<Vec<SlowQueryRecord>, ClientError> {
+        match self.call(RequestBody::ObsSlowLog)? {
+            ResponseBody::ObsSlowLog(log) => Ok(log),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches a Prometheus text-exposition rendering of the daemon's
+    /// full metrics registry.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.call(RequestBody::Metrics)? {
+            ResponseBody::Metrics(text) => Ok(text),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

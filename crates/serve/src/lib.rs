@@ -21,7 +21,10 @@
 //!   admission control with typed `Overloaded` rejections, read/write
 //!   timeouts with idle reaping, graceful draining shutdown, and
 //!   per-endpoint `serve.latency.*` histograms behind a `/stats`-style
-//!   control request.
+//!   control request. The observability plane rides here too: per-request
+//!   stage tracing (`serve.stage.*` histograms + a bounded slow-query
+//!   log), a sampled [`SeriesRing`](fork_telemetry::SeriesRing) of daemon
+//!   gauges, and a Prometheus text-exposition `Metrics` endpoint.
 //! - [`client`]: a small blocking client (sequential calls or raw
 //!   pipelining).
 //! - [`load`]: the load generator — hundreds of concurrent connections,
@@ -46,10 +49,10 @@ pub use load::{
 };
 pub use server::{
     archive_meta, endpoint_index, lookup_endpoint_index, ServeConfig, ServeError, Server,
-    ServerHandle, ENDPOINTS,
+    ServerHandle, ENDPOINTS, STAGES,
 };
 pub use wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     DecodeError, ErrorKind, FrameError, FrameReader, Request, RequestBody, Response, ResponseBody,
-    ServeMeta, WireError, MAX_FRAME_LEN,
+    ServeMeta, SlowQueryRecord, StageBreakdown, WireError, MAX_FRAME_LEN,
 };

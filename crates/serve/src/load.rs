@@ -23,7 +23,7 @@
 //! [`PhaseStats::retries`]. Only a request still shed after its whole
 //! budget counts as [`PhaseStats::overloaded`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
@@ -34,6 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::client::{ClientError, ServeClient};
+use crate::server::{endpoint_index, ENDPOINTS};
 use crate::wire::{ErrorKind, RequestBody, ResponseBody, ServeMeta};
 
 /// Phase names in order; phase 0 runs against a cold daemon cache.
@@ -108,6 +109,10 @@ pub struct PhaseStats {
     pub errors: u64,
     /// Client-side latency of successful requests, microseconds.
     pub latency: HistogramSnapshot,
+    /// Latency broken down by served endpoint (same names the daemon uses
+    /// for its `serve.latency.*` histograms); only endpoints the workload
+    /// actually hit appear.
+    pub endpoints: BTreeMap<String, HistogramSnapshot>,
     /// Wall time of the phase (barrier to barrier).
     pub wall: Duration,
 }
@@ -131,6 +136,9 @@ impl PhaseStats {
         self.backpressure += other.backpressure;
         self.errors += other.errors;
         self.latency.merge(&other.latency);
+        for (name, hist) in &other.endpoints {
+            self.endpoints.entry(name.clone()).or_default().merge(hist);
+        }
         self.wall = self.wall.max(other.wall);
     }
 }
@@ -207,16 +215,44 @@ impl LoadReport {
                 phase.latency.p99(),
             ));
         }
+        if !self.overall.endpoints.is_empty() {
+            out.push_str("\nendpoint           count      p50      p90      p99\n");
+            for (name, hist) in &self.overall.endpoints {
+                out.push_str(&format!(
+                    "{:<16} {:>7} {:>7}us {:>7}us {:>7}us\n",
+                    name,
+                    hist.count,
+                    hist.p50(),
+                    hist.p90(),
+                    hist.p99(),
+                ));
+            }
+        }
         out
     }
 }
 
 fn phase_json(phase: &PhaseStats) -> String {
+    let mut endpoints = String::from("{");
+    for (i, (name, hist)) in phase.endpoints.iter().enumerate() {
+        if i > 0 {
+            endpoints.push_str(", ");
+        }
+        endpoints.push_str(&format!(
+            "\"{name}\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            hist.count,
+            hist.p50(),
+            hist.p90(),
+            hist.p99(),
+        ));
+    }
+    endpoints.push('}');
     format!(
         "{{\"name\": \"{}\", \"requests\": {}, \"ok\": {}, \"overloaded\": {}, \
          \"retries\": {}, \"backpressure\": {}, \"errors\": {}, \"wall_ms\": {}, \
          \"queries_per_sec\": {:.1}, \"latency_us\": {{\"p50\": {}, \"p90\": {}, \
-         \"p99\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}}}}}",
+         \"p99\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}}}, \
+         \"endpoints\": {endpoints}}}",
         phase.name,
         phase.requests,
         phase.ok,
@@ -526,7 +562,14 @@ fn run_phase(
                 match (&resp.body, inflight) {
                     (ResponseBody::Output(_), Some(f)) => {
                         phase.ok += 1;
-                        phase.latency.record(f.sent_at.elapsed().as_micros() as u64);
+                        let us = f.sent_at.elapsed().as_micros() as u64;
+                        phase.latency.record(us);
+                        let endpoint = ENDPOINTS[endpoint_index(&f.query.projection)];
+                        phase
+                            .endpoints
+                            .entry(endpoint.to_string())
+                            .or_default()
+                            .record(us);
                     }
                     (ResponseBody::Error(e), inflight) => match e.kind {
                         ErrorKind::Overloaded => match inflight {

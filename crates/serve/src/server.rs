@@ -33,26 +33,28 @@
 //! finish, flushes its response, then joins all threads — in-flight work
 //! drains, new work is refused.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fork_query::{
-    FrameCache, Lookup, Projection, Query, QueryError, QueryExecutor, ReaderPool,
-    DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SHARDS,
+    take_thread_cache_delta, FrameCache, Lookup, Projection, Query, QueryError, QueryExecutor,
+    ReaderPool, DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SHARDS,
 };
 use fork_replay::Side;
-use fork_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, TimingMode};
+use fork_telemetry::{
+    prometheus_text, Counter, Gauge, Histogram, MetricsRegistry, SeriesRing, TimingMode,
+};
 
 use crate::wire::{
     decode_request, encode_response, write_frame, ErrorKind, FrameError, FrameReader, RequestBody,
-    Response, ResponseBody, ServeMeta, WireError,
+    Response, ResponseBody, ServeMeta, SlowQueryRecord, StageBreakdown, WireError,
 };
 
 /// How often blocked reads wake to check idle/shutdown state.
@@ -60,6 +62,10 @@ const READ_TICK: Duration = Duration::from_millis(50);
 /// Extra writer-queue slots beyond the in-flight cap, for inline control
 /// replies and backpressure rejections.
 const CONTROL_SLACK: usize = 64;
+
+/// Stage labels; `serve.stage.<label>` histograms (µs) are registered for
+/// each, plus `serve.stage.total` for the traced end-to-end latency.
+pub const STAGES: [&str; 5] = ["read", "admit", "queue", "execute", "write"];
 
 /// Endpoint labels, one per projection and lookup shape;
 /// `serve.latency.<label>` histograms are registered for each at startup.
@@ -122,6 +128,17 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Max time one response write may take before the client is dropped.
     pub write_timeout: Duration,
+    /// Per-request stage tracing (stage histograms + slow-query log). On by
+    /// default; the traced numbers must never change query results, only
+    /// observe them.
+    pub tracing: bool,
+    /// Slow-query log capacity: the N worst-latency requests retained.
+    pub slow_log: usize,
+    /// Time-series ring capacity (samples retained; one per
+    /// [`ServeConfig::sample_interval`] — 600 ≈ ten minutes at 1 s).
+    pub series_capacity: usize,
+    /// How often the accept loop samples gauges into the series ring.
+    pub sample_interval: Duration,
 }
 
 impl ServeConfig {
@@ -137,6 +154,10 @@ impl ServeConfig {
             cache_shards: DEFAULT_CACHE_SHARDS,
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            tracing: true,
+            slow_log: 32,
+            series_capacity: 600,
+            sample_interval: Duration::from_secs(1),
         }
     }
 
@@ -224,10 +245,11 @@ impl JobQueue {
 }
 
 /// What the writer thread sends. `Query` responses decrement the
-/// connection's in-flight counter once written.
+/// connection's in-flight counter once written and finish their trace (when
+/// tracing is on).
 enum WriterMsg {
     Control(Response),
-    Query(Response),
+    Query(Response, Option<Box<WriteTrace>>),
 }
 
 /// One admitted unit of work: a full query or a point lookup.
@@ -236,11 +258,87 @@ enum Work {
     Lookup(Lookup),
 }
 
+/// Trace state carried with an admitted job (tracing on): stage timings
+/// accumulated so far plus the instants later stages measure from.
+struct JobTrace {
+    /// First frame byte arrived.
+    t0: Instant,
+    /// Daemon-lifetime request sequence number.
+    seq: u64,
+    read_us: u64,
+    admit_us: u64,
+    /// When the job entered the queue (queue wait measures from here).
+    queued_at: Instant,
+}
+
+/// Trace state handed from the worker to the writer: everything known
+/// before the write stage, plus when execution finished (write wait + the
+/// actual socket write measure from there).
+struct WriteTrace {
+    t0: Instant,
+    seq: u64,
+    id: u64,
+    endpoint: usize,
+    read_us: u64,
+    admit_us: u64,
+    queue_us: u64,
+    execute_us: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    finished_at: Instant,
+}
+
 struct Job {
     id: u64,
     work: Work,
     reply: SyncSender<WriterMsg>,
     conn: Arc<ConnShared>,
+    trace: Option<JobTrace>,
+}
+
+/// Bounded keep-the-worst slow-query log. `offer` is O(capacity) — called
+/// once per served request against a small (default 32) ring.
+struct SlowLog {
+    cap: usize,
+    entries: Vec<SlowQueryRecord>,
+}
+
+impl SlowLog {
+    fn new(cap: usize) -> Self {
+        SlowLog {
+            cap,
+            entries: Vec::with_capacity(cap.min(1024)),
+        }
+    }
+
+    fn offer(&mut self, rec: SlowQueryRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.entries.len() < self.cap {
+            self.entries.push(rec);
+            return;
+        }
+        if let Some((idx, floor)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.total_us)
+            .map(|(i, r)| (i, r.total_us))
+        {
+            if rec.total_us > floor {
+                self.entries[idx] = rec;
+            }
+        }
+    }
+
+    /// Worst request first; ties break on the daemon's own sequence number
+    /// so the snapshot order is deterministic.
+    fn snapshot(&self) -> Vec<SlowQueryRecord> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.seq.cmp(&b.seq)));
+        out
+    }
 }
 
 struct ConnShared {
@@ -257,16 +355,56 @@ struct State {
     global_inflight: AtomicUsize,
     cfg: ServeConfig,
     latency: Vec<Arc<Histogram>>,
+    /// One histogram per [`STAGES`] entry, plus `serve.stage.total` last.
+    stage: Vec<Arc<Histogram>>,
     queries: Arc<Counter>,
     overloaded: Arc<Counter>,
     backpressure: Arc<Counter>,
     control: Arc<Counter>,
     connections: Arc<Gauge>,
+    /// Daemon-lifetime request sequence (traced requests only).
+    request_seq: AtomicU64,
+    slow: Mutex<SlowLog>,
+    series: Mutex<SeriesRing>,
 }
 
 impl State {
     fn stats_json(&self) -> String {
         self.registry.snapshot().to_json(TimingMode::Wall)
+    }
+
+    /// Finishes one traced request on the writer thread: the write stage is
+    /// response-queue wait + encode + socket write, total is first byte in
+    /// → last byte out.
+    fn finish_trace(&self, t: &WriteTrace) {
+        let write_us = t.finished_at.elapsed().as_micros() as u64;
+        let total_us = t.t0.elapsed().as_micros() as u64;
+        let stages = StageBreakdown {
+            read_us: t.read_us,
+            admit_us: t.admit_us,
+            queue_us: t.queue_us,
+            execute_us: t.execute_us,
+            write_us,
+            cache_hits: t.cache_hits,
+            cache_misses: t.cache_misses,
+        };
+        for (h, v) in self.stage.iter().zip([
+            stages.read_us,
+            stages.admit_us,
+            stages.queue_us,
+            stages.execute_us,
+            stages.write_us,
+            total_us,
+        ]) {
+            h.record(v);
+        }
+        self.slow.lock().expect("slow log").offer(SlowQueryRecord {
+            id: t.id,
+            seq: t.seq,
+            endpoint: ENDPOINTS[t.endpoint].to_string(),
+            total_us,
+            stages,
+        });
     }
 }
 
@@ -336,11 +474,18 @@ impl Server {
             .iter()
             .map(|ep| registry.histogram(&format!("serve.latency.{ep}")))
             .collect();
+        let stage = STAGES
+            .iter()
+            .copied()
+            .chain(["total"])
+            .map(|s| registry.histogram(&format!("serve.stage.{s}")))
+            .collect();
         let state = Arc::new(State {
             meta,
             exec,
             pool,
             latency,
+            stage,
             queries: registry.counter("serve.queries"),
             overloaded: registry.counter("serve.rejected.overloaded"),
             backpressure: registry.counter("serve.rejected.backpressure"),
@@ -349,6 +494,9 @@ impl Server {
             registry,
             shutdown: AtomicBool::new(false),
             global_inflight: AtomicUsize::new(0),
+            request_seq: AtomicU64::new(0),
+            slow: Mutex::new(SlowLog::new(cfg.slow_log)),
+            series: Mutex::new(SeriesRing::new(cfg.series_capacity.max(1))),
             cfg,
         });
 
@@ -443,13 +591,81 @@ impl ServerHandle {
     }
 }
 
+/// Samples daemon gauges into the series ring on the accept loop's cadence
+/// (the loop ticks every ~10 ms while idle, so a 1 s interval holds).
+/// Shed rate and cache hit rate are *windowed*: deltas since the previous
+/// sample, not lifetime totals — the series shows what is happening now.
+struct Sampler {
+    last: Instant,
+    prev_shed: u64,
+    prev_hits: u64,
+    prev_misses: u64,
+}
+
+impl Sampler {
+    fn new(state: &State) -> Self {
+        let (prev_hits, prev_misses) = state.pool.cache().counters();
+        Sampler {
+            last: Instant::now(),
+            prev_shed: shed_total(state),
+            prev_hits,
+            prev_misses,
+        }
+    }
+
+    fn maybe_sample(&mut self, state: &State) {
+        let elapsed = self.last.elapsed();
+        if elapsed < state.cfg.sample_interval {
+            return;
+        }
+        self.last = Instant::now();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+
+        let mut values = BTreeMap::new();
+        values.insert("connections".to_string(), state.connections.get() as f64);
+        values.insert(
+            "inflight".to_string(),
+            state.global_inflight.load(Ordering::SeqCst) as f64,
+        );
+        let shed = shed_total(state);
+        values.insert(
+            "shed_per_sec".to_string(),
+            (shed - self.prev_shed) as f64 / secs,
+        );
+        self.prev_shed = shed;
+        let (hits, misses) = state.pool.cache().counters();
+        let (dh, dm) = (hits - self.prev_hits, misses - self.prev_misses);
+        (self.prev_hits, self.prev_misses) = (hits, misses);
+        let hit_rate = if dh + dm == 0 {
+            0.0
+        } else {
+            dh as f64 / (dh + dm) as f64
+        };
+        values.insert("cache_hit_rate".to_string(), hit_rate);
+        for (i, ep) in ENDPOINTS.iter().enumerate() {
+            let snap = state.latency[i].snapshot();
+            if snap.count > 0 {
+                values.insert(format!("p50_us.{ep}"), snap.p50() as f64);
+                values.insert(format!("p99_us.{ep}"), snap.p99() as f64);
+            }
+        }
+        state.series.lock().expect("series ring").push(values);
+    }
+}
+
+fn shed_total(state: &State) -> u64 {
+    state.overloaded.get() + state.backpressure.get()
+}
+
 fn accept_loop(
     listener: TcpListener,
     state: &Arc<State>,
     queue: &Arc<JobQueue>,
     conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
+    let mut sampler = Sampler::new(state);
     while !state.shutdown.load(Ordering::SeqCst) {
+        sampler.maybe_sample(state);
         match listener.accept() {
             Ok((stream, _)) => {
                 let (state, queue) = (Arc::clone(state), Arc::clone(queue));
@@ -471,6 +687,15 @@ fn accept_loop(
 
 fn worker_loop(state: &Arc<State>, queue: &Arc<JobQueue>) {
     while let Some(job) = queue.pop() {
+        let queue_us = job
+            .trace
+            .as_ref()
+            .map(|t| t.queued_at.elapsed().as_micros() as u64);
+        if job.trace.is_some() {
+            // Evaluation runs on this thread; drain the thread-local cache
+            // delta so the post-run take attributes exactly this request.
+            let _ = take_thread_cache_delta();
+        }
         let started = Instant::now();
         let (endpoint, result) = match &job.work {
             Work::Query(query) => (
@@ -486,6 +711,22 @@ fn worker_loop(state: &Arc<State>, queue: &Arc<JobQueue>) {
             ),
         };
         let micros = started.elapsed().as_micros() as u64;
+        let trace = job.trace.map(|t| {
+            let (cache_hits, cache_misses) = take_thread_cache_delta();
+            Box::new(WriteTrace {
+                t0: t.t0,
+                seq: t.seq,
+                id: job.id,
+                endpoint,
+                read_us: t.read_us,
+                admit_us: t.admit_us,
+                queue_us: queue_us.unwrap_or(0),
+                execute_us: micros,
+                cache_hits,
+                cache_misses,
+                finished_at: Instant::now(),
+            })
+        });
         state.latency[endpoint].record(micros);
         state.global_inflight.fetch_sub(1, Ordering::SeqCst);
         let body = match result {
@@ -500,19 +741,24 @@ fn worker_loop(state: &Arc<State>, queue: &Arc<JobQueue>) {
             }),
         };
         let resp = Response { id: job.id, body };
-        if job.reply.send(WriterMsg::Query(resp)).is_err() {
+        if job.reply.send(WriterMsg::Query(resp, trace)).is_err() {
             // Writer is gone (dead connection); release its in-flight slot.
             job.conn.inflight.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
 
-fn writer_loop(mut stream: TcpStream, rx: Receiver<WriterMsg>, conn: Arc<ConnShared>) {
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: Receiver<WriterMsg>,
+    conn: Arc<ConnShared>,
+    state: Arc<State>,
+) {
     let mut dead = false;
     for msg in rx {
-        let (resp, admitted) = match msg {
-            WriterMsg::Control(r) => (r, false),
-            WriterMsg::Query(r) => (r, true),
+        let (resp, admitted, trace) = match msg {
+            WriterMsg::Control(r) => (r, false, None),
+            WriterMsg::Query(r, t) => (r, true, t),
         };
         if !dead {
             let payload = encode_response(&resp);
@@ -521,6 +767,10 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<WriterMsg>, conn: Arc<ConnSha
                 // then keep draining messages to release in-flight slots.
                 dead = true;
                 let _ = stream.shutdown(Shutdown::Both);
+            } else if let Some(trace) = trace {
+                // Only successfully written responses are traced: a dead
+                // connection has no meaningful end-to-end latency.
+                state.finish_trace(&trace);
             }
         }
         if admitted {
@@ -557,9 +807,10 @@ fn conn_loop(stream: TcpStream, state: &Arc<State>, queue: &Arc<JobQueue>) {
     let (tx, rx) = sync_channel::<WriterMsg>(state.cfg.per_conn_inflight + CONTROL_SLACK);
     let writer = {
         let conn = Arc::clone(&conn);
+        let state = Arc::clone(state);
         std::thread::Builder::new()
             .name("serve-writer".into())
-            .spawn(move || writer_loop(write_half, rx, conn))
+            .spawn(move || writer_loop(write_half, rx, conn, state))
     };
     let writer = match writer {
         Ok(w) => w,
@@ -612,6 +863,8 @@ fn serve_requests(
             Err(_) => return, // closed / corrupt / io: transport death
         };
         last_activity = Instant::now();
+        // Start of the read stage: when this frame's first byte arrived.
+        let t0 = frames.last_frame_started().unwrap_or(last_activity);
 
         let req = match decode_request(&payload) {
             Ok(req) => req,
@@ -676,7 +929,41 @@ fn serve_requests(
                 state.shutdown.store(true, Ordering::SeqCst);
                 return;
             }
+            RequestBody::ObsSeries => {
+                state.control.incr();
+                let ring = state.series.lock().expect("series ring").clone();
+                let resp = Response {
+                    id: req.id,
+                    body: ResponseBody::ObsSeries(ring),
+                };
+                if !send_control(tx, &stream, resp) {
+                    return;
+                }
+            }
+            RequestBody::ObsSlowLog => {
+                state.control.incr();
+                let log = state.slow.lock().expect("slow log").snapshot();
+                let resp = Response {
+                    id: req.id,
+                    body: ResponseBody::ObsSlowLog(log),
+                };
+                if !send_control(tx, &stream, resp) {
+                    return;
+                }
+            }
+            RequestBody::Metrics => {
+                state.control.incr();
+                let resp = Response {
+                    id: req.id,
+                    body: ResponseBody::Metrics(prometheus_text(&state.registry.snapshot())),
+                };
+                if !send_control(tx, &stream, resp) {
+                    return;
+                }
+            }
             RequestBody::Query(query) => {
+                let read_us = t0.elapsed().as_micros() as u64;
+                let admit_started = Instant::now();
                 if let Some(rejection) = admit(state, conn, req.id) {
                     if !send_control(tx, &stream, rejection) {
                         return;
@@ -689,9 +976,12 @@ fn serve_requests(
                     work: Work::Query(query),
                     reply: tx.clone(),
                     conn: Arc::clone(conn),
+                    trace: job_trace(state, t0, read_us, admit_started),
                 });
             }
             RequestBody::Lookup(lookup) => {
+                let read_us = t0.elapsed().as_micros() as u64;
+                let admit_started = Instant::now();
                 if let Some(rejection) = admit(state, conn, req.id) {
                     if !send_control(tx, &stream, rejection) {
                         return;
@@ -704,10 +994,25 @@ fn serve_requests(
                     work: Work::Lookup(lookup),
                     reply: tx.clone(),
                     conn: Arc::clone(conn),
+                    trace: job_trace(state, t0, read_us, admit_started),
                 });
             }
         }
     }
+}
+
+/// Builds the trace an admitted job carries (`None` with tracing off).
+fn job_trace(state: &State, t0: Instant, read_us: u64, admit_started: Instant) -> Option<JobTrace> {
+    if !state.cfg.tracing {
+        return None;
+    }
+    Some(JobTrace {
+        t0,
+        seq: state.request_seq.fetch_add(1, Ordering::Relaxed),
+        read_us,
+        admit_us: admit_started.elapsed().as_micros() as u64,
+        queued_at: Instant::now(),
+    })
 }
 
 /// Runs admission control for one query. `None` admits (both counters

@@ -35,7 +35,7 @@ use fork_query::{
     ReorgEvent, SealedHeader, SideTip, TipHistoryOutput,
 };
 use fork_replay::Side;
-use fork_telemetry::{HistogramSnapshot, BUCKETS};
+use fork_telemetry::{HistogramSnapshot, SeriesRing, SeriesSample, BUCKETS};
 
 /// Hard cap on one sealed frame. Full-archive block scans at paper scale
 /// are a few MiB; 64 MiB leaves headroom while bounding what one peer can
@@ -70,6 +70,15 @@ pub enum RequestBody {
     Ping,
     /// Ask the daemon to shut down gracefully (drain, then exit).
     Shutdown,
+    /// Return the daemon's sampled time-series ring (see
+    /// [`fork_telemetry::SeriesRing`]).
+    ObsSeries,
+    /// Return the slow-query log: the worst-latency requests the daemon has
+    /// served, each with its per-stage waterfall.
+    ObsSlowLog,
+    /// Return the current registry snapshot rendered in the Prometheus text
+    /// exposition format (see [`fork_telemetry::prometheus_text`]).
+    Metrics,
 }
 
 /// Typed error classes a server can answer with.
@@ -138,6 +147,53 @@ pub struct ServeMeta {
     pub checksum: u32,
 }
 
+/// Per-stage timing of one served request, in microseconds, plus the cache
+/// traffic its evaluation caused. The stages partition the request's life:
+/// frame read/decode → admission → queue wait → execute → encode/write, so
+/// [`StageBreakdown::stage_sum_us`] approximates the end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageBreakdown {
+    /// First frame byte seen → request decoded.
+    pub read_us: u64,
+    /// Admission control (cap checks) around enqueueing.
+    pub admit_us: u64,
+    /// Sat in the job queue waiting for a worker.
+    pub queue_us: u64,
+    /// Query/lookup evaluation on the worker thread.
+    pub execute_us: u64,
+    /// Waiting for the writer plus response encode and socket write.
+    pub write_us: u64,
+    /// Frame-cache hits attributed to this request's evaluation.
+    pub cache_hits: u64,
+    /// Frame-cache misses attributed to this request's evaluation.
+    pub cache_misses: u64,
+}
+
+impl StageBreakdown {
+    /// Sum of the five stage durations (µs) — the traced account of the
+    /// request's end-to-end latency.
+    pub fn stage_sum_us(&self) -> u64 {
+        self.read_us + self.admit_us + self.queue_us + self.execute_us + self.write_us
+    }
+}
+
+/// One entry of the slow-query log: a served request's identity and its
+/// full stage waterfall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryRecord {
+    /// The client's wire correlation id.
+    pub id: u64,
+    /// The daemon's own monotonic request sequence number (unique per
+    /// daemon lifetime, unlike client-chosen ids).
+    pub seq: u64,
+    /// Endpoint label (one of the `serve.latency.*` endpoint names).
+    pub endpoint: String,
+    /// Measured end-to-end latency (first frame byte → response written).
+    pub total_us: u64,
+    /// Where that time went.
+    pub stages: StageBreakdown,
+}
+
 /// A response as carried on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -166,6 +222,12 @@ pub enum ResponseBody {
     ShutdownAck,
     /// A typed failure.
     Error(WireError),
+    /// The sampled time-series ring.
+    ObsSeries(SeriesRing),
+    /// The slow-query log, worst request first.
+    ObsSlowLog(Vec<SlowQueryRecord>),
+    /// Prometheus text exposition of the registry snapshot.
+    Metrics(String),
 }
 
 /// Transport-level failure while reading a frame off a socket.
@@ -265,6 +327,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
 pub struct FrameReader {
     buf: Vec<u8>,
     stalled_since: Option<Instant>,
+    /// When the first byte of the frame currently accumulating arrived.
+    started: Option<Instant>,
+    /// When the first byte of the most recently extracted frame arrived.
+    last_started: Option<Instant>,
 }
 
 impl FrameReader {
@@ -276,6 +342,13 @@ impl FrameReader {
     /// True when a frame has started arriving but is not complete yet.
     pub fn mid_frame(&self) -> bool {
         !self.buf.is_empty()
+    }
+
+    /// When the first byte of the most recently extracted frame arrived —
+    /// the start-of-request instant for stage tracing. `None` until
+    /// [`poll_frame`](Self::poll_frame) has returned a frame.
+    pub fn last_frame_started(&self) -> Option<Instant> {
+        self.last_started
     }
 
     /// Pulls the next complete frame. `Ok(None)` means the read timed out
@@ -296,6 +369,9 @@ impl FrameReader {
                 Ok(0) => return Err(FrameError::Closed),
                 Ok(n) => {
                     self.stalled_since = None;
+                    if self.buf.is_empty() {
+                        self.started = Some(Instant::now());
+                    }
                     self.buf.extend_from_slice(&chunk[..n]);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -333,6 +409,13 @@ impl FrameReader {
             None => return Err(FrameError::Corrupt),
         };
         self.buf.drain(..total);
+        // This frame started when its first byte arrived; a pipelined
+        // follow-up frame already sitting in the buffer starts "now" (its
+        // bytes arrived in the same read, and extraction is immediate).
+        self.last_started = self.started.take();
+        if !self.buf.is_empty() {
+            self.started = Some(Instant::now());
+        }
         Ok(Some(payload))
     }
 }
@@ -420,6 +503,9 @@ const REQ_META: u8 = 2;
 const REQ_PING: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
 const REQ_LOOKUP: u8 = 5;
+const REQ_OBS_SERIES: u8 = 6;
+const REQ_OBS_SLOWLOG: u8 = 7;
+const REQ_METRICS: u8 = 8;
 
 fn side_tag(side: Option<Side>) -> u8 {
     match side {
@@ -581,6 +667,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         RequestBody::Meta => out.push(REQ_META),
         RequestBody::Ping => out.push(REQ_PING),
         RequestBody::Shutdown => out.push(REQ_SHUTDOWN),
+        RequestBody::ObsSeries => out.push(REQ_OBS_SERIES),
+        RequestBody::ObsSlowLog => out.push(REQ_OBS_SLOWLOG),
+        RequestBody::Metrics => out.push(REQ_METRICS),
     }
     out
 }
@@ -596,6 +685,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         REQ_META => RequestBody::Meta,
         REQ_PING => RequestBody::Ping,
         REQ_SHUTDOWN => RequestBody::Shutdown,
+        REQ_OBS_SERIES => RequestBody::ObsSeries,
+        REQ_OBS_SLOWLOG => RequestBody::ObsSlowLog,
+        REQ_METRICS => RequestBody::Metrics,
         t => return Err(DecodeError::UnknownTag(t)),
     };
     c.finish()?;
@@ -611,6 +703,9 @@ const RESP_PONG: u8 = 3;
 const RESP_SHUTDOWN_ACK: u8 = 4;
 const RESP_ERROR: u8 = 5;
 const RESP_LOOKUP: u8 = 6;
+const RESP_OBS_SERIES: u8 = 7;
+const RESP_OBS_SLOWLOG: u8 = 8;
+const RESP_METRICS: u8 = 9;
 
 const OUT_BLOCKS: u8 = 0;
 const OUT_TXS: u8 = 1;
@@ -931,6 +1026,87 @@ fn decode_lookup_output(c: &mut Cursor<'_>) -> Result<LookupOutput, DecodeError>
     }
 }
 
+// --- obs codec -------------------------------------------------------------
+
+fn encode_series_ring(out: &mut Vec<u8>, ring: &SeriesRing) {
+    out.extend_from_slice(&(ring.capacity() as u32).to_le_bytes());
+    out.extend_from_slice(&ring.next_tick().to_le_bytes());
+    out.extend_from_slice(&(ring.len() as u32).to_le_bytes());
+    for sample in ring.samples() {
+        out.extend_from_slice(&sample.tick.to_le_bytes());
+        out.extend_from_slice(&(sample.values.len() as u32).to_le_bytes());
+        for (name, &v) in &sample.values {
+            put_str(out, name);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn decode_series_ring(c: &mut Cursor<'_>) -> Result<SeriesRing, DecodeError> {
+    let capacity = c.u32()? as usize;
+    let next_tick = c.u64()?;
+    let n = c.u32()?;
+    let mut samples = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        let tick = c.u64()?;
+        let m = c.u32()?;
+        let mut values = std::collections::BTreeMap::new();
+        for _ in 0..m {
+            let name = c.string()?;
+            let v = f64::from_bits(c.u64()?);
+            if values.insert(name, v).is_some() {
+                return Err(DecodeError::Malformed("duplicate series name".into()));
+            }
+        }
+        samples.push(SeriesSample { tick, values });
+    }
+    SeriesRing::from_parts(capacity, next_tick, samples).map_err(DecodeError::Malformed)
+}
+
+fn encode_slow_log(out: &mut Vec<u8>, log: &[SlowQueryRecord]) {
+    out.extend_from_slice(&(log.len() as u32).to_le_bytes());
+    for r in log {
+        out.extend_from_slice(&r.id.to_le_bytes());
+        out.extend_from_slice(&r.seq.to_le_bytes());
+        put_str(out, &r.endpoint);
+        out.extend_from_slice(&r.total_us.to_le_bytes());
+        for v in [
+            r.stages.read_us,
+            r.stages.admit_us,
+            r.stages.queue_us,
+            r.stages.execute_us,
+            r.stages.write_us,
+            r.stages.cache_hits,
+            r.stages.cache_misses,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn decode_slow_log(c: &mut Cursor<'_>) -> Result<Vec<SlowQueryRecord>, DecodeError> {
+    let n = c.u32()?;
+    let mut log = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        log.push(SlowQueryRecord {
+            id: c.u64()?,
+            seq: c.u64()?,
+            endpoint: c.string()?,
+            total_us: c.u64()?,
+            stages: StageBreakdown {
+                read_us: c.u64()?,
+                admit_us: c.u64()?,
+                queue_us: c.u64()?,
+                execute_us: c.u64()?,
+                write_us: c.u64()?,
+                cache_hits: c.u64()?,
+                cache_misses: c.u64()?,
+            },
+        });
+    }
+    Ok(log)
+}
+
 fn encode_meta(out: &mut Vec<u8>, m: &ServeMeta) {
     out.extend_from_slice(&m.blocks.to_le_bytes());
     out.extend_from_slice(&m.txs.to_le_bytes());
@@ -997,6 +1173,18 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(err_kind_tag(e.kind));
             put_str(&mut out, &e.detail);
         }
+        ResponseBody::ObsSeries(ring) => {
+            out.push(RESP_OBS_SERIES);
+            encode_series_ring(&mut out, ring);
+        }
+        ResponseBody::ObsSlowLog(log) => {
+            out.push(RESP_OBS_SLOWLOG);
+            encode_slow_log(&mut out, log);
+        }
+        ResponseBody::Metrics(text) => {
+            out.push(RESP_METRICS);
+            put_str(&mut out, text);
+        }
     }
     out
 }
@@ -1016,6 +1204,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             kind: err_kind_from(c.u8()?)?,
             detail: c.string()?,
         }),
+        RESP_OBS_SERIES => ResponseBody::ObsSeries(decode_series_ring(&mut c)?),
+        RESP_OBS_SLOWLOG => ResponseBody::ObsSlowLog(decode_slow_log(&mut c)?),
+        RESP_METRICS => ResponseBody::Metrics(c.string()?),
         t => return Err(DecodeError::UnknownTag(t)),
     };
     c.finish()?;

@@ -13,9 +13,9 @@ use fork_replay::Side;
 use fork_serve::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     DecodeError, ErrorKind, FrameError, Request, RequestBody, Response, ResponseBody, ServeMeta,
-    WireError, MAX_FRAME_LEN,
+    SlowQueryRecord, StageBreakdown, WireError, MAX_FRAME_LEN,
 };
-use fork_telemetry::HistogramSnapshot;
+use fork_telemetry::{HistogramSnapshot, SeriesRing};
 use proptest::prelude::*;
 
 fn side(n: u64) -> Side {
@@ -114,15 +114,54 @@ fn lookup_from(spec: QuerySpec) -> Lookup {
 
 fn request_from(spec: (u64, u64, QuerySpec)) -> Request {
     let (id, kind, qspec) = spec;
-    let body = match kind % 6 {
+    let body = match kind % 9 {
         0 => RequestBody::Query(query_from(qspec)),
         1 => RequestBody::Stats,
         2 => RequestBody::Meta,
         3 => RequestBody::Ping,
         4 => RequestBody::Lookup(lookup_from(qspec)),
+        5 => RequestBody::ObsSeries,
+        6 => RequestBody::ObsSlowLog,
+        7 => RequestBody::Metrics,
         _ => RequestBody::Shutdown,
     };
     Request { id, body }
+}
+
+/// A deterministic series ring derived from the integer specs — mixed
+/// per-sample value sets so decoding must handle sparse series.
+fn series_ring_from(nums: &[u64], extra: &[u64]) -> SeriesRing {
+    let mut ring = SeriesRing::new(1 + nums.len().max(extra.len()));
+    for (i, &n) in nums.iter().enumerate() {
+        let mut values = std::collections::BTreeMap::new();
+        values.insert("connections".to_string(), (n % 1009) as f64);
+        if let Some(&x) = extra.get(i) {
+            values.insert(format!("p99_us.ep{}", x % 4), (x % 100_000) as f64 / 3.0);
+        }
+        ring.push(values);
+    }
+    ring
+}
+
+fn slow_log_from(nums: &[u64], extra: &[u64]) -> Vec<SlowQueryRecord> {
+    nums.iter()
+        .zip(extra)
+        .map(|(&n, &x)| SlowQueryRecord {
+            id: n,
+            seq: x,
+            endpoint: format!("ep{}", n % 11),
+            total_us: n.wrapping_add(x),
+            stages: StageBreakdown {
+                read_us: n % 97,
+                admit_us: x % 13,
+                queue_us: n % 1_000,
+                execute_us: x % 100_000,
+                write_us: n % 77,
+                cache_hits: x % 9,
+                cache_misses: n % 5,
+            },
+        })
+        .collect()
 }
 
 /// A side tip whose tip block (if any) genuinely lives on `s` — the wire
@@ -201,7 +240,7 @@ fn lookup_output_from(kind: u64, id: u64, nums: &[u64], extra: &[u64]) -> Lookup
 
 fn response_from(spec: (u64, u64, Vec<u64>, Vec<u64>)) -> Response {
     let (id, kind, nums, extra) = spec;
-    let body = match kind % 8 {
+    let body = match kind % 11 {
         0 => ResponseBody::Output(QueryOutput::Blocks(
             nums.iter().map(|&n| block(n)).collect(),
         )),
@@ -237,6 +276,11 @@ fn response_from(spec: (u64, u64, Vec<u64>, Vec<u64>)) -> Response {
             id,
             &nums,
             &extra,
+        )),
+        7 => ResponseBody::ObsSeries(series_ring_from(&nums, &extra)),
+        8 => ResponseBody::ObsSlowLog(slow_log_from(&nums, &extra)),
+        9 => ResponseBody::Metrics(format!(
+            "# TYPE serve_requests counter\nserve_requests {id}\n"
         )),
         _ => ResponseBody::Error(WireError {
             kind: match id % 6 {

@@ -13,6 +13,9 @@
 //!   [`Snapshot`] that renders as a human table or machine-readable JSON;
 //! - [`json`] — a tiny JSON value/parser/writer module used for all exports
 //!   (always compiled, independent of the feature flag);
+//! - [`SeriesRing`] — a plain-data, fixed-capacity time-series ring of
+//!   sampled gauges (always compiled), plus [`prometheus_text`] rendering a
+//!   [`Snapshot`] in the Prometheus text exposition format;
 //! - [`TraceSink`] / [`FlightRecorder`] — structured block-lifecycle
 //!   tracing on simulated time (Chrome-trace exportable, deterministic per
 //!   seed) with a bounded last-N-per-node flight recorder for chaos
@@ -46,6 +49,7 @@ pub mod recorder;
 mod registry;
 mod snapshot;
 mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use diff::{diff_snapshots, render_diff, SnapshotDiff};
@@ -54,6 +58,7 @@ pub use recorder::{FlightDump, FlightRecorder};
 pub use registry::MetricsRegistry;
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot, TimingMode};
 pub use span::{timed, Span, SpanStats};
+pub use timeseries::{prometheus_text, SeriesRing, SeriesSample};
 pub use trace::{
     chrome_trace_json, propagation_rows, BlockTag, PropagationRow, TraceEvent, TraceEventKind,
     TraceSink, NO_BLOCK,

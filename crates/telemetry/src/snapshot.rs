@@ -80,15 +80,27 @@ impl HistogramSnapshot {
     }
 
     /// Estimated value at percentile `p` (clamped to `0..=100`): walks the
-    /// log2 buckets to the one covering the target rank and interpolates
-    /// linearly inside it, then clamps to the observed `[min, max]`. Exact
-    /// when all samples share a bucket endpoint; otherwise accurate to the
-    /// covering power-of-two bucket. Returns 0 for an empty histogram.
+    /// log2 buckets to the one covering the target rank and interpolates at
+    /// the rank's midpoint — over the bucket's span *intersected with* the
+    /// observed `[min, max]` envelope, so estimates never leave the range of
+    /// values actually recorded. Pinned exact cases: an empty histogram is
+    /// 0 at every percentile; a constant stream (including a single sample)
+    /// is that constant; `p <= 0` is `min` and `p >= 100` is `max`.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        if self.min == self.max {
+            // Single sample or a constant stream: the answer is exact.
+            return self.min;
+        }
         let p = p.clamp(0.0, 100.0);
+        if p <= 0.0 {
+            return self.min;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -96,8 +108,19 @@ impl HistogramSnapshot {
                 continue;
             }
             if seen + n >= rank {
-                let (lo, hi) = bucket_range(i);
-                let into = (rank - seen) as f64 / n as f64; // (0, 1]
+                let (blo, bhi) = bucket_range(i);
+                // Interpolate only over the part of the bucket the observed
+                // envelope allows; a fully clamped bucket is a point. `hi`
+                // is exclusive, so the envelope's top is `max + 1`.
+                let lo = blo.max(self.min);
+                let hi = bhi.min(self.max.saturating_add(1));
+                if lo >= hi {
+                    return lo.clamp(self.min, self.max);
+                }
+                // Midpoint of the rank's slot: (0, 1), never the bucket
+                // edges — a lone sample estimates the bucket middle, not
+                // its top.
+                let into = ((rank - seen) as f64 - 0.5) / n as f64;
                 let est = lo as f64 + into * (hi - lo) as f64;
                 return (est as u64).clamp(self.min, self.max);
             }
@@ -574,6 +597,54 @@ mod tests {
             "p99 {} should be in the tail",
             tail.p99()
         );
+    }
+
+    #[test]
+    fn percentile_edge_cases_pin_clamped_interpolation() {
+        // Empty: every percentile is 0 (no data, no envelope).
+        let empty = HistogramSnapshot::default();
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(empty.percentile(p), 0);
+        }
+
+        // Single sample: exact at every percentile, including p = 0.
+        let mut one = HistogramSnapshot::default();
+        one.record(777);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(one.percentile(p), 777, "single sample is exact at {p}");
+        }
+        let mut zero = HistogramSnapshot::default();
+        zero.record(0);
+        assert_eq!(zero.percentile(50.0), 0);
+
+        // Single-bucket saturation: all samples in [512, 1024) but the
+        // observed envelope is [600, 700] — interpolation must stay inside
+        // the envelope, not the full power-of-two bucket.
+        let mut narrow = HistogramSnapshot::default();
+        for v in [600u64, 640, 660, 700] {
+            narrow.record(v);
+        }
+        let mut last = 0;
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let est = narrow.percentile(p);
+            assert!(
+                (600..=700).contains(&est),
+                "p{p} estimate {est} escaped the observed [600, 700] envelope"
+            );
+            assert!(est >= last, "estimates must be monotone in p");
+            last = est;
+        }
+        assert_eq!(narrow.percentile(100.0), narrow.max);
+
+        // Two far-apart samples: each percentile half resolves to the
+        // nearer observed value's bucket, clamped into [min, max].
+        let mut pair = HistogramSnapshot::default();
+        pair.record(3);
+        pair.record(1_000_000);
+        assert_eq!(pair.percentile(0.0), 3);
+        assert_eq!(pair.percentile(50.0), 3);
+        assert!(pair.percentile(51.0) >= 524_288);
+        assert_eq!(pair.percentile(100.0), 1_000_000);
     }
 
     #[test]
