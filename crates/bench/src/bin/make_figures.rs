@@ -15,6 +15,7 @@
 //! cargo run --release -p fork-bench --bin make-figures -- interarrival
 //! cargo run --release -p fork-bench --bin make-figures -- query --quick
 //! cargo run --release -p fork-bench --bin make-figures -- bench --quick
+//! cargo run --release -p fork-bench --bin make-figures -- macro --quick
 //! ```
 //!
 //! The `archive` target runs a study streamed into a durable on-disk
@@ -29,7 +30,7 @@
 //! in-process batch rates over an archive, then boots an in-process
 //! `fork-served` daemon and drives it with the `fork-load` mixed workload
 //! (120 connections), writing client- and server-side p50/p90/p99 plus
-//! cache hit rates to `BENCH_9.json` (`--bench-out`). It also races the
+//! cache hit rates to `BENCH_10.json` (`--bench-out`). It also races the
 //! hash-index sidecar's point lookups against naive full scans over the
 //! same sampled hashes (the `lookup` section of the report), and prices
 //! the observability plane: a tracing-off control run of the same served
@@ -39,7 +40,13 @@
 //! the fork atlas — every partition preset across three seeds under the
 //! safety and heal-convergence invariants, plus the never-healed negative
 //! control — and writes `atlas.md` (partition duration vs minority-branch
-//! lifetime vs heal reorg depth, per preset × seed). `interarrival` exports
+//! lifetime vs heal reorg depth, per preset × seed) including the
+//! lifetime-vs-duration scaling curve (a sweep of partition durations ×
+//! seeds on the flash topology). The `macro` target runs the macro-scale
+//! engine: the propagation preset at 100/500/1,000 generated-topology
+//! nodes (pre/post-fork p50/p90/max into `macro.md`) and a 1,000-node
+//! serial-vs-sharded timing race whose rounds/s land in the `macro`
+//! section of the bench report. `interarrival` exports
 //! the block inter-arrival histograms as CSV/JSON series. The `trace`
 //! target runs the fork-split micro network with the block-lifecycle
 //! tracer attached and writes `trace.json` (Chrome trace-event format,
@@ -83,7 +90,7 @@ fn parse_args() -> Args {
     let mut seed = 2016u64;
     let mut out = PathBuf::from("figures");
     let mut telemetry_out = None;
-    let mut bench_out = PathBuf::from("BENCH_9.json");
+    let mut bench_out = PathBuf::from("BENCH_10.json");
     let mut archive_dir = None;
     let mut quick = false;
     let mut progress = false;
@@ -485,6 +492,44 @@ fn main() {
                 ]);
             }
         }
+        // The lifetime-vs-duration scaling curve: the flash topology swept
+        // over partition durations × seeds. Lifetime is expected to track
+        // duration roughly linearly once the split outlives the census's
+        // 8-block agreement cushion.
+        eprintln!("Sweeping the lifetime-vs-duration scaling curve...");
+        let durations: &[u64] = if args.quick {
+            &[30, 240, 960]
+        } else {
+            &[30, 60, 120, 240, 480, 720, 960]
+        };
+        let mut curve_rows: Vec<Vec<String>> = Vec::new();
+        for &duration in durations {
+            let mut lifetimes = Vec::new();
+            let mut depths = Vec::new();
+            for &seed in &seeds {
+                let preset = fork_sim::scenario::atlas_duration_sweep(seed, duration);
+                let (net, lifetime_s) = run_atlas_preset(&preset, seed);
+                lifetimes.push(lifetime_s);
+                depths.push(net.max_reorg_depth());
+            }
+            let mean_lifetime = lifetimes.iter().sum::<u64>() as f64 / lifetimes.len() as f64;
+            curve_rows.push(vec![
+                format!("{duration} s"),
+                lifetimes
+                    .iter()
+                    .map(|l| format!("{l} s"))
+                    .collect::<Vec<_>>()
+                    .join(" / "),
+                format!("{mean_lifetime:.0} s"),
+                depths
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" / "),
+                fork_sim::scenario::atlas_reorg_bound(duration).to_string(),
+            ]);
+        }
+
         // Negative control: the flash partition without its heal must FAIL
         // the convergence invariant — an atlas whose gate can't reject a
         // stuck partition proves nothing.
@@ -507,7 +552,12 @@ fn main() {
              expected group count at every window. \"Minority lifetime\" is how long a \
              divergent census persisted (15 s sampling); 0 s means the partition healed \
              before the divergence ever crossed the census's 8-block agreement cushion — \
-             a flash partition can be invisible at spec tolerance.\n\n{}\n{}\n",
+             a flash partition can be invisible at spec tolerance.\n\n{}\n\
+             ## Lifetime vs duration scaling curve\n\nThe flash two-way topology \
+             (16 nodes, split at 600 s) swept over partition durations, {} seeds \
+             each. Minority-branch lifetime tracks partition duration once the \
+             split outlives the census's agreement cushion; the heal reorg depth \
+             stays inside the duration-derived bound at every point.\n\n{}\n{}\n",
             fork_analytics::markdown_table(
                 &[
                     "preset",
@@ -519,6 +569,17 @@ fn main() {
                     "invariants",
                 ],
                 &rows,
+            ),
+            seeds.len(),
+            fork_analytics::markdown_table(
+                &[
+                    "partition duration",
+                    "minority lifetime (per seed)",
+                    "mean lifetime",
+                    "heal reorg depth (per seed)",
+                    "reorg bound",
+                ],
+                &curve_rows,
             ),
             control_line,
         );
@@ -1213,6 +1274,173 @@ fn main() {
              stage sum {stage_sum_us}us vs end-to-end {stage_total_us}us",
             slow_log.len(),
             series.len(),
+        );
+        println!("  -> {}\n", args.bench_out.display());
+    }
+
+    if wants("macro") {
+        use fork_sim::macroscale::{macro_propagation, MacroConfig, MacroNet, TopologyGenConfig};
+        eprintln!("Running the macro-scale engine (propagation at 100/500/1,000 nodes)...");
+        let run_span = registry.span("figures.run.macro");
+        let guard = run_span.enter();
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (label, n) in [
+            ("macro-100", 100usize),
+            ("macro-500", 500),
+            ("macro-1000", 1_000),
+        ] {
+            let preset = macro_propagation(args.seed, n);
+            let mut config = preset.config;
+            if args.quick {
+                config.duration_secs = 300;
+                config.fork_at_secs = Some(150);
+            }
+            config.n_shards = shards;
+            let mut net = MacroNet::new(config).expect("macro propagation preset is valid");
+            net.attach_registry(&registry);
+            let report = if args.progress {
+                // Macro heartbeats tick per simulated *minute*, not day.
+                let mut beat = |p: fork_sim::ProgressEvent| {
+                    eprintln!(
+                        "  [{label}] min {:>3}: sim t={}s, blocks maj/min {}/{}, \
+                         {:.0} deliveries/s",
+                        p.day, p.sim_unix, p.blocks[0], p.blocks[1], p.events_per_sec
+                    );
+                };
+                net.run_with_progress(Some(&mut beat))
+            } else {
+                net.run()
+            };
+            telemetry.merge(&net.telemetry_snapshot());
+            for (phase, blocks, stats) in [
+                ("pre-fork", report.mined_prefork, report.pre_fork),
+                (
+                    "post-fork",
+                    report.mined_majority + report.mined_minority,
+                    report.post_fork,
+                ),
+            ] {
+                rows.push(vec![
+                    n.to_string(),
+                    phase.to_string(),
+                    blocks.to_string(),
+                    stats.samples.to_string(),
+                    stats.p50_ms.to_string(),
+                    stats.p90_ms.to_string(),
+                    stats.max_ms.to_string(),
+                ]);
+            }
+        }
+
+        // Serial-vs-sharded timing race at 1,000 nodes: identical config
+        // and seed, so the reports must be byte-identical — only the
+        // wall-clock may differ. Dense blocks + heavy simulated header
+        // verification (a pure ALU spin, the sharded phase's dominant
+        // cost) give the shards real work to parallelize; each arm runs
+        // twice and keeps its best wall, the usual guard against a cold
+        // first pass.
+        eprintln!("Racing serial vs {shards}-shard execution at 1,000 nodes...");
+        let bench_config = MacroConfig {
+            seed: args.seed,
+            topology: TopologyGenConfig {
+                n_nodes: 1_000,
+                ..TopologyGenConfig::default()
+            },
+            duration_secs: if args.quick { 30 } else { 60 },
+            round_ms: 200,
+            block_every_secs: 2.0,
+            verify_cost: 131_072,
+            ..MacroConfig::default()
+        };
+        let time_one = |n_shards: usize| {
+            let mut cfg = bench_config.clone();
+            cfg.n_shards = n_shards;
+            let mut net = MacroNet::new(cfg).expect("bench config valid");
+            let t0 = std::time::Instant::now();
+            let report = net.run();
+            (t0.elapsed(), report)
+        };
+        // Interleave the arms (S,P × 3, best wall each) so machine drift
+        // during the race biases neither side.
+        let mut serial_best: Option<(std::time::Duration, _)> = None;
+        let mut parallel_best: Option<(std::time::Duration, _)> = None;
+        for _ in 0..3 {
+            let (wall, report) = time_one(1);
+            let better = match &serial_best {
+                Some((w, _)) => wall < *w,
+                None => true,
+            };
+            if better {
+                serial_best = Some((wall, report));
+            }
+            let (wall, report) = time_one(shards);
+            let better = match &parallel_best {
+                Some((w, _)) => wall < *w,
+                None => true,
+            };
+            if better {
+                parallel_best = Some((wall, report));
+            }
+        }
+        let (serial_wall, serial_report) = serial_best.expect("three passes ran");
+        let (parallel_wall, parallel_report) = parallel_best.expect("three passes ran");
+        let byte_identical = format!("{serial_report:?}") == format!("{parallel_report:?}");
+        assert!(byte_identical, "sharded macro run diverged from serial");
+        let rounds = serial_report.rounds_executed;
+        let serial_rps = rounds as f64 / serial_wall.as_secs_f64().max(1e-9);
+        let parallel_rps = rounds as f64 / parallel_wall.as_secs_f64().max(1e-9);
+        let speedup = parallel_rps / serial_rps;
+        drop(guard);
+
+        // macro.md carries only simulation-derived numbers (no wall-clock),
+        // so a double run is byte-identical — CI `cmp`s exactly that.
+        let md = format!(
+            "# Macro-scale propagation\n\nThe macro propagation preset (generated \
+             power-law topology, three geo-latency clusters, client-diversity \
+             stances; protocol fork at mid-run) at increasing node counts. \
+             Delays are mining-round to remote-import, quantized to engine \
+             rounds; post-fork rows cover both sides' blocks.\n\n{}\n",
+            fork_analytics::markdown_table(
+                &["nodes", "phase", "blocks", "samples", "p50_ms", "p90_ms", "max_ms"],
+                &rows,
+            ),
+        );
+        println!("{md}");
+        std::fs::write(args.out.join("macro.md"), &md).expect("write macro figure");
+        println!("  -> {}\n", args.out.join("macro.md").display());
+
+        // Splice the `macro` section into the bench report, preserving any
+        // sections a `bench` run already wrote (and replacing a previous
+        // `macro` section — it is always the last key).
+        let macro_json = format!(
+            "\"macro\": {{\"nodes\": 1000, \"rounds\": {rounds}, \
+             \"serial_rounds_per_sec\": {serial_rps:.2}, \
+             \"parallel_rounds_per_sec\": {parallel_rps:.2}, \
+             \"speedup\": {speedup:.3}, \"shards\": {shards}, \
+             \"byte_identical\": {byte_identical}}}"
+        );
+        let report_json = match std::fs::read_to_string(&args.bench_out) {
+            Ok(existing) => {
+                let trimmed = existing.trim_end();
+                let head = match trimmed.find("\"macro\":") {
+                    Some(pos) => trimmed[..pos].trim_end().trim_end_matches(','),
+                    None => trimmed
+                        .strip_suffix('}')
+                        .expect("bench report ends with a closing brace"),
+                };
+                format!("{},\n  {macro_json}\n}}\n", head.trim_end())
+            }
+            Err(_) => format!("{{\n  \"schema\": \"fork-bench/v1\",\n  {macro_json}\n}}\n"),
+        };
+        std::fs::write(&args.bench_out, &report_json).expect("write bench report");
+        println!(
+            "macro: {rounds} rounds at 1,000 nodes; serial {serial_rps:.0} rounds/s vs \
+             {shards}-shard {parallel_rps:.0} rounds/s (x{speedup:.2}), reports byte-identical"
         );
         println!("  -> {}\n", args.bench_out.display());
     }

@@ -504,6 +504,34 @@ mod tests {
                 n_nodes: 5
             })
         );
+        // Every event class must be range-checked — a plan written for a
+        // bigger topology fails fast instead of silently no-opping or
+        // panicking mid-run.
+        let iso = ChaosPlan::NONE.isolate_node(9, 1_000);
+        iso.validate(10).unwrap();
+        assert_eq!(
+            iso.validate(9),
+            Err(ChaosPlanError::NodeOutOfRange {
+                node: 9,
+                n_nodes: 9
+            })
+        );
+        let byz = ChaosPlan {
+            byzantine: vec![ByzantineNode {
+                node: 4,
+                behavior: ByzantineBehavior::Equivocate,
+                until_secs: None,
+            }],
+            ..ChaosPlan::default()
+        };
+        byz.validate(5).unwrap();
+        assert_eq!(
+            byz.validate(4),
+            Err(ChaosPlanError::NodeOutOfRange {
+                node: 4,
+                n_nodes: 4
+            })
+        );
     }
 
     #[test]

@@ -509,6 +509,37 @@ pub fn check_reorg_depth(net: &MicroNet, bound: u64) -> Result<(), InvariantViol
     Ok(())
 }
 
+/// [`check_heal_convergence`] for the macro engine: the macro census
+/// ([`MacroNet::partition_census`](crate::macroscale::MacroNet::partition_census))
+/// must hold exactly `expected_groups` clusters. Same semantics and same
+/// violation variant as the micro check — only the engine differs.
+pub fn check_macro_heal_convergence(
+    net: &crate::macroscale::MacroNet,
+    expected_groups: usize,
+) -> Result<(), InvariantViolation> {
+    let groups = net.partition_census();
+    if groups.len() != expected_groups {
+        return Err(InvariantViolation::HealConvergenceFailed {
+            groups,
+            expected: expected_groups,
+        });
+    }
+    Ok(())
+}
+
+/// [`check_reorg_depth`] for the macro engine: the deepest reorg any macro
+/// node performed must be explainable by the scripted partitions.
+pub fn check_macro_reorg_depth(
+    net: &crate::macroscale::MacroNet,
+    bound: u64,
+) -> Result<(), InvariantViolation> {
+    let depth = net.max_reorg_depth();
+    if depth > bound {
+        return Err(InvariantViolation::ReorgDepthExceeded { depth, bound });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

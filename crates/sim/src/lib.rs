@@ -19,12 +19,18 @@
 //!   (timeouts, retries, peer scoring) the micro engine runs under.
 //! * [`invariants`] — the safety conditions a chaos run must never violate,
 //!   checked window-by-window by the chaos harness.
+//! * [`macroscale`] — the 1,000+ node macro-scale engine: seeded realistic
+//!   topology generation (power-law degrees, geo-latency clusters, client
+//!   diversity) and a sharded deterministic lock-step round engine with a
+//!   serial fallback, running the same chaos plans and convergence
+//!   invariants at production scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
 pub mod invariants;
+pub mod macroscale;
 pub mod meso;
 pub mod micro;
 pub mod observer;
@@ -39,14 +45,22 @@ pub use chaos::{
     IsolationEvent, PartitionEvent, RecoveryMode, ResilienceConfig,
 };
 pub use invariants::{
-    check_heal_convergence, check_invariants, check_reorg_depth, check_side_agreement,
-    violation_report, InvariantViolation,
+    check_heal_convergence, check_invariants, check_macro_heal_convergence,
+    check_macro_reorg_depth, check_reorg_depth, check_side_agreement, violation_report,
+    InvariantViolation,
+};
+pub use macroscale::{
+    macro_partition, macro_propagation, ClientKind, GeoCluster, MacroConfig, MacroError, MacroNet,
+    MacroPreset, MacroReport, MacroTopology, PropagationStats, TopologyError, TopologyGenConfig,
+    TopologyStats,
 };
 pub use meso::{MesoConfig, NetworkParams, ProgressEvent, RunSummary, TwoChainEngine};
 pub use micro::{MicroConfig, MicroNet, MicroReport};
 pub use observer::{CountingSink, LedgerSink, MeteredSink, NullSink, TeeSink};
 pub use resolved::{ResolvedForkConfig, ResolvedForkOutcome};
 pub use rng::SimRng;
-pub use scenario::{atlas_never_healed, atlas_presets, atlas_reorg_bound, AtlasPreset};
+pub use scenario::{
+    atlas_duration_sweep, atlas_never_healed, atlas_presets, atlas_reorg_bound, AtlasPreset,
+};
 pub use schedule::StepSeries;
 pub use workload::{UserPopulation, WorkloadParams};

@@ -1,0 +1,1330 @@
+//! The sharded macro-scale lock-step engine.
+//!
+//! [`MacroNet`] runs 1,000+ lightweight nodes over a generated
+//! [`MacroTopology`]. Unlike the micro engine's single global event heap,
+//! time advances in fixed *rounds* of `round_ms`; each round has two
+//! phases:
+//!
+//! 1. **Parallel step** — every node drains its own inbox for the round,
+//!    mines, imports, and emits outbound messages. A node touches only its
+//!    own state plus shared *read-only* round context, and every delivery
+//!    is scheduled at least one round ahead, so nodes within a round are
+//!    independent and the phase shards freely across a scoped thread pool
+//!    (`n_shards == 1` is the serial fallback running the identical code).
+//! 2. **Serial merge** — outputs are folded in ascending node order:
+//!    messages land in destination inboxes, births and propagation samples
+//!    are recorded, counters accumulate.
+//!
+//! Determinism argument: all randomness flows through per-node
+//! [`SimRng`] streams forked as `macro-node-{i}` (a pure function of the
+//! seed), the merge order is fixed, and round skipping is computed from
+//! merged state only — so `parallel == serial` byte-identity holds *by
+//! construction*, and the determinism suite locks it down across shard
+//! counts.
+//!
+//! Chaos integration: [`ChaosPlan`] partitions/isolations toggle a cut-edge
+//! multiset at round boundaries (in the serial phase), degradation windows
+//! apply their drop chance per send from the *sender's* stream, and the
+//! plan is validated against the generated topology's node count up front
+//! — a typed [`MacroError`], not a panic deep in the engine. Messages
+//! already in flight when an edge is cut still deliver (they left the wire
+//! before the cut), mirroring the micro engine's semantics.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use fork_telemetry::{Counter, MetricsRegistry, SpanStats};
+use rand::Rng;
+
+use crate::chaos::{ChaosPlan, ChaosPlanError};
+use crate::meso::ProgressEvent;
+use crate::rng::SimRng;
+
+use super::topology::{self, ClientKind, MacroTopology, TopologyError, TopologyGenConfig};
+
+/// Whole-run configuration for [`MacroNet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroConfig {
+    /// Root seed; identical configs + seeds give byte-identical reports.
+    pub seed: u64,
+    /// Topology generation parameters (node count lives here).
+    pub topology: TopologyGenConfig,
+    /// Simulated run length, seconds.
+    pub duration_secs: u64,
+    /// Lock-step round quantum, milliseconds (must be > 0).
+    pub round_ms: u64,
+    /// Shards for the parallel step phase; `1` is the serial fallback.
+    /// The shard count never changes results — only wall-clock time.
+    pub n_shards: usize,
+    /// Network-wide mean block interval, seconds (14 for mainnet).
+    pub block_every_secs: f64,
+    /// Fraction of nodes that mine (each an independent Poisson process;
+    /// their sum is the network process).
+    pub miner_fraction: f64,
+    /// Uniform per-message jitter on top of the edge base latency, ms.
+    pub jitter_ms: u64,
+    /// Simulated header-verification work per block import (hash mixes; a
+    /// stand-in for the millisecond-scale PoW check real clients run).
+    pub verify_cost: u32,
+    /// When set, blocks mined at or after this simulated time carry their
+    /// miner's fork side, and nodes reject blocks from the other side —
+    /// the protocol-level partition.
+    pub fork_at_secs: Option<u64>,
+    /// Overall share of nodes adopting the minority (ETC) side at the
+    /// fork. Per-node probability is biased by client label (arXiv
+    /// 2501.16236: client implementation correlates with chain
+    /// membership).
+    pub etc_share: f64,
+    /// The fault schedule. Crashes and byzantine behaviors are not
+    /// modeled at macro scale and are rejected by [`MacroNet::new`].
+    pub chaos: ChaosPlan,
+}
+
+impl Default for MacroConfig {
+    fn default() -> Self {
+        MacroConfig {
+            seed: 0,
+            topology: TopologyGenConfig::default(),
+            duration_secs: 600,
+            round_ms: 50,
+            n_shards: 1,
+            block_every_secs: 14.0,
+            miner_fraction: 0.10,
+            jitter_ms: 20,
+            verify_cost: 64,
+            fork_at_secs: None,
+            etc_share: 0.0,
+            chaos: ChaosPlan::NONE,
+        }
+    }
+}
+
+/// Relative minority-side propensity per client label. The absolute
+/// per-node probability is `etc_share` rescaled by these factors so the
+/// *network-wide* expected minority share stays `etc_share` while the
+/// minority skews toward the minority client, per arXiv 2501.16236.
+const ETC_PROPENSITY: [(ClientKind, f64); 3] = [
+    (ClientKind::Geth, 0.6),
+    (ClientKind::Parity, 2.2),
+    (ClientKind::Other, 1.0),
+];
+
+/// A rejected [`MacroConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacroError {
+    /// The chaos plan failed validation against the generated topology.
+    Chaos(ChaosPlanError),
+    /// The topology config failed validation.
+    Topology(TopologyError),
+    /// The plan schedules a fault class the macro engine does not model.
+    UnsupportedChaos {
+        /// Which class ("crashes" or "byzantine").
+        what: &'static str,
+    },
+    /// `round_ms` was zero.
+    ZeroRound,
+    /// `n_shards` was zero.
+    ZeroShards,
+}
+
+impl std::fmt::Display for MacroError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacroError::Chaos(e) => write!(f, "invalid chaos plan: {e}"),
+            MacroError::Topology(e) => write!(f, "invalid topology config: {e}"),
+            MacroError::UnsupportedChaos { what } => {
+                write!(f, "macro engine does not model {what}")
+            }
+            MacroError::ZeroRound => write!(f, "round_ms must be > 0"),
+            MacroError::ZeroShards => write!(f, "n_shards must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for MacroError {}
+
+impl From<ChaosPlanError> for MacroError {
+    fn from(e: ChaosPlanError) -> Self {
+        MacroError::Chaos(e)
+    }
+}
+
+impl From<TopologyError> for MacroError {
+    fn from(e: TopologyError) -> Self {
+        MacroError::Topology(e)
+    }
+}
+
+/// A lightweight block: identity, lineage, height, and fork side (0 =
+/// pre-fork/shared, 1 = majority, 2 = minority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MacroBlock {
+    hash: u64,
+    parent: u64,
+    number: u64,
+    side: u8,
+    miner: u32,
+}
+
+#[derive(Debug, Clone)]
+enum MacroMsg {
+    Block(MacroBlock),
+    /// Ask the sender for `hash` and its ancestors (orphan repair).
+    Request {
+        hash: u64,
+    },
+    /// Oldest-first ancestor segment answering a `Request`.
+    Ancestors(Vec<MacroBlock>),
+}
+
+#[derive(Debug, Clone)]
+struct Envelope {
+    from: u32,
+    msg: MacroMsg,
+}
+
+/// splitmix64 — the block-identity and verification-work mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn block_hash(parent: u64, miner: u32, nonce: u64) -> u64 {
+    mix64(parent ^ mix64((miner as u64) << 32 | nonce))
+}
+
+/// Simulated header verification: `cost` dependent hash mixes. The result
+/// is folded into a per-node accumulator (surfaced in the report) so the
+/// work cannot be optimized away.
+fn verify_spin(seed: u64, cost: u32) -> u64 {
+    let mut acc = seed;
+    for _ in 0..cost {
+        acc = mix64(acc);
+    }
+    acc
+}
+
+struct NodeState {
+    id: u32,
+    rng: SimRng,
+    /// Post-fork side this node follows (1 or 2); only consulted against
+    /// sided blocks, so it is inert pre-fork and when no fork is set.
+    stance: u8,
+    miner: bool,
+    /// Absolute simulated ms of this miner's next find (`u64::MAX` for
+    /// non-miners).
+    next_block_ms: u64,
+    nonce: u64,
+    blocks: HashMap<u64, MacroBlock>,
+    /// Blocks waiting for a missing parent, keyed by that parent hash.
+    orphans: HashMap<u64, Vec<MacroBlock>>,
+    /// Parent hashes with an in-flight ancestor request.
+    requested: HashSet<u64>,
+    /// Gossip dedup: hashes seen (imported, orphaned, or rejected).
+    seen: HashSet<u64>,
+    /// Canonical hash by height; index 0 is genesis.
+    canonical: Vec<u64>,
+    max_reorg: u64,
+    verify_acc: u64,
+    inbox: HashMap<u64, Vec<Envelope>>,
+}
+
+/// Read-only context shared by every node within one round.
+struct RoundCtx<'a> {
+    round: u64,
+    round_ms: u64,
+    end_ms: u64,
+    fork_at_ms: Option<u64>,
+    adjacency: &'a [Vec<u32>],
+    edge_rtt: &'a HashMap<(u32, u32), u64>,
+    cut: &'a HashMap<(u32, u32), u32>,
+    faults_drop: f64,
+    jitter_ms: u64,
+    block_gap_ms: f64,
+    verify_cost: u32,
+}
+
+#[derive(Default)]
+struct StepOut {
+    sends: Vec<(u32, u64, MacroMsg)>,
+    mined: Vec<MacroBlock>,
+    imports: Vec<(u64, u8)>,
+    delivered: u64,
+    duplicates: u64,
+    rejected: u64,
+    drops_cut: u64,
+    drops_link: u64,
+    requests: u64,
+    replies: u64,
+}
+
+fn send(node: &mut NodeState, ctx: &RoundCtx, out: &mut StepOut, dest: u32, msg: MacroMsg) {
+    let key = (node.id.min(dest), node.id.max(dest));
+    if ctx.cut.get(&key).copied().unwrap_or(0) > 0 {
+        out.drops_cut += 1;
+        return;
+    }
+    // The `> 0.0` guard keeps clean runs draw-for-draw identical to runs
+    // without degradation code (same contract as `Link::transmit`).
+    if ctx.faults_drop > 0.0 && node.rng.gen_bool(ctx.faults_drop) {
+        out.drops_link += 1;
+        return;
+    }
+    let base = ctx.edge_rtt[&key];
+    let jitter = if ctx.jitter_ms > 0 {
+        node.rng.gen_range(0..=ctx.jitter_ms)
+    } else {
+        0
+    };
+    let delay = base + jitter;
+    // At least one round ahead: intra-round delivery would couple nodes
+    // within the parallel phase and break shard independence.
+    let deliver = ctx.round + (delay.div_ceil(ctx.round_ms)).max(1);
+    out.sends.push((dest, deliver, msg));
+}
+
+fn gossip(
+    node: &mut NodeState,
+    ctx: &RoundCtx,
+    out: &mut StepOut,
+    b: MacroBlock,
+    from: Option<u32>,
+) {
+    for &peer in &ctx.adjacency[node.id as usize] {
+        if Some(peer) == from {
+            continue;
+        }
+        send(node, ctx, out, peer, MacroMsg::Block(b));
+    }
+}
+
+/// Adopts `b` into the canonical chain when it is strictly longer than the
+/// current head (ties keep first-seen). Returns nothing; updates
+/// `max_reorg` when a branch switch reverts canonical blocks.
+fn adopt(node: &mut NodeState, b: MacroBlock) {
+    let head_number = node.canonical.len() as u64 - 1;
+    if b.parent == *node.canonical.last().expect("genesis always present") {
+        node.canonical.push(b.hash);
+        return;
+    }
+    if b.number <= head_number {
+        return;
+    }
+    // Walk b's ancestry (all present: imports require known parents) down
+    // to the deepest block already canonical.
+    let mut segment = vec![b.hash];
+    let mut cur = b;
+    let ancestor_number = loop {
+        let parent = node.blocks[&cur.parent];
+        if (parent.number as usize) < node.canonical.len()
+            && node.canonical[parent.number as usize] == parent.hash
+        {
+            break parent.number;
+        }
+        segment.push(parent.hash);
+        cur = parent;
+    };
+    let depth = head_number - ancestor_number;
+    node.max_reorg = node.max_reorg.max(depth);
+    node.canonical.truncate(ancestor_number as usize + 1);
+    segment.reverse();
+    node.canonical.extend(segment);
+}
+
+fn handle_block(
+    node: &mut NodeState,
+    b: MacroBlock,
+    from: Option<u32>,
+    ctx: &RoundCtx,
+    out: &mut StepOut,
+) {
+    if !node.seen.insert(b.hash) {
+        out.duplicates += 1;
+        return;
+    }
+    node.verify_acc ^= verify_spin(b.hash, ctx.verify_cost);
+    if b.side != 0 && b.side != node.stance {
+        out.rejected += 1;
+        return;
+    }
+    node.requested.remove(&b.hash);
+    if !node.blocks.contains_key(&b.parent) {
+        node.orphans.entry(b.parent).or_default().push(b);
+        if let Some(peer) = from {
+            if node.requested.insert(b.parent) {
+                out.requests += 1;
+                send(node, ctx, out, peer, MacroMsg::Request { hash: b.parent });
+            }
+        }
+        return;
+    }
+    // Import b, then cascade any orphans it unblocks (oldest-first).
+    let mut queue = std::collections::VecDeque::from([b]);
+    while let Some(x) = queue.pop_front() {
+        node.blocks.insert(x.hash, x);
+        adopt(node, x);
+        out.imports.push((x.hash, x.side));
+        gossip(
+            node,
+            ctx,
+            out,
+            x,
+            if x.hash == b.hash { from } else { None },
+        );
+        if let Some(waiters) = node.orphans.remove(&x.hash) {
+            queue.extend(waiters);
+        }
+    }
+}
+
+fn step_node(node: &mut NodeState, ctx: &RoundCtx, out: &mut StepOut) {
+    let round_end = (ctx.round + 1) * ctx.round_ms;
+    if let Some(msgs) = node.inbox.remove(&ctx.round) {
+        for env in msgs {
+            out.delivered += 1;
+            match env.msg {
+                MacroMsg::Block(b) => handle_block(node, b, Some(env.from), ctx, out),
+                MacroMsg::Request { hash } => {
+                    let mut seg = Vec::new();
+                    let mut h = hash;
+                    while let Some(&blk) = node.blocks.get(&h) {
+                        seg.push(blk);
+                        if blk.number == 0 || seg.len() >= 32 {
+                            break;
+                        }
+                        h = blk.parent;
+                    }
+                    if !seg.is_empty() {
+                        out.replies += 1;
+                        seg.reverse();
+                        send(node, ctx, out, env.from, MacroMsg::Ancestors(seg));
+                    }
+                }
+                MacroMsg::Ancestors(list) => {
+                    for blk in list {
+                        node.requested.remove(&blk.hash);
+                        handle_block(node, blk, Some(env.from), ctx, out);
+                    }
+                }
+            }
+        }
+    }
+    if node.miner {
+        while node.next_block_ms < round_end && node.next_block_ms < ctx.end_ms {
+            let side = match ctx.fork_at_ms {
+                Some(f) if node.next_block_ms >= f => node.stance,
+                _ => 0,
+            };
+            let parent = *node.canonical.last().expect("genesis always present");
+            let b = MacroBlock {
+                hash: block_hash(parent, node.id, node.nonce),
+                parent,
+                number: node.canonical.len() as u64,
+                side,
+                miner: node.id,
+            };
+            node.nonce += 1;
+            node.seen.insert(b.hash);
+            node.blocks.insert(b.hash, b);
+            node.canonical.push(b.hash);
+            out.mined.push(b);
+            gossip(node, ctx, out, b, None);
+            let gap = node.rng.exp(ctx.block_gap_ms).max(1.0);
+            node.next_block_ms += gap as u64;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ChaosChange {
+    PartStart(usize),
+    PartHeal(usize),
+    IsoStart(usize),
+    IsoEnd(usize),
+}
+
+/// Pre/post-fork propagation percentiles (delay from mining round to each
+/// remote import, quantized to rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PropagationStats {
+    /// Remote-import samples.
+    pub samples: u64,
+    /// Median delay, ms.
+    pub p50_ms: u64,
+    /// 90th-percentile delay, ms.
+    pub p90_ms: u64,
+    /// Worst delay, ms.
+    pub max_ms: u64,
+}
+
+fn prop_stats(delays: &mut [u32]) -> PropagationStats {
+    if delays.is_empty() {
+        return PropagationStats::default();
+    }
+    delays.sort_unstable();
+    let pick = |p: usize| delays[(delays.len() - 1) * p / 100] as u64;
+    PropagationStats {
+        samples: delays.len() as u64,
+        p50_ms: pick(50),
+        p90_ms: pick(90),
+        max_ms: *delays.last().expect("non-empty") as u64,
+    }
+}
+
+/// End-of-run report. Byte-identical across shard counts for one
+/// `(config, seed)` — the determinism suite compares its `Debug` form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroReport {
+    /// Node count.
+    pub n_nodes: u64,
+    /// Undirected topology edges.
+    pub n_edges: u64,
+    /// Miner count.
+    pub n_miners: u64,
+    /// Rounds actually stepped (idle spans are skipped identically in
+    /// serial and sharded runs).
+    pub rounds_executed: u64,
+    /// Blocks mined before the fork (or all, when no fork is set).
+    pub mined_prefork: u64,
+    /// Majority-side blocks mined post-fork.
+    pub mined_majority: u64,
+    /// Minority-side blocks mined post-fork.
+    pub mined_minority: u64,
+    /// Messages scheduled for delivery.
+    pub messages_sent: u64,
+    /// Messages processed by receivers.
+    pub messages_delivered: u64,
+    /// Sends suppressed by a cut (partitioned/isolated) edge.
+    pub drops_cut: u64,
+    /// Sends dropped by a degradation window's fault plan.
+    pub drops_link: u64,
+    /// Deliveries deduplicated.
+    pub duplicates: u64,
+    /// Sided blocks rejected by the other side.
+    pub rejected_cross_side: u64,
+    /// Ancestor requests issued (orphan repair).
+    pub requests: u64,
+    /// Ancestor segments served.
+    pub ancestor_replies: u64,
+    /// Block imports (remote blocks accepted into a store).
+    pub imports: u64,
+    /// Partitions that started.
+    pub partitions_started: u64,
+    /// Partitions that healed.
+    pub partitions_healed: u64,
+    /// Isolations that started.
+    pub isolations: u64,
+    /// Isolations that rejoined.
+    pub rejoins: u64,
+    /// Edges newly severed by chaos events.
+    pub edges_cut: u64,
+    /// Edges restored by heals/rejoins.
+    pub edges_restored: u64,
+    /// Deepest reorg any node performed.
+    pub max_reorg_depth: u64,
+    /// Lowest head height at the end.
+    pub head_min: u64,
+    /// Highest head height at the end.
+    pub head_max: u64,
+    /// Chain-agreement census at the end: cluster sizes, descending.
+    pub partition_groups: Vec<usize>,
+    /// Pre-fork propagation percentiles.
+    pub pre_fork: PropagationStats,
+    /// Post-fork propagation percentiles.
+    pub post_fork: PropagationStats,
+    /// XOR of all simulated verification outputs (pins the verify work
+    /// into the report so it cannot be optimized away).
+    pub verify_checksum: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    rounds: u64,
+    sent: u64,
+    delivered: u64,
+    drops_cut: u64,
+    drops_link: u64,
+    duplicates: u64,
+    rejected: u64,
+    requests: u64,
+    replies: u64,
+    imports: u64,
+    mined_prefork: u64,
+    mined_majority: u64,
+    mined_minority: u64,
+    partitions_started: u64,
+    partitions_healed: u64,
+    isolations: u64,
+    rejoins: u64,
+    edges_cut: u64,
+    edges_restored: u64,
+}
+
+/// Live step-phase spans and counters, attached via
+/// [`MacroNet::attach_registry`]. All calls compile to no-ops without the
+/// `telemetry` feature, and none of them feed back into simulation state.
+struct MacroSpans {
+    step: Arc<SpanStats>,
+    merge: Arc<SpanStats>,
+    chaos: Arc<SpanStats>,
+    rounds: Arc<Counter>,
+    messages: Arc<Counter>,
+}
+
+/// The macro-scale network.
+pub struct MacroNet {
+    topology: MacroTopology,
+    nodes: Vec<NodeState>,
+    miner_ids: Vec<u32>,
+    plan: ChaosPlan,
+    boundaries: Vec<(u64, ChaosChange)>,
+    next_boundary: usize,
+    cut_count: HashMap<(u32, u32), u32>,
+    pending_rounds: BTreeSet<u64>,
+    births: HashMap<u64, u64>,
+    pre_delays: Vec<u32>,
+    post_delays: Vec<u32>,
+    counters: Counters,
+    fork_floor: Option<u64>,
+    now_ms: u64,
+    end_ms: u64,
+    round_ms: u64,
+    n_shards: usize,
+    fork_at_ms: Option<u64>,
+    jitter_ms: u64,
+    block_gap_ms: f64,
+    verify_cost: u32,
+    spans: Option<MacroSpans>,
+}
+
+impl MacroNet {
+    /// Generates the topology, validates the chaos plan against its node
+    /// count (the typed-error replacement for "caught deep in the
+    /// engine"), and builds the node population.
+    pub fn new(config: MacroConfig) -> Result<MacroNet, MacroError> {
+        if config.round_ms == 0 {
+            return Err(MacroError::ZeroRound);
+        }
+        if config.n_shards == 0 {
+            return Err(MacroError::ZeroShards);
+        }
+        let root = SimRng::new(config.seed);
+        let topology = topology::generate(&config.topology, &root)?;
+        config.chaos.validate(topology.len())?;
+        if !config.chaos.crashes.is_empty() {
+            return Err(MacroError::UnsupportedChaos { what: "crashes" });
+        }
+        if !config.chaos.byzantine.is_empty() {
+            return Err(MacroError::UnsupportedChaos { what: "byzantine" });
+        }
+
+        let n = topology.len();
+        let n_miners = ((n as f64 * config.miner_fraction).round() as usize).clamp(1, n);
+        let miner_set: HashSet<usize> = (0..n_miners).map(|k| k * n / n_miners).collect();
+        let block_gap_ms = config.block_every_secs * miner_set.len() as f64 * 1_000.0;
+
+        // Per-client minority probability, rescaled so the network-wide
+        // expectation stays `etc_share` under the *realized* client mix.
+        let share = |kind: ClientKind| {
+            topology.client_of.iter().filter(|&&k| k == kind).count() as f64 / n as f64
+        };
+        let expectation: f64 = ETC_PROPENSITY
+            .iter()
+            .map(|&(kind, f)| share(kind) * f)
+            .sum();
+        let etc_prob = |kind: ClientKind| {
+            let f = ETC_PROPENSITY
+                .iter()
+                .find(|&&(k, _)| k == kind)
+                .map(|&(_, f)| f)
+                .unwrap_or(1.0);
+            if expectation > 0.0 {
+                (config.etc_share * f / expectation).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+
+        let genesis = MacroBlock {
+            hash: mix64(config.seed ^ 0x0067_656E_6573_6973), // "genesis"
+            parent: 0,
+            number: 0,
+            side: 0,
+            miner: u32::MAX,
+        };
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng = root.fork(&format!("macro-node-{i}"));
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            let stance = if roll < etc_prob(topology.client_of[i]) {
+                2
+            } else {
+                1
+            };
+            let miner = miner_set.contains(&i);
+            let next_block_ms = if miner {
+                rng.exp(block_gap_ms).max(1.0) as u64
+            } else {
+                u64::MAX
+            };
+            nodes.push(NodeState {
+                id: i as u32,
+                rng,
+                stance,
+                miner,
+                next_block_ms,
+                nonce: 0,
+                blocks: HashMap::from([(genesis.hash, genesis)]),
+                orphans: HashMap::new(),
+                requested: HashSet::new(),
+                seen: HashSet::from([genesis.hash]),
+                canonical: vec![genesis.hash],
+                max_reorg: 0,
+                verify_acc: 0,
+                inbox: HashMap::new(),
+            });
+        }
+        let mut miner_ids: Vec<u32> = miner_set.into_iter().map(|i| i as u32).collect();
+        miner_ids.sort_unstable();
+
+        let mut boundaries: Vec<(u64, ChaosChange)> = Vec::new();
+        for (idx, p) in config.chaos.partitions.iter().enumerate() {
+            boundaries.push((p.at_ms, ChaosChange::PartStart(idx)));
+            if let Some(heal) = p.heal_at_ms {
+                boundaries.push((heal, ChaosChange::PartHeal(idx)));
+            }
+        }
+        for (idx, iso) in config.chaos.isolations.iter().enumerate() {
+            boundaries.push((iso.at_ms, ChaosChange::IsoStart(idx)));
+            if let Some(rejoin) = iso.rejoin_at_ms {
+                boundaries.push((rejoin, ChaosChange::IsoEnd(idx)));
+            }
+        }
+        boundaries.sort_by_key(|&(ms, _)| ms);
+
+        Ok(MacroNet {
+            topology,
+            nodes,
+            miner_ids,
+            plan: config.chaos,
+            boundaries,
+            next_boundary: 0,
+            cut_count: HashMap::new(),
+            pending_rounds: BTreeSet::new(),
+            births: HashMap::new(),
+            pre_delays: Vec::new(),
+            post_delays: Vec::new(),
+            counters: Counters::default(),
+            fork_floor: None,
+            now_ms: 0,
+            end_ms: config.duration_secs * 1_000,
+            round_ms: config.round_ms,
+            n_shards: config.n_shards,
+            fork_at_ms: config.fork_at_secs.map(|s| s * 1_000),
+            jitter_ms: config.jitter_ms,
+            block_gap_ms,
+            verify_cost: config.verify_cost,
+            spans: None,
+        })
+    }
+
+    /// Attaches live step-phase spans (`macro.step.*`) and round counters
+    /// to `registry`, and publishes the `macro.topology.*` gauges. Pure
+    /// observation: attaching never changes simulation results.
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        registry
+            .gauge("macro.topology.nodes")
+            .set(self.topology.len() as i64);
+        registry
+            .gauge("macro.topology.edges")
+            .set(self.topology.edge_count() as i64);
+        registry
+            .gauge("macro.topology.clusters")
+            .set(self.topology.clusters.len() as i64);
+        registry
+            .gauge("macro.topology.miners")
+            .set(self.miner_ids.len() as i64);
+        self.spans = Some(MacroSpans {
+            step: registry.span("macro.step.parallel"),
+            merge: registry.span("macro.step.merge"),
+            chaos: registry.span("macro.step.chaos"),
+            rounds: registry.counter("macro.round.rounds"),
+            messages: registry.counter("macro.round.messages"),
+        });
+    }
+
+    /// The generated topology (inspection).
+    pub fn topology(&self) -> &MacroTopology {
+        &self.topology
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Deepest reorg any node has performed so far.
+    pub fn max_reorg_depth(&self) -> u64 {
+        self.nodes.iter().map(|n| n.max_reorg).max().unwrap_or(0)
+    }
+
+    /// The chain-agreement census: cluster sizes, descending — the macro
+    /// twin of the micro engine's census. Two nodes share a group when
+    /// they agree on the canonical hash a few blocks below the lower of
+    /// their heads (floored at the fork height once a sided block
+    /// exists).
+    pub fn partition_census(&self) -> Vec<usize> {
+        let floor = self.fork_floor.unwrap_or(0);
+        let n = self.nodes.len();
+        let mut group = vec![usize::MAX; n];
+        let mut count = Vec::new();
+        for i in 0..n {
+            if group[i] != usize::MAX {
+                continue;
+            }
+            group[i] = count.len();
+            count.push(1usize);
+            let head_i = self.nodes[i].canonical.len() as u64 - 1;
+            for j in i + 1..n {
+                if group[j] != usize::MAX {
+                    continue;
+                }
+                let m = head_i.min(self.nodes[j].canonical.len() as u64 - 1);
+                let cmp = m.saturating_sub(8).max(floor.min(m)) as usize;
+                if self.nodes[i].canonical.get(cmp) == self.nodes[j].canonical.get(cmp) {
+                    group[j] = group[i];
+                    count[group[i]] += 1;
+                }
+            }
+        }
+        count.sort_unstable_by(|a, b| b.cmp(a));
+        count
+    }
+
+    fn cut_edge(&mut self, key: (u32, u32)) {
+        let c = self.cut_count.entry(key).or_insert(0);
+        *c += 1;
+        if *c == 1 {
+            self.counters.edges_cut += 1;
+        }
+    }
+
+    fn lift_edge(&mut self, key: (u32, u32)) {
+        if let Some(c) = self.cut_count.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                self.cut_count.remove(&key);
+                self.counters.edges_restored += 1;
+            }
+        }
+    }
+
+    /// Edges crossing the partition's groups, in deterministic
+    /// (ascending-index) order.
+    fn partition_edges(&self, idx: usize) -> Vec<(u32, u32)> {
+        let mut group_of: HashMap<u32, usize> = HashMap::new();
+        for (g, members) in self.plan.partitions[idx].groups.iter().enumerate() {
+            for &m in members {
+                group_of.insert(m as u32, g);
+            }
+        }
+        let mut edges = Vec::new();
+        for a in 0..self.nodes.len() as u32 {
+            for &b in &self.topology.adjacency[a as usize] {
+                if b <= a {
+                    continue;
+                }
+                if let (Some(&ga), Some(&gb)) = (group_of.get(&a), group_of.get(&b)) {
+                    if ga != gb {
+                        edges.push((a, b));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    fn isolation_edges(&self, idx: usize) -> Vec<(u32, u32)> {
+        let node = self.plan.isolations[idx].node as u32;
+        self.topology.adjacency[node as usize]
+            .iter()
+            .map(|&peer| (node.min(peer), node.max(peer)))
+            .collect()
+    }
+
+    fn apply_chaos_upto(&mut self, round_start_ms: u64) {
+        while self.next_boundary < self.boundaries.len()
+            && self.boundaries[self.next_boundary].0 <= round_start_ms
+        {
+            let (_, change) = self.boundaries[self.next_boundary];
+            self.next_boundary += 1;
+            match change {
+                ChaosChange::PartStart(idx) => {
+                    self.counters.partitions_started += 1;
+                    for key in self.partition_edges(idx) {
+                        self.cut_edge(key);
+                    }
+                }
+                ChaosChange::PartHeal(idx) => {
+                    self.counters.partitions_healed += 1;
+                    for key in self.partition_edges(idx) {
+                        self.lift_edge(key);
+                    }
+                }
+                ChaosChange::IsoStart(idx) => {
+                    self.counters.isolations += 1;
+                    for key in self.isolation_edges(idx) {
+                        self.cut_edge(key);
+                    }
+                }
+                ChaosChange::IsoEnd(idx) => {
+                    self.counters.rejoins += 1;
+                    for key in self.isolation_edges(idx) {
+                        self.lift_edge(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The next absolute ms worth waking for: the earliest queued
+    /// delivery, miner find, or chaos boundary. Computed from merged
+    /// state only, so serial and sharded runs skip identically.
+    fn next_wake(&self) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let mut cand = |ms: u64| {
+            wake = Some(wake.map_or(ms, |w: u64| w.min(ms)));
+        };
+        if let Some(&r) = self.pending_rounds.first() {
+            cand(r * self.round_ms);
+        }
+        for &m in &self.miner_ids {
+            let t = self.nodes[m as usize].next_block_ms;
+            if t < self.end_ms {
+                cand(t);
+            }
+        }
+        if self.next_boundary < self.boundaries.len() {
+            cand(self.boundaries[self.next_boundary].0);
+        }
+        wake.map(|w| w.max(self.now_ms))
+    }
+
+    fn step_round(&mut self, round: u64) {
+        self.pending_rounds.remove(&round);
+        self.counters.rounds += 1;
+
+        let faults_drop = self
+            .plan
+            .link_faults_at(round * self.round_ms)
+            .map_or(0.0, |f| f.drop_chance());
+        let ctx = RoundCtx {
+            round,
+            round_ms: self.round_ms,
+            end_ms: self.end_ms,
+            fork_at_ms: self.fork_at_ms,
+            adjacency: &self.topology.adjacency,
+            edge_rtt: &self.topology.edge_rtt_ms,
+            cut: &self.cut_count,
+            faults_drop,
+            jitter_ms: self.jitter_ms,
+            block_gap_ms: self.block_gap_ms,
+            verify_cost: self.verify_cost,
+        };
+
+        let n_shards = self.n_shards.min(self.nodes.len()).max(1);
+        let step_timer = self.spans.as_ref().map(|s| s.step.enter());
+        let outs: Vec<StepOut> = if n_shards == 1 {
+            self.nodes
+                .iter_mut()
+                .map(|node| {
+                    let mut out = StepOut::default();
+                    step_node(node, &ctx, &mut out);
+                    out
+                })
+                .collect()
+        } else {
+            let chunk = self.nodes.len().div_ceil(n_shards);
+            let nodes = &mut self.nodes;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = nodes
+                    .chunks_mut(chunk)
+                    .map(|shard| {
+                        let ctx = &ctx;
+                        scope.spawn(move || {
+                            shard
+                                .iter_mut()
+                                .map(|node| {
+                                    let mut out = StepOut::default();
+                                    step_node(node, ctx, &mut out);
+                                    out
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard thread panicked"))
+                    .collect()
+            })
+        };
+        drop(step_timer);
+
+        let merge_timer = self.spans.as_ref().map(|s| s.merge.enter());
+        let mut round_messages = 0u64;
+        for (i, mut out) in outs.into_iter().enumerate() {
+            self.counters.delivered += out.delivered;
+            self.counters.duplicates += out.duplicates;
+            self.counters.rejected += out.rejected;
+            self.counters.drops_cut += out.drops_cut;
+            self.counters.drops_link += out.drops_link;
+            self.counters.requests += out.requests;
+            self.counters.replies += out.replies;
+            for b in &out.mined {
+                self.births.insert(b.hash, round);
+                match b.side {
+                    0 => self.counters.mined_prefork += 1,
+                    1 => self.counters.mined_majority += 1,
+                    _ => self.counters.mined_minority += 1,
+                }
+                if b.side != 0 {
+                    self.fork_floor = Some(self.fork_floor.map_or(b.number, |f| f.min(b.number)));
+                }
+            }
+            for &(hash, side) in &out.imports {
+                self.counters.imports += 1;
+                let birth = self.births[&hash];
+                let delay = ((round - birth) * self.round_ms) as u32;
+                if side == 0 {
+                    self.pre_delays.push(delay);
+                } else {
+                    self.post_delays.push(delay);
+                }
+            }
+            for (dest, deliver_round, msg) in out.sends.drain(..) {
+                self.counters.sent += 1;
+                round_messages += 1;
+                self.nodes[dest as usize]
+                    .inbox
+                    .entry(deliver_round)
+                    .or_default()
+                    .push(Envelope {
+                        from: i as u32,
+                        msg,
+                    });
+                self.pending_rounds.insert(deliver_round);
+            }
+        }
+        drop(merge_timer);
+        if let Some(spans) = &self.spans {
+            spans.rounds.incr();
+            spans.messages.add(round_messages);
+        }
+    }
+
+    /// Runs to the end of the configured duration.
+    pub fn run(&mut self) -> MacroReport {
+        self.run_with_progress(None)
+    }
+
+    /// Runs to the end, emitting a [`ProgressEvent`] heartbeat each time a
+    /// simulated *minute* completes (macro runs span minutes-to-hours, not
+    /// the meso engine's days; `day` counts completed simulated minutes
+    /// and `sim_unix` carries elapsed simulated seconds). Callbacks are
+    /// pure observation — a run with progress attached is byte-identical
+    /// to one without.
+    pub fn run_with_progress(
+        &mut self,
+        mut progress: Option<&mut dyn FnMut(ProgressEvent)>,
+    ) -> MacroReport {
+        let mut last_beat_min = 0u64;
+        let mut beat_wall = std::time::Instant::now();
+        let mut beat_delivered = 0u64;
+        while let Some(wake_ms) = self.next_wake() {
+            if wake_ms >= self.end_ms {
+                break;
+            }
+            let round = wake_ms / self.round_ms;
+            let chaos_timer = self.spans.as_ref().map(|s| s.chaos.enter());
+            self.apply_chaos_upto(round * self.round_ms);
+            drop(chaos_timer);
+            self.step_round(round);
+            self.now_ms = (round + 1) * self.round_ms;
+            if let Some(cb) = progress.as_deref_mut() {
+                let sim_min = self.now_ms / 60_000;
+                if sim_min > last_beat_min {
+                    last_beat_min = sim_min;
+                    let elapsed = beat_wall.elapsed().as_secs_f64();
+                    let delivered = self.counters.delivered;
+                    let events_per_sec = if elapsed > 0.0 {
+                        (delivered - beat_delivered) as f64 / elapsed
+                    } else {
+                        0.0
+                    };
+                    beat_wall = std::time::Instant::now();
+                    beat_delivered = delivered;
+                    cb(ProgressEvent {
+                        day: sim_min,
+                        sim_unix: self.now_ms / 1_000,
+                        blocks: [
+                            self.counters.mined_prefork + self.counters.mined_majority,
+                            self.counters.mined_minority,
+                        ],
+                        events_per_sec,
+                    });
+                }
+            }
+        }
+        self.finalize_report()
+    }
+
+    fn finalize_report(&mut self) -> MacroReport {
+        let c = &self.counters;
+        let heads: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(|n| n.canonical.len() as u64 - 1)
+            .collect();
+        MacroReport {
+            n_nodes: self.nodes.len() as u64,
+            n_edges: self.topology.edge_count() as u64,
+            n_miners: self.miner_ids.len() as u64,
+            rounds_executed: c.rounds,
+            mined_prefork: c.mined_prefork,
+            mined_majority: c.mined_majority,
+            mined_minority: c.mined_minority,
+            messages_sent: c.sent,
+            messages_delivered: c.delivered,
+            drops_cut: c.drops_cut,
+            drops_link: c.drops_link,
+            duplicates: c.duplicates,
+            rejected_cross_side: c.rejected,
+            requests: c.requests,
+            ancestor_replies: c.replies,
+            imports: c.imports,
+            partitions_started: c.partitions_started,
+            partitions_healed: c.partitions_healed,
+            isolations: c.isolations,
+            rejoins: c.rejoins,
+            edges_cut: c.edges_cut,
+            edges_restored: c.edges_restored,
+            max_reorg_depth: self.max_reorg_depth(),
+            head_min: heads.iter().copied().min().unwrap_or(0),
+            head_max: heads.iter().copied().max().unwrap_or(0),
+            partition_groups: self.partition_census(),
+            pre_fork: prop_stats(&mut self.pre_delays),
+            post_fork: prop_stats(&mut self.post_delays),
+            verify_checksum: self.nodes.iter().fold(0, |acc, n| acc ^ n.verify_acc),
+        }
+    }
+
+    /// The run's counters as a telemetry snapshot (`macro.*` names).
+    /// Built from the engine's own counters — exact and deterministic
+    /// regardless of the `telemetry` feature, like the micro engine's.
+    pub fn telemetry_snapshot(&self) -> fork_telemetry::Snapshot {
+        let mut snap = fork_telemetry::Snapshot::default();
+        let c = &self.counters;
+        for (name, v) in [
+            ("macro.round.rounds", c.rounds),
+            ("macro.round.messages", c.sent),
+            ("macro.delivered", c.delivered),
+            ("macro.duplicates", c.duplicates),
+            ("macro.rejected_cross_side", c.rejected),
+            ("macro.drops.cut", c.drops_cut),
+            ("macro.drops.link", c.drops_link),
+            ("macro.sync.requests", c.requests),
+            ("macro.sync.ancestor_replies", c.replies),
+            ("macro.imports", c.imports),
+            ("macro.mined.prefork", c.mined_prefork),
+            ("macro.mined.majority", c.mined_majority),
+            ("macro.mined.minority", c.mined_minority),
+            ("macro.chaos.partitions", c.partitions_started),
+            ("macro.chaos.partition_heals", c.partitions_healed),
+            ("macro.chaos.isolations", c.isolations),
+            ("macro.chaos.rejoins", c.rejoins),
+            ("macro.chaos.partition_edges_cut", c.edges_cut),
+            ("macro.chaos.partition_edges_restored", c.edges_restored),
+            ("macro.reorg.max_depth", self.max_reorg_depth()),
+        ] {
+            if v > 0 {
+                snap.counters.insert(name.into(), v);
+            }
+        }
+        for (name, delays) in [
+            ("macro.propagation.pre_ms", &self.pre_delays),
+            ("macro.propagation.post_ms", &self.post_delays),
+        ] {
+            if delays.is_empty() {
+                continue;
+            }
+            // Hand-built histogram (the telemetry crate's log2 bucketing)
+            // so it exports identically with the feature on or off.
+            let mut h = fork_telemetry::HistogramSnapshot::default();
+            for &v in delays.iter() {
+                let v = v as u64;
+                h.count += 1;
+                h.sum += v;
+                h.min = if h.count == 1 { v } else { h.min.min(v) };
+                h.max = h.max.max(v);
+                let bucket = if v == 0 {
+                    0
+                } else {
+                    64 - v.leading_zeros() as usize
+                };
+                h.buckets[bucket] += 1;
+            }
+            snap.histograms.insert(name.into(), h);
+        }
+        snap.gauges
+            .insert("macro.topology.nodes".into(), self.topology.len() as i64);
+        snap.gauges.insert(
+            "macro.topology.edges".into(),
+            self.topology.edge_count() as i64,
+        );
+        snap.gauges.insert(
+            "macro.topology.clusters".into(),
+            self.topology.clusters.len() as i64,
+        );
+        snap.gauges
+            .insert("macro.topology.miners".into(), self.miner_ids.len() as i64);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosPlanError;
+
+    fn small_config(seed: u64, n_shards: usize) -> MacroConfig {
+        MacroConfig {
+            seed,
+            topology: TopologyGenConfig {
+                n_nodes: 60,
+                max_degree: 16,
+                ..TopologyGenConfig::default()
+            },
+            duration_secs: 120,
+            block_every_secs: 6.0,
+            miner_fraction: 0.2,
+            n_shards,
+            ..MacroConfig::default()
+        }
+    }
+
+    #[test]
+    fn serial_and_sharded_agree() {
+        for seed in [1u64, 2] {
+            let serial = MacroNet::new(small_config(seed, 1)).unwrap().run();
+            let sharded = MacroNet::new(small_config(seed, 4)).unwrap().run();
+            assert_eq!(serial, sharded, "seed {seed}");
+            assert!(serial.mined_prefork > 0);
+            assert!(serial.messages_delivered > 0);
+        }
+    }
+
+    #[test]
+    fn progress_heartbeat_is_pure_observation() {
+        let plain = MacroNet::new(small_config(3, 2)).unwrap().run();
+        let mut beats = Vec::new();
+        let mut net = MacroNet::new(small_config(3, 2)).unwrap();
+        let mut cb = |ev: ProgressEvent| beats.push(ev);
+        let observed = net.run_with_progress(Some(&mut cb));
+        assert_eq!(plain, observed);
+        assert!(!beats.is_empty(), "a 2-minute run crosses minute marks");
+        assert!(beats.iter().all(|b| b.day >= 1));
+    }
+
+    #[test]
+    fn unhealed_partition_splits_the_census() {
+        let mut config = small_config(5, 2);
+        config.chaos =
+            ChaosPlan::NONE.create_partition(20_000, vec![(0..30).collect(), (30..60).collect()]);
+        let report = MacroNet::new(config).unwrap().run();
+        assert_eq!(report.partitions_started, 1);
+        assert_eq!(report.partitions_healed, 0);
+        assert!(report.edges_cut > 0);
+        assert_eq!(
+            report.partition_groups.len(),
+            2,
+            "census {:?}",
+            report.partition_groups
+        );
+    }
+
+    #[test]
+    fn healed_partition_reconverges() {
+        let mut config = small_config(6, 2);
+        config.duration_secs = 180;
+        config.chaos = ChaosPlan::NONE
+            .create_partition(20_000, vec![(0..30).collect(), (30..60).collect()])
+            .heal_partition(80_000);
+        let report = MacroNet::new(config).unwrap().run();
+        assert_eq!(report.partitions_healed, 1);
+        assert_eq!(report.edges_cut, report.edges_restored);
+        assert_eq!(
+            report.partition_groups,
+            vec![60],
+            "census {:?}",
+            report.partition_groups
+        );
+        assert!(report.max_reorg_depth > 0, "heal should force a reorg");
+    }
+
+    #[test]
+    fn chaos_plan_checked_against_generated_topology() {
+        let mut config = small_config(7, 1);
+        // A plan written for a bigger topology: node 99 does not exist.
+        config.chaos = ChaosPlan::NONE.create_partition(10_000, vec![vec![0, 1], vec![2, 99]]);
+        let err = MacroNet::new(config).err().expect("must be rejected");
+        assert_eq!(
+            err,
+            MacroError::Chaos(ChaosPlanError::NodeOutOfRange {
+                node: 99,
+                n_nodes: 60
+            })
+        );
+    }
+
+    #[test]
+    fn unsupported_chaos_classes_are_rejected_up_front() {
+        let mut config = small_config(8, 1);
+        config.chaos.crashes.push(crate::chaos::CrashEvent {
+            node: 0,
+            at_secs: 10,
+            down_secs: 5,
+            recovery: crate::chaos::RecoveryMode::Intact,
+        });
+        assert_eq!(
+            MacroNet::new(config).err().expect("must be rejected"),
+            MacroError::UnsupportedChaos { what: "crashes" }
+        );
+    }
+
+    #[test]
+    fn fork_split_rejects_cross_side_blocks() {
+        let mut config = small_config(9, 2);
+        config.duration_secs = 240;
+        config.fork_at_secs = Some(60);
+        config.etc_share = 0.4;
+        let report = MacroNet::new(config).unwrap().run();
+        assert!(report.mined_majority > 0);
+        assert!(report.mined_minority > 0);
+        assert!(report.rejected_cross_side > 0);
+        assert_eq!(report.partition_groups.len(), 2);
+        assert!(report.post_fork.samples > 0);
+    }
+
+    #[test]
+    fn snapshot_mirrors_report() {
+        let mut net = MacroNet::new(small_config(10, 1)).unwrap();
+        let report = net.run();
+        let snap = net.telemetry_snapshot();
+        assert_eq!(snap.counters["macro.imports"], report.imports);
+        assert_eq!(snap.counters["macro.round.rounds"], report.rounds_executed);
+        assert_eq!(snap.gauges["macro.topology.nodes"], 60);
+    }
+}

@@ -1,0 +1,30 @@
+//! # fork-macro — the macro-scale simulation subsystem
+//!
+//! The micro engine demonstrates *how* the partition happens at the message
+//! level on a handful of fully modeled nodes; this module family scales the
+//! same questions to 1,000+ nodes on *realistic* topologies so propagation
+//! figures carry production-shaped structure:
+//!
+//! * [`topology`] — seeded, validated topology generation: Ethna-style
+//!   power-law degree distributions (arXiv 2010.01373), geo-latency
+//!   clusters with intra/inter-cluster RTT bands (arXiv 2005.06356), and
+//!   client-diversity node labels (arXiv 2501.16236).
+//! * [`engine`] — the sharded deterministic lock-step engine
+//!   ([`MacroNet`]): per-node forked RNG streams, a scoped thread pool
+//!   with a serial fallback, fixed merge order, and first-class
+//!   [`crate::chaos::ChaosPlan`] partition/isolation/degradation support.
+//!   `parallel == serial` byte-identity holds by construction and is
+//!   locked down by `tests/macro_determinism.rs`.
+//! * [`presets`] — calibrated scenarios: the two-cluster partition/heal
+//!   acceptance run and the pre/post-fork propagation measurement.
+
+pub mod engine;
+pub mod presets;
+pub mod topology;
+
+pub use engine::{MacroConfig, MacroError, MacroNet, MacroReport, PropagationStats};
+pub use presets::{macro_partition, macro_propagation, MacroPreset};
+pub use topology::{
+    cluster_quotas, generate, ClientKind, GeoCluster, MacroTopology, TopologyError,
+    TopologyGenConfig, TopologyStats,
+};

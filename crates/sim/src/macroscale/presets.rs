@@ -1,0 +1,140 @@
+//! Calibrated macro-scale presets.
+//!
+//! Two canonical shapes, both parameterized by node count so figures can
+//! sweep 100/500/1,000 nodes with one code path:
+//!
+//! * [`macro_partition`] — a two-cluster network that suffers a scripted
+//!   network partition along the cluster boundary and heals. The heal must
+//!   reconverge the census to one group with a bounded reorg — the
+//!   macro-scale twin of the atlas heal/reorg invariants.
+//! * [`macro_propagation`] — the propagation-measurement scenario: a
+//!   three-cluster network running through a protocol fork mid-run, so the
+//!   report carries pre-fork and post-fork propagation percentiles.
+//!
+//! Partition groups are built from [`super::topology::cluster_quotas`]:
+//! clusters own contiguous index ranges, so the plan is constructible from
+//! the config alone, before any topology is generated.
+
+use crate::chaos::ChaosPlan;
+
+use super::engine::MacroConfig;
+use super::topology::{cluster_quotas, GeoCluster, TopologyGenConfig};
+
+/// A named macro scenario plus the invariant expectations its run must
+/// satisfy.
+#[derive(Debug, Clone)]
+pub struct MacroPreset {
+    /// Stable identifier (figure rows, CI logs).
+    pub name: &'static str,
+    /// The full engine configuration.
+    pub config: MacroConfig,
+    /// Census groups expected at the end of the run.
+    pub expected_groups: usize,
+    /// Reorg-depth bound the run must respect.
+    pub reorg_depth_bound: u64,
+}
+
+/// The two-cluster partition/heal scenario at `n_nodes` (the acceptance
+/// scenario at 1,000). Two equal geo clusters; the partition cuts exactly
+/// the inter-cluster edges for 60 simulated seconds, then heals; the run
+/// continues long enough for the census to reconverge.
+///
+/// Block time is 5 s (network-wide) so the minority side mines enough
+/// during the split for the heal to force a measurable reorg even in a
+/// short CI-friendly run. The reorg bound follows the atlas scaling:
+/// `2 × duration / block_time + 8` = `2 × 60 / 5 + 8` = 32.
+pub fn macro_partition(seed: u64, n_nodes: usize) -> MacroPreset {
+    let topology = TopologyGenConfig {
+        n_nodes,
+        clusters: vec![
+            GeoCluster {
+                name: "us-east",
+                weight: 0.5,
+                intra_rtt_ms: (15, 60),
+            },
+            GeoCluster {
+                name: "eu-west",
+                weight: 0.5,
+                intra_rtt_ms: (15, 60),
+            },
+        ],
+        ..TopologyGenConfig::default()
+    };
+    let quotas = cluster_quotas(&topology);
+    let split = quotas[0];
+    let chaos = ChaosPlan::NONE
+        .create_partition(
+            30_000,
+            vec![(0..split).collect(), (split..n_nodes).collect()],
+        )
+        .heal_partition(90_000);
+    MacroPreset {
+        name: "macro-partition",
+        config: MacroConfig {
+            seed,
+            topology,
+            duration_secs: 210,
+            block_every_secs: 5.0,
+            chaos,
+            ..MacroConfig::default()
+        },
+        expected_groups: 1,
+        reorg_depth_bound: 2 * 60 / 5 + 8,
+    }
+}
+
+/// The propagation-measurement scenario at `n_nodes`: default three-cluster
+/// geography, protocol fork at mid-run with an ETC-style minority share, so
+/// the report's pre/post-fork propagation percentiles are both populated.
+/// The census ends at exactly two groups — the fork split itself.
+pub fn macro_propagation(seed: u64, n_nodes: usize) -> MacroPreset {
+    let topology = TopologyGenConfig {
+        n_nodes,
+        ..TopologyGenConfig::default()
+    };
+    MacroPreset {
+        name: "macro-propagation",
+        config: MacroConfig {
+            seed,
+            topology,
+            duration_secs: 600,
+            fork_at_secs: Some(300),
+            etc_share: 0.18,
+            ..MacroConfig::default()
+        },
+        expected_groups: 2,
+        // No scripted partition: reorgs come only from ordinary chain
+        // races, which the pairwise-census comparison margin (8) bounds.
+        reorg_depth_bound: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macroscale::engine::MacroNet;
+
+    #[test]
+    fn partition_preset_plan_matches_any_node_count() {
+        for n in [100usize, 250, 1_000] {
+            let preset = macro_partition(1, n);
+            let members: usize = preset
+                .config
+                .chaos
+                .partitions
+                .iter()
+                .map(|p| p.groups.iter().map(Vec::len).sum::<usize>())
+                .sum();
+            assert_eq!(members, n, "plan covers every node at n={n}");
+            // The plan must validate against the topology it was built for.
+            MacroNet::new(preset.config).expect("preset config is valid");
+        }
+    }
+
+    #[test]
+    fn propagation_preset_is_valid() {
+        let preset = macro_propagation(2, 120);
+        assert_eq!(preset.expected_groups, 2);
+        MacroNet::new(preset.config).expect("preset config is valid");
+    }
+}

@@ -587,6 +587,35 @@ pub fn atlas_presets(seed: u64) -> Vec<AtlasPreset> {
     ]
 }
 
+/// One point of the atlas's lifetime-vs-duration scaling curve: the flash
+/// two-way topology with a *parametric* partition window. The partition
+/// opens at 600 s (well past warm-up) and heals `partition_secs` later;
+/// the run continues 600 s past the heal so census convergence is
+/// checkable at every point of the sweep. Sweeping `partition_secs` over
+/// a range of durations (× several seeds) traces how long the minority
+/// branch survives as a function of how long the network was split.
+pub fn atlas_duration_sweep(seed: u64, partition_secs: u64) -> AtlasPreset {
+    let start_ms = 600_000;
+    let heal_ms = start_ms + partition_secs * 1_000;
+    AtlasPreset {
+        name: "duration_sweep",
+        config: MicroConfig {
+            seed,
+            n_nodes: 16,
+            n_miners: 16,
+            duration_secs: heal_ms / 1_000 + 600,
+            chaos: ChaosPlan::NONE
+                .create_partition(start_ms, vec![(0..8).collect(), (8..16).collect()])
+                .heal_partition(heal_ms),
+            ..MicroConfig::default()
+        },
+        expected_groups: 1,
+        converge_by_ms: heal_ms + 300_000,
+        reorg_depth_bound: atlas_reorg_bound(partition_secs),
+        partition_secs,
+    }
+}
+
 /// The atlas's negative control: the flash partition with its heal removed.
 /// The network never reconverges, so
 /// [`crate::invariants::check_heal_convergence`] MUST fail past
